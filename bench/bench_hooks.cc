@@ -1,0 +1,110 @@
+// E12 (paper §2.4): primitive events and hook functions.
+//
+// Measures the dispatch overhead of the extensibility mechanism: firing an
+// event with 0 hooks (the common case: one atomic load), with registered
+// hooks, and the paper's own motivating example — counting transaction
+// commits without touching application code or BeSS internals.
+#include "hooks/hooks.h"
+#include "workload.h"
+
+using namespace bessbench;
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  HookRegistry& reg = HookRegistry::Instance();
+  reg.Clear();
+
+  PrintHeader("E12: hook dispatch overhead (§2.4)",
+              "configuration                         ns/event");
+
+  const int kEvents = 2000000;
+  EventContext ctx;
+
+  double none = TimeIt([&] {
+    for (int i = 0; i < kEvents; ++i) {
+      (void)FireEvent(Event::kTransactionCommit, ctx);
+    }
+  });
+  printf("no hooks registered                    %8.2f\n",
+         none / kEvents * 1e9);
+
+  std::atomic<uint64_t> counter{0};
+  uint64_t id1 = reg.Register(Event::kTransactionCommit,
+                              [&](Event, const EventContext&) {
+                                counter.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                                return Status::OK();
+                              });
+  double one = TimeIt([&] {
+    for (int i = 0; i < kEvents; ++i) {
+      (void)FireEvent(Event::kTransactionCommit, ctx);
+    }
+  });
+  printf("1 hook (commit counter)                %8.2f\n",
+         one / kEvents * 1e9);
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(reg.Register(Event::kTransactionCommit,
+                               [&](Event, const EventContext&) {
+                                 counter.fetch_add(1,
+                                                   std::memory_order_relaxed);
+                                 return Status::OK();
+                               }));
+  }
+  double four = TimeIt([&] {
+    for (int i = 0; i < kEvents; ++i) {
+      (void)FireEvent(Event::kTransactionCommit, ctx);
+    }
+  });
+  printf("4 hooks                                %8.2f\n",
+         four / kEvents * 1e9);
+  reg.Unregister(id1);
+  for (uint64_t id : ids) reg.Unregister(id);
+
+  // The paper's scenario: count commits across a real workload, without
+  // modifying the application or BeSS (§2.4).
+  PrintHeader("E12b: counting commits via a hook (paper's §2.4 scenario)",
+              "metric                        value");
+  counter.store(0);
+  uint64_t hook_id = reg.Register(Event::kTransactionCommit,
+                                  [&](Event, const EventContext&) {
+                                    counter.fetch_add(1);
+                                    return Status::OK();
+                                  });
+  TempDir dir("hooks");
+  Database::Options o;
+  o.dir = dir.path();
+  o.create = true;
+  auto db = Database::Open(o);
+  if (!db.ok()) return 1;
+  auto file = (*db)->CreateFile("f");
+  const int kTxns = 200;
+  double with_hook = TimeIt([&] {
+    for (int t = 0; t < kTxns; ++t) {
+      auto txn = (*db)->Begin();
+      uint64_t v = static_cast<uint64_t>(t);
+      (void)(*db)->CreateObject(*file, kRawBytesType, 64, &v);
+      if (!(*db)->Commit(*txn).ok()) exit(1);
+    }
+  });
+  reg.Unregister(hook_id);
+  double without = TimeIt([&] {
+    for (int t = 0; t < kTxns; ++t) {
+      auto txn = (*db)->Begin();
+      uint64_t v = static_cast<uint64_t>(t);
+      (void)(*db)->CreateObject(*file, kRawBytesType, 64, &v);
+      if (!(*db)->Commit(*txn).ok()) exit(1);
+    }
+  });
+  printf("commits counted by hook       %llu / %d\n",
+         (unsigned long long)counter.load(), kTxns);
+  printf("txn time with hook            %8.2f ms\n",
+         with_hook / kTxns * 1e3);
+  printf("txn time without hook         %8.2f ms\n",
+         without / kTxns * 1e3);
+  printf("\nExpectation: a never-hooked event costs one atomic load; the\n"
+         "per-transaction overhead of a registered commit hook is noise\n"
+         "against real transaction work.\n");
+  return 0;
+}

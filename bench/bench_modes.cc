@@ -1,0 +1,339 @@
+// E8 (paper §4, §6): the operation modes — copy on access vs shared memory.
+//
+// "Copy on access has the advantage that user processes do not need to
+// synchronize their accesses to their private caches, but inter-process
+// communication is expensive. In-place access offers the potential for high
+// performance, especially for short transactions, since it avoids
+// interprocess communication and the cost of copying data to a private
+// space and back to the cache. However, it incurs the cost of synchronizing
+// concurrent access to the shared cache."
+//
+// Setup: a page file served by a node-server-like process over Unix-domain
+// sockets (copy on access) and, alternatively, mapped into a shared cache
+// (shared memory mode). Worker processes run short transactions (R reads +
+// W writes over a working set); we sweep the transaction length and report
+// transactions/second per mode.
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "cache/private_pool.h"
+#include "cache/shared_cache.h"
+#include "os/socket.h"
+#include "workload.h"
+
+using namespace bessbench;
+
+namespace {
+
+constexpr uint32_t kDbPages = 256;
+constexpr int kWorkers = 2;
+
+// Minimal page server: one thread per connection, serving fetch/write from
+// a shared file — the IPC path of copy-on-access mode (Figure 3, app B).
+class PageServer {
+ public:
+  PageServer(const std::string& sock_path, const std::string& file_path)
+      : file_path_(file_path) {
+    auto l = MsgListener::Listen(sock_path);
+    listener_ = std::move(*l);
+    accept_thread_ = std::thread([this] {
+      for (;;) {
+        auto sock = listener_.AcceptTimeout(100);
+        if (!sock.ok()) {
+          if (sock.status().IsBusy() && running_.load()) continue;
+          break;
+        }
+        threads_.emplace_back(
+            [this, s = std::make_shared<MsgSocket>(std::move(*sock))] {
+              Serve(s.get());
+            });
+      }
+    });
+  }
+  ~PageServer() {
+    running_.store(false);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  void Serve(MsgSocket* sock) {
+    auto f = File::Open(file_path_);
+    if (!f.ok()) return;
+    std::string page(kPageSize, '\0');
+    for (;;) {
+      auto msg = sock->Recv();
+      if (!msg.ok() || msg->type == kMsgGoodbye) break;
+      Decoder dec(msg->payload);
+      if (msg->type == kMsgFetchPages) {
+        (void)dec.GetFixed16();
+        (void)dec.GetFixed16();
+        const PageId first = dec.GetFixed32();
+        const uint32_t count = dec.GetFixed32();
+        std::string out(static_cast<size_t>(count) * kPageSize, '\0');
+        (void)f->ReadAt(static_cast<uint64_t>(first) * kPageSize, out.data(),
+                        out.size());
+        (void)sock->Send(kMsgOk, out);
+      } else if (msg->type == kMsgCommit) {
+        auto pages = DecodePageSet(msg->payload);
+        if (pages.ok()) {
+          for (const PageImage& img : *pages) {
+            (void)f->WriteAt(static_cast<uint64_t>(img.page) * kPageSize,
+                             img.bytes.data(), kPageSize);
+          }
+        }
+        (void)sock->Send(kMsgOk, "");
+      }
+    }
+  }
+
+  std::string file_path_;
+  MsgListener listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{true};
+};
+
+// Copy-on-access client store: fetches over the socket; writes ship as a
+// commit page set (and the send/recv copies are the mode's inherent cost).
+class SocketStore : public SegmentStore {
+ public:
+  explicit SocketStore(const std::string& path) {
+    auto s = MsgSocket::Connect(path);
+    sock_ = std::move(*s);
+  }
+  Status FetchSlotted(SegmentId, void*, uint32_t*) override {
+    return Status::NotSupported("page bench");
+  }
+  Status FetchPages(uint16_t db, uint16_t area, PageId first, uint32_t count,
+                    void* buf) override {
+    std::string payload;
+    PutFixed16(&payload, db);
+    PutFixed16(&payload, area);
+    PutFixed32(&payload, first);
+    PutFixed32(&payload, count);
+    BESS_RETURN_IF_ERROR(sock_.Send(kMsgFetchPages, payload));
+    BESS_ASSIGN_OR_RETURN(Message reply, sock_.Recv());
+    memcpy(buf, reply.payload.data(), reply.payload.size());
+    return Status::OK();
+  }
+  Status WritePages(uint16_t db, uint16_t area, PageId first, uint32_t count,
+                    const void* buf) override {
+    std::vector<PageImage> pages;
+    for (uint32_t i = 0; i < count; ++i) {
+      PageImage img;
+      img.db = db;
+      img.area = area;
+      img.page = first + i;
+      img.bytes.assign(static_cast<const char*>(buf) +
+                           static_cast<size_t>(i) * kPageSize,
+                       kPageSize);
+      pages.push_back(std::move(img));
+    }
+    std::string payload;
+    EncodePageSet(pages, &payload);
+    BESS_RETURN_IF_ERROR(sock_.Send(kMsgCommit, payload));
+    BESS_ASSIGN_OR_RETURN(Message reply, sock_.Recv());
+    (void)reply;
+    return Status::OK();
+  }
+
+ private:
+  MsgSocket sock_;
+};
+
+struct WorkerArgs {
+  int txns;
+  int reads_per_txn;
+  int writes_per_txn;
+  uint64_t seed;
+};
+
+// One copy-on-access worker process: private pool + IPC per miss; commit
+// flushes dirty pages back over the socket and drops the cache (short
+// transactions, no inter-transaction cache, matching §4.1.1's private pool).
+void RunCoaWorker(const std::string& sock_path, const std::string& pool_path,
+                  const WorkerArgs& args, int result_fd) {
+  SocketStore store(sock_path);
+  auto pool = PrivateBufferPool::Open(pool_path, 64, &store);
+  if (!pool.ok()) _exit(2);
+  Random rng(args.seed);
+  for (int t = 0; t < args.txns; ++t) {
+    for (int r = 0; r < args.reads_per_txn; ++r) {
+      auto addr =
+          (*pool)->Fix(PageAddr{1, 0, static_cast<PageId>(
+                                          rng.Uniform(kDbPages))},
+                       false);
+      if (!addr.ok()) _exit(2);
+      volatile char c = *static_cast<char*>(*addr);
+      (void)c;
+    }
+    for (int w = 0; w < args.writes_per_txn; ++w) {
+      auto addr =
+          (*pool)->Fix(PageAddr{1, 0, static_cast<PageId>(
+                                          rng.Uniform(kDbPages))},
+                       true);
+      if (!addr.ok()) _exit(2);
+      (*static_cast<uint64_t*>(*addr))++;
+    }
+    if (!(*pool)->FlushDirty().ok()) _exit(2);
+  }
+  char done = 'd';
+  (void)!write(result_fd, &done, 1);
+  _exit(0);
+}
+
+// One shared-memory worker: in-place access, latches for write atomicity —
+// no IPC, no copies (§4.1.2).
+void RunShmWorker(const std::string& shm_name, const std::string& file_path,
+                  const WorkerArgs& args, int result_fd) {
+  auto cache = SharedCache::Attach(shm_name);
+  if (!cache.ok()) _exit(2);
+  // The store is only needed for misses/evictions: direct file access
+  // (the node server's LocalStore role).
+  class FileStore : public SegmentStore {
+   public:
+    explicit FileStore(const std::string& path) {
+      auto f = File::Open(path);
+      file_ = std::move(*f);
+    }
+    Status FetchSlotted(SegmentId, void*, uint32_t*) override {
+      return Status::NotSupported("");
+    }
+    Status FetchPages(uint16_t, uint16_t, PageId first, uint32_t count,
+                      void* buf) override {
+      return file_.ReadAt(static_cast<uint64_t>(first) * kPageSize, buf,
+                          static_cast<size_t>(count) * kPageSize);
+    }
+    Status WritePages(uint16_t, uint16_t, PageId first, uint32_t count,
+                      const void* buf) override {
+      return file_.WriteAt(static_cast<uint64_t>(first) * kPageSize, buf,
+                           static_cast<size_t>(count) * kPageSize);
+    }
+    File file_;
+  } store(file_path);
+
+  auto space = SharedPageSpace::Open(std::move(*cache), &store);
+  if (!space.ok()) _exit(2);
+  Random rng(args.seed);
+  for (int t = 0; t < args.txns; ++t) {
+    for (int r = 0; r < args.reads_per_txn; ++r) {
+      const PageAddr page{1, 0, static_cast<PageId>(rng.Uniform(kDbPages))};
+      auto addr = (*space)->Fix(page, false);
+      if (!addr.ok()) _exit(2);
+      volatile char c = *static_cast<char*>(*addr);
+      (void)c;
+    }
+    for (int w = 0; w < args.writes_per_txn; ++w) {
+      const PageAddr page{1, 0, static_cast<PageId>(rng.Uniform(kDbPages))};
+      auto addr = (*space)->Fix(page, true);
+      if (!addr.ok()) _exit(2);
+      if (!(*space)->LatchPage(page).ok()) _exit(2);
+      (*static_cast<uint64_t*>(*addr))++;
+      (void)(*space)->UnlatchPage(page);
+    }
+    // In-place: nothing to ship; durability is the node server's batch
+    // flush, outside the transaction's critical path here.
+  }
+  (void)(*space)->FlushDirty();
+  char done = 'd';
+  (void)!write(result_fd, &done, 1);
+  _exit(0);
+}
+
+double RunMode(bool shared_mode, const TempDir& dir, const WorkerArgs& args) {
+  const std::string file_path = dir.Sub("pages.db");
+  {
+    auto f = File::Open(file_path);
+    std::string zero(kPageSize, '\0');
+    for (uint32_t p = 0; p < kDbPages; ++p) {
+      (void)f->WriteAt(static_cast<uint64_t>(p) * kPageSize, zero.data(),
+                       kPageSize);
+    }
+  }
+  const std::string sock_path = dir.Sub("ps.sock");
+  const std::string shm_name =
+      "/bess_modes_" + std::to_string(::getpid());
+
+  std::unique_ptr<PageServer> server;
+  SharedCache creator;  // keeps the shm alive in shared mode
+  if (shared_mode) {
+    SharedCache::Geometry geo;
+    geo.frame_count = kDbPages;
+    geo.vframe_count = kDbPages * 2;
+    geo.smt_capacity = 1024;
+    auto c = SharedCache::Create(shm_name, geo);
+    if (!c.ok()) exit(1);
+    creator = std::move(*c);
+  } else {
+    server = std::make_unique<PageServer>(sock_path, file_path);
+  }
+
+  int pipefd[2];
+  if (pipe(pipefd) != 0) exit(1);
+
+  const double secs = TimeIt([&] {
+    std::vector<pid_t> pids;
+    for (int w = 0; w < kWorkers; ++w) {
+      WorkerArgs wa = args;
+      wa.seed = static_cast<uint64_t>(w) * 104729 + 7;
+      pid_t pid = fork();
+      if (pid == 0) {
+        close(pipefd[0]);
+        if (shared_mode) {
+          RunShmWorker(shm_name, file_path, wa, pipefd[1]);
+        } else {
+          RunCoaWorker(sock_path, dir.Sub("pool_" + std::to_string(w)), wa,
+                       pipefd[1]);
+        }
+      }
+      pids.push_back(pid);
+    }
+    for (pid_t pid : pids) {
+      int status;
+      waitpid(pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        fprintf(stderr, "worker failed\n");
+        exit(1);
+      }
+    }
+  });
+  close(pipefd[0]);
+  close(pipefd[1]);
+  ::shm_unlink(shm_name.c_str());
+  return secs;
+}
+
+}  // namespace
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  PrintHeader(
+      "E8: operation modes — copy on access vs shared memory (§4, §6)",
+      "txn shape (R+W)   copy-on-access txn/s   shared-memory txn/s   "
+      "speedup");
+
+  struct Shape {
+    int reads, writes, txns;
+  };
+  for (const Shape s : {Shape{2, 1, 400}, Shape{8, 2, 300},
+                        Shape{32, 8, 150}}) {
+    TempDir dir("modes");
+    WorkerArgs args{s.txns, s.reads, s.writes, 0};
+    const double coa = RunMode(false, dir, args);
+    const double shm = RunMode(true, dir, args);
+    const double total_txns = static_cast<double>(s.txns) * kWorkers;
+    printf("%6d+%-6d     %18.0f   %19.0f   %6.1fx\n", s.reads, s.writes,
+           total_txns / coa, total_txns / shm, coa / shm);
+  }
+  printf("\nExpectation: shared memory wins decisively — it pays neither\n"
+         "the IPC round trips nor the private-pool copy on fetch and\n"
+         "write-back. The gap widens with the number of dirty pages a\n"
+         "transaction must ship; its cost is only the latch per write\n"
+         "(§4.1). Copy-on-access remains the safe default for untrusted\n"
+         "code: processes never touch shared control state.\n");
+  return 0;
+}

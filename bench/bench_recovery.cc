@@ -1,0 +1,137 @@
+// E13 (paper §3, ref [21]): ARIES-style recovery and the WAL.
+//
+// Measures: restart (analysis + redo + undo) time as a function of log
+// length, the effect of checkpoints on restart time, and group-commit
+// coalescing of log syncs under concurrent committers.
+#include "wal/recovery.h"
+#include "workload.h"
+
+using namespace bessbench;
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+
+  PrintHeader("E13: restart recovery time vs log length (§3, [21])",
+              "committed-txns   log-MB   restart-ms   redo-pages");
+  for (int txns : {50, 200, 800}) {
+    TempDir dir("recovery");
+    {
+      Database::Options o;
+      o.dir = dir.path();
+      o.create = true;
+      auto db = Database::Open(o);
+      if (!db.ok()) return 1;
+      auto file = (*db)->CreateFile("f");
+      for (int t = 0; t < txns; ++t) {
+        auto txn = (*db)->Begin();
+        uint64_t v = static_cast<uint64_t>(t);
+        if (!(*db)->CreateObject(*file, kRawBytesType, 128, &v).ok()) {
+          return 1;
+        }
+        if (!(*db)->Commit(*txn).ok()) return 1;
+      }
+      // No clean shutdown: the log stays full, restart must replay it.
+    }
+    const uint64_t log_bytes = [&] {
+      auto f = File::OpenReadOnly(dir.path() + "/wal.log");
+      return f.ok() ? f->Size().value_or(0) : 0;
+    }();
+    double restart_ms = 0;
+    uint64_t redo = 0;
+    {
+      Database::Options o;
+      o.dir = dir.path();
+      o.create = false;
+      std::unique_ptr<Database> reopened;
+      restart_ms = TimeIt([&] {
+        auto db = Database::Open(o);
+        if (!db.ok()) exit(1);
+        reopened = std::move(*db);
+      }) * 1e3;
+      // Redo count is not exposed through Database; rerun recovery on the
+      // (now reset) log would be empty — report pages from log size instead.
+      redo = log_bytes / kPageSize;
+    }
+    printf("%14d   %6.1f   %10.1f   ~%llu\n", txns,
+           log_bytes / 1048576.0, restart_ms, (unsigned long long)redo);
+  }
+
+  PrintHeader("E13b: checkpoint bounds restart time",
+              "checkpoint    restart-ms   log-MB-at-restart");
+  for (bool checkpoint : {false, true}) {
+    TempDir dir("recovery_cp");
+    {
+      Database::Options o;
+      o.dir = dir.path();
+      o.create = true;
+      auto db = Database::Open(o);
+      if (!db.ok()) return 1;
+      auto file = (*db)->CreateFile("f");
+      for (int t = 0; t < 400; ++t) {
+        auto txn = (*db)->Begin();
+        uint64_t v = static_cast<uint64_t>(t);
+        (void)(*db)->CreateObject(*file, kRawBytesType, 128, &v);
+        if (!(*db)->Commit(*txn).ok()) return 1;
+        if (checkpoint && t % 100 == 99) {
+          if (!(*db)->Checkpoint().ok()) return 1;
+        }
+      }
+    }
+    const uint64_t log_bytes = [&] {
+      auto f = File::OpenReadOnly(dir.path() + "/wal.log");
+      return f.ok() ? f->Size().value_or(0) : 0;
+    }();
+    double restart_ms = TimeIt([&] {
+      Database::Options o;
+      o.dir = dir.path();
+      o.create = false;
+      auto db = Database::Open(o);
+      if (!db.ok()) exit(1);
+    }) * 1e3;
+    printf("%10s    %10.1f   %8.1f\n", checkpoint ? "every 100" : "never",
+           restart_ms, log_bytes / 1048576.0);
+  }
+
+  PrintHeader("E13c: group commit coalesces log syncs",
+              "committers   txns   log-syncs   syncs/txn");
+  for (int threads : {1, 4, 8}) {
+    TempDir dir("recovery_gc");
+    Database::Options o;
+    o.dir = dir.path();
+    o.create = true;
+    auto dbr = Database::Open(o);
+    if (!dbr.ok()) return 1;
+    auto db = std::move(*dbr);
+    // Pre-create one file per thread (separate segments: no conflicts).
+    std::vector<uint16_t> files;
+    for (int i = 0; i < threads; ++i) {
+      auto f = db->CreateFile("f" + std::to_string(i));
+      files.push_back(*f);
+    }
+    const int kPerThread = 50;
+    const uint64_t syncs0 = db->wal()->sync_count();
+    std::vector<std::thread> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.emplace_back([&, i] {
+        for (int t = 0; t < kPerThread; ++t) {
+          auto txn = db->Begin();
+          if (!txn.ok()) return;
+          uint64_t v = static_cast<uint64_t>(t);
+          (void)db->CreateObject(files[static_cast<size_t>(i)],
+                                 kRawBytesType, 64, &v);
+          (void)db->Commit(*txn);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const uint64_t syncs = db->wal()->sync_count() - syncs0;
+    const int total = threads * kPerThread;
+    printf("%10d   %4d   %9llu   %9.2f\n", threads, total,
+           (unsigned long long)syncs, static_cast<double>(syncs) / total);
+  }
+  printf("\nExpectation: restart time scales with the log to replay;\n"
+         "checkpoints truncate it to near zero (force + no-steal makes the\n"
+         "whole log redundant); concurrent committers share fdatasyncs\n"
+         "(syncs per transaction falls below the single-committer line).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "workload.h"
+
+namespace bessbench {
+
+Result<std::vector<Slot*>> BuildGraph(Database* db, uint16_t file_id,
+                                      TypeIdx part_type,
+                                      const GraphOptions& options) {
+  Random rng(options.seed);
+  std::vector<Slot*> parts;
+  parts.reserve(static_cast<size_t>(options.parts));
+
+  for (int i = 0; i < options.parts; ++i) {
+    Part init{};
+    init.id = static_cast<uint64_t>(i);
+    BESS_ASSIGN_OR_RETURN(
+        Slot * slot, db->CreateObject(file_id, part_type, sizeof(Part), &init));
+    parts.push_back(slot);
+  }
+  // Wire connections: mostly local (recent parts), sometimes anywhere.
+  for (int i = 0; i < options.parts; ++i) {
+    Part* p = reinterpret_cast<Part*>(parts[static_cast<size_t>(i)]->dp);
+    for (int e = 0; e < 3; ++e) {
+      int target;
+      if (i > 0 && rng.Bernoulli(options.locality)) {
+        target = static_cast<int>(rng.Uniform(std::min(i, 200))) +
+                 std::max(0, i - 200);
+      } else {
+        target = static_cast<int>(rng.Uniform(options.parts));
+      }
+      p->to[e] =
+          reinterpret_cast<uint64_t>(parts[static_cast<size_t>(target)]);
+    }
+  }
+  BESS_RETURN_IF_ERROR(db->SetRoot("bench_root", parts[0]));
+  return parts;
+}
+
+uint64_t Traverse(Slot* root, int hops, uint64_t seed) {
+  Random rng(seed);
+  uint64_t sum = 0;
+  Slot* cur = root;
+  for (int i = 0; i < hops; ++i) {
+    const Part* p = reinterpret_cast<const Part*>(cur->dp);
+    sum += p->id;
+    uint64_t next = 0;
+    for (int e = 0; e < 3 && next == 0; ++e) {
+      next = p->to[static_cast<size_t>((rng.Next() + e) % 3)];
+    }
+    if (next == 0) break;
+    cur = reinterpret_cast<Slot*>(next);
+  }
+  return sum;
+}
+
+}  // namespace bessbench

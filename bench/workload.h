@@ -1,0 +1,95 @@
+// Shared workload machinery for the BeSS benchmark harness.
+//
+// The paper has no quantitative tables; every bench regenerates the
+// behavioural claim behind one figure or textual comparison (see DESIGN.md
+// §2). The workload here is an OO7-flavoured part graph: fixed-size parts
+// with three outgoing connections, built over many object segments, with
+// optional hot/cold skew — the traversal/update pattern the era's
+// storage-manager papers stressed.
+#ifndef BESS_BENCH_WORKLOAD_H_
+#define BESS_BENCH_WORKLOAD_H_
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/bess.h"
+#include "util/random.h"
+
+namespace bessbench {
+
+using namespace bess;  // NOLINT: bench convenience
+
+/// A CAD-ish part: three connections + identity + payload (64 bytes).
+struct Part {
+  uint64_t to[3];  // reference fields at offsets 0, 8, 16
+  uint64_t id;
+  uint64_t payload[4];
+};
+static_assert(sizeof(Part) == 64);
+
+inline TypeDescriptor PartType() {
+  TypeDescriptor t;
+  t.name = "bench.Part";
+  t.fixed_size = sizeof(Part);
+  t.ref_offsets = {0, 8, 16};
+  return t;
+}
+
+struct GraphOptions {
+  int parts = 2000;
+  uint64_t seed = 42;
+  /// Fraction of connections pointing at recently created parts (locality
+  /// knob; low values force many segments into a traversal's working set).
+  double locality = 0.7;
+};
+
+/// Builds a random part graph in `file_id`; returns the slots in creation
+/// order. Part 0 is named "bench_root".
+Result<std::vector<Slot*>> BuildGraph(Database* db, uint16_t file_id,
+                                      TypeIdx part_type,
+                                      const GraphOptions& options);
+
+/// Pointer-chase traversal starting at `root`: follows `hops` connections
+/// picking edges pseudo-randomly; returns a checksum so the chase cannot be
+/// optimized away.
+uint64_t Traverse(Slot* root, int hops, uint64_t seed = 7);
+
+/// A scratch directory under /tmp, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("bess_bench_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+  std::string Sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+/// Wall-clock timing helper: returns seconds elapsed running fn().
+inline double TimeIt(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Section header so every bench emits the same, greppable format.
+inline void PrintHeader(const std::string& title, const std::string& columns) {
+  printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+  fflush(stdout);
+}
+
+}  // namespace bessbench
+
+#endif  // BESS_BENCH_WORKLOAD_H_

@@ -1,0 +1,102 @@
+// Dereference baselines for bench_deref (paper §5).
+//
+// OidStore models EOS and similar systems where "inter-object references
+// are OIDs": following a reference means decoding the OID and looking the
+// object up in a resident-object hash table on every dereference —
+// "pointer dereference in EOS is somewhat slow" (§5).
+//
+// SwizzlingStore models the software-swizzling alternative (White & DeWitt
+// [33]): on fetch, every reference in the loaded objects is eagerly
+// converted to a direct pointer into the in-memory copies; dereference is
+// then a plain pointer chase, but the conversion pass is paid up front for
+// every loaded object whether or not it is ever followed.
+//
+// BeSS's own scheme (virtual-memory pointers to object headers, fixed at
+// segment-fault time) is benchmarked through the real SegmentMapper.
+#ifndef BESS_BASELINE_OID_STORE_H_
+#define BESS_BASELINE_OID_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bess {
+
+/// EOS-style: every dereference is a hash-table lookup keyed by OID.
+class OidStore {
+ public:
+  using ObjectId = uint64_t;
+
+  /// Creates an object of `size` bytes; reference fields (at `ref_offsets`)
+  /// will later be filled with ObjectIds.
+  ObjectId Create(uint32_t size) {
+    const ObjectId id = next_id_++;
+    objects_[id] = std::make_unique<char[]>(size);
+    return id;
+  }
+
+  /// The per-dereference cost this design pays: one hash lookup.
+  void* Deref(ObjectId id) const {
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second.get();
+  }
+
+  size_t size() const { return objects_.size(); }
+
+ private:
+  ObjectId next_id_ = 1;
+  std::unordered_map<ObjectId, std::unique_ptr<char[]>> objects_;
+};
+
+/// Software swizzling: an explicit conversion pass turns every stored
+/// ObjectId field into a direct pointer; dereference is then free.
+class SwizzlingStore {
+ public:
+  using ObjectId = uint64_t;
+
+  ObjectId Create(uint32_t size) {
+    const ObjectId id = next_id_++;
+    objects_[id] = std::make_unique<char[]>(size);
+    return id;
+  }
+
+  void* Raw(ObjectId id) const {
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second.get();
+  }
+
+  /// The up-front cost this design pays: walk every object and rewrite
+  /// every reference field from ObjectId to pointer. Returns the number of
+  /// references converted.
+  uint64_t SwizzleAll(const std::vector<uint32_t>& ref_offsets) {
+    uint64_t converted = 0;
+    for (auto& [id, bytes] : objects_) {
+      (void)id;
+      for (uint32_t off : ref_offsets) {
+        auto* field = reinterpret_cast<uint64_t*>(bytes.get() + off);
+        if (*field == 0 || (*field & 1) == 0) continue;  // null or done
+        const ObjectId target = *field >> 1;
+        *field = reinterpret_cast<uint64_t>(Raw(target));
+        ++converted;
+      }
+    }
+    return converted;
+  }
+
+  /// Stores an unswizzled reference (tagged, like an on-disk form).
+  static uint64_t PackRef(ObjectId id) { return (id << 1) | 1; }
+
+  size_t size() const { return objects_.size(); }
+
+ private:
+  ObjectId next_id_ = 1;
+  std::unordered_map<ObjectId, std::unique_ptr<char[]>> objects_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_BASELINE_OID_STORE_H_

@@ -1,0 +1,94 @@
+// Baseline page caches for the replacement-policy comparison (§4.2).
+//
+// BeSS cannot run the textbook clock because "the cache manager does not
+// have enough information indicating which slots have been accessed
+// recently due to the memory mapping architecture" — applications touch
+// pages through raw pointers, invisible to a function-call cache. These
+// baselines model that classic world: they only learn about accesses that
+// arrive through Fix(). bench_clock feeds all caches the same trace, where
+// a fraction of accesses are raw pointer touches, and reports hit rates:
+// the protection-state clock (PrivateBufferPool) sees the touches via
+// faults, these baselines do not.
+#ifndef BESS_BASELINE_REPLACEMENT_H_
+#define BESS_BASELINE_REPLACEMENT_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/storage_area.h"
+#include "util/config.h"
+#include "util/status.h"
+#include "vm/segment_store.h"
+
+namespace bess {
+
+/// Common interface so the bench can drive every cache identically.
+class PageCacheBase {
+ public:
+  struct Stats {
+    uint64_t fixes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  virtual ~PageCacheBase() = default;
+  /// Explicit page access (the only signal these baselines receive).
+  virtual Result<void*> Fix(PageAddr page, bool for_write) = 0;
+  virtual Status FlushDirty() = 0;
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  Stats stats_;
+};
+
+/// Strict LRU with a doubly-linked recency list.
+class LruPool : public PageCacheBase {
+ public:
+  LruPool(uint32_t frame_count, SegmentStore* store);
+  Result<void*> Fix(PageAddr page, bool for_write) override;
+  Status FlushDirty() override;
+
+ private:
+  struct Frame {
+    uint64_t key = 0;
+    bool dirty = false;
+    std::list<uint32_t>::iterator lru_pos;
+  };
+  uint32_t frame_count_;
+  SegmentStore* store_;
+  std::vector<std::string> data_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_;
+  std::list<uint32_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, uint32_t> table_;
+};
+
+/// Textbook clock: one reference bit per frame, set on Fix.
+class ClassicClockPool : public PageCacheBase {
+ public:
+  ClassicClockPool(uint32_t frame_count, SegmentStore* store);
+  Result<void*> Fix(PageAddr page, bool for_write) override;
+  Status FlushDirty() override;
+
+ private:
+  struct Frame {
+    uint64_t key = 0;
+    bool used = false;
+    bool ref_bit = false;
+    bool dirty = false;
+  };
+  Result<uint32_t> Victim();
+  uint32_t frame_count_;
+  SegmentStore* store_;
+  std::vector<std::string> data_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, uint32_t> table_;
+  uint32_t hand_ = 0;
+};
+
+}  // namespace bess
+
+#endif  // BESS_BASELINE_REPLACEMENT_H_

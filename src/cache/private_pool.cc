@@ -1,0 +1,202 @@
+#include "cache/private_pool.h"
+
+#include <cstring>
+
+#include "os/vmem.h"
+#include "util/logging.h"
+
+namespace bess {
+
+Result<std::unique_ptr<PrivateBufferPool>> PrivateBufferPool::Open(
+    const std::string& path, uint32_t frame_count, SegmentStore* store) {
+  if (frame_count == 0) {
+    return Status::InvalidArgument("pool needs at least one frame");
+  }
+  BESS_ASSIGN_OR_RETURN(File file, File::Open(path));
+  BESS_RETURN_IF_ERROR(
+      file.Truncate(static_cast<uint64_t>(frame_count) * kPageSize));
+  auto pool = std::unique_ptr<PrivateBufferPool>(
+      new PrivateBufferPool(std::move(file), frame_count, store));
+  BESS_RETURN_IF_ERROR(pool->Init());
+  return pool;
+}
+
+Status PrivateBufferPool::Init() {
+  // The pool file itself is the backing store for the frames (§4.1.1).
+  BESS_ASSIGN_OR_RETURN(
+      void* base,
+      vmem::MapFile(static_cast<size_t>(frame_count_) * kPageSize,
+                    file_.fd(), 0));
+  base_ = static_cast<char*>(base);
+  frames_.assign(frame_count_, FrameInfo{});
+  dispatcher_slot_ = FaultDispatcher::Instance().RegisterRange(
+      base_, static_cast<size_t>(frame_count_) * kPageSize, this);
+  return Status::OK();
+}
+
+PrivateBufferPool::~PrivateBufferPool() {
+  if (dispatcher_slot_ >= 0) {
+    FaultDispatcher::Instance().UnregisterRange(dispatcher_slot_);
+  }
+  if (base_ != nullptr) {
+    (void)vmem::Release(base_, static_cast<size_t>(frame_count_) * kPageSize);
+  }
+}
+
+Status PrivateBufferPool::EvictFrame(uint32_t f) {
+  FrameInfo& info = frames_[f];
+  if (info.state == kFree) return Status::OK();
+  if (info.dirty) {
+    const PageAddr addr = PageAddr::Unpack(info.page_key);
+    BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page, 1,
+                                            FrameAddr(f)));
+    stats_.dirty_writebacks++;
+  }
+  page_table_.erase(info.page_key);
+  info = FrameInfo{};
+  stats_.evictions++;
+  return Status::OK();
+}
+
+Result<uint32_t> PrivateBufferPool::AcquireFrame() {
+  // Protection-state clock (§4.2): skip free-on-first-use, give accessible
+  // frames a second chance by protecting them, replace protected frames.
+  for (uint32_t step = 0; step < 2 * frame_count_ + 1; ++step) {
+    const uint32_t f = hand_;
+    hand_ = (hand_ + 1) % frame_count_;
+    FrameInfo& info = frames_[f];
+    switch (info.state) {
+      case kFree:
+        return f;
+      case kAccessible:
+        BESS_RETURN_IF_ERROR(
+            vmem::Protect(FrameAddr(f), kPageSize, vmem::kNone));
+        info.state = kProtected;
+        break;
+      case kProtected:
+        BESS_RETURN_IF_ERROR(EvictFrame(f));
+        return f;
+    }
+  }
+  return Status::Internal("clock failed to find a victim");
+}
+
+Result<void*> PrivateBufferPool::Fix(PageAddr page, bool for_write) {
+  std::lock_guard<std::recursive_mutex> guard(mu_);
+  stats_.fixes++;
+  const uint64_t key = page.Pack();
+  auto it = page_table_.find(key);
+  if (it != page_table_.end()) {
+    const uint32_t f = it->second;
+    FrameInfo& info = frames_[f];
+    if (info.state == kProtected) {
+      // Second chance taken explicitly on a fix.
+      BESS_RETURN_IF_ERROR(vmem::Protect(
+          FrameAddr(f), kPageSize,
+          info.dirty ? vmem::kReadWrite : vmem::kRead));
+      info.state = kAccessible;
+      stats_.second_chances++;
+    }
+    if (for_write && !info.dirty) {
+      info.dirty = true;
+      BESS_RETURN_IF_ERROR(
+          vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite));
+    }
+    stats_.hits++;
+    return FrameAddr(f);
+  }
+
+  BESS_ASSIGN_OR_RETURN(uint32_t f, AcquireFrame());
+  BESS_RETURN_IF_ERROR(
+      vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite));
+  BESS_RETURN_IF_ERROR(
+      store_->FetchPages(page.db, page.area, page.page, 1, FrameAddr(f)));
+  FrameInfo& info = frames_[f];
+  info.page_key = key;
+  info.state = kAccessible;
+  info.dirty = for_write;
+  if (!for_write) {
+    // Read-only until the first store faults (write detection, §2.3).
+    BESS_RETURN_IF_ERROR(vmem::Protect(FrameAddr(f), kPageSize, vmem::kRead));
+  }
+  page_table_[key] = f;
+  stats_.misses++;
+  return FrameAddr(f);
+}
+
+bool PrivateBufferPool::Contains(PageAddr page) {
+  std::lock_guard<std::recursive_mutex> guard(mu_);
+  return page_table_.count(page.Pack()) != 0;
+}
+
+Status PrivateBufferPool::FlushDirty() {
+  std::lock_guard<std::recursive_mutex> guard(mu_);
+  for (uint32_t f = 0; f < frame_count_; ++f) {
+    FrameInfo& info = frames_[f];
+    if (info.state == kFree || !info.dirty) continue;
+    const PageAddr addr = PageAddr::Unpack(info.page_key);
+    // The frame may be access-protected by the clock: read via protection.
+    if (info.state == kProtected) {
+      BESS_RETURN_IF_ERROR(
+          vmem::Protect(FrameAddr(f), kPageSize, vmem::kRead));
+    }
+    BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page, 1,
+                                            FrameAddr(f)));
+    if (info.state == kProtected) {
+      BESS_RETURN_IF_ERROR(
+          vmem::Protect(FrameAddr(f), kPageSize, vmem::kNone));
+    } else {
+      BESS_RETURN_IF_ERROR(
+          vmem::Protect(FrameAddr(f), kPageSize, vmem::kRead));
+    }
+    info.dirty = false;
+    stats_.dirty_writebacks++;
+  }
+  return Status::OK();
+}
+
+Status PrivateBufferPool::Clear() {
+  std::lock_guard<std::recursive_mutex> guard(mu_);
+  BESS_RETURN_IF_ERROR(FlushDirty());
+  for (uint32_t f = 0; f < frame_count_; ++f) {
+    if (frames_[f].state == kProtected) {
+      BESS_RETURN_IF_ERROR(
+          vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite));
+    }
+    frames_[f] = FrameInfo{};
+  }
+  page_table_.clear();
+  hand_ = 0;
+  return Status::OK();
+}
+
+bool PrivateBufferPool::OnFault(void* addr, bool is_write) {
+  // Note: `is_write` is only a hint and absent on some kernels; all
+  // decisions below derive from the tracked frame state (a fault on a
+  // readable frame can only be a store).
+  (void)is_write;
+  std::lock_guard<std::recursive_mutex> guard(mu_);
+  const size_t off =
+      static_cast<size_t>(static_cast<char*>(addr) - base_);
+  const uint32_t f = static_cast<uint32_t>(off / kPageSize);
+  if (f >= frame_count_) return false;
+  FrameInfo& info = frames_[f];
+  if (info.state == kProtected) {
+    // Touch of a protected frame: re-enable (this is the "used" signal the
+    // clock observes). Restore read-only so a later store is still caught.
+    Status s = vmem::Protect(FrameAddr(f), kPageSize,
+                             info.dirty ? vmem::kReadWrite : vmem::kRead);
+    if (!s.ok()) return false;
+    info.state = kAccessible;
+    stats_.second_chances++;
+    return true;  // a store refaults immediately and lands below
+  }
+  if (info.state == kAccessible && !info.dirty) {
+    // Readable frame faulted: must be the first store — update detection.
+    info.dirty = true;
+    return vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite).ok();
+  }
+  return false;
+}
+
+}  // namespace bess

@@ -1,0 +1,110 @@
+// Private buffer pool: the copy-on-access operation mode's cache
+// (paper §4.1.1).
+//
+// "Each process has a private buffer pool ... implemented as a fixed size
+// file divided into a number of frames whose size is equal to the BeSS page
+// size. The above file is mapped into the process' virtual address space
+// using the UNIX mmap system call. Because the file serves as backing store
+// for the buffer pool, no physical or swap space is allocated."
+//
+// Replacement is the paper's protection-state clock (§4.2): the cache
+// manager cannot observe loads/stores directly under memory mapping, so the
+// clock derives "recently used" from the frame's protection state —
+// accessible frames are skipped but access-protected on the way past
+// (second chance); a frame still protected when the hand returns is
+// replaced. Touching a protected frame faults; the handler re-enables
+// access, which is what marks the frame used.
+//
+// Write detection works the same way at the pool level: frames are mapped
+// read-only after a fetch; the first store faults and marks the frame
+// dirty before granting write access.
+#ifndef BESS_CACHE_PRIVATE_POOL_H_
+#define BESS_CACHE_PRIVATE_POOL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "os/fault_dispatcher.h"
+#include "os/file.h"
+#include "storage/storage_area.h"
+#include "util/config.h"
+#include "util/status.h"
+#include "vm/segment_store.h"
+
+namespace bess {
+
+class PrivateBufferPool : public FaultRangeOwner {
+ public:
+  struct Stats {
+    uint64_t fixes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t dirty_writebacks = 0;
+    uint64_t second_chances = 0;
+  };
+
+  /// Creates a pool of `frame_count` frames backed by the file at `path`
+  /// (created/truncated), fetching misses through `store`.
+  static Result<std::unique_ptr<PrivateBufferPool>> Open(
+      const std::string& path, uint32_t frame_count, SegmentStore* store);
+  ~PrivateBufferPool() override;
+
+  /// Returns the frame address holding `page`, fetching on a miss (and
+  /// evicting via the clock when full). The pointer is valid until the
+  /// frame is replaced; fixing again is cheap on a hit.
+  Result<void*> Fix(PageAddr page, bool for_write = false);
+
+  /// True if the page is currently cached (no I/O).
+  bool Contains(PageAddr page);
+
+  /// Writes every dirty frame back through the store.
+  Status FlushDirty();
+
+  /// Drops every frame (end-of-transaction behaviour for clients without
+  /// inter-transaction caching, §3).
+  Status Clear();
+
+  bool OnFault(void* addr, bool is_write) override;
+
+  const Stats& stats() const { return stats_; }
+  uint32_t frame_count() const { return frame_count_; }
+
+ private:
+  enum FrameState : uint8_t { kFree = 0, kAccessible, kProtected };
+
+  PrivateBufferPool(File file, uint32_t frame_count, SegmentStore* store)
+      : file_(std::move(file)), frame_count_(frame_count), store_(store) {}
+
+  Status Init();
+  char* FrameAddr(uint32_t f) const {
+    return base_ + static_cast<size_t>(f) * kPageSize;
+  }
+  /// Clock sweep: returns a victim frame (flushing it if dirty).
+  Result<uint32_t> AcquireFrame();
+  Status EvictFrame(uint32_t f);
+
+  struct FrameInfo {
+    uint64_t page_key = 0;
+    FrameState state = kFree;
+    bool dirty = false;
+  };
+
+  File file_;
+  uint32_t frame_count_;
+  SegmentStore* store_;
+  char* base_ = nullptr;
+  int dispatcher_slot_ = -1;
+  std::recursive_mutex mu_;
+  std::vector<FrameInfo> frames_;
+  std::unordered_map<uint64_t, uint32_t> page_table_;
+  uint32_t hand_ = 0;
+  Stats stats_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_CACHE_PRIVATE_POOL_H_

@@ -1,0 +1,219 @@
+// The node cache and shared-memory operation mode (paper §4, Figures 3-4).
+//
+// The cache is one POSIX shared-memory object: control data (latches, the
+// shared mapping table SMT, per-slot metadata, a process table for crash
+// cleanup) followed by the page frames. Every process maps the whole object
+// once (control access) and additionally maps individual *cache slots* into
+// its private virtual-memory address range (PVMA) with MAP_FIXED.
+//
+// The SMT assigns each database page a *virtual frame* index, the same for
+// every process ("if a process maps a page at some frame, all processes see
+// this page at this frame — but possibly at different address"). Offsets
+// from the start of this fictitious address space (SVMA) are therefore
+// valid shared pointers; shm_ref<T> translates SVMA offsets to process
+// addresses by adding the local PVMA base. A pointer needs to be fixed only
+// once, by the first process that fetched the page.
+//
+// Frame states and replacement (§4.2): each PVMA frame is invalid (access
+// protected, no slot), protected (access protected, still bound to a slot),
+// or accessible. The level-1 clock sweeps a process's frames: accessible →
+// protected, protected → invalid (unbind + decrement the slot's reference
+// counter). The level-2 clock sweeps cache slots and replaces one whose
+// counter is zero — no process has it bound.
+#ifndef BESS_CACHE_SHARED_CACHE_H_
+#define BESS_CACHE_SHARED_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "os/fault_dispatcher.h"
+#include "os/latch.h"
+#include "os/shm.h"
+#include "storage/storage_area.h"
+#include "util/config.h"
+#include "util/status.h"
+#include "vm/segment_store.h"
+
+namespace bess {
+
+inline constexpr uint32_t kNoFrame = 0xFFFFFFFFu;
+inline constexpr uint32_t kMaxCacheProcs = 64;
+
+/// Per-cache-slot control data, in shared memory.
+struct SlotMeta {
+  Latch latch;                     ///< page latch (atomic test-and-set)
+  std::atomic<uint64_t> page_key{0};   ///< PageAddr::Pack(); 0 = free
+  std::atomic<uint32_t> ref_count{0};  ///< processes with this slot bound
+  std::atomic<uint32_t> dirty{0};
+};
+
+/// One SMT entry: page -> (virtual frame, current cache slot).
+struct SmtEntry {
+  std::atomic<uint64_t> page_key{0};  ///< 0 = empty
+  std::atomic<uint32_t> vframe{kNoFrame};
+  std::atomic<uint32_t> slot{kNoFrame};  ///< kNoFrame when not cached
+};
+
+struct ShmHeader {
+  static constexpr uint32_t kMagic = 0xBE555CACu;
+  uint32_t magic;
+  uint32_t frame_count;   ///< cache slots
+  uint32_t vframe_count;  ///< PVMA frames (>= frame_count)
+  uint32_t smt_capacity;
+  Latch smt_latch;
+  std::atomic<uint32_t> clock_hand{0};     ///< level-2 hand over slots
+  std::atomic<uint32_t> next_vframe{0};
+  std::atomic<uint32_t> pids[kMaxCacheProcs];
+};
+
+/// The shared cache object itself (creation/attachment + raw accessors).
+class SharedCache {
+ public:
+  struct Geometry {
+    uint32_t frame_count = 256;
+    uint32_t vframe_count = 1024;
+    uint32_t smt_capacity = 4096;  ///< power of two, > vframe_count
+  };
+
+  static Result<SharedCache> Create(const std::string& name, Geometry geo);
+  static Result<SharedCache> Attach(const std::string& name);
+
+  SharedCache() = default;
+  SharedCache(SharedCache&&) = default;
+  SharedCache& operator=(SharedCache&&) = default;
+
+  ShmHeader* header() const { return header_; }
+  SlotMeta* slot(uint32_t i) const { return slots_ + i; }
+  SmtEntry* entry(uint32_t i) const { return smt_ + i; }
+  /// Per-process slot-binding map (crash cleanup bookkeeping, per [20]).
+  uint8_t* proc_bindings(uint32_t proc_idx) const {
+    return bindings_ + static_cast<size_t>(proc_idx) * header_->frame_count;
+  }
+  /// File offset of slot i's page frame (for MAP_FIXED into the PVMA).
+  uint64_t frame_offset(uint32_t i) const {
+    return frames_offset_ + static_cast<uint64_t>(i) * kPageSize;
+  }
+  /// Direct pointer to slot i's frame in this process's whole-object map.
+  char* frame_data(uint32_t i) const {
+    return static_cast<char*>(shm_.base()) + frame_offset(i);
+  }
+  int fd() const { return shm_.fd(); }
+
+  /// Finds or creates the SMT entry for `page_key`, assigning a virtual
+  /// frame on first sight. NoSpace when SMT or vframes are exhausted.
+  Result<SmtEntry*> AssignEntry(uint64_t page_key);
+  /// Finds the entry for `page_key`; nullptr when absent.
+  SmtEntry* FindEntry(uint64_t page_key) const;
+  /// Entry whose vframe == `vframe`, or nullptr (linear probe; fault path).
+  SmtEntry* EntryByVframe(uint32_t vframe) const;
+
+  /// Registers this process in the process table; returns its index.
+  Result<uint32_t> RegisterProcess();
+  void UnregisterProcess(uint32_t proc_idx);
+
+  /// Breaks latches and releases slot bindings held by dead processes
+  /// ("cleanup of shared structures from process failures", §4.1.2).
+  /// Returns the number of dead processes cleaned.
+  Result<int> CleanupDeadProcesses();
+
+  Status Unlink() { return shm_.Unlink(); }
+
+ private:
+  void InitPointers();
+
+  SharedMemory shm_;
+  ShmHeader* header_ = nullptr;
+  SlotMeta* slots_ = nullptr;
+  SmtEntry* smt_ = nullptr;
+  uint8_t* bindings_ = nullptr;
+  uint64_t frames_offset_ = 0;
+};
+
+/// Per-process window into the shared cache: the PVMA region plus the
+/// level-1 clock. This is the "shared memory" operation mode's access path.
+class SharedPageSpace : public FaultRangeOwner {
+ public:
+  struct Stats {
+    uint64_t fixes = 0;
+    uint64_t hits = 0;           ///< slot already in cache
+    uint64_t misses = 0;         ///< fetched from the store
+    uint64_t second_chances = 0; ///< protected frame re-enabled
+    uint64_t remaps = 0;         ///< invalid frame re-bound to a slot
+    uint64_t evictions = 0;      ///< level-2 replacements performed
+    uint64_t clock_sweeps = 0;
+  };
+
+  /// `store` supplies page fetch/write-back (a LocalStore on the node
+  /// server, a remote store on pure clients).
+  static Result<std::unique_ptr<SharedPageSpace>> Open(SharedCache cache,
+                                                       SegmentStore* store);
+  ~SharedPageSpace() override;
+
+  /// Returns the stable per-process address of `page`, fetching and mapping
+  /// as needed. The address stays valid for the life of the process: after
+  /// replacement it refaults transparently. `for_write` marks the slot
+  /// dirty (shared-mode writes synchronize via latches, §4.1.2).
+  Result<void*> Fix(PageAddr page, bool for_write);
+
+  /// Latch helpers for atomic object read/write in the shared cache.
+  Status LatchPage(PageAddr page);
+  Status UnlatchPage(PageAddr page);
+
+  /// SVMA offset of a process address (shared pointer form), and back.
+  Result<uint64_t> ToSvma(const void* addr) const;
+  void* FromSvma(uint64_t svma) const {
+    return pvma_base_ + svma;
+  }
+
+  /// Writes back every dirty slot through the store.
+  Status FlushDirty();
+
+  /// Level-1 clock over this process's frames: accessible -> protected,
+  /// protected -> invalid (unbind). Sweeps `frames` frames from the local
+  /// hand (0 = full sweep).
+  Status RunClockLevel1(uint32_t frames = 0);
+
+  bool OnFault(void* addr, bool is_write) override;
+
+  const Stats& stats() const { return stats_; }
+  char* pvma_base() const { return pvma_base_; }
+  SharedCache* cache() { return &cache_; }
+
+ private:
+  enum FrameState : uint8_t { kInvalid = 0, kProtected = 1, kAccessible = 2 };
+
+  explicit SharedPageSpace(SharedCache cache, SegmentStore* store)
+      : cache_(std::move(cache)), store_(store) {}
+
+  Status Init();
+  /// Binds `vframe` to `slot`: MAP_FIXED of the slot's frame, read-write.
+  Status BindFrame(uint32_t vframe, uint32_t slot);
+  /// Unbinds: decommit + ref_count--.
+  Status UnbindFrame(uint32_t vframe);
+  /// Ensures the page of `entry` is resident in some slot; returns it.
+  Result<uint32_t> EnsureResident(SmtEntry* entry);
+  /// Level-2 clock: picks a victim slot with ref_count == 0, evicting its
+  /// current page (write-back if dirty).
+  Result<uint32_t> AcquireSlot();
+  Status ResolveFrameFault(uint32_t vframe);
+
+  SharedCache cache_;
+  SegmentStore* store_;
+  char* pvma_base_ = nullptr;
+  size_t pvma_bytes_ = 0;
+  int dispatcher_slot_ = -1;
+  uint32_t proc_idx_ = kNoFrame;
+  std::vector<uint8_t> frame_state_;
+  std::vector<uint32_t> frame_slot_;  // bound slot per vframe (local view)
+  uint32_t local_hand_ = 0;
+  std::recursive_mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_CACHE_SHARED_CACHE_H_

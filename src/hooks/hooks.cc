@@ -1,0 +1,78 @@
+#include "hooks/hooks.h"
+
+namespace bess {
+
+const char* EventName(Event e) {
+  switch (e) {
+    case Event::kSegmentFault: return "segment_fault";
+    case Event::kSegmentFetch: return "segment_fetch";
+    case Event::kSegmentReplace: return "segment_replace";
+    case Event::kDatabaseOpen: return "database_open";
+    case Event::kDatabaseClose: return "database_close";
+    case Event::kLockAcquire: return "lock_acquire";
+    case Event::kLockRelease: return "lock_release";
+    case Event::kTransactionBegin: return "transaction_begin";
+    case Event::kTransactionCommit: return "transaction_commit";
+    case Event::kTransactionAbort: return "transaction_abort";
+    case Event::kDeadlock: return "deadlock";
+    case Event::kProtectionViolation: return "protection_violation";
+    case Event::kObjectCreate: return "object_create";
+    case Event::kObjectDelete: return "object_delete";
+    case Event::kLargeObjectStore: return "large_object_store";
+    case Event::kLargeObjectFetch: return "large_object_fetch";
+    case Event::kEventCount: break;
+  }
+  return "unknown";
+}
+
+HookRegistry& HookRegistry::Instance() {
+  static HookRegistry* instance = new HookRegistry();
+  return *instance;
+}
+
+uint64_t HookRegistry::Register(Event e, Hook hook) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  chains_[static_cast<int>(e)].push_back(Entry{id, std::move(hook)});
+  counts_[static_cast<int>(e)].fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void HookRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (int e = 0; e < static_cast<int>(Event::kEventCount); ++e) {
+    auto& chain = chains_[e];
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i].id == id) {
+        chain.erase(chain.begin() + static_cast<long>(i));
+        counts_[e].fetch_sub(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+void HookRegistry::Clear() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (int e = 0; e < static_cast<int>(Event::kEventCount); ++e) {
+    chains_[e].clear();
+    counts_[e].store(0, std::memory_order_relaxed);
+  }
+}
+
+Status HookRegistry::Fire(Event e, const EventContext& ctx) {
+  // Copy the chain so hooks may (un)register hooks without deadlock.
+  std::vector<Entry> chain;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    chain = chains_[static_cast<int>(e)];
+  }
+  for (const Entry& entry : chain) {
+    dispatches_.fetch_add(1, std::memory_order_relaxed);
+    Status s = entry.hook(e, ctx);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace bess

@@ -1,0 +1,114 @@
+// Primitive events and hook functions (paper §2.4).
+//
+// "Programmers have controlled access to a number of entry points in the
+// system via the notion of primitive events and hook functions. BeSS traps
+// primitive events as they occur and causes the associated hooks to be
+// executed." Hooks are registered before persistent data is accessed and
+// let users extend BeSS (statistics, compression of large objects, fixing
+// hidden C++ pointers, ...) without touching application or BeSS internals.
+#ifndef BESS_HOOKS_HOOKS_H_
+#define BESS_HOOKS_HOOKS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bess {
+
+/// The primitive events BeSS traps (paper §2.4 lists segment fault or
+/// replacement, database open, locking, transaction commit, deadlocks, and
+/// the hardware protection-violation signals).
+enum class Event : int {
+  kSegmentFault = 0,     ///< a reserved segment range was touched
+  kSegmentFetch,         ///< segment bytes were brought into memory
+  kSegmentReplace,       ///< a cache slot / mapping was evicted
+  kDatabaseOpen,
+  kDatabaseClose,
+  kLockAcquire,
+  kLockRelease,
+  kTransactionBegin,
+  kTransactionCommit,
+  kTransactionAbort,
+  kDeadlock,
+  kProtectionViolation,  ///< SIGSEGV/SIGBUS on a write-protected structure
+  kObjectCreate,
+  kObjectDelete,
+  kLargeObjectStore,     ///< very large object segment about to be written
+  kLargeObjectFetch,     ///< very large object segment just read
+  kEventCount            // sentinel
+};
+
+const char* EventName(Event e);
+
+/// Context passed to hooks. Fields are event-specific; unused ones are 0.
+struct EventContext {
+  uint64_t a = 0;  ///< e.g. packed SegmentId, lock resource, txn id
+  uint64_t b = 0;  ///< e.g. page number, lock mode
+  void* ptr = nullptr;            ///< e.g. faulting address
+  std::string* buffer = nullptr;  ///< kLargeObjectStore/Fetch: mutable bytes
+};
+
+/// A hook. Returning a non-OK status from a *filtering* event
+/// (kLargeObjectStore/Fetch) aborts the triggering operation; for purely
+/// observational events the status is ignored.
+using Hook = std::function<Status(Event, const EventContext&)>;
+
+/// Registry of hooks, one chain per event. Thread-safe. Dispatch on the hot
+/// path is a single atomic load when no hook is registered.
+class HookRegistry {
+ public:
+  static HookRegistry& Instance();
+
+  /// Registers a hook for one event; returns a registration id.
+  uint64_t Register(Event e, Hook hook);
+
+  /// Removes a registration.
+  void Unregister(uint64_t id);
+
+  /// Removes all hooks (tests).
+  void Clear();
+
+  /// True when at least one hook is attached to `e` (cheap).
+  bool HasHooks(Event e) const {
+    return counts_[static_cast<int>(e)].load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Invokes every hook registered for `e` in registration order; returns
+  /// the first non-OK status (after running remaining hooks is skipped).
+  Status Fire(Event e, const EventContext& ctx);
+
+  /// Total number of hook invocations (bench metric).
+  uint64_t dispatch_count() const {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HookRegistry() = default;
+
+  struct Entry {
+    uint64_t id;
+    Hook hook;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> chains_[static_cast<int>(Event::kEventCount)];
+  std::atomic<int> counts_[static_cast<int>(Event::kEventCount)] = {};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> dispatches_{0};
+};
+
+/// Convenience: fire an event if any hook is attached.
+inline Status FireEvent(Event e, const EventContext& ctx) {
+  HookRegistry& reg = HookRegistry::Instance();
+  if (!reg.HasHooks(e)) return Status::OK();
+  return reg.Fire(e, ctx);
+}
+
+}  // namespace bess
+
+#endif  // BESS_HOOKS_HOOKS_H_

@@ -1,0 +1,406 @@
+#include "lob/large_object.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hooks/hooks.h"
+#include "util/slice.h"
+
+namespace bess {
+namespace {
+
+constexpr uint32_t kLobMagic = 0xBE55B10Bu;
+constexpr size_t kIndexHeader = 16;  // magic, count, next(area|page)
+constexpr size_t kEntryBytes = 26;   // logical u64, stored u64, area u16,
+                                     // pages u32, first_page u32
+constexpr size_t kEntriesPerPage = (kPageSize - kIndexHeader) / kEntryBytes;
+
+uint32_t PagesFor(uint64_t bytes) {
+  return static_cast<uint32_t>((bytes + kPageSize - 1) / kPageSize);
+}
+
+}  // namespace
+
+Result<LargeObject> LargeObject::Create(SegmentStore* store,
+                                        ExtentAllocator* alloc, Options opts,
+                                        uint64_t size_hint) {
+  if (size_hint > 0) {
+    // Growth hint: size extents so the object fits in ~16 of them, within
+    // [1, 64] pages each.
+    uint32_t pages = PagesFor(size_hint / 16);
+    opts.extent_pages = std::clamp<uint32_t>(pages, 1, 64);
+  }
+  BESS_ASSIGN_OR_RETURN(DiskSegment seg, alloc->AllocExtent(opts.area, 1));
+  LargeObject lob(store, alloc, opts,
+                  LobRoot{opts.area, seg.first_page});
+  lob.loaded_ = true;
+  lob.index_pages_.push_back(seg.first_page);
+  BESS_RETURN_IF_ERROR(lob.Save());
+  return lob;
+}
+
+Result<LargeObject> LargeObject::Open(SegmentStore* store,
+                                      ExtentAllocator* alloc, Options opts,
+                                      LobRoot root) {
+  if (!root.valid()) return Status::InvalidArgument("invalid LOB root");
+  LargeObject lob(store, alloc, opts, root);
+  BESS_RETURN_IF_ERROR(lob.Load());
+  return lob;
+}
+
+Status LargeObject::Load() {
+  extents_.clear();
+  index_pages_.clear();
+  uint16_t area = root_.area;
+  PageId page = root_.page;
+  std::string buf(kPageSize, '\0');
+  while (page != kInvalidPage) {
+    BESS_RETURN_IF_ERROR(store_->FetchPages(opts_.db, area, page, 1,
+                                            buf.data()));
+    Decoder dec(buf);
+    if (dec.GetFixed32() != kLobMagic) {
+      return Status::Corruption("bad large-object index page");
+    }
+    const uint32_t count = dec.GetFixed32();
+    const uint64_t next = dec.GetFixed64();
+    if (count > kEntriesPerPage) {
+      return Status::Corruption("overfull large-object index page");
+    }
+    index_pages_.push_back(page);
+    for (uint32_t i = 0; i < count; ++i) {
+      Extent e;
+      e.logical = dec.GetFixed64();
+      e.stored = dec.GetFixed64();
+      e.area = dec.GetFixed16();
+      e.pages = dec.GetFixed32();
+      e.first_page = dec.GetFixed32();
+      extents_.push_back(e);
+    }
+    if (!dec.ok()) return Status::Corruption("truncated LOB index");
+    area = static_cast<uint16_t>(next >> 48);
+    page = next == 0 ? kInvalidPage : static_cast<PageId>(next & 0xFFFFFFFFu);
+  }
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status LargeObject::Save() {
+  const size_t pages_needed =
+      std::max<size_t>(1, (extents_.size() + kEntriesPerPage - 1) /
+                              kEntriesPerPage);
+  // Grow / shrink the index chain.
+  while (index_pages_.size() < pages_needed) {
+    BESS_ASSIGN_OR_RETURN(DiskSegment seg,
+                          alloc_->AllocExtent(opts_.area, 1));
+    index_pages_.push_back(seg.first_page);
+  }
+  while (index_pages_.size() > pages_needed) {
+    BESS_RETURN_IF_ERROR(
+        alloc_->FreeExtent(opts_.area, index_pages_.back()));
+    index_pages_.pop_back();
+  }
+  size_t next_entry = 0;
+  for (size_t p = 0; p < index_pages_.size(); ++p) {
+    const size_t here = std::min(kEntriesPerPage,
+                                 extents_.size() - next_entry);
+    std::string buf;
+    buf.reserve(kPageSize);
+    PutFixed32(&buf, kLobMagic);
+    PutFixed32(&buf, static_cast<uint32_t>(here));
+    const uint64_t next =
+        p + 1 < index_pages_.size()
+            ? (static_cast<uint64_t>(opts_.area) << 48) | index_pages_[p + 1]
+            : 0;
+    PutFixed64(&buf, next);
+    for (size_t i = 0; i < here; ++i) {
+      const Extent& e = extents_[next_entry + i];
+      PutFixed64(&buf, e.logical);
+      PutFixed64(&buf, e.stored);
+      PutFixed16(&buf, e.area);
+      PutFixed32(&buf, e.pages);
+      PutFixed32(&buf, e.first_page);
+    }
+    buf.resize(kPageSize, '\0');
+    BESS_RETURN_IF_ERROR(store_->WritePages(opts_.db, opts_.area,
+                                            index_pages_[p], 1, buf.data()));
+    next_entry += here;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> LargeObject::Size() {
+  if (!loaded_) BESS_RETURN_IF_ERROR(Load());
+  uint64_t total = 0;
+  for (const Extent& e : extents_) total += e.logical;
+  return total;
+}
+
+Result<size_t> LargeObject::FindExtent(uint64_t offset,
+                                       uint64_t* local_offset) {
+  uint64_t base = 0;
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    if (offset < base + extents_[i].logical) {
+      *local_offset = offset - base;
+      return i;
+    }
+    base += extents_[i].logical;
+  }
+  return Status::InvalidArgument("offset " + std::to_string(offset) +
+                                 " beyond object end");
+}
+
+Result<std::string> LargeObject::FetchExtent(const Extent& e) {
+  std::string raw(static_cast<size_t>(e.pages) * kPageSize, '\0');
+  BESS_RETURN_IF_ERROR(store_->FetchPages(opts_.db, e.area, e.first_page,
+                                          e.pages, raw.data()));
+  raw.resize(e.stored);
+  EventContext ctx;
+  ctx.a = e.first_page;
+  ctx.buffer = &raw;
+  BESS_RETURN_IF_ERROR(FireEvent(Event::kLargeObjectFetch, ctx));
+  if (raw.size() != e.logical) {
+    return Status::Corruption("large-object extent size mismatch after fetch "
+                              "hooks (" + std::to_string(raw.size()) + " vs " +
+                              std::to_string(e.logical) + ")");
+  }
+  return raw;
+}
+
+Status LargeObject::StoreExtent(Extent* e, Slice bytes) {
+  std::string buf = bytes.ToString();
+  const uint64_t logical = buf.size();
+  EventContext ctx;
+  ctx.buffer = &buf;
+  BESS_RETURN_IF_ERROR(FireEvent(Event::kLargeObjectStore, ctx));
+  const uint64_t stored = buf.size();
+  const uint32_t pages_needed = std::max<uint32_t>(1, PagesFor(stored));
+  if (e->first_page == kInvalidPage || pages_needed > e->pages) {
+    if (e->first_page != kInvalidPage) {
+      BESS_RETURN_IF_ERROR(alloc_->FreeExtent(e->area, e->first_page));
+    }
+    BESS_ASSIGN_OR_RETURN(DiskSegment seg,
+                          alloc_->AllocExtent(opts_.area, pages_needed));
+    e->area = opts_.area;
+    e->first_page = seg.first_page;
+    // Track the written span, not the (possibly rounded-up) allocation:
+    // fetches must only read pages this extent has actually written.
+    e->pages = pages_needed;
+  }
+  buf.resize(static_cast<size_t>(pages_needed) * kPageSize, '\0');
+  BESS_RETURN_IF_ERROR(store_->WritePages(opts_.db, e->area, e->first_page,
+                                          pages_needed, buf.data()));
+  e->logical = logical;
+  e->stored = stored;
+  return Status::OK();
+}
+
+Status LargeObject::FreeExtentDisk(const Extent& e) {
+  if (e.first_page == kInvalidPage) return Status::OK();
+  return alloc_->FreeExtent(e.area, e.first_page);
+}
+
+Result<LargeObject::Extent> LargeObject::NewExtent(Slice bytes) {
+  Extent e;
+  BESS_RETURN_IF_ERROR(StoreExtent(&e, bytes));
+  return e;
+}
+
+Result<std::string> LargeObject::Read(uint64_t offset, uint64_t len) {
+  if (!loaded_) BESS_RETURN_IF_ERROR(Load());
+  BESS_ASSIGN_OR_RETURN(uint64_t size, Size());
+  if (offset >= size) return std::string();
+  len = std::min(len, size - offset);
+  std::string out;
+  out.reserve(len);
+  uint64_t local = 0;
+  BESS_ASSIGN_OR_RETURN(size_t idx, FindExtent(offset, &local));
+  while (out.size() < len && idx < extents_.size()) {
+    BESS_ASSIGN_OR_RETURN(std::string bytes, FetchExtent(extents_[idx]));
+    const uint64_t take =
+        std::min<uint64_t>(len - out.size(), bytes.size() - local);
+    out.append(bytes.data() + local, take);
+    local = 0;
+    ++idx;
+  }
+  return out;
+}
+
+Status LargeObject::Write(uint64_t offset, Slice data) {
+  if (!loaded_) BESS_RETURN_IF_ERROR(Load());
+  BESS_ASSIGN_OR_RETURN(uint64_t size, Size());
+  if (offset + data.size() > size) {
+    return Status::InvalidArgument("write beyond object end (use Append)");
+  }
+  if (data.empty()) return Status::OK();
+  uint64_t local = 0;
+  BESS_ASSIGN_OR_RETURN(size_t idx, FindExtent(offset, &local));
+  size_t written = 0;
+  while (written < data.size()) {
+    Extent& e = extents_[idx];
+    BESS_ASSIGN_OR_RETURN(std::string bytes, FetchExtent(e));
+    const size_t take = std::min<size_t>(data.size() - written,
+                                         bytes.size() - local);
+    memcpy(bytes.data() + local, data.data() + written, take);
+    BESS_RETURN_IF_ERROR(StoreExtent(&e, bytes));
+    written += take;
+    local = 0;
+    ++idx;
+  }
+  return Save();
+}
+
+Status LargeObject::Append(Slice data) {
+  if (!loaded_) BESS_RETURN_IF_ERROR(Load());
+  if (data.empty()) return Status::OK();
+  size_t consumed = 0;
+  // Top up the final extent first so appends produce full extents.
+  if (!extents_.empty() &&
+      extents_.back().logical < ExtentBytesTarget()) {
+    Extent& last = extents_.back();
+    BESS_ASSIGN_OR_RETURN(std::string bytes, FetchExtent(last));
+    const size_t room = ExtentBytesTarget() - bytes.size();
+    const size_t take = std::min(room, data.size());
+    bytes.append(data.data(), take);
+    BESS_RETURN_IF_ERROR(StoreExtent(&last, bytes));
+    consumed = take;
+  }
+  while (consumed < data.size()) {
+    const size_t take =
+        std::min<size_t>(ExtentBytesTarget(), data.size() - consumed);
+    BESS_ASSIGN_OR_RETURN(Extent e,
+                          NewExtent(Slice(data.data() + consumed, take)));
+    extents_.push_back(e);
+    consumed += take;
+  }
+  return Save();
+}
+
+Status LargeObject::Insert(uint64_t offset, Slice data) {
+  if (!loaded_) BESS_RETURN_IF_ERROR(Load());
+  BESS_ASSIGN_OR_RETURN(uint64_t size, Size());
+  if (offset > size) return Status::InvalidArgument("insert beyond end");
+  if (offset == size) return Append(data);
+  if (data.empty()) return Status::OK();
+
+  uint64_t local = 0;
+  BESS_ASSIGN_OR_RETURN(size_t idx, FindExtent(offset, &local));
+  Extent old = extents_[idx];
+  BESS_ASSIGN_OR_RETURN(std::string bytes, FetchExtent(old));
+  // New content of this position: prefix + inserted + suffix, re-chunked.
+  std::string merged;
+  merged.reserve(bytes.size() + data.size());
+  merged.append(bytes.data(), local);
+  merged.append(data.data(), data.size());
+  merged.append(bytes.data() + local, bytes.size() - local);
+
+  std::vector<Extent> pieces;
+  size_t pos = 0;
+  while (pos < merged.size()) {
+    const size_t take =
+        std::min<size_t>(ExtentBytesTarget(), merged.size() - pos);
+    BESS_ASSIGN_OR_RETURN(Extent e,
+                          NewExtent(Slice(merged.data() + pos, take)));
+    pieces.push_back(e);
+    pos += take;
+  }
+  BESS_RETURN_IF_ERROR(FreeExtentDisk(old));
+  extents_.erase(extents_.begin() + static_cast<long>(idx));
+  extents_.insert(extents_.begin() + static_cast<long>(idx), pieces.begin(),
+                  pieces.end());
+  return Save();
+}
+
+Status LargeObject::Delete(uint64_t offset, uint64_t len) {
+  if (!loaded_) BESS_RETURN_IF_ERROR(Load());
+  BESS_ASSIGN_OR_RETURN(uint64_t size, Size());
+  if (offset >= size || len == 0) return Status::OK();
+  len = std::min(len, size - offset);
+
+  uint64_t local = 0;
+  BESS_ASSIGN_OR_RETURN(size_t idx, FindExtent(offset, &local));
+  uint64_t remaining = len;
+  while (remaining > 0 && idx < extents_.size()) {
+    Extent& e = extents_[idx];
+    if (local == 0 && remaining >= e.logical) {
+      // Whole extent disappears — no data movement at all.
+      remaining -= e.logical;
+      BESS_RETURN_IF_ERROR(FreeExtentDisk(e));
+      extents_.erase(extents_.begin() + static_cast<long>(idx));
+      continue;
+    }
+    // Partial: trim within this extent.
+    BESS_ASSIGN_OR_RETURN(std::string bytes, FetchExtent(e));
+    const uint64_t cut = std::min<uint64_t>(remaining, bytes.size() - local);
+    bytes.erase(local, cut);
+    remaining -= cut;
+    if (bytes.empty()) {
+      BESS_RETURN_IF_ERROR(FreeExtentDisk(e));
+      extents_.erase(extents_.begin() + static_cast<long>(idx));
+    } else {
+      BESS_RETURN_IF_ERROR(StoreExtent(&e, bytes));
+      ++idx;
+    }
+    local = 0;
+  }
+  return Save();
+}
+
+Status LargeObject::Truncate(uint64_t new_size) {
+  BESS_ASSIGN_OR_RETURN(uint64_t size, Size());
+  if (new_size >= size) return Status::OK();
+  return Delete(new_size, size - new_size);
+}
+
+Status LargeObject::Destroy() {
+  if (!loaded_) BESS_RETURN_IF_ERROR(Load());
+  for (const Extent& e : extents_) {
+    BESS_RETURN_IF_ERROR(FreeExtentDisk(e));
+  }
+  extents_.clear();
+  for (PageId p : index_pages_) {
+    BESS_RETURN_IF_ERROR(alloc_->FreeExtent(opts_.area, p));
+  }
+  index_pages_.clear();
+  loaded_ = false;
+  root_ = LobRoot{};
+  return Status::OK();
+}
+
+Status LargeObject::CheckInvariants() {
+  if (!loaded_) BESS_RETURN_IF_ERROR(Load());
+  for (const Extent& e : extents_) {
+    if (e.logical == 0) return Status::Corruption("empty extent in LOB");
+    if (e.first_page == kInvalidPage || e.pages == 0) {
+      return Status::Corruption("extent without disk segment");
+    }
+    if (e.stored > static_cast<uint64_t>(e.pages) * kPageSize) {
+      return Status::Corruption("extent stored bytes exceed its pages");
+    }
+  }
+  const size_t pages_needed =
+      std::max<size_t>(1, (extents_.size() + kEntriesPerPage - 1) /
+                              kEntriesPerPage);
+  if (index_pages_.size() != pages_needed) {
+    return Status::Corruption("LOB index chain length mismatch");
+  }
+  // The persisted form must reload to the same state.
+  LargeObject copy(store_, alloc_, opts_, root_);
+  BESS_RETURN_IF_ERROR(copy.Load());
+  if (copy.extents_.size() != extents_.size()) {
+    return Status::Corruption("LOB reload extent count mismatch");
+  }
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    if (copy.extents_[i].logical != extents_[i].logical ||
+        copy.extents_[i].first_page != extents_[i].first_page) {
+      return Status::Corruption("LOB reload extent mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> LargeObject::ExtentCount() {
+  if (!loaded_) BESS_RETURN_IF_ERROR(Load());
+  return static_cast<uint32_t>(extents_.size());
+}
+
+}  // namespace bess

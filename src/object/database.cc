@@ -1,0 +1,1238 @@
+#include "object/database.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "hooks/hooks.h"
+#include "util/crc32c.h"
+#include "util/logging.h"
+#include "vm/mem_store.h"
+#include "wal/recovery.h"
+
+namespace bess {
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0xBE55CA7Au;
+constexpr uint32_t kCatalogPages = 16;
+// By construction the catalog is the very first allocation in area 0.
+constexpr PageId kCatalogFirstPage = 0;
+
+thread_local Txn* tl_txn = nullptr;
+
+std::mutex g_registry_mutex;
+std::unordered_map<uint8_t, Database*> g_databases_by_id;
+
+}  // namespace
+
+// ---- LocalStore -------------------------------------------------------------
+
+// Direct access to the storage areas: the store used by applications linked
+// with the server (or single-process deployments).
+class Database::LocalStore : public SegmentStore {
+ public:
+  explicit LocalStore(Database* db) : db_(db) {}
+
+  Status FetchSlotted(SegmentId id, void* buf, uint32_t* page_count) override {
+    return GenericFetchSlotted(this, id, buf, page_count);
+  }
+
+  Status FetchPages(uint16_t db, uint16_t area, PageId first,
+                    uint32_t page_count, void* buf) override {
+    if (db != db_->db_id()) {
+      return Status::InvalidArgument("fetch for foreign database");
+    }
+    StorageArea* a = db_->AreaOrNull(area);
+    if (a == nullptr) return Status::NotFound("no storage area " +
+                                              std::to_string(area));
+    return a->ReadPages(first, page_count, buf);
+  }
+
+  Status WritePages(uint16_t db, uint16_t area, PageId first,
+                    uint32_t page_count, const void* buf) override {
+    if (db != db_->db_id()) {
+      return Status::InvalidArgument("write for foreign database");
+    }
+    StorageArea* a = db_->AreaOrNull(area);
+    if (a == nullptr) return Status::NotFound("no storage area " +
+                                              std::to_string(area));
+    return a->WritePages(first, page_count, buf);
+  }
+
+ private:
+  Database* db_;
+};
+
+// ---- Observer ---------------------------------------------------------------
+
+// Feeds the fault path into the lock manager: automatic read/write set
+// maintenance (paper §2.3). Lock failures poison the transaction rather than
+// failing the fault — the offending instruction must resume; commit refuses.
+class Database::Observer : public AccessObserver {
+ public:
+  explicit Observer(Database* db) : db_(db) {}
+
+  Status OnSegmentRead(SegmentId id) override {
+    Txn* txn = Database::Current();
+    if (txn == nullptr || txn->db != db_) return Status::OK();
+    Status s = db_->locks_.Acquire(txn->id, LockKey::Segment(id.Pack()),
+                                   LockMode::kS,
+                                   db_->options_.lock_timeout_ms);
+    if (!s.ok() && !txn->poisoned) {
+      txn->poisoned = true;
+      txn->poison_status = s;
+    }
+    return Status::OK();
+  }
+
+  Status OnPageWrite(SegmentId id, PageAddr page) override {
+    Txn* txn = Database::Current();
+    if (txn == nullptr || txn->db != db_) return Status::OK();
+    // Hierarchical locking: intention-exclusive on the segment, exclusive
+    // on the page. Structural operations (create/delete/reorganize) take
+    // the segment in X and therefore conflict with page writers.
+    Status s = db_->locks_.Acquire(txn->id, LockKey::Segment(id.Pack()),
+                                   LockMode::kIX,
+                                   db_->options_.lock_timeout_ms);
+    if (s.ok()) {
+      s = db_->locks_.Acquire(
+          txn->id, LockKey::Page(page.db, page.area, page.page), LockMode::kX,
+          db_->options_.lock_timeout_ms);
+    }
+    if (!s.ok() && !txn->poisoned) {
+      txn->poisoned = true;
+      txn->poison_status = s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  Database* db_;
+};
+
+// ---- construction -----------------------------------------------------------
+
+Database::Database(Options options)
+    : options_(std::move(options)), locks_(options_.lock_timeout_ms) {}
+
+Database::~Database() {
+  {
+    std::lock_guard<std::mutex> guard(g_registry_mutex);
+    g_databases_by_id.erase(static_cast<uint8_t>(options_.db_id));
+  }
+  EventContext ctx;
+  ctx.a = options_.db_id;
+  (void)FireEvent(Event::kDatabaseClose, ctx);
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("database directory required");
+  }
+  if (options.db_id == 0 || options.db_id > 255) {
+    return Status::InvalidArgument("db_id must be in [1, 255] (OIDs carry "
+                                   "8-bit database numbers)");
+  }
+  auto db = std::unique_ptr<Database>(new Database(options));
+  db->observer_ = std::make_unique<Observer>(db.get());
+  db->store_ = std::make_unique<LocalStore>(db.get());
+  db->mapper_ = std::make_unique<SegmentMapper>(db->store_.get(), &db->types_,
+                                                options.mapper);
+  db->mapper_->set_observer(db->observer_.get());
+
+  if (options.create) {
+    BESS_RETURN_IF_ERROR(db->CreateNew());
+  } else {
+    BESS_RETURN_IF_ERROR(db->OpenExisting());
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(g_registry_mutex);
+    g_databases_by_id[static_cast<uint8_t>(options.db_id)] = db.get();
+  }
+  EventContext ctx;
+  ctx.a = options.db_id;
+  (void)FireEvent(Event::kDatabaseOpen, ctx);
+  return db;
+}
+
+std::string Database::AreaPath(uint16_t area_id) const {
+  return options_.dir + "/area_" + std::to_string(area_id) + ".bess";
+}
+
+StorageArea* Database::AreaOrNull(uint16_t area_id) const {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  if (area_id >= areas_.size()) return nullptr;
+  return areas_[area_id].get();
+}
+
+Status Database::CreateNew() {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  BESS_ASSIGN_OR_RETURN(auto area0, StorageArea::Create(AreaPath(0), 0));
+  // Reserve the catalog segment: first allocation => logical page 0.
+  BESS_ASSIGN_OR_RETURN(DiskSegment cat, area0->AllocSegment(kCatalogPages));
+  if (cat.first_page != kCatalogFirstPage) {
+    return Status::Internal("catalog segment not at page 0");
+  }
+  catalog_segment_ = SegmentId{options_.db_id, 0, cat.first_page};
+  areas_.push_back(std::move(area0));
+
+  if (options_.use_wal) {
+    BESS_ASSIGN_OR_RETURN(wal_, LogManager::Open(options_.dir + "/wal.log"));
+  }
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  catalog_dirty_ = true;
+  BESS_RETURN_IF_ERROR(SaveCatalogLocked());
+  return areas_[0]->Sync();
+}
+
+Status Database::OpenExisting() {
+  // Areas are discovered from the directory (contiguous ids from 0).
+  for (uint16_t i = 0;; ++i) {
+    if (!File::Exists(AreaPath(i))) break;
+    BESS_ASSIGN_OR_RETURN(auto area, StorageArea::Open(AreaPath(i)));
+    areas_.push_back(std::move(area));
+  }
+  if (areas_.empty()) {
+    return Status::NotFound("no storage areas in " + options_.dir);
+  }
+  catalog_segment_ = SegmentId{options_.db_id, 0, kCatalogFirstPage};
+  if (options_.use_wal) {
+    BESS_ASSIGN_OR_RETURN(wal_, LogManager::Open(options_.dir + "/wal.log"));
+    BESS_RETURN_IF_ERROR(RunRecovery());
+  }
+  return LoadCatalog();
+}
+
+namespace {
+class AreaSink : public PageSink {
+ public:
+  explicit AreaSink(std::vector<std::unique_ptr<StorageArea>>* areas)
+      : areas_(areas) {}
+  Status WritePage(PageAddr addr, const void* bytes) override {
+    if (addr.area >= areas_->size()) {
+      return Status::Corruption("recovery references unknown area " +
+                                std::to_string(addr.area));
+    }
+    return (*areas_)[addr.area]->WritePages(addr.page, 1, bytes);
+  }
+  Status Sync() override {
+    for (auto& a : *areas_) BESS_RETURN_IF_ERROR(a->Sync());
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::unique_ptr<StorageArea>>* areas_;
+};
+}  // namespace
+
+Status Database::RunRecovery() {
+  AreaSink sink(&areas_);
+  RecoveryManager recovery(wal_.get(), &sink);
+  BESS_RETURN_IF_ERROR(recovery.Run());
+  if (recovery.stats().records_scanned > 0) {
+    BESS_INFO("recovery: " << recovery.stats().redo_pages << " pages redone, "
+                           << recovery.stats().loser_txns << " losers undone");
+  }
+  // Everything recovered is forced; the log is redundant now.
+  return wal_->Reset();
+}
+
+// ---- catalog ----------------------------------------------------------------
+
+void Database::EncodeCatalogLocked(std::string* out) const {
+  PutFixed32(out, static_cast<uint32_t>(areas_.size()));
+  PutFixed16(out, next_file_id_);
+  types_.EncodeTo(out);
+  PutFixed32(out, static_cast<uint32_t>(files_.size()));
+  for (const auto& [id, f] : files_) {
+    PutFixed16(out, id);
+    PutLengthPrefixed(out, f.name);
+    out->push_back(f.multifile ? 1 : 0);
+    PutFixed32(out, static_cast<uint32_t>(f.areas.size()));
+    for (uint16_t a : f.areas) PutFixed16(out, a);
+    PutFixed32(out, static_cast<uint32_t>(f.segments.size()));
+    for (uint64_t s : f.segments) PutFixed64(out, s);
+    PutFixed64(out, f.active_segment);
+    PutFixed32(out, f.next_area);
+  }
+  PutFixed32(out, static_cast<uint32_t>(roots_by_name_.size()));
+  for (const auto& [name, oid] : roots_by_name_) {
+    PutLengthPrefixed(out, name);
+    char buf[12];
+    oid.EncodeTo(buf);
+    out->append(buf, 12);
+  }
+}
+
+Status Database::LoadCatalog() {
+  std::string blob(static_cast<size_t>(kCatalogPages) * kPageSize, '\0');
+  BESS_RETURN_IF_ERROR(
+      areas_[0]->ReadPages(kCatalogFirstPage, kCatalogPages, blob.data()));
+  Decoder head(blob);
+  if (head.GetFixed32() != kCatalogMagic) {
+    return Status::Corruption("bad catalog magic");
+  }
+  const uint32_t len = head.GetFixed32();
+  const uint32_t crc = head.GetFixed32();
+  if (len + 12 > blob.size()) return Status::Corruption("catalog too long");
+  Slice payload(blob.data() + 12, len);
+  if (crc32c::Unmask(crc) != crc32c::Value(payload.data(), payload.size())) {
+    return Status::Corruption("catalog checksum mismatch");
+  }
+
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  Decoder dec(payload);
+  const uint32_t area_count = dec.GetFixed32();
+  next_file_id_ = dec.GetFixed16();
+  if (area_count != areas_.size()) {
+    return Status::Corruption("catalog/directory area count mismatch");
+  }
+  BESS_RETURN_IF_ERROR(types_.DecodeFrom(&dec));
+  const uint32_t nfiles = dec.GetFixed32();
+  files_.clear();
+  files_by_name_.clear();
+  for (uint32_t i = 0; i < nfiles; ++i) {
+    FileInfo f;
+    f.file_id = dec.GetFixed16();
+    f.name = dec.GetLengthPrefixed().ToString();
+    f.multifile = dec.GetBytes(1).data()[0] != 0;
+    const uint32_t nareas = dec.GetFixed32();
+    for (uint32_t a = 0; a < nareas; ++a) f.areas.push_back(dec.GetFixed16());
+    const uint32_t nsegs = dec.GetFixed32();
+    for (uint32_t s = 0; s < nsegs; ++s) f.segments.push_back(dec.GetFixed64());
+    f.active_segment = dec.GetFixed64();
+    f.next_area = dec.GetFixed32();
+    if (!dec.ok()) return Status::Corruption("truncated catalog (files)");
+    files_by_name_[f.name] = f.file_id;
+    files_[f.file_id] = std::move(f);
+  }
+  const uint32_t nroots = dec.GetFixed32();
+  roots_by_name_.clear();
+  roots_by_oid_.clear();
+  for (uint32_t i = 0; i < nroots; ++i) {
+    std::string name = dec.GetLengthPrefixed().ToString();
+    Slice oid_bytes = dec.GetBytes(12);
+    if (!dec.ok()) return Status::Corruption("truncated catalog (roots)");
+    Oid oid = Oid::DecodeFrom(oid_bytes.data());
+    roots_by_name_[name] = oid;
+    roots_by_oid_[oid] = name;
+  }
+  catalog_dirty_ = false;
+  return Status::OK();
+}
+
+Status Database::SaveCatalogLocked() {
+  if (!catalog_dirty_) return Status::OK();
+  std::string payload;
+  EncodeCatalogLocked(&payload);
+  std::string blob(static_cast<size_t>(kCatalogPages) * kPageSize, '\0');
+  if (payload.size() + 12 > blob.size()) {
+    return Status::NoSpace("catalog exceeds its segment (" +
+                           std::to_string(payload.size()) + " bytes)");
+  }
+  EncodeFixed32(blob.data(), kCatalogMagic);
+  EncodeFixed32(blob.data() + 4, static_cast<uint32_t>(payload.size()));
+  EncodeFixed32(blob.data() + 8,
+                crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  memcpy(blob.data() + 12, payload.data(), payload.size());
+  BESS_RETURN_IF_ERROR(
+      areas_[0]->WritePages(kCatalogFirstPage, kCatalogPages, blob.data()));
+  catalog_dirty_ = false;
+  return Status::OK();
+}
+
+// ---- types / areas / files ---------------------------------------------------
+
+Result<TypeIdx> Database::RegisterType(const TypeDescriptor& desc) {
+  BESS_ASSIGN_OR_RETURN(TypeIdx idx, types_.Register(desc));
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  catalog_dirty_ = true;
+  return idx;
+}
+
+Result<uint16_t> Database::AddStorageArea() {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  const uint16_t id = static_cast<uint16_t>(areas_.size());
+  if (id > 255) return Status::NoSpace("OIDs carry 8-bit area numbers");
+  BESS_ASSIGN_OR_RETURN(auto area, StorageArea::Create(AreaPath(id), id));
+  BESS_RETURN_IF_ERROR(area->Sync());
+  areas_.push_back(std::move(area));
+  catalog_dirty_ = true;
+  BESS_RETURN_IF_ERROR(SaveCatalogLocked());
+  return id;
+}
+
+uint32_t Database::area_count() const {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  return static_cast<uint32_t>(areas_.size());
+}
+
+Result<uint16_t> Database::CreateFile(const std::string& name,
+                                      bool multifile) {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  if (files_by_name_.count(name)) {
+    return Status::InvalidArgument("file exists: " + name);
+  }
+  FileInfo f;
+  f.file_id = next_file_id_++;
+  f.name = name;
+  f.multifile = multifile;
+  f.areas.push_back(0);
+  const uint16_t id = f.file_id;
+  files_by_name_[name] = id;
+  files_[id] = std::move(f);
+  catalog_dirty_ = true;
+  return id;
+}
+
+Result<uint16_t> Database::FindFile(const std::string& name) const {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  auto it = files_by_name_.find(name);
+  if (it == files_by_name_.end()) return Status::NotFound("file " + name);
+  return it->second;
+}
+
+Status Database::AddFileArea(uint16_t file_id, uint16_t area_id) {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  if (!it->second.multifile) {
+    return Status::InvalidArgument(
+        "plain BeSS files live in a single storage area (use a multifile)");
+  }
+  if (area_id >= areas_.size()) return Status::NotFound("no such area");
+  for (uint16_t a : it->second.areas) {
+    if (a == area_id) return Status::OK();
+  }
+  it->second.areas.push_back(area_id);
+  catalog_dirty_ = true;
+  return Status::OK();
+}
+
+// ---- transactions -------------------------------------------------------------
+
+Txn* Database::Current() { return tl_txn; }
+
+TxnId Database::NextTxnId() {
+  return next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<Txn*> Database::Begin() {
+  if (tl_txn != nullptr) {
+    return Status::InvalidArgument("thread already has an active transaction");
+  }
+  Txn* txn = new Txn();
+  txn->id = NextTxnId();
+  txn->db = this;
+  tl_txn = txn;
+  EventContext ctx;
+  ctx.a = txn->id;
+  (void)FireEvent(Event::kTransactionBegin, ctx);
+  return txn;
+}
+
+Status Database::LogPageSet(TxnId txn_id,
+                            const std::vector<PageImage>& pages,
+                            LogRecordType final_record) {
+  LogRecord begin;
+  begin.type = LogRecordType::kBegin;
+  begin.txn = txn_id;
+  BESS_ASSIGN_OR_RETURN(Lsn prev, wal_->Append(begin));
+  std::string before(kPageSize, '\0');
+  for (const PageImage& img : pages) {
+    LogRecord rec;
+    rec.type = LogRecordType::kPageWrite;
+    rec.txn = txn_id;
+    rec.prev_lsn = prev;
+    rec.page = PageAddr{img.db, img.area, img.page};
+    StorageArea* a = AreaOrNull(img.area);
+    if (a == nullptr) return Status::Internal("dirty page in unknown area");
+    BESS_RETURN_IF_ERROR(a->ReadPages(img.page, 1, before.data()));
+    rec.before = before;
+    rec.after = img.bytes;
+    BESS_ASSIGN_OR_RETURN(prev, wal_->Append(rec));
+  }
+  LogRecord fin;
+  fin.type = final_record;
+  fin.txn = txn_id;
+  fin.prev_lsn = prev;
+  BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(fin));
+  return wal_->Flush(lsn);  // WAL rule; flushes coalesce (group commit)
+}
+
+Status Database::ForcePages(const std::vector<PageImage>& pages) {
+  std::vector<bool> touched(areas_.size(), false);
+  for (const PageImage& img : pages) {
+    StorageArea* a = AreaOrNull(img.area);
+    if (a == nullptr) return Status::Internal("dirty page in unknown area");
+    BESS_RETURN_IF_ERROR(a->WritePages(img.page, 1, img.bytes.data()));
+    if (img.area < touched.size()) touched[img.area] = true;
+  }
+  for (size_t i = 0; i < touched.size(); ++i) {
+    if (touched[i]) BESS_RETURN_IF_ERROR(areas_[i]->Sync());
+  }
+  return Status::OK();
+}
+
+Status Database::LogAndForce(TxnId txn_id,
+                             const std::vector<PageImage>& pages) {
+  if (pages.empty()) return Status::OK();
+  if (options_.use_wal) {
+    BESS_RETURN_IF_ERROR(LogPageSet(txn_id, pages, LogRecordType::kCommit));
+  }
+  BESS_RETURN_IF_ERROR(ForcePages(pages));  // no-steal / force policy
+  if (options_.use_wal) {
+    LogRecord end;
+    end.type = LogRecordType::kEnd;
+    end.txn = txn_id;
+    BESS_RETURN_IF_ERROR(wal_->Append(end).status());
+  }
+  return Status::OK();
+}
+
+Status Database::Commit(Txn* txn) {
+  if (txn == nullptr || txn != tl_txn) {
+    return Status::InvalidArgument("commit of foreign transaction");
+  }
+  if (txn->poisoned) {
+    Status poison = txn->poison_status;
+    BESS_RETURN_IF_ERROR(Abort(txn));
+    return poison.ok() ? Status::Aborted("transaction was poisoned") : poison;
+  }
+
+  auto seg_pred = [this, txn](SegmentId id) {
+    LockMode m;
+    return locks_.Holds(txn->id, LockKey::Segment(id.Pack()), &m) &&
+           m == LockMode::kX;
+  };
+  auto page_pred = [this, txn](PageAddr pa) {
+    LockMode m;
+    return locks_.Holds(txn->id, LockKey::Page(pa.db, pa.area, pa.page), &m) &&
+           m == LockMode::kX;
+  };
+
+  std::vector<PageImage> pages;
+  BESS_RETURN_IF_ERROR(mapper_->CollectDirtyFor(&pages, seg_pred, page_pred));
+  {
+    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    if (catalog_dirty_) {
+      // The catalog rides along in the same atomic commit.
+      std::string payload;
+      EncodeCatalogLocked(&payload);
+      std::string blob(static_cast<size_t>(kCatalogPages) * kPageSize, '\0');
+      if (payload.size() + 12 > blob.size()) {
+        return Status::NoSpace("catalog exceeds its segment");
+      }
+      EncodeFixed32(blob.data(), kCatalogMagic);
+      EncodeFixed32(blob.data() + 4, static_cast<uint32_t>(payload.size()));
+      EncodeFixed32(
+          blob.data() + 8,
+          crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+      memcpy(blob.data() + 12, payload.data(), payload.size());
+      for (uint32_t p = 0; p < kCatalogPages; ++p) {
+        PageImage img;
+        img.db = options_.db_id;
+        img.area = 0;
+        img.page = kCatalogFirstPage + p;
+        img.bytes.assign(blob.data() + static_cast<size_t>(p) * kPageSize,
+                         kPageSize);
+        pages.push_back(std::move(img));
+      }
+      catalog_dirty_ = false;
+    }
+  }
+
+  Status s = LogAndForce(txn->id, pages);
+  if (!s.ok()) {
+    // Commit failed before any page hit the areas (WAL write/flush error) —
+    // roll the transaction back.
+    txn->poisoned = true;
+    txn->poison_status = s;
+    (void)Abort(txn);
+    return s;
+  }
+  BESS_RETURN_IF_ERROR(mapper_->MarkCleanFor(seg_pred, page_pred));
+  locks_.ReleaseAll(txn->id);
+  EventContext ctx;
+  ctx.a = txn->id;
+  (void)FireEvent(Event::kTransactionCommit, ctx);
+  tl_txn = nullptr;
+  delete txn;
+  return Status::OK();
+}
+
+Status Database::Abort(Txn* txn) {
+  if (txn == nullptr || txn != tl_txn) {
+    return Status::InvalidArgument("abort of foreign transaction");
+  }
+  // Roll back in-memory state: segments this txn created/mutated
+  // structurally are evicted (refault from disk); pages it dirtied are
+  // restored from their undo images.
+  std::vector<uint64_t> keys = locks_.HeldKeys(txn->id);
+  for (uint64_t key : keys) {
+    LockMode m;
+    if (!locks_.Holds(txn->id, key, &m) || m != LockMode::kX) continue;
+    if (LockKey::IsSegment(key)) {
+      (void)mapper_->Evict(SegmentId::Unpack(LockKey::UnpackSegment(key)),
+                           /*drop_dirty=*/true);
+    }
+  }
+  for (uint64_t key : keys) {
+    LockMode m;
+    if (!locks_.Holds(txn->id, key, &m) || m != LockMode::kX) continue;
+    if (LockKey::IsPage(key)) {
+      uint16_t db, area;
+      uint32_t page;
+      LockKey::UnpackPage(key, &db, &area, &page);
+      (void)mapper_->RevertPage(PageAddr{db, area, page});
+    }
+  }
+  locks_.ReleaseAll(txn->id);
+  EventContext ctx;
+  ctx.a = txn->id;
+  (void)FireEvent(Event::kTransactionAbort, ctx);
+  tl_txn = nullptr;
+  delete txn;
+  return Status::OK();
+}
+
+// ---- object lifecycle ---------------------------------------------------------
+
+Result<SegmentId> Database::NewObjectSegmentLocked(FileInfo* file,
+                                                   uint32_t min_data_bytes) {
+  // Pick the placement area: plain files always use their single area,
+  // multifiles round-robin across their placement set (parallel I/O, §2).
+  uint16_t area_id = file->areas[0];
+  if (file->multifile && !file->areas.empty()) {
+    area_id = file->areas[file->next_area % file->areas.size()];
+    file->next_area++;
+  }
+  StorageArea* area = areas_.at(area_id).get();
+
+  const size_t slotted_bytes = SlottedImageSize(options_.slot_capacity,
+                                                options_.outbound_capacity);
+  const uint32_t slotted_pages =
+      static_cast<uint32_t>((slotted_bytes + kPageSize - 1) / kPageSize);
+  uint32_t data_pages = options_.data_segment_pages;
+  const uint32_t need = static_cast<uint32_t>(
+      (min_data_bytes + kPageSize - 1) / kPageSize);
+  if (need > data_pages) data_pages = need;
+
+  BESS_ASSIGN_OR_RETURN(DiskSegment slotted, area->AllocSegment(slotted_pages));
+  BESS_ASSIGN_OR_RETURN(DiskSegment data, area->AllocSegment(data_pages));
+
+  const SegmentId id{options_.db_id, area_id, slotted.first_page};
+  // Persist an empty, formatted image immediately: if the creating
+  // transaction aborts, the catalog still points at a valid (empty)
+  // segment, so scans and fetches keep working.
+  {
+    std::string image(static_cast<size_t>(slotted.page_count) * kPageSize,
+                      '\0');
+    BESS_ASSIGN_OR_RETURN(
+        SlottedView view,
+        SlottedView::Format(image.data(), image.size(), id, file->file_id,
+                            options_.slot_capacity,
+                            options_.outbound_capacity));
+    SlottedHeader* h = view.header();
+    h->data_area = area_id;
+    h->data_first_page = data.first_page;
+    h->data_page_count = data.page_count;
+    BESS_RETURN_IF_ERROR(
+        area->WritePages(slotted.first_page, slotted.page_count,
+                         image.data()));
+    std::string zeros(static_cast<size_t>(data.page_count) * kPageSize, '\0');
+    BESS_RETURN_IF_ERROR(
+        area->WritePages(data.first_page, data.page_count, zeros.data()));
+  }
+  // Creation owns the segment exclusively for this transaction.
+  Txn* txn = Current();
+  if (txn != nullptr && txn->db == this) {
+    BESS_RETURN_IF_ERROR(locks_.Acquire(txn->id, LockKey::Segment(id.Pack()),
+                                        LockMode::kX,
+                                        options_.lock_timeout_ms));
+  }
+  BESS_ASSIGN_OR_RETURN(
+      SlottedView view,
+      mapper_->InstallNewSegment(id, file->file_id, slotted.page_count,
+                                 options_.slot_capacity,
+                                 options_.outbound_capacity, area_id,
+                                 data.first_page, data.page_count));
+  (void)view;
+  file->segments.push_back(id.Pack());
+  file->active_segment = id.Pack();
+  catalog_dirty_ = true;
+  return id;
+}
+
+Result<Slot*> Database::CreateObject(uint16_t file_id, TypeIdx type,
+                                     uint32_t size, const void* init) {
+  Txn* txn = Current();
+  if (txn != nullptr && txn->poisoned) return txn->poison_status;
+
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  FileInfo* file = &it->second;
+
+  // Big objects get their own disk segment but a slot in a normal segment
+  // (transparent large objects, §2.1; up to 64 KB).
+  if (size > kMaxTransparentObjectSize) {
+    return Status::InvalidArgument(
+        "objects above 64 KB must use the byte-range large-object class "
+        "(bess::LargeObject)");
+  }
+  const bool large = size >= options_.large_object_threshold;
+
+  // Find a home segment with room (slot + data space for small objects).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    SegmentId home = SegmentId::Unpack(file->active_segment);
+    if (file->active_segment == 0 || !home.valid()) {
+      BESS_ASSIGN_OR_RETURN(home, NewObjectSegmentLocked(file, large ? 0 : size));
+    }
+    // Take the segment X lock (creation mutates control structures).
+    if (txn != nullptr && txn->db == this) {
+      Status s = locks_.Acquire(txn->id, LockKey::Segment(home.Pack()),
+                                LockMode::kX, options_.lock_timeout_ms);
+      if (!s.ok()) return s;
+    }
+    Result<Slot*> slot = Status::Internal("");
+    if (large) {
+      const uint32_t pages =
+          static_cast<uint32_t>((size + kPageSize - 1) / kPageSize);
+      StorageArea* area = areas_.at(home.area).get();
+      BESS_ASSIGN_OR_RETURN(DiskSegment lo, area->AllocSegment(pages));
+      slot = mapper_->CreateLargeObject(home, type, size, home.area,
+                                        lo.first_page,
+                                        static_cast<uint16_t>(lo.page_count));
+      if (slot.ok() && init != nullptr) {
+        memcpy(reinterpret_cast<void*>((*slot)->dp), init, size);
+      } else if (!slot.ok()) {
+        (void)area->FreeSegment(lo.first_page);
+      }
+    } else {
+      slot = mapper_->CreateObject(home, type, size, init);
+    }
+    if (slot.ok()) return slot;
+    if (!slot.status().IsNoSpace()) return slot;
+    // Active segment full: open a fresh one and retry once.
+    BESS_ASSIGN_OR_RETURN(home, NewObjectSegmentLocked(file, large ? 0 : size));
+  }
+  return Status::Internal("object placement failed twice");
+}
+
+Status Database::DeleteObject(Slot* slot) {
+  SegmentId id;
+  uint16_t slot_no;
+  BESS_RETURN_IF_ERROR(mapper_->ResolveSlotAddress(slot, &id, &slot_no));
+  Txn* txn = Current();
+  if (txn != nullptr && txn->db == this) {
+    BESS_RETURN_IF_ERROR(locks_.Acquire(txn->id, LockKey::Segment(id.Pack()),
+                                        LockMode::kX,
+                                        options_.lock_timeout_ms));
+  }
+  // Referential integrity: a deleted root loses its name (§2.5).
+  auto oid = OidOf(slot);
+  if (oid.ok()) {
+    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    auto it = roots_by_oid_.find(*oid);
+    if (it != roots_by_oid_.end()) {
+      roots_by_name_.erase(it->second);
+      roots_by_oid_.erase(it);
+      catalog_dirty_ = true;
+    }
+  }
+  return mapper_->DeleteObject(id, slot_no);
+}
+
+Result<Oid> Database::OidOf(Slot* slot) {
+  SegmentId id;
+  uint16_t slot_no;
+  BESS_RETURN_IF_ERROR(mapper_->ResolveSlotAddress(slot, &id, &slot_no));
+  if (id.area > 255) return Status::Internal("area id exceeds OID range");
+  Oid oid;
+  oid.host = options_.host_id;
+  oid.db = static_cast<uint8_t>(id.db);
+  oid.area = static_cast<uint8_t>(id.area);
+  oid.page = id.first_page;
+  oid.slot = slot_no;
+  oid.uniq = static_cast<uint16_t>(slot->uniquifier);  // approximate (§2.1)
+  return oid;
+}
+
+Result<Slot*> Database::Deref(const Oid& oid) {
+  if (oid.db != static_cast<uint8_t>(options_.db_id)) {
+    Database* other = FindById(oid.db);
+    if (other == nullptr) {
+      return Status::NotFound("database " + std::to_string(oid.db) +
+                              " is not open");
+    }
+    return other->Deref(oid);
+  }
+  BESS_ASSIGN_OR_RETURN(SlottedView view,
+                        mapper_->FetchSlottedNow(oid.segment()));
+  if (oid.slot >= view.header()->slot_count) {
+    return Status::NotFound("stale OID (slot beyond segment): " +
+                            oid.ToString());
+  }
+  Slot* slot = view.slot(oid.slot);
+  if (!slot->in_use() ||
+      static_cast<uint16_t>(slot->uniquifier) != oid.uniq) {
+    return Status::NotFound("stale OID (object deleted): " + oid.ToString());
+  }
+  return ResolveForward(slot);
+}
+
+Result<Slot*> Database::CreateForward(uint16_t file_id, const Oid& target) {
+  char buf[12];
+  target.EncodeTo(buf);
+  BESS_ASSIGN_OR_RETURN(Slot * slot,
+                        CreateObject(file_id, kRawBytesType, 12, buf));
+  SegmentId id;
+  uint16_t slot_no;
+  BESS_RETURN_IF_ERROR(mapper_->ResolveSlotAddress(slot, &id, &slot_no));
+  BESS_RETURN_IF_ERROR(mapper_->WithSlottedWritable(
+      id, [&](SlottedView& view) -> Status {
+        view.slot(slot_no)->flags |= kSlotForward;
+        return Status::OK();
+      }));
+  return slot;
+}
+
+Result<Slot*> Database::ResolveForward(Slot* slot) {
+  if (!(slot->flags & kSlotForward)) return slot;
+  const char* data = reinterpret_cast<const char*>(slot->dp);
+  Oid target = Oid::DecodeFrom(data);
+  if (target.db == static_cast<uint8_t>(options_.db_id)) return Deref(target);
+  Database* other = FindById(target.db);
+  if (other == nullptr) {
+    return Status::NotFound("forward object target database " +
+                            std::to_string(target.db) + " is not open");
+  }
+  return other->Deref(target);
+}
+
+// ---- roots ------------------------------------------------------------------
+
+Status Database::SetRoot(const std::string& name, Slot* slot) {
+  BESS_ASSIGN_OR_RETURN(Oid oid, OidOf(slot));
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  // One name per object and one object per name: replace both directions.
+  auto by_name = roots_by_name_.find(name);
+  if (by_name != roots_by_name_.end()) roots_by_oid_.erase(by_name->second);
+  auto by_oid = roots_by_oid_.find(oid);
+  if (by_oid != roots_by_oid_.end()) roots_by_name_.erase(by_oid->second);
+  roots_by_name_[name] = oid;
+  roots_by_oid_[oid] = name;
+  catalog_dirty_ = true;
+  return Status::OK();
+}
+
+Result<Slot*> Database::GetRoot(const std::string& name) {
+  Oid oid;
+  {
+    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    auto it = roots_by_name_.find(name);
+    if (it == roots_by_name_.end()) {
+      return Status::NotFound("no root named " + name);
+    }
+    oid = it->second;
+  }
+  return Deref(oid);
+}
+
+Status Database::RemoveRoot(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  auto it = roots_by_name_.find(name);
+  if (it == roots_by_name_.end()) return Status::NotFound("no root " + name);
+  roots_by_oid_.erase(it->second);
+  roots_by_name_.erase(it);
+  catalog_dirty_ = true;
+  return Status::OK();
+}
+
+std::string Database::NameOf(const Oid& oid) const {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  auto it = roots_by_oid_.find(oid);
+  return it == roots_by_oid_.end() ? "" : it->second;
+}
+
+// ---- scans ------------------------------------------------------------------
+
+Status Database::Scan(uint16_t file_id,
+                      const std::function<Status(Slot*)>& fn) {
+  std::vector<uint64_t> segments;
+  {
+    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    auto it = files_.find(file_id);
+    if (it == files_.end()) return Status::NotFound("no such file");
+    segments = it->second.segments;
+  }
+  for (uint64_t packed : segments) {
+    BESS_ASSIGN_OR_RETURN(SlottedView view,
+                          mapper_->FetchSlottedNow(SegmentId::Unpack(packed)));
+    const uint32_t n = view.header()->slot_count;
+    for (uint32_t i = 0; i < n; ++i) {
+      Slot* s = view.slot(static_cast<uint16_t>(i));
+      if (!s->in_use()) continue;
+      BESS_RETURN_IF_ERROR(fn(s));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::ParallelScan(
+    uint16_t file_id, int threads,
+    const std::function<Status(const Slot&, const void* data)>& fn) {
+  std::vector<uint64_t> segments;
+  {
+    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    auto it = files_.find(file_id);
+    if (it == files_.end()) return Status::NotFound("no such file");
+    segments = it->second.segments;
+  }
+  if (threads < 1) threads = 1;
+  std::atomic<size_t> next{0};
+  std::vector<Status> results(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      // Direct I/O path: each worker reads segments on its own, bypassing
+      // the shared mapper — this is what makes the scan truly parallel.
+      std::string slotted(kMaxSlottedPages * kPageSize, '\0');
+      std::string data;
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= segments.size()) break;
+        const SegmentId id = SegmentId::Unpack(segments[i]);
+        uint32_t pages = 0;
+        Status s = store_->FetchSlotted(id, slotted.data(), &pages);
+        if (!s.ok()) {
+          results[static_cast<size_t>(t)] = s;
+          return;
+        }
+        SlottedView view(slotted.data(), pages * kPageSize);
+        const SlottedHeader* h = view.header();
+        data.resize(static_cast<size_t>(h->data_page_count) * kPageSize);
+        if (h->data_page_count > 0) {
+          s = store_->FetchPages(id.db, h->data_area, h->data_first_page,
+                                 h->data_page_count, data.data());
+          if (!s.ok()) {
+            results[static_cast<size_t>(t)] = s;
+            return;
+          }
+        }
+        for (uint32_t j = 0; j < h->slot_count; ++j) {
+          const Slot* slot = view.slot(static_cast<uint16_t>(j));
+          if (!slot->in_use()) continue;
+          const void* obj = nullptr;
+          std::string large;
+          if (slot->flags & kSlotLargeObject) {
+            uint16_t area, lo_pages;
+            PageId page;
+            Slot::UnpackDiskAddr(slot->dp, &area, &page, &lo_pages);
+            large.resize(static_cast<size_t>(lo_pages) * kPageSize);
+            s = store_->FetchPages(id.db, area, page, lo_pages, large.data());
+            if (!s.ok()) {
+              results[static_cast<size_t>(t)] = s;
+              return;
+            }
+            obj = large.data();
+          } else if (!(slot->flags & (kSlotVeryLarge | kSlotForward))) {
+            obj = data.data() + slot->dp;  // dp is an offset on disk
+          } else {
+            continue;
+          }
+          s = fn(*slot, obj);
+          if (!s.ok()) {
+            results[static_cast<size_t>(t)] = s;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const Status& s : results) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Database::CountObjects(uint16_t file_id) {
+  uint64_t count = 0;
+  BESS_RETURN_IF_ERROR(Scan(file_id, [&](Slot*) {
+    ++count;
+    return Status::OK();
+  }));
+  return count;
+}
+
+// ---- reorganization -----------------------------------------------------------
+
+Status Database::MoveFileData(uint16_t file_id, uint16_t to_area) {
+  std::vector<uint64_t> segments;
+  {
+    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    auto it = files_.find(file_id);
+    if (it == files_.end()) return Status::NotFound("no such file");
+    if (to_area >= areas_.size()) return Status::NotFound("no such area");
+    segments = it->second.segments;
+  }
+  Txn* txn = Current();
+  for (uint64_t packed : segments) {
+    const SegmentId id = SegmentId::Unpack(packed);
+    if (txn != nullptr && txn->db == this) {
+      BESS_RETURN_IF_ERROR(locks_.Acquire(txn->id,
+                                          LockKey::Segment(id.Pack()),
+                                          LockMode::kX,
+                                          options_.lock_timeout_ms));
+    }
+    BESS_ASSIGN_OR_RETURN(SlottedView view, mapper_->FetchSlottedNow(id));
+    const SlottedHeader* h = view.header();
+    const uint16_t old_area = h->data_area;
+    const PageId old_first = h->data_first_page;
+    const uint32_t pages = h->data_page_count;
+    if (old_area == to_area) continue;
+    BESS_ASSIGN_OR_RETURN(DiskSegment fresh,
+                          areas_.at(to_area)->AllocSegment(pages));
+    BESS_RETURN_IF_ERROR(
+        mapper_->RelocateData(id, to_area, fresh.first_page,
+                              fresh.page_count));
+    BESS_RETURN_IF_ERROR(areas_.at(old_area)->FreeSegment(old_first));
+  }
+  return Status::OK();
+}
+
+Status Database::CompactFile(uint16_t file_id) {
+  std::vector<uint64_t> segments;
+  {
+    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    auto it = files_.find(file_id);
+    if (it == files_.end()) return Status::NotFound("no such file");
+    segments = it->second.segments;
+  }
+  Txn* txn = Current();
+  for (uint64_t packed : segments) {
+    const SegmentId id = SegmentId::Unpack(packed);
+    if (txn != nullptr && txn->db == this) {
+      BESS_RETURN_IF_ERROR(locks_.Acquire(txn->id,
+                                          LockKey::Segment(id.Pack()),
+                                          LockMode::kX,
+                                          options_.lock_timeout_ms));
+    }
+    BESS_RETURN_IF_ERROR(mapper_->CompactData(id));
+  }
+  return Status::OK();
+}
+
+// ---- server-side services -------------------------------------------------------
+
+Status Database::ReadRawPages(uint16_t area, PageId first, uint32_t count,
+                              void* buf) {
+  StorageArea* a = AreaOrNull(area);
+  if (a == nullptr) return Status::NotFound("no storage area");
+  return a->ReadPages(first, count, buf);
+}
+
+Status Database::WriteRawPages(uint16_t area, PageId first, uint32_t count,
+                               const void* buf) {
+  StorageArea* a = AreaOrNull(area);
+  if (a == nullptr) return Status::NotFound("no storage area");
+  return a->WritePages(first, count, buf);
+}
+
+Status Database::CommitPageSet(const std::vector<PageImage>& pages) {
+  if (pages.empty()) return Status::OK();
+  const TxnId id = NextTxnId();
+  return LogAndForce(id, pages);
+}
+
+Status Database::PreparePageSet(uint64_t gtid,
+                                const std::vector<PageImage>& pages) {
+  if (!options_.use_wal) {
+    return Status::NotSupported("2PC requires the WAL");
+  }
+  // Phase 1: make the page set durable in the log together with a prepare
+  // record. Nothing is forced yet; presumed abort on restart.
+  BESS_RETURN_IF_ERROR(LogPageSet(gtid, pages, LogRecordType::kPrepare));
+  std::lock_guard<std::mutex> guard(prepared_mutex_);
+  prepared_[gtid] = pages;
+  return Status::OK();
+}
+
+Status Database::CommitPrepared(uint64_t gtid) {
+  std::vector<PageImage> pages;
+  {
+    std::lock_guard<std::mutex> guard(prepared_mutex_);
+    auto it = prepared_.find(gtid);
+    if (it == prepared_.end()) {
+      return Status::NotFound("no prepared transaction " +
+                              std::to_string(gtid) + " (presumed abort)");
+    }
+    pages = std::move(it->second);
+    prepared_.erase(it);
+  }
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  commit.txn = gtid;
+  BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(commit));
+  BESS_RETURN_IF_ERROR(wal_->Flush(lsn));
+  BESS_RETURN_IF_ERROR(ForcePages(pages));
+  LogRecord end;
+  end.type = LogRecordType::kEnd;
+  end.txn = gtid;
+  return wal_->Append(end).status();
+}
+
+Status Database::AbortPrepared(uint64_t gtid) {
+  {
+    std::lock_guard<std::mutex> guard(prepared_mutex_);
+    prepared_.erase(gtid);
+  }
+  LogRecord abort;
+  abort.type = LogRecordType::kAbort;
+  abort.txn = gtid;
+  BESS_RETURN_IF_ERROR(wal_->Append(abort).status());
+  LogRecord end;
+  end.type = LogRecordType::kEnd;
+  end.txn = gtid;
+  return wal_->AppendAndFlush(end).status();
+}
+
+Result<Database::RemoteSegmentGrant> Database::GrantObjectSegment(
+    uint16_t file_id, uint32_t min_data_bytes) {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  FileInfo* file = &it->second;
+
+  uint16_t area_id = file->areas[0];
+  if (file->multifile && !file->areas.empty()) {
+    area_id = file->areas[file->next_area % file->areas.size()];
+    file->next_area++;
+  }
+  StorageArea* area = areas_.at(area_id).get();
+  const size_t slotted_bytes = SlottedImageSize(options_.slot_capacity,
+                                                options_.outbound_capacity);
+  const uint32_t slotted_pages =
+      static_cast<uint32_t>((slotted_bytes + kPageSize - 1) / kPageSize);
+  uint32_t data_pages = options_.data_segment_pages;
+  const uint32_t need = static_cast<uint32_t>(
+      (min_data_bytes + kPageSize - 1) / kPageSize);
+  if (need > data_pages) data_pages = need;
+
+  BESS_ASSIGN_OR_RETURN(DiskSegment slotted, area->AllocSegment(slotted_pages));
+  BESS_ASSIGN_OR_RETURN(DiskSegment data, area->AllocSegment(data_pages));
+
+  {
+    const SegmentId id{options_.db_id, area_id, slotted.first_page};
+    std::string image(static_cast<size_t>(slotted.page_count) * kPageSize,
+                      '\0');
+    BESS_ASSIGN_OR_RETURN(
+        SlottedView view,
+        SlottedView::Format(image.data(), image.size(), id, file_id,
+                            options_.slot_capacity,
+                            options_.outbound_capacity));
+    SlottedHeader* h = view.header();
+    h->data_area = area_id;
+    h->data_first_page = data.first_page;
+    h->data_page_count = data.page_count;
+    BESS_RETURN_IF_ERROR(
+        area->WritePages(slotted.first_page, slotted.page_count,
+                         image.data()));
+    std::string zeros(static_cast<size_t>(data.page_count) * kPageSize, '\0');
+    BESS_RETURN_IF_ERROR(
+        area->WritePages(data.first_page, data.page_count, zeros.data()));
+  }
+
+  RemoteSegmentGrant grant;
+  grant.id = SegmentId{options_.db_id, area_id, slotted.first_page};
+  grant.slotted_pages = slotted.page_count;
+  grant.slot_capacity = options_.slot_capacity;
+  grant.outbound_capacity = options_.outbound_capacity;
+  grant.data_area = area_id;
+  grant.data_first_page = data.first_page;
+  grant.data_page_count = data.page_count;
+
+  file->segments.push_back(grant.id.Pack());
+  file->active_segment = grant.id.Pack();
+  catalog_dirty_ = true;
+  BESS_RETURN_IF_ERROR(SaveCatalogLocked());
+  return grant;
+}
+
+Result<DiskSegment> Database::AllocDiskSegment(uint16_t area, uint32_t pages) {
+  StorageArea* a = AreaOrNull(area);
+  if (a == nullptr) return Status::NotFound("no storage area");
+  return a->AllocSegment(pages);
+}
+
+Status Database::FreeDiskSegment(uint16_t area, PageId first_page) {
+  StorageArea* a = AreaOrNull(area);
+  if (a == nullptr) return Status::NotFound("no storage area");
+  return a->FreeSegment(first_page);
+}
+
+Status Database::SetRootOid(const std::string& name, const Oid& oid) {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  auto by_name = roots_by_name_.find(name);
+  if (by_name != roots_by_name_.end()) roots_by_oid_.erase(by_name->second);
+  auto by_oid = roots_by_oid_.find(oid);
+  if (by_oid != roots_by_oid_.end()) roots_by_name_.erase(by_oid->second);
+  roots_by_name_[name] = oid;
+  roots_by_oid_[oid] = name;
+  catalog_dirty_ = true;
+  return SaveCatalogLocked();
+}
+
+Result<Oid> Database::GetRootOid(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  auto it = roots_by_name_.find(name);
+  if (it == roots_by_name_.end()) {
+    return Status::NotFound("no root named " + name);
+  }
+  return it->second;
+}
+
+// ---- maintenance --------------------------------------------------------------
+
+Status Database::Checkpoint() {
+  {
+    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    BESS_RETURN_IF_ERROR(SaveCatalogLocked());
+    for (auto& area : areas_) BESS_RETURN_IF_ERROR(area->Sync());
+  }
+  // Force + no-steal: everything committed is on disk, so the whole log is
+  // redundant after a checkpoint.
+  if (options_.use_wal) return wal_->Reset();
+  return Status::OK();
+}
+
+Status Database::Sync() {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  for (auto& area : areas_) BESS_RETURN_IF_ERROR(area->Sync());
+  return Status::OK();
+}
+
+// ---- registry -----------------------------------------------------------------
+
+Database* Database::FindById(uint8_t db_id) {
+  std::lock_guard<std::mutex> guard(g_registry_mutex);
+  auto it = g_databases_by_id.find(db_id);
+  return it == g_databases_by_id.end() ? nullptr : it->second;
+}
+
+Database* Database::FindByAddress(const void* addr) {
+  FaultRangeOwner* owner = FaultDispatcher::Instance().FindOwner(addr);
+  if (owner == nullptr) return nullptr;
+  std::lock_guard<std::mutex> guard(g_registry_mutex);
+  for (auto& [id, db] : g_databases_by_id) {
+    (void)id;
+    if (db->mapper_.get() == owner) return db;
+  }
+  return nullptr;
+}
+
+}  // namespace bess

@@ -1,0 +1,290 @@
+// Database: the local BeSS engine — storage areas, the segment mapper,
+// locking, write-ahead logging, BeSS files and multifiles, named roots and
+// the catalog (paper §2).
+//
+// A database is a collection of BeSS files; files group objects for
+// retrieval via scans, but any object is directly accessible through its
+// reference or OID without touching its file (§2). All objects of a plain
+// file live in one storage area; a *multifile* spans several areas, lifting
+// the per-file size limit and enabling parallel I/O such as parallel file
+// scans (§2, as used by Prospector/MoonBase).
+//
+// Transaction policy: strict 2PL (locks from the AccessObserver fault path),
+// no-steal / force-at-commit buffering, and a physical WAL for atomicity of
+// multi-page commits. Undo machinery exists (see wal/recovery) but in the
+// default policy losers never reach disk.
+#ifndef BESS_OBJECT_DATABASE_H_
+#define BESS_OBJECT_DATABASE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "object/oid.h"
+#include "txn/lock_manager.h"
+#include "vm/mapper.h"
+#include "wal/log_manager.h"
+
+namespace bess {
+
+/// A transaction handle. Obtain with Database::Begin (one active transaction
+/// per thread); pass to Commit/Abort.
+struct Txn {
+  TxnId id = kNoTxn;
+  Lsn last_lsn = kNullLsn;
+  bool poisoned = false;
+  Status poison_status;
+  class Database* db = nullptr;
+};
+
+class Database {
+ public:
+  struct Options {
+    std::string dir;            ///< directory holding areas, catalog, wal
+    uint16_t db_id = 1;
+    uint16_t host_id = 1;
+    bool create = false;        ///< create fresh (true) or open existing
+    bool use_wal = true;
+    int lock_timeout_ms = kLockTimeoutMillis;
+    SegmentMapper::Options mapper;
+    // Geometry of newly created object segments.
+    uint32_t slot_capacity = 120;
+    uint16_t outbound_capacity = 64;
+    uint32_t data_segment_pages = kDefaultDataSegmentPages;
+    /// Objects at least this big (bytes) become transparent large objects
+    /// with their own disk segment. Must be <= kMaxTransparentObjectSize.
+    uint32_t large_object_threshold = kPageSize;
+  };
+
+  /// Opens or creates a database. Runs ARIES restart recovery when an
+  /// existing database has a non-empty log.
+  static Result<std::unique_ptr<Database>> Open(const Options& options);
+  ~Database();
+
+  uint16_t db_id() const { return options_.db_id; }
+
+  // ---- Types ---------------------------------------------------------------
+
+  /// Registers an object type; persisted in the catalog.
+  Result<TypeIdx> RegisterType(const TypeDescriptor& desc);
+  TypeTable* types() { return &types_; }
+
+  // ---- Storage areas -------------------------------------------------------
+
+  /// Adds a storage area (a new UNIX file under dir). Returns its area id.
+  Result<uint16_t> AddStorageArea();
+  uint32_t area_count() const;
+
+  // ---- BeSS files ----------------------------------------------------------
+
+  /// Creates a BeSS file. Plain files place all object segments in one
+  /// area; multifiles may span all areas (AddFileArea to widen).
+  Result<uint16_t> CreateFile(const std::string& name,
+                              bool multifile = false);
+  Result<uint16_t> FindFile(const std::string& name) const;
+  /// Adds an area to a multifile's round-robin placement set.
+  Status AddFileArea(uint16_t file_id, uint16_t area_id);
+
+  // ---- Transactions ----------------------------------------------------------
+
+  /// Begins a transaction on this thread (at most one per thread).
+  Result<Txn*> Begin();
+  /// Commits: WAL (before/after images + commit record, group-committed),
+  /// force dirty pages, release locks. Cached segments stay mapped for the
+  /// next transaction (inter-transaction caching, §3).
+  Status Commit(Txn* txn);
+  /// Aborts: dirty segments dropped (no-steal: disk untouched), locks freed.
+  Status Abort(Txn* txn);
+  /// The thread's active transaction, or nullptr.
+  static Txn* Current();
+
+  // ---- Objects ---------------------------------------------------------------
+
+  /// Creates an object in `file_id` (placement: current active segment, a
+  /// new segment, or — for big objects — a dedicated transparent-large-
+  /// object segment). Returns the object header (slot).
+  Result<Slot*> CreateObject(uint16_t file_id, TypeIdx type, uint32_t size,
+                             const void* init = nullptr);
+
+  /// Deletes an object; removes its root name if it has one (referential
+  /// integrity, §2.5).
+  Status DeleteObject(Slot* slot);
+
+  /// OID of a live object (paper: explicit identity for global_ref).
+  Result<Oid> OidOf(Slot* slot);
+
+  /// Dereferences an OID, validating the uniquifier. Follows forward
+  /// objects and inter-database OIDs transparently (via the registry of
+  /// open databases).
+  Result<Slot*> Deref(const Oid& oid);
+
+  /// Creates a forward object in this database referring to `target` (an
+  /// object usually in another database); dereference follows it
+  /// transparently (§2.1 inter-database references).
+  Result<Slot*> CreateForward(uint16_t file_id, const Oid& target);
+
+  /// If `slot` is a forward object, resolves to the real object; otherwise
+  /// returns `slot` itself.
+  Result<Slot*> ResolveForward(Slot* slot);
+
+  // ---- Named roots (§2.5: a pair of hash tables) ----------------------------
+
+  Status SetRoot(const std::string& name, Slot* slot);
+  Result<Slot*> GetRoot(const std::string& name);
+  Status RemoveRoot(const std::string& name);
+  /// The name of an object, if it is a root ("" when not named).
+  std::string NameOf(const Oid& oid) const;
+
+  // ---- Scans -----------------------------------------------------------------
+
+  /// Iterates every live object of a file (cursor-style). The callback gets
+  /// the slot; object data faults in on access as usual.
+  Status Scan(uint16_t file_id,
+              const std::function<Status(Slot*)>& fn);
+
+  /// Parallel scan for multifiles: segments are read with direct I/O on
+  /// `threads` workers, bypassing the mapper cache (the content-analysis
+  /// pattern of Prospector/MoonBase, §2). The callback receives raw object
+  /// bytes (unswizzled) and runs concurrently.
+  Status ParallelScan(
+      uint16_t file_id, int threads,
+      const std::function<Status(const Slot&, const void* data)>& fn);
+
+  /// Live object count of a file (scans slotted segments only).
+  Result<uint64_t> CountObjects(uint16_t file_id);
+
+  // ---- Reorganization --------------------------------------------------------
+
+  /// Moves every data segment of `file_id` into `to_area` — the paper's
+  /// on-the-fly reorganization; references keep working throughout.
+  Status MoveFileData(uint16_t file_id, uint16_t to_area);
+
+  /// Compacts every data segment of the file.
+  Status CompactFile(uint16_t file_id);
+
+  // ---- Server-side services (used by BessServer, §3) -------------------------
+
+  /// Raw page service for remote clients and node servers.
+  Status ReadRawPages(uint16_t area, PageId first, uint32_t count, void* buf);
+  Status WriteRawPages(uint16_t area, PageId first, uint32_t count,
+                       const void* buf);
+
+  /// Applies a remote client's commit atomically: WAL (before/after images
+  /// + commit record, group-committed) then force.
+  Status CommitPageSet(const std::vector<PageImage>& pages);
+
+  /// Two-phase commit participant (paper §3): phase 1 logs the page set and
+  /// a prepare record durably; phase 2 commits (forces) or aborts.
+  Status PreparePageSet(uint64_t gtid, const std::vector<PageImage>& pages);
+  Status CommitPrepared(uint64_t gtid);
+  Status AbortPrepared(uint64_t gtid);
+
+  /// Allocates and registers a fresh object segment for `file_id` without
+  /// mapping it locally — a remote client formats and writes it. Returns
+  /// the geometry the client needs.
+  struct RemoteSegmentGrant {
+    SegmentId id;
+    uint32_t slotted_pages;
+    uint32_t slot_capacity;
+    uint16_t outbound_capacity;
+    uint16_t data_area;
+    PageId data_first_page;
+    uint32_t data_page_count;
+  };
+  Result<RemoteSegmentGrant> GrantObjectSegment(uint16_t file_id,
+                                                uint32_t min_data_bytes);
+
+  /// Disk-segment service (large objects created remotely).
+  Result<DiskSegment> AllocDiskSegment(uint16_t area, uint32_t pages);
+  Status FreeDiskSegment(uint16_t area, PageId first_page);
+
+  /// OID-based root directory access (remote clients hold OIDs, not slots).
+  Status SetRootOid(const std::string& name, const Oid& oid);
+  Result<Oid> GetRootOid(const std::string& name);
+
+  // ---- Maintenance -----------------------------------------------------------
+
+  /// Fuzzy checkpoint: records the log's redundancy point and resets it
+  /// (all committed state is forced by policy).
+  Status Checkpoint();
+  Status Sync();
+
+  SegmentMapper* mapper() { return mapper_.get(); }
+  LockManager* locks() { return &locks_; }
+  LogManager* wal() { return wal_.get(); }
+  const Options& options() const { return options_; }
+
+  /// Finds the open Database that owns a mapped object address (used by
+  /// typed references to route inter-database operations).
+  static Database* FindByAddress(const void* addr);
+  /// Finds an open database by id on this host (inter-db OID resolution).
+  static Database* FindById(uint8_t db_id);
+
+ private:
+  class LocalStore;
+  class Observer;
+  struct FileInfo {
+    uint16_t file_id = 0;
+    std::string name;
+    bool multifile = false;
+    std::vector<uint16_t> areas;          // placement set
+    std::vector<uint64_t> segments;       // packed SegmentIds, scan order
+    uint64_t active_segment = 0;          // packed; 0 = none
+    uint32_t next_area = 0;               // round-robin cursor
+  };
+
+  explicit Database(Options options);
+
+  Status CreateNew();
+  Status OpenExisting();
+  Status RunRecovery();
+  Status LoadCatalog();
+  Status SaveCatalogLocked();
+  void EncodeCatalogLocked(std::string* out) const;
+  Result<SegmentId> NewObjectSegmentLocked(FileInfo* file, uint32_t min_data_bytes);
+  Result<Slot*> CreateSmallObject(FileInfo* file, TypeIdx type, uint32_t size,
+                                  const void* init, uint16_t extra_flags);
+  StorageArea* AreaOrNull(uint16_t area_id) const;
+  std::string AreaPath(uint16_t area_id) const;
+  TxnId NextTxnId();
+  Status LogAndForce(TxnId txn_id, const std::vector<PageImage>& pages);
+  Status LogPageSet(TxnId txn_id, const std::vector<PageImage>& pages,
+                    LogRecordType final_record);
+  Status ForcePages(const std::vector<PageImage>& pages);
+
+  Options options_;
+  TypeTable types_;
+  LockManager locks_;
+  std::unique_ptr<LogManager> wal_;
+  std::unique_ptr<LocalStore> store_;
+  std::unique_ptr<Observer> observer_;
+  std::unique_ptr<SegmentMapper> mapper_;
+
+  // Catalog guard: recursive because the mapper's fetch path re-enters
+  // (CreateObject -> mapper fault -> LocalStore -> AreaOrNull).
+  mutable std::recursive_mutex meta_mutex_;
+  std::vector<std::unique_ptr<StorageArea>> areas_;
+  std::unordered_map<uint16_t, FileInfo> files_;
+  std::unordered_map<std::string, uint16_t> files_by_name_;
+  uint16_t next_file_id_ = 1;
+  // The paper's root directory: a pair of hash tables with enforced
+  // referential integrity between objects and their names.
+  std::unordered_map<std::string, Oid> roots_by_name_;
+  std::unordered_map<Oid, std::string, OidHash> roots_by_oid_;
+  bool catalog_dirty_ = false;
+  SegmentId catalog_segment_;
+
+  std::atomic<TxnId> next_txn_id_{1};
+
+  // In-doubt distributed transactions (prepared, awaiting phase 2).
+  std::mutex prepared_mutex_;
+  std::unordered_map<uint64_t, std::vector<PageImage>> prepared_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_OBJECT_DATABASE_H_

@@ -1,0 +1,95 @@
+// Object identifiers (paper §2.1): "The object identifier (OID) is a 96-bit
+// number that uniquely identifies an object in a BeSS system. It contains
+// the host machine number, the database number, the offset of the object's
+// header within the database, and a number to approximate unique oids."
+//
+// The header offset is represented as (area, slotted-segment first page,
+// slot number) — slotted segments are never relocated, so this is stable.
+// The uniquifier snapshots the slot's reuse counter; dereferencing an OID
+// whose uniquifier no longer matches fails instead of returning a new,
+// unrelated object.
+#ifndef BESS_OBJECT_OID_H_
+#define BESS_OBJECT_OID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "segment/layout.h"
+
+namespace bess {
+
+struct Oid {
+  uint16_t host = 0;
+  uint8_t db = 0;
+  uint8_t area = 0;
+  uint32_t page = kInvalidPage;  ///< slotted segment first page
+  uint16_t slot = 0;
+  uint16_t uniq = 0;
+
+  bool valid() const { return page != kInvalidPage; }
+
+  SegmentId segment() const { return SegmentId{db, area, page}; }
+
+  /// 96-bit little-endian wire form.
+  void EncodeTo(char out[12]) const;
+  static Oid DecodeFrom(const char in[12]);
+
+  bool operator==(const Oid& o) const {
+    return host == o.host && db == o.db && area == o.area && page == o.page &&
+           slot == o.slot && uniq == o.uniq;
+  }
+
+  std::string ToString() const;
+};
+
+static_assert(sizeof(Oid) == 12, "OIDs are 96 bits (paper §2.1)");
+
+inline void Oid::EncodeTo(char out[12]) const {
+  out[0] = static_cast<char>(host);
+  out[1] = static_cast<char>(host >> 8);
+  out[2] = static_cast<char>(db);
+  out[3] = static_cast<char>(area);
+  out[4] = static_cast<char>(page);
+  out[5] = static_cast<char>(page >> 8);
+  out[6] = static_cast<char>(page >> 16);
+  out[7] = static_cast<char>(page >> 24);
+  out[8] = static_cast<char>(slot);
+  out[9] = static_cast<char>(slot >> 8);
+  out[10] = static_cast<char>(uniq);
+  out[11] = static_cast<char>(uniq >> 8);
+}
+
+inline Oid Oid::DecodeFrom(const char in[12]) {
+  const auto* u = reinterpret_cast<const unsigned char*>(in);
+  Oid oid;
+  oid.host = static_cast<uint16_t>(u[0] | (u[1] << 8));
+  oid.db = u[2];
+  oid.area = u[3];
+  oid.page = static_cast<uint32_t>(u[4]) | (static_cast<uint32_t>(u[5]) << 8) |
+             (static_cast<uint32_t>(u[6]) << 16) |
+             (static_cast<uint32_t>(u[7]) << 24);
+  oid.slot = static_cast<uint16_t>(u[8] | (u[9] << 8));
+  oid.uniq = static_cast<uint16_t>(u[10] | (u[11] << 8));
+  return oid;
+}
+
+inline std::string Oid::ToString() const {
+  return "oid(" + std::to_string(host) + ":" + std::to_string(db) + ":" +
+         std::to_string(area) + ":" + std::to_string(page) + ":" +
+         std::to_string(slot) + "#" + std::to_string(uniq) + ")";
+}
+
+struct OidHash {
+  size_t operator()(const Oid& oid) const {
+    uint64_t h = (static_cast<uint64_t>(oid.page) << 32) |
+                 (static_cast<uint64_t>(oid.slot) << 16) | oid.uniq;
+    h ^= (static_cast<uint64_t>(oid.host) << 40) |
+         (static_cast<uint64_t>(oid.db) << 8) | oid.area;
+    return std::hash<uint64_t>()(h);
+  }
+};
+
+}  // namespace bess
+
+#endif  // BESS_OBJECT_OID_H_

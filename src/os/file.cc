@@ -1,0 +1,131 @@
+#include "os/file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace bess {
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + strerror(errno);
+}
+
+}  // namespace
+
+File::~File() { Close(); }
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<File> File::Open(const std::string& path, bool create) {
+  int flags = O_RDWR | O_CLOEXEC;
+  if (create) flags |= O_CREAT;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Status::IOError(Errno("open", path));
+  return File(fd, path);
+}
+
+Result<File> File::OpenReadOnly(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(Errno("open(ro)", path));
+  return File(fd, path);
+}
+
+Status File::ReadAt(uint64_t offset, void* buf, size_t n) const {
+  char* p = static_cast<char*>(buf);
+  size_t left = n;
+  uint64_t off = offset;
+  while (left > 0) {
+    ssize_t r = ::pread(fd_, p, left, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("pread", path_));
+    }
+    if (r == 0) {
+      return Status::IOError("pread " + path_ + ": short read at offset " +
+                             std::to_string(off));
+    }
+    p += r;
+    off += static_cast<uint64_t>(r);
+    left -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status File::WriteAt(uint64_t offset, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  size_t left = n;
+  uint64_t off = offset;
+  while (left > 0) {
+    ssize_t w = ::pwrite(fd_, p, left, static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("pwrite", path_));
+    }
+    p += w;
+    off += static_cast<uint64_t>(w);
+    left -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status File::Append(const void* buf, size_t n) {
+  auto size = Size();
+  BESS_RETURN_IF_ERROR(size.status());
+  return WriteAt(*size, buf, n);
+}
+
+Status File::Sync() {
+  if (::fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync", path_));
+  return Status::OK();
+}
+
+Status File::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError(Errno("ftruncate", path_));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> File::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Status::IOError(Errno("fstat", path_));
+  return static_cast<uint64_t>(st.st_size);
+}
+
+void File::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status File::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound("unlink " + path);
+    return Status::IOError(Errno("unlink", path));
+  }
+  return Status::OK();
+}
+
+bool File::Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace bess

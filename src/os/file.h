@@ -1,0 +1,62 @@
+// Thin RAII wrappers over POSIX file I/O: positional reads/writes, sync,
+// resize. All BeSS disk access (storage areas, WAL, private buffer pools)
+// goes through this layer.
+#ifndef BESS_OS_FILE_H_
+#define BESS_OS_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace bess {
+
+/// A file opened for random positional access. Move-only.
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Opens (creating if needed) a read-write file.
+  static Result<File> Open(const std::string& path, bool create = true);
+  /// Opens an existing file read-only.
+  static Result<File> OpenReadOnly(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads exactly n bytes at `offset`; short reads are IOError.
+  Status ReadAt(uint64_t offset, void* buf, size_t n) const;
+  /// Writes exactly n bytes at `offset`.
+  Status WriteAt(uint64_t offset, const void* buf, size_t n);
+  /// Appends exactly n bytes at the current end (as tracked by Size()).
+  Status Append(const void* buf, size_t n);
+
+  /// Flushes data (and metadata) to stable storage.
+  Status Sync();
+  /// Grows or shrinks the file to `size` bytes.
+  Status Truncate(uint64_t size);
+
+  Result<uint64_t> Size() const;
+
+  void Close();
+
+  /// Deletes a file from the filesystem; NotFound if absent.
+  static Status Remove(const std::string& path);
+  static bool Exists(const std::string& path);
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_OS_FILE_H_

@@ -1,0 +1,98 @@
+// Latches: short-duration spinlocks implemented with atomic test-and-set,
+// as used by BeSS "for synchronizing concurrent accesses and implementing
+// atomic read/write operations on the cached objects" (§4.1.2).
+//
+// Latch is a trivially-constructible POD-layout type so it can live inside
+// POSIX shared memory and be used by multiple processes. Cleanup after a
+// process dies while holding a latch is handled one level up by tracking
+// process actions (§4.1.2, per Rdb/VMS [20]): the holder's pid is recorded
+// so a recovery pass can detect and break orphaned latches.
+#ifndef BESS_OS_LATCH_H_
+#define BESS_OS_LATCH_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace bess {
+
+/// A test-and-set spinlock safe for placement in shared memory.
+class Latch {
+ public:
+  Latch() = default;
+
+  void Lock() {
+    uint32_t spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) break;
+      // Exponential-ish backoff: spin, then yield the CPU.
+      if (++spins > 64) {
+        ::usleep(50);
+      } else {
+        for (uint32_t i = 0; i < (1u << (spins > 10 ? 10 : spins)); ++i) {
+          asm volatile("" ::: "memory");
+        }
+      }
+    }
+    holder_pid_.store(static_cast<uint32_t>(::getpid()),
+                      std::memory_order_relaxed);
+  }
+
+  bool TryLock() {
+    if (flag_.exchange(true, std::memory_order_acquire)) return false;
+    holder_pid_.store(static_cast<uint32_t>(::getpid()),
+                      std::memory_order_relaxed);
+    return true;
+  }
+
+  void Unlock() {
+    holder_pid_.store(0, std::memory_order_relaxed);
+    flag_.store(false, std::memory_order_release);
+  }
+
+  bool is_locked() const { return flag_.load(std::memory_order_acquire); }
+
+  /// Pid of the current holder (0 if unheld). Used by crash cleanup to break
+  /// latches held by dead processes.
+  uint32_t holder_pid() const {
+    return holder_pid_.load(std::memory_order_relaxed);
+  }
+
+  /// Forcibly releases a latch whose holder has died. Only the shared-cache
+  /// recovery pass may call this.
+  void BreakOrphaned() {
+    holder_pid_.store(0, std::memory_order_relaxed);
+    flag_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+  std::atomic<uint32_t> holder_pid_{0};
+};
+
+/// RAII scope guard for a Latch.
+class LatchGuard {
+ public:
+  explicit LatchGuard(Latch& latch) : latch_(&latch) { latch_->Lock(); }
+  ~LatchGuard() {
+    if (latch_ != nullptr) latch_->Unlock();
+  }
+  LatchGuard(const LatchGuard&) = delete;
+  LatchGuard& operator=(const LatchGuard&) = delete;
+
+  /// Releases early.
+  void Unlock() {
+    if (latch_ != nullptr) {
+      latch_->Unlock();
+      latch_ = nullptr;
+    }
+  }
+
+ private:
+  Latch* latch_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_OS_LATCH_H_

@@ -1,0 +1,106 @@
+#include "os/shm.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace bess {
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& name) {
+  return Status::IOError(what + " " + name + ": " + strerror(errno));
+}
+
+}  // namespace
+
+SharedMemory::~SharedMemory() { Detach(); }
+
+SharedMemory::SharedMemory(SharedMemory&& other) noexcept
+    : name_(std::move(other.name_)),
+      fd_(other.fd_),
+      base_(other.base_),
+      size_(other.size_) {
+  other.fd_ = -1;
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+SharedMemory& SharedMemory::operator=(SharedMemory&& other) noexcept {
+  if (this != &other) {
+    Detach();
+    name_ = std::move(other.name_);
+    fd_ = other.fd_;
+    base_ = other.base_;
+    size_ = other.size_;
+    other.fd_ = -1;
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<SharedMemory> SharedMemory::Create(const std::string& name,
+                                          size_t size) {
+  ::shm_unlink(name.c_str());  // replace any stale object
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return ErrnoStatus("shm_open(create)", name);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    Status s = ErrnoStatus("ftruncate", name);
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return s;
+  }
+  void* base =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    Status s = ErrnoStatus("mmap", name);
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return s;
+  }
+  memset(base, 0, size);
+  return SharedMemory(name, fd, base, size);
+}
+
+Result<SharedMemory> SharedMemory::Attach(const std::string& name) {
+  int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return ErrnoStatus("shm_open(attach)", name);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = ErrnoStatus("fstat", name);
+    ::close(fd);
+    return s;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* base =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    Status s = ErrnoStatus("mmap", name);
+    ::close(fd);
+    return s;
+  }
+  return SharedMemory(name, fd, base, size);
+}
+
+Status SharedMemory::Unlink() {
+  if (::shm_unlink(name_.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("shm_unlink", name_);
+  }
+  return Status::OK();
+}
+
+void SharedMemory::Detach() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace bess

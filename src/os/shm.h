@@ -1,0 +1,58 @@
+// POSIX shared-memory segments. The node cache (§4, Figure 3) is "created by
+// using the shared memory facilities provided by UNIX that associate a
+// virtual address range with a file"; this wrapper provides exactly that,
+// plus the fd needed to map individual cache frames into per-process PVMA
+// frames with MAP_FIXED (§4.1.2, Figure 4).
+#ifndef BESS_OS_SHM_H_
+#define BESS_OS_SHM_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace bess {
+
+/// A named shared-memory object mapped read-write into this process.
+/// Move-only; unmaps on destruction. Unlink() removes the name system-wide.
+class SharedMemory {
+ public:
+  SharedMemory() = default;
+  ~SharedMemory();
+  SharedMemory(SharedMemory&& other) noexcept;
+  SharedMemory& operator=(SharedMemory&& other) noexcept;
+  SharedMemory(const SharedMemory&) = delete;
+  SharedMemory& operator=(const SharedMemory&) = delete;
+
+  /// Creates (or replaces) a shared-memory object of `size` bytes and maps
+  /// it. The creator should later call Unlink().
+  static Result<SharedMemory> Create(const std::string& name, size_t size);
+
+  /// Attaches to an existing object created by another process.
+  static Result<SharedMemory> Attach(const std::string& name);
+
+  void* base() const { return base_; }
+  size_t size() const { return size_; }
+  int fd() const { return fd_; }
+  const std::string& name() const { return name_; }
+  bool valid() const { return base_ != nullptr; }
+
+  /// Removes the name from the system (existing mappings stay valid).
+  Status Unlink();
+
+  /// Unmaps and closes without unlinking.
+  void Detach();
+
+ private:
+  SharedMemory(std::string name, int fd, void* base, size_t size)
+      : name_(std::move(name)), fd_(fd), base_(base), size_(size) {}
+
+  std::string name_;
+  int fd_ = -1;
+  void* base_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace bess
+
+#endif  // BESS_OS_SHM_H_

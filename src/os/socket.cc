@@ -1,0 +1,227 @@
+#include "os/socket.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace bess {
+namespace {
+
+std::atomic<uint64_t> g_messages_sent{0};
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + ": " + strerror(errno));
+}
+
+Status FillSockaddr(const std::string& path, sockaddr_un* addr) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  memcpy(addr->sun_path, path.c_str(), path.size());
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- MsgSocket --------------------------------------------------------------
+
+MsgSocket::~MsgSocket() { Close(); }
+
+MsgSocket::MsgSocket(MsgSocket&& other) noexcept
+    : fd_(other.fd_), latency_us_(other.latency_us_) {
+  other.fd_ = -1;
+}
+
+MsgSocket& MsgSocket::operator=(MsgSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    latency_us_ = other.latency_us_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<MsgSocket> MsgSocket::Connect(const std::string& path) {
+  sockaddr_un addr;
+  BESS_RETURN_IF_ERROR(FillSockaddr(path, &addr));
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = ErrnoStatus("connect");
+    ::close(fd);
+    return s;
+  }
+  return MsgSocket(fd);
+}
+
+Status MsgSocket::Pair(MsgSocket* a, MsgSocket* b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    return ErrnoStatus("socketpair");
+  }
+  *a = MsgSocket(fds[0]);
+  *b = MsgSocket(fds[1]);
+  return Status::OK();
+}
+
+Status MsgSocket::Send(uint16_t type, Slice payload) {
+  if (latency_us_ > 0) ::usleep(latency_us_);
+  char header[6];
+  EncodeFixed32(header, static_cast<uint32_t>(payload.size()));
+  EncodeFixed16(header + 4, type);
+  BESS_RETURN_IF_ERROR(SendAll(header, sizeof(header)));
+  if (!payload.empty()) {
+    BESS_RETURN_IF_ERROR(SendAll(payload.data(), payload.size()));
+  }
+  g_messages_sent.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<Message> MsgSocket::Recv() {
+  char header[6];
+  BESS_RETURN_IF_ERROR(RecvAll(header, sizeof(header)));
+  Message msg;
+  uint32_t len = DecodeFixed32(header);
+  msg.type = DecodeFixed16(header + 4);
+  if (len > (64u << 20)) {
+    return Status::Protocol("oversized frame: " + std::to_string(len));
+  }
+  msg.payload.resize(len);
+  if (len > 0) BESS_RETURN_IF_ERROR(RecvAll(msg.payload.data(), len));
+  return msg;
+}
+
+Result<Message> MsgSocket::RecvTimeout(int timeout_ms) {
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0) return ErrnoStatus("poll");
+  if (r == 0) return Status::Busy("recv timeout");
+  return Recv();
+}
+
+Status MsgSocket::SendAll(const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status MsgSocket::RecvAll(void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    ssize_t r = ::recv(fd_, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (r == 0) return Status::Protocol("peer closed connection");
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void MsgSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void MsgSocket::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+uint64_t MsgSocket::TotalMessagesSent() {
+  return g_messages_sent.load(std::memory_order_relaxed);
+}
+
+void MsgSocket::ResetMessageCounter() { g_messages_sent.store(0); }
+
+// ---- MsgListener ------------------------------------------------------------
+
+MsgListener::~MsgListener() { Close(); }
+
+MsgListener::MsgListener(MsgListener&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+MsgListener& MsgListener::operator=(MsgListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<MsgListener> MsgListener::Listen(const std::string& path) {
+  sockaddr_un addr;
+  BESS_RETURN_IF_ERROR(FillSockaddr(path, &addr));
+  ::unlink(path.c_str());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = ErrnoStatus("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status s = ErrnoStatus("listen");
+    ::close(fd);
+    return s;
+  }
+  return MsgListener(fd, path);
+}
+
+Result<MsgSocket> MsgListener::Accept() {
+  for (;;) {
+    int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("accept");
+    }
+    return MsgSocket(cfd);
+  }
+}
+
+Result<MsgSocket> MsgListener::AcceptTimeout(int timeout_ms) {
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0) return ErrnoStatus("poll(accept)");
+  if (r == 0) return Status::Busy("accept timeout");
+  return Accept();
+}
+
+void MsgListener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void MsgListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+}
+
+}  // namespace bess

@@ -1,0 +1,116 @@
+// Framed message transport over Unix-domain sockets: the client/server and
+// server/server communication substrate (paper §3, Figure 2).
+//
+// The paper's testbed was workstations on a LAN; here all peers are local
+// processes, so each socket supports an injectable per-message latency to
+// simulate network round-trip cost in benchmarks (see DESIGN.md §1.4).
+// Global send counters let benches report messages-per-transaction, the
+// metric callback-locking papers optimize.
+#ifndef BESS_OS_SOCKET_H_
+#define BESS_OS_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bess {
+
+/// One framed message: a small type tag plus an opaque payload.
+struct Message {
+  uint16_t type = 0;
+  std::string payload;
+};
+
+/// A connected, bidirectional, message-framed socket. Move-only.
+/// Thread-compatible: concurrent Send from multiple threads must be
+/// externally serialized, likewise Recv.
+class MsgSocket {
+ public:
+  MsgSocket() = default;
+  ~MsgSocket();
+  MsgSocket(MsgSocket&& other) noexcept;
+  MsgSocket& operator=(MsgSocket&& other) noexcept;
+  MsgSocket(const MsgSocket&) = delete;
+  MsgSocket& operator=(const MsgSocket&) = delete;
+
+  /// Connects to a listening socket at `path`.
+  static Result<MsgSocket> Connect(const std::string& path);
+
+  /// Creates a connected socketpair (for in-process or fork-based peers).
+  static Status Pair(MsgSocket* a, MsgSocket* b);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Sends one message (applies the simulated latency first).
+  Status Send(uint16_t type, Slice payload);
+
+  /// Receives one message; blocks. Returns Protocol status on peer close.
+  Result<Message> Recv();
+
+  /// Receives one message if available within `timeout_ms`; kBusy on timeout.
+  Result<Message> RecvTimeout(int timeout_ms);
+
+  /// Simulated one-way latency added before each send, in microseconds.
+  void set_simulated_latency_us(uint32_t us) { latency_us_ = us; }
+
+  void Close();
+
+  /// Shuts the connection down (both directions) without closing the fd:
+  /// unblocks a thread parked in Recv on this socket from another thread.
+  void Shutdown();
+
+  /// Process-wide count of messages sent (benchmark metric).
+  static uint64_t TotalMessagesSent();
+  static void ResetMessageCounter();
+
+ private:
+  friend class MsgListener;
+  explicit MsgSocket(int fd) : fd_(fd) {}
+
+  Status SendAll(const void* buf, size_t n);
+  Status RecvAll(void* buf, size_t n);
+
+  int fd_ = -1;
+  uint32_t latency_us_ = 0;
+};
+
+/// A listening Unix-domain socket accepting MsgSocket connections.
+class MsgListener {
+ public:
+  MsgListener() = default;
+  ~MsgListener();
+  MsgListener(MsgListener&& other) noexcept;
+  MsgListener& operator=(MsgListener&& other) noexcept;
+  MsgListener(const MsgListener&) = delete;
+  MsgListener& operator=(const MsgListener&) = delete;
+
+  /// Binds and listens at `path` (removing any stale socket file).
+  static Result<MsgListener> Listen(const std::string& path);
+
+  /// Accepts one connection; blocks.
+  Result<MsgSocket> Accept();
+
+  /// Accepts with a timeout: kBusy if nothing arrives within `timeout_ms`
+  /// (lets accept loops poll a stop flag; plain shutdown()/close() does not
+  /// reliably unblock accept on all kernels).
+  Result<MsgSocket> AcceptTimeout(int timeout_ms);
+
+  /// Unblocks a thread parked in Accept (call before Close from another
+  /// thread).
+  void Shutdown();
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  MsgListener(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_OS_SOCKET_H_

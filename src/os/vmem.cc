@@ -1,0 +1,98 @@
+#include "os/vmem.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/mman.h>
+
+#include <atomic>
+
+namespace bess {
+namespace vmem {
+namespace {
+
+std::atomic<uint64_t> g_reserve_calls{0};
+std::atomic<uint64_t> g_protect_calls{0};
+std::atomic<uint64_t> g_commit_calls{0};
+std::atomic<uint64_t> g_map_fixed_calls{0};
+
+int ToProt(Protection p) {
+  switch (p) {
+    case kNone:
+      return PROT_NONE;
+    case kRead:
+      return PROT_READ;
+    case kReadWrite:
+      return PROT_READ | PROT_WRITE;
+  }
+  return PROT_NONE;
+}
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + ": " + strerror(errno));
+}
+
+}  // namespace
+
+Result<void*> Reserve(size_t len) {
+  g_reserve_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = ::mmap(nullptr, len, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p == MAP_FAILED) return ErrnoStatus("mmap(reserve)");
+  return p;
+}
+
+Status Release(void* addr, size_t len) {
+  if (::munmap(addr, len) != 0) return ErrnoStatus("munmap");
+  return Status::OK();
+}
+
+Status Protect(void* addr, size_t len, Protection prot) {
+  g_protect_calls.fetch_add(1, std::memory_order_relaxed);
+  if (::mprotect(addr, len, ToProt(prot)) != 0) {
+    return ErrnoStatus("mprotect");
+  }
+  return Status::OK();
+}
+
+Status CommitAnonymous(void* addr, size_t len, Protection prot) {
+  g_commit_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = ::mmap(addr, len, ToProt(prot),
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+  if (p == MAP_FAILED) return ErrnoStatus("mmap(commit)");
+  return Status::OK();
+}
+
+Status MapFileFixed(void* addr, size_t len, int fd, uint64_t offset,
+                    Protection prot) {
+  g_map_fixed_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = ::mmap(addr, len, ToProt(prot), MAP_SHARED | MAP_FIXED, fd,
+                   static_cast<off_t>(offset));
+  if (p == MAP_FAILED) return ErrnoStatus("mmap(file,fixed)");
+  return Status::OK();
+}
+
+Result<void*> MapFile(size_t len, int fd, uint64_t offset) {
+  void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                   static_cast<off_t>(offset));
+  if (p == MAP_FAILED) return ErrnoStatus("mmap(file)");
+  return p;
+}
+
+Counters GetCounters() {
+  return Counters{
+      g_reserve_calls.load(std::memory_order_relaxed),
+      g_protect_calls.load(std::memory_order_relaxed),
+      g_commit_calls.load(std::memory_order_relaxed),
+      g_map_fixed_calls.load(std::memory_order_relaxed),
+  };
+}
+
+void ResetCounters() {
+  g_reserve_calls.store(0);
+  g_protect_calls.store(0);
+  g_commit_calls.store(0);
+  g_map_fixed_calls.store(0);
+}
+
+}  // namespace vmem
+}  // namespace bess

@@ -1,0 +1,61 @@
+// Virtual-memory primitives: address-range reservation, protection changes,
+// fixed-address file mapping. These are the hardware facilities the paper
+// builds on — reserved (PROT_NONE) ranges produce segment faults on first
+// touch, and write-protected pages produce protection faults used for
+// automatic update detection (§2.1–§2.3).
+//
+// All calls are counted so benchmarks can report syscall overheads
+// (bench_protect, bench_detect).
+#ifndef BESS_OS_VMEM_H_
+#define BESS_OS_VMEM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace bess {
+namespace vmem {
+
+enum Protection : int {
+  kNone = 0,       ///< no access: any touch faults (reserved / invalid frame)
+  kRead = 1,       ///< read-only: writes fault (update detection)
+  kReadWrite = 3,  ///< full access
+};
+
+/// Reserves `len` bytes of address space with no access and no backing
+/// storage committed. Touching it faults. Returns the base address.
+Result<void*> Reserve(size_t len);
+
+/// Releases a reservation (or any mapping) made by this module.
+Status Release(void* addr, size_t len);
+
+/// Changes protection of [addr, addr+len). addr and len must be page-aligned.
+Status Protect(void* addr, size_t len, Protection prot);
+
+/// Commits anonymous zeroed memory at a fixed address inside an existing
+/// reservation, with the given protection.
+Status CommitAnonymous(void* addr, size_t len, Protection prot);
+
+/// Maps `len` bytes of `fd` at file offset `offset` to the fixed address
+/// `addr` (inside an existing reservation), shared, with protection `prot`.
+Status MapFileFixed(void* addr, size_t len, int fd, uint64_t offset,
+                    Protection prot);
+
+/// Maps a file (shared, read-write) at a system-chosen address.
+Result<void*> MapFile(size_t len, int fd, uint64_t offset);
+
+/// Counters for benchmark reporting.
+struct Counters {
+  uint64_t reserve_calls;
+  uint64_t protect_calls;
+  uint64_t commit_calls;
+  uint64_t map_fixed_calls;
+};
+Counters GetCounters();
+void ResetCounters();
+
+}  // namespace vmem
+}  // namespace bess
+
+#endif  // BESS_OS_VMEM_H_

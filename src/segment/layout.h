@@ -1,0 +1,193 @@
+// On-disk / in-memory layout of object segments (paper §2.1, Figure 1).
+//
+// An object segment consists of a *slotted segment* (fixed header + slot
+// array + outbound-reference table) and a *data segment* (the objects'
+// bytes). An optional *overflow segment* holds extra control information
+// such as very-large-object descriptors. Slotted segments are never
+// relocated; data segments can be resized, moved or compacted without
+// affecting references, because references always point at slots.
+//
+// The same byte layout is used on disk and in memory. Runtime-only fields
+// (DP as a virtual address, segment_handle, last_data_base) are rewritten at
+// fetch time; their on-disk values are interpreted as described per field.
+#ifndef BESS_SEGMENT_LAYOUT_H_
+#define BESS_SEGMENT_LAYOUT_H_
+
+#include <cstdint>
+
+#include "storage/storage_area.h"
+#include "util/config.h"
+
+namespace bess {
+
+/// Identifies a slotted segment: (database, storage area, first page).
+/// Stable for the life of the segment (slotted segments never move).
+struct SegmentId {
+  uint16_t db = 0;
+  uint16_t area = 0;
+  PageId first_page = kInvalidPage;
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(db) << 48) |
+           (static_cast<uint64_t>(area) << 32) | first_page;
+  }
+  static SegmentId Unpack(uint64_t v) {
+    return SegmentId{static_cast<uint16_t>(v >> 48),
+                     static_cast<uint16_t>((v >> 32) & 0xFFFF),
+                     static_cast<PageId>(v & 0xFFFFFFFFu)};
+  }
+  bool valid() const { return first_page != kInvalidPage; }
+  bool operator==(const SegmentId& o) const {
+    return db == o.db && area == o.area && first_page == o.first_page;
+  }
+};
+
+/// Slot flags.
+enum SlotFlags : uint16_t {
+  kSlotInUse = 1 << 0,
+  kSlotLargeObject = 1 << 1,  ///< transparent large object (own disk segment)
+  kSlotForward = 1 << 2,      ///< forward object for inter-database refs
+  kSlotVeryLarge = 1 << 3,    ///< byte-range large object (tree in overflow)
+};
+
+inline constexpr uint16_t kNoSlot = 0xFFFF;
+
+/// An object header, stored in a slot (paper: TP, DP, size, bookkeeping).
+///
+/// `dp` interpretation:
+///   in memory:                 virtual address of the object's data
+///   on disk, small object:     byte offset within the data segment
+///   on disk, large object:     packed disk address (area:16|pages:16|page:32)
+///   on disk, very large:       byte offset of its descriptor in the
+///                              overflow segment
+struct Slot {
+  uint64_t dp = 0;
+  uint32_t type_idx = 0;    ///< TP: index into the database type table
+  uint32_t size = 0;        ///< object size in bytes
+  uint32_t uniquifier = 0;  ///< bumped on every slot reuse (OID uniqueness)
+  uint16_t flags = 0;
+  uint16_t next_free = kNoSlot;  ///< free-slot chain link when free
+  uint64_t lock_ref = 0;  ///< runtime pointer to lock info; junk on disk
+
+  bool in_use() const { return flags & kSlotInUse; }
+
+  static uint64_t PackDiskAddr(uint16_t area, PageId page, uint16_t pages) {
+    return (static_cast<uint64_t>(area) << 48) |
+           (static_cast<uint64_t>(pages) << 32) | page;
+  }
+  static void UnpackDiskAddr(uint64_t v, uint16_t* area, PageId* page,
+                             uint16_t* pages) {
+    *area = static_cast<uint16_t>(v >> 48);
+    *pages = static_cast<uint16_t>((v >> 32) & 0xFFFF);
+    *page = static_cast<PageId>(v & 0xFFFFFFFFu);
+  }
+};
+static_assert(sizeof(Slot) == 32, "Slot layout is persisted; keep it stable");
+
+/// Entry in the outbound-reference table: a slotted segment that objects in
+/// this segment reference. On-disk reference fields name their target as
+/// (outbound index, slot number); swizzling turns that into the virtual
+/// address of the target slot.
+struct OutboundRef {
+  uint16_t db = 0;
+  uint16_t area = 0;
+  PageId first_page = kInvalidPage;
+
+  SegmentId AsSegmentId() const { return SegmentId{db, area, first_page}; }
+};
+static_assert(sizeof(OutboundRef) == 8);
+
+/// Index value meaning "this segment itself" in reference fields.
+inline constexpr uint16_t kOutboundSelf = 0xFFFF;
+
+/// On-disk form of a reference field inside an object (8 bytes):
+///   bits 63..48: outbound index (kOutboundSelf for intra-segment refs)
+///   bits 47..32: slot number in the target segment
+///   bit  0:      always 1 (tags the value as unswizzled; a swizzled value
+///                is a pointer, which is at least 8-byte aligned)
+/// A zero value is a null reference in both forms.
+struct DiskRef {
+  static uint64_t Pack(uint16_t outbound_idx, uint16_t slot) {
+    return (static_cast<uint64_t>(outbound_idx) << 48) |
+           (static_cast<uint64_t>(slot) << 32) | 1u;
+  }
+  static bool IsUnswizzled(uint64_t v) { return (v & 1u) != 0; }
+  static uint16_t OutboundIdx(uint64_t v) {
+    return static_cast<uint16_t>(v >> 48);
+  }
+  static uint16_t SlotNo(uint64_t v) {
+    return static_cast<uint16_t>((v >> 32) & 0xFFFF);
+  }
+};
+
+/// Fixed header at the start of every slotted segment ("slotted segment
+/// header" of Figure 1).
+struct SlottedHeader {
+  static constexpr uint32_t kMagic = 0xBE55D0C5u;
+
+  uint32_t magic = kMagic;
+  uint16_t db = 0;
+  uint16_t area = 0;
+  PageId first_page = kInvalidPage;  ///< self (slotted segments never move)
+  uint32_t page_count = 0;           ///< slotted segment size in pages
+  uint16_t file_id = 0;              ///< owning BeSS file
+  uint16_t flags = 0;
+
+  uint32_t slot_capacity = 0;
+  uint32_t slot_count = 0;  ///< slots ever used (high-water mark)
+  uint32_t live_objects = 0;
+  uint16_t free_head = kNoSlot;  ///< head of free-slot chain
+  uint16_t outbound_capacity = 0;
+  uint16_t outbound_count = 0;
+  uint16_t reserved0 = 0;
+
+  // Data segment location and its (bump) allocation state.
+  uint16_t data_area = 0;
+  uint16_t reserved1 = 0;
+  PageId data_first_page = kInvalidPage;
+  uint32_t data_page_count = 0;
+  uint32_t data_used = 0;  ///< bump pointer: bytes allocated from the start
+  uint32_t data_dead = 0;  ///< bytes occupied by deleted objects (holes)
+
+  // Overflow segment (kInvalidPage when absent).
+  uint16_t overflow_area = 0;
+  uint16_t reserved2 = 0;
+  PageId overflow_first_page = kInvalidPage;
+  uint32_t overflow_page_count = 0;
+  uint32_t overflow_used = 0;
+
+  /// Runtime pointer to the in-memory segment control structure (the
+  /// paper's "segment handle": dirty pages, lock data, ...). Junk on disk.
+  uint64_t segment_handle = 0;
+
+  /// Virtual address at which the data segment was mapped when this image
+  /// was last written. DP fix-up at fetch time computes
+  ///   new_dp = new_data_base + (old_dp - last_data_base)
+  /// — the paper's "two arithmetic operations".
+  uint64_t last_data_base = 0;
+
+  SegmentId self() const { return SegmentId{db, area, first_page}; }
+  SegmentId data_segment() const {
+    return SegmentId{db, data_area, data_first_page};
+  }
+};
+
+/// Byte offset of slot `i` within the slotted segment image.
+inline constexpr size_t SlotOffset(uint32_t i) {
+  return sizeof(SlottedHeader) + static_cast<size_t>(i) * sizeof(Slot);
+}
+
+/// Byte offset of outbound entry `i`, given the slot capacity.
+inline constexpr size_t OutboundOffset(uint32_t slot_capacity, uint32_t i) {
+  return SlotOffset(slot_capacity) + static_cast<size_t>(i) * sizeof(OutboundRef);
+}
+
+/// Total bytes needed for a slotted segment image.
+inline constexpr size_t SlottedImageSize(uint32_t slot_capacity,
+                                         uint32_t outbound_capacity) {
+  return OutboundOffset(slot_capacity, outbound_capacity);
+}
+
+}  // namespace bess
+
+#endif  // BESS_SEGMENT_LAYOUT_H_

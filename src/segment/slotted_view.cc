@@ -1,0 +1,141 @@
+#include "segment/slotted_view.h"
+
+#include <cstring>
+
+namespace bess {
+
+Result<SlottedView> SlottedView::Format(void* image, size_t image_bytes,
+                                        SegmentId id, uint16_t file_id,
+                                        uint32_t slot_capacity,
+                                        uint16_t outbound_capacity) {
+  if (slot_capacity == 0 || slot_capacity > kMaxSlotsPerSegment ||
+      slot_capacity >= kNoSlot) {
+    return Status::InvalidArgument("bad slot capacity");
+  }
+  const size_t need = SlottedImageSize(slot_capacity, outbound_capacity);
+  if (need > image_bytes) {
+    return Status::InvalidArgument("slotted image buffer too small: need " +
+                                   std::to_string(need) + " have " +
+                                   std::to_string(image_bytes));
+  }
+  memset(image, 0, image_bytes);
+  SlottedView view(image, image_bytes);
+  SlottedHeader* h = view.header();
+  *h = SlottedHeader{};
+  h->db = id.db;
+  h->area = id.area;
+  h->first_page = id.first_page;
+  h->page_count = static_cast<uint32_t>(image_bytes / kPageSize);
+  h->file_id = file_id;
+  h->slot_capacity = slot_capacity;
+  h->outbound_capacity = outbound_capacity;
+  return view;
+}
+
+Status SlottedView::Validate() const {
+  const SlottedHeader* h = header();
+  if (bytes_ < sizeof(SlottedHeader) || h->magic != SlottedHeader::kMagic) {
+    return Status::Corruption("bad slotted segment magic");
+  }
+  if (h->slot_capacity == 0 || h->slot_capacity > kMaxSlotsPerSegment ||
+      SlottedImageSize(h->slot_capacity, h->outbound_capacity) > bytes_) {
+    return Status::Corruption("slotted segment capacities exceed image");
+  }
+  if (h->slot_count > h->slot_capacity ||
+      h->outbound_count > h->outbound_capacity) {
+    return Status::Corruption("slotted segment counts exceed capacities");
+  }
+  return Status::OK();
+}
+
+uint16_t SlottedView::SlotNumberOf(const void* slot_addr) const {
+  const char* p = static_cast<const char*>(slot_addr);
+  const char* first = base_ + SlotOffset(0);
+  if (p < first) return kNoSlot;
+  const size_t delta = static_cast<size_t>(p - first);
+  if (delta % sizeof(Slot) != 0) return kNoSlot;
+  const size_t idx = delta / sizeof(Slot);
+  if (idx >= header()->slot_capacity) return kNoSlot;
+  return static_cast<uint16_t>(idx);
+}
+
+Result<uint16_t> SlottedView::AllocSlot() {
+  SlottedHeader* h = header();
+  uint16_t idx;
+  if (h->free_head != kNoSlot) {
+    idx = h->free_head;
+    Slot* s = slot(idx);
+    h->free_head = s->next_free;
+    const uint32_t uniq = s->uniquifier;  // already bumped by FreeSlot
+    *s = Slot{};
+    s->uniquifier = uniq;
+  } else if (h->slot_count < h->slot_capacity) {
+    idx = static_cast<uint16_t>(h->slot_count++);
+    *slot(idx) = Slot{};
+  } else {
+    return Status::NoSpace("slotted segment out of slots");
+  }
+  Slot* s = slot(idx);
+  s->flags = kSlotInUse;
+  s->next_free = kNoSlot;
+  h->live_objects++;
+  return idx;
+}
+
+Status SlottedView::FreeSlot(uint16_t i) {
+  SlottedHeader* h = header();
+  if (i >= h->slot_count || !slot(i)->in_use()) {
+    return Status::InvalidArgument("free of unused slot " + std::to_string(i));
+  }
+  Slot* s = slot(i);
+  s->flags = 0;
+  s->dp = 0;
+  s->size = 0;
+  s->uniquifier++;  // existing OIDs to this slot become stale
+  s->next_free = h->free_head;
+  h->free_head = i;
+  h->live_objects--;
+  return Status::OK();
+}
+
+Result<uint16_t> SlottedView::InternOutbound(SegmentId target) {
+  SlottedHeader* h = header();
+  if (target == h->self()) return kOutboundSelf;
+  for (uint16_t i = 0; i < h->outbound_count; ++i) {
+    if (outbound(i)->AsSegmentId() == target) return i;
+  }
+  if (h->outbound_count >= h->outbound_capacity) {
+    return Status::NoSpace("outbound reference table full");
+  }
+  const uint16_t idx = h->outbound_count++;
+  OutboundRef* ref = outbound(idx);
+  ref->db = target.db;
+  ref->area = target.area;
+  ref->first_page = target.first_page;
+  return idx;
+}
+
+Result<SegmentId> SlottedView::ResolveOutbound(uint16_t idx) const {
+  const SlottedHeader* h = header();
+  if (idx == kOutboundSelf) return h->self();
+  if (idx >= h->outbound_count) {
+    return Status::Corruption("outbound index " + std::to_string(idx) +
+                              " out of range");
+  }
+  return outbound(idx)->AsSegmentId();
+}
+
+Result<uint32_t> SlottedView::AllocData(uint32_t nbytes) {
+  SlottedHeader* h = header();
+  const uint32_t aligned = (nbytes + 7u) & ~7u;
+  const uint64_t limit =
+      static_cast<uint64_t>(h->data_page_count) * kPageSize;
+  if (h->data_used + static_cast<uint64_t>(aligned) > limit) {
+    return Status::NoSpace("data segment full");
+  }
+  const uint32_t off = h->data_used;
+  h->data_used += aligned;
+  return off;
+}
+
+}  // namespace bess

@@ -1,0 +1,94 @@
+// SlottedView: a non-owning window onto a slotted segment image (on a page
+// buffer, in the shared cache, or in a mapped region). All slot / outbound
+// table / data-allocation bookkeeping goes through here.
+//
+// The view itself never changes memory protection; callers that operate on a
+// write-protected mapping (corruption prevention, §2.2) wrap mutations in a
+// vm::UnprotectGuard.
+#ifndef BESS_SEGMENT_SLOTTED_VIEW_H_
+#define BESS_SEGMENT_SLOTTED_VIEW_H_
+
+#include <cstdint>
+
+#include "segment/layout.h"
+#include "util/status.h"
+
+namespace bess {
+
+class SlottedView {
+ public:
+  /// Wraps an existing image. Call Validate() before trusting its contents.
+  SlottedView(void* image, size_t image_bytes)
+      : base_(static_cast<char*>(image)), bytes_(image_bytes) {}
+
+  /// Formats a fresh slotted segment in `image` (zeroing it first). The
+  /// data segment location is set separately via header().
+  static Result<SlottedView> Format(void* image, size_t image_bytes,
+                                    SegmentId id, uint16_t file_id,
+                                    uint32_t slot_capacity,
+                                    uint16_t outbound_capacity);
+
+  /// Checks magic, capacities and offsets against the buffer size.
+  Status Validate() const;
+
+  SlottedHeader* header() { return reinterpret_cast<SlottedHeader*>(base_); }
+  const SlottedHeader* header() const {
+    return reinterpret_cast<const SlottedHeader*>(base_);
+  }
+
+  Slot* slot(uint16_t i) {
+    return reinterpret_cast<Slot*>(base_ + SlotOffset(i));
+  }
+  const Slot* slot(uint16_t i) const {
+    return reinterpret_cast<const Slot*>(base_ + SlotOffset(i));
+  }
+
+  OutboundRef* outbound(uint16_t i) {
+    return reinterpret_cast<OutboundRef*>(
+        base_ + OutboundOffset(header()->slot_capacity, i));
+  }
+  const OutboundRef* outbound(uint16_t i) const {
+    return reinterpret_cast<const OutboundRef*>(
+        base_ + OutboundOffset(header()->slot_capacity, i));
+  }
+
+  /// Slot number of a slot pointer within this image, or kNoSlot if the
+  /// pointer is not a slot of this segment.
+  uint16_t SlotNumberOf(const void* slot_addr) const;
+
+  /// Allocates a slot: pops the free chain or extends the high-water mark.
+  /// The returned slot has in-use set, a fresh uniquifier, other fields
+  /// zeroed. NoSpace when the segment is at slot capacity.
+  Result<uint16_t> AllocSlot();
+
+  /// Frees a slot: bumps the uniquifier (OID approximate uniqueness) and
+  /// links it into the free chain.
+  Status FreeSlot(uint16_t i);
+
+  /// Finds or adds `target` in the outbound table. Returns kOutboundSelf if
+  /// target is this segment. NoSpace when the table is full.
+  Result<uint16_t> InternOutbound(SegmentId target);
+
+  /// Resolves an outbound index (kOutboundSelf maps to this segment).
+  Result<SegmentId> ResolveOutbound(uint16_t idx) const;
+
+  /// Bump-allocates `nbytes` (8-byte aligned) in the data segment; returns
+  /// the data-segment offset, or NoSpace when the bump pointer would pass
+  /// `data_page_count * kPageSize`.
+  Result<uint32_t> AllocData(uint32_t nbytes);
+
+  /// Records `nbytes` of the data segment as dead (a hole left by a deleted
+  /// or moved object); compaction reclaims holes.
+  void NoteDataDead(uint32_t nbytes) { header()->data_dead += nbytes; }
+
+  char* base() { return base_; }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  char* base_;
+  size_t bytes_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_SEGMENT_SLOTTED_VIEW_H_

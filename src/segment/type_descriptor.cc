@@ -1,0 +1,111 @@
+#include "segment/type_descriptor.h"
+
+#include <memory>
+
+namespace bess {
+
+void TypeDescriptor::EncodeTo(std::string* out) const {
+  PutLengthPrefixed(out, name);
+  PutFixed32(out, fixed_size);
+  PutFixed32(out, static_cast<uint32_t>(ref_offsets.size()));
+  for (uint32_t off : ref_offsets) PutFixed32(out, off);
+}
+
+Result<TypeDescriptor> TypeDescriptor::DecodeFrom(Decoder* dec) {
+  TypeDescriptor desc;
+  desc.name = dec->GetLengthPrefixed().ToString();
+  desc.fixed_size = dec->GetFixed32();
+  uint32_t n = dec->GetFixed32();
+  if (!dec->ok() || n > 1u << 20) {
+    return Status::Corruption("bad type descriptor encoding");
+  }
+  desc.ref_offsets.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) desc.ref_offsets.push_back(dec->GetFixed32());
+  if (!dec->ok()) return Status::Corruption("truncated type descriptor");
+  return desc;
+}
+
+TypeTable::TypeTable() {
+  auto raw = std::make_unique<TypeDescriptor>();
+  raw->name = "__raw_bytes";
+  raw->fixed_size = 0;
+  by_name_[raw->name] = 0;
+  types_.push_back(std::move(raw));
+}
+
+Result<TypeIdx> TypeTable::Register(const TypeDescriptor& desc) {
+  if (desc.name.empty()) {
+    return Status::InvalidArgument("type name must be non-empty");
+  }
+  for (uint32_t off : desc.ref_offsets) {
+    if (off % 8 != 0) {
+      return Status::InvalidArgument("reference offset " +
+                                     std::to_string(off) +
+                                     " in type " + desc.name +
+                                     " is not 8-byte aligned");
+    }
+    if (desc.fixed_size != 0 && off + 8 > desc.fixed_size) {
+      return Status::InvalidArgument("reference offset beyond object in " +
+                                     desc.name);
+    }
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = by_name_.find(desc.name);
+  if (it != by_name_.end()) {
+    const TypeDescriptor& existing = *types_[it->second];
+    if (existing.fixed_size != desc.fixed_size ||
+        existing.ref_offsets != desc.ref_offsets) {
+      return Status::InvalidArgument("type " + desc.name +
+                                     " re-registered with different shape");
+    }
+    return it->second;
+  }
+  TypeIdx idx = static_cast<TypeIdx>(types_.size());
+  types_.push_back(std::make_unique<TypeDescriptor>(desc));
+  by_name_[desc.name] = idx;
+  return idx;
+}
+
+Result<const TypeDescriptor*> TypeTable::Get(TypeIdx idx) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (idx >= types_.size()) {
+    return Status::NotFound("type index " + std::to_string(idx));
+  }
+  return const_cast<const TypeDescriptor*>(types_[idx].get());
+}
+
+Result<TypeIdx> TypeTable::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("type " + name);
+  return it->second;
+}
+
+uint32_t TypeTable::size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return static_cast<uint32_t>(types_.size());
+}
+
+void TypeTable::EncodeTo(std::string* out) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  PutFixed32(out, static_cast<uint32_t>(types_.size()));
+  for (const auto& t : types_) t->EncodeTo(out);
+}
+
+Status TypeTable::DecodeFrom(Decoder* dec) {
+  uint32_t n = dec->GetFixed32();
+  if (!dec->ok() || n == 0 || n > 1u << 20) {
+    return Status::Corruption("bad type table encoding");
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  types_.clear();
+  by_name_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    BESS_ASSIGN_OR_RETURN(TypeDescriptor desc, TypeDescriptor::DecodeFrom(dec));
+    by_name_[desc.name] = i;
+    types_.push_back(std::make_unique<TypeDescriptor>(std::move(desc)));
+  }
+  return Status::OK();
+}
+
+}  // namespace bess

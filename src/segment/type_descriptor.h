@@ -1,0 +1,70 @@
+// Type descriptors: per-type metadata the swizzler consults.
+//
+// "Type descriptors contain the offsets of pointers within the objects they
+// describe" (paper §2.1). They are registered per database; the slot's TP
+// field stores an index into this table. Descriptors are persisted in the
+// database catalog.
+#ifndef BESS_SEGMENT_TYPE_DESCRIPTOR_H_
+#define BESS_SEGMENT_TYPE_DESCRIPTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bess {
+
+/// Index of a type in a database's type table.
+using TypeIdx = uint32_t;
+
+/// Type index used for raw (pointer-free) byte objects; always present.
+inline constexpr TypeIdx kRawBytesType = 0;
+
+/// Describes one object type: its name, fixed size (0 for variable), and
+/// the byte offsets of reference fields within instances.
+struct TypeDescriptor {
+  std::string name;
+  uint32_t fixed_size = 0;  ///< 0 = variable-size
+  std::vector<uint32_t> ref_offsets;
+
+  void EncodeTo(std::string* out) const;
+  static Result<TypeDescriptor> DecodeFrom(Decoder* dec);
+};
+
+/// The per-database type table. Registration is append-only; index 0 is the
+/// built-in raw-bytes type. Thread-safe.
+class TypeTable {
+ public:
+  TypeTable();
+
+  /// Registers a type (or returns the existing index if a type of the same
+  /// name is already registered; re-registration with a different shape is
+  /// InvalidArgument). Reference offsets must be 8-byte aligned and, for
+  /// fixed-size types, within the object.
+  Result<TypeIdx> Register(const TypeDescriptor& desc);
+
+  /// Looks up by index. The pointer stays valid for the table's lifetime
+  /// (registration never reallocates published entries' ref vectors).
+  Result<const TypeDescriptor*> Get(TypeIdx idx) const;
+
+  Result<TypeIdx> Find(const std::string& name) const;
+
+  uint32_t size() const;
+
+  /// Serializes the whole table into the database catalog.
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(Decoder* dec);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TypeDescriptor>> types_;
+  std::unordered_map<std::string, TypeIdx> by_name_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_SEGMENT_TYPE_DESCRIPTOR_H_

@@ -1,0 +1,443 @@
+#include "server/bess_server.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace bess {
+namespace {
+
+LockMode ModeFromByte(uint8_t b) {
+  if (b > static_cast<uint8_t>(LockMode::kX)) return LockMode::kX;
+  return static_cast<LockMode>(b);
+}
+
+}  // namespace
+
+BessServer::BessServer(Options options)
+    : options_(std::move(options)), locks_(options_.lock_timeout_ms) {}
+
+BessServer::~BessServer() { Stop(); }
+
+Status BessServer::AddDatabase(Database* db) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  databases_[db->db_id()] = db;
+  return Status::OK();
+}
+
+Status BessServer::Start() {
+  BESS_ASSIGN_OR_RETURN(listener_, MsgListener::Listen(options_.socket_path));
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void BessServer::Stop() {
+  if (!running_.exchange(false)) return;
+  listener_.Shutdown();
+  // Shutting session sockets down unblocks their serving threads (they
+  // close their own fds as they unwind).
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto& [id, session] : sessions_) {
+      (void)id;
+      session->main.Shutdown();
+      session->callback.Shutdown();
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    threads.swap(session_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  listener_.Close();
+}
+
+Result<Database*> BessServer::DbFor(uint16_t db_id) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = databases_.find(db_id);
+  if (it == databases_.end()) {
+    return Status::NotFound("server does not own database " +
+                            std::to_string(db_id));
+  }
+  return it->second;
+}
+
+void BessServer::AcceptLoop() {
+  while (running_.load()) {
+    auto sock = listener_.AcceptTimeout(100);
+    if (!sock.ok()) {
+      if (sock.status().IsBusy()) continue;  // poll tick: re-check running_
+      break;  // listener closed
+    }
+    sock->set_simulated_latency_us(options_.simulated_latency_us);
+    auto first = sock->Recv();
+    if (!first.ok()) continue;
+    if (first->type == kMsgHello) {
+      auto session = std::make_shared<Session>();
+      session->id = next_session_.fetch_add(1);
+      session->main = std::move(*sock);
+      std::string reply;
+      PutFixed64(&reply, session->id);
+      if (!session->main.Send(kMsgOk, reply).ok()) continue;
+      std::lock_guard<std::mutex> guard(mutex_);
+      sessions_[session->id] = session;
+      session_threads_.emplace_back(
+          [this, session] { ServeSession(session); });
+    } else if (first->type == kMsgHelloCallback) {
+      Decoder dec(first->payload);
+      const uint64_t id = dec.GetFixed64();
+      std::lock_guard<std::mutex> guard(mutex_);
+      auto it = sessions_.find(id);
+      if (it != sessions_.end()) {
+        it->second->callback = std::move(*sock);
+        it->second->has_callback.store(true);
+      }
+    }
+  }
+}
+
+void BessServer::ServeSession(std::shared_ptr<Session> session) {
+  for (;;) {
+    auto msg = session->main.Recv();
+    BESS_DEBUG("session " << session->id << " recv type "
+               << (msg.ok() ? msg->type : 0) << " ok=" << msg.ok());
+    if (!msg.ok()) break;  // disconnect
+    if (msg->type == kMsgGoodbye) break;
+    uint16_t reply_type;
+    std::string reply;
+    Handle(*session, *msg, &reply_type, &reply);
+    BESS_DEBUG("session " << session->id << " reply type " << reply_type);
+    if (!session->main.Send(reply_type, reply).ok()) break;
+  }
+  // Session over: release its locks and forget it.
+  locks_.ReleaseAll(session->id);
+  std::lock_guard<std::mutex> guard(mutex_);
+  sessions_.erase(session->id);
+}
+
+void BessServer::Handle(Session& session, const Message& msg,
+                        uint16_t* reply_type, std::string* reply) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats_.requests++;
+  }
+  Status s = HandleRequest(session, msg, reply, reply_type);
+  if (!s.ok()) {
+    EncodeStatus(s, reply_type, reply);
+  }
+}
+
+Status BessServer::HandleRequest(Session& session, const Message& msg,
+                                 std::string* reply, uint16_t* reply_type) {
+  *reply_type = kMsgOk;
+  reply->clear();
+  Decoder dec(msg.payload);
+
+  switch (msg.type) {
+    case kMsgFetchSlotted: {
+      const SegmentId id = SegmentId::Unpack(dec.GetFixed64());
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(id.db));
+      std::string buf(kMaxSlottedPages * kPageSize, '\0');
+      // Serve from the canonical on-disk state via the database's store
+      // path (the server's own mapped cache is a separate client).
+      uint32_t pages = 0;
+      BESS_RETURN_IF_ERROR(db->ReadRawPages(id.area, id.first_page, 1,
+                                            buf.data()));
+      const auto* header = reinterpret_cast<const SlottedHeader*>(buf.data());
+      if (header->magic != SlottedHeader::kMagic || header->page_count == 0 ||
+          header->page_count > kMaxSlottedPages) {
+        return Status::Corruption("not a slotted segment head");
+      }
+      pages = header->page_count;
+      if (pages > 1) {
+        BESS_RETURN_IF_ERROR(db->ReadRawPages(id.area, id.first_page + 1,
+                                              pages - 1,
+                                              buf.data() + kPageSize));
+      }
+      PutFixed32(reply, pages);
+      reply->append(buf.data(), static_cast<size_t>(pages) * kPageSize);
+      std::lock_guard<std::mutex> guard(mutex_);
+      stats_.fetches++;
+      return Status::OK();
+    }
+
+    case kMsgFetchPages: {
+      const uint16_t db_id = dec.GetFixed16();
+      const uint16_t area = dec.GetFixed16();
+      const PageId first = dec.GetFixed32();
+      const uint32_t count = dec.GetFixed32();
+      if (!dec.ok() || count == 0 || count > kPagesPerExtent) {
+        return Status::Protocol("bad fetch request");
+      }
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      reply->resize(static_cast<size_t>(count) * kPageSize);
+      BESS_RETURN_IF_ERROR(
+          db->ReadRawPages(area, first, count, reply->data()));
+      std::lock_guard<std::mutex> guard(mutex_);
+      stats_.fetches++;
+      return Status::OK();
+    }
+
+    case kMsgAllocSegment: {
+      const uint16_t db_id = dec.GetFixed16();
+      const uint16_t area = dec.GetFixed16();
+      const uint32_t pages = dec.GetFixed32();
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      BESS_ASSIGN_OR_RETURN(DiskSegment seg, db->AllocDiskSegment(area, pages));
+      PutFixed32(reply, seg.first_page);
+      PutFixed32(reply, seg.page_count);
+      return Status::OK();
+    }
+
+    case kMsgFreeSegment: {
+      const uint16_t db_id = dec.GetFixed16();
+      const uint16_t area = dec.GetFixed16();
+      const PageId first = dec.GetFixed32();
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      return db->FreeDiskSegment(area, first);
+    }
+
+    case kMsgLock: {
+      const uint64_t key = dec.GetFixed64();
+      const LockMode mode = ModeFromByte(
+          static_cast<uint8_t>(dec.GetBytes(1).data()[0]));
+      const int timeout = static_cast<int>(dec.GetFixed32());
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stats_.lock_requests++;
+      }
+      return AcquireWithCallbacks(session, key, mode,
+                                  timeout > 0 ? timeout
+                                              : options_.lock_timeout_ms);
+    }
+
+    case kMsgReleaseLock: {
+      const uint64_t key = dec.GetFixed64();
+      return locks_.Release(session.id, key);
+    }
+
+    case kMsgReleaseAll: {
+      locks_.ReleaseAll(session.id);
+      return Status::OK();
+    }
+
+    case kMsgCommit: {
+      BESS_ASSIGN_OR_RETURN(std::vector<PageImage> pages,
+                            DecodePageSet(msg.payload));
+      // Split by owning database (one server may own several).
+      std::unordered_map<uint16_t, std::vector<PageImage>> by_db;
+      for (PageImage& img : pages) by_db[img.db].push_back(std::move(img));
+      for (auto& [db_id, set] : by_db) {
+        BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+        BESS_RETURN_IF_ERROR(db->CommitPageSet(set));
+      }
+      std::lock_guard<std::mutex> guard(mutex_);
+      stats_.commits++;
+      return Status::OK();
+    }
+
+    case kMsgPrepare: {
+      const uint64_t gtid = dec.GetFixed64();
+      Slice rest(msg.payload.data() + 8, msg.payload.size() - 8);
+      BESS_ASSIGN_OR_RETURN(std::vector<PageImage> pages, DecodePageSet(rest));
+      std::unordered_map<uint16_t, std::vector<PageImage>> by_db;
+      for (PageImage& img : pages) by_db[img.db].push_back(std::move(img));
+      for (auto& [db_id, set] : by_db) {
+        BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+        BESS_RETURN_IF_ERROR(db->PreparePageSet(gtid, set));
+      }
+      return Status::OK();
+    }
+
+    case kMsgCommitPrepared: {
+      const uint64_t gtid = dec.GetFixed64();
+      std::vector<Database*> dbs;
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        for (auto& [id, db] : databases_) {
+          (void)id;
+          dbs.push_back(db);
+        }
+      }
+      bool any = false;
+      for (Database* db : dbs) {
+        Status s = db->CommitPrepared(gtid);
+        if (s.ok()) any = true;
+        else if (!s.IsNotFound()) return s;
+      }
+      return any ? Status::OK()
+                 : Status::NotFound("gtid unknown (presumed abort)");
+    }
+
+    case kMsgAbortPrepared: {
+      const uint64_t gtid = dec.GetFixed64();
+      std::vector<Database*> dbs;
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        for (auto& [id, db] : databases_) {
+          (void)id;
+          dbs.push_back(db);
+        }
+      }
+      for (Database* db : dbs) {
+        (void)db->AbortPrepared(gtid);
+      }
+      return Status::OK();
+    }
+
+    case kMsgCreateFile: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      const uint8_t multi = static_cast<uint8_t>(dec.GetBytes(1).data()[0]);
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      BESS_ASSIGN_OR_RETURN(uint16_t id,
+                            db->CreateFile(name.ToString(), multi != 0));
+      PutFixed16(reply, id);
+      return Status::OK();
+    }
+
+    case kMsgFindFile: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      BESS_ASSIGN_OR_RETURN(uint16_t id, db->FindFile(name.ToString()));
+      PutFixed16(reply, id);
+      return Status::OK();
+    }
+
+    case kMsgRegisterType: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice rest(msg.payload.data() + 2, msg.payload.size() - 2);
+      Decoder tdec(rest);
+      BESS_ASSIGN_OR_RETURN(TypeDescriptor desc,
+                            TypeDescriptor::DecodeFrom(&tdec));
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      BESS_ASSIGN_OR_RETURN(TypeIdx idx, db->RegisterType(desc));
+      PutFixed32(reply, idx);
+      return Status::OK();
+    }
+
+    case kMsgFetchTypes: {
+      const uint16_t db_id = dec.GetFixed16();
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      db->types()->EncodeTo(reply);
+      return Status::OK();
+    }
+
+    case kMsgNewObjectSegment: {
+      const uint16_t db_id = dec.GetFixed16();
+      const uint16_t file_id = dec.GetFixed16();
+      const uint32_t min_bytes = dec.GetFixed32();
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      BESS_ASSIGN_OR_RETURN(auto grant,
+                            db->GrantObjectSegment(file_id, min_bytes));
+      NewSegmentReply r;
+      r.id = grant.id;
+      r.slotted_pages = grant.slotted_pages;
+      r.slot_capacity = grant.slot_capacity;
+      r.outbound_capacity = grant.outbound_capacity;
+      r.data_area = grant.data_area;
+      r.data_first_page = grant.data_first_page;
+      r.data_page_count = grant.data_page_count;
+      r.EncodeTo(reply);
+      return Status::OK();
+    }
+
+    case kMsgGetRoot: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      BESS_ASSIGN_OR_RETURN(Oid oid, db->GetRootOid(name.ToString()));
+      char buf[12];
+      oid.EncodeTo(buf);
+      reply->append(buf, 12);
+      return Status::OK();
+    }
+
+    case kMsgSetRoot: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      Slice oid_bytes = dec.GetBytes(12);
+      if (!dec.ok()) return Status::Protocol("bad SetRoot");
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      return db->SetRootOid(name.ToString(), Oid::DecodeFrom(oid_bytes.data()));
+    }
+
+    case kMsgRemoveRoot: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      return db->RemoveRoot(name.ToString());
+    }
+
+    default:
+      return Status::Protocol("unknown request type " +
+                              std::to_string(msg.type));
+  }
+}
+
+Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
+                                        LockMode mode, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    Status s = locks_.TryAcquire(session.id, key, mode);
+    if (!s.IsBusy()) return s;  // granted or hard error
+
+    // Conflict: call back the caching holders (callback locking, §3).
+    std::vector<std::pair<TxnId, LockMode>> holders = locks_.Holders(key);
+    for (const auto& [holder_id, held_mode] : holders) {
+      if (holder_id == session.id || LockCompatible(held_mode, mode)) {
+        continue;
+      }
+      std::shared_ptr<Session> holder;
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        auto it = sessions_.find(holder_id);
+        if (it != sessions_.end()) holder = it->second;
+      }
+      if (holder == nullptr || !holder->has_callback.load()) {
+        // A dead or callback-less session cannot answer: break its lock if
+        // the session is gone, otherwise keep waiting.
+        continue;
+      }
+      std::string payload;
+      PutFixed64(&payload, key);
+      payload.push_back(static_cast<char>(mode));
+      std::lock_guard<std::mutex> cb_guard(holder->callback_mutex);
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stats_.callbacks_sent++;
+      }
+      if (!holder->callback.Send(kMsgCallback, payload).ok()) continue;
+      auto answer = holder->callback.RecvTimeout(options_.callback_timeout_ms);
+      if (!answer.ok()) continue;
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (answer->type == kMsgCallbackReleased) {
+        stats_.callbacks_released++;
+        (void)locks_.Release(holder_id, key);
+      } else {
+        stats_.callbacks_denied++;  // in use: the requester keeps waiting
+      }
+    }
+
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Deadlock("lock wait timeout (callbacks exhausted) on " +
+                              std::to_string(key));
+    }
+    // Brief pause before the next round so busy holders can finish.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+BessServer::Stats BessServer::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace bess

@@ -1,0 +1,102 @@
+// The BeSS server (paper §3, Figure 2).
+//
+// "Each BeSS server manages a number of storage areas and provides
+// distributed transaction management, concurrency control and recovery for
+// the databases stored in these areas." Clients connect over two channels
+// (request/response + callback); the server grants locks with the callback
+// locking algorithm [17, 19]: when a request conflicts with a lock *cached*
+// by another client, the server calls that client back; the client releases
+// the lock if no active transaction uses it, otherwise the requester waits
+// (timeouts standing in for distributed deadlock detection).
+//
+// The server is an *open server*: trusted code can be linked with it — in
+// this codebase that simply means constructing BessServer inside your own
+// process and registering hooks or using the owned Databases directly
+// (§2.4, §5 "value added server").
+#ifndef BESS_SERVER_BESS_SERVER_H_
+#define BESS_SERVER_BESS_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "object/database.h"
+#include "os/socket.h"
+#include "server/protocol.h"
+
+namespace bess {
+
+class BessServer {
+ public:
+  struct Options {
+    std::string socket_path;
+    int lock_timeout_ms = kLockTimeoutMillis;
+    int callback_timeout_ms = 500;  ///< wait for one callback round trip
+    uint32_t simulated_latency_us = 0;  ///< per message (LAN simulation)
+  };
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t fetches = 0;
+    uint64_t commits = 0;
+    uint64_t lock_requests = 0;
+    uint64_t callbacks_sent = 0;
+    uint64_t callbacks_released = 0;
+    uint64_t callbacks_denied = 0;
+  };
+
+  explicit BessServer(Options options);
+  ~BessServer();
+
+  /// Registers a database this server owns (not transferred).
+  Status AddDatabase(Database* db);
+
+  /// Starts listening and serving (returns immediately).
+  Status Start();
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  Stats stats() const;
+  LockStats lock_stats() const { return locks_.stats(); }
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    MsgSocket main;
+    MsgSocket callback;
+    std::mutex callback_mutex;  // one callback round trip at a time
+    std::atomic<bool> has_callback{false};
+  };
+
+  void AcceptLoop();
+  void ServeSession(std::shared_ptr<Session> session);
+  /// Handles one request; fills the reply (type + payload).
+  void Handle(Session& session, const Message& msg, uint16_t* reply_type,
+              std::string* reply);
+  Status HandleRequest(Session& session, const Message& msg,
+                       std::string* reply, uint16_t* reply_type);
+  Status AcquireWithCallbacks(Session& session, uint64_t key, LockMode mode,
+                              int timeout_ms);
+  Result<Database*> DbFor(uint16_t db_id);
+
+  Options options_;
+  LockManager locks_;
+  MsgListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> next_session_{1};
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint16_t, Database*> databases_;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> session_threads_;
+  mutable Stats stats_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_SERVER_BESS_SERVER_H_

@@ -1,0 +1,364 @@
+#include "server/node_server.h"
+
+#include "segment/layout.h"
+#include "util/logging.h"
+
+namespace bess {
+
+Result<std::unique_ptr<NodeServer>> NodeServer::Start(Options options) {
+  auto node = std::unique_ptr<NodeServer>(new NodeServer());
+  node->options_ = std::move(options);
+  BESS_RETURN_IF_ERROR(node->Init());
+  return node;
+}
+
+NodeServer::~NodeServer() { Stop(); }
+
+Status NodeServer::Init() {
+  // Upstream connection (the node server is itself a client, §3).
+  BESS_ASSIGN_OR_RETURN(upstream_, MsgSocket::Connect(options_.upstream_path));
+  upstream_.set_simulated_latency_us(options_.upstream_latency_us);
+  BESS_RETURN_IF_ERROR(upstream_.Send(kMsgHello, ""));
+  BESS_ASSIGN_OR_RETURN(Message hello, upstream_.Recv());
+  if (hello.type != kMsgOk || hello.payload.size() != 8) {
+    return Status::Protocol("bad upstream hello");
+  }
+  upstream_session_ = DecodeFixed64(hello.payload.data());
+
+  BESS_ASSIGN_OR_RETURN(upstream_callback_,
+                        MsgSocket::Connect(options_.upstream_path));
+  std::string bind;
+  PutFixed64(&bind, upstream_session_);
+  BESS_RETURN_IF_ERROR(upstream_callback_.Send(kMsgHelloCallback, bind));
+
+  BESS_ASSIGN_OR_RETURN(listener_, MsgListener::Listen(options_.socket_path));
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  callback_thread_ = std::thread([this] { UpstreamCallbackLoop(); });
+  return Status::OK();
+}
+
+void NodeServer::Stop() {
+  if (!running_.exchange(false)) return;
+  listener_.Shutdown();
+  (void)upstream_.Send(kMsgGoodbye, "");
+  upstream_callback_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (callback_thread_.joinable()) callback_thread_.join();
+  listener_.Close();
+  upstream_callback_.Close();
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto& s : sessions_) s->main.Shutdown();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    threads.swap(session_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Status NodeServer::UpstreamCall(uint16_t type, const std::string& payload,
+                                Message* reply) {
+  std::lock_guard<std::mutex> guard(upstream_mutex_);
+  BESS_RETURN_IF_ERROR(upstream_.Send(type, payload));
+  BESS_ASSIGN_OR_RETURN(*reply, upstream_.Recv());
+  if (reply->type == kMsgError) return DecodeStatusReply(*reply);
+  return Status::OK();
+}
+
+void NodeServer::AcceptLoop() {
+  while (running_.load()) {
+    auto sock = listener_.AcceptTimeout(100);
+    if (!sock.ok()) {
+      if (sock.status().IsBusy()) continue;
+      break;
+    }
+    auto first = sock->Recv();
+    if (!first.ok()) continue;
+    if (first->type == kMsgHello) {
+      auto session = std::make_shared<LocalSession>();
+      session->id = next_session_.fetch_add(1);
+      session->main = std::move(*sock);
+      std::string reply;
+      PutFixed64(&reply, session->id);
+      if (!session->main.Send(kMsgOk, reply).ok()) continue;
+      std::lock_guard<std::mutex> guard(mutex_);
+      sessions_.push_back(session);
+      session_threads_.emplace_back(
+          [this, session] { ServeSession(session); });
+    }
+    // Local callback channels are accepted but unused: the node server
+    // resolves local conflicts by blocking (its lock manager), and answers
+    // upstream callbacks itself on the applications' behalf (§3).
+  }
+}
+
+void NodeServer::ServeSession(std::shared_ptr<LocalSession> session) {
+  for (;;) {
+    auto msg = session->main.Recv();
+    if (!msg.ok()) break;
+    if (msg->type == kMsgGoodbye) break;
+    uint16_t reply_type = kMsgOk;
+    std::string reply;
+    Status s = HandleRequest(*session, *msg, &reply, &reply_type);
+    if (!s.ok()) EncodeStatus(s, &reply_type, &reply);
+    if (!session->main.Send(reply_type, reply).ok()) break;
+  }
+  local_locks_.ReleaseAll(session->id);
+}
+
+bool NodeServer::CacheGet(uint64_t page_key, std::string* bytes) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = cache_.find(page_key);
+  if (it == cache_.end()) return false;
+  *bytes = it->second;
+  stats_.cache_hits++;
+  return true;
+}
+
+void NodeServer::CachePut(uint64_t page_key, std::string bytes) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (cache_.count(page_key) == 0) {
+    cache_order_.push_back(page_key);
+    while (cache_order_.size() > options_.cache_pages) {
+      cache_.erase(cache_order_.front());
+      cache_order_.pop_front();
+    }
+  }
+  cache_[page_key] = std::move(bytes);
+}
+
+void NodeServer::CacheInvalidateAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  cache_.clear();
+  cache_order_.clear();
+  stats_.cache_invalidations++;
+}
+
+Status NodeServer::EnsureUpstreamLock(uint64_t key, LockMode mode,
+                                      int timeout_ms) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = node_locks_.find(key);
+    if (it != node_locks_.end() && LockJoin(it->second, mode) == it->second) {
+      stats_.lock_cache_hits++;
+      return Status::OK();
+    }
+  }
+  std::string payload;
+  PutFixed64(&payload, key);
+  payload.push_back(static_cast<char>(mode));
+  PutFixed32(&payload, static_cast<uint32_t>(timeout_ms));
+  Message reply;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats_.locks_forwarded++;
+  }
+  BESS_RETURN_IF_ERROR(UpstreamCall(kMsgLock, payload, &reply));
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = node_locks_.find(key);
+  node_locks_[key] =
+      it == node_locks_.end() ? mode : LockJoin(it->second, mode);
+  return Status::OK();
+}
+
+Status NodeServer::HandleRequest(LocalSession& session, const Message& msg,
+                                 std::string* reply, uint16_t* reply_type) {
+  *reply_type = kMsgOk;
+  reply->clear();
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats_.local_requests++;
+  }
+  Decoder dec(msg.payload);
+
+  switch (msg.type) {
+    case kMsgFetchPages: {
+      const uint16_t db = dec.GetFixed16();
+      const uint16_t area = dec.GetFixed16();
+      const PageId first = dec.GetFixed32();
+      const uint32_t count = dec.GetFixed32();
+      if (!dec.ok() || count == 0) return Status::Protocol("bad fetch");
+      reply->resize(static_cast<size_t>(count) * kPageSize);
+      // Serve each page from the node cache where possible; fetch the rest
+      // upstream (one request per contiguous missing run would be an easy
+      // optimization; we fetch the full run on any miss for simplicity).
+      bool all_hit = true;
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string bytes;
+        if (!CacheGet(PageAddr{db, area, first + i}.Pack(), &bytes)) {
+          all_hit = false;
+          break;
+        }
+        memcpy(reply->data() + static_cast<size_t>(i) * kPageSize,
+               bytes.data(), kPageSize);
+      }
+      if (all_hit) return Status::OK();
+      Message upstream_reply;
+      BESS_RETURN_IF_ERROR(UpstreamCall(kMsgFetchPages, msg.payload,
+                                        &upstream_reply));
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stats_.upstream_fetches++;
+      }
+      if (upstream_reply.payload.size() != reply->size()) {
+        return Status::Protocol("short upstream fetch");
+      }
+      *reply = upstream_reply.payload;
+      for (uint32_t i = 0; i < count; ++i) {
+        CachePut(PageAddr{db, area, first + i}.Pack(),
+                 reply->substr(static_cast<size_t>(i) * kPageSize, kPageSize));
+      }
+      return Status::OK();
+    }
+
+    case kMsgFetchSlotted: {
+      const SegmentId id = SegmentId::Unpack(dec.GetFixed64());
+      Message upstream_reply;
+      // Cached head page tells us the page count without going upstream.
+      std::string head;
+      if (CacheGet(PageAddr{id.db, id.area, id.first_page}.Pack(), &head)) {
+        const auto* header =
+            reinterpret_cast<const SlottedHeader*>(head.data());
+        const uint32_t pages = header->page_count;
+        if (pages >= 1 && pages <= kMaxSlottedPages) {
+          std::string out;
+          PutFixed32(&out, pages);
+          out += head;
+          bool ok = true;
+          for (uint32_t i = 1; i < pages && ok; ++i) {
+            std::string bytes;
+            ok = CacheGet(PageAddr{id.db, id.area, id.first_page + i}.Pack(),
+                          &bytes);
+            if (ok) out += bytes;
+          }
+          if (ok) {
+            *reply = std::move(out);
+            return Status::OK();
+          }
+        }
+      }
+      BESS_RETURN_IF_ERROR(UpstreamCall(kMsgFetchSlotted, msg.payload,
+                                        &upstream_reply));
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stats_.upstream_fetches++;
+      }
+      Decoder rdec(upstream_reply.payload);
+      const uint32_t pages = rdec.GetFixed32();
+      for (uint32_t i = 0; i < pages; ++i) {
+        Slice bytes = rdec.GetBytes(kPageSize);
+        if (!rdec.ok()) break;
+        CachePut(PageAddr{id.db, id.area, id.first_page + i}.Pack(),
+                 bytes.ToString());
+      }
+      *reply = upstream_reply.payload;
+      return Status::OK();
+    }
+
+    case kMsgLock: {
+      const uint64_t key = dec.GetFixed64();
+      const LockMode mode = static_cast<LockMode>(dec.GetBytes(1).data()[0]);
+      const int timeout = static_cast<int>(dec.GetFixed32());
+      const int effective =
+          timeout > 0 ? timeout : options_.lock_timeout_ms;
+      // Local conflicts first (applications on this node), then make sure
+      // the node holds a covering lock from the owner server.
+      BESS_RETURN_IF_ERROR(
+          local_locks_.Acquire(session.id, key, mode, effective));
+      Status s = EnsureUpstreamLock(key, mode, effective);
+      if (!s.ok()) {
+        (void)local_locks_.Release(session.id, key);
+        return s;
+      }
+      return Status::OK();
+    }
+
+    case kMsgReleaseLock: {
+      const uint64_t key = dec.GetFixed64();
+      return local_locks_.Release(session.id, key);
+      // The node-level lock stays cached until an upstream callback.
+    }
+
+    case kMsgReleaseAll: {
+      local_locks_.ReleaseAll(session.id);
+      return Status::OK();
+    }
+
+    case kMsgCommit: {
+      Message upstream_reply;
+      BESS_RETURN_IF_ERROR(UpstreamCall(kMsgCommit, msg.payload,
+                                        &upstream_reply));
+      // Write-through: refresh the node cache so the other local
+      // applications see the committed state immediately.
+      auto pages = DecodePageSet(msg.payload);
+      if (pages.ok()) {
+        for (const PageImage& img : *pages) {
+          CachePut(PageAddr{img.db, img.area, img.page}.Pack(), img.bytes);
+        }
+      }
+      return Status::OK();
+    }
+
+    // Everything else is a pure pass-through to the owning server.
+    case kMsgAllocSegment:
+    case kMsgFreeSegment:
+    case kMsgPrepare:
+    case kMsgCommitPrepared:
+    case kMsgAbortPrepared:
+    case kMsgCreateFile:
+    case kMsgFindFile:
+    case kMsgRegisterType:
+    case kMsgFetchTypes:
+    case kMsgNewObjectSegment:
+    case kMsgGetRoot:
+    case kMsgSetRoot:
+    case kMsgRemoveRoot: {
+      Message upstream_reply;
+      BESS_RETURN_IF_ERROR(UpstreamCall(msg.type, msg.payload,
+                                        &upstream_reply));
+      *reply = upstream_reply.payload;
+      return Status::OK();
+    }
+
+    default:
+      return Status::Protocol("unknown request " + std::to_string(msg.type));
+  }
+}
+
+void NodeServer::UpstreamCallbackLoop() {
+  while (running_.load()) {
+    auto msg = upstream_callback_.Recv();
+    if (!msg.ok()) break;
+    if (msg->type != kMsgCallback || msg->payload.size() < 9) continue;
+    const uint64_t key = DecodeFixed64(msg->payload.data());
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      stats_.upstream_callbacks++;
+    }
+    // Deny while any local application still holds the lock; otherwise
+    // drop the cached pages and give the lock back (§3).
+    const bool in_use = !local_locks_.Holders(key).empty();
+    if (in_use) {
+      (void)upstream_callback_.Send(kMsgCallbackDenied, "");
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      node_locks_.erase(key);
+    }
+    CacheInvalidateAll();  // coarse but safe: stale data cannot be served
+    (void)upstream_callback_.Send(kMsgCallbackReleased, "");
+  }
+}
+
+NodeServer::Stats NodeServer::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace bess

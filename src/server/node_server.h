@@ -1,0 +1,109 @@
+// The BeSS node server (paper §3, Figure 2-3).
+//
+// "A BeSS node server is a BeSS server that does not own any storage areas.
+// Consequently, each node server is a client of the BeSS servers that acts
+// as a server for the local applications. The node server establishes a
+// cache on the node it is running and is responsible for fetching the data
+// requested by the local applications from the BeSS servers that own the
+// data. In addition, the node server acquires locks on behalf of the local
+// applications and responds to callback requests issued by BeSS servers."
+//
+// Local applications speak the same protocol to the node server that they
+// would speak to a real server; page requests are served from the node
+// cache when possible, lock requests are resolved locally first and then
+// covered by a node-level lock cached from the upstream server.
+#ifndef BESS_SERVER_NODE_SERVER_H_
+#define BESS_SERVER_NODE_SERVER_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "os/socket.h"
+#include "server/protocol.h"
+#include "txn/lock_manager.h"
+
+namespace bess {
+
+class NodeServer {
+ public:
+  struct Options {
+    std::string socket_path;    ///< where local applications connect
+    std::string upstream_path;  ///< the owning BeSS server
+    uint32_t cache_pages = 4096;
+    uint32_t upstream_latency_us = 0;  ///< simulated WAN/LAN link cost
+    int lock_timeout_ms = kLockTimeoutMillis;
+  };
+
+  struct Stats {
+    uint64_t local_requests = 0;
+    uint64_t cache_hits = 0;
+    uint64_t upstream_fetches = 0;
+    uint64_t locks_forwarded = 0;
+    uint64_t lock_cache_hits = 0;   ///< node lock already covers the request
+    uint64_t upstream_callbacks = 0;
+    uint64_t cache_invalidations = 0;
+  };
+
+  static Result<std::unique_ptr<NodeServer>> Start(Options options);
+  ~NodeServer();
+
+  void Stop();
+  Stats stats() const;
+
+ private:
+  struct LocalSession {
+    uint64_t id;
+    MsgSocket main;
+  };
+
+  NodeServer() = default;
+
+  Status Init();
+  void AcceptLoop();
+  void ServeSession(std::shared_ptr<LocalSession> session);
+  Status HandleRequest(LocalSession& session, const Message& msg,
+                       std::string* reply, uint16_t* reply_type);
+  Status Forward(const Message& msg, Message* reply);
+  Status UpstreamCall(uint16_t type, const std::string& payload,
+                      Message* reply);
+  Status EnsureUpstreamLock(uint64_t key, LockMode mode, int timeout_ms);
+  void UpstreamCallbackLoop();
+
+  // Node page cache (write-through on local commits).
+  bool CacheGet(uint64_t page_key, std::string* bytes);
+  void CachePut(uint64_t page_key, std::string bytes);
+  void CacheInvalidateAll();
+
+  Options options_;
+  MsgListener listener_;
+  MsgSocket upstream_;
+  std::mutex upstream_mutex_;
+  MsgSocket upstream_callback_;
+  uint64_t upstream_session_ = 0;
+
+  std::thread accept_thread_;
+  std::thread callback_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> next_session_{1};
+
+  LockManager local_locks_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, std::string> cache_;
+  std::list<uint64_t> cache_order_;  // FIFO eviction
+  std::unordered_map<uint64_t, LockMode> node_locks_;  // cached upstream locks
+  std::vector<std::shared_ptr<LocalSession>> sessions_;
+  std::vector<std::thread> session_threads_;
+  mutable Stats stats_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_SERVER_NODE_SERVER_H_

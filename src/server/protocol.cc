@@ -1,0 +1,84 @@
+#include "server/protocol.h"
+
+#include "os/socket.h"
+
+namespace bess {
+
+Status DecodeStatusReply(const Message& msg) {
+  if (msg.type == kMsgOk) return Status::OK();
+  if (msg.type != kMsgError || msg.payload.empty()) {
+    return Status::Protocol("malformed reply (type " +
+                            std::to_string(msg.type) + ")");
+  }
+  const auto code = static_cast<StatusCode>(msg.payload[0]);
+  const std::string text = msg.payload.substr(1);
+  switch (code) {
+    case StatusCode::kNotFound: return Status::NotFound(text);
+    case StatusCode::kCorruption: return Status::Corruption(text);
+    case StatusCode::kNotSupported: return Status::NotSupported(text);
+    case StatusCode::kInvalidArgument: return Status::InvalidArgument(text);
+    case StatusCode::kIOError: return Status::IOError(text);
+    case StatusCode::kBusy: return Status::Busy(text);
+    case StatusCode::kDeadlock: return Status::Deadlock(text);
+    case StatusCode::kAborted: return Status::Aborted(text);
+    case StatusCode::kNoSpace: return Status::NoSpace(text);
+    case StatusCode::kProtocol: return Status::Protocol(text);
+    default: return Status::Internal(text);
+  }
+}
+
+void EncodePageSet(const std::vector<PageImage>& pages, std::string* out) {
+  PutFixed32(out, static_cast<uint32_t>(pages.size()));
+  for (const PageImage& img : pages) {
+    PutFixed64(out, PageAddr{img.db, img.area, img.page}.Pack());
+    out->append(img.bytes);
+  }
+}
+
+Result<std::vector<PageImage>> DecodePageSet(Slice payload) {
+  Decoder dec(payload);
+  const uint32_t n = dec.GetFixed32();
+  if (!dec.ok() || n > (1u << 20)) {
+    return Status::Protocol("bad page-set header");
+  }
+  std::vector<PageImage> pages;
+  pages.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const PageAddr addr = PageAddr::Unpack(dec.GetFixed64());
+    Slice bytes = dec.GetBytes(kPageSize);
+    if (!dec.ok()) return Status::Protocol("truncated page set");
+    PageImage img;
+    img.db = addr.db;
+    img.area = addr.area;
+    img.page = addr.page;
+    img.bytes = bytes.ToString();
+    pages.push_back(std::move(img));
+  }
+  return pages;
+}
+
+void NewSegmentReply::EncodeTo(std::string* out) const {
+  PutFixed64(out, id.Pack());
+  PutFixed32(out, slotted_pages);
+  PutFixed32(out, slot_capacity);
+  PutFixed16(out, outbound_capacity);
+  PutFixed16(out, data_area);
+  PutFixed32(out, data_first_page);
+  PutFixed32(out, data_page_count);
+}
+
+Result<NewSegmentReply> NewSegmentReply::DecodeFrom(Slice payload) {
+  Decoder dec(payload);
+  NewSegmentReply r;
+  r.id = SegmentId::Unpack(dec.GetFixed64());
+  r.slotted_pages = dec.GetFixed32();
+  r.slot_capacity = dec.GetFixed32();
+  r.outbound_capacity = dec.GetFixed16();
+  r.data_area = dec.GetFixed16();
+  r.data_first_page = dec.GetFixed32();
+  r.data_page_count = dec.GetFixed32();
+  if (!dec.ok()) return Status::Protocol("truncated NewSegmentReply");
+  return r;
+}
+
+}  // namespace bess

@@ -1,0 +1,512 @@
+#include "server/remote_client.h"
+
+#include "util/logging.h"
+
+namespace bess {
+
+// ---- RemoteStore --------------------------------------------------------------
+
+// Fetches segments from the server into the client cache (copy on access).
+// Write-back never goes through here: commits ship the whole page set in
+// one atomic kMsgCommit.
+class RemoteClient::RemoteStore : public SegmentStore {
+ public:
+  explicit RemoteStore(RemoteClient* client) : client_(client) {}
+
+  Status FetchSlotted(SegmentId id, void* buf, uint32_t* page_count) override {
+    std::string payload;
+    PutFixed64(&payload, id.Pack());
+    Message reply;
+    BESS_RETURN_IF_ERROR(client_->Call(client_->PeerFor(id.db),
+                                       kMsgFetchSlotted, payload, &reply));
+    Decoder dec(reply.payload);
+    const uint32_t pages = dec.GetFixed32();
+    Slice bytes = dec.GetBytes(static_cast<size_t>(pages) * kPageSize);
+    if (!dec.ok() || pages == 0 || pages > kMaxSlottedPages) {
+      return Status::Protocol("bad FetchSlotted reply");
+    }
+    memcpy(buf, bytes.data(), bytes.size());
+    *page_count = pages;
+    return Status::OK();
+  }
+
+  Status FetchPages(uint16_t db, uint16_t area, PageId first,
+                    uint32_t page_count, void* buf) override {
+    std::string payload;
+    PutFixed16(&payload, db);
+    PutFixed16(&payload, area);
+    PutFixed32(&payload, first);
+    PutFixed32(&payload, page_count);
+    Message reply;
+    BESS_RETURN_IF_ERROR(
+        client_->Call(client_->PeerFor(db), kMsgFetchPages, payload, &reply));
+    if (reply.payload.size() != static_cast<size_t>(page_count) * kPageSize) {
+      return Status::Protocol("short FetchPages reply");
+    }
+    memcpy(buf, reply.payload.data(), reply.payload.size());
+    return Status::OK();
+  }
+
+  Status WritePages(uint16_t, uint16_t, PageId, uint32_t,
+                    const void*) override {
+    return Status::NotSupported(
+        "remote clients write back through Commit() only");
+  }
+
+ private:
+  RemoteClient* client_;
+};
+
+// ---- connection ---------------------------------------------------------------
+
+Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(Options options) {
+  auto client = std::unique_ptr<RemoteClient>(new RemoteClient());
+  client->options_ = options;
+
+  BESS_ASSIGN_OR_RETURN(client->primary_.main,
+                        MsgSocket::Connect(options.server_path));
+  client->primary_.main.set_simulated_latency_us(options.simulated_latency_us);
+  client->primary_.db_ids.push_back(options.db_id);
+  BESS_RETURN_IF_ERROR(client->primary_.main.Send(kMsgHello, ""));
+  BESS_ASSIGN_OR_RETURN(Message hello, client->primary_.main.Recv());
+  if (hello.type != kMsgOk || hello.payload.size() != 8) {
+    return Status::Protocol("bad hello reply");
+  }
+  client->session_id_ = DecodeFixed64(hello.payload.data());
+
+  BESS_ASSIGN_OR_RETURN(client->callback_sock_,
+                        MsgSocket::Connect(options.server_path));
+  std::string bind;
+  PutFixed64(&bind, client->session_id_);
+  BESS_RETURN_IF_ERROR(client->callback_sock_.Send(kMsgHelloCallback, bind));
+
+  client->store_ = std::make_unique<RemoteStore>(client.get());
+  client->mapper_ = std::make_unique<SegmentMapper>(
+      client->store_.get(), &client->types_, options.mapper);
+  client->mapper_->set_observer(client.get());
+
+  BESS_RETURN_IF_ERROR(client->SyncTypes());
+
+  client->running_.store(true);
+  client->callback_thread_ = std::thread([c = client.get()] {
+    c->CallbackLoop();
+  });
+  return client;
+}
+
+RemoteClient::~RemoteClient() {
+  running_.store(false);
+  (void)primary_.main.Send(kMsgGoodbye, "");
+  callback_sock_.Shutdown();
+  if (callback_thread_.joinable()) callback_thread_.join();
+  callback_sock_.Close();
+  mapper_.reset();
+}
+
+Status RemoteClient::Call(Peer& peer, uint16_t type,
+                          const std::string& payload, Message* reply) {
+  std::lock_guard<std::mutex> guard(peer.mutex);
+  {
+    std::lock_guard<std::mutex> sguard(mutex_);
+    stats_.rpcs++;
+  }
+  BESS_DEBUG("client call send type " << type);
+  BESS_RETURN_IF_ERROR(peer.main.Send(type, payload));
+  BESS_DEBUG("client call sent, waiting reply");
+  BESS_ASSIGN_OR_RETURN(*reply, peer.main.Recv());
+  BESS_DEBUG("client call got reply " << reply->type);
+  if (reply->type == kMsgError) return DecodeStatusReply(*reply);
+  return Status::OK();
+}
+
+RemoteClient::Peer& RemoteClient::PeerFor(uint16_t db_id) {
+  for (auto& peer : extra_peers_) {
+    for (uint16_t id : peer->db_ids) {
+      if (id == db_id) return *peer;
+    }
+  }
+  return primary_;
+}
+
+Status RemoteClient::AddServer(const std::string& server_path,
+                               const std::vector<uint16_t>& db_ids) {
+  auto peer = std::make_unique<Peer>();
+  BESS_ASSIGN_OR_RETURN(peer->main, MsgSocket::Connect(server_path));
+  peer->main.set_simulated_latency_us(options_.simulated_latency_us);
+  peer->db_ids = db_ids;
+  BESS_RETURN_IF_ERROR(peer->main.Send(kMsgHello, ""));
+  BESS_ASSIGN_OR_RETURN(Message hello, peer->main.Recv());
+  if (hello.type != kMsgOk) return Status::Protocol("bad hello reply");
+  extra_peers_.push_back(std::move(peer));
+  return Status::OK();
+}
+
+Status RemoteClient::SyncTypes() {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgFetchTypes, payload, &reply));
+  Decoder dec(reply.payload);
+  return types_.DecodeFrom(&dec);
+}
+
+// ---- locking ------------------------------------------------------------------
+
+Status RemoteClient::EnsureLock(uint64_t key, LockMode mode, SegmentId home) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = cached_locks_.find(key);
+    if (it != cached_locks_.end() && LockJoin(it->second, mode) == it->second) {
+      // Cached from an earlier transaction: no server round trip (§3).
+      in_use_.insert(key);
+      stats_.lock_cache_hits++;
+      return Status::OK();
+    }
+  }
+  // RPC outside the client mutex: the callback thread must stay responsive
+  // while we wait (the server may be calling *us* back for another lock).
+  std::string payload;
+  PutFixed64(&payload, key);
+  payload.push_back(static_cast<char>(mode));
+  PutFixed32(&payload, static_cast<uint32_t>(options_.lock_timeout_ms));
+  Message reply;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats_.lock_rpcs++;
+  }
+  BESS_RETURN_IF_ERROR(Call(PeerFor(home.db), kMsgLock, payload, &reply));
+
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = cached_locks_.find(key);
+  cached_locks_[key] =
+      it == cached_locks_.end() ? mode : LockJoin(it->second, mode);
+  in_use_.insert(key);
+  key_home_[key] = home.Pack();
+  return Status::OK();
+}
+
+Status RemoteClient::OnSegmentRead(SegmentId id) {
+  Status s = EnsureLock(LockKey::Segment(id.Pack()), LockMode::kS, id);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (poison_.ok()) poison_ = s;
+  }
+  return Status::OK();
+}
+
+Status RemoteClient::OnPageWrite(SegmentId id, PageAddr page) {
+  Status s = EnsureLock(LockKey::Segment(id.Pack()), LockMode::kIX, id);
+  if (s.ok()) {
+    s = EnsureLock(LockKey::Page(page.db, page.area, page.page), LockMode::kX,
+                   id);
+  }
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (poison_.ok()) poison_ = s;
+  }
+  return Status::OK();
+}
+
+// ---- callbacks ----------------------------------------------------------------
+
+void RemoteClient::CallbackLoop() {
+  while (running_.load()) {
+    auto msg = callback_sock_.Recv();
+    if (!msg.ok()) break;
+    if (msg->type != kMsgCallback || msg->payload.size() < 9) continue;
+    const uint64_t key = DecodeFixed64(msg->payload.data());
+    const LockMode wanted = static_cast<LockMode>(msg->payload[8]);
+    Status s = HandleCallback(key, wanted);
+    (void)callback_sock_.Send(
+        s.ok() ? kMsgCallbackReleased : kMsgCallbackDenied, "");
+  }
+}
+
+Status RemoteClient::HandleCallback(uint64_t key, LockMode wanted) {
+  (void)wanted;
+  std::unique_lock<std::mutex> guard(mutex_);
+  stats_.callbacks_received++;
+  if (in_use_.count(key)) {
+    // The lock protects work of the active transaction: refuse; the
+    // requester waits until this transaction ends (§3).
+    stats_.callbacks_denied++;
+    return Status::Busy("lock in use by active transaction");
+  }
+  auto home = key_home_.find(key);
+  const SegmentId seg = home != key_home_.end()
+                            ? SegmentId::Unpack(home->second)
+                            : SegmentId{};
+  cached_locks_.erase(key);
+  key_home_.erase(key);
+  stats_.callbacks_released++;
+  guard.unlock();
+  if (seg.valid()) {
+    // Giving back the lock means our cached copy may go stale: drop it so
+    // the next access refetches from the server.
+    Status s = mapper_->Evict(seg, /*drop_dirty=*/false);
+    if (s.IsBusy()) {
+      // Dirty but not in use should not happen (dirty => in_use); be safe.
+      std::lock_guard<std::mutex> reguard(mutex_);
+      stats_.callbacks_released--;
+      stats_.callbacks_denied++;
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+// ---- transactions ---------------------------------------------------------------
+
+Status RemoteClient::Begin() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (in_txn_) return Status::InvalidArgument("transaction already active");
+  in_txn_ = true;
+  poison_ = Status::OK();
+  in_use_.clear();
+  return Status::OK();
+}
+
+Status RemoteClient::Commit() {
+  Status poison;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!in_txn_) return Status::InvalidArgument("no active transaction");
+    poison = poison_;
+  }
+  if (!poison.ok()) {
+    (void)Abort();
+    return poison;
+  }
+  std::vector<PageImage> pages;
+  BESS_RETURN_IF_ERROR(mapper_->CollectDirty(&pages));
+
+  // Partition pages by the peer that owns their database.
+  std::unordered_map<Peer*, std::vector<PageImage>> by_peer;
+  for (PageImage& img : pages) {
+    by_peer[&PeerFor(img.db)].push_back(std::move(img));
+  }
+
+  Status outcome;
+  if (by_peer.size() <= 1) {
+    // Single server: one-phase commit.
+    if (!by_peer.empty()) {
+      std::string payload;
+      EncodePageSet(by_peer.begin()->second, &payload);
+      Message reply;
+      outcome = Call(*by_peer.begin()->first, kMsgCommit, payload, &reply);
+    }
+  } else {
+    // Two-phase commit: this client coordinates (paper §3: distributed
+    // processing is performed by the first server the application connects
+    // to; the coordinator logic lives in its client library).
+    const uint64_t gtid =
+        (session_id_ << 32) | next_gtid_.fetch_add(1, std::memory_order_relaxed);
+    bool all_prepared = true;
+    for (auto& [peer, set] : by_peer) {
+      std::string payload;
+      PutFixed64(&payload, gtid);
+      EncodePageSet(set, &payload);
+      Message reply;
+      Status s = Call(*peer, kMsgPrepare, payload, &reply);
+      if (!s.ok()) {
+        all_prepared = false;
+        outcome = s;
+        break;
+      }
+    }
+    std::string decision;
+    PutFixed64(&decision, gtid);
+    for (auto& [peer, set] : by_peer) {
+      (void)set;
+      Message reply;
+      Status s = Call(*peer,
+                      all_prepared ? kMsgCommitPrepared : kMsgAbortPrepared,
+                      decision, &reply);
+      if (all_prepared && !s.ok()) outcome = s;
+    }
+    if (!all_prepared && outcome.ok()) {
+      outcome = Status::Aborted("2PC prepare failed");
+    }
+  }
+
+  if (!outcome.ok()) {
+    (void)Abort();
+    return outcome;
+  }
+  BESS_RETURN_IF_ERROR(mapper_->MarkClean());
+
+  std::unique_lock<std::mutex> guard(mutex_);
+  in_txn_ = false;
+  in_use_.clear();
+  if (!options_.cache_inter_txn) {
+    // Node-less client behaviour (§3): drop data and locks at txn end.
+    cached_locks_.clear();
+    key_home_.clear();
+    guard.unlock();
+    // Drop the cache but keep reservations: held references refault.
+    BESS_RETURN_IF_ERROR(mapper_->EvictAll());
+    Message reply;
+    return Call(primary_, kMsgReleaseAll, "", &reply);
+  }
+  return Status::OK();
+}
+
+Status RemoteClient::Abort() {
+  BESS_RETURN_IF_ERROR(mapper_->DiscardDirty());
+  std::unique_lock<std::mutex> guard(mutex_);
+  in_txn_ = false;
+  in_use_.clear();
+  poison_ = Status::OK();
+  if (!options_.cache_inter_txn) {
+    cached_locks_.clear();
+    key_home_.clear();
+    guard.unlock();
+    BESS_RETURN_IF_ERROR(mapper_->EvictAll(/*drop_dirty=*/true));
+    Message reply;
+    return Call(primary_, kMsgReleaseAll, "", &reply);
+  }
+  return Status::OK();
+}
+
+// ---- objects --------------------------------------------------------------------
+
+Result<SegmentId> RemoteClient::ActiveSegment(uint16_t file_id,
+                                              uint32_t min_bytes) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = active_segment_.find(file_id);
+    if (it != active_segment_.end()) return SegmentId::Unpack(it->second);
+  }
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutFixed16(&payload, file_id);
+  PutFixed32(&payload, min_bytes);
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgNewObjectSegment, payload, &reply));
+  BESS_ASSIGN_OR_RETURN(NewSegmentReply grant,
+                        NewSegmentReply::DecodeFrom(reply.payload));
+  BESS_RETURN_IF_ERROR(EnsureLock(LockKey::Segment(grant.id.Pack()),
+                                  LockMode::kX, grant.id));
+  BESS_RETURN_IF_ERROR(mapper_
+                           ->InstallNewSegment(
+                               grant.id, file_id, grant.slotted_pages,
+                               grant.slot_capacity, grant.outbound_capacity,
+                               grant.data_area, grant.data_first_page,
+                               grant.data_page_count)
+                           .status());
+  std::lock_guard<std::mutex> guard(mutex_);
+  active_segment_[file_id] = grant.id.Pack();
+  return grant.id;
+}
+
+Result<Slot*> RemoteClient::CreateObject(uint16_t file_id, TypeIdx type,
+                                         uint32_t size, const void* init) {
+  if (size > kMaxTransparentObjectSize) {
+    return Status::InvalidArgument(
+        "objects above 64 KB use the byte-range large-object class");
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    BESS_ASSIGN_OR_RETURN(SegmentId home, ActiveSegment(file_id, size));
+    BESS_RETURN_IF_ERROR(
+        EnsureLock(LockKey::Segment(home.Pack()), LockMode::kX, home));
+    Result<Slot*> slot = mapper_->CreateObject(home, type, size, init);
+    if (slot.ok() || !slot.status().IsNoSpace()) return slot;
+    // Active segment full: forget it and request a fresh one.
+    std::lock_guard<std::mutex> guard(mutex_);
+    active_segment_.erase(file_id);
+  }
+  return Status::Internal("object placement failed twice");
+}
+
+Result<uint16_t> RemoteClient::CreateFile(const std::string& name,
+                                          bool multifile) {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutLengthPrefixed(&payload, name);
+  payload.push_back(multifile ? 1 : 0);
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgCreateFile, payload, &reply));
+  if (reply.payload.size() < 2) return Status::Protocol("bad CreateFile reply");
+  return DecodeFixed16(reply.payload.data());
+}
+
+Result<uint16_t> RemoteClient::FindFile(const std::string& name) {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutLengthPrefixed(&payload, name);
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgFindFile, payload, &reply));
+  if (reply.payload.size() < 2) return Status::Protocol("bad FindFile reply");
+  return DecodeFixed16(reply.payload.data());
+}
+
+Result<TypeIdx> RemoteClient::RegisterType(const TypeDescriptor& desc) {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  desc.EncodeTo(&payload);
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgRegisterType, payload, &reply));
+  if (reply.payload.size() < 4) {
+    return Status::Protocol("bad RegisterType reply");
+  }
+  // Refresh the local table so indices agree with the server's assignment.
+  BESS_RETURN_IF_ERROR(SyncTypes());
+  return DecodeFixed32(reply.payload.data());
+}
+
+Result<Slot*> RemoteClient::GetRoot(const std::string& name) {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutLengthPrefixed(&payload, name);
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgGetRoot, payload, &reply));
+  if (reply.payload.size() != 12) return Status::Protocol("bad GetRoot reply");
+  return Deref(Oid::DecodeFrom(reply.payload.data()));
+}
+
+Status RemoteClient::SetRoot(const std::string& name, Slot* slot) {
+  BESS_ASSIGN_OR_RETURN(Oid oid, OidOf(slot));
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutLengthPrefixed(&payload, name);
+  char buf[12];
+  oid.EncodeTo(buf);
+  payload.append(buf, 12);
+  Message reply;
+  return Call(primary_, kMsgSetRoot, payload, &reply);
+}
+
+Result<Oid> RemoteClient::OidOf(Slot* slot) {
+  SegmentId id;
+  uint16_t slot_no;
+  BESS_RETURN_IF_ERROR(mapper_->ResolveSlotAddress(slot, &id, &slot_no));
+  Oid oid;
+  oid.host = 1;
+  oid.db = static_cast<uint8_t>(id.db);
+  oid.area = static_cast<uint8_t>(id.area);
+  oid.page = id.first_page;
+  oid.slot = slot_no;
+  oid.uniq = static_cast<uint16_t>(slot->uniquifier);
+  return oid;
+}
+
+Result<Slot*> RemoteClient::Deref(const Oid& oid) {
+  BESS_ASSIGN_OR_RETURN(SlottedView view,
+                        mapper_->FetchSlottedNow(oid.segment()));
+  if (oid.slot >= view.header()->slot_count) {
+    return Status::NotFound("stale OID: " + oid.ToString());
+  }
+  Slot* slot = view.slot(oid.slot);
+  if (!slot->in_use() ||
+      static_cast<uint16_t>(slot->uniquifier) != oid.uniq) {
+    return Status::NotFound("stale OID: " + oid.ToString());
+  }
+  return slot;
+}
+
+RemoteClient::Stats RemoteClient::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace bess

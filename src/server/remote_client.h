@@ -1,0 +1,132 @@
+// RemoteClient: a BeSS client application's connection to a BeSS server —
+// the *copy on access* operation mode over the network (paper §3, §4.1.1).
+//
+// The client runs the full reference machinery locally: a SegmentMapper over
+// a RemoteStore that fetches segments from the server into the private
+// cache. Locks are acquired from the server through the fault path and,
+// together with the data, stay *cached between transactions*; the server
+// reclaims them with callbacks when another client conflicts (§3).
+// Constructing the client with `cache_inter_txn = false` reproduces the
+// paper's node-less client behaviour: "data and locks are cached only
+// during the duration of a transaction".
+//
+// Distributed commits across several servers use two-phase commit with this
+// client acting for its first server as the coordinator (paper §3).
+#ifndef BESS_SERVER_REMOTE_CLIENT_H_
+#define BESS_SERVER_REMOTE_CLIENT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "object/oid.h"
+#include "server/protocol.h"
+#include "vm/mapper.h"
+
+namespace bess {
+
+class RemoteClient : public AccessObserver {
+ public:
+  struct Options {
+    std::string server_path;
+    uint16_t db_id = 1;
+    bool cache_inter_txn = true;  ///< keep data + locks across transactions
+    uint32_t simulated_latency_us = 0;
+    int lock_timeout_ms = kLockTimeoutMillis;
+    SegmentMapper::Options mapper;
+  };
+
+  struct Stats {
+    uint64_t rpcs = 0;
+    uint64_t lock_rpcs = 0;
+    uint64_t lock_cache_hits = 0;  ///< lock needed, already cached: no RPC
+    uint64_t callbacks_received = 0;
+    uint64_t callbacks_released = 0;
+    uint64_t callbacks_denied = 0;
+  };
+
+  static Result<std::unique_ptr<RemoteClient>> Connect(Options options);
+  ~RemoteClient() override;
+
+  // ---- transactions ----------------------------------------------------------
+
+  Status Begin();
+  Status Commit();
+  Status Abort();
+
+  // ---- objects (client-side creation in the cache, write-back at commit) ----
+
+  Result<Slot*> CreateObject(uint16_t file_id, TypeIdx type, uint32_t size,
+                             const void* init = nullptr);
+  Result<uint16_t> CreateFile(const std::string& name, bool multifile = false);
+  Result<uint16_t> FindFile(const std::string& name);
+  Result<TypeIdx> RegisterType(const TypeDescriptor& desc);
+  Result<Slot*> GetRoot(const std::string& name);
+  Status SetRoot(const std::string& name, Slot* slot);
+  Result<Oid> OidOf(Slot* slot);
+  Result<Slot*> Deref(const Oid& oid);
+
+  // ---- 2PC across several servers (this client coordinates) -----------------
+
+  /// Opens an additional connection to another server (for databases it
+  /// owns); pages for those databases commit through 2PC.
+  Status AddServer(const std::string& server_path,
+                   const std::vector<uint16_t>& db_ids);
+
+  SegmentMapper* mapper() { return mapper_.get(); }
+  TypeTable* types() { return &types_; }
+  Stats stats() const;
+
+  // AccessObserver: automatic lock acquisition from the fault path.
+  Status OnSegmentRead(SegmentId id) override;
+  Status OnPageWrite(SegmentId id, PageAddr page) override;
+
+ private:
+  class RemoteStore;
+  struct Peer {
+    MsgSocket main;
+    std::mutex mutex;  // serialize request/response
+    std::vector<uint16_t> db_ids;
+  };
+
+  RemoteClient() = default;
+
+  Status Call(Peer& peer, uint16_t type, const std::string& payload,
+              Message* reply);
+  Peer& PeerFor(uint16_t db_id);
+  Status EnsureLock(uint64_t key, LockMode mode, SegmentId home);
+  Status SyncTypes();
+  void CallbackLoop();
+  Status HandleCallback(uint64_t key, LockMode wanted);
+  Result<SegmentId> ActiveSegment(uint16_t file_id, uint32_t min_bytes);
+
+  Options options_;
+  Peer primary_;
+  std::vector<std::unique_ptr<Peer>> extra_peers_;
+  MsgSocket callback_sock_;
+  std::thread callback_thread_;
+  std::atomic<bool> running_{false};
+  uint64_t session_id_ = 0;
+
+  TypeTable types_;
+  std::unique_ptr<RemoteStore> store_;
+  std::unique_ptr<SegmentMapper> mapper_;
+
+  mutable std::mutex mutex_;
+  bool in_txn_ = false;
+  Status poison_;  // first lock failure of the active transaction
+  std::unordered_map<uint64_t, LockMode> cached_locks_;  // key -> mode
+  std::set<uint64_t> in_use_;  // keys the current transaction relies on
+  std::unordered_map<uint64_t, uint64_t> key_home_;  // key -> packed SegmentId
+  std::unordered_map<uint16_t, uint64_t> active_segment_;  // file -> packed
+  std::atomic<uint64_t> next_gtid_{1};
+  mutable Stats stats_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_SERVER_REMOTE_CLIENT_H_

@@ -1,0 +1,236 @@
+#include "storage/buddy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bess {
+namespace {
+
+constexpr uint8_t kInterior = 0x01;
+
+bool IsPow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+uint32_t Log2Floor(uint32_t v) {
+  uint32_t r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(uint32_t capacity_pages)
+    : capacity_(capacity_pages),
+      max_order_(Log2Floor(capacity_pages)),
+      free_pages_(capacity_pages),
+      map_(capacity_pages, kFree),
+      free_lists_(max_order_ + 1) {
+  assert(IsPow2(capacity_pages));
+  free_lists_[max_order_].push_back(0);
+}
+
+uint32_t BuddyAllocator::OrderFor(uint32_t npages) {
+  uint32_t order = 0;
+  uint32_t size = 1;
+  while (size < npages) {
+    size <<= 1;
+    ++order;
+  }
+  return order;
+}
+
+void BuddyAllocator::PushFree(uint32_t order, uint32_t page) {
+  free_lists_[order].push_back(page);
+}
+
+bool BuddyAllocator::RemoveFree(uint32_t order, uint32_t page) {
+  auto& list = free_lists_[order];
+  auto it = std::find(list.begin(), list.end(), page);
+  if (it == list.end()) return false;
+  *it = list.back();
+  list.pop_back();
+  return true;
+}
+
+Result<uint32_t> BuddyAllocator::Allocate(uint32_t npages) {
+  if (npages == 0 || npages > capacity_) {
+    return Status::InvalidArgument("buddy: bad allocation size " +
+                                   std::to_string(npages));
+  }
+  const uint32_t want = OrderFor(npages);
+  // Find the smallest order >= want with a free block.
+  uint32_t order = want;
+  while (order <= max_order_ && free_lists_[order].empty()) ++order;
+  if (order > max_order_) {
+    return Status::NoSpace("buddy: no free block of " +
+                           std::to_string(npages) + " pages");
+  }
+  uint32_t page = free_lists_[order].back();
+  free_lists_[order].pop_back();
+  // Split down to the wanted order, pushing upper halves as free buddies.
+  while (order > want) {
+    --order;
+    PushFree(order, page + (1u << order));
+  }
+  map_[page] = static_cast<uint8_t>(kAllocatedHeadBit | want);
+  const uint32_t size = 1u << want;
+  for (uint32_t i = 1; i < size; ++i) map_[page + i] = kInterior;
+  free_pages_ -= size;
+  return page;
+}
+
+Status BuddyAllocator::Free(uint32_t page) {
+  if (page >= capacity_ || (map_[page] & kAllocatedHeadBit) == 0) {
+    return Status::InvalidArgument("buddy: free of non-head page " +
+                                   std::to_string(page));
+  }
+  uint32_t order = map_[page] & 0x7F;
+  uint32_t size = 1u << order;
+  for (uint32_t i = 0; i < size; ++i) map_[page + i] = kFree;
+  free_pages_ += size;
+  // Coalesce with the buddy while it is free at the same order.
+  while (order < max_order_) {
+    const uint32_t buddy = page ^ (1u << order);
+    if (!RemoveFree(order, buddy)) break;
+    page = std::min(page, buddy);
+    ++order;
+  }
+  PushFree(order, page);
+  return Status::OK();
+}
+
+uint32_t BuddyAllocator::BlockSize(uint32_t page) const {
+  if (page >= capacity_ || (map_[page] & kAllocatedHeadBit) == 0) return 0;
+  return 1u << (map_[page] & 0x7F);
+}
+
+uint32_t BuddyAllocator::LargestFreeBlock() const {
+  for (uint32_t order = max_order_ + 1; order-- > 0;) {
+    if (!free_lists_[order].empty()) return 1u << order;
+  }
+  return 0;
+}
+
+double BuddyAllocator::Fragmentation() const {
+  if (free_pages_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(LargestFreeBlock()) /
+                   static_cast<double>(free_pages_);
+}
+
+void BuddyAllocator::SaveMap(uint8_t* out) const {
+  for (uint32_t p = 0; p < capacity_; ++p) {
+    out[p] = (map_[p] & kAllocatedHeadBit) ? map_[p] : kFree;
+  }
+}
+
+Result<BuddyAllocator> BuddyAllocator::FromMap(const uint8_t* map,
+                                               uint32_t capacity_pages) {
+  if (!IsPow2(capacity_pages)) {
+    return Status::InvalidArgument("buddy: capacity not a power of two");
+  }
+  BuddyAllocator alloc(capacity_pages);
+  alloc.free_lists_.assign(alloc.max_order_ + 1, {});
+  alloc.free_pages_ = 0;
+  // Replay allocated heads.
+  uint32_t p = 0;
+  while (p < capacity_pages) {
+    if (map[p] & kAllocatedHeadBit) {
+      const uint32_t order = map[p] & 0x7F;
+      const uint32_t size = 1u << order;
+      if (order > alloc.max_order_ || p + size > capacity_pages ||
+          (p & (size - 1)) != 0) {
+        return Status::Corruption("buddy: bad allocation map entry at page " +
+                                  std::to_string(p));
+      }
+      alloc.map_[p] = map[p];
+      for (uint32_t i = 1; i < size; ++i) {
+        if (map[p + i] & kAllocatedHeadBit) {
+          return Status::Corruption("buddy: overlapping blocks at page " +
+                                    std::to_string(p + i));
+        }
+        alloc.map_[p + i] = kInterior;
+      }
+      p += size;
+    } else {
+      alloc.map_[p] = kFree;
+      ++p;
+    }
+  }
+  // Rebuild free lists: canonical buddy decomposition of each free run.
+  p = 0;
+  while (p < capacity_pages) {
+    if (alloc.map_[p] != kFree) {
+      p += alloc.map_[p] & kAllocatedHeadBit ? (1u << (alloc.map_[p] & 0x7F))
+                                             : 1;
+      continue;
+    }
+    uint32_t q = p;
+    while (q < capacity_pages && alloc.map_[q] == kFree) ++q;
+    uint32_t run_start = p;
+    uint32_t run_len = q - p;
+    while (run_len > 0) {
+      // Largest power-of-two block that is both aligned at run_start and
+      // fits in the remaining run.
+      uint32_t order = Log2Floor(run_len);
+      if (run_start != 0) {
+        const uint32_t align_order = Log2Floor(run_start & ~(run_start - 1));
+        order = std::min(order, align_order);
+      } else {
+        order = std::min(order, alloc.max_order_);
+      }
+      alloc.PushFree(order, run_start);
+      alloc.free_pages_ += 1u << order;
+      run_start += 1u << order;
+      run_len -= 1u << order;
+    }
+    p = q;
+  }
+  return alloc;
+}
+
+Status BuddyAllocator::CheckInvariants() const {
+  std::vector<uint8_t> covered(capacity_, 0);
+  uint32_t free_total = 0;
+  for (uint32_t order = 0; order <= max_order_; ++order) {
+    for (uint32_t page : free_lists_[order]) {
+      const uint32_t size = 1u << order;
+      if (page + size > capacity_ || (page & (size - 1)) != 0) {
+        return Status::Corruption("buddy: misaligned free block");
+      }
+      for (uint32_t i = 0; i < size; ++i) {
+        if (map_[page + i] != kFree) {
+          return Status::Corruption("buddy: free block overlaps allocation");
+        }
+        if (covered[page + i]++) {
+          return Status::Corruption("buddy: free blocks overlap");
+        }
+      }
+      free_total += size;
+    }
+  }
+  if (free_total != free_pages_) {
+    return Status::Corruption("buddy: free page count mismatch");
+  }
+  uint32_t p = 0;
+  while (p < capacity_) {
+    if (map_[p] & kAllocatedHeadBit) {
+      const uint32_t size = 1u << (map_[p] & 0x7F);
+      for (uint32_t i = 0; i < size; ++i) {
+        if (covered[p + i]) {
+          return Status::Corruption("buddy: allocation overlaps free block");
+        }
+        covered[p + i] = 1;
+      }
+      p += size;
+    } else if (map_[p] == kFree) {
+      if (!covered[p]) {
+        return Status::Corruption("buddy: free page missing from free lists");
+      }
+      ++p;
+    } else {
+      return Status::Corruption("buddy: interior page outside any block");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bess

@@ -1,0 +1,78 @@
+// Binary buddy allocator for disk segments within one extent.
+//
+// "Storage areas are partitioned into a number of extents, and allocation of
+// disk segments from one of these extents is based on the binary buddy
+// system" (paper §2, following Biliris's EOS disk allocator [3]). Block
+// sizes are powers of two pages; on free, buddies coalesce.
+//
+// The allocator state round-trips through a compact one-byte-per-page map so
+// each extent's allocation survives in its meta page.
+#ifndef BESS_STORAGE_BUDDY_H_
+#define BESS_STORAGE_BUDDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bess {
+
+/// Buddy allocator over `capacity` pages (a power of two).
+class BuddyAllocator {
+ public:
+  /// Page map entry values (persisted form).
+  static constexpr uint8_t kFree = 0x00;
+  static constexpr uint8_t kAllocatedHeadBit = 0x80;  // low bits = order
+
+  explicit BuddyAllocator(uint32_t capacity_pages);
+
+  /// Allocates a block of at least `npages` pages (rounded up to a power of
+  /// two). Returns the first page index, or NoSpace.
+  Result<uint32_t> Allocate(uint32_t npages);
+
+  /// Frees the block whose head is `page`. The block size is recalled from
+  /// the allocation map; freeing a non-head page is InvalidArgument.
+  Status Free(uint32_t page);
+
+  /// Pages the block starting at `page` actually occupies (its rounded
+  /// power-of-two size), or 0 if `page` is not an allocated head.
+  uint32_t BlockSize(uint32_t page) const;
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t free_pages() const { return free_pages_; }
+
+  /// Largest block currently allocatable, in pages (0 when full).
+  uint32_t LargestFreeBlock() const;
+
+  /// External fragmentation in [0,1]: 1 - largest_free / total_free.
+  double Fragmentation() const;
+
+  /// Serializes the one-byte-per-page allocation map (size == capacity()).
+  void SaveMap(uint8_t* out) const;
+
+  /// Rebuilds allocator state (free lists included) from a saved map.
+  static Result<BuddyAllocator> FromMap(const uint8_t* map,
+                                        uint32_t capacity_pages);
+
+  /// Verifies internal invariants (no overlap, free lists consistent);
+  /// used by property tests.
+  Status CheckInvariants() const;
+
+ private:
+  static uint32_t OrderFor(uint32_t npages);
+
+  void PushFree(uint32_t order, uint32_t page);
+  bool RemoveFree(uint32_t order, uint32_t page);
+
+  uint32_t capacity_;
+  uint32_t max_order_;
+  uint32_t free_pages_;
+  // map_[p]: kFree, kAllocatedHeadBit|order for a head, or 0x01 for interior
+  // pages of an allocated block (not persisted as 0x01 — SaveMap recomputes).
+  std::vector<uint8_t> map_;
+  std::vector<std::vector<uint32_t>> free_lists_;  // per order, page indices
+};
+
+}  // namespace bess
+
+#endif  // BESS_STORAGE_BUDDY_H_

@@ -1,0 +1,230 @@
+#include "storage/storage_area.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/slice.h"
+
+namespace bess {
+namespace {
+
+constexpr uint32_t kAreaMagic = 0xBE550A3Au;
+constexpr uint32_t kMetaMagic = 0xBE55E7E0u;
+
+static_assert(kPagesPerExtent <= kPageSize - 16,
+              "extent allocation map must fit in one meta page");
+
+}  // namespace
+
+// Area header (physical page 0) layout:
+//   [0]  u32 magic
+//   [4]  u32 page_size
+//   [8]  u32 pages_per_extent
+//   [12] u32 extent_count
+//   [16] u16 area_id
+struct StorageArea::AreaHeader {
+  uint32_t magic;
+  uint32_t page_size;
+  uint32_t pages_per_extent;
+  uint32_t extent_count;
+  uint16_t area_id;
+};
+
+uint64_t StorageArea::PhysicalOffset(PageId page) const {
+  const uint64_t extent = page / kPagesPerExtent;
+  const uint64_t within = page % kPagesPerExtent;
+  const uint64_t physical_page =
+      1 + extent * (kPagesPerExtent + 1) + 1 + within;
+  return physical_page * kPageSize;
+}
+
+uint64_t StorageArea::ExtentMetaOffset(uint32_t extent) const {
+  const uint64_t physical_page =
+      1 + static_cast<uint64_t>(extent) * (kPagesPerExtent + 1);
+  return physical_page * kPageSize;
+}
+
+Result<std::unique_ptr<StorageArea>> StorageArea::Create(
+    const std::string& path, uint16_t area_id, uint32_t initial_extents) {
+  if (initial_extents == 0) {
+    return Status::InvalidArgument("area needs at least one extent");
+  }
+  if (File::Exists(path)) {
+    BESS_RETURN_IF_ERROR(File::Remove(path));
+  }
+  BESS_ASSIGN_OR_RETURN(File file, File::Open(path));
+  auto area =
+      std::unique_ptr<StorageArea>(new StorageArea(std::move(file), area_id));
+  std::lock_guard<std::mutex> guard(area->mutex_);
+  for (uint32_t i = 0; i < initial_extents; ++i) {
+    BESS_RETURN_IF_ERROR(area->AddExtentLocked());
+  }
+  BESS_RETURN_IF_ERROR(area->WriteHeaderLocked());
+  BESS_RETURN_IF_ERROR(area->file_.Sync());
+  return area;
+}
+
+Result<std::unique_ptr<StorageArea>> StorageArea::Open(
+    const std::string& path) {
+  BESS_ASSIGN_OR_RETURN(File file, File::Open(path, /*create=*/false));
+  char header_page[kPageSize];
+  BESS_RETURN_IF_ERROR(file.ReadAt(0, header_page, kPageSize));
+  Decoder dec(Slice(header_page, kPageSize));
+  const uint32_t magic = dec.GetFixed32();
+  const uint32_t page_size = dec.GetFixed32();
+  const uint32_t pages_per_extent = dec.GetFixed32();
+  const uint32_t extent_count = dec.GetFixed32();
+  const uint16_t area_id = dec.GetFixed16();
+  if (magic != kAreaMagic) {
+    return Status::Corruption("not a BeSS storage area: " + path);
+  }
+  if (page_size != kPageSize || pages_per_extent != kPagesPerExtent) {
+    return Status::NotSupported("area geometry mismatch in " + path);
+  }
+  auto area =
+      std::unique_ptr<StorageArea>(new StorageArea(std::move(file), area_id));
+  std::lock_guard<std::mutex> guard(area->mutex_);
+  for (uint32_t e = 0; e < extent_count; ++e) {
+    char meta[kPageSize];
+    BESS_RETURN_IF_ERROR(
+        area->file_.ReadAt(area->ExtentMetaOffset(e), meta, kPageSize));
+    Decoder mdec(Slice(meta, kPageSize));
+    if (mdec.GetFixed32() != kMetaMagic) {
+      return Status::Corruption("bad extent meta magic in " + path);
+    }
+    const uint32_t stored_crc = mdec.GetFixed32();
+    const uint8_t* map = reinterpret_cast<const uint8_t*>(meta) + 8;
+    if (crc32c::Value(map, kPagesPerExtent) != crc32c::Unmask(stored_crc)) {
+      return Status::Corruption("extent meta checksum mismatch in " + path);
+    }
+    BESS_ASSIGN_OR_RETURN(BuddyAllocator alloc,
+                          BuddyAllocator::FromMap(map, kPagesPerExtent));
+    area->extents_.push_back(
+        std::make_unique<BuddyAllocator>(std::move(alloc)));
+  }
+  return area;
+}
+
+Status StorageArea::AddExtentLocked() {
+  const uint32_t extent = static_cast<uint32_t>(extents_.size());
+  extents_.push_back(std::make_unique<BuddyAllocator>(kPagesPerExtent));
+  // Size the file to cover the new extent's last data page.
+  const uint64_t end = PhysicalOffset((extent + 1) * kPagesPerExtent - 1) +
+                       kPageSize;
+  BESS_RETURN_IF_ERROR(file_.Truncate(end));
+  BESS_RETURN_IF_ERROR(FlushExtentMetaLocked(extent));
+  return WriteHeaderLocked();
+}
+
+Status StorageArea::FlushExtentMetaLocked(uint32_t extent) {
+  char meta[kPageSize];
+  memset(meta, 0, sizeof(meta));
+  uint8_t* map = reinterpret_cast<uint8_t*>(meta) + 8;
+  extents_[extent]->SaveMap(map);
+  EncodeFixed32(meta, kMetaMagic);
+  EncodeFixed32(meta + 4, crc32c::Mask(crc32c::Value(map, kPagesPerExtent)));
+  return file_.WriteAt(ExtentMetaOffset(extent), meta, kPageSize);
+}
+
+Status StorageArea::WriteHeaderLocked() {
+  char page[kPageSize];
+  memset(page, 0, sizeof(page));
+  EncodeFixed32(page, kAreaMagic);
+  EncodeFixed32(page + 4, kPageSize);
+  EncodeFixed32(page + 8, kPagesPerExtent);
+  EncodeFixed32(page + 12, static_cast<uint32_t>(extents_.size()));
+  EncodeFixed16(page + 16, area_id_);
+  return file_.WriteAt(0, page, kPageSize);
+}
+
+uint32_t StorageArea::extent_count() const {
+  return static_cast<uint32_t>(extents_.size());
+}
+
+Result<DiskSegment> StorageArea::AllocSegment(uint32_t npages) {
+  if (npages == 0 || npages > kPagesPerExtent) {
+    return Status::InvalidArgument("segment size " + std::to_string(npages) +
+                                   " pages exceeds extent capacity");
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (uint32_t e = 0; e < extents_.size(); ++e) {
+    Result<uint32_t> page = extents_[e]->Allocate(npages);
+    if (page.ok()) {
+      BESS_RETURN_IF_ERROR(FlushExtentMetaLocked(e));
+      DiskSegment seg;
+      seg.first_page = e * kPagesPerExtent + *page;
+      seg.page_count = extents_[e]->BlockSize(*page);
+      return seg;
+    }
+    if (!page.status().IsNoSpace()) return page.status();
+  }
+  // All extents full: expand by one extent (paper §2).
+  BESS_RETURN_IF_ERROR(AddExtentLocked());
+  const uint32_t e = static_cast<uint32_t>(extents_.size()) - 1;
+  BESS_ASSIGN_OR_RETURN(uint32_t page, extents_[e]->Allocate(npages));
+  BESS_RETURN_IF_ERROR(FlushExtentMetaLocked(e));
+  DiskSegment seg;
+  seg.first_page = e * kPagesPerExtent + page;
+  seg.page_count = extents_[e]->BlockSize(page);
+  return seg;
+}
+
+Status StorageArea::FreeSegment(PageId first_page) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const uint32_t e = first_page / kPagesPerExtent;
+  if (e >= extents_.size()) {
+    return Status::InvalidArgument("free of page beyond area end");
+  }
+  BESS_RETURN_IF_ERROR(extents_[e]->Free(first_page % kPagesPerExtent));
+  return FlushExtentMetaLocked(e);
+}
+
+uint32_t StorageArea::SegmentPages(PageId first_page) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const uint32_t e = first_page / kPagesPerExtent;
+  if (e >= extents_.size()) return 0;
+  return extents_[e]->BlockSize(first_page % kPagesPerExtent);
+}
+
+Status StorageArea::ReadPages(PageId first_page, uint32_t page_count,
+                              void* buf) {
+  if (page_count == 0) return Status::OK();
+  const uint32_t first_extent = first_page / kPagesPerExtent;
+  const uint32_t last_extent = (first_page + page_count - 1) / kPagesPerExtent;
+  if (first_extent != last_extent) {
+    return Status::InvalidArgument("page run crosses extent boundary");
+  }
+  return file_.ReadAt(PhysicalOffset(first_page), buf,
+                      static_cast<size_t>(page_count) * kPageSize);
+}
+
+Status StorageArea::WritePages(PageId first_page, uint32_t page_count,
+                               const void* buf) {
+  if (page_count == 0) return Status::OK();
+  const uint32_t first_extent = first_page / kPagesPerExtent;
+  const uint32_t last_extent = (first_page + page_count - 1) / kPagesPerExtent;
+  if (first_extent != last_extent) {
+    return Status::InvalidArgument("page run crosses extent boundary");
+  }
+  return file_.WriteAt(PhysicalOffset(first_page), buf,
+                       static_cast<size_t>(page_count) * kPageSize);
+}
+
+Status StorageArea::Sync() { return file_.Sync(); }
+
+uint64_t StorageArea::FreePages() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t total = 0;
+  for (const auto& e : extents_) total += e->free_pages();
+  return total;
+}
+
+double StorageArea::Fragmentation() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (extents_.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& e : extents_) sum += e->Fragmentation();
+  return sum / static_cast<double>(extents_.size());
+}
+
+}  // namespace bess

@@ -1,0 +1,125 @@
+// Storage areas: the physical level of a BeSS database.
+//
+// "At the physical level, the database consists of a number of storage
+// areas, which are UNIX files or disk raw partitions. Storage areas are
+// partitioned into a number of extents, and allocation of disk segments from
+// one of these extents is based on the binary buddy system. Storage areas
+// that correspond to UNIX files may expand in size by one extent at a time."
+// (paper §2)
+//
+// On-disk layout (physical pages of kPageSize bytes):
+//   page 0:                      area header
+//   then per extent i:           1 meta page (buddy allocation map, CRC)
+//                                kPagesPerExtent data pages
+//
+// Logical PageIds address data pages only and are stable: extent i covers
+// logical pages [i*kPagesPerExtent, (i+1)*kPagesPerExtent).
+#ifndef BESS_STORAGE_STORAGE_AREA_H_
+#define BESS_STORAGE_STORAGE_AREA_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "os/file.h"
+#include "storage/buddy.h"
+#include "util/config.h"
+#include "util/status.h"
+
+namespace bess {
+
+/// Logical page number within one storage area.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// Globally unique page address: database + area + page. This is the
+/// granule keyed by the lock manager, the WAL, and the shared cache.
+struct PageAddr {
+  uint16_t db = 0;
+  uint16_t area = 0;
+  PageId page = kInvalidPage;
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(db) << 48) |
+           (static_cast<uint64_t>(area) << 32) | page;
+  }
+  static PageAddr Unpack(uint64_t v) {
+    return PageAddr{static_cast<uint16_t>(v >> 48),
+                    static_cast<uint16_t>((v >> 32) & 0xFFFF),
+                    static_cast<PageId>(v & 0xFFFFFFFFu)};
+  }
+  bool operator==(const PageAddr& o) const {
+    return db == o.db && area == o.area && page == o.page;
+  }
+};
+
+/// A contiguous run of logical pages allocated as one unit.
+struct DiskSegment {
+  PageId first_page = kInvalidPage;
+  uint32_t page_count = 0;
+};
+
+/// One storage area backed by a UNIX file. Thread-safe.
+class StorageArea {
+ public:
+  /// Creates a new area file with `initial_extents` extents (>= 1).
+  static Result<std::unique_ptr<StorageArea>> Create(
+      const std::string& path, uint16_t area_id, uint32_t initial_extents = 1);
+
+  /// Opens an existing area, rebuilding allocator state from meta pages.
+  static Result<std::unique_ptr<StorageArea>> Open(const std::string& path);
+
+  uint16_t area_id() const { return area_id_; }
+  uint32_t extent_count() const;
+  const std::string& path() const { return file_.path(); }
+
+  /// Allocates a disk segment of at least `npages` contiguous pages,
+  /// growing the area by one extent at a time when all extents are full.
+  /// Segments never span extents (buddy blocks cannot).
+  Result<DiskSegment> AllocSegment(uint32_t npages);
+
+  /// Frees a segment previously returned by AllocSegment. `first_page`
+  /// must be the segment head.
+  Status FreeSegment(PageId first_page);
+
+  /// Number of pages the block headed at `first_page` occupies (its rounded
+  /// size); 0 if not an allocated head.
+  uint32_t SegmentPages(PageId first_page);
+
+  /// Reads `page_count` logical pages starting at `first_page` into `buf`
+  /// (the run must not cross an extent boundary).
+  Status ReadPages(PageId first_page, uint32_t page_count, void* buf);
+
+  /// Writes `page_count` logical pages starting at `first_page` from `buf`.
+  Status WritePages(PageId first_page, uint32_t page_count, const void* buf);
+
+  Status Sync();
+
+  /// Total free pages across extents (statistics / benches).
+  uint64_t FreePages();
+  /// Mean external fragmentation across extents.
+  double Fragmentation();
+
+ private:
+  struct AreaHeader;
+
+  StorageArea(File file, uint16_t area_id)
+      : file_(std::move(file)), area_id_(area_id) {}
+
+  Status AddExtentLocked();
+  Status FlushExtentMetaLocked(uint32_t extent);
+  Status WriteHeaderLocked();
+  uint64_t PhysicalOffset(PageId page) const;
+  uint64_t ExtentMetaOffset(uint32_t extent) const;
+
+  File file_;
+  uint16_t area_id_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<BuddyAllocator>> extents_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_STORAGE_STORAGE_AREA_H_

@@ -1,0 +1,240 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+#include "hooks/hooks.h"
+
+namespace bess {
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kSIX: return "SIX";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+bool LockCompatible(LockMode held, LockMode want) {
+  // Standard hierarchical locking compatibility matrix.
+  static constexpr bool kCompat[5][5] = {
+      //            IS     IX     S      SIX    X      (want)
+      /* IS  */ {true, true, true, true, false},
+      /* IX  */ {true, true, false, false, false},
+      /* S   */ {true, false, true, false, false},
+      /* SIX */ {true, false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  return kCompat[static_cast<int>(held)][static_cast<int>(want)];
+}
+
+LockMode LockJoin(LockMode a, LockMode b) {
+  if (a == b) return a;
+  auto is = [](LockMode m, LockMode x) { return m == x; };
+  // X absorbs everything.
+  if (is(a, LockMode::kX) || is(b, LockMode::kX)) return LockMode::kX;
+  // SIX joins.
+  if (is(a, LockMode::kSIX) || is(b, LockMode::kSIX)) {
+    return LockMode::kSIX;
+  }
+  if ((is(a, LockMode::kS) && is(b, LockMode::kIX)) ||
+      (is(a, LockMode::kIX) && is(b, LockMode::kS))) {
+    return LockMode::kSIX;
+  }
+  if (is(a, LockMode::kS) || is(b, LockMode::kS)) return LockMode::kS;
+  if (is(a, LockMode::kIX) || is(b, LockMode::kIX)) return LockMode::kIX;
+  return LockMode::kIS;
+}
+
+bool LockManager::GrantableLocked(const LockEntry& entry, TxnId txn,
+                                  LockMode mode) {
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) continue;  // upgrades judged against others only
+    if (!LockCompatible(h.mode, mode)) return false;
+  }
+  return true;
+}
+
+Status LockManager::Acquire(TxnId txn, uint64_t key, LockMode mode,
+                            int timeout_ms) {
+  return AcquireInternal(txn, key, mode,
+                         timeout_ms < 0 ? default_timeout_ms_ : timeout_ms,
+                         /*blocking=*/true);
+}
+
+Status LockManager::TryAcquire(TxnId txn, uint64_t key, LockMode mode) {
+  return AcquireInternal(txn, key, mode, 0, /*blocking=*/false);
+}
+
+Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
+                                    int timeout_ms, bool blocking) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  stats_.acquires++;
+
+  LockEntry& entry = table_[key];
+  // Already holding: no-op or upgrade.
+  LockMode target = mode;
+  Holder* mine = nullptr;
+  for (Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      mine = &h;
+      target = LockJoin(h.mode, mode);
+      if (target == h.mode) return Status::OK();  // equal or weaker
+      break;
+    }
+  }
+
+  if (GrantableLocked(entry, txn, target)) {
+    if (mine != nullptr) {
+      mine->mode = target;
+      stats_.upgrades++;
+    } else {
+      entry.holders.push_back(Holder{txn, target});
+      by_txn_[txn].insert(key);
+      stats_.immediate_grants++;
+    }
+    EventContext ctx;
+    ctx.a = key;
+    ctx.b = static_cast<uint64_t>(target);
+    (void)FireEvent(Event::kLockAcquire, ctx);
+    return Status::OK();
+  }
+
+  if (!blocking) {
+    return Status::Busy("lock " + std::to_string(key) + " held in conflicting mode");
+  }
+
+  stats_.waits++;
+  entry.waiters++;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      // Timeout stands in for deadlock detection (paper §3).
+      table_[key].waiters--;
+      stats_.timeouts++;
+      EventContext ctx;
+      ctx.a = key;
+      (void)FireEvent(Event::kDeadlock, ctx);
+      return Status::Deadlock("lock wait timeout on key " +
+                              std::to_string(key) + " (" +
+                              LockModeName(mode) + ")");
+    }
+    LockEntry& e = table_[key];
+    // Re-resolve our holder entry (vector may have changed).
+    Holder* me = nullptr;
+    LockMode tgt = mode;
+    for (Holder& h : e.holders) {
+      if (h.txn == txn) {
+        me = &h;
+        tgt = LockJoin(h.mode, mode);
+        break;
+      }
+    }
+    if (GrantableLocked(e, txn, tgt)) {
+      if (me != nullptr) {
+        me->mode = tgt;
+        stats_.upgrades++;
+      } else {
+        e.holders.push_back(Holder{txn, tgt});
+        by_txn_[txn].insert(key);
+      }
+      e.waiters--;
+      EventContext ctx;
+      ctx.a = key;
+      ctx.b = static_cast<uint64_t>(tgt);
+      (void)FireEvent(Event::kLockAcquire, ctx);
+      return Status::OK();
+    }
+  }
+}
+
+Status LockManager::Release(TxnId txn, uint64_t key) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return Status::NotFound("lock not held");
+  auto& holders = it->second.holders;
+  for (size_t i = 0; i < holders.size(); ++i) {
+    if (holders[i].txn == txn) {
+      holders.erase(holders.begin() + static_cast<long>(i));
+      by_txn_[txn].erase(key);
+      EventContext ctx;
+      ctx.a = key;
+      (void)FireEvent(Event::kLockRelease, ctx);
+      if (holders.empty() && it->second.waiters == 0) table_.erase(it);
+      cv_.notify_all();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("lock not held by txn");
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return;
+  for (uint64_t key : it->second) {
+    auto te = table_.find(key);
+    if (te == table_.end()) continue;
+    auto& holders = te->second.holders;
+    for (size_t i = 0; i < holders.size(); ++i) {
+      if (holders[i].txn == txn) {
+        holders.erase(holders.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    if (holders.empty() && te->second.waiters == 0) table_.erase(te);
+  }
+  by_txn_.erase(it);
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, uint64_t key, LockMode* mode) const {
+  std::unique_lock<std::mutex> lk(mutex_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn == txn) {
+      if (mode != nullptr) *mode = h.mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LockManager::Conflicts(TxnId txn, uint64_t key, LockMode mode) const {
+  std::unique_lock<std::mutex> lk(mutex_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn != txn && !LockCompatible(h.mode, mode)) return true;
+  }
+  return false;
+}
+
+std::vector<uint64_t> LockManager::HeldKeys(TxnId txn) const {
+  std::unique_lock<std::mutex> lk(mutex_);
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return {};
+  return std::vector<uint64_t>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::pair<TxnId, LockMode>> LockManager::Holders(
+    uint64_t key) const {
+  std::unique_lock<std::mutex> lk(mutex_);
+  std::vector<std::pair<TxnId, LockMode>> out;
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    for (const Holder& h : it->second.holders) out.emplace_back(h.txn, h.mode);
+  }
+  return out;
+}
+
+LockStats LockManager::stats() const {
+  std::unique_lock<std::mutex> lk(mutex_);
+  return stats_;
+}
+
+}  // namespace bess

@@ -1,0 +1,32 @@
+// CRC32C (Castagnoli) checksums, used to detect torn or corrupted pages and
+// log records.
+#ifndef BESS_UTIL_CRC32C_H_
+#define BESS_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bess {
+namespace crc32c {
+
+/// Returns the CRC32C of data[0..n-1], continuing from `init_crc` (pass 0 to
+/// start a fresh checksum).
+uint32_t Extend(uint32_t init_crc, const void* data, size_t n);
+
+/// CRC32C of a whole buffer.
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+
+/// A CRC stored next to the data it covers would checksum to a fixed value
+/// when re-checksummed; masking avoids that degenerate property.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace bess
+
+#endif  // BESS_UTIL_CRC32C_H_

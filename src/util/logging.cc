@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+
+namespace bess {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized; read BESS_LOG lazily
+
+int InitLevel() {
+  const char* env = std::getenv("BESS_LOG");
+  return env ? std::atoi(env) : 0;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = InitLevel();
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+namespace internal {
+
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& msg) {
+  const char* tag = level == LogLevel::kError  ? "E"
+                    : level == LogLevel::kInfo ? "I"
+                                               : "D";
+  // Strip directories from __FILE__ for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  fprintf(stderr, "[bess:%s pid=%d %s:%d] %s\n", tag, getpid(), base, line,
+          msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace bess

@@ -1,0 +1,40 @@
+// Minimal diagnostic logging. Off by default; enabled per-process via
+// bess::SetLogLevel or the BESS_LOG environment variable (0..3).
+#ifndef BESS_UTIL_LOGGING_H_
+#define BESS_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace bess {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the process-wide diagnostic log level.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& msg);
+}  // namespace internal
+
+#define BESS_LOG(level, ...)                                          \
+  do {                                                                \
+    if (static_cast<int>(::bess::GetLogLevel()) >=                    \
+        static_cast<int>(::bess::LogLevel::level)) {                  \
+      std::ostringstream _bess_oss;                                   \
+      _bess_oss << __VA_ARGS__;                                       \
+      ::bess::internal::LogLine(::bess::LogLevel::level, __FILE__,    \
+                                __LINE__, _bess_oss.str());           \
+    }                                                                 \
+  } while (0)
+
+#define BESS_ERROR(...) BESS_LOG(kError, __VA_ARGS__)
+#define BESS_INFO(...) BESS_LOG(kInfo, __VA_ARGS__)
+#define BESS_DEBUG(...) BESS_LOG(kDebug, __VA_ARGS__)
+
+}  // namespace bess
+
+#endif  // BESS_UTIL_LOGGING_H_

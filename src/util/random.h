@@ -1,0 +1,64 @@
+// Small deterministic PRNG used by tests, benches and workload generators.
+#ifndef BESS_UTIL_RANDOM_H_
+#define BESS_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace bess {
+
+/// xorshift128+ generator: fast, decent quality, reproducible across runs.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    s0_ = seed ? seed : 1;
+    s1_ = SplitMix(&s0_);
+    s0_ = SplitMix(&s1_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Zipf-ish skew: returns a value in [0, n) where low values are hot.
+  /// `theta` in (0,1); higher theta = more skew. Approximate but cheap.
+  uint64_t Skewed(uint64_t n, double theta = 0.8) {
+    // Power-law transform of a uniform variate.
+    double u = static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+    double v = 1.0;
+    for (double t = theta; t > 0; t -= 0.25) v *= u;  // u^(ceil(theta/0.25))
+    uint64_t idx = static_cast<uint64_t>(v * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_, s1_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_UTIL_RANDOM_H_

@@ -1,0 +1,152 @@
+// Slice: a non-owning view of a byte range, plus small encoding helpers
+// used by the WAL and the wire protocol.
+#ifndef BESS_UTIL_SLICE_H_
+#define BESS_UTIL_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace bess {
+
+/// A pointer + length view of immutable bytes. The viewed storage must
+/// outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* cstr) : data_(cstr), size_(strlen(cstr)) {}      // NOLINT
+  Slice(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first n bytes from the view.
+  void remove_prefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  int compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = 1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& other) const { return compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return compare(other) != 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+// ---- Fixed-width little-endian encoding helpers ----------------------------
+
+inline void EncodeFixed16(char* dst, uint16_t v) { memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+/// Appends a 32-bit length prefix followed by the bytes.
+inline void PutLengthPrefixed(std::string* dst, Slice s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+/// Cursor for decoding the encodings above; tracks an error flag instead of
+/// throwing on truncated input.
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : in_(input) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return in_.size(); }
+
+  uint16_t GetFixed16() {
+    if (!Check(2)) return 0;
+    uint16_t v = DecodeFixed16(in_.data());
+    in_.remove_prefix(2);
+    return v;
+  }
+  uint32_t GetFixed32() {
+    if (!Check(4)) return 0;
+    uint32_t v = DecodeFixed32(in_.data());
+    in_.remove_prefix(4);
+    return v;
+  }
+  uint64_t GetFixed64() {
+    if (!Check(8)) return 0;
+    uint64_t v = DecodeFixed64(in_.data());
+    in_.remove_prefix(8);
+    return v;
+  }
+  Slice GetLengthPrefixed() {
+    uint32_t len = GetFixed32();
+    if (!Check(len)) return Slice();
+    Slice s(in_.data(), len);
+    in_.remove_prefix(len);
+    return s;
+  }
+  Slice GetBytes(size_t n) {
+    if (!Check(n)) return Slice();
+    Slice s(in_.data(), n);
+    in_.remove_prefix(n);
+    return s;
+  }
+
+ private:
+  bool Check(size_t n) {
+    if (!ok_ || in_.size() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  Slice in_;
+  bool ok_ = true;
+};
+
+}  // namespace bess
+
+#endif  // BESS_UTIL_SLICE_H_

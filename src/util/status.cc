@@ -1,0 +1,35 @@
+#include "util/status.h"
+
+namespace bess {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kBusy:
+      return "Busy";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kNoSpace:
+      return "NoSpace";
+    case StatusCode::kProtocol:
+      return "Protocol";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace bess

@@ -1,0 +1,189 @@
+// Status and Result<T>: the error-handling vocabulary used across BeSS.
+//
+// BeSS does not throw exceptions across its API. Every fallible operation
+// returns a Status (or a Result<T> when it also produces a value), in the
+// style of RocksDB / Arrow. Status is cheap to copy when OK (no allocation).
+#ifndef BESS_UTIL_STATUS_H_
+#define BESS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bess {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kNotFound,
+  kCorruption,
+  kNotSupported,
+  kInvalidArgument,
+  kIOError,
+  kBusy,           ///< resource temporarily unavailable (e.g. latch)
+  kDeadlock,       ///< lock wait timed out; transaction should abort
+  kAborted,        ///< transaction was aborted
+  kNoSpace,        ///< allocator or cache exhausted
+  kProtocol,       ///< malformed or unexpected network message
+  kInternal,
+};
+
+/// Returns the canonical spelling of a code, e.g. "NotFound".
+const char* StatusCodeName(StatusCode code);
+
+/// The result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is OK and carries no allocation. Failure
+/// states carry a code and a human-readable message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(StatusCode::kNoSpace, std::move(msg));
+  }
+  static Status Protocol(std::string msg) {
+    return Status(StatusCode::kProtocol, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsBusy() const { return code() == StatusCode::kBusy; }
+  bool IsDeadlock() const { return code() == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsNoSpace() const { return code() == StatusCode::kNoSpace; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The failure message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(rep_->code);
+    if (!rep_->message.empty()) {
+      s += ": ";
+      s += rep_->message;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code() == other.code(); }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps Status copyable cheaply; OK is nullptr.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// The result of a fallible operation that produces a T on success.
+///
+/// Either holds a value (status().ok()) or a non-OK Status. Accessing the
+/// value of a failed Result asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(var_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define BESS_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::bess::Status _bess_st = (expr);             \
+    if (!_bess_st.ok()) return _bess_st;          \
+  } while (0)
+
+// Evaluate an expression yielding Result<T>; on error propagate its Status,
+// otherwise bind the value to `lhs`.
+#define BESS_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto BESS_CONCAT_(_bess_res_, __LINE__) = (expr);  \
+  if (!BESS_CONCAT_(_bess_res_, __LINE__).ok())      \
+    return BESS_CONCAT_(_bess_res_, __LINE__).status(); \
+  lhs = std::move(BESS_CONCAT_(_bess_res_, __LINE__)).value()
+
+#define BESS_CONCAT_(a, b) BESS_CONCAT_IMPL_(a, b)
+#define BESS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace bess
+
+#endif  // BESS_UTIL_STATUS_H_

@@ -1,0 +1,74 @@
+#include "vm/arena.h"
+
+#include <sys/mman.h>
+
+#include "os/vmem.h"
+#include "util/config.h"
+
+namespace bess {
+
+Result<AddressArena> AddressArena::Create(size_t bytes) {
+  const size_t rounded = (bytes + kPageSize - 1) & ~(kPageSize - 1);
+  BESS_ASSIGN_OR_RETURN(void* base, vmem::Reserve(rounded));
+  return AddressArena(base, rounded);
+}
+
+AddressArena::~AddressArena() {
+  if (base_ != nullptr) {
+    (void)vmem::Release(base_, size_);
+  }
+}
+
+AddressArena::AddressArena(AddressArena&& other) noexcept
+    : base_(other.base_),
+      size_(other.size_),
+      bump_(other.bump_),
+      free_lists_(std::move(other.free_lists_)) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+AddressArena& AddressArena::operator=(AddressArena&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) (void)vmem::Release(base_, size_);
+    base_ = other.base_;
+    size_ = other.size_;
+    bump_ = other.bump_;
+    free_lists_ = std::move(other.free_lists_);
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<void*> AddressArena::Acquire(size_t bytes) {
+  const size_t rounded = (bytes + kPageSize - 1) & ~(kPageSize - 1);
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = free_lists_.find(rounded);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    void* p = it->second.back();
+    it->second.pop_back();
+    return p;
+  }
+  if (bump_ + rounded > size_) {
+    return Status::NoSpace("address arena exhausted");
+  }
+  void* p = static_cast<char*>(base_) + bump_;
+  bump_ += rounded;
+  return p;
+}
+
+Status AddressArena::Release(void* base, size_t bytes) {
+  const size_t rounded = (bytes + kPageSize - 1) & ~(kPageSize - 1);
+  // Decommit: replace with a fresh inaccessible reservation, freeing any
+  // physical pages while keeping the addresses reserved.
+  void* p = ::mmap(base, rounded, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED,
+                   -1, 0);
+  if (p == MAP_FAILED) return Status::IOError("arena decommit failed");
+  std::lock_guard<std::mutex> guard(mutex_);
+  free_lists_[rounded].push_back(base);
+  return Status::OK();
+}
+
+}  // namespace bess

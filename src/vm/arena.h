@@ -1,0 +1,56 @@
+// AddressArena: a large PROT_NONE reservation from which the mapper carves
+// per-segment address ranges. Reserving virtual addresses costs no physical
+// memory; a range is only committed when its segment is fetched. Keeping all
+// ranges inside one arena lets the fault dispatcher route every BeSS fault
+// with a single registered range.
+#ifndef BESS_VM_ARENA_H_
+#define BESS_VM_ARENA_H_
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bess {
+
+class AddressArena {
+ public:
+  /// Reserves `bytes` (page-aligned) of inaccessible address space.
+  static Result<AddressArena> Create(size_t bytes);
+
+  AddressArena() = default;
+  ~AddressArena();
+  AddressArena(AddressArena&& other) noexcept;
+  AddressArena& operator=(AddressArena&& other) noexcept;
+  AddressArena(const AddressArena&) = delete;
+  AddressArena& operator=(const AddressArena&) = delete;
+
+  /// Hands out a sub-range of `bytes` (rounded up to pages) in PROT_NONE
+  /// state. NoSpace when the arena is exhausted.
+  Result<void*> Acquire(size_t bytes);
+
+  /// Returns a sub-range: decommits any physical memory and recycles the
+  /// addresses for future Acquire calls of the same size.
+  Status Release(void* base, size_t bytes);
+
+  void* base() const { return base_; }
+  size_t size() const { return size_; }
+  bool Contains(const void* p) const {
+    return p >= base_ && p < static_cast<const char*>(base_) + size_;
+  }
+
+ private:
+  AddressArena(void* base, size_t size) : base_(base), size_(size) {}
+
+  void* base_ = nullptr;
+  size_t size_ = 0;
+  size_t bump_ = 0;
+  std::mutex mutex_;
+  std::map<size_t, std::vector<void*>> free_lists_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_VM_ARENA_H_

@@ -1,0 +1,63 @@
+#include "vm/mem_store.h"
+
+#include "segment/layout.h"
+
+namespace bess {
+
+Status GenericFetchSlotted(SegmentStore* store, SegmentId id, void* buf,
+                           uint32_t* page_count) {
+  BESS_RETURN_IF_ERROR(
+      store->FetchPages(id.db, id.area, id.first_page, 1, buf));
+  const auto* header = static_cast<const SlottedHeader*>(buf);
+  if (header->magic != SlottedHeader::kMagic || header->page_count == 0 ||
+      header->page_count > kMaxSlottedPages) {
+    return Status::Corruption("fetched page is not a slotted segment head");
+  }
+  *page_count = header->page_count;
+  if (header->page_count > 1) {
+    BESS_RETURN_IF_ERROR(store->FetchPages(
+        id.db, id.area, id.first_page + 1, header->page_count - 1,
+        static_cast<char*>(buf) + kPageSize));
+  }
+  return Status::OK();
+}
+
+Status InMemoryStore::FetchPages(uint16_t db, uint16_t area, PageId first,
+                                 uint32_t page_count, void* buf) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (fail_fetches_ > 0) {
+    --fail_fetches_;
+    return Status::IOError("injected fetch failure");
+  }
+  char* out = static_cast<char*>(buf);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    auto it = pages_.find(Key(db, area, first + i));
+    if (it == pages_.end()) {
+      return Status::NotFound("page " + std::to_string(first + i) +
+                              " not in store");
+    }
+    memcpy(out + static_cast<size_t>(i) * kPageSize, it->second.data(),
+           kPageSize);
+  }
+  pages_fetched_ += page_count;
+  return Status::OK();
+}
+
+Status InMemoryStore::WritePages(uint16_t db, uint16_t area, PageId first,
+                                 uint32_t page_count, const void* buf) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const char* in = static_cast<const char*>(buf);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    pages_[Key(db, area, first + i)] =
+        std::string(in + static_cast<size_t>(i) * kPageSize, kPageSize);
+  }
+  pages_written_ += page_count;
+  return Status::OK();
+}
+
+size_t InMemoryStore::page_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return pages_.size();
+}
+
+}  // namespace bess

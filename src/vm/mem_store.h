@@ -1,0 +1,55 @@
+// An in-memory SegmentStore: a page map keyed by (db, area, page).
+// Used by unit tests and micro-benchmarks to exercise the mapper without
+// disk I/O, and by fault-injection tests (it can fail on demand).
+#ifndef BESS_VM_MEM_STORE_H_
+#define BESS_VM_MEM_STORE_H_
+
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "vm/segment_store.h"
+
+namespace bess {
+
+/// Fetches a slotted segment via FetchPages: reads the first page, parses
+/// the header for the true page count, then reads the rest. Any
+/// SegmentStore whose slotted segments live in its page space can use this.
+Status GenericFetchSlotted(SegmentStore* store, SegmentId id, void* buf,
+                           uint32_t* page_count);
+
+class InMemoryStore : public SegmentStore {
+ public:
+  Status FetchSlotted(SegmentId id, void* buf, uint32_t* page_count) override {
+    return GenericFetchSlotted(this, id, buf, page_count);
+  }
+
+  Status FetchPages(uint16_t db, uint16_t area, PageId first,
+                    uint32_t page_count, void* buf) override;
+
+  Status WritePages(uint16_t db, uint16_t area, PageId first,
+                    uint32_t page_count, const void* buf) override;
+
+  /// Fail the next `n` fetches with IOError (fault injection).
+  void FailNextFetches(int n) { fail_fetches_ = n; }
+
+  uint64_t pages_fetched() const { return pages_fetched_; }
+  uint64_t pages_written() const { return pages_written_; }
+  size_t page_count() const;
+
+ private:
+  static uint64_t Key(uint16_t db, uint16_t area, PageId page) {
+    return PageAddr{db, area, page}.Pack();
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, std::string> pages_;
+  int fail_fetches_ = 0;
+  uint64_t pages_fetched_ = 0;
+  uint64_t pages_written_ = 0;
+};
+
+}  // namespace bess
+
+#endif  // BESS_VM_MEM_STORE_H_

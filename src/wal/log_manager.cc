@@ -1,0 +1,190 @@
+#include "wal/log_manager.h"
+
+#include <cstring>
+
+#include "util/config.h"
+#include "util/crc32c.h"
+
+namespace bess {
+namespace {
+
+constexpr uint32_t kLogMagic = 0xBE55106Fu;
+constexpr size_t kHeaderSize = kPageSize;  // one page: magic + checkpoint LSN
+constexpr size_t kFrameHeader = 8;         // u32 len + u32 masked crc
+
+}  // namespace
+
+Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path) {
+  BESS_ASSIGN_OR_RETURN(File file, File::Open(path));
+  auto log = std::unique_ptr<LogManager>(new LogManager(std::move(file)));
+  BESS_RETURN_IF_ERROR(log->LoadExisting());
+  return log;
+}
+
+Status LogManager::LoadExisting() {
+  BESS_ASSIGN_OR_RETURN(uint64_t size, file_.Size());
+  if (size < kHeaderSize) {
+    // Fresh log: write the header.
+    char header[kHeaderSize];
+    memset(header, 0, sizeof(header));
+    EncodeFixed32(header, kLogMagic);
+    EncodeFixed64(header + 4, kNullLsn);
+    BESS_RETURN_IF_ERROR(file_.WriteAt(0, header, sizeof(header)));
+    BESS_RETURN_IF_ERROR(file_.Sync());
+    tail_ = flushed_ = kHeaderSize;
+    buffer_start_ = kHeaderSize;
+    checkpoint_lsn_ = kNullLsn;
+    return Status::OK();
+  }
+  char header[kHeaderSize];
+  BESS_RETURN_IF_ERROR(file_.ReadAt(0, header, sizeof(header)));
+  if (DecodeFixed32(header) != kLogMagic) {
+    return Status::Corruption("not a BeSS log: " + file_.path());
+  }
+  checkpoint_lsn_ = DecodeFixed64(header + 4);
+  // Find the true tail by scanning (crashes can leave a torn final record).
+  Lsn lsn = kHeaderSize;
+  std::string frame(kFrameHeader, '\0');
+  while (lsn + kFrameHeader <= size) {
+    if (!file_.ReadAt(lsn, frame.data(), kFrameHeader).ok()) break;
+    const uint32_t len = DecodeFixed32(frame.data());
+    if (len == 0 || len > (64u << 20) || lsn + kFrameHeader + len > size) {
+      break;
+    }
+    std::string payload(len, '\0');
+    if (!file_.ReadAt(lsn + kFrameHeader, payload.data(), len).ok()) break;
+    const uint32_t want = crc32c::Unmask(DecodeFixed32(frame.data() + 4));
+    if (crc32c::Value(payload.data(), len) != want) break;
+    lsn += kFrameHeader + len;
+  }
+  tail_ = flushed_ = lsn;
+  buffer_start_ = lsn;
+  return Status::OK();
+}
+
+Result<Lsn> LogManager::Append(const LogRecord& rec) {
+  std::string payload;
+  rec.EncodeTo(&payload);
+  std::lock_guard<std::mutex> guard(mutex_);
+  const Lsn lsn = tail_;
+  char frame[kFrameHeader];
+  EncodeFixed32(frame, static_cast<uint32_t>(payload.size()));
+  EncodeFixed32(frame + 4,
+                crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  buffer_.append(frame, kFrameHeader);
+  buffer_.append(payload);
+  tail_ += kFrameHeader + payload.size();
+  return lsn;
+}
+
+Result<Lsn> LogManager::AppendAndFlush(const LogRecord& rec) {
+  BESS_ASSIGN_OR_RETURN(Lsn lsn, Append(rec));
+  BESS_RETURN_IF_ERROR(Flush(lsn));
+  return lsn;
+}
+
+Status LogManager::Flush(Lsn lsn) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (flushed_ > lsn) return Status::OK();  // group commit: already durable
+  if (!buffer_.empty()) {
+    BESS_RETURN_IF_ERROR(
+        file_.WriteAt(buffer_start_, buffer_.data(), buffer_.size()));
+    buffer_start_ += buffer_.size();
+    buffer_.clear();
+  }
+  BESS_RETURN_IF_ERROR(file_.Sync());
+  sync_count_++;
+  flushed_ = tail_;
+  return Status::OK();
+}
+
+Status LogManager::Scan(
+    Lsn from, const std::function<Status(Lsn, const LogRecord&)>& fn) {
+  // Make everything visible to the read path first.
+  BESS_RETURN_IF_ERROR(Flush(tail_ - 1));
+  Lsn lsn = from == kNullLsn ? kHeaderSize : from;
+  char frame[kFrameHeader];
+  for (;;) {
+    Lsn end;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      end = flushed_;
+    }
+    if (lsn + kFrameHeader > end) break;
+    BESS_RETURN_IF_ERROR(file_.ReadAt(lsn, frame, kFrameHeader));
+    const uint32_t len = DecodeFixed32(frame);
+    if (len == 0 || lsn + kFrameHeader + len > end) break;
+    std::string payload(len, '\0');
+    BESS_RETURN_IF_ERROR(file_.ReadAt(lsn + kFrameHeader, payload.data(), len));
+    const uint32_t want = crc32c::Unmask(DecodeFixed32(frame + 4));
+    if (crc32c::Value(payload.data(), len) != want) break;  // torn tail
+    BESS_ASSIGN_OR_RETURN(LogRecord rec, LogRecord::DecodeFrom(payload));
+    BESS_RETURN_IF_ERROR(fn(lsn, rec));
+    lsn += kFrameHeader + len;
+  }
+  return Status::OK();
+}
+
+Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
+  BESS_RETURN_IF_ERROR(Flush(tail_ - 1));
+  char frame[kFrameHeader];
+  BESS_RETURN_IF_ERROR(file_.ReadAt(lsn, frame, kFrameHeader));
+  const uint32_t len = DecodeFixed32(frame);
+  if (len == 0 || len > (64u << 20)) {
+    return Status::Corruption("bad record length at LSN " +
+                              std::to_string(lsn));
+  }
+  std::string payload(len, '\0');
+  BESS_RETURN_IF_ERROR(file_.ReadAt(lsn + kFrameHeader, payload.data(), len));
+  if (crc32c::Value(payload.data(), len) !=
+      crc32c::Unmask(DecodeFixed32(frame + 4))) {
+    return Status::Corruption("record checksum mismatch at LSN " +
+                              std::to_string(lsn));
+  }
+  return LogRecord::DecodeFrom(payload);
+}
+
+Status LogManager::SetCheckpointLsn(Lsn lsn) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  char buf[12];
+  EncodeFixed32(buf, kLogMagic);
+  EncodeFixed64(buf + 4, lsn);
+  BESS_RETURN_IF_ERROR(file_.WriteAt(0, buf, sizeof(buf)));
+  BESS_RETURN_IF_ERROR(file_.Sync());
+  sync_count_++;
+  checkpoint_lsn_ = lsn;
+  return Status::OK();
+}
+
+Result<Lsn> LogManager::GetCheckpointLsn() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return checkpoint_lsn_;
+}
+
+Lsn LogManager::tail_lsn() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return tail_;
+}
+
+Lsn LogManager::flushed_lsn() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return flushed_;
+}
+
+Status LogManager::Reset() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  buffer_.clear();
+  BESS_RETURN_IF_ERROR(file_.Truncate(kHeaderSize));
+  char header[kHeaderSize];
+  memset(header, 0, sizeof(header));
+  EncodeFixed32(header, kLogMagic);
+  EncodeFixed64(header + 4, kNullLsn);
+  BESS_RETURN_IF_ERROR(file_.WriteAt(0, header, sizeof(header)));
+  BESS_RETURN_IF_ERROR(file_.Sync());
+  sync_count_++;
+  tail_ = flushed_ = buffer_start_ = kHeaderSize;
+  checkpoint_lsn_ = kNullLsn;
+  return Status::OK();
+}
+
+}  // namespace bess

@@ -1,0 +1,79 @@
+// LogManager: an append-only write-ahead log on one file.
+//
+// Physical layout:
+//   [header page: magic, last checkpoint LSN]
+//   then records: [u32 payload_len][u32 masked crc32c(payload)][payload]
+//
+// LSN = byte offset of the record. Appends are buffered in memory; Flush
+// makes everything up to an LSN durable. Commit flushes are coalesced
+// (group commit): if another committer already pushed the tail past our
+// LSN, the fdatasync is skipped.
+#ifndef BESS_WAL_LOG_MANAGER_H_
+#define BESS_WAL_LOG_MANAGER_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "os/file.h"
+#include "wal/log_record.h"
+
+namespace bess {
+
+class LogManager {
+ public:
+  /// Opens (creating if necessary) the log at `path`.
+  static Result<std::unique_ptr<LogManager>> Open(const std::string& path);
+
+  /// Appends a record; returns its LSN. Not yet durable.
+  Result<Lsn> Append(const LogRecord& rec);
+
+  /// Appends and makes durable up to and including this record.
+  Result<Lsn> AppendAndFlush(const LogRecord& rec);
+
+  /// Ensures everything up to `lsn` is durable.
+  Status Flush(Lsn lsn);
+
+  /// Scans all records from `from` (kNullLsn = start of log), invoking
+  /// `fn(lsn, record)`. Stops cleanly at a truncated/corrupt tail (the
+  /// expected state after a crash mid-append).
+  Status Scan(Lsn from,
+              const std::function<Status(Lsn, const LogRecord&)>& fn);
+
+  /// Reads a single record at `lsn` (random access; used by undo to walk
+  /// prev_lsn chains).
+  Result<LogRecord> ReadRecord(Lsn lsn);
+
+  /// Records the LSN of the latest checkpoint in the log header (the
+  /// "master record"), durably.
+  Status SetCheckpointLsn(Lsn lsn);
+  Result<Lsn> GetCheckpointLsn();
+
+  /// Byte offset one past the last appended record.
+  Lsn tail_lsn() const;
+  Lsn flushed_lsn() const;
+
+  /// Discards the whole log and starts fresh (after a full checkpoint has
+  /// made it redundant).
+  Status Reset();
+
+  uint64_t sync_count() const { return sync_count_; }
+
+ private:
+  explicit LogManager(File file) : file_(std::move(file)) {}
+
+  Status LoadExisting();
+
+  File file_;
+  mutable std::mutex mutex_;
+  std::string buffer_;       // appended but unwritten bytes
+  Lsn buffer_start_ = 0;     // LSN of buffer_[0]
+  Lsn tail_ = 0;
+  Lsn flushed_ = 0;
+  Lsn checkpoint_lsn_ = kNullLsn;
+  uint64_t sync_count_ = 0;
+};
+
+}  // namespace bess
+
+#endif  // BESS_WAL_LOG_MANAGER_H_

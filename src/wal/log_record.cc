@@ -1,0 +1,93 @@
+#include "wal/log_record.h"
+
+namespace bess {
+
+void LogRecord::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type));
+  PutFixed64(out, txn);
+  PutFixed64(out, prev_lsn);
+  switch (type) {
+    case LogRecordType::kPageWrite:
+      PutFixed64(out, page.Pack());
+      PutLengthPrefixed(out, before);
+      PutLengthPrefixed(out, after);
+      break;
+    case LogRecordType::kClr:
+      PutFixed64(out, page.Pack());
+      PutFixed64(out, undo_next);
+      PutLengthPrefixed(out, after);
+      break;
+    case LogRecordType::kCheckpoint:
+      PutFixed32(out, static_cast<uint32_t>(active_txns.size()));
+      for (const ActiveTxn& t : active_txns) {
+        PutFixed64(out, t.txn);
+        PutFixed64(out, t.last_lsn);
+      }
+      PutFixed32(out, static_cast<uint32_t>(dirty_pages.size()));
+      for (const DirtyPage& d : dirty_pages) {
+        PutFixed64(out, d.page.Pack());
+        PutFixed64(out, d.rec_lsn);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+Result<LogRecord> LogRecord::DecodeFrom(Slice payload) {
+  if (payload.empty()) return Status::Corruption("empty log record");
+  LogRecord rec;
+  rec.type = static_cast<LogRecordType>(payload[0]);
+  payload.remove_prefix(1);
+  Decoder dec(payload);
+  rec.txn = dec.GetFixed64();
+  rec.prev_lsn = dec.GetFixed64();
+  switch (rec.type) {
+    case LogRecordType::kBegin:
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kEnd:
+    case LogRecordType::kPrepare:
+      break;
+    case LogRecordType::kPageWrite:
+      rec.page = PageAddr::Unpack(dec.GetFixed64());
+      rec.before = dec.GetLengthPrefixed().ToString();
+      rec.after = dec.GetLengthPrefixed().ToString();
+      break;
+    case LogRecordType::kClr:
+      rec.page = PageAddr::Unpack(dec.GetFixed64());
+      rec.undo_next = dec.GetFixed64();
+      rec.after = dec.GetLengthPrefixed().ToString();
+      break;
+    case LogRecordType::kCheckpoint: {
+      uint32_t nt = dec.GetFixed32();
+      if (!dec.ok() || nt > 1u << 20) {
+        return Status::Corruption("bad checkpoint record");
+      }
+      for (uint32_t i = 0; i < nt; ++i) {
+        ActiveTxn t;
+        t.txn = dec.GetFixed64();
+        t.last_lsn = dec.GetFixed64();
+        rec.active_txns.push_back(t);
+      }
+      uint32_t nd = dec.GetFixed32();
+      if (!dec.ok() || nd > 1u << 20) {
+        return Status::Corruption("bad checkpoint record");
+      }
+      for (uint32_t i = 0; i < nd; ++i) {
+        DirtyPage d;
+        d.page = PageAddr::Unpack(dec.GetFixed64());
+        d.rec_lsn = dec.GetFixed64();
+        rec.dirty_pages.push_back(d);
+      }
+      break;
+    }
+    default:
+      return Status::Corruption("unknown log record type " +
+                                std::to_string(static_cast<int>(rec.type)));
+  }
+  if (!dec.ok()) return Status::Corruption("truncated log record");
+  return rec;
+}
+
+}  // namespace bess

@@ -1,0 +1,67 @@
+// Write-ahead log records (paper §3: "recovery is based on an ARIES-like
+// write-ahead log (WAL) protocol").
+//
+// Page-write records carry full before/after page images (physical logging):
+// redo is a blind, idempotent reapplication of after-images in LSN order
+// ("repeating history"); undo writes before-images backwards along each
+// loser's prev_lsn chain, emitting compensation records (CLRs) so that undo
+// itself is restartable.
+#ifndef BESS_WAL_LOG_RECORD_H_
+#define BESS_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/storage_area.h"
+#include "txn/lock_manager.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bess {
+
+/// Log sequence number: the byte offset of the record in the log file.
+using Lsn = uint64_t;
+inline constexpr Lsn kNullLsn = 0;  // offset 0 holds the log header
+
+enum class LogRecordType : uint8_t {
+  kBegin = 1,
+  kCommit,
+  kAbort,       ///< abort decided; undo follows
+  kEnd,         ///< transaction fully finished (undo complete if any)
+  kPageWrite,   ///< physical before/after images of one page
+  kClr,         ///< compensation: before-image applied during undo
+  kCheckpoint,  ///< fuzzy checkpoint: txn table + dirty page table
+  kPrepare,     ///< 2PC phase 1: transaction is in doubt (presumed abort)
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBegin;
+  TxnId txn = kNoTxn;
+  Lsn prev_lsn = kNullLsn;  ///< previous record of the same txn
+
+  // kPageWrite / kClr:
+  PageAddr page;
+  std::string before;  ///< empty for kClr
+  std::string after;
+  Lsn undo_next = kNullLsn;  ///< kClr: next record to undo
+
+  // kCheckpoint:
+  struct ActiveTxn {
+    TxnId txn;
+    Lsn last_lsn;
+  };
+  std::vector<ActiveTxn> active_txns;
+  struct DirtyPage {
+    PageAddr page;
+    Lsn rec_lsn;
+  };
+  std::vector<DirtyPage> dirty_pages;
+
+  void EncodeTo(std::string* out) const;
+  static Result<LogRecord> DecodeFrom(Slice payload);
+};
+
+}  // namespace bess
+
+#endif  // BESS_WAL_LOG_RECORD_H_

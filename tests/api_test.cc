@@ -1,0 +1,191 @@
+// Tests for the public API facade (§2.5): ref<T>, global_ref<T>,
+// Transaction guard, typed helpers, and transparent forward-object
+// resolution through the ODMG-style interface.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "api/bess.h"
+
+namespace bess {
+namespace {
+
+struct Node {
+  uint64_t next;  // ref at 0
+  uint64_t value;
+};
+
+class ApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bess_api_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    Database::Options o;
+    o.dir = dir_.string();
+    o.create = true;
+    auto db = Database::Open(o);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    TypeDescriptor t;
+    t.name = "Node";
+    t.fixed_size = sizeof(Node);
+    t.ref_offsets = {0};
+    auto tp = db_->RegisterType(t);
+    ASSERT_TRUE(tp.ok());
+    type_ = *tp;
+    auto f = db_->CreateFile("nodes");
+    ASSERT_TRUE(f.ok());
+    file_ = *f;
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Database> db_;
+  TypeIdx type_ = 0;
+  uint16_t file_ = 0;
+};
+
+TEST_F(ApiTest, RefBehavesLikePointer) {
+  Transaction txn(db_.get());
+  ASSERT_TRUE(txn.active());
+  auto a = CreateObject<Node>(db_.get(), file_, type_);
+  auto b = CreateObject<Node>(db_.get(), file_, type_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  (*a)->value = 10;
+  (*b)->value = 20;
+  (*a)->next = b->AsField();
+
+  ref<Node> r = *a;
+  EXPECT_TRUE(r);
+  EXPECT_EQ(r->value, 10u);
+  EXPECT_EQ((*r).value, 10u);
+  Node* raw = r;  // implicit conversion, pass-as-T* (§2.5)
+  EXPECT_EQ(raw->value, 10u);
+  ref<Node> next = ref<Node>::FromField(r->next);
+  EXPECT_EQ(next->value, 20u);
+  EXPECT_EQ(next, *b);
+  EXPECT_NE(next, r);
+  EXPECT_FALSE(ref<Node>());
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST_F(ApiTest, TransactionGuardAbortsByDefault) {
+  ref<Node> created;
+  {
+    Transaction txn(db_.get());
+    auto a = CreateObject<Node>(db_.get(), file_, type_);
+    ASSERT_TRUE(a.ok());
+    created = *a;
+    ASSERT_TRUE(db_->SetRoot("leak", created.slot()).ok());
+    // No Commit: the guard aborts on scope exit.
+  }
+  auto count = db_->CountObjects(file_);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST_F(ApiTest, TransactionGuardDoubleCommitFails) {
+  Transaction txn(db_.get());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_TRUE(txn.Commit().IsInvalidArgument());
+  EXPECT_TRUE(txn.Abort().IsInvalidArgument());
+  EXPECT_FALSE(txn.active());
+}
+
+TEST_F(ApiTest, NestedTransactionOnThreadRejected) {
+  Transaction txn(db_.get());
+  ASSERT_TRUE(txn.active());
+  Transaction inner(db_.get());
+  EXPECT_FALSE(inner.active());
+  EXPECT_TRUE(inner.begin_status().IsInvalidArgument());
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST_F(ApiTest, GlobalRefResolvesAndStales) {
+  Transaction txn(db_.get());
+  auto a = CreateObject<Node>(db_.get(), file_, type_);
+  ASSERT_TRUE(a.ok());
+  (*a)->value = 77;
+  auto oid = db_->OidOf(a->slot());
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(txn.Commit().ok());
+
+  global_ref<Node> gref(*oid);
+  auto resolved = gref.Resolve();
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ((*resolved)->value, 77u);
+
+  Transaction txn2(db_.get());
+  ASSERT_TRUE(db_->DeleteObject(resolved->slot()).ok());
+  ASSERT_TRUE(txn2.Commit().ok());
+  EXPECT_TRUE(gref.Resolve().status().IsNotFound());
+}
+
+TEST_F(ApiTest, RefFollowsForwardObjectsTransparently) {
+  // Second database holding the real object.
+  auto dir2 = dir_;
+  dir2 += "_two";
+  Database::Options o2;
+  o2.dir = dir2.string();
+  o2.db_id = 2;
+  o2.create = true;
+  auto db2r = Database::Open(o2);
+  ASSERT_TRUE(db2r.ok());
+  auto db2 = std::move(*db2r);
+  TypeDescriptor t;
+  t.name = "Node";
+  t.fixed_size = sizeof(Node);
+  t.ref_offsets = {0};
+  ASSERT_TRUE(db2->RegisterType(t).ok());
+  auto f2 = db2->CreateFile("remote");
+  ASSERT_TRUE(f2.ok());
+
+  Oid target_oid;
+  {
+    auto txn = db2->Begin();
+    ASSERT_TRUE(txn.ok());
+    auto target = db2->CreateObject(*f2, 1, sizeof(Node));
+    ASSERT_TRUE(target.ok());
+    reinterpret_cast<Node*>((*target)->dp)->value = 4242;
+    auto oid = db2->OidOf(*target);
+    ASSERT_TRUE(oid.ok());
+    target_oid = *oid;
+    ASSERT_TRUE(db2->Commit(*txn).ok());
+  }
+  {
+    Transaction txn(db_.get());
+    auto fwd = db_->CreateForward(file_, target_oid);
+    ASSERT_TRUE(fwd.ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    // The typed ref resolves the forward object on dereference (§2.1).
+    ref<Node> r(*fwd);
+    EXPECT_EQ(r->value, 4242u);
+  }
+  db2.reset();
+  std::filesystem::remove_all(dir2);
+}
+
+TEST_F(ApiTest, TypedRootHelpers) {
+  {
+    Transaction txn(db_.get());
+    auto a = CreateObject<Node>(db_.get(), file_, type_);
+    ASSERT_TRUE(a.ok());
+    (*a)->value = 5;
+    ASSERT_TRUE(db_->SetRoot("head", a->slot()).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction txn(db_.get());
+  auto head = GetRoot<Node>(db_.get(), "head");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ((*head)->value, 5u);
+  EXPECT_TRUE(GetRoot<Node>(db_.get(), "nope").status().IsNotFound());
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+}  // namespace
+}  // namespace bess

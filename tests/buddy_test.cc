@@ -1,0 +1,156 @@
+// Unit + property tests for the binary buddy allocator (paper §2, ref [3]).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "storage/buddy.h"
+#include "util/random.h"
+
+namespace bess {
+namespace {
+
+TEST(BuddyTest, AllocatesRoundedPowerOfTwo) {
+  BuddyAllocator alloc(256);
+  auto p = alloc.Allocate(3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(alloc.BlockSize(*p), 4u);  // 3 rounds to 4
+  EXPECT_EQ(alloc.free_pages(), 252u);
+}
+
+TEST(BuddyTest, AllocationsDoNotOverlap) {
+  BuddyAllocator alloc(256);
+  std::set<uint32_t> used;
+  for (int i = 0; i < 32; ++i) {
+    auto p = alloc.Allocate(8);
+    ASSERT_TRUE(p.ok());
+    for (uint32_t q = *p; q < *p + 8; ++q) {
+      EXPECT_TRUE(used.insert(q).second) << "page " << q << " double-allocated";
+    }
+  }
+  EXPECT_EQ(alloc.free_pages(), 0u);
+  EXPECT_TRUE(alloc.Allocate(1).status().IsNoSpace());
+}
+
+TEST(BuddyTest, FreeCoalescesBuddies) {
+  BuddyAllocator alloc(256);
+  auto a = alloc.Allocate(128);
+  auto b = alloc.Allocate(128);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(alloc.LargestFreeBlock(), 0u);
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_EQ(alloc.LargestFreeBlock(), 128u);
+  ASSERT_TRUE(alloc.Free(*b).ok());
+  // Full coalesce back to one max block.
+  EXPECT_EQ(alloc.LargestFreeBlock(), 256u);
+  EXPECT_TRUE(alloc.CheckInvariants().ok());
+}
+
+TEST(BuddyTest, FreeOfNonHeadRejected) {
+  BuddyAllocator alloc(64);
+  auto a = alloc.Allocate(4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(alloc.Free(*a + 1).IsInvalidArgument());
+  EXPECT_TRUE(alloc.Free(63).IsInvalidArgument());
+  EXPECT_TRUE(alloc.Free(9999).IsInvalidArgument());
+}
+
+TEST(BuddyTest, RejectsBadSizes) {
+  BuddyAllocator alloc(64);
+  EXPECT_TRUE(alloc.Allocate(0).status().IsInvalidArgument());
+  EXPECT_TRUE(alloc.Allocate(65).status().IsInvalidArgument());
+  EXPECT_TRUE(alloc.Allocate(64).ok());
+}
+
+TEST(BuddyTest, MapRoundTripPreservesState) {
+  BuddyAllocator alloc(256);
+  auto a = alloc.Allocate(16);
+  auto b = alloc.Allocate(1);
+  auto c = alloc.Allocate(32);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(alloc.Free(*b).ok());
+
+  std::vector<uint8_t> map(256);
+  alloc.SaveMap(map.data());
+  auto restored = BuddyAllocator::FromMap(map.data(), 256);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->free_pages(), alloc.free_pages());
+  EXPECT_EQ(restored->BlockSize(*a), 16u);
+  EXPECT_EQ(restored->BlockSize(*c), 32u);
+  EXPECT_TRUE(restored->CheckInvariants().ok());
+  // The restored allocator must still be able to free and coalesce.
+  EXPECT_TRUE(restored->Free(*a).ok());
+  EXPECT_TRUE(restored->Free(*c).ok());
+  EXPECT_EQ(restored->LargestFreeBlock(), 256u);
+}
+
+TEST(BuddyTest, FromMapRejectsCorruption) {
+  std::vector<uint8_t> map(64, 0);
+  map[1] = 0x80 | 2;  // order-2 block at misaligned page 1
+  EXPECT_TRUE(BuddyAllocator::FromMap(map.data(), 64).status().IsCorruption());
+
+  std::vector<uint8_t> map2(64, 0);
+  map2[0] = 0x80 | 7;  // 128 pages in a 64-page extent
+  EXPECT_TRUE(BuddyAllocator::FromMap(map2.data(), 64).status().IsCorruption());
+
+  std::vector<uint8_t> map3(64, 0);
+  map3[0] = 0x80 | 2;
+  map3[2] = 0x80 | 0;  // overlaps the order-2 block at 0
+  EXPECT_TRUE(BuddyAllocator::FromMap(map3.data(), 64).status().IsCorruption());
+}
+
+// Property test: random alloc/free interleavings keep every invariant, and
+// a save/restore at any point reproduces the same reachable behaviour.
+class BuddyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BuddyPropertyTest, RandomOpsPreserveInvariants) {
+  Random rng(GetParam());
+  BuddyAllocator alloc(256);
+  std::map<uint32_t, uint32_t> allocated;  // head -> requested size
+  uint64_t expected_free = 256;
+
+  for (int step = 0; step < 600; ++step) {
+    if (allocated.empty() || rng.Bernoulli(0.6)) {
+      const uint32_t want = static_cast<uint32_t>(rng.Range(1, 40));
+      auto p = alloc.Allocate(want);
+      if (p.ok()) {
+        const uint32_t got = alloc.BlockSize(*p);
+        EXPECT_GE(got, want);
+        allocated[*p] = got;
+        expected_free -= got;
+      } else {
+        EXPECT_TRUE(p.status().IsNoSpace());
+      }
+    } else {
+      auto it = allocated.begin();
+      std::advance(it, rng.Uniform(allocated.size()));
+      ASSERT_TRUE(alloc.Free(it->first).ok());
+      expected_free += it->second;
+      allocated.erase(it);
+    }
+    ASSERT_EQ(alloc.free_pages(), expected_free);
+    if (step % 50 == 0) {
+      ASSERT_TRUE(alloc.CheckInvariants().ok()) << "step " << step;
+      std::vector<uint8_t> map(256);
+      alloc.SaveMap(map.data());
+      auto restored = BuddyAllocator::FromMap(map.data(), 256);
+      ASSERT_TRUE(restored.ok());
+      ASSERT_EQ(restored->free_pages(), alloc.free_pages());
+      ASSERT_TRUE(restored->CheckInvariants().ok());
+    }
+  }
+  // Free everything: allocator must coalesce back to a single block.
+  for (const auto& [head, size] : allocated) {
+    (void)size;
+    ASSERT_TRUE(alloc.Free(head).ok());
+  }
+  EXPECT_EQ(alloc.free_pages(), 256u);
+  EXPECT_EQ(alloc.LargestFreeBlock(), 256u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace bess

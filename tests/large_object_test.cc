@@ -1,0 +1,302 @@
+// Tests for very large objects: byte-range read/write/insert/delete/append
+// (paper §2.1), model-checked against a std::string reference, plus the
+// compression-hook path (§2.4).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hooks/hooks.h"
+#include "lob/large_object.h"
+#include "util/random.h"
+#include "vm/mem_store.h"
+
+namespace bess {
+namespace {
+
+// Bump allocator over the in-memory page space.
+class BumpAllocator : public ExtentAllocator {
+ public:
+  Result<DiskSegment> AllocExtent(uint16_t area, uint32_t pages) override {
+    (void)area;
+    DiskSegment seg;
+    seg.first_page = next_;
+    seg.page_count = pages;
+    next_ += pages;
+    ++live_;
+    return seg;
+  }
+  Status FreeExtent(uint16_t area, PageId first_page) override {
+    (void)area;
+    (void)first_page;
+    --live_;
+    return Status::OK();
+  }
+  int live() const { return live_; }
+
+ private:
+  PageId next_ = 0;
+  int live_ = 0;
+};
+
+class LargeObjectTest : public ::testing::Test {
+ protected:
+  void TearDown() override { HookRegistry::Instance().Clear(); }
+
+  Result<LargeObject> Make(uint64_t size_hint = 0) {
+    LargeObject::Options opts;
+    opts.db = 1;
+    opts.area = 0;
+    opts.extent_pages = 2;  // small extents exercise splitting sooner
+    return LargeObject::Create(&store_, &alloc_, opts, size_hint);
+  }
+
+  InMemoryStore store_;
+  BumpAllocator alloc_;
+};
+
+std::string Pattern(size_t n, uint64_t seed = 1) {
+  Random rng(seed);
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>('a' + rng.Uniform(26));
+  return s;
+}
+
+TEST_F(LargeObjectTest, AppendAndReadBack) {
+  auto lob = Make();
+  ASSERT_TRUE(lob.ok()) << lob.status().ToString();
+  const std::string data = Pattern(50000);
+  ASSERT_TRUE(lob->Append(data).ok());
+  auto size = lob->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, data.size());
+  auto back = lob->Read(0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  // Partial reads.
+  auto mid = lob->Read(12345, 678);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, data.substr(12345, 678));
+  // Read past EOF is short, not an error.
+  auto tail = lob->Read(data.size() - 10, 100);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->size(), 10u);
+}
+
+TEST_F(LargeObjectTest, PersistsThroughReopen) {
+  auto lob = Make();
+  ASSERT_TRUE(lob.ok());
+  const std::string data = Pattern(30000, 2);
+  ASSERT_TRUE(lob->Append(data).ok());
+  LobRoot root = lob->root();
+
+  LargeObject::Options opts;
+  opts.db = 1;
+  opts.area = 0;
+  auto reopened = LargeObject::Open(&store_, &alloc_, opts, root);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto back = reopened->Read(0, data.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(LargeObjectTest, OverwriteWithinObject) {
+  auto lob = Make();
+  ASSERT_TRUE(lob.ok());
+  ASSERT_TRUE(lob->Append(std::string(20000, 'x')).ok());
+  ASSERT_TRUE(lob->Write(7000, std::string(6000, 'Y')).ok());
+  auto back = lob->Read(0, 20000);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->substr(0, 7000), std::string(7000, 'x'));
+  EXPECT_EQ(back->substr(7000, 6000), std::string(6000, 'Y'));
+  EXPECT_EQ(back->substr(13000), std::string(7000, 'x'));
+  EXPECT_TRUE(lob->Write(19999, std::string(2, 'z')).IsInvalidArgument());
+}
+
+TEST_F(LargeObjectTest, InsertShiftsTail) {
+  auto lob = Make();
+  ASSERT_TRUE(lob.ok());
+  ASSERT_TRUE(lob->Append("hello world").ok());
+  ASSERT_TRUE(lob->Insert(5, ", big").ok());
+  auto back = lob->Read(0, 100);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "hello, big world");
+  // Insert at the very start.
+  ASSERT_TRUE(lob->Insert(0, ">> ").ok());
+  back = lob->Read(0, 100);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, ">> hello, big world");
+}
+
+TEST_F(LargeObjectTest, DeleteClosesGap) {
+  auto lob = Make();
+  ASSERT_TRUE(lob.ok());
+  const std::string data = Pattern(40000, 3);
+  ASSERT_TRUE(lob->Append(data).ok());
+  ASSERT_TRUE(lob->Delete(10000, 15000).ok());
+  std::string expect = data.substr(0, 10000) + data.substr(25000);
+  auto size = lob->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, expect.size());
+  auto back = lob->Read(0, expect.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, expect);
+  EXPECT_TRUE(lob->CheckInvariants().ok());
+}
+
+TEST_F(LargeObjectTest, TruncateAndDestroy) {
+  auto lob = Make();
+  ASSERT_TRUE(lob.ok());
+  ASSERT_TRUE(lob->Append(Pattern(25000, 4)).ok());
+  ASSERT_TRUE(lob->Truncate(100).ok());
+  auto size = lob->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 100u);
+  ASSERT_TRUE(lob->Destroy().ok());
+  EXPECT_EQ(alloc_.live(), 0) << "extents leaked";
+}
+
+TEST_F(LargeObjectTest, SizeHintWidensExtents) {
+  auto small = Make(0);
+  auto big = Make(64ull << 20);  // 64 MB hint
+  ASSERT_TRUE(small.ok() && big.ok());
+  const std::string data = Pattern(200000, 5);
+  ASSERT_TRUE(small->Append(data).ok());
+  ASSERT_TRUE(big->Append(data).ok());
+  auto small_extents = small->ExtentCount();
+  auto big_extents = big->ExtentCount();
+  ASSERT_TRUE(small_extents.ok() && big_extents.ok());
+  EXPECT_GT(*small_extents, *big_extents);
+}
+
+TEST_F(LargeObjectTest, CompressionHooksRoundTrip) {
+  // A toy run-length "compressor" registered exactly as a user would (§2.4).
+  auto rle_compress = [](Event, const EventContext& ctx) {
+    std::string out;
+    const std::string& in = *ctx.buffer;
+    for (size_t i = 0; i < in.size();) {
+      size_t j = i;
+      while (j < in.size() && in[j] == in[i] && j - i < 255) ++j;
+      out.push_back(static_cast<char>(j - i));
+      out.push_back(in[i]);
+      i = j;
+    }
+    *ctx.buffer = out;
+    return Status::OK();
+  };
+  auto rle_expand = [](Event, const EventContext& ctx) {
+    std::string out;
+    const std::string& in = *ctx.buffer;
+    for (size_t i = 0; i + 1 < in.size(); i += 2) {
+      out.append(static_cast<size_t>(static_cast<unsigned char>(in[i])),
+                 in[i + 1]);
+    }
+    *ctx.buffer = out;
+    return Status::OK();
+  };
+  // Highly compressible content.
+  std::string data;
+  for (int i = 0; i < 500; ++i) data += std::string(400, 'a' + (i % 26));
+
+  // Control: how many pages does the raw form cost?
+  auto control = Make(data.size());
+  ASSERT_TRUE(control.ok());
+  const size_t raw_before = store_.pages_written();
+  ASSERT_TRUE(control->Append(data).ok());
+  const size_t raw_pages = store_.pages_written() - raw_before;
+
+  HookRegistry::Instance().Register(Event::kLargeObjectStore, rle_compress);
+  HookRegistry::Instance().Register(Event::kLargeObjectFetch, rle_expand);
+
+  auto lob = Make(data.size());
+  ASSERT_TRUE(lob.ok());
+  const size_t store_before = store_.pages_written();
+  ASSERT_TRUE(lob->Append(data).ok());
+  auto back = lob->Read(0, data.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, data);
+  // The compressed form must occupy well under half the raw pages.
+  const size_t pages_used = store_.pages_written() - store_before;
+  EXPECT_LT(pages_used, raw_pages / 2)
+      << "compressed " << pages_used << " vs raw " << raw_pages;
+}
+
+// Property test: random byte-range operation sequences match a std::string
+// reference model exactly.
+class LobPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LobPropertyTest, MatchesStringModel) {
+  InMemoryStore store;
+  BumpAllocator alloc;
+  LargeObject::Options opts;
+  opts.db = 1;
+  opts.area = 0;
+  opts.extent_pages = 1;  // stress extent churn
+  auto lobr = LargeObject::Create(&store, &alloc, opts);
+  ASSERT_TRUE(lobr.ok());
+  LargeObject lob = std::move(*lobr);
+
+  Random rng(GetParam());
+  std::string model;
+  for (int step = 0; step < 60; ++step) {
+    const int op = static_cast<int>(rng.Uniform(5));
+    switch (op) {
+      case 0: {  // append
+        std::string data = Pattern(rng.Range(1, 9000), rng.Next());
+        ASSERT_TRUE(lob.Append(data).ok());
+        model += data;
+        break;
+      }
+      case 1: {  // insert
+        if (model.empty()) break;
+        const uint64_t at = rng.Uniform(model.size() + 1);
+        std::string data = Pattern(rng.Range(1, 5000), rng.Next());
+        ASSERT_TRUE(lob.Insert(at, data).ok());
+        model.insert(at, data);
+        break;
+      }
+      case 2: {  // delete
+        if (model.empty()) break;
+        const uint64_t at = rng.Uniform(model.size());
+        const uint64_t len = rng.Range(1, 6000);
+        ASSERT_TRUE(lob.Delete(at, len).ok());
+        model.erase(at, std::min<uint64_t>(len, model.size() - at));
+        break;
+      }
+      case 3: {  // overwrite
+        if (model.size() < 2) break;
+        const uint64_t at = rng.Uniform(model.size() - 1);
+        const uint64_t len =
+            std::min<uint64_t>(rng.Range(1, 4000), model.size() - at);
+        std::string data = Pattern(len, rng.Next());
+        ASSERT_TRUE(lob.Write(at, data).ok());
+        model.replace(at, len, data);
+        break;
+      }
+      case 4: {  // random read check
+        if (model.empty()) break;
+        const uint64_t at = rng.Uniform(model.size());
+        const uint64_t len = rng.Range(1, 8000);
+        auto got = lob.Read(at, len);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(*got, model.substr(at, len)) << "step " << step;
+        break;
+      }
+    }
+    auto size = lob.Size();
+    ASSERT_TRUE(size.ok());
+    ASSERT_EQ(*size, model.size()) << "step " << step;
+    if (step % 10 == 0) {
+      ASSERT_TRUE(lob.CheckInvariants().ok()) << "step " << step;
+    }
+  }
+  // Final byte-for-byte comparison.
+  auto all = lob.Read(0, model.size() + 1);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LobPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace bess

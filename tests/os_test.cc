@@ -1,0 +1,254 @@
+// Tests for the OS substrate: files, virtual memory, shared memory,
+// latches, message sockets, and the fault dispatcher registry.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "os/fault_dispatcher.h"
+#include "os/file.h"
+#include "os/latch.h"
+#include "os/shm.h"
+#include "os/socket.h"
+#include "os/vmem.h"
+#include "util/config.h"
+
+namespace bess {
+namespace {
+
+class OsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bess_os_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& n) { return (dir_ / n).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(OsTest, FileReadWriteRoundTrip) {
+  auto f = File::Open(Path("f"));
+  ASSERT_TRUE(f.ok());
+  const std::string data = "hello bess";
+  ASSERT_TRUE(f->WriteAt(100, data.data(), data.size()).ok());
+  std::string back(data.size(), '\0');
+  ASSERT_TRUE(f->ReadAt(100, back.data(), back.size()).ok());
+  EXPECT_EQ(back, data);
+  auto size = f->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 100 + data.size());
+}
+
+TEST_F(OsTest, FileShortReadIsError) {
+  auto f = File::Open(Path("f"));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->WriteAt(0, "abc", 3).ok());
+  char buf[10];
+  EXPECT_TRUE(f->ReadAt(0, buf, 10).IsIOError());
+  EXPECT_TRUE(f->ReadAt(100, buf, 1).IsIOError());
+}
+
+TEST_F(OsTest, FileAppendTruncateRemove) {
+  auto f = File::Open(Path("f"));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Append("one", 3).ok());
+  ASSERT_TRUE(f->Append("two", 3).ok());
+  EXPECT_EQ(*f->Size(), 6u);
+  ASSERT_TRUE(f->Truncate(3).ok());
+  EXPECT_EQ(*f->Size(), 3u);
+  f->Close();
+  EXPECT_TRUE(File::Exists(Path("f")));
+  ASSERT_TRUE(File::Remove(Path("f")).ok());
+  EXPECT_FALSE(File::Exists(Path("f")));
+  EXPECT_TRUE(File::Remove(Path("f")).IsNotFound());
+  EXPECT_FALSE(File::Open(Path("nodir/f"), /*create=*/false).ok());
+}
+
+TEST_F(OsTest, VmemReserveCommitProtect) {
+  auto mem = vmem::Reserve(4 * kPageSize);
+  ASSERT_TRUE(mem.ok());
+  char* p = static_cast<char*>(*mem);
+  ASSERT_TRUE(vmem::CommitAnonymous(p, kPageSize, vmem::kReadWrite).ok());
+  p[0] = 'x';
+  EXPECT_EQ(p[0], 'x');
+  ASSERT_TRUE(vmem::Protect(p, kPageSize, vmem::kRead).ok());
+  EXPECT_EQ(p[0], 'x');  // reads still fine
+  ASSERT_TRUE(vmem::Release(*mem, 4 * kPageSize).ok());
+}
+
+TEST_F(OsTest, VmemCountersTrack) {
+  vmem::ResetCounters();
+  auto mem = vmem::Reserve(kPageSize);
+  ASSERT_TRUE(mem.ok());
+  (void)vmem::CommitAnonymous(*mem, kPageSize, vmem::kReadWrite);
+  (void)vmem::Protect(*mem, kPageSize, vmem::kRead);
+  auto counters = vmem::GetCounters();
+  EXPECT_EQ(counters.reserve_calls, 1u);
+  EXPECT_EQ(counters.commit_calls, 1u);
+  EXPECT_EQ(counters.protect_calls, 1u);
+  (void)vmem::Release(*mem, kPageSize);
+}
+
+TEST_F(OsTest, SharedMemoryCreateAttachVisibility) {
+  const std::string name = "/bess_os_shm_" + std::to_string(::getpid());
+  auto a = SharedMemory::Create(name, 2 * kPageSize);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  memcpy(a->base(), "cross", 5);
+  auto b = SharedMemory::Attach(name);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(memcmp(b->base(), "cross", 5), 0);
+  memcpy(static_cast<char*>(b->base()) + 64, "back", 4);
+  EXPECT_EQ(memcmp(static_cast<char*>(a->base()) + 64, "back", 4), 0);
+  ASSERT_TRUE(a->Unlink().ok());
+  EXPECT_FALSE(SharedMemory::Attach(name).ok());
+}
+
+TEST_F(OsTest, LatchMutualExclusion) {
+  Latch latch;
+  EXPECT_FALSE(latch.is_locked());
+  latch.Lock();
+  EXPECT_TRUE(latch.is_locked());
+  EXPECT_EQ(latch.holder_pid(), static_cast<uint32_t>(::getpid()));
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+
+  // Contention: counter stays consistent under 4 threads.
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        LatchGuard guard(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 8000);
+}
+
+TEST_F(OsTest, LatchBreakOrphaned) {
+  Latch latch;
+  latch.Lock();
+  latch.BreakOrphaned();
+  EXPECT_FALSE(latch.is_locked());
+  EXPECT_TRUE(latch.TryLock());
+}
+
+TEST_F(OsTest, SocketFramingRoundTrip) {
+  MsgSocket a, b;
+  ASSERT_TRUE(MsgSocket::Pair(&a, &b).ok());
+  std::string big(100000, 'z');
+  ASSERT_TRUE(a.Send(42, big).ok());
+  ASSERT_TRUE(a.Send(7, "").ok());
+  auto m1 = b.Recv();
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1->type, 42);
+  EXPECT_EQ(m1->payload, big);
+  auto m2 = b.Recv();
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m2->type, 7);
+  EXPECT_TRUE(m2->payload.empty());
+}
+
+TEST_F(OsTest, SocketPeerCloseIsProtocolError) {
+  MsgSocket a, b;
+  ASSERT_TRUE(MsgSocket::Pair(&a, &b).ok());
+  a.Close();
+  EXPECT_TRUE(b.Recv().status().code() == StatusCode::kProtocol);
+}
+
+TEST_F(OsTest, SocketRecvTimeout) {
+  MsgSocket a, b;
+  ASSERT_TRUE(MsgSocket::Pair(&a, &b).ok());
+  auto r = b.RecvTimeout(50);
+  EXPECT_TRUE(r.status().IsBusy());
+  ASSERT_TRUE(a.Send(1, "x").ok());
+  auto r2 = b.RecvTimeout(1000);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->payload, "x");
+}
+
+TEST_F(OsTest, ListenerAcceptConnect) {
+  auto listener = MsgListener::Listen(Path("s.sock"));
+  ASSERT_TRUE(listener.ok());
+  std::thread connector([&] {
+    auto c = MsgSocket::Connect(Path("s.sock"));
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c->Send(9, "ping").ok());
+    auto reply = c->Recv();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->payload, "pong");
+  });
+  auto server_side = listener->Accept();
+  ASSERT_TRUE(server_side.ok());
+  auto msg = server_side->Recv();
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->payload, "ping");
+  ASSERT_TRUE(server_side->Send(9, "pong").ok());
+  connector.join();
+}
+
+TEST_F(OsTest, AcceptTimeoutReturnsBusy) {
+  auto listener = MsgListener::Listen(Path("t.sock"));
+  ASSERT_TRUE(listener.ok());
+  auto r = listener->AcceptTimeout(50);
+  EXPECT_TRUE(r.status().IsBusy());
+}
+
+TEST_F(OsTest, SimulatedLatencySlowsSends) {
+  MsgSocket a, b;
+  ASSERT_TRUE(MsgSocket::Pair(&a, &b).ok());
+  a.set_simulated_latency_us(20000);  // 20 ms
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a.Send(1, "x").ok());
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 0.015);
+}
+
+class CountingOwner : public FaultRangeOwner {
+ public:
+  bool OnFault(void* addr, bool) override {
+    ++faults;
+    return vmem::CommitAnonymous(
+               reinterpret_cast<void*>(
+                   reinterpret_cast<uintptr_t>(addr) & ~(kPageSize - 1)),
+               kPageSize, vmem::kReadWrite)
+        .ok();
+  }
+  int faults = 0;
+};
+
+TEST_F(OsTest, FaultDispatcherRoutesAndUnregisters) {
+  auto mem = vmem::Reserve(4 * kPageSize);
+  ASSERT_TRUE(mem.ok());
+  CountingOwner owner;
+  int id = FaultDispatcher::Instance().RegisterRange(*mem, 4 * kPageSize,
+                                                     &owner);
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(FaultDispatcher::Instance().FindOwner(*mem), &owner);
+  EXPECT_EQ(FaultDispatcher::Instance().FindOwner(&owner), nullptr);
+
+  char* p = static_cast<char*>(*mem);
+  p[10] = 'a';  // faults; owner commits the page
+  p[20] = 'b';  // same page: no second fault
+  EXPECT_EQ(owner.faults, 1);
+  p[kPageSize + 1] = 'c';
+  EXPECT_EQ(owner.faults, 2);
+
+  FaultDispatcher::Instance().UnregisterRange(id);
+  EXPECT_EQ(FaultDispatcher::Instance().FindOwner(*mem), nullptr);
+  (void)vmem::Release(*mem, 4 * kPageSize);
+}
+
+}  // namespace
+}  // namespace bess

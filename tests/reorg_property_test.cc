@@ -1,0 +1,142 @@
+// Property test for the paper's headline flexibility (§2.1): random
+// interleavings of create / update / delete / compact / relocate / evict /
+// commit / reopen must always agree with an in-memory reference model, and
+// held references must stay valid across every reorganization.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "object/database.h"
+#include "util/random.h"
+
+namespace bess {
+namespace {
+
+struct Obj {
+  uint64_t value;
+  char pad[120];
+};
+
+class ReorgPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReorgPropertyTest, RandomReorgMatchesModel) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("bess_reorg_" + std::to_string(::getpid()) + "_" +
+              std::to_string(GetParam()));
+  std::filesystem::remove_all(dir);
+
+  Database::Options o;
+  o.dir = dir.string();
+  o.create = true;
+  auto dbr = Database::Open(o);
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(*dbr);
+  auto file = db->CreateFile("f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(db->AddStorageArea().ok());  // area 1 for relocations
+
+  Random rng(GetParam());
+  // Model: oid-key -> expected value. Slots are re-resolved through OIDs so
+  // the model survives reopen.
+  std::map<std::string, std::pair<Oid, uint64_t>> model;
+  uint64_t next_value = 1;
+  int relocate_target = 1;
+
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+
+  for (int step = 0; step < 70; ++step) {
+    const int op = static_cast<int>(rng.Uniform(10));
+    if (op < 4 || model.empty()) {  // create
+      Obj init{};
+      init.value = next_value++;
+      auto slot = db->CreateObject(*file, kRawBytesType, sizeof(Obj), &init);
+      ASSERT_TRUE(slot.ok()) << slot.status().ToString();
+      auto oid = db->OidOf(*slot);
+      ASSERT_TRUE(oid.ok());
+      model[oid->ToString()] = {*oid, init.value};
+    } else if (op < 6) {  // update a random object
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      auto slot = db->Deref(it->second.first);
+      ASSERT_TRUE(slot.ok());
+      reinterpret_cast<Obj*>((*slot)->dp)->value = next_value;
+      it->second.second = next_value++;
+    } else if (op < 7) {  // delete
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      auto slot = db->Deref(it->second.first);
+      ASSERT_TRUE(slot.ok());
+      ASSERT_TRUE(db->DeleteObject(*slot).ok());
+      model.erase(it);
+    } else if (op < 8) {  // compact everything
+      ASSERT_TRUE(db->CompactFile(*file).ok());
+    } else if (op < 9) {  // relocate all data segments to the other area
+      ASSERT_TRUE(db->MoveFileData(*file, static_cast<uint16_t>(
+                                              relocate_target))
+                      .ok());
+      relocate_target = 1 - relocate_target;
+    } else {  // commit + reopen cold every so often
+      ASSERT_TRUE(db->Commit(*txn).ok());
+      // Occasional checkpoint keeps the WAL (and recovery on reopen) small.
+      if (rng.Bernoulli(0.5)) ASSERT_TRUE(db->Checkpoint().ok());
+      if (rng.Bernoulli(0.5)) {
+        db.reset();
+        Database::Options ro = o;
+        ro.create = false;
+        auto reopened = Database::Open(ro);
+        ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+        db = std::move(*reopened);
+        auto f2 = db->FindFile("f");
+        ASSERT_TRUE(f2.ok());
+        ASSERT_EQ(*f2, *file);
+      }
+      txn = db->Begin();
+      ASSERT_TRUE(txn.ok());
+    }
+
+    // Every few steps, verify the full model through OID dereference.
+    if (step % 15 == 14) {
+      for (const auto& [key, entry] : model) {
+        (void)key;
+        auto slot = db->Deref(entry.first);
+        ASSERT_TRUE(slot.ok()) << "step " << step << ": "
+                               << slot.status().ToString();
+        ASSERT_EQ(reinterpret_cast<const Obj*>((*slot)->dp)->value,
+                  entry.second)
+            << "step " << step;
+      }
+      auto count = db->CountObjects(*file);
+      ASSERT_TRUE(count.ok());
+      ASSERT_EQ(*count, model.size()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(db->Commit(*txn).ok());
+
+  // Final cold verification.
+  db.reset();
+  Database::Options ro = o;
+  ro.create = false;
+  auto reopened = Database::Open(ro);
+  ASSERT_TRUE(reopened.ok());
+  db = std::move(*reopened);
+  auto txn2 = db->Begin();
+  ASSERT_TRUE(txn2.ok());
+  for (const auto& [key, entry] : model) {
+    (void)key;
+    auto slot = db->Deref(entry.first);
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(reinterpret_cast<const Obj*>((*slot)->dp)->value,
+              entry.second);
+  }
+  ASSERT_TRUE(db->Commit(*txn2).ok());
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorgPropertyTest,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace bess

@@ -1,0 +1,177 @@
+// Tests for the slotted segment layout and view operations (Figure 1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "segment/slotted_view.h"
+
+namespace bess {
+namespace {
+
+constexpr SegmentId kSelf{1, 0, 100};
+
+class SlottedViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    buf_.assign(2 * kPageSize, 0);
+    auto v = SlottedView::Format(buf_.data(), buf_.size(), kSelf,
+                                 /*file_id=*/5, /*slot_capacity=*/64,
+                                 /*outbound_capacity=*/8);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    view_ = std::make_unique<SlottedView>(*v);
+    SlottedHeader* h = view_->header();
+    h->data_area = 0;
+    h->data_first_page = 500;
+    h->data_page_count = 4;
+  }
+
+  std::vector<char> buf_;
+  std::unique_ptr<SlottedView> view_;
+};
+
+TEST_F(SlottedViewTest, FormatProducesValidSegment) {
+  EXPECT_TRUE(view_->Validate().ok());
+  const SlottedHeader* h = view_->header();
+  EXPECT_EQ(h->self(), kSelf);
+  EXPECT_EQ(h->file_id, 5);
+  EXPECT_EQ(h->slot_capacity, 64u);
+  EXPECT_EQ(h->slot_count, 0u);
+  EXPECT_EQ(h->page_count, 2u);
+}
+
+TEST_F(SlottedViewTest, SlotLayoutIsStable) {
+  // Slots are persisted: their offsets and size must not drift.
+  EXPECT_EQ(sizeof(Slot), 32u);
+  EXPECT_EQ(SlotOffset(1) - SlotOffset(0), sizeof(Slot));
+  EXPECT_EQ(SlotOffset(0) % 8, 0u);
+  // A slot address has its low bit clear — the swizzle tag relies on it.
+  EXPECT_EQ(SlotOffset(3) % 2, 0u);
+}
+
+TEST_F(SlottedViewTest, AllocAndFreeSlots) {
+  auto s0 = view_->AllocSlot();
+  auto s1 = view_->AllocSlot();
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  EXPECT_EQ(*s0, 0);
+  EXPECT_EQ(*s1, 1);
+  EXPECT_TRUE(view_->slot(0)->in_use());
+  EXPECT_EQ(view_->header()->live_objects, 2u);
+
+  ASSERT_TRUE(view_->FreeSlot(0).ok());
+  EXPECT_FALSE(view_->slot(0)->in_use());
+  EXPECT_EQ(view_->header()->live_objects, 1u);
+  // Freed slot is reused first.
+  auto s2 = view_->AllocSlot();
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, 0);
+}
+
+TEST_F(SlottedViewTest, UniquifierBumpsOnReuse) {
+  auto s0 = view_->AllocSlot();
+  ASSERT_TRUE(s0.ok());
+  const uint32_t uniq0 = view_->slot(*s0)->uniquifier;
+  ASSERT_TRUE(view_->FreeSlot(*s0).ok());
+  auto s1 = view_->AllocSlot();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_EQ(*s1, *s0);
+  EXPECT_GT(view_->slot(*s1)->uniquifier, uniq0);
+}
+
+TEST_F(SlottedViewTest, FreeRejectsBadSlots) {
+  EXPECT_TRUE(view_->FreeSlot(0).IsInvalidArgument());  // never allocated
+  auto s = view_->AllocSlot();
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(view_->FreeSlot(*s).ok());
+  EXPECT_TRUE(view_->FreeSlot(*s).IsInvalidArgument());  // double free
+}
+
+TEST_F(SlottedViewTest, SlotExhaustion) {
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(view_->AllocSlot().ok());
+  }
+  EXPECT_TRUE(view_->AllocSlot().status().IsNoSpace());
+}
+
+TEST_F(SlottedViewTest, OutboundInterning) {
+  const SegmentId other{1, 0, 200};
+  const SegmentId third{2, 1, 300};
+  auto self_idx = view_->InternOutbound(kSelf);
+  ASSERT_TRUE(self_idx.ok());
+  EXPECT_EQ(*self_idx, kOutboundSelf);
+
+  auto i1 = view_->InternOutbound(other);
+  auto i2 = view_->InternOutbound(third);
+  auto i1_again = view_->InternOutbound(other);
+  ASSERT_TRUE(i1.ok() && i2.ok() && i1_again.ok());
+  EXPECT_EQ(*i1, *i1_again);
+  EXPECT_NE(*i1, *i2);
+
+  auto r1 = view_->ResolveOutbound(*i1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, other);
+  auto rs = view_->ResolveOutbound(kOutboundSelf);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(*rs, kSelf);
+  EXPECT_TRUE(view_->ResolveOutbound(7).status().IsCorruption());
+}
+
+TEST_F(SlottedViewTest, OutboundTableFull) {
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(view_->InternOutbound(SegmentId{1, 0, 1000 + i}).ok());
+  }
+  EXPECT_TRUE(
+      view_->InternOutbound(SegmentId{1, 0, 9999}).status().IsNoSpace());
+}
+
+TEST_F(SlottedViewTest, DataBumpAllocationAligns) {
+  auto o1 = view_->AllocData(10);
+  auto o2 = view_->AllocData(1);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_EQ(*o1, 0u);
+  EXPECT_EQ(*o2, 16u);  // 10 rounds to 16
+  EXPECT_EQ(view_->header()->data_used, 24u);
+
+  // Exhaust: 4 pages of data space.
+  auto big = view_->AllocData(4 * kPageSize);
+  EXPECT_TRUE(big.status().IsNoSpace());
+  auto fits = view_->AllocData(4 * kPageSize - 24);
+  EXPECT_TRUE(fits.ok());
+}
+
+TEST_F(SlottedViewTest, SlotNumberOf) {
+  auto s = view_->AllocSlot();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(view_->SlotNumberOf(view_->slot(*s)), *s);
+  EXPECT_EQ(view_->SlotNumberOf(view_->base()), kNoSlot);
+  EXPECT_EQ(view_->SlotNumberOf(reinterpret_cast<char*>(view_->slot(0)) + 1),
+            kNoSlot);
+}
+
+TEST_F(SlottedViewTest, ValidateCatchesCorruption) {
+  view_->header()->magic = 0x12345678;
+  EXPECT_TRUE(view_->Validate().IsCorruption());
+  view_->header()->magic = SlottedHeader::kMagic;
+  view_->header()->slot_count = 65;  // > capacity
+  EXPECT_TRUE(view_->Validate().IsCorruption());
+}
+
+TEST_F(SlottedViewTest, DiskRefPacking) {
+  uint64_t v = DiskRef::Pack(3, 17);
+  EXPECT_TRUE(DiskRef::IsUnswizzled(v));
+  EXPECT_EQ(DiskRef::OutboundIdx(v), 3);
+  EXPECT_EQ(DiskRef::SlotNo(v), 17);
+  EXPECT_FALSE(DiskRef::IsUnswizzled(0x1000));  // aligned pointer
+}
+
+TEST_F(SlottedViewTest, SlotDiskAddrPacking) {
+  uint64_t v = Slot::PackDiskAddr(9, 123456, 77);
+  uint16_t area, pages;
+  PageId page;
+  Slot::UnpackDiskAddr(v, &area, &page, &pages);
+  EXPECT_EQ(area, 9);
+  EXPECT_EQ(page, 123456u);
+  EXPECT_EQ(pages, 77);
+}
+
+}  // namespace
+}  // namespace bess

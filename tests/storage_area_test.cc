@@ -1,0 +1,146 @@
+// Tests for storage areas: extent growth, allocation persistence, page I/O.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "storage/storage_area.h"
+#include "util/random.h"
+
+namespace bess {
+namespace {
+
+class StorageAreaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bess_area_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageAreaTest, CreateAllocateReadWrite) {
+  auto area = StorageArea::Create(Path("a1"), 7);
+  ASSERT_TRUE(area.ok()) << area.status().ToString();
+  EXPECT_EQ((*area)->area_id(), 7);
+  EXPECT_EQ((*area)->extent_count(), 1u);
+
+  auto seg = (*area)->AllocSegment(4);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->page_count, 4u);
+
+  std::string data(4 * kPageSize, '\0');
+  Random rng(1);
+  for (auto& c : data) c = static_cast<char>(rng.Next());
+  ASSERT_TRUE((*area)->WritePages(seg->first_page, 4, data.data()).ok());
+
+  std::string back(4 * kPageSize, '\0');
+  ASSERT_TRUE((*area)->ReadPages(seg->first_page, 4, back.data()).ok());
+  EXPECT_EQ(data, back);
+}
+
+TEST_F(StorageAreaTest, GrowsOneExtentAtATime) {
+  auto area = StorageArea::Create(Path("a2"), 1);
+  ASSERT_TRUE(area.ok());
+  // Exhaust the first extent.
+  for (uint32_t i = 0; i < kPagesPerExtent / 64; ++i) {
+    ASSERT_TRUE((*area)->AllocSegment(64).ok());
+  }
+  EXPECT_EQ((*area)->extent_count(), 1u);
+  // Next allocation forces growth by exactly one extent (paper §2).
+  auto seg = (*area)->AllocSegment(64);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ((*area)->extent_count(), 2u);
+  EXPECT_GE(seg->first_page, kPagesPerExtent);
+}
+
+TEST_F(StorageAreaTest, AllocationSurvivesReopen) {
+  DiskSegment s1, s2;
+  std::string payload(2 * kPageSize, 'x');
+  {
+    auto area = StorageArea::Create(Path("a3"), 3);
+    ASSERT_TRUE(area.ok());
+    auto r1 = (*area)->AllocSegment(2);
+    auto r2 = (*area)->AllocSegment(8);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    s1 = *r1;
+    s2 = *r2;
+    ASSERT_TRUE((*area)->WritePages(s1.first_page, 2, payload.data()).ok());
+    ASSERT_TRUE((*area)->Sync().ok());
+  }
+  auto area = StorageArea::Open(Path("a3"));
+  ASSERT_TRUE(area.ok()) << area.status().ToString();
+  EXPECT_EQ((*area)->area_id(), 3);
+  // Previously allocated blocks are still known.
+  EXPECT_EQ((*area)->SegmentPages(s1.first_page), 2u);
+  EXPECT_EQ((*area)->SegmentPages(s2.first_page), 8u);
+  // Their data is intact.
+  std::string back(2 * kPageSize, '\0');
+  ASSERT_TRUE((*area)->ReadPages(s1.first_page, 2, back.data()).ok());
+  EXPECT_EQ(back, payload);
+  // New allocations do not overlap the old ones.
+  auto r3 = (*area)->AllocSegment(2);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_NE(r3->first_page, s1.first_page);
+  EXPECT_NE(r3->first_page, s2.first_page);
+  // Freeing persists too.
+  ASSERT_TRUE((*area)->FreeSegment(s2.first_page).ok());
+  EXPECT_EQ((*area)->SegmentPages(s2.first_page), 0u);
+}
+
+TEST_F(StorageAreaTest, RejectsCrossExtentIO) {
+  auto area = StorageArea::Create(Path("a4"), 2);
+  ASSERT_TRUE(area.ok());
+  std::string buf(2 * kPageSize, '\0');
+  EXPECT_TRUE((*area)
+                  ->ReadPages(kPagesPerExtent - 1, 2, buf.data())
+                  .IsInvalidArgument());
+  EXPECT_TRUE((*area)
+                  ->WritePages(kPagesPerExtent - 1, 2, buf.data())
+                  .IsInvalidArgument());
+}
+
+TEST_F(StorageAreaTest, RejectsOversizedSegment) {
+  auto area = StorageArea::Create(Path("a5"), 1);
+  ASSERT_TRUE(area.ok());
+  EXPECT_TRUE(
+      (*area)->AllocSegment(kPagesPerExtent + 1).status().IsInvalidArgument());
+  EXPECT_TRUE((*area)->AllocSegment(0).status().IsInvalidArgument());
+}
+
+TEST_F(StorageAreaTest, OpenRejectsGarbageFile) {
+  std::string path = Path("junk");
+  {
+    auto f = File::Open(path);
+    ASSERT_TRUE(f.ok());
+    std::string junk(kPageSize, 'j');
+    ASSERT_TRUE(f->WriteAt(0, junk.data(), junk.size()).ok());
+  }
+  EXPECT_TRUE(StorageArea::Open(path).status().IsCorruption());
+  EXPECT_TRUE(StorageArea::Open(Path("nonexistent")).status().IsIOError());
+}
+
+TEST_F(StorageAreaTest, FreePagesAndFragmentationTracked) {
+  auto area = StorageArea::Create(Path("a6"), 1);
+  ASSERT_TRUE(area.ok());
+  EXPECT_EQ((*area)->FreePages(), kPagesPerExtent);
+  auto seg = (*area)->AllocSegment(32);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ((*area)->FreePages(), kPagesPerExtent - 32);
+  EXPECT_GE((*area)->Fragmentation(), 0.0);
+  EXPECT_LE((*area)->Fragmentation(), 1.0);
+}
+
+TEST_F(StorageAreaTest, PageAddrPackUnpack) {
+  PageAddr a{12, 34, 0xDEADBEEF};
+  PageAddr b = PageAddr::Unpack(a.Pack());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bess

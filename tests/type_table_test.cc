@@ -1,0 +1,148 @@
+// Tests for type descriptors and the per-database type table (§2.1).
+#include <gtest/gtest.h>
+
+#include "object/oid.h"
+#include "segment/type_descriptor.h"
+
+namespace bess {
+namespace {
+
+TEST(TypeTableTest, RawBytesTypeIsBuiltIn) {
+  TypeTable table;
+  EXPECT_EQ(table.size(), 1u);
+  auto raw = table.Get(kRawBytesType);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_TRUE((*raw)->ref_offsets.empty());
+}
+
+TEST(TypeTableTest, RegisterAssignsStableIndices) {
+  TypeTable table;
+  TypeDescriptor a;
+  a.name = "A";
+  a.fixed_size = 24;
+  a.ref_offsets = {0, 8};
+  TypeDescriptor b;
+  b.name = "B";
+  b.fixed_size = 16;
+  auto ia = table.Register(a);
+  auto ib = table.Register(b);
+  ASSERT_TRUE(ia.ok() && ib.ok());
+  EXPECT_NE(*ia, *ib);
+  // Re-registration with the same shape returns the same index.
+  auto again = table.Register(a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *ia);
+  // ...but a different shape under the same name is rejected.
+  a.fixed_size = 32;
+  EXPECT_TRUE(table.Register(a).status().IsInvalidArgument());
+}
+
+TEST(TypeTableTest, ValidatesRefOffsets) {
+  TypeTable table;
+  TypeDescriptor bad;
+  bad.name = "bad";
+  bad.fixed_size = 16;
+  bad.ref_offsets = {4};  // misaligned
+  EXPECT_TRUE(table.Register(bad).status().IsInvalidArgument());
+  bad.ref_offsets = {16};  // beyond the object
+  EXPECT_TRUE(table.Register(bad).status().IsInvalidArgument());
+  bad.ref_offsets = {8};
+  EXPECT_TRUE(table.Register(bad).ok());
+  TypeDescriptor anon;
+  EXPECT_TRUE(table.Register(anon).status().IsInvalidArgument());
+}
+
+TEST(TypeTableTest, FindByName) {
+  TypeTable table;
+  TypeDescriptor t;
+  t.name = "Widget";
+  t.fixed_size = 8;
+  auto idx = table.Register(t);
+  ASSERT_TRUE(idx.ok());
+  auto found = table.Find("Widget");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *idx);
+  EXPECT_TRUE(table.Find("Gadget").status().IsNotFound());
+  EXPECT_TRUE(table.Get(999).status().IsNotFound());
+}
+
+TEST(TypeTableTest, EncodeDecodeRoundTrip) {
+  TypeTable table;
+  for (int i = 0; i < 5; ++i) {
+    TypeDescriptor t;
+    t.name = "T" + std::to_string(i);
+    t.fixed_size = static_cast<uint32_t>(16 * (i + 1));
+    for (int r = 0; r < i; ++r) t.ref_offsets.push_back(8 * r);
+    ASSERT_TRUE(table.Register(t).ok());
+  }
+  std::string blob;
+  table.EncodeTo(&blob);
+
+  TypeTable restored;
+  Decoder dec(blob);
+  ASSERT_TRUE(restored.DecodeFrom(&dec).ok());
+  EXPECT_EQ(restored.size(), table.size());
+  for (int i = 0; i < 5; ++i) {
+    auto idx = restored.Find("T" + std::to_string(i));
+    ASSERT_TRUE(idx.ok());
+    auto desc = restored.Get(*idx);
+    ASSERT_TRUE(desc.ok());
+    EXPECT_EQ((*desc)->fixed_size, static_cast<uint32_t>(16 * (i + 1)));
+    EXPECT_EQ((*desc)->ref_offsets.size(), static_cast<size_t>(i));
+  }
+}
+
+TEST(TypeTableTest, DecodeRejectsGarbage) {
+  TypeTable table;
+  Decoder dec(Slice("nonsense"));
+  EXPECT_FALSE(table.DecodeFrom(&dec).ok());
+}
+
+TEST(OidTest, EncodeDecodeRoundTrip) {
+  Oid oid;
+  oid.host = 1234;
+  oid.db = 7;
+  oid.area = 3;
+  oid.page = 0xDEADBEEF;
+  oid.slot = 512;
+  oid.uniq = 999;
+  char buf[12];
+  oid.EncodeTo(buf);
+  Oid back = Oid::DecodeFrom(buf);
+  EXPECT_EQ(back, oid);
+  EXPECT_EQ(back.segment(), (SegmentId{7, 3, 0xDEADBEEF}));
+  EXPECT_TRUE(back.valid());
+  EXPECT_FALSE(Oid{}.valid());
+}
+
+TEST(OidTest, HashSpreadsAndMatchesEquality) {
+  OidHash hasher;
+  Oid a;
+  a.page = 1;
+  a.slot = 2;
+  Oid b = a;
+  EXPECT_EQ(hasher(a), hasher(b));
+  b.uniq = 1;
+  EXPECT_FALSE(a == b);
+  std::set<size_t> hashes;
+  for (uint32_t p = 0; p < 100; ++p) {
+    Oid o;
+    o.page = p;
+    hashes.insert(hasher(o));
+  }
+  EXPECT_GT(hashes.size(), 95u);
+}
+
+TEST(OidTest, ToStringIsReadable) {
+  Oid oid;
+  oid.host = 1;
+  oid.db = 2;
+  oid.area = 3;
+  oid.page = 4;
+  oid.slot = 5;
+  oid.uniq = 6;
+  EXPECT_EQ(oid.ToString(), "oid(1:2:3:4:5#6)");
+}
+
+}  // namespace
+}  // namespace bess

@@ -1,0 +1,170 @@
+// Tests for Status/Result, Slice encoding, CRC32C, and Random.
+#include <gtest/gtest.h>
+
+#include "util/crc32c.h"
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bess {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing widget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing widget");
+  EXPECT_EQ(s.ToString(), "NotFound: missing widget");
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualByCode) {
+  Status a = Status::Corruption("x");
+  Status b = a;
+  EXPECT_TRUE(b.IsCorruption());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, Status::Corruption("different message"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk on fire"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status Fails() { return Status::Busy("nope"); }
+Status Propagates() {
+  BESS_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+Result<int> Seven() { return 7; }
+Status UsesAssign(int* out) {
+  BESS_ASSIGN_OR_RETURN(int v, Seven());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(ResultTest, Macros) {
+  EXPECT_TRUE(Propagates().IsBusy());
+  int v = 0;
+  EXPECT_TRUE(UsesAssign(&v).ok());
+  EXPECT_EQ(v, 7);
+}
+
+TEST(SliceTest, BasicViews) {
+  std::string s = "hello world";
+  Slice sl(s);
+  EXPECT_EQ(sl.size(), 11u);
+  sl.remove_prefix(6);
+  EXPECT_EQ(sl.ToString(), "world");
+  EXPECT_EQ(Slice("abc").compare(Slice("abd")), -1);
+  EXPECT_EQ(Slice("abc"), Slice("abc"));
+  EXPECT_NE(Slice("abc"), Slice("ab"));
+}
+
+TEST(SliceTest, FixedEncodingRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  PutLengthPrefixed(&buf, Slice("payload"));
+  Decoder dec(buf);
+  EXPECT_EQ(dec.GetFixed16(), 0xBEEF);
+  EXPECT_EQ(dec.GetFixed32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.GetFixed64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.GetLengthPrefixed().ToString(), "payload");
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(SliceTest, DecoderDetectsTruncation) {
+  std::string buf;
+  PutFixed32(&buf, 100);  // length prefix promising 100 bytes
+  Decoder dec(buf);
+  Slice payload = dec.GetLengthPrefixed();
+  EXPECT_FALSE(dec.ok());
+  EXPECT_TRUE(payload.empty());
+  // Further reads stay failed and return zeros.
+  EXPECT_EQ(dec.GetFixed64(), 0u);
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(crc32c::Value(zeros, sizeof(zeros)), 0x8A9136AAu);
+  // "123456789" -> 0xE3069283.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWhole) {
+  const char* data = "some longer piece of data for crc";
+  const size_t n = strlen(data);
+  uint32_t whole = crc32c::Value(data, n);
+  uint32_t part = crc32c::Extend(crc32c::Value(data, 10), data + 10, n - 10);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  uint32_t crc = crc32c::Value("abc", 3);
+  EXPECT_NE(crc, crc32c::Mask(crc));
+  EXPECT_EQ(crc, crc32c::Unmask(crc32c::Mask(crc)));
+}
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+    uint64_t v = r.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RandomTest, SkewedPrefersLowValues) {
+  Random r(99);
+  int low = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (r.Skewed(100, 0.9) < 20) ++low;
+  }
+  // With skew, the low 20% of keys should draw well over 20% of accesses.
+  EXPECT_GT(low, kTrials / 3);
+}
+
+}  // namespace
+}  // namespace bess
