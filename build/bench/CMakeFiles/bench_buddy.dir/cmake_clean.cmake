@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buddy.dir/bench_buddy.cc.o"
+  "CMakeFiles/bench_buddy.dir/bench_buddy.cc.o.d"
+  "bench_buddy"
+  "bench_buddy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buddy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

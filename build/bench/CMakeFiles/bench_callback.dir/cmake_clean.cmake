@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_callback.dir/bench_callback.cc.o"
+  "CMakeFiles/bench_callback.dir/bench_callback.cc.o.d"
+  "bench_callback"
+  "bench_callback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_callback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit2pc.dir/bench_commit2pc.cc.o"
+  "CMakeFiles/bench_commit2pc.dir/bench_commit2pc.cc.o.d"
+  "bench_commit2pc"
+  "bench_commit2pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit2pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

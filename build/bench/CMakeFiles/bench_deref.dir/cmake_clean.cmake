@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deref.dir/bench_deref.cc.o"
+  "CMakeFiles/bench_deref.dir/bench_deref.cc.o.d"
+  "bench_deref"
+  "bench_deref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detect.dir/bench_detect.cc.o"
+  "CMakeFiles/bench_detect.dir/bench_detect.cc.o.d"
+  "bench_detect"
+  "bench_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

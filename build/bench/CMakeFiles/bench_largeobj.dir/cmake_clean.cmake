@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_largeobj.dir/bench_largeobj.cc.o"
+  "CMakeFiles/bench_largeobj.dir/bench_largeobj.cc.o.d"
+  "bench_largeobj"
+  "bench_largeobj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_largeobj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protect.dir/bench_protect.cc.o"
+  "CMakeFiles/bench_protect.dir/bench_protect.cc.o.d"
+  "bench_protect"
+  "bench_protect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reserve.dir/bench_reserve.cc.o"
+  "CMakeFiles/bench_reserve.dir/bench_reserve.cc.o.d"
+  "bench_reserve"
+  "bench_reserve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reserve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

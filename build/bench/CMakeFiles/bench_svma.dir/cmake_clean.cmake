@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svma.dir/bench_svma.cc.o"
+  "CMakeFiles/bench_svma.dir/bench_svma.cc.o.d"
+  "bench_svma"
+  "bench_svma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

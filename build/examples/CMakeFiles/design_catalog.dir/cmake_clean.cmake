@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_catalog.dir/design_catalog.cpp.o"
+  "CMakeFiles/design_catalog.dir/design_catalog.cpp.o.d"
+  "design_catalog"
+  "design_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

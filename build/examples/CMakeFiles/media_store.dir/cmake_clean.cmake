@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_store.dir/media_store.cpp.o"
+  "CMakeFiles/media_store.dir/media_store.cpp.o.d"
+  "media_store"
+  "media_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_cluster.dir/node_cluster.cpp.o"
+  "CMakeFiles/node_cluster.dir/node_cluster.cpp.o.d"
+  "node_cluster"
+  "node_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/replacement.cc" "src/CMakeFiles/bess.dir/baseline/replacement.cc.o" "gcc" "src/CMakeFiles/bess.dir/baseline/replacement.cc.o.d"
+  "/root/repo/src/cache/private_pool.cc" "src/CMakeFiles/bess.dir/cache/private_pool.cc.o" "gcc" "src/CMakeFiles/bess.dir/cache/private_pool.cc.o.d"
+  "/root/repo/src/cache/shared_cache.cc" "src/CMakeFiles/bess.dir/cache/shared_cache.cc.o" "gcc" "src/CMakeFiles/bess.dir/cache/shared_cache.cc.o.d"
+  "/root/repo/src/hooks/hooks.cc" "src/CMakeFiles/bess.dir/hooks/hooks.cc.o" "gcc" "src/CMakeFiles/bess.dir/hooks/hooks.cc.o.d"
+  "/root/repo/src/lob/large_object.cc" "src/CMakeFiles/bess.dir/lob/large_object.cc.o" "gcc" "src/CMakeFiles/bess.dir/lob/large_object.cc.o.d"
+  "/root/repo/src/object/database.cc" "src/CMakeFiles/bess.dir/object/database.cc.o" "gcc" "src/CMakeFiles/bess.dir/object/database.cc.o.d"
+  "/root/repo/src/os/fault_dispatcher.cc" "src/CMakeFiles/bess.dir/os/fault_dispatcher.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/fault_dispatcher.cc.o.d"
+  "/root/repo/src/os/file.cc" "src/CMakeFiles/bess.dir/os/file.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/file.cc.o.d"
+  "/root/repo/src/os/shm.cc" "src/CMakeFiles/bess.dir/os/shm.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/shm.cc.o.d"
+  "/root/repo/src/os/socket.cc" "src/CMakeFiles/bess.dir/os/socket.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/socket.cc.o.d"
+  "/root/repo/src/os/vmem.cc" "src/CMakeFiles/bess.dir/os/vmem.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/vmem.cc.o.d"
+  "/root/repo/src/segment/slotted_view.cc" "src/CMakeFiles/bess.dir/segment/slotted_view.cc.o" "gcc" "src/CMakeFiles/bess.dir/segment/slotted_view.cc.o.d"
+  "/root/repo/src/segment/type_descriptor.cc" "src/CMakeFiles/bess.dir/segment/type_descriptor.cc.o" "gcc" "src/CMakeFiles/bess.dir/segment/type_descriptor.cc.o.d"
+  "/root/repo/src/server/bess_server.cc" "src/CMakeFiles/bess.dir/server/bess_server.cc.o" "gcc" "src/CMakeFiles/bess.dir/server/bess_server.cc.o.d"
+  "/root/repo/src/server/node_server.cc" "src/CMakeFiles/bess.dir/server/node_server.cc.o" "gcc" "src/CMakeFiles/bess.dir/server/node_server.cc.o.d"
+  "/root/repo/src/server/protocol.cc" "src/CMakeFiles/bess.dir/server/protocol.cc.o" "gcc" "src/CMakeFiles/bess.dir/server/protocol.cc.o.d"
+  "/root/repo/src/server/remote_client.cc" "src/CMakeFiles/bess.dir/server/remote_client.cc.o" "gcc" "src/CMakeFiles/bess.dir/server/remote_client.cc.o.d"
+  "/root/repo/src/storage/buddy.cc" "src/CMakeFiles/bess.dir/storage/buddy.cc.o" "gcc" "src/CMakeFiles/bess.dir/storage/buddy.cc.o.d"
+  "/root/repo/src/storage/storage_area.cc" "src/CMakeFiles/bess.dir/storage/storage_area.cc.o" "gcc" "src/CMakeFiles/bess.dir/storage/storage_area.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/bess.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/bess.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/bess.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/bess.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/bess.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/bess.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/bess.dir/util/status.cc.o" "gcc" "src/CMakeFiles/bess.dir/util/status.cc.o.d"
+  "/root/repo/src/vm/arena.cc" "src/CMakeFiles/bess.dir/vm/arena.cc.o" "gcc" "src/CMakeFiles/bess.dir/vm/arena.cc.o.d"
+  "/root/repo/src/vm/mapper.cc" "src/CMakeFiles/bess.dir/vm/mapper.cc.o" "gcc" "src/CMakeFiles/bess.dir/vm/mapper.cc.o.d"
+  "/root/repo/src/vm/mem_store.cc" "src/CMakeFiles/bess.dir/vm/mem_store.cc.o" "gcc" "src/CMakeFiles/bess.dir/vm/mem_store.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/bess.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/bess.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/bess.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/bess.dir/wal/log_record.cc.o.d"
+  "/root/repo/src/wal/recovery.cc" "src/CMakeFiles/bess.dir/wal/recovery.cc.o" "gcc" "src/CMakeFiles/bess.dir/wal/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_object_test.dir/large_object_test.cc.o"
+  "CMakeFiles/large_object_test.dir/large_object_test.cc.o.d"
+  "large_object_test"
+  "large_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_pool_test.dir/private_pool_test.cc.o"
+  "CMakeFiles/private_pool_test.dir/private_pool_test.cc.o.d"
+  "private_pool_test"
+  "private_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorg_property_test.dir/reorg_property_test.cc.o"
+  "CMakeFiles/reorg_property_test.dir/reorg_property_test.cc.o.d"
+  "reorg_property_test"
+  "reorg_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorg_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

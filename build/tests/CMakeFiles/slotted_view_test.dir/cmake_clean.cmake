@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slotted_view_test.dir/slotted_view_test.cc.o"
+  "CMakeFiles/slotted_view_test.dir/slotted_view_test.cc.o.d"
+  "slotted_view_test"
+  "slotted_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slotted_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_area_test.dir/storage_area_test.cc.o"
+  "CMakeFiles/storage_area_test.dir/storage_area_test.cc.o.d"
+  "storage_area_test"
+  "storage_area_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_area_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
