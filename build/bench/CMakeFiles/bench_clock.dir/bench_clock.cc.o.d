@@ -218,9 +218,11 @@ bench/CMakeFiles/bench_clock.dir/bench_clock.cc.o: \
  /root/repo/src/segment/layout.h /root/repo/src/cache/private_pool.h \
  /root/repo/src/os/fault_dispatcher.h /usr/include/c++/12/atomic \
  /root/repo/src/vm/mem_store.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/bench/workload.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/os/fault_injection.h /root/repo/src/util/random.h \
+ /root/repo/bench/workload.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/filesystem \
  /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
  /usr/include/c++/12/locale \
@@ -256,9 +258,10 @@ bench/CMakeFiles/bench_clock.dir/bench_clock.cc.o: \
  /root/repo/src/segment/slotted_view.h \
  /root/repo/src/segment/type_descriptor.h /root/repo/src/vm/arena.h \
  /root/repo/src/wal/log_manager.h /root/repo/src/wal/log_record.h \
- /root/repo/src/server/bess_server.h /usr/include/c++/12/thread \
+ /root/repo/src/server/bess_server.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/thread \
  /root/repo/src/os/socket.h /root/repo/src/server/protocol.h \
  /root/repo/src/server/node_server.h \
- /root/repo/src/server/remote_client.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/random.h
+ /root/repo/src/server/remote_client.h

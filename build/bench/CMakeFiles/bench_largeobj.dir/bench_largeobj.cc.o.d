@@ -215,9 +215,11 @@ bench/CMakeFiles/bench_largeobj.dir/bench_largeobj.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/bench/workload.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/os/fault_injection.h \
+ /usr/include/c++/12/atomic /root/repo/src/util/random.h \
+ /root/repo/bench/workload.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/filesystem \
  /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
  /usr/include/c++/12/locale \
@@ -235,13 +237,12 @@ bench/CMakeFiles/bench_largeobj.dir/bench_largeobj.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/api/bess.h \
  /root/repo/src/cache/private_pool.h /root/repo/src/os/fault_dispatcher.h \
- /usr/include/c++/12/atomic /root/repo/src/cache/shared_cache.h \
- /root/repo/src/os/latch.h /root/repo/src/os/shm.h \
- /root/repo/src/hooks/hooks.h /root/repo/src/object/database.h \
- /root/repo/src/object/oid.h /root/repo/src/txn/lock_manager.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/cache/shared_cache.h /root/repo/src/os/latch.h \
+ /root/repo/src/os/shm.h /root/repo/src/hooks/hooks.h \
+ /root/repo/src/object/database.h /root/repo/src/object/oid.h \
+ /root/repo/src/txn/lock_manager.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -254,10 +255,11 @@ bench/CMakeFiles/bench_largeobj.dir/bench_largeobj.cc.o: \
  /root/repo/src/segment/slotted_view.h \
  /root/repo/src/segment/type_descriptor.h /root/repo/src/vm/arena.h \
  /root/repo/src/wal/log_manager.h /root/repo/src/wal/log_record.h \
- /root/repo/src/server/bess_server.h /usr/include/c++/12/thread \
+ /root/repo/src/server/bess_server.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/thread \
  /root/repo/src/os/socket.h /root/repo/src/server/protocol.h \
  /root/repo/src/server/node_server.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/server/remote_client.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/random.h
+ /root/repo/src/server/remote_client.h

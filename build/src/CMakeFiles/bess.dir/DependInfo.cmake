@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/lob/large_object.cc" "src/CMakeFiles/bess.dir/lob/large_object.cc.o" "gcc" "src/CMakeFiles/bess.dir/lob/large_object.cc.o.d"
   "/root/repo/src/object/database.cc" "src/CMakeFiles/bess.dir/object/database.cc.o" "gcc" "src/CMakeFiles/bess.dir/object/database.cc.o.d"
   "/root/repo/src/os/fault_dispatcher.cc" "src/CMakeFiles/bess.dir/os/fault_dispatcher.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/fault_dispatcher.cc.o.d"
+  "/root/repo/src/os/fault_injection.cc" "src/CMakeFiles/bess.dir/os/fault_injection.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/fault_injection.cc.o.d"
   "/root/repo/src/os/file.cc" "src/CMakeFiles/bess.dir/os/file.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/file.cc.o.d"
   "/root/repo/src/os/shm.cc" "src/CMakeFiles/bess.dir/os/shm.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/shm.cc.o.d"
   "/root/repo/src/os/socket.cc" "src/CMakeFiles/bess.dir/os/socket.cc.o" "gcc" "src/CMakeFiles/bess.dir/os/socket.cc.o.d"

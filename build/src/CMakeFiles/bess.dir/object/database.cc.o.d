@@ -254,4 +254,5 @@ src/CMakeFiles/bess.dir/object/database.cc.o: \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/thread /root/repo/src/hooks/hooks.h \
  /root/repo/src/util/crc32c.h /root/repo/src/util/logging.h \
- /root/repo/src/vm/mem_store.h /root/repo/src/wal/recovery.h
+ /root/repo/src/vm/mem_store.h /root/repo/src/os/fault_injection.h \
+ /root/repo/src/util/random.h /root/repo/src/wal/recovery.h

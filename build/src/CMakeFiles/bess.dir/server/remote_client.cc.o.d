@@ -238,7 +238,8 @@ src/CMakeFiles/bess.dir/server/remote_client.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/os/fault_dispatcher.h \
  /root/repo/src/segment/slotted_view.h /root/repo/src/vm/arena.h \
- /root/repo/src/vm/segment_store.h /root/repo/src/util/logging.h \
+ /root/repo/src/vm/segment_store.h /root/repo/src/os/fault_injection.h \
+ /root/repo/src/util/random.h /root/repo/src/util/logging.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

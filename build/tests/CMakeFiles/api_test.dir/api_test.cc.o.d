@@ -320,8 +320,9 @@ tests/CMakeFiles/api_test.dir/api_test.cc.o: /root/repo/tests/api_test.cc \
  /root/repo/src/segment/slotted_view.h \
  /root/repo/src/segment/type_descriptor.h /root/repo/src/vm/arena.h \
  /root/repo/src/wal/log_manager.h /root/repo/src/wal/log_record.h \
- /root/repo/src/server/bess_server.h /usr/include/c++/12/thread \
- /root/repo/src/os/socket.h /root/repo/src/server/protocol.h \
- /root/repo/src/server/node_server.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/server/remote_client.h
+ /root/repo/src/server/bess_server.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/os/socket.h \
+ /root/repo/src/server/protocol.h /root/repo/src/server/node_server.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/server/remote_client.h

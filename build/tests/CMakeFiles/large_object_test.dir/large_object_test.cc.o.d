@@ -301,4 +301,4 @@ tests/CMakeFiles/large_object_test.dir/large_object_test.cc.o: \
  /root/repo/src/util/config.h /root/repo/src/util/slice.h \
  /usr/include/c++/12/cstring /root/repo/src/vm/segment_store.h \
  /root/repo/src/segment/layout.h /root/repo/src/util/random.h \
- /root/repo/src/vm/mem_store.h
+ /root/repo/src/vm/mem_store.h /root/repo/src/os/fault_injection.h

@@ -302,4 +302,5 @@ tests/CMakeFiles/mapper_test.dir/mapper_test.cc.o: \
  /root/repo/src/util/status.h /root/repo/src/storage/buddy.h \
  /root/repo/src/util/config.h /root/repo/src/segment/type_descriptor.h \
  /root/repo/src/util/slice.h /root/repo/src/vm/arena.h \
- /root/repo/src/vm/segment_store.h /root/repo/src/vm/mem_store.h
+ /root/repo/src/vm/segment_store.h /root/repo/src/vm/mem_store.h \
+ /root/repo/src/os/fault_injection.h /root/repo/src/util/random.h

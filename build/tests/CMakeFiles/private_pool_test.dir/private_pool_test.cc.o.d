@@ -305,4 +305,5 @@ tests/CMakeFiles/private_pool_test.dir/private_pool_test.cc.o: \
  /root/repo/src/util/config.h /root/repo/src/vm/segment_store.h \
  /root/repo/src/segment/layout.h /root/repo/src/cache/private_pool.h \
  /root/repo/src/os/fault_dispatcher.h /root/repo/src/util/random.h \
- /root/repo/src/vm/mem_store.h /usr/include/c++/12/cstring
+ /root/repo/src/vm/mem_store.h /usr/include/c++/12/cstring \
+ /root/repo/src/os/fault_injection.h

@@ -1,0 +1,158 @@
+#include "os/fault_injection.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace bess {
+namespace fault {
+
+std::atomic<uint32_t> g_armed_points{0};
+
+namespace {
+
+Status MakeStatus(const FaultSpec& spec) {
+  switch (spec.code) {
+    case StatusCode::kNotFound:
+      return Status::NotFound(spec.message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(spec.message);
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(spec.message);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(spec.message);
+    case StatusCode::kBusy:
+      return Status::Busy(spec.message);
+    case StatusCode::kDeadlock:
+      return Status::Deadlock(spec.message);
+    case StatusCode::kAborted:
+      return Status::Aborted(spec.message);
+    case StatusCode::kNoSpace:
+      return Status::NoSpace(spec.message);
+    case StatusCode::kProtocol:
+      return Status::Protocol(spec.message);
+    case StatusCode::kInternal:
+      return Status::Internal(spec.message);
+    case StatusCode::kIOError:
+    case StatusCode::kOk:
+    default:
+      return Status::IOError(spec.message);
+  }
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto [it, inserted] = points_.try_emplace(point);
+  ArmedPoint& p = it->second;
+  p.skip_left = spec.skip;
+  p.count_left = spec.count;
+  p.rng = Random(spec.seed);
+  p.spec = std::move(spec);
+  if (inserted) {
+    g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (points_.erase(point) > 0) {
+    g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  g_armed_points.fetch_sub(static_cast<uint32_t>(points_.size()),
+                           std::memory_order_relaxed);
+  points_.clear();
+}
+
+uint64_t FaultRegistry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = hit_counts_.find(point);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+void FaultRegistry::ResetCounters() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  hit_counts_.clear();
+}
+
+bool FaultRegistry::Decide(const char* point, const std::string& detail,
+                           size_t n, FaultOutcome* out, uint32_t* latency_us) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  ArmedPoint& p = it->second;
+  if (!p.spec.detail_filter.empty() &&
+      detail.find(p.spec.detail_filter) == std::string::npos) {
+    return false;
+  }
+  if (p.skip_left > 0) {
+    --p.skip_left;
+    return false;
+  }
+  if (p.count_left == 0) return false;
+  if (p.spec.probability < 1.0 && !p.rng.Bernoulli(p.spec.probability)) {
+    return false;
+  }
+  if (p.count_left > 0) --p.count_left;
+  hit_counts_[point]++;
+
+  switch (p.spec.action) {
+    case FaultAction::kLatency:
+      *latency_us = p.spec.latency_us;
+      return true;
+    case FaultAction::kFail:
+      out->status = MakeStatus(p.spec);
+      return true;
+    case FaultAction::kShortWrite:
+      // Strictly short: never allow the full request through.
+      out->bytes_allowed = n > 0 ? std::min(p.spec.max_bytes, n - 1) : 0;
+      out->status = MakeStatus(p.spec);
+      return true;
+    case FaultAction::kCrash:
+      out->bytes_allowed = n > 0 ? std::min(p.spec.max_bytes, n) : 0;
+      out->crash = true;
+      return true;
+  }
+  return false;
+}
+
+Status FaultRegistry::Evaluate(const char* point, const std::string& detail) {
+  FaultOutcome out;
+  uint32_t latency_us = 0;
+  if (!Decide(point, detail, 0, &out, &latency_us)) return Status::OK();
+  if (out.crash) CrashNow();
+  if (latency_us > 0) ::usleep(latency_us);
+  return out.status;
+}
+
+FaultOutcome FaultRegistry::EvaluateIo(const char* point,
+                                       const std::string& detail, size_t n) {
+  FaultOutcome out;
+  uint32_t latency_us = 0;
+  if (!Decide(point, detail, n, &out, &latency_us)) {
+    return FaultOutcome{};
+  }
+  if (latency_us > 0) ::usleep(latency_us);
+  return out;
+}
+
+void FaultRegistry::CrashNow() {
+  // SIGKILL, not _exit: no atexit handlers, no stream flushes, and the
+  // parent observes a genuine kill — exactly what a crashpoint simulates.
+  ::kill(::getpid(), SIGKILL);
+  ::_exit(137);  // unreachable; placates [[noreturn]]
+}
+
+}  // namespace fault
+}  // namespace bess

@@ -1,0 +1,146 @@
+// Central fault-injection layer: a process-wide registry of named injection
+// points with deterministic, seed-driven schedules. Production code calls
+// fault::Check("point", detail) (or the I/O-aware variant) at the places a
+// real system fails — file reads/writes/fsync, socket send/recv, store
+// write-back — and tests arm FaultSpecs to make exactly those places fail,
+// stall, tear, or kill the process.
+//
+// Cost when nothing is armed: a single relaxed atomic load (fault::Armed()),
+// checked inline before any registry work. Hot paths stay hot.
+//
+// Injection-point naming convention: "<subsystem>.<operation>", lowercase,
+// e.g. "file.writeat", "file.sync", "sock.send", "memstore.fetch",
+// "client.2pc.decision". Points are not pre-declared; arming an unknown name
+// simply never matches (a misspelled point is visible via hits() == 0).
+#ifndef BESS_OS_FAULT_INJECTION_H_
+#define BESS_OS_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace bess {
+namespace fault {
+
+/// Number of armed injection points, process-wide. Non-zero switches every
+/// instrumented call site onto the slow path.
+extern std::atomic<uint32_t> g_armed_points;
+
+/// The zero-cost gate: one relaxed atomic load, inlined at every site.
+inline bool Armed() {
+  return g_armed_points.load(std::memory_order_relaxed) != 0;
+}
+
+enum class FaultAction : uint8_t {
+  kFail,        ///< return spec.code / spec.message from the call site
+  kLatency,     ///< sleep latency_us, then let the operation proceed
+  kShortWrite,  ///< persist only max_bytes of the request, then fail (torn)
+  kCrash,       ///< SIGKILL the process (no unwind, no flush) — a crashpoint
+};
+
+/// A deterministic schedule for one injection point. The trigger sequence is
+/// fully determined by (skip, count, probability, seed): the same spec armed
+/// against the same operation sequence fires at the same operations.
+struct FaultSpec {
+  FaultAction action = FaultAction::kFail;
+  StatusCode code = StatusCode::kIOError;  ///< kFail / kShortWrite status
+  std::string message = "injected fault";
+  int skip = 0;         ///< let this many matching operations through first
+  int count = -1;       ///< fire at most this many times (-1 = unlimited)
+  double probability = 1.0;  ///< per-operation fire probability after skip
+  uint64_t seed = 0x5EEDu;   ///< PRNG seed for probability draws
+  uint32_t latency_us = 0;   ///< kLatency: injected delay
+  size_t max_bytes = 0;      ///< kShortWrite/kCrash: bytes persisted first
+  /// Only operations whose detail string (e.g. the file path) contains this
+  /// substring match; empty matches everything.
+  std::string detail_filter;
+
+  /// Convenience: fail the nth matching operation (1-based), once.
+  static FaultSpec FailNth(int nth, StatusCode code = StatusCode::kIOError) {
+    FaultSpec s;
+    s.skip = nth - 1;
+    s.count = 1;
+    s.code = code;
+    return s;
+  }
+  /// Convenience: crash the process at the nth matching operation (1-based).
+  static FaultSpec CrashAtNth(int nth) {
+    FaultSpec s;
+    s.action = FaultAction::kCrash;
+    s.skip = nth - 1;
+    s.count = 1;
+    return s;
+  }
+};
+
+/// What the call site must do. OK status + bytes_allowed >= n = proceed.
+struct FaultOutcome {
+  Status status;  ///< non-OK: the call site returns this (after partial I/O)
+  size_t bytes_allowed = SIZE_MAX;  ///< < n: persist only a prefix (torn)
+  bool crash = false;  ///< call CrashNow() after the partial I/O is issued
+};
+
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance();
+
+  /// Arms (or replaces) the schedule for an injection point.
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Times the point fired (triggered a fault), since the last ResetCounters.
+  /// Survives Disarm so tests can assert after the fact.
+  uint64_t hits(const std::string& point) const;
+  void ResetCounters();
+
+  /// Slow-path evaluation for plain (non-sized) operations. kCrash fires
+  /// CrashNow() directly; kLatency sleeps and returns OK.
+  Status Evaluate(const char* point, const std::string& detail);
+
+  /// Slow-path evaluation for a sized write. Never crashes or sleeps while
+  /// holding the registry lock; kCrash is returned as outcome.crash so the
+  /// call site can issue the partial write before dying.
+  FaultOutcome EvaluateIo(const char* point, const std::string& detail,
+                          size_t n);
+
+  /// Dies without unwinding (SIGKILL): no destructors, no buffer flushes —
+  /// the honest simulation of power loss / kill -9.
+  [[noreturn]] static void CrashNow();
+
+ private:
+  struct ArmedPoint {
+    FaultSpec spec;
+    Random rng{1};
+    int skip_left = 0;
+    int count_left = -1;
+  };
+
+  FaultRegistry() = default;
+  /// Decides whether `point` fires for this operation; fills `out` (but
+  /// performs no side effect such as sleeping or crashing). Returns true if
+  /// a fault was scheduled.
+  bool Decide(const char* point, const std::string& detail, size_t n,
+              FaultOutcome* out, uint32_t* latency_us);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, ArmedPoint> points_;
+  std::unordered_map<std::string, uint64_t> hit_counts_;
+};
+
+/// The standard injection gate for non-sized operations. Zero cost (one
+/// relaxed load) when nothing is armed.
+inline Status Check(const char* point, const std::string& detail = "") {
+  if (!Armed()) return Status::OK();
+  return FaultRegistry::Instance().Evaluate(point, detail);
+}
+
+}  // namespace fault
+}  // namespace bess
+
+#endif  // BESS_OS_FAULT_INJECTION_H_

@@ -6,6 +6,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "os/fault_injection.h"
+
 namespace bess {
 namespace {
 
@@ -47,6 +49,7 @@ Result<File> File::OpenReadOnly(const std::string& path) {
 }
 
 Status File::ReadAt(uint64_t offset, void* buf, size_t n) const {
+  BESS_RETURN_IF_ERROR(fault::Check("file.readat", path_));
   char* p = static_cast<char*>(buf);
   size_t left = n;
   uint64_t off = offset;
@@ -68,6 +71,26 @@ Status File::ReadAt(uint64_t offset, void* buf, size_t n) const {
 }
 
 Status File::WriteAt(uint64_t offset, const void* buf, size_t n) {
+  if (fault::Armed()) {
+    fault::FaultOutcome out =
+        fault::FaultRegistry::Instance().EvaluateIo("file.writeat", path_, n);
+    if (out.bytes_allowed < n) {
+      // Torn write: persist a prefix of the request, then fail or die —
+      // the on-disk state a crash mid-pwrite leaves behind.
+      if (out.bytes_allowed > 0) {
+        (void)WriteAtUnchecked(offset, buf, out.bytes_allowed);
+      }
+      if (out.crash) fault::FaultRegistry::CrashNow();
+      return out.status.ok() ? Status::IOError("injected torn write")
+                             : out.status;
+    }
+    if (out.crash) fault::FaultRegistry::CrashNow();
+    if (!out.status.ok()) return out.status;
+  }
+  return WriteAtUnchecked(offset, buf, n);
+}
+
+Status File::WriteAtUnchecked(uint64_t offset, const void* buf, size_t n) {
   const char* p = static_cast<const char*>(buf);
   size_t left = n;
   uint64_t off = offset;
@@ -85,12 +108,16 @@ Status File::WriteAt(uint64_t offset, const void* buf, size_t n) {
 }
 
 Status File::Append(const void* buf, size_t n) {
+  BESS_RETURN_IF_ERROR(fault::Check("file.append", path_));
   auto size = Size();
   BESS_RETURN_IF_ERROR(size.status());
   return WriteAt(*size, buf, n);
 }
 
 Status File::Sync() {
+  // A crashpoint here dies *before* fdatasync: buffered writes are issued
+  // but not durable — the classic lost-tail power-failure scenario.
+  BESS_RETURN_IF_ERROR(fault::Check("file.sync", path_));
   if (::fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync", path_));
   return Status::OK();
 }

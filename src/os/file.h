@@ -53,6 +53,10 @@ class File {
  private:
   File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
 
+  /// The raw pwrite loop, bypassing fault injection (used to persist the
+  /// prefix of an injected torn write).
+  Status WriteAtUnchecked(uint64_t offset, const void* buf, size_t n);
+
   int fd_ = -1;
   std::string path_;
 };

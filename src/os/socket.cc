@@ -9,6 +9,8 @@
 
 #include <atomic>
 
+#include "os/fault_injection.h"
+
 namespace bess {
 namespace {
 
@@ -35,7 +37,9 @@ Status FillSockaddr(const std::string& path, sockaddr_un* addr) {
 MsgSocket::~MsgSocket() { Close(); }
 
 MsgSocket::MsgSocket(MsgSocket&& other) noexcept
-    : fd_(other.fd_), latency_us_(other.latency_us_) {
+    : fd_(other.fd_),
+      latency_us_(other.latency_us_),
+      name_(std::move(other.name_)) {
   other.fd_ = -1;
 }
 
@@ -44,6 +48,7 @@ MsgSocket& MsgSocket::operator=(MsgSocket&& other) noexcept {
     Close();
     fd_ = other.fd_;
     latency_us_ = other.latency_us_;
+    name_ = std::move(other.name_);
     other.fd_ = -1;
   }
   return *this;
@@ -59,7 +64,9 @@ Result<MsgSocket> MsgSocket::Connect(const std::string& path) {
     ::close(fd);
     return s;
   }
-  return MsgSocket(fd);
+  MsgSocket sock(fd);
+  sock.name_ = path;
+  return sock;
 }
 
 Status MsgSocket::Pair(MsgSocket* a, MsgSocket* b) {
@@ -73,6 +80,7 @@ Status MsgSocket::Pair(MsgSocket* a, MsgSocket* b) {
 }
 
 Status MsgSocket::Send(uint16_t type, Slice payload) {
+  BESS_RETURN_IF_ERROR(fault::Check("sock.send", name_));
   if (latency_us_ > 0) ::usleep(latency_us_);
   char header[6];
   EncodeFixed32(header, static_cast<uint32_t>(payload.size()));
@@ -86,6 +94,7 @@ Status MsgSocket::Send(uint16_t type, Slice payload) {
 }
 
 Result<Message> MsgSocket::Recv() {
+  BESS_RETURN_IF_ERROR(fault::Check("sock.recv", name_));
   char header[6];
   BESS_RETURN_IF_ERROR(RecvAll(header, sizeof(header)));
   Message msg;
@@ -176,6 +185,19 @@ MsgListener& MsgListener::operator=(MsgListener&& other) noexcept {
 Result<MsgListener> MsgListener::Listen(const std::string& path) {
   sockaddr_un addr;
   BESS_RETURN_IF_ERROR(FillSockaddr(path, &addr));
+  // Probe before unlinking: a connect() that succeeds means a live server
+  // still owns this path — report kBusy instead of stealing its socket.
+  // ECONNREFUSED / ENOENT mean the file is stale (or absent) and safe to
+  // remove.
+  int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (probe >= 0) {
+    int rc = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
+    ::close(probe);
+    if (rc == 0) {
+      return Status::Busy("address in use by live server: " + path);
+    }
+  }
   ::unlink(path.c_str());
   int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return ErrnoStatus("socket");

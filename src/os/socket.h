@@ -55,6 +55,12 @@ class MsgSocket {
   /// Simulated one-way latency added before each send, in microseconds.
   void set_simulated_latency_us(uint32_t us) { latency_us_ = us; }
 
+  /// Identity string passed to fault injection as the detail (Connect sets
+  /// it to the peer path; accepted/pair sockets default to empty). Lets a
+  /// FaultSpec.detail_filter target e.g. only client-side sockets.
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
   void Close();
 
   /// Shuts the connection down (both directions) without closing the fd:
@@ -74,6 +80,7 @@ class MsgSocket {
 
   int fd_ = -1;
   uint32_t latency_us_ = 0;
+  std::string name_;
 };
 
 /// A listening Unix-domain socket accepting MsgSocket connections.
@@ -86,7 +93,9 @@ class MsgListener {
   MsgListener(const MsgListener&) = delete;
   MsgListener& operator=(const MsgListener&) = delete;
 
-  /// Binds and listens at `path` (removing any stale socket file).
+  /// Binds and listens at `path`. A stale socket file (no live listener) is
+  /// removed; if a live server answers a probe connect, returns kBusy rather
+  /// than yanking the socket out from under it.
   static Result<MsgListener> Listen(const std::string& path);
 
   /// Accepts one connection; blocks.

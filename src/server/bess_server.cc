@@ -12,6 +12,11 @@ LockMode ModeFromByte(uint8_t b) {
   return static_cast<LockMode>(b);
 }
 
+// How many applied commit ids the duplicate-suppression window remembers.
+// A client retries a commit within a few backoff rounds, so even a small
+// window is generous; bounding it keeps a long-lived server at O(1) memory.
+constexpr size_t kAppliedCommitWindow = 1024;
+
 }  // namespace
 
 BessServer::BessServer(Options options)
@@ -114,10 +119,29 @@ void BessServer::ServeSession(std::shared_ptr<Session> session) {
     BESS_DEBUG("session " << session->id << " reply type " << reply_type);
     if (!session->main.Send(reply_type, reply).ok()) break;
   }
-  // Session over: release its locks and forget it.
+  // Session over. First resolve any transaction it prepared but never
+  // decided: presumed abort — the coordinator kept its decision in volatile
+  // memory, and this channel can no longer deliver one.
+  if (!session->prepared_gtids.empty()) {
+    std::vector<Database*> dbs;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      for (auto& [id, db] : databases_) {
+        (void)id;
+        dbs.push_back(db);
+      }
+    }
+    for (uint64_t gtid : session->prepared_gtids) {
+      for (Database* db : dbs) {
+        (void)db->AbortPrepared(gtid);
+      }
+    }
+  }
+  // Then release its locks (cached and held) and forget it.
   locks_.ReleaseAll(session->id);
   std::lock_guard<std::mutex> guard(mutex_);
   sessions_.erase(session->id);
+  stats_.sessions_reaped++;
 }
 
 void BessServer::Handle(Session& session, const Message& msg,
@@ -227,8 +251,19 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
     }
 
     case kMsgCommit: {
-      BESS_ASSIGN_OR_RETURN(std::vector<PageImage> pages,
-                            DecodePageSet(msg.payload));
+      const uint64_t ctid = dec.GetFixed64();
+      if (!dec.ok()) return Status::Protocol("bad commit request");
+      {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (ctid != 0 && applied_commits_.count(ctid)) {
+          // A replay of a commit we already applied (its reply was lost):
+          // report the original outcome instead of applying twice.
+          stats_.commit_dedupes++;
+          return Status::OK();
+        }
+      }
+      Slice rest(msg.payload.data() + 8, msg.payload.size() - 8);
+      BESS_ASSIGN_OR_RETURN(std::vector<PageImage> pages, DecodePageSet(rest));
       // Split by owning database (one server may own several).
       std::unordered_map<uint16_t, std::vector<PageImage>> by_db;
       for (PageImage& img : pages) by_db[img.db].push_back(std::move(img));
@@ -237,6 +272,14 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
         BESS_RETURN_IF_ERROR(db->CommitPageSet(set));
       }
       std::lock_guard<std::mutex> guard(mutex_);
+      if (ctid != 0) {
+        applied_commits_.insert(ctid);
+        applied_commit_order_.push_back(ctid);
+        if (applied_commit_order_.size() > kAppliedCommitWindow) {
+          applied_commits_.erase(applied_commit_order_.front());
+          applied_commit_order_.pop_front();
+        }
+      }
       stats_.commits++;
       return Status::OK();
     }
@@ -251,6 +294,7 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
         BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
         BESS_RETURN_IF_ERROR(db->PreparePageSet(gtid, set));
       }
+      session.prepared_gtids.insert(gtid);
       return Status::OK();
     }
 
@@ -270,6 +314,7 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
         if (s.ok()) any = true;
         else if (!s.IsNotFound()) return s;
       }
+      session.prepared_gtids.erase(gtid);
       return any ? Status::OK()
                  : Status::NotFound("gtid unknown (presumed abort)");
     }
@@ -287,6 +332,7 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       for (Database* db : dbs) {
         (void)db->AbortPrepared(gtid);
       }
+      session.prepared_gtids.erase(gtid);
       return Status::OK();
     }
 

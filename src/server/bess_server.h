@@ -17,11 +17,14 @@
 #define BESS_SERVER_BESS_SERVER_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "object/database.h"
@@ -43,6 +46,8 @@ class BessServer {
     uint64_t requests = 0;
     uint64_t fetches = 0;
     uint64_t commits = 0;
+    uint64_t commit_dedupes = 0;  ///< replayed commits answered from the window
+    uint64_t sessions_reaped = 0;  ///< dead sessions cleaned up
     uint64_t lock_requests = 0;
     uint64_t callbacks_sent = 0;
     uint64_t callbacks_released = 0;
@@ -70,6 +75,11 @@ class BessServer {
     MsgSocket callback;
     std::mutex callback_mutex;  // one callback round trip at a time
     std::atomic<bool> has_callback{false};
+    /// Transactions this session prepared but has not yet resolved. Only
+    /// touched by the session's own serving thread; on disconnect they are
+    /// aborted (presumed abort: the coordinator's decision, if any, lived in
+    /// client memory and can no longer reach us through this session).
+    std::set<uint64_t> prepared_gtids;
   };
 
   void AcceptLoop();
@@ -94,6 +104,11 @@ class BessServer {
   std::unordered_map<uint16_t, Database*> databases_;
   std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
   std::vector<std::thread> session_threads_;
+  /// Recently applied commit ids (kMsgCommit ctid prefix), a bounded
+  /// duplicate-suppression window: a client replaying a commit whose reply
+  /// was lost gets OK instead of a second application.
+  std::unordered_set<uint64_t> applied_commits_;
+  std::deque<uint64_t> applied_commit_order_;
   mutable Stats stats_;
 };
 

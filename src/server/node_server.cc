@@ -294,8 +294,12 @@ Status NodeServer::HandleRequest(LocalSession& session, const Message& msg,
       BESS_RETURN_IF_ERROR(UpstreamCall(kMsgCommit, msg.payload,
                                         &upstream_reply));
       // Write-through: refresh the node cache so the other local
-      // applications see the committed state immediately.
-      auto pages = DecodePageSet(msg.payload);
+      // applications see the committed state immediately. The payload was
+      // forwarded verbatim (its ctid prefix keeps upstream dedupe intact);
+      // skip those 8 bytes to reach the page set.
+      if (msg.payload.size() < 8) return Status::OK();
+      auto pages = DecodePageSet(
+          Slice(msg.payload.data() + 8, msg.payload.size() - 8));
       if (pages.ok()) {
         for (const PageImage& img : *pages) {
           CachePut(PageAddr{img.db, img.area, img.page}.Pack(), img.bytes);

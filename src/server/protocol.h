@@ -37,7 +37,8 @@ enum MsgType : uint16_t {
   kMsgReleaseAll,       ///< {} release every lock of the session
 
   // Transactions
-  kMsgCommit,           ///< {u32 npages, npages×(u64 addr, page bytes)} -> status
+  kMsgCommit,           ///< {u64 ctid, u32 npages, npages×(u64 addr, page bytes)}
+                        ///< -> status; ctid deduplicates replayed commits
   kMsgPrepare,          ///< same payload; phase 1 of 2PC -> vote
   kMsgCommitPrepared,   ///< {u64 gtid} -> status
   kMsgAbortPrepared,    ///< {u64 gtid}

@@ -1,8 +1,43 @@
 #include "server/remote_client.h"
 
+#include <unistd.h>
+
+#include "os/fault_injection.h"
 #include "util/logging.h"
 
 namespace bess {
+namespace {
+
+/// Transport failures (vs. an error *reply* from the server): the request
+/// may not have reached the server — the only errors worth a retry.
+bool IsTransportFailure(const Status& s) {
+  return s.IsIOError() || s.code() == StatusCode::kProtocol;
+}
+
+/// Safe to replay after a transport failure: reads, lock traffic (re-granting
+/// a held lock is a no-op; after a reconnect the new session needs the grant
+/// anyway), and commit (deduplicated server-side by the ctid prefix, so a
+/// replayed commit whose first attempt applied reports OK without applying
+/// twice). Everything else — catalog mutation, segment allocation, 2PC
+/// prepare/decision — could apply twice and must surface "outcome unknown".
+bool IsIdempotentRpc(uint16_t type) {
+  switch (type) {
+    case kMsgFetchSlotted:
+    case kMsgFetchPages:
+    case kMsgFetchTypes:
+    case kMsgFindFile:
+    case kMsgGetRoot:
+    case kMsgLock:
+    case kMsgReleaseLock:
+    case kMsgReleaseAll:
+    case kMsgCommit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 // ---- RemoteStore --------------------------------------------------------------
 
@@ -66,6 +101,7 @@ Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(Options options) {
   BESS_ASSIGN_OR_RETURN(client->primary_.main,
                         MsgSocket::Connect(options.server_path));
   client->primary_.main.set_simulated_latency_us(options.simulated_latency_us);
+  client->primary_.path = options.server_path;
   client->primary_.db_ids.push_back(options.db_id);
   BESS_RETURN_IF_ERROR(client->primary_.main.Send(kMsgHello, ""));
   BESS_ASSIGN_OR_RETURN(Message hello, client->primary_.main.Recv());
@@ -110,12 +146,88 @@ Status RemoteClient::Call(Peer& peer, uint16_t type,
     std::lock_guard<std::mutex> sguard(mutex_);
     stats_.rpcs++;
   }
-  BESS_DEBUG("client call send type " << type);
-  BESS_RETURN_IF_ERROR(peer.main.Send(type, payload));
-  BESS_DEBUG("client call sent, waiting reply");
-  BESS_ASSIGN_OR_RETURN(*reply, peer.main.Recv());
-  BESS_DEBUG("client call got reply " << reply->type);
-  if (reply->type == kMsgError) return DecodeStatusReply(*reply);
+  Status last;
+  for (int attempt = 0; attempt <= options_.max_rpc_retries; ++attempt) {
+    if (attempt > 0) {
+      {
+        std::lock_guard<std::mutex> sguard(mutex_);
+        stats_.rpc_retries++;
+      }
+      ::usleep(static_cast<useconds_t>(options_.rpc_backoff_ms) * 1000u
+               << (attempt - 1));
+      Status rc = Reconnect(peer);
+      if (!rc.ok()) {
+        last = rc;
+        continue;  // server may still be coming back: back off and retry
+      }
+    }
+    BESS_DEBUG("client call send type " << type << " attempt " << attempt);
+    Status s = peer.main.Send(type, payload);
+    if (s.ok()) {
+      auto r = peer.main.Recv();
+      if (r.ok()) {
+        *reply = std::move(*r);
+        BESS_DEBUG("client call got reply " << reply->type);
+        // The server answered: this is the operation's outcome, success or
+        // not — never retried.
+        if (reply->type == kMsgError) return DecodeStatusReply(*reply);
+        return Status::OK();
+      }
+      s = r.status();
+    }
+    last = s;
+    if (!IsTransportFailure(s)) return s;
+    if (!IsIdempotentRpc(type)) {
+      // The request may have reached the server even though the send or the
+      // reply failed; replaying it could apply the operation twice.
+      return Status::Aborted("RPC outcome unknown after transport failure (op " +
+                             std::to_string(type) + "): " + s.message());
+    }
+  }
+  return last;
+}
+
+Status RemoteClient::Reconnect(Peer& peer) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats_.reconnects++;
+  }
+  peer.main.Close();
+  BESS_ASSIGN_OR_RETURN(peer.main, MsgSocket::Connect(peer.path));
+  peer.main.set_simulated_latency_us(options_.simulated_latency_us);
+  BESS_RETURN_IF_ERROR(peer.main.Send(kMsgHello, ""));
+  BESS_ASSIGN_OR_RETURN(Message hello, peer.main.Recv());
+  if (hello.type != kMsgOk || hello.payload.size() != 8) {
+    return Status::Protocol("bad hello reply");
+  }
+  const uint64_t new_session = DecodeFixed64(hello.payload.data());
+
+  if (&peer == &primary_) {
+    session_id_.store(new_session);
+    // Rebind the callback channel: the old one belonged to the dead session.
+    callback_sock_.Shutdown();
+    if (callback_thread_.joinable()) callback_thread_.join();
+    callback_sock_.Close();
+    BESS_ASSIGN_OR_RETURN(callback_sock_, MsgSocket::Connect(peer.path));
+    std::string bind;
+    PutFixed64(&bind, new_session);
+    BESS_RETURN_IF_ERROR(callback_sock_.Send(kMsgHelloCallback, bind));
+    if (running_.load()) {
+      callback_thread_ = std::thread([this] { CallbackLoop(); });
+    }
+  }
+
+  // The server released the dead session's locks, so every cached lock —
+  // and the 2PL guarantee of any transaction in flight — is gone.
+  std::lock_guard<std::mutex> guard(mutex_);
+  cached_locks_.clear();
+  key_home_.clear();
+  active_segment_.clear();
+  evict_after_reconnect_ = true;
+  if (in_txn_ && poison_.ok()) {
+    poison_ = Status::Aborted(
+        "connection lost mid-transaction: server released our locks");
+  }
   return Status::OK();
 }
 
@@ -133,6 +245,7 @@ Status RemoteClient::AddServer(const std::string& server_path,
   auto peer = std::make_unique<Peer>();
   BESS_ASSIGN_OR_RETURN(peer->main, MsgSocket::Connect(server_path));
   peer->main.set_simulated_latency_us(options_.simulated_latency_us);
+  peer->path = server_path;
   peer->db_ids = db_ids;
   BESS_RETURN_IF_ERROR(peer->main.Send(kMsgHello, ""));
   BESS_ASSIGN_OR_RETURN(Message hello, peer->main.Recv());
@@ -258,11 +371,21 @@ Status RemoteClient::HandleCallback(uint64_t key, LockMode wanted) {
 // ---- transactions ---------------------------------------------------------------
 
 Status RemoteClient::Begin() {
-  std::lock_guard<std::mutex> guard(mutex_);
-  if (in_txn_) return Status::InvalidArgument("transaction already active");
-  in_txn_ = true;
-  poison_ = Status::OK();
-  in_use_.clear();
+  bool evict = false;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (in_txn_) return Status::InvalidArgument("transaction already active");
+    in_txn_ = true;
+    poison_ = Status::OK();
+    in_use_.clear();
+    evict = evict_after_reconnect_;
+    evict_after_reconnect_ = false;
+  }
+  if (evict) {
+    // A reconnect happened since the last boundary: cached pages may be
+    // stale copies of data another client modified while we held no locks.
+    BESS_RETURN_IF_ERROR(mapper_->EvictAll(/*drop_dirty=*/true));
+  }
   return Status::OK();
 }
 
@@ -288,9 +411,15 @@ Status RemoteClient::Commit() {
 
   Status outcome;
   if (by_peer.size() <= 1) {
-    // Single server: one-phase commit.
+    // Single server: one-phase commit. The ctid prefix makes the RPC safely
+    // retryable — if the commit applied but the reply was lost, the server
+    // recognizes the replay and reports OK without applying twice.
     if (!by_peer.empty()) {
+      const uint64_t ctid =
+          (session_id_.load() << 32) |
+          next_gtid_.fetch_add(1, std::memory_order_relaxed);
       std::string payload;
+      PutFixed64(&payload, ctid);
       EncodePageSet(by_peer.begin()->second, &payload);
       Message reply;
       outcome = Call(*by_peer.begin()->first, kMsgCommit, payload, &reply);
@@ -300,7 +429,8 @@ Status RemoteClient::Commit() {
     // processing is performed by the first server the application connects
     // to; the coordinator logic lives in its client library).
     const uint64_t gtid =
-        (session_id_ << 32) | next_gtid_.fetch_add(1, std::memory_order_relaxed);
+        (session_id_.load() << 32) |
+        next_gtid_.fetch_add(1, std::memory_order_relaxed);
     bool all_prepared = true;
     for (auto& [peer, set] : by_peer) {
       std::string payload;
@@ -312,6 +442,17 @@ Status RemoteClient::Commit() {
         all_prepared = false;
         outcome = s;
         break;
+      }
+    }
+    // Coordinator crashpoint: between prepare and decision every participant
+    // is in-doubt and must resolve via presumed abort (dead-session cleanup
+    // on the server, or restart recovery). kCrash kills us right here; a
+    // kFail spec simulates a coordinator that silently forgets its decision.
+    if (all_prepared) {
+      Status s = fault::Check("client.2pc.decision");
+      if (!s.ok()) {
+        (void)Abort();
+        return s;
       }
     }
     std::string decision;
@@ -352,6 +493,13 @@ Status RemoteClient::Commit() {
 }
 
 Status RemoteClient::Abort() {
+  bool evict = false;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    evict = evict_after_reconnect_;
+    evict_after_reconnect_ = false;
+  }
+  if (evict) BESS_RETURN_IF_ERROR(mapper_->EvictAll(/*drop_dirty=*/true));
   BESS_RETURN_IF_ERROR(mapper_->DiscardDirty());
   std::unique_lock<std::mutex> guard(mutex_);
   in_txn_ = false;

@@ -37,11 +37,18 @@ class RemoteClient : public AccessObserver {
     bool cache_inter_txn = true;  ///< keep data + locks across transactions
     uint32_t simulated_latency_us = 0;
     int lock_timeout_ms = kLockTimeoutMillis;
+    /// Transport-failure resilience: how many times one RPC is retried
+    /// (reconnecting first) before the error surfaces, and the initial
+    /// backoff between attempts (doubled each retry).
+    int max_rpc_retries = 3;
+    int rpc_backoff_ms = 5;
     SegmentMapper::Options mapper;
   };
 
   struct Stats {
     uint64_t rpcs = 0;
+    uint64_t rpc_retries = 0;   ///< RPC attempts beyond the first
+    uint64_t reconnects = 0;    ///< sessions re-established after a failure
     uint64_t lock_rpcs = 0;
     uint64_t lock_cache_hits = 0;  ///< lock needed, already cached: no RPC
     uint64_t callbacks_received = 0;
@@ -90,6 +97,7 @@ class RemoteClient : public AccessObserver {
   struct Peer {
     MsgSocket main;
     std::mutex mutex;  // serialize request/response
+    std::string path;  // server socket path, for reconnect
     std::vector<uint16_t> db_ids;
   };
 
@@ -97,6 +105,11 @@ class RemoteClient : public AccessObserver {
 
   Status Call(Peer& peer, uint16_t type, const std::string& payload,
               Message* reply);
+  /// Re-establishes a failed peer connection: fresh session (the server has
+  /// already — or will — release the dead session's locks), rebound callback
+  /// channel for the primary, client lock/data caches invalidated, any
+  /// active transaction poisoned (its 2PL guarantee is gone).
+  Status Reconnect(Peer& peer);
   Peer& PeerFor(uint16_t db_id);
   Status EnsureLock(uint64_t key, LockMode mode, SegmentId home);
   Status SyncTypes();
@@ -110,7 +123,7 @@ class RemoteClient : public AccessObserver {
   MsgSocket callback_sock_;
   std::thread callback_thread_;
   std::atomic<bool> running_{false};
-  uint64_t session_id_ = 0;
+  std::atomic<uint64_t> session_id_{0};
 
   TypeTable types_;
   std::unique_ptr<RemoteStore> store_;
@@ -118,6 +131,11 @@ class RemoteClient : public AccessObserver {
 
   mutable std::mutex mutex_;
   bool in_txn_ = false;
+  // Set by Reconnect: cached data may be stale (our locks were released
+  // server-side); consumed at the next transaction boundary, where the whole
+  // client cache is dropped. Deferred because Reconnect can run inside a
+  // mapper fault (EvictAll there would re-enter the mapper).
+  bool evict_after_reconnect_ = false;
   Status poison_;  // first lock failure of the active transaction
   std::unordered_map<uint64_t, LockMode> cached_locks_;  // key -> mode
   std::set<uint64_t> in_use_;  // keys the current transaction relies on

@@ -24,11 +24,8 @@ Status GenericFetchSlotted(SegmentStore* store, SegmentId id, void* buf,
 
 Status InMemoryStore::FetchPages(uint16_t db, uint16_t area, PageId first,
                                  uint32_t page_count, void* buf) {
+  BESS_RETURN_IF_ERROR(fault::Check("memstore.fetch"));
   std::lock_guard<std::mutex> guard(mutex_);
-  if (fail_fetches_ > 0) {
-    --fail_fetches_;
-    return Status::IOError("injected fetch failure");
-  }
   char* out = static_cast<char*>(buf);
   for (uint32_t i = 0; i < page_count; ++i) {
     auto it = pages_.find(Key(db, area, first + i));
@@ -45,6 +42,7 @@ Status InMemoryStore::FetchPages(uint16_t db, uint16_t area, PageId first,
 
 Status InMemoryStore::WritePages(uint16_t db, uint16_t area, PageId first,
                                  uint32_t page_count, const void* buf) {
+  BESS_RETURN_IF_ERROR(fault::Check("memstore.write"));
   std::lock_guard<std::mutex> guard(mutex_);
   const char* in = static_cast<const char*>(buf);
   for (uint32_t i = 0; i < page_count; ++i) {

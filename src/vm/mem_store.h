@@ -9,6 +9,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "os/fault_injection.h"
 #include "vm/segment_store.h"
 
 namespace bess {
@@ -31,8 +32,23 @@ class InMemoryStore : public SegmentStore {
   Status WritePages(uint16_t db, uint16_t area, PageId first,
                     uint32_t page_count, const void* buf) override;
 
-  /// Fail the next `n` fetches with IOError (fault injection).
-  void FailNextFetches(int n) { fail_fetches_ = n; }
+  /// Fail the next `n` fetches with IOError. Convenience wrapper arming the
+  /// central "memstore.fetch" point (fault::FaultRegistry); tests that need
+  /// richer schedules — probabilistic faults, write-back failures, crashes —
+  /// arm "memstore.fetch" / "memstore.write" directly.
+  void FailNextFetches(int n) {
+    fault::FaultSpec spec;
+    spec.count = n;
+    spec.message = "injected fetch failure";
+    fault::FaultRegistry::Instance().Arm("memstore.fetch", std::move(spec));
+  }
+  /// Fail the next `n` write-backs with IOError.
+  void FailNextWrites(int n) {
+    fault::FaultSpec spec;
+    spec.count = n;
+    spec.message = "injected write failure";
+    fault::FaultRegistry::Instance().Arm("memstore.write", std::move(spec));
+  }
 
   uint64_t pages_fetched() const { return pages_fetched_; }
   uint64_t pages_written() const { return pages_written_; }
@@ -45,7 +61,6 @@ class InMemoryStore : public SegmentStore {
 
   mutable std::mutex mutex_;
   std::unordered_map<uint64_t, std::string> pages_;
-  int fail_fetches_ = 0;
   uint64_t pages_fetched_ = 0;
   uint64_t pages_written_ = 0;
 };

@@ -59,6 +59,13 @@ Status LogManager::LoadExisting() {
   }
   tail_ = flushed_ = lsn;
   buffer_start_ = lsn;
+  // A crash between Reset()'s truncate and its header rewrite can leave the
+  // master record pointing past the (now shorter) tail. A checkpoint LSN we
+  // cannot read is no checkpoint: clamp to kNullLsn so recovery scans from
+  // the start instead of failing forever on a dangling pointer.
+  if (checkpoint_lsn_ != kNullLsn && checkpoint_lsn_ >= tail_) {
+    checkpoint_lsn_ = kNullLsn;
+  }
   return Status::OK();
 }
 
@@ -66,6 +73,7 @@ Result<Lsn> LogManager::Append(const LogRecord& rec) {
   std::string payload;
   rec.EncodeTo(&payload);
   std::lock_guard<std::mutex> guard(mutex_);
+  if (!wedged_.ok()) return wedged_;
   const Lsn lsn = tail_;
   char frame[kFrameHeader];
   EncodeFixed32(frame, static_cast<uint32_t>(payload.size()));
@@ -85,6 +93,7 @@ Result<Lsn> LogManager::AppendAndFlush(const LogRecord& rec) {
 
 Status LogManager::Flush(Lsn lsn) {
   std::lock_guard<std::mutex> guard(mutex_);
+  if (!wedged_.ok()) return wedged_;
   if (flushed_ > lsn) return Status::OK();  // group commit: already durable
   if (!buffer_.empty()) {
     BESS_RETURN_IF_ERROR(
@@ -92,7 +101,15 @@ Status LogManager::Flush(Lsn lsn) {
     buffer_start_ += buffer_.size();
     buffer_.clear();
   }
-  BESS_RETURN_IF_ERROR(file_.Sync());
+  Status sync = file_.Sync();
+  if (!sync.ok()) {
+    // fsyncgate: a failed fsync may have already discarded the dirty pages,
+    // so retrying can report "durable" for data that never hit the platter.
+    // Wedge the log permanently; only a reopen (which re-scans the true
+    // on-disk tail) clears it.
+    wedged_ = sync;
+    return sync;
+  }
   sync_count_++;
   flushed_ = tail_;
   return Status::OK();
@@ -146,11 +163,16 @@ Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
 
 Status LogManager::SetCheckpointLsn(Lsn lsn) {
   std::lock_guard<std::mutex> guard(mutex_);
+  if (!wedged_.ok()) return wedged_;
   char buf[12];
   EncodeFixed32(buf, kLogMagic);
   EncodeFixed64(buf + 4, lsn);
   BESS_RETURN_IF_ERROR(file_.WriteAt(0, buf, sizeof(buf)));
-  BESS_RETURN_IF_ERROR(file_.Sync());
+  Status sync = file_.Sync();
+  if (!sync.ok()) {
+    wedged_ = sync;
+    return sync;
+  }
   sync_count_++;
   checkpoint_lsn_ = lsn;
   return Status::OK();
@@ -173,6 +195,7 @@ Lsn LogManager::flushed_lsn() const {
 
 Status LogManager::Reset() {
   std::lock_guard<std::mutex> guard(mutex_);
+  if (!wedged_.ok()) return wedged_;
   buffer_.clear();
   BESS_RETURN_IF_ERROR(file_.Truncate(kHeaderSize));
   char header[kHeaderSize];
@@ -180,11 +203,20 @@ Status LogManager::Reset() {
   EncodeFixed32(header, kLogMagic);
   EncodeFixed64(header + 4, kNullLsn);
   BESS_RETURN_IF_ERROR(file_.WriteAt(0, header, sizeof(header)));
-  BESS_RETURN_IF_ERROR(file_.Sync());
+  Status sync = file_.Sync();
+  if (!sync.ok()) {
+    wedged_ = sync;
+    return sync;
+  }
   sync_count_++;
   tail_ = flushed_ = buffer_start_ = kHeaderSize;
   checkpoint_lsn_ = kNullLsn;
   return Status::OK();
+}
+
+Status LogManager::wedged() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return wedged_;
 }
 
 }  // namespace bess

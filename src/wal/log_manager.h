@@ -59,6 +59,12 @@ class LogManager {
 
   uint64_t sync_count() const { return sync_count_; }
 
+  /// Non-OK once a Sync has failed: the log is wedged (see fsyncgate — after
+  /// a failed fsync the kernel may have dropped the dirty pages, so "retry
+  /// and hope" silently loses log records). All further Append/Flush/
+  /// SetCheckpointLsn/Reset return this status; recovery requires reopening.
+  Status wedged() const;
+
  private:
   explicit LogManager(File file) : file_(std::move(file)) {}
 
@@ -72,6 +78,7 @@ class LogManager {
   Lsn flushed_ = 0;
   Lsn checkpoint_lsn_ = kNullLsn;
   uint64_t sync_count_ = 0;
+  Status wedged_;  // sticky first Sync failure; non-OK refuses all mutation
 };
 
 }  // namespace bess

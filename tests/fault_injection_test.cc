@@ -1,0 +1,350 @@
+// Tests for the central fault-injection layer: registry schedules (fail-nth,
+// probability, latency, short write), the wiring into File / MsgSocket /
+// InMemoryStore, sticky WAL sync failure (fsyncgate semantics), and the
+// listener's live-server probe.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "os/fault_injection.h"
+#include "os/file.h"
+#include "os/socket.h"
+#include "vm/mem_store.h"
+#include "wal/log_manager.h"
+
+namespace bess {
+namespace {
+
+using fault::FaultAction;
+using fault::FaultRegistry;
+using fault::FaultSpec;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Instance().DisarmAll();
+    FaultRegistry::Instance().ResetCounters();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bess_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultRegistry::Instance().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string Path(const std::string& n) { return (dir_ / n).string(); }
+  std::filesystem::path dir_;
+};
+
+// ---- registry semantics -----------------------------------------------------
+
+TEST_F(FaultInjectionTest, DisarmedIsFree) {
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_TRUE(fault::Check("file.readat", "x").ok());
+  FaultRegistry::Instance().Arm("p", FaultSpec{});
+  EXPECT_TRUE(fault::Armed());
+  FaultRegistry::Instance().Disarm("p");
+  EXPECT_FALSE(fault::Armed());
+}
+
+TEST_F(FaultInjectionTest, FailNthFiresExactlyOnce) {
+  FaultRegistry::Instance().Arm("p", FaultSpec::FailNth(3));
+  EXPECT_TRUE(fault::Check("p").ok());
+  EXPECT_TRUE(fault::Check("p").ok());
+  EXPECT_TRUE(fault::Check("p").IsIOError());
+  EXPECT_TRUE(fault::Check("p").ok());  // count=1: fired, now exhausted
+  EXPECT_EQ(FaultRegistry::Instance().hits("p"), 1u);
+}
+
+TEST_F(FaultInjectionTest, HitsSurviveDisarm) {
+  FaultRegistry::Instance().Arm("p", FaultSpec::FailNth(1));
+  EXPECT_FALSE(fault::Check("p").ok());
+  FaultRegistry::Instance().Disarm("p");
+  EXPECT_EQ(FaultRegistry::Instance().hits("p"), 1u);
+  FaultRegistry::Instance().ResetCounters();
+  EXPECT_EQ(FaultRegistry::Instance().hits("p"), 0u);
+}
+
+TEST_F(FaultInjectionTest, CustomStatusCode) {
+  FaultSpec spec;
+  spec.code = StatusCode::kBusy;
+  spec.message = "simulated contention";
+  FaultRegistry::Instance().Arm("p", spec);
+  Status s = fault::Check("p");
+  EXPECT_TRUE(s.IsBusy());
+  EXPECT_NE(s.message().find("simulated contention"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultSpec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    FaultRegistry::Instance().Arm("p", spec);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(fault::Check("p").ok() ? '.' : 'X');
+    }
+    FaultRegistry::Instance().Disarm("p");
+    return pattern;
+  };
+  const std::string a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, DetailFilterTargetsOperations) {
+  FaultSpec spec;
+  spec.detail_filter = "wal";
+  FaultRegistry::Instance().Arm("p", spec);
+  EXPECT_TRUE(fault::Check("p", "/tmp/data/area0").ok());
+  EXPECT_FALSE(fault::Check("p", "/tmp/data/wal").ok());
+}
+
+TEST_F(FaultInjectionTest, LatencyDelaysButSucceeds) {
+  FaultSpec spec;
+  spec.action = FaultAction::kLatency;
+  spec.latency_us = 20000;
+  spec.count = 1;
+  FaultRegistry::Instance().Arm("p", spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(fault::Check("p").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            15000);  // allow scheduler slop below the nominal 20ms
+}
+
+// ---- File wiring ------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, FileReadAtInjection) {
+  auto f = File::Open(Path("f"));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->WriteAt(0, "abcd", 4).ok());
+  FaultRegistry::Instance().Arm("file.readat", FaultSpec::FailNth(1));
+  char buf[4];
+  EXPECT_TRUE(f->ReadAt(0, buf, 4).IsIOError());
+  EXPECT_TRUE(f->ReadAt(0, buf, 4).ok());
+}
+
+TEST_F(FaultInjectionTest, FileTornWritePersistsPrefixOnly) {
+  auto f = File::Open(Path("f"));
+  ASSERT_TRUE(f.ok());
+  FaultSpec spec;
+  spec.action = FaultAction::kShortWrite;
+  spec.max_bytes = 3;
+  spec.count = 1;
+  FaultRegistry::Instance().Arm("file.writeat", spec);
+  EXPECT_FALSE(f->WriteAt(0, "ABCDEFGH", 8).ok());
+  auto size = f->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 3u);  // only the torn prefix reached the file
+  char buf[3];
+  ASSERT_TRUE(f->ReadAt(0, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "ABC");
+}
+
+TEST_F(FaultInjectionTest, FileSyncAndAppendInjection) {
+  auto f = File::Open(Path("f"));
+  ASSERT_TRUE(f.ok());
+  FaultRegistry::Instance().Arm("file.sync", FaultSpec::FailNth(1));
+  EXPECT_TRUE(f->Sync().IsIOError());
+  EXPECT_TRUE(f->Sync().ok());
+  FaultRegistry::Instance().Arm("file.append", FaultSpec::FailNth(1));
+  EXPECT_TRUE(f->Append("x", 1).IsIOError());
+  EXPECT_TRUE(f->Append("x", 1).ok());
+}
+
+TEST_F(FaultInjectionTest, CrashpointKillsProcessWithoutUnwind) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FaultRegistry::Instance().Arm("file.writeat", FaultSpec::CrashAtNth(2));
+    auto f = File::Open(Path("f"));
+    if (!f.ok()) ::_exit(1);
+    (void)f->WriteAt(0, "first", 5);
+    (void)f->WriteAt(5, "second", 6);  // dies here
+    ::_exit(0);                        // not reached
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  // The first write survived; the second never happened.
+  auto f = File::Open(Path("f"));
+  ASSERT_TRUE(f.ok());
+  auto size = f->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+}
+
+// ---- socket wiring ----------------------------------------------------------
+
+TEST_F(FaultInjectionTest, SocketSendRecvInjection) {
+  MsgSocket a, b;
+  ASSERT_TRUE(MsgSocket::Pair(&a, &b).ok());
+  a.set_name("client.sock");
+  FaultSpec send_spec = FaultSpec::FailNth(1);
+  send_spec.detail_filter = "client";
+  FaultRegistry::Instance().Arm("sock.send", send_spec);
+  EXPECT_TRUE(a.Send(1, "x").IsIOError());  // injected: never hits the wire
+  EXPECT_TRUE(b.Send(2, "y").ok());         // name empty: filter skips it
+  FaultRegistry::Instance().Arm("sock.recv", FaultSpec::FailNth(1));
+  EXPECT_TRUE(a.Recv().status().IsIOError());
+  auto msg = a.Recv();
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, 2);
+}
+
+TEST_F(FaultInjectionTest, ConnectNamesSocketAfterPeerPath) {
+  auto listener = MsgListener::Listen(Path("srv.sock"));
+  ASSERT_TRUE(listener.ok());
+  auto client = MsgSocket::Connect(Path("srv.sock"));
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(client->name(), Path("srv.sock"));
+}
+
+// ---- listener busy probe ----------------------------------------------------
+
+TEST_F(FaultInjectionTest, ListenRefusesLiveServerAndClaimsStaleFile) {
+  auto first = MsgListener::Listen(Path("srv.sock"));
+  ASSERT_TRUE(first.ok());
+  // A live listener answers the probe: the second Listen must not steal the
+  // socket out from under it.
+  auto second = MsgListener::Listen(Path("srv.sock"));
+  EXPECT_TRUE(second.status().IsBusy());
+  // The refused attempt left the live listener fully functional.
+  std::thread connector([&] {
+    auto c = MsgSocket::Connect(Path("srv.sock"));
+    if (c.ok()) (void)c->Send(7, "ping");
+  });
+  // The probe from the refused Listen left a dead connection in the accept
+  // queue; drain until the real client's message arrives.
+  Result<Message> msg = Status::Protocol("no connection yet");
+  for (int i = 0; i < 3 && !msg.ok(); ++i) {
+    auto accepted = first->Accept();
+    ASSERT_TRUE(accepted.ok());
+    msg = accepted->Recv();
+  }
+  connector.join();
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, 7);
+  first->Close();  // also unlinks the socket file
+
+  // A *stale* socket file — left behind by a crashed server — must be
+  // reclaimed: bind a raw socket and close its fd without unlinking (exactly
+  // the state kill -9 leaves).
+  const std::string stale = Path("srv.sock");
+  sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  memcpy(addr.sun_path, stale.c_str(), stale.size());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);
+  ASSERT_TRUE(File::Exists(stale));
+  auto reclaimed = MsgListener::Listen(stale);
+  ASSERT_TRUE(reclaimed.ok());
+}
+
+// ---- InMemoryStore ----------------------------------------------------------
+
+TEST_F(FaultInjectionTest, MemStoreFetchAndWriteInjection) {
+  InMemoryStore store;
+  std::string page(kPageSize, 'a');
+  ASSERT_TRUE(store.WritePages(1, 0, 10, 1, page.data()).ok());
+
+  store.FailNextFetches(2);
+  std::string buf(kPageSize, '\0');
+  EXPECT_TRUE(store.FetchPages(1, 0, 10, 1, buf.data()).IsIOError());
+  EXPECT_TRUE(store.FetchPages(1, 0, 10, 1, buf.data()).IsIOError());
+  EXPECT_TRUE(store.FetchPages(1, 0, 10, 1, buf.data()).ok());
+  EXPECT_EQ(buf, page);
+  EXPECT_EQ(FaultRegistry::Instance().hits("memstore.fetch"), 2u);
+
+  store.FailNextWrites(1);
+  EXPECT_TRUE(store.WritePages(1, 0, 11, 1, page.data()).IsIOError());
+  EXPECT_TRUE(store.WritePages(1, 0, 11, 1, page.data()).ok());
+  EXPECT_EQ(FaultRegistry::Instance().hits("memstore.write"), 1u);
+}
+
+// ---- WAL sticky sync (fsyncgate) -------------------------------------------
+
+TEST_F(FaultInjectionTest, LogSyncFailureIsSticky) {
+  auto log = LogManager::Open(Path("wal"));
+  ASSERT_TRUE(log.ok());
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn = 1;
+  ASSERT_TRUE((*log)->AppendAndFlush(rec).ok());
+
+  FaultRegistry::Instance().Arm("file.sync", FaultSpec::FailNth(1));
+  EXPECT_TRUE((*log)->AppendAndFlush(rec).status().IsIOError());
+  FaultRegistry::Instance().DisarmAll();
+
+  // The failure is sticky: even with the fault gone, the log refuses to
+  // accept or flush anything (the kernel may have dropped the dirty pages;
+  // pretending the retry succeeded would silently lose records).
+  EXPECT_TRUE((*log)->wedged().IsIOError());
+  EXPECT_TRUE((*log)->Append(rec).status().IsIOError());
+  EXPECT_TRUE((*log)->Flush((*log)->tail_lsn()).IsIOError());
+  EXPECT_TRUE((*log)->SetCheckpointLsn(kNullLsn).IsIOError());
+  EXPECT_TRUE((*log)->Reset().IsIOError());
+
+  // Reopening re-reads the true on-disk state and starts clean.
+  log->reset();
+  auto reopened = LogManager::Open(Path("wal"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->wedged().ok());
+  EXPECT_TRUE((*reopened)->AppendAndFlush(rec).ok());
+}
+
+// ---- stale master record clamp ---------------------------------------------
+
+TEST_F(FaultInjectionTest, StaleCheckpointLsnIsClamped) {
+  Lsn ckpt = kNullLsn;
+  {
+    auto log = LogManager::Open(Path("wal"));
+    ASSERT_TRUE(log.ok());
+    LogRecord rec;
+    rec.type = LogRecordType::kCommit;
+    rec.txn = 1;
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE((*log)->AppendAndFlush(rec).ok());
+    auto lsn = (*log)->AppendAndFlush(rec);
+    ASSERT_TRUE(lsn.ok());
+    ASSERT_TRUE((*log)->SetCheckpointLsn(*lsn).ok());
+    ckpt = *lsn;
+  }
+  {
+    // Simulate a crash mid-Reset: the log file was truncated back to its
+    // header, but the master record still points at the old checkpoint —
+    // now beyond the tail.
+    auto f = File::Open(Path("wal"), /*create=*/false);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f->Truncate(kPageSize).ok());
+    char header[12];
+    EncodeFixed32(header, 0xBE55106Fu);  // kLogMagic
+    EncodeFixed64(header + 4, ckpt);
+    ASSERT_TRUE(f->WriteAt(0, header, 12).ok());
+  }
+  auto reopened = LogManager::Open(Path("wal"));
+  ASSERT_TRUE(reopened.ok());
+  auto clamped = (*reopened)->GetCheckpointLsn();
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(*clamped, kNullLsn);  // dangling master record ignored
+}
+
+}  // namespace
+}  // namespace bess

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "object/database.h"
+#include "os/fault_injection.h"
 #include "server/bess_server.h"
 #include "server/node_server.h"
 #include "server/remote_client.h"
@@ -23,6 +24,8 @@ class ServerTest : public ::testing::Test {
     std::filesystem::create_directories(base_);
   }
   void TearDown() override {
+    fault::FaultRegistry::Instance().DisarmAll();
+    fault::FaultRegistry::Instance().ResetCounters();
     clients_.clear();
     node_.reset();
     server_.reset();
@@ -347,6 +350,298 @@ TEST_F(ServerTest, PreparedTransactionsSurviveAsPresumedAbort) {
   // Unknown gtid: presumed abort.
   EXPECT_TRUE(db_->CommitPrepared(999).IsNotFound());
   (void)file;
+}
+
+// Callback locking must stay correct when the network is slow: injected
+// latency on every client->server send stretches each RPC, yet the lock
+// timeout still fires for the blocked writer and the denied callback is
+// reported, while the lock holder's own transaction commits normally.
+TEST_F(ServerTest, LockTimeoutAndCallbackDenialUnderSocketLatency) {
+  StartServer(1, /*lock_timeout_ms=*/250);
+  RemoteClient* a = Connect();
+  ASSERT_TRUE(a->Begin().ok());
+  auto file = a->CreateFile("f");
+  ASSERT_TRUE(file.ok());
+  uint64_t v = 1;
+  auto slot = a->CreateObject(*file, kRawBytesType, 8, &v);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(a->SetRoot("x", *slot).ok());
+  ASSERT_TRUE(a->Commit().ok());
+
+  // Every send on a client socket (named after the server path) now stalls
+  // 2ms; server-side sockets are unnamed and unaffected.
+  fault::FaultSpec lag;
+  lag.action = fault::FaultAction::kLatency;
+  lag.latency_us = 2000;
+  lag.detail_filter = "server.sock";
+  fault::FaultRegistry::Instance().Arm("sock.send", lag);
+
+  // A holds the object in an active transaction.
+  ASSERT_TRUE(a->Begin().ok());
+  auto mine = a->GetRoot("x");
+  ASSERT_TRUE(mine.ok());
+  *reinterpret_cast<uint64_t*>((*mine)->dp) = 10;
+
+  // B's conflicting access still times out cleanly under latency.
+  RemoteClient* b = Connect();
+  ASSERT_TRUE(b->Begin().ok());
+  auto theirs = b->GetRoot("x");
+  if (theirs.ok()) {
+    *reinterpret_cast<uint64_t*>((*theirs)->dp) = 20;
+    EXPECT_FALSE(b->Commit().ok());
+  } else {
+    ASSERT_TRUE(b->Abort().ok());
+  }
+  EXPECT_GT(server_->stats().callbacks_denied, 0u);
+  EXPECT_GT(fault::FaultRegistry::Instance().hits("sock.send"), 0u)
+      << "latency injection never matched a client send";
+
+  // The holder is slowed but not broken.
+  ASSERT_TRUE(a->Commit().ok());
+  fault::FaultRegistry::Instance().DisarmAll();
+
+  ASSERT_TRUE(b->Begin().ok());
+  auto retry = b->GetRoot("x");
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  ASSERT_TRUE(b->Commit().ok());
+}
+
+// A transport failure in the middle of an idempotent RPC is retried through
+// a fresh session; the caller never sees the failure. The active transaction
+// is poisoned (its locks died with the old session), so commit refuses — and
+// the next transaction runs normally.
+TEST_F(ServerTest, RpcRetriesAndReconnectsAfterTransportFailure) {
+  StartServer();
+  RemoteClient* a = Connect();
+  ASSERT_TRUE(a->Begin().ok());
+  auto file = a->CreateFile("f");
+  ASSERT_TRUE(file.ok());
+  uint64_t v = 7;
+  auto slot = a->CreateObject(*file, kRawBytesType, 8, &v);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(a->SetRoot("x", *slot).ok());
+  ASSERT_TRUE(a->Commit().ok());
+
+  RemoteClient* b = Connect();
+  ASSERT_TRUE(b->Begin().ok());
+  // The next reply on a client main channel is torn away mid-RPC.
+  fault::FaultSpec spec = fault::FaultSpec::FailNth(1);
+  spec.detail_filter = "server.sock";
+  fault::FaultRegistry::Instance().Arm("sock.recv", spec);
+
+  auto root = b->GetRoot("x");  // idempotent: retried transparently
+  fault::FaultRegistry::Instance().DisarmAll();
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(*reinterpret_cast<uint64_t*>((*root)->dp), 7u);
+  const auto stats = b->stats();
+  EXPECT_GE(stats.rpc_retries, 1u);
+  EXPECT_GE(stats.reconnects, 1u);
+
+  // The transaction that lived through the reconnect lost its 2PL guarantee.
+  EXPECT_FALSE(b->Commit().ok());
+
+  // The client itself is fully healthy again.
+  ASSERT_TRUE(b->Begin().ok());
+  auto again = b->GetRoot("x");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(*reinterpret_cast<uint64_t*>((*again)->dp), 7u);
+  ASSERT_TRUE(b->Commit().ok());
+}
+
+// Losing the *reply* to a commit leaves the client unsure whether it
+// applied. The ctid makes the retry safe: the server recognizes the replay,
+// answers OK without applying twice, and exactly one commit is visible.
+TEST_F(ServerTest, CommitReplayedAfterLostReplyAppliesOnce) {
+  StartServer();
+  RemoteClient* c = Connect();
+  ASSERT_TRUE(c->Begin().ok());
+  auto file = c->CreateFile("f");
+  ASSERT_TRUE(file.ok());
+  uint64_t v = 1;
+  auto slot = c->CreateObject(*file, kRawBytesType, 8, &v);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(c->SetRoot("x", *slot).ok());
+  ASSERT_TRUE(c->Commit().ok());
+
+  ASSERT_TRUE(c->Begin().ok());
+  auto mine = c->GetRoot("x");
+  ASSERT_TRUE(mine.ok());
+  *reinterpret_cast<uint64_t*>((*mine)->dp) = 2;
+  // The commit is applied server-side, but its reply never arrives.
+  fault::FaultSpec spec = fault::FaultSpec::FailNth(1);
+  spec.detail_filter = "server.sock";
+  fault::FaultRegistry::Instance().Arm("sock.recv", spec);
+  Status s = c->Commit();
+  fault::FaultRegistry::Instance().DisarmAll();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const auto cstats = c->stats();
+  EXPECT_GE(cstats.rpc_retries, 1u);
+  EXPECT_GE(cstats.reconnects, 1u);
+  EXPECT_GE(server_->stats().commit_dedupes, 1u)
+      << "the replayed commit should have been recognized, not re-applied";
+
+  // Exactly-once: the new value is there, and there is exactly one object.
+  RemoteClient* d = Connect();
+  ASSERT_TRUE(d->Begin().ok());
+  auto root = d->GetRoot("x");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(*reinterpret_cast<uint64_t*>((*root)->dp), 2u);
+  ASSERT_TRUE(d->Commit().ok());
+  clients_.clear();
+  server_.reset();
+  auto count = db_->CountObjects(*file);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+}
+
+// 2PC coordinator death between prepare and decision: both participants are
+// left in doubt. When the coordinator's connections drop, each server's
+// dead-session cleanup presumed-aborts the prepared transaction and releases
+// its locks — no update becomes visible, and other clients proceed.
+TEST_F(ServerTest, CoordinatorDeathAtDecisionPresumedAbort) {
+  StartServer(1);
+  Database::Options o2;
+  o2.dir = (base_ / "db2").string();
+  o2.db_id = 2;
+  o2.create = true;
+  auto db2 = Database::Open(o2);
+  ASSERT_TRUE(db2.ok());
+  db2_ = std::move(*db2);
+  BessServer::Options so2;
+  so2.socket_path = (base_ / "server2.sock").string();
+  server2_ = std::make_unique<BessServer>(so2);
+  ASSERT_TRUE(server2_->AddDatabase(db2_.get()).ok());
+  ASSERT_TRUE(server2_->Start().ok());
+
+  // Seed one object per database and capture the db2 object's OID so the
+  // coordinator can reach it through an inter-database reference.
+  RemoteClient* c1 = Connect();
+  ASSERT_TRUE(c1->Begin().ok());
+  auto f1 = c1->CreateFile("f1");
+  ASSERT_TRUE(f1.ok());
+  uint64_t v1 = 100;
+  auto s1 = c1->CreateObject(*f1, kRawBytesType, 8, &v1);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(c1->SetRoot("one", *s1).ok());
+  ASSERT_TRUE(c1->Commit().ok());
+
+  RemoteClient::Options oc2;
+  oc2.server_path = so2.socket_path;
+  oc2.db_id = 2;
+  auto c2r = RemoteClient::Connect(oc2);
+  ASSERT_TRUE(c2r.ok());
+  RemoteClient* c2 = c2r->get();
+  ASSERT_TRUE(c2->Begin().ok());
+  auto f2 = c2->CreateFile("f2");
+  ASSERT_TRUE(f2.ok());
+  uint64_t v2 = 200;
+  auto s2 = c2->CreateObject(*f2, kRawBytesType, 8, &v2);
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(c2->SetRoot("two", *s2).ok());
+  ASSERT_TRUE(c2->Commit().ok());
+  auto oid2 = c2->OidOf(*s2);
+  ASSERT_TRUE(oid2.ok());
+  clients_.push_back(std::move(*c2r));
+
+  // The doomed coordinator: writes in both databases, prepares both, then
+  // "forgets" its decision (injected failure at the decision point) and its
+  // process dies (connections close when the client is destroyed).
+  {
+    RemoteClient::Options oc;
+    oc.server_path = (base_ / "server.sock").string();
+    oc.db_id = 1;
+    auto coordr = RemoteClient::Connect(oc);
+    ASSERT_TRUE(coordr.ok());
+    RemoteClient* coord = coordr->get();
+    ASSERT_TRUE(coord->AddServer(so2.socket_path, {2}).ok());
+    ASSERT_TRUE(coord->Begin().ok());
+    auto r1 = coord->GetRoot("one");
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    auto r2 = coord->Deref(*oid2);
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    *reinterpret_cast<uint64_t*>((*r1)->dp) = 111;
+    *reinterpret_cast<uint64_t*>((*r2)->dp) = 222;
+    fault::FaultRegistry::Instance().Arm(
+        "client.2pc.decision",
+        fault::FaultSpec::FailNth(1, StatusCode::kIOError));
+    Status s = coord->Commit();
+    fault::FaultRegistry::Instance().DisarmAll();
+    EXPECT_FALSE(s.ok());
+    EXPECT_GT(fault::FaultRegistry::Instance().hits("client.2pc.decision"), 0u)
+        << "the transaction never reached the 2PC decision point";
+  }  // coordinator dies here; both sessions drop
+
+  // Each participant reaps the dead session and resolves in doubt ->
+
+  // aborted. Poll: session teardown is asynchronous.
+  for (int i = 0; i < 200; ++i) {
+    if (server_->stats().sessions_reaped > 0 &&
+        server2_->stats().sessions_reaped > 0) {
+      break;
+    }
+    ::usleep(10 * 1000);
+  }
+  EXPECT_GT(server_->stats().sessions_reaped, 0u);
+  EXPECT_GT(server2_->stats().sessions_reaped, 0u);
+
+  // Neither update became visible, and both objects are writable again
+  // (locks and prepared state were cleaned up).
+  RemoteClient* check1 = Connect();
+  ASSERT_TRUE(check1->Begin().ok());
+  auto root1 = check1->GetRoot("one");
+  ASSERT_TRUE(root1.ok()) << root1.status().ToString();
+  EXPECT_EQ(*reinterpret_cast<uint64_t*>((*root1)->dp), 100u);
+  *reinterpret_cast<uint64_t*>((*root1)->dp) = 101;
+  ASSERT_TRUE(check1->Commit().ok());
+
+  RemoteClient::Options oc3;
+  oc3.server_path = so2.socket_path;
+  oc3.db_id = 2;
+  auto check2r = RemoteClient::Connect(oc3);
+  ASSERT_TRUE(check2r.ok());
+  RemoteClient* check2 = check2r->get();
+  ASSERT_TRUE(check2->Begin().ok());
+  auto root2 = check2->GetRoot("two");
+  ASSERT_TRUE(root2.ok()) << root2.status().ToString();
+  EXPECT_EQ(*reinterpret_cast<uint64_t*>((*root2)->dp), 200u);
+  *reinterpret_cast<uint64_t*>((*root2)->dp) = 201;
+  ASSERT_TRUE(check2->Commit().ok());
+  clients_.push_back(std::move(*check2r));
+}
+
+// The second resolution path for in-doubt transactions: the participant
+// itself restarts. Restart recovery presumed-aborts prepared transactions
+// (kPrepare with no decision), so nothing of the page set survives.
+TEST_F(ServerTest, PreparedStateResolvedByRestartRecovery) {
+  Database::Options o;
+  o.dir = (base_ / "db1").string();
+  o.db_id = 1;
+  o.create = true;
+  auto dbr = Database::Open(o);
+  ASSERT_TRUE(dbr.ok());
+  db_ = std::move(*dbr);
+
+  std::vector<PageImage> pages;
+  PageImage img;
+  img.db = 1;
+  img.area = 0;
+  img.page = 100;
+  img.bytes.assign(kPageSize, 'Q');
+  pages.push_back(img);
+  ASSERT_TRUE(db_->PreparePageSet(4242, pages).ok());
+
+  // The coordinator never decides; the storage manager restarts.
+  db_.reset();
+  o.create = false;
+  auto reopened = Database::Open(o);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  db_ = std::move(*reopened);
+
+  // Presumed abort: the transaction is unknown and its pages never forced.
+  EXPECT_TRUE(db_->CommitPrepared(4242).IsNotFound());
+  std::string check(kPageSize, '\0');
+  ASSERT_TRUE(db_->ReadRawPages(0, 100, 1, check.data()).ok());
+  EXPECT_NE(check[0], 'Q');
 }
 
 }  // namespace

@@ -1,0 +1,265 @@
+// WAL crash-recovery torture harness.
+//
+// Each iteration forks a child that runs commit workloads against the
+// database while a seeded crashpoint (SIGKILL — no unwind, no flush) is
+// armed on a random file I/O point. The parent then reopens the database,
+// which runs ARIES restart recovery, and asserts the invariants that define
+// crash consistency:
+//
+//   1. Durability: every commit the child acknowledged is present.
+//   2. Atomicity: all objects of the multi-page commit group carry the same
+//      value — a crash never exposes half a transaction.
+//   3. No phantoms: the recovered value never exceeds the last attempt.
+//   4. Recovery is idempotent: killing the process *during recovery* and
+//      recovering again yields the same consistent state.
+//
+// Everything is driven by one base seed (env BESS_TORTURE_SEED), and each
+// iteration derives its own; failures print the iteration seed so any run
+// reproduces exactly. Iteration count: env BESS_TORTURE_ITERS (default 200,
+// a few seconds — the CI "torture" label budget).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "object/database.h"
+#include "os/fault_injection.h"
+#include "util/random.h"
+
+namespace bess {
+namespace {
+
+constexpr int kObjects = 6;          // one commit touches all of these
+constexpr uint32_t kObjectSize = 1200;  // ~2 data pages per commit group
+constexpr int kMaxTxnsPerChild = 500;   // bound if the crashpoint never fires
+
+struct PipeRecord {
+  uint64_t tag;  // 0 = attempting value, 1 = value acknowledged committed
+  uint64_t value;
+};
+
+std::string RootName(int i) { return "o" + std::to_string(i); }
+
+// The child workload: open (recovery may run — and may be the thing that
+// crashes), then repeatedly bump the shared counter in every object inside
+// one transaction, reporting attempts and acks through the pipe.
+[[noreturn]] void RunCrashChild(const std::string& dir, uint64_t seed,
+                                int report_fd, bool recovery_only) {
+  Random rng(seed);
+  static const char* kPoints[] = {"file.writeat", "file.sync", "file.append",
+                                  "file.readat"};
+  // Recovery-crash children die fast (low nth, reads included); workload
+  // children let the open finish more often (reads excluded).
+  const char* point = recovery_only
+                          ? kPoints[rng.Uniform(4)]
+                          : kPoints[rng.Uniform(3)];
+  const int nth = static_cast<int>(
+      recovery_only ? rng.Range(1, 25) : rng.Range(1, 60));
+  fault::FaultRegistry::Instance().Arm(point,
+                                       fault::FaultSpec::CrashAtNth(nth));
+
+  Database::Options o;
+  o.dir = dir;
+  o.create = false;
+  auto dbr = Database::Open(o);
+  if (!dbr.ok()) ::_exit(3);
+  if (recovery_only) ::_exit(0);  // crashpoint never fired during recovery
+  auto db = std::move(*dbr);
+  auto fid = db->FindFile("f");
+  if (!fid.ok()) ::_exit(3);
+
+  std::string body(kObjectSize, '\0');
+  for (int t = 0; t < kMaxTxnsPerChild; ++t) {
+    auto txn = db->Begin();
+    if (!txn.ok()) ::_exit(3);
+    Slot* slots[kObjects];
+    uint64_t cur = 0;
+    for (int i = 0; i < kObjects; ++i) {
+      auto s = db->GetRoot(RootName(i));
+      if (!s.ok()) ::_exit(3);
+      slots[i] = *s;
+      cur = *reinterpret_cast<const uint64_t*>(slots[i]->dp);
+    }
+    const uint64_t next = cur + 1;
+    PipeRecord attempt{0, next};
+    if (::write(report_fd, &attempt, sizeof(attempt)) != sizeof(attempt)) {
+      ::_exit(3);
+    }
+    // Same value into every object, plus a value-derived fill so a torn
+    // page would corrupt more than just the counter word.
+    memset(body.data(), static_cast<char>('A' + next % 26), body.size());
+    memcpy(body.data(), &next, sizeof(next));
+    for (int i = 0; i < kObjects; ++i) {
+      memcpy(reinterpret_cast<void*>(slots[i]->dp), body.data(), body.size());
+    }
+    if (!db->Commit(*txn).ok()) ::_exit(3);
+    PipeRecord acked{1, next};
+    if (::write(report_fd, &acked, sizeof(acked)) != sizeof(acked)) {
+      ::_exit(3);
+    }
+  }
+  ::_exit(0);  // the crashpoint never fired: clean exit, still verified
+}
+
+class TortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bess_torture_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Creates the database with kObjects root objects all holding value 0.
+  void SeedDatabase() {
+    Database::Options o;
+    o.dir = dir_.string();
+    o.create = true;
+    auto dbr = Database::Open(o);
+    ASSERT_TRUE(dbr.ok()) << dbr.status().ToString();
+    auto db = std::move(*dbr);
+    auto file = db->CreateFile("f");
+    ASSERT_TRUE(file.ok());
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    std::string body(kObjectSize, 'A');
+    uint64_t zero = 0;
+    memcpy(body.data(), &zero, sizeof(zero));
+    for (int i = 0; i < kObjects; ++i) {
+      auto slot = db->CreateObject(*file, kRawBytesType, kObjectSize,
+                                   body.data());
+      ASSERT_TRUE(slot.ok());
+      ASSERT_TRUE(db->SetRoot(RootName(i), *slot).ok());
+    }
+    ASSERT_TRUE(db->Commit(*txn).ok());
+  }
+
+  // Forks a crash child and collects what it reported before dying.
+  // Returns false only on harness failure (child hit an unexpected error).
+  bool RunChild(uint64_t seed, bool recovery_only, uint64_t* max_attempt,
+                uint64_t* max_acked) {
+    int pipefd[2];
+    EXPECT_EQ(::pipe(pipefd), 0);
+    const pid_t pid = ::fork();
+    EXPECT_GE(pid, 0);
+    if (pid == 0) {
+      ::close(pipefd[0]);
+      RunCrashChild(dir_.string(), seed, pipefd[1], recovery_only);
+    }
+    ::close(pipefd[1]);
+    PipeRecord rec;
+    for (;;) {
+      const ssize_t n = ::read(pipefd[0], &rec, sizeof(rec));
+      if (n != sizeof(rec)) break;  // EOF: the child died (or finished)
+      if (rec.tag == 0) {
+        *max_attempt = std::max(*max_attempt, rec.value);
+      } else {
+        *max_acked = std::max(*max_acked, rec.value);
+      }
+    }
+    ::close(pipefd[0]);
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    EXPECT_TRUE(killed || clean)
+        << "child failed unexpectedly, status=" << status << " seed=" << seed;
+    return killed || clean;
+  }
+
+  // Reopens the database (running recovery) and asserts the ARIES
+  // invariants; returns the recovered counter value.
+  uint64_t VerifyConsistent(uint64_t max_attempt, uint64_t max_acked,
+                            uint64_t seed) {
+    Database::Options o;
+    o.dir = dir_.string();
+    o.create = false;
+    auto dbr = Database::Open(o);
+    EXPECT_TRUE(dbr.ok()) << "recovery failed: " << dbr.status().ToString()
+                          << " seed=" << seed;
+    if (!dbr.ok()) return 0;
+    auto db = std::move(*dbr);
+    uint64_t value = 0;
+    for (int i = 0; i < kObjects; ++i) {
+      auto s = db->GetRoot(RootName(i));
+      EXPECT_TRUE(s.ok()) << "root lost, seed=" << seed;
+      if (!s.ok()) return 0;
+      const uint64_t v = *reinterpret_cast<const uint64_t*>((*s)->dp);
+      const char* body = reinterpret_cast<const char*>((*s)->dp);
+      if (i == 0) {
+        value = v;
+      } else {
+        // Atomicity: one commit updates all objects or none.
+        EXPECT_EQ(v, value) << "torn commit visible at object " << i
+                            << ", seed=" << seed;
+      }
+      // The fill bytes must match the counter (no partial page survived).
+      const char want = static_cast<char>('A' + v % 26);
+      EXPECT_EQ(body[sizeof(uint64_t)], want)
+          << "page fill torn at object " << i << ", seed=" << seed;
+      EXPECT_EQ(body[kObjectSize - 1], want)
+          << "page tail torn at object " << i << ", seed=" << seed;
+    }
+    // Durability: acked commits survived. No phantoms: nothing beyond the
+    // last attempt materialized.
+    EXPECT_GE(value, max_acked) << "acked commit lost, seed=" << seed;
+    EXPECT_LE(value, max_attempt) << "phantom commit, seed=" << seed;
+    return value;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TortureTest, RandomizedCrashpoints) {
+  uint64_t base_seed = 0xBE55BE55ull;
+  if (const char* env = std::getenv("BESS_TORTURE_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
+  int iters = 200;
+  if (const char* env = std::getenv("BESS_TORTURE_ITERS")) {
+    iters = std::atoi(env);
+  }
+  SCOPED_TRACE("base seed " + std::to_string(base_seed) +
+               " (set BESS_TORTURE_SEED to reproduce)");
+  SeedDatabase();
+
+  Random seeder(base_seed);
+  uint64_t floor_value = 0;   // recovered value is monotone across crashes
+  uint64_t max_attempt = 0;
+  uint64_t max_acked = 0;
+  for (int iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = seeder.Next();
+    ASSERT_TRUE(RunChild(seed, /*recovery_only=*/false, &max_attempt,
+                         &max_acked))
+        << "iter=" << iter << " seed=" << seed;
+
+    // Every third iteration, also kill a process *while it recovers* —
+    // recovery must be restartable (repeating history is idempotent).
+    if (iter % 3 == 2) {
+      const uint64_t rseed = seeder.Next();
+      uint64_t ignored_a = 0, ignored_b = 0;
+      ASSERT_TRUE(RunChild(rseed, /*recovery_only=*/true, &ignored_a,
+                           &ignored_b))
+          << "iter=" << iter << " recovery seed=" << rseed;
+    }
+
+    const uint64_t value = VerifyConsistent(max_attempt, max_acked, seed);
+    ASSERT_GE(value, floor_value)
+        << "recovered state went backwards, iter=" << iter
+        << " seed=" << seed;
+    floor_value = value;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping after first failing iteration " << iter
+             << ", seed=" << seed << " (base " << base_seed << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bess
