@@ -145,5 +145,6 @@ int main() {
   printf("\nExpectation: buddy trades internal waste (power-of-two rounding)\n"
          "for bounded external fragmentation and O(log n) coalescing; the\n"
          "first-fit baseline fragments its free space under churn.\n");
+  WriteMetricsSidecar("bench_buddy");
   return 0;
 }

@@ -154,5 +154,6 @@ int main() {
          "write-shared data forces callbacks, narrowing the gap — the\n"
          "classic callback-locking profile [13, 32].\n");
   server.Stop();
+  WriteMetricsSidecar("bench_callback");
   return 0;
 }

@@ -122,5 +122,6 @@ int main() {
          "hot pages one sweep ago and evict them — a refetch per page per\n"
          "sweep. This is the paper's reason for deriving recency from the\n"
          "frame protection state (§4.2).\n");
+  WriteMetricsSidecar("bench_clock");
   return 0;
 }

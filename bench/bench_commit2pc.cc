@@ -221,5 +221,6 @@ int main() {
   printf("\nExpectation: commit latency grows with participants and link\n"
          "latency (two phases = two round trips per participant); lock\n"
          "cycles across clients resolve within the timeout (§3).\n");
+  WriteMetricsSidecar("bench_commit2pc");
   return 0;
 }

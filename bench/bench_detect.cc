@@ -137,5 +137,6 @@ int main() {
   printf("\nExpectation: hardware detection's fault count tracks touched\n"
          "pages (not stores) and read-mostly work costs nothing; the\n"
          "conservative software model locks an order of magnitude more.\n");
+  WriteMetricsSidecar("bench_detect");
   return 0;
 }

@@ -106,5 +106,6 @@ int main() {
   printf("\nExpectation: a never-hooked event costs one atomic load; the\n"
          "per-transaction overhead of a registered commit hook is noise\n"
          "against real transaction work.\n");
+  WriteMetricsSidecar("bench_hooks");
   return 0;
 }

@@ -147,5 +147,6 @@ int main() {
   printf("\n(*) append writes everything once in both designs.\n"
          "Expectation: insert/delete cost is O(extent) for BeSS and O(tail)\n"
          "for the flat layout — the gap grows linearly with object size.\n");
+  WriteMetricsSidecar("bench_largeobj");
   return 0;
 }

@@ -19,7 +19,9 @@
 
 #include "cache/private_pool.h"
 #include "cache/shared_cache.h"
+#include "obs/metrics.h"
 #include "os/socket.h"
+#include "wal/log_manager.h"
 #include "workload.h"
 
 using namespace bessbench;
@@ -35,6 +37,10 @@ class PageServer {
  public:
   PageServer(const std::string& sock_path, const std::string& file_path)
       : file_path_(file_path) {
+    // Durability for shipped commits: page images go through a WAL and are
+    // forced before the ack, like the real server (no-steal/force, §3).
+    auto wal = LogManager::Open(file_path + ".wal");
+    if (wal.ok()) wal_ = std::move(*wal);
     auto l = MsgListener::Listen(sock_path);
     listener_ = std::move(*l);
     accept_thread_ = std::thread([this] {
@@ -80,6 +86,19 @@ class PageServer {
       } else if (msg->type == kMsgCommit) {
         auto pages = DecodePageSet(msg->payload);
         if (pages.ok()) {
+          if (wal_ != nullptr) {
+            std::lock_guard<std::mutex> guard(wal_mutex_);
+            for (const PageImage& img : *pages) {
+              LogRecord rec;
+              rec.type = LogRecordType::kPageWrite;
+              rec.page = PageAddr{img.db, img.area, img.page};
+              rec.after = img.bytes;
+              (void)wal_->Append(rec);
+            }
+            LogRecord commit;
+            commit.type = LogRecordType::kCommit;
+            (void)wal_->AppendAndFlush(commit);
+          }
           for (const PageImage& img : *pages) {
             (void)f->WriteAt(static_cast<uint64_t>(img.page) * kPageSize,
                              img.bytes.data(), kPageSize);
@@ -91,6 +110,8 @@ class PageServer {
   }
 
   std::string file_path_;
+  std::unique_ptr<LogManager> wal_;
+  std::mutex wal_mutex_;
   MsgListener listener_;
   std::thread accept_thread_;
   std::vector<std::thread> threads_;
@@ -311,6 +332,9 @@ double RunMode(bool shared_mode, const TempDir& dir, const WorkerArgs& args) {
 
 int main() {
   setvbuf(stdout, nullptr, _IONBF, 0);
+  // Materialize the default (MAP_SHARED) registry before any fork so the
+  // worker processes aggregate into this process's metrics block.
+  obs::Registry::Default();
   PrintHeader(
       "E8: operation modes — copy on access vs shared memory (§4, §6)",
       "txn shape (R+W)   copy-on-access txn/s   shared-memory txn/s   "
@@ -335,5 +359,6 @@ int main() {
          "transaction must ship; its cost is only the latch per write\n"
          "(§4.1). Copy-on-access remains the safe default for untrusted\n"
          "code: processes never touch shared control state.\n");
+  WriteMetricsSidecar("bench_modes");
   return 0;
 }

@@ -74,5 +74,6 @@ int main() {
          "calls\", ref [31]). The relative overhead therefore tracks the\n"
          "host's syscall latency; creation-heavy microloops are the worst\n"
          "case, read-mostly applications amortize it to near zero.\n");
+  WriteMetricsSidecar("bench_protect");
   return 0;
 }

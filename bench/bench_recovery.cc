@@ -133,5 +133,6 @@ int main() {
          "checkpoints truncate it to near zero (force + no-steal makes the\n"
          "whole log redundant); concurrent committers share fdatasyncs\n"
          "(syncs per transaction falls below the single-committer line).\n");
+  WriteMetricsSidecar("bench_recovery");
   return 0;
 }

@@ -90,5 +90,6 @@ int main() {
   printf("\nExpectation: for sparse access (few hops) the greedy policy\n"
          "reserves and fetches far more than it uses; the gap closes only\n"
          "when the traversal really touches the whole database.\n");
+  WriteMetricsSidecar("bench_reserve");
   return 0;
 }

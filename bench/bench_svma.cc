@@ -112,5 +112,6 @@ int main() {
          "second chance is a single mprotect, far cheaper than a refetch.\n");
   ::shm_unlink(shm_name.c_str());
   (void)sink;
+  WriteMetricsSidecar("bench_svma");
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "workload.h"
 
+#include <cstdlib>
+
 namespace bessbench {
 
 Result<std::vector<Slot*>> BuildGraph(Database* db, uint16_t file_id,
@@ -50,6 +52,22 @@ uint64_t Traverse(Slot* root, int hops, uint64_t seed) {
     cur = reinterpret_cast<Slot*>(next);
   }
   return sum;
+}
+
+void WriteMetricsSidecar(const std::string& bench_name) {
+  std::string dir = ".";
+  if (const char* env = ::getenv("BESS_METRICS_DIR")) dir = env;
+  const std::string path = dir + "/" + bench_name + ".metrics.json";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "metrics sidecar: cannot open %s\n", path.c_str());
+    return;
+  }
+  const std::string json = Snapshot().ToJson();
+  fwrite(json.data(), 1, json.size(), f);
+  fputc('\n', f);
+  fclose(f);
+  printf("[metrics sidecar: %s]\n", path.c_str());
 }
 
 }  // namespace bessbench

@@ -90,6 +90,11 @@ inline void PrintHeader(const std::string& title, const std::string& columns) {
   fflush(stdout);
 }
 
+/// Writes the process-wide metrics snapshot as `<bench>.metrics.json` next
+/// to the binary (or into $BESS_METRICS_DIR). Call at the end of main();
+/// forked workers sharing Registry::Default() aggregate into this file.
+void WriteMetricsSidecar(const std::string& bench_name);
+
 }  // namespace bessbench
 
 #endif  // BESS_BENCH_WORKLOAD_H_

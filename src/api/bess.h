@@ -1,197 +1,13 @@
-// bess/bess.h — the public BeSS interface (paper §2.5).
+// api/bess.h — deprecated umbrella.
 //
-// Object retrieval is implicit, via dereference of typed references in the
-// style of ODMG-93 [14]:
-//
-//   bess::ref<Person> p = ...;
-//   std::cout << p->spouse->name;   // faults, swizzles, locks — transparent
-//
-// `ref<T>` encapsulates a pointer to the object header (slot); it behaves
-// like a `T*` and can be passed where a `T*` is expected. `global_ref<T>`
-// encapsulates an OID — location-independent identity, somewhat slower to
-// dereference. `shm_ref<T>` translates pointers between a process's PVMA
-// and the shared virtual address space of the shared-memory operation mode
-// (§4.1.2). Named root objects are retrieved explicitly from the database's
-// root directory.
-//
-// This header is a facade: it pulls the subsystem headers together and adds
-// the typed-reference sugar plus a scoped transaction guard.
+// The facade split in two: include "bess/bess.h" for the application
+// surface (refs, TxnGuard, stats snapshot) and "bess/bess_internal.h" for
+// the embedder surface (server, caches, hooks, large objects). This header
+// keeps old includes building by pulling in both.
 #ifndef BESS_API_BESS_H_
 #define BESS_API_BESS_H_
 
-#include "cache/private_pool.h"
-#include "cache/shared_cache.h"
-#include "hooks/hooks.h"
-#include "lob/large_object.h"
-#include "object/database.h"
-#include "server/bess_server.h"
-#include "server/node_server.h"
-#include "server/remote_client.h"
-
-namespace bess {
-
-/// Typed reference to a persistent object: wraps a pointer to the object
-/// header (slot). Dereference touches the slot and then the data, letting
-/// the fault machinery fetch/swizzle/lock on demand (§2.1, §2.5).
-///
-/// Forward objects (inter-database references, §2.1) are followed
-/// transparently on first dereference and the resolution is memoized.
-template <typename T>
-class ref {
- public:
-  ref() = default;
-  explicit ref(Slot* slot) : slot_(slot) {}
-
-  /// Builds a ref from a raw reference field of another persistent object
-  /// (a swizzled pointer to a slot).
-  static ref FromField(uint64_t field) {
-    return ref(reinterpret_cast<Slot*>(field));
-  }
-
-  bool valid() const { return slot_ != nullptr; }
-  explicit operator bool() const { return valid(); }
-
-  Slot* slot() const { return slot_; }
-
-  /// The object's bytes. Follows forward objects once.
-  T* get() const {
-    if (slot_ == nullptr) return nullptr;
-    Slot* s = slot_;
-    if (s->flags & kSlotForward) {
-      Database* db = Database::FindByAddress(s);
-      if (db != nullptr) {
-        auto resolved = db->ResolveForward(s);
-        if (resolved.ok()) {
-          s = *resolved;
-          slot_ = s;  // memoize
-        }
-      }
-    }
-    return reinterpret_cast<T*>(s->dp);
-  }
-
-  T* operator->() const { return get(); }
-  T& operator*() const { return *get(); }
-  operator T*() const { return get(); }  // NOLINT: pass as T* (§2.5)
-
-  /// The raw field value to store inside another persistent object.
-  uint64_t AsField() const { return reinterpret_cast<uint64_t>(slot_); }
-
-  bool operator==(const ref& o) const { return slot_ == o.slot_; }
-  bool operator!=(const ref& o) const { return slot_ != o.slot_; }
-
- private:
-  mutable Slot* slot_ = nullptr;
-};
-
-/// Reference by OID — explicit identity, resolved through the database
-/// registry; "access via this mechanism is somewhat slower" (§2.5).
-template <typename T>
-class global_ref {
- public:
-  global_ref() = default;
-  explicit global_ref(const Oid& oid) : oid_(oid) {}
-
-  const Oid& oid() const { return oid_; }
-  bool valid() const { return oid_.valid(); }
-
-  /// Resolves to a fast in-memory ref (NotFound on stale OIDs).
-  Result<ref<T>> Resolve() const {
-    Database* db = Database::FindById(oid_.db);
-    if (db == nullptr) {
-      return Status::NotFound("database " + std::to_string(oid_.db) +
-                              " is not open");
-    }
-    BESS_ASSIGN_OR_RETURN(Slot * slot, db->Deref(oid_));
-    return ref<T>(slot);
-  }
-
- private:
-  Oid oid_;
-};
-
-/// Shared-memory-mode reference (§4.1.2): stores an SVMA offset, valid for
-/// every process attached to the node cache; translation to a process
-/// pointer adds the local PVMA base.
-template <typename T>
-class shm_ref {
- public:
-  shm_ref() = default;
-  explicit shm_ref(uint64_t svma) : svma_(svma) {}
-
-  static Result<shm_ref> FromPointer(SharedPageSpace* space, const T* ptr) {
-    BESS_ASSIGN_OR_RETURN(uint64_t svma, space->ToSvma(ptr));
-    return shm_ref(svma);
-  }
-
-  T* get(SharedPageSpace* space) const {
-    return static_cast<T*>(space->FromSvma(svma_));
-  }
-
-  uint64_t svma() const { return svma_; }
-  bool operator==(const shm_ref& o) const { return svma_ == o.svma_; }
-
- private:
-  uint64_t svma_ = 0;
-};
-
-/// Scoped transaction: begins on construction; aborts on destruction unless
-/// Commit() was called.
-class Transaction {
- public:
-  explicit Transaction(Database* db) : db_(db) {
-    auto txn = db->Begin();
-    if (txn.ok()) txn_ = *txn;
-    else status_ = txn.status();
-  }
-  ~Transaction() {
-    if (txn_ != nullptr) (void)db_->Abort(txn_);
-  }
-  Transaction(const Transaction&) = delete;
-  Transaction& operator=(const Transaction&) = delete;
-
-  /// The status of Begin (check when construction might race another
-  /// transaction on this thread).
-  const Status& begin_status() const { return status_; }
-  bool active() const { return txn_ != nullptr; }
-  Txn* handle() const { return txn_; }
-
-  Status Commit() {
-    if (txn_ == nullptr) return Status::InvalidArgument("no transaction");
-    Txn* t = txn_;
-    txn_ = nullptr;
-    return db_->Commit(t);
-  }
-
-  Status Abort() {
-    if (txn_ == nullptr) return Status::InvalidArgument("no transaction");
-    Txn* t = txn_;
-    txn_ = nullptr;
-    return db_->Abort(t);
-  }
-
- private:
-  Database* db_;
-  Txn* txn_ = nullptr;
-  Status status_;
-};
-
-/// Typed object creation (§2.5): size and type descriptor are supplied by
-/// the caller's registered type; returns a typed ref.
-template <typename T>
-Result<ref<T>> CreateObject(Database* db, uint16_t file_id, TypeIdx type) {
-  BESS_ASSIGN_OR_RETURN(Slot * slot,
-                        db->CreateObject(file_id, type, sizeof(T)));
-  return ref<T>(slot);
-}
-
-/// Typed root lookup.
-template <typename T>
-Result<ref<T>> GetRoot(Database* db, const std::string& name) {
-  BESS_ASSIGN_OR_RETURN(Slot * slot, db->GetRoot(name));
-  return ref<T>(slot);
-}
-
-}  // namespace bess
+#include "bess/bess.h"           // IWYU pragma: export
+#include "bess/bess_internal.h"  // IWYU pragma: export
 
 #endif  // BESS_API_BESS_H_

@@ -1,0 +1,234 @@
+// bess/bess.h — the public BeSS interface (paper §2.5).
+//
+// Object retrieval is implicit, via dereference of typed references in the
+// style of ODMG-93 [14]:
+//
+//   bess::ref<Person> p = ...;
+//   std::cout << p->spouse->name;   // faults, swizzles, locks — transparent
+//
+// `ref<T>` encapsulates a pointer to the object header (slot); it behaves
+// like a `T*` and can be passed where a `T*` is expected. `global_ref<T>`
+// encapsulates an OID — location-independent identity, somewhat slower to
+// dereference. `shm_ref<T>` translates pointers between a process's PVMA
+// and the shared virtual address space of the shared-memory operation mode
+// (§4.1.2). Named root objects are retrieved explicitly from the database's
+// root directory.
+//
+// This header is the application-facing surface: typed references, the
+// TxnGuard scoped transaction, typed create/root helpers, and the metrics
+// snapshot (bess::Snapshot / bess::Stats). Embedders that host a server,
+// reach into the caches, or install hooks want bess/bess_internal.h.
+#ifndef BESS_BESS_H_
+#define BESS_BESS_H_
+
+#include "object/database.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+
+namespace bess {
+
+class SharedPageSpace;  // bess_internal.h / cache/shared_cache.h
+
+/// Typed reference to a persistent object: wraps a pointer to the object
+/// header (slot). Dereference touches the slot and then the data, letting
+/// the fault machinery fetch/swizzle/lock on demand (§2.1, §2.5).
+///
+/// Forward objects (inter-database references, §2.1) are followed
+/// transparently on first dereference and the resolution is memoized.
+///
+/// Contract: get() (and therefore ->, *, and the T* conversion) returns
+/// nullptr when the reference is null OR when it designates a forward
+/// object whose target cannot be resolved (target database not open, stale
+/// OID, unreadable forward payload). It never returns a pointer into the
+/// forward object's own bytes. Each failed resolution also increments the
+/// `api.forward_resolve.fail` counter, so a workload that silently loses
+/// objects shows up in the stats snapshot.
+template <typename T>
+class ref {
+ public:
+  ref() = default;
+  explicit ref(Slot* slot) : slot_(slot) {}
+
+  /// Builds a ref from a raw reference field of another persistent object
+  /// (a swizzled pointer to a slot).
+  static ref FromField(uint64_t field) {
+    return ref(reinterpret_cast<Slot*>(field));
+  }
+
+  bool valid() const { return slot_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  Slot* slot() const { return slot_; }
+
+  /// The object's bytes; nullptr for null refs and unresolvable forwards
+  /// (see the class contract above). Successful forward resolution is
+  /// memoized, failure is re-attempted on the next dereference.
+  T* get() const {
+    if (slot_ == nullptr) return nullptr;
+    Slot* s = slot_;
+    if (s->flags & kSlotForward) {
+      Database* db = Database::FindByAddress(s);
+      Result<Slot*> resolved =
+          db != nullptr ? db->ResolveForward(s)
+                        : Result<Slot*>(Status::NotFound(
+                              "forward slot outside any open database"));
+      if (!resolved.ok()) {
+        BESS_COUNT("api.forward_resolve.fail");
+        return nullptr;
+      }
+      s = *resolved;
+      slot_ = s;  // memoize
+    }
+    return reinterpret_cast<T*>(s->dp);
+  }
+
+  T* operator->() const { return get(); }
+  T& operator*() const { return *get(); }
+  operator T*() const { return get(); }  // NOLINT: pass as T* (§2.5)
+
+  /// The raw field value to store inside another persistent object.
+  uint64_t AsField() const { return reinterpret_cast<uint64_t>(slot_); }
+
+  bool operator==(const ref& o) const { return slot_ == o.slot_; }
+  bool operator!=(const ref& o) const { return slot_ != o.slot_; }
+
+ private:
+  mutable Slot* slot_ = nullptr;
+};
+
+/// Reference by OID — explicit identity, resolved through the database
+/// registry; "access via this mechanism is somewhat slower" (§2.5).
+template <typename T>
+class global_ref {
+ public:
+  global_ref() = default;
+  explicit global_ref(const Oid& oid) : oid_(oid) {}
+
+  const Oid& oid() const { return oid_; }
+  bool valid() const { return oid_.valid(); }
+
+  /// Resolves to a fast in-memory ref (NotFound on stale OIDs).
+  Result<ref<T>> Resolve() const {
+    Database* db = Database::FindById(oid_.db);
+    if (db == nullptr) {
+      return Status::NotFound("database " + std::to_string(oid_.db) +
+                              " is not open");
+    }
+    BESS_ASSIGN_OR_RETURN(Slot * slot, db->Deref(oid_));
+    return ref<T>(slot);
+  }
+
+ private:
+  Oid oid_;
+};
+
+/// Shared-memory-mode reference (§4.1.2): stores an SVMA offset, valid for
+/// every process attached to the node cache; translation to a process
+/// pointer adds the local PVMA base. Methods taking a SharedPageSpace*
+/// require bess/bess_internal.h (or cache/shared_cache.h) at the call site.
+template <typename T>
+class shm_ref {
+ public:
+  shm_ref() = default;
+  explicit shm_ref(uint64_t svma) : svma_(svma) {}
+
+  template <typename Space = SharedPageSpace>
+  static Result<shm_ref> FromPointer(Space* space, const T* ptr) {
+    BESS_ASSIGN_OR_RETURN(uint64_t svma, space->ToSvma(ptr));
+    return shm_ref(svma);
+  }
+
+  template <typename Space = SharedPageSpace>
+  T* get(Space* space) const {
+    return static_cast<T*>(space->FromSvma(svma_));
+  }
+
+  uint64_t svma() const { return svma_; }
+  bool operator==(const shm_ref& o) const { return svma_ == o.svma_; }
+
+ private:
+  uint64_t svma_ = 0;
+};
+
+/// Scoped transaction: begins on construction; aborts on destruction unless
+/// Commit() was called. Commit() reports what the commit cost.
+class TxnGuard {
+ public:
+  explicit TxnGuard(Database* db) : db_(db) {
+    auto txn = db->Begin();
+    if (txn.ok()) txn_ = *txn;
+    else status_ = txn.status();
+  }
+  ~TxnGuard() {
+    if (txn_ != nullptr) (void)db_->Abort(txn_);
+  }
+  TxnGuard(const TxnGuard&) = delete;
+  TxnGuard& operator=(const TxnGuard&) = delete;
+
+  /// The status of Begin (check when construction might race another
+  /// transaction on this thread).
+  const Status& begin_status() const { return status_; }
+  bool active() const { return txn_ != nullptr; }
+  Txn* handle() const { return txn_; }
+
+  /// Commits and returns what it cost (log bytes appended, pages forced,
+  /// locks released, wall time). InvalidArgument when no transaction is
+  /// active; the engine's error otherwise.
+  Result<CommitStats> Commit() {
+    if (txn_ == nullptr) return Status::InvalidArgument("no transaction");
+    Txn* t = txn_;
+    txn_ = nullptr;
+    CommitStats stats;
+    BESS_RETURN_IF_ERROR(db_->Commit(t, &stats));
+    return stats;
+  }
+
+  Status Abort() {
+    if (txn_ == nullptr) return Status::InvalidArgument("no transaction");
+    Txn* t = txn_;
+    txn_ = nullptr;
+    return db_->Abort(t);
+  }
+
+ private:
+  Database* db_;
+  Txn* txn_ = nullptr;
+  Status status_;
+};
+
+/// Deprecated spelling of TxnGuard with a Status-returning Commit(). New
+/// code should use TxnGuard and inspect the CommitStats.
+class Transaction {
+ public:
+  explicit Transaction(Database* db) : guard_(db) {}
+
+  const Status& begin_status() const { return guard_.begin_status(); }
+  bool active() const { return guard_.active(); }
+  Txn* handle() const { return guard_.handle(); }
+
+  Status Commit() { return guard_.Commit().status(); }
+  Status Abort() { return guard_.Abort(); }
+
+ private:
+  TxnGuard guard_;
+};
+
+/// Typed object creation (§2.5): size and type descriptor are supplied by
+/// the caller's registered type; returns a typed ref.
+template <typename T>
+Result<ref<T>> CreateObject(Database* db, uint16_t file_id, TypeIdx type) {
+  BESS_ASSIGN_OR_RETURN(Slot * slot,
+                        db->CreateObject(file_id, type, sizeof(T)));
+  return ref<T>(slot);
+}
+
+/// Typed root lookup.
+template <typename T>
+Result<ref<T>> GetRoot(Database* db, const std::string& name) {
+  BESS_ASSIGN_OR_RETURN(Slot * slot, db->GetRoot(name));
+  return ref<T>(slot);
+}
+
+}  // namespace bess
+
+#endif  // BESS_BESS_H_

@@ -1,0 +1,21 @@
+// bess/bess_internal.h — the embedder surface.
+//
+// Everything an application needs beyond plain object access: hosting a
+// page/object server, talking to one remotely, the client-side caches of
+// both operation modes (copy-on-access private pools, shared-memory node
+// cache), large-object streams, and the event-hook registry. Applications
+// that only create, dereference and commit objects should include
+// bess/bess.h alone — it compiles faster and exposes no server machinery.
+#ifndef BESS_BESS_INTERNAL_H_
+#define BESS_BESS_INTERNAL_H_
+
+#include "bess/bess.h"
+#include "cache/private_pool.h"
+#include "cache/shared_cache.h"
+#include "hooks/hooks.h"
+#include "lob/large_object.h"
+#include "server/bess_server.h"
+#include "server/node_server.h"
+#include "server/remote_client.h"
+
+#endif  // BESS_BESS_INTERNAL_H_

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "os/vmem.h"
 #include "util/logging.h"
 
@@ -51,10 +52,12 @@ Status PrivateBufferPool::EvictFrame(uint32_t f) {
     BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page, 1,
                                             FrameAddr(f)));
     stats_.dirty_writebacks++;
+    BESS_COUNT("cache.writeback");
   }
   page_table_.erase(info.page_key);
   info = FrameInfo{};
   stats_.evictions++;
+  BESS_COUNT("cache.eviction");
   return Status::OK();
 }
 
@@ -99,10 +102,14 @@ Result<void*> PrivateBufferPool::Fix(PageAddr page, bool for_write) {
     }
     if (for_write && !info.dirty) {
       info.dirty = true;
+      // Clean frame fixed for write: the software flavour of the same
+      // write-detection event OnFault counts for hardware detection.
+      BESS_COUNT("vm.fault.detect");
       BESS_RETURN_IF_ERROR(
           vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite));
     }
     stats_.hits++;
+    BESS_COUNT("cache.hit");
     return FrameAddr(f);
   }
 
@@ -121,6 +128,7 @@ Result<void*> PrivateBufferPool::Fix(PageAddr page, bool for_write) {
   }
   page_table_[key] = f;
   stats_.misses++;
+  BESS_COUNT("cache.miss");
   return FrameAddr(f);
 }
 
@@ -151,6 +159,7 @@ Status PrivateBufferPool::FlushDirty() {
     }
     info.dirty = false;
     stats_.dirty_writebacks++;
+    BESS_COUNT("cache.writeback");
   }
   return Status::OK();
 }
@@ -194,6 +203,7 @@ bool PrivateBufferPool::OnFault(void* addr, bool is_write) {
   if (info.state == kAccessible && !info.dirty) {
     // Readable frame faulted: must be the first store — update detection.
     info.dirty = true;
+    BESS_COUNT("vm.fault.detect");
     return vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite).ok();
   }
   return false;

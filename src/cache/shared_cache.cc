@@ -5,6 +5,7 @@
 #include <string.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "os/vmem.h"
 #include "util/logging.h"
 
@@ -271,12 +272,14 @@ Result<uint32_t> SharedPageSpace::AcquireSlot() {
                                                   addr.page, 1,
                                                   cache_.frame_data(s)));
           meta->dirty.store(0, std::memory_order_release);
+          BESS_COUNT("cache.writeback");
         }
         SmtEntry* old_entry = cache_.FindEntry(old_key);
         if (old_entry != nullptr) {
           old_entry->slot.store(kNoFrame, std::memory_order_release);
         }
         stats_.evictions++;
+        BESS_COUNT("cache.eviction");
       }
       meta->page_key.store(0, std::memory_order_release);
       return s;
@@ -296,6 +299,7 @@ Result<uint32_t> SharedPageSpace::EnsureResident(SmtEntry* entry) {
   if (s != kNoFrame &&
       cache_.slot(s)->page_key.load(std::memory_order_acquire) == key) {
     stats_.hits++;
+    BESS_COUNT("cache.hit");
     return s;
   }
   BESS_ASSIGN_OR_RETURN(s, AcquireSlot());
@@ -307,6 +311,7 @@ Result<uint32_t> SharedPageSpace::EnsureResident(SmtEntry* entry) {
   cache_.slot(s)->page_key.store(key, std::memory_order_release);
   entry->slot.store(s, std::memory_order_release);
   stats_.misses++;
+  BESS_COUNT("cache.miss");
   return s;
 }
 
@@ -319,6 +324,7 @@ Result<void*> SharedPageSpace::Fix(PageAddr page, bool for_write) {
 
   if (frame_state_[vframe] == kAccessible) {
     stats_.hits++;
+    BESS_COUNT("cache.hit");
   } else if (frame_state_[vframe] == kProtected) {
     // Second chance: the binding is intact, only access was revoked.
     BESS_RETURN_IF_ERROR(vmem::Protect(addr, kPageSize, vmem::kReadWrite));
@@ -331,7 +337,10 @@ Result<void*> SharedPageSpace::Fix(PageAddr page, bool for_write) {
   }
   if (for_write) {
     const uint32_t s = frame_slot_[vframe];
-    cache_.slot(s)->dirty.store(1, std::memory_order_release);
+    if (cache_.slot(s)->dirty.exchange(1, std::memory_order_release) == 0) {
+      // Clean slot fixed for write: software write detection (§2.3).
+      BESS_COUNT("vm.fault.detect");
+    }
   }
   return addr;
 }

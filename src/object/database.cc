@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "hooks/hooks.h"
+#include "obs/trace.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
 #include "vm/mem_store.h"
@@ -427,6 +428,7 @@ Result<Txn*> Database::Begin() {
   txn->id = NextTxnId();
   txn->db = this;
   tl_txn = txn;
+  BESS_COUNT("txn.begin");
   EventContext ctx;
   ctx.a = txn->id;
   (void)FireEvent(Event::kTransactionBegin, ctx);
@@ -492,7 +494,8 @@ Status Database::LogAndForce(TxnId txn_id,
   return Status::OK();
 }
 
-Status Database::Commit(Txn* txn) {
+Status Database::Commit(Txn* txn, CommitStats* out) {
+  const uint64_t start_ns = obs::Trace::NowNs();
   if (txn == nullptr || txn != tl_txn) {
     return Status::InvalidArgument("commit of foreign transaction");
   }
@@ -544,6 +547,7 @@ Status Database::Commit(Txn* txn) {
     }
   }
 
+  const Lsn wal_before = wal_ != nullptr ? wal_->tail_lsn() : 0;
   Status s = LogAndForce(txn->id, pages);
   if (!s.ok()) {
     // Commit failed before any page hit the areas (WAL write/flush error) —
@@ -554,12 +558,24 @@ Status Database::Commit(Txn* txn) {
     return s;
   }
   BESS_RETURN_IF_ERROR(mapper_->MarkCleanFor(seg_pred, page_pred));
+  const size_t locks_held = locks_.HeldKeys(txn->id).size();
   locks_.ReleaseAll(txn->id);
   EventContext ctx;
   ctx.a = txn->id;
   (void)FireEvent(Event::kTransactionCommit, ctx);
   tl_txn = nullptr;
   delete txn;
+  const uint64_t dur_ns = obs::Trace::NowNs() - start_ns;
+  BESS_COUNT("txn.commit");
+  BESS_HIST("txn.commit.latency", dur_ns);
+  if (out != nullptr) {
+    out->log_bytes =
+        wal_ != nullptr ? static_cast<uint64_t>(wal_->tail_lsn() - wal_before)
+                        : 0;
+    out->pages_forced = static_cast<uint32_t>(pages.size());
+    out->locks_held = static_cast<uint32_t>(locks_held);
+    out->duration_ns = dur_ns;
+  }
   return Status::OK();
 }
 
@@ -595,6 +611,7 @@ Status Database::Abort(Txn* txn) {
   (void)FireEvent(Event::kTransactionAbort, ctx);
   tl_txn = nullptr;
   delete txn;
+  BESS_COUNT("txn.abort");
   return Status::OK();
 }
 

@@ -41,6 +41,15 @@ struct Txn {
   class Database* db = nullptr;
 };
 
+/// What a commit cost. Filled by Database::Commit / RemoteClient::Commit and
+/// returned by TxnGuard::Commit as Result<CommitStats>.
+struct CommitStats {
+  uint64_t log_bytes = 0;    ///< WAL bytes appended (0 with use_wal=false)
+  uint32_t pages_forced = 0; ///< dirty pages forced at commit (no-steal/force)
+  uint32_t locks_held = 0;   ///< locks released by this commit
+  uint64_t duration_ns = 0;  ///< wall time inside Commit
+};
+
 class Database {
  public:
   struct Options {
@@ -95,8 +104,9 @@ class Database {
   Result<Txn*> Begin();
   /// Commits: WAL (before/after images + commit record, group-committed),
   /// force dirty pages, release locks. Cached segments stay mapped for the
-  /// next transaction (inter-transaction caching, §3).
-  Status Commit(Txn* txn);
+  /// next transaction (inter-transaction caching, §3). `out`, when non-null,
+  /// receives what the commit cost.
+  Status Commit(Txn* txn, CommitStats* out = nullptr);
   /// Aborts: dirty segments dropped (no-steal: disk untouched), locks freed.
   Status Abort(Txn* txn);
   /// The thread's active transaction, or nullptr.

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <sys/mman.h>
+
+#include <cstdlib>
+
+namespace bess {
+namespace obs {
+namespace {
+
+/// Landing pad for registrations a full registry cannot hold: increments are
+/// safe, values are shared garbage. Sized for the largest metric kind.
+Cell g_overflow_cells[kHistCells];
+
+/// Tiny test-and-test-and-set spinlock over the header's reg_lock word.
+/// Held only while registering a new name (once per call site per process),
+/// never on the increment path.
+class RegLockGuard {
+ public:
+  explicit RegLockGuard(std::atomic<uint32_t>* l) : l_(l) {
+    for (;;) {
+      uint32_t expect = 0;
+      if (l_->compare_exchange_weak(expect, 1, std::memory_order_acquire)) {
+        return;
+      }
+      while (l_->load(std::memory_order_relaxed) != 0) {
+      }
+    }
+  }
+  ~RegLockGuard() { l_->store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<uint32_t>* l_;
+};
+
+}  // namespace
+
+size_t Registry::BytesFor(uint32_t max_metrics, uint32_t max_cells) {
+  return sizeof(RegistryHeader) +
+         static_cast<size_t>(max_metrics) * sizeof(MetricDef) +
+         static_cast<size_t>(max_cells) * sizeof(Cell);
+}
+
+Result<Registry> Registry::Create(void* mem, size_t bytes,
+                                  uint32_t max_metrics, uint32_t max_cells) {
+  if (mem == nullptr) return Status::InvalidArgument("null metrics block");
+  if (bytes < BytesFor(max_metrics, max_cells)) {
+    return Status::InvalidArgument("metrics block too small");
+  }
+  auto* header = static_cast<RegistryHeader*>(mem);
+  if (header->magic == RegistryHeader::kMagic) return Attach(mem, bytes);
+  auto* defs = reinterpret_cast<MetricDef*>(header + 1);
+  auto* cells = reinterpret_cast<Cell*>(defs + max_metrics);
+  memset(mem, 0, BytesFor(max_metrics, max_cells));
+  header->max_metrics = max_metrics;
+  header->max_cells = max_cells;
+  // Publish the magic last: an attacher that sees it sees a formatted block.
+  std::atomic_thread_fence(std::memory_order_release);
+  header->magic = RegistryHeader::kMagic;
+  return Registry(header, defs, cells);
+}
+
+Result<Registry> Registry::Attach(void* mem, size_t bytes) {
+  if (mem == nullptr) return Status::InvalidArgument("null metrics block");
+  auto* header = static_cast<RegistryHeader*>(mem);
+  if (bytes < sizeof(RegistryHeader) ||
+      header->magic != RegistryHeader::kMagic) {
+    return Status::InvalidArgument("not a metrics block");
+  }
+  if (bytes < BytesFor(header->max_metrics, header->max_cells)) {
+    return Status::InvalidArgument("metrics block truncated");
+  }
+  auto* defs = reinterpret_cast<MetricDef*>(header + 1);
+  auto* cells = reinterpret_cast<Cell*>(defs + header->max_metrics);
+  return Registry(header, defs, cells);
+}
+
+Registry& Registry::Default() {
+  static Registry reg = [] {
+    const size_t bytes = BytesFor(kDefaultMaxMetrics, kDefaultMaxCells);
+    // MAP_SHARED so processes forked after this point write into the same
+    // block — a bench's worker processes report into the parent's sidecar.
+    void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) mem = ::calloc(1, bytes);  // degraded: private
+    auto r = Create(mem, bytes, kDefaultMaxMetrics, kDefaultMaxCells);
+    return r.ok() ? *r : Registry();
+  }();
+  return reg;
+}
+
+Cell* Registry::CellsFor(std::string_view name, MetricKind kind,
+                         uint32_t cell_count) {
+#if !BESS_METRICS_ENABLED
+  (void)name;
+  (void)kind;
+  (void)cell_count;
+  return g_overflow_cells;
+#else
+  if (header_ == nullptr) return g_overflow_cells;
+  if (name.size() >= MetricDef::kNameCap) name = name.substr(0, 0);  // reject
+  if (name.empty()) return g_overflow_cells;
+
+  // Fast path: already live. Registration fills definition slots in order,
+  // so the live entries are a publish-once prefix — scan until the first
+  // free slot, lock-free.
+  for (uint32_t i = 0; i < header_->max_metrics; ++i) {
+    MetricDef& d = defs_[i];
+    if (d.state.load(std::memory_order_acquire) != 2) break;
+    if (name == d.name) return cells_ + d.first_cell;
+  }
+
+  // Slow path: register under the block's spinlock (dedupes racing
+  // processes registering the same name).
+  RegLockGuard lock(&header_->reg_lock);
+  for (uint32_t i = 0; i < header_->max_metrics; ++i) {
+    MetricDef& d = defs_[i];
+    const uint32_t st = d.state.load(std::memory_order_acquire);
+    if (st == 2) {
+      if (name == d.name) return cells_ + d.first_cell;
+      continue;
+    }
+    if (st != 0) continue;
+    const uint32_t first = header_->used_cells.load(std::memory_order_relaxed);
+    if (first + cell_count > header_->max_cells) return g_overflow_cells;
+    header_->used_cells.store(first + cell_count, std::memory_order_relaxed);
+    memset(d.name, 0, sizeof(d.name));
+    memcpy(d.name, name.data(), name.size());
+    d.kind = static_cast<uint8_t>(kind);
+    d.first_cell = first;
+    d.state.store(2, std::memory_order_release);
+    header_->live_metrics.fetch_add(1, std::memory_order_release);
+    return cells_ + first;
+  }
+  return g_overflow_cells;  // definition table full
+#endif
+}
+
+void Registry::ForEach(
+    const std::function<void(std::string_view, MetricKind, const Cell*)>& fn)
+    const {
+  if (header_ == nullptr) return;
+  for (uint32_t i = 0; i < header_->max_metrics; ++i) {
+    const MetricDef& d = defs_[i];
+    if (d.state.load(std::memory_order_acquire) != 2) continue;
+    fn(std::string_view(d.name), static_cast<MetricKind>(d.kind),
+       cells_ + d.first_cell);
+  }
+}
+
+void Registry::ResetCells() {
+  if (header_ == nullptr) return;
+  const uint32_t used = header_->used_cells.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < used; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace bess

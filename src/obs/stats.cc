@@ -1,0 +1,220 @@
+#include "obs/stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bess {
+namespace {
+
+/// Lower/upper value bounds of histogram bucket `i` (see HistBucketOf).
+void BucketBounds(uint32_t i, uint64_t* lo, uint64_t* hi) {
+  if (i == 0) {
+    *lo = *hi = 0;
+    return;
+  }
+  *lo = 1ull << (i - 1);
+  *hi = i >= 63 ? UINT64_MAX : (1ull << i);
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  // Integral values print as integers so counter fields stay integers.
+  if (v == static_cast<double>(static_cast<uint64_t>(v))) {
+    snprintf(buf, sizeof(buf), "%" PRIu64, static_cast<uint64_t>(v));
+  } else {
+    snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  out->append(buf);
+}
+
+void AppendJsonField(std::string* out, const std::string& name, double v,
+                     bool* first) {
+  if (!*first) out->append(",");
+  *first = false;
+  out->append("\"").append(name).append("\":");
+  AppendJsonNumber(out, v);
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  double seen = 0;
+  for (uint32_t i = 0; i < obs::kHistBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = seen + static_cast<double>(buckets[i]);
+    if (next >= rank) {
+      uint64_t lo, hi;
+      BucketBounds(i, &lo, &hi);
+      if (i == 0) return 0.0;
+      const double frac =
+          (rank - seen) / static_cast<double>(buckets[i]);
+      return static_cast<double>(lo) +
+             frac * static_cast<double>(hi - lo);
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_bound());
+}
+
+uint64_t HistogramSnapshot::max_bound() const {
+  for (uint32_t i = obs::kHistBuckets; i-- > 0;) {
+    if (buckets[i] != 0) {
+      uint64_t lo, hi;
+      BucketBounds(i, &lo, &hi);
+      return hi;
+    }
+  }
+  return 0;
+}
+
+std::string Stats::ToText() const {
+  std::string out;
+  char buf[96];
+  for (const auto& [name, v] : counters) {
+    snprintf(buf, sizeof(buf), " %" PRIu64 "\n", v);
+    out.append(name).append(buf);
+  }
+  for (const auto& [name, v] : gauges) {
+    snprintf(buf, sizeof(buf), " %" PRIu64 "\n", v);
+    out.append(name).append(buf);
+  }
+  for (const auto& [name, h] : histograms) {
+    snprintf(buf, sizeof(buf),
+             " count=%" PRIu64 " sum=%" PRIu64
+             " p50=%.0f p95=%.0f p99=%.0f max<=%" PRIu64 "\n",
+             h.count, h.sum, h.p50(), h.p95(), h.p99(), h.max_bound());
+    out.append(name).append(buf);
+  }
+  return out;
+}
+
+std::string Stats::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    AppendJsonField(&out, name, static_cast<double>(v), &first);
+  }
+  for (const auto& [name, v] : gauges) {
+    AppendJsonField(&out, name, static_cast<double>(v), &first);
+  }
+  for (const auto& [name, h] : histograms) {
+    AppendJsonField(&out, name + ".count", static_cast<double>(h.count),
+                    &first);
+    AppendJsonField(&out, name + ".sum", static_cast<double>(h.sum), &first);
+    AppendJsonField(&out, name + ".mean", h.mean(), &first);
+    AppendJsonField(&out, name + ".p50", h.p50(), &first);
+    AppendJsonField(&out, name + ".p95", h.p95(), &first);
+    AppendJsonField(&out, name + ".p99", h.p99(), &first);
+    AppendJsonField(&out, name + ".max",
+                    static_cast<double>(h.max_bound()), &first);
+  }
+  out.append("}");
+  return out;
+}
+
+void Stats::EncodeTo(std::string* out) const {
+  PutFixed32(out, static_cast<uint32_t>(counters.size()));
+  for (const auto& [name, v] : counters) {
+    PutLengthPrefixed(out, name);
+    PutFixed64(out, v);
+  }
+  PutFixed32(out, static_cast<uint32_t>(gauges.size()));
+  for (const auto& [name, v] : gauges) {
+    PutLengthPrefixed(out, name);
+    PutFixed64(out, v);
+  }
+  PutFixed32(out, static_cast<uint32_t>(histograms.size()));
+  for (const auto& [name, h] : histograms) {
+    PutLengthPrefixed(out, name);
+    PutFixed64(out, h.count);
+    PutFixed64(out, h.sum);
+    for (uint64_t b : h.buckets) PutFixed64(out, b);
+  }
+}
+
+Result<Stats> Stats::DecodeFrom(Slice payload) {
+  Stats s;
+  Decoder dec(payload);
+  const uint32_t nc = dec.GetFixed32();
+  for (uint32_t i = 0; i < nc && dec.ok(); ++i) {
+    std::string name = dec.GetLengthPrefixed().ToString();
+    s.counters[name] = dec.GetFixed64();
+  }
+  const uint32_t ng = dec.GetFixed32();
+  for (uint32_t i = 0; i < ng && dec.ok(); ++i) {
+    std::string name = dec.GetLengthPrefixed().ToString();
+    s.gauges[name] = dec.GetFixed64();
+  }
+  const uint32_t nh = dec.GetFixed32();
+  for (uint32_t i = 0; i < nh && dec.ok(); ++i) {
+    std::string name = dec.GetLengthPrefixed().ToString();
+    HistogramSnapshot h;
+    h.count = dec.GetFixed64();
+    h.sum = dec.GetFixed64();
+    for (auto& b : h.buckets) b = dec.GetFixed64();
+    s.histograms[name] = h;
+  }
+  if (!dec.ok()) return Status::Protocol("truncated stats payload");
+  return s;
+}
+
+Stats SnapshotOf(const obs::Registry& registry) {
+  Stats s;
+  registry.ForEach([&s](std::string_view name, obs::MetricKind kind,
+                        const obs::Cell* cells) {
+    const std::string key(name);
+    switch (kind) {
+      case obs::MetricKind::kCounter:
+        s.counters[key] = cells[0].load(std::memory_order_relaxed);
+        break;
+      case obs::MetricKind::kGauge:
+        s.gauges[key] = cells[0].load(std::memory_order_relaxed);
+        break;
+      case obs::MetricKind::kHistogram: {
+        HistogramSnapshot h;
+        h.count = cells[0].load(std::memory_order_relaxed);
+        h.sum = cells[1].load(std::memory_order_relaxed);
+        for (uint32_t b = 0; b < obs::kHistBuckets; ++b) {
+          h.buckets[b] = cells[2 + b].load(std::memory_order_relaxed);
+        }
+        s.histograms[key] = h;
+        break;
+      }
+    }
+  });
+  return s;
+}
+
+Stats Snapshot() { return SnapshotOf(obs::Registry::Default()); }
+
+Stats StatsDelta(const Stats& before, const Stats& after) {
+  Stats d;
+  for (const auto& [name, v] : after.counters) {
+    auto it = before.counters.find(name);
+    const uint64_t prev = it == before.counters.end() ? 0 : it->second;
+    d.counters[name] = v >= prev ? v - prev : 0;
+  }
+  d.gauges = after.gauges;  // levels, not flows
+  for (const auto& [name, h] : after.histograms) {
+    HistogramSnapshot out = h;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) {
+      const HistogramSnapshot& prev = it->second;
+      out.count = h.count >= prev.count ? h.count - prev.count : 0;
+      out.sum = h.sum >= prev.sum ? h.sum - prev.sum : 0;
+      for (uint32_t b = 0; b < obs::kHistBuckets; ++b) {
+        out.buckets[b] = h.buckets[b] >= prev.buckets[b]
+                             ? h.buckets[b] - prev.buckets[b]
+                             : 0;
+      }
+    }
+    d.histograms[name] = out;
+  }
+  return d;
+}
+
+}  // namespace bess

@@ -1,0 +1,87 @@
+// bess::Stats — the public, serializable snapshot of the metrics registry.
+//
+// Snapshot() freezes every counter, gauge and histogram of the process (and,
+// through the shared default block, of worker processes forked after obs
+// init) into a value type with three stable serializations:
+//
+//   ToText():   "name value" lines, sorted by name — greppable, diffable.
+//   ToJson():   one flat JSON object; histograms expand to name.count,
+//               name.sum, name.p50, name.p95, name.p99, name.max — the
+//               format of the bench metrics sidecars.
+//   EncodeTo(): compact binary (the kMsgGetStats wire payload), loss-free
+//               including raw histogram buckets so deltas recompute
+//               quantiles exactly.
+//
+// StatsDelta(before, after) subtracts counters and histogram buckets, so a
+// bench can attribute counts to one phase of a run; gauges keep the `after`
+// value (a level, not a flow).
+#ifndef BESS_OBS_STATS_H_
+#define BESS_OBS_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace bess {
+
+/// Frozen histogram state: raw power-of-two buckets plus derived quantiles.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, obs::kHistBuckets> buckets{};
+
+  /// Quantile estimate (q in [0,1]): linear interpolation inside the
+  /// winning power-of-two bucket. 0 when the histogram is empty.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the highest occupied bucket (0 when empty).
+  uint64_t max_bound() const;
+};
+
+struct Stats {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;  ///< instantaneous levels
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter (or gauge) value by name, 0 when absent.
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    if (it != counters.end()) return it->second;
+    auto git = gauges.find(name);
+    return git == gauges.end() ? 0 : git->second;
+  }
+  const HistogramSnapshot* histogram(const std::string& name) const {
+    auto it = histograms.find(name);
+    return it == histograms.end() ? nullptr : &it->second;
+  }
+
+  std::string ToText() const;
+  std::string ToJson() const;
+
+  void EncodeTo(std::string* out) const;
+  static Result<Stats> DecodeFrom(Slice payload);
+};
+
+/// Snapshot of the process-default registry.
+Stats Snapshot();
+/// Snapshot of an explicit registry (shared-cache blocks, tests).
+Stats SnapshotOf(const obs::Registry& registry);
+
+/// after - before: counters and histogram buckets subtract (clamped at 0);
+/// gauges keep their `after` level. Metrics new in `after` pass through.
+Stats StatsDelta(const Stats& before, const Stats& after);
+
+}  // namespace bess
+
+#endif  // BESS_OBS_STATS_H_

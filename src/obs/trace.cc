@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace bess {
+namespace obs {
+namespace {
+
+constexpr size_t kMaxEvents = 1u << 20;
+
+struct Event {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  uint64_t tid;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::string path;
+  std::vector<Event> events;
+  size_t next = 0;  // ring cursor once full
+  bool wrapped = false;
+};
+
+TraceState& State() {
+  static TraceState state;
+  return state;
+}
+
+uint64_t ThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1);
+  return id;
+}
+
+void WriteEvent(FILE* f, const Event& e, bool* first) {
+  if (!*first) fputs(",\n", f);
+  *first = false;
+  fprintf(f,
+          "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%" PRIu64
+          ",\"ts\":%.3f,\"dur\":%.3f}",
+          e.name, ::getpid(), e.tid,
+          static_cast<double>(e.start_ns) / 1e3,
+          static_cast<double>(e.dur_ns) / 1e3);
+}
+
+}  // namespace
+
+std::atomic<bool> Trace::active_{false};
+
+Status Trace::Start(const std::string& path) {
+  TraceState& st = State();
+  std::lock_guard<std::mutex> guard(st.mutex);
+  if (active_.load()) return Status::Busy("trace already active");
+  st.path = path;
+  st.events.clear();
+  st.events.reserve(4096);
+  st.next = 0;
+  st.wrapped = false;
+  active_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Trace::Stop() {
+  TraceState& st = State();
+  std::lock_guard<std::mutex> guard(st.mutex);
+  if (!active_.exchange(false)) return Status::InvalidArgument("not tracing");
+  FILE* f = ::fopen(st.path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot write trace " + st.path);
+  fputs("{\"traceEvents\":[\n", f);
+  bool first = true;
+  // Ring order: oldest surviving event first.
+  if (st.wrapped) {
+    for (size_t i = st.next; i < st.events.size(); ++i) {
+      WriteEvent(f, st.events[i], &first);
+    }
+  }
+  for (size_t i = 0; i < st.next; ++i) WriteEvent(f, st.events[i], &first);
+  if (!st.wrapped) {
+    for (size_t i = st.next; i < st.events.size(); ++i) {
+      WriteEvent(f, st.events[i], &first);
+    }
+  }
+  fputs("\n]}\n", f);
+  ::fclose(f);
+  st.events.clear();
+  return Status::OK();
+}
+
+void Trace::Emit(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  TraceState& st = State();
+  std::lock_guard<std::mutex> guard(st.mutex);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  const Event e{name, start_ns, dur_ns, ThreadId()};
+  if (st.events.size() < kMaxEvents) {
+    st.events.push_back(e);
+    st.next = st.events.size();
+    if (st.next == kMaxEvents) st.next = 0;
+  } else {
+    st.events[st.next] = e;
+    st.next = (st.next + 1) % kMaxEvents;
+    st.wrapped = true;
+  }
+}
+
+namespace {
+
+/// BESS_TRACE=/path/trace.json arms tracing for the whole process lifetime;
+/// the buffer flushes at exit.
+struct EnvTraceArm {
+  EnvTraceArm() {
+    const char* path = ::getenv("BESS_TRACE");
+    if (path == nullptr || path[0] == '\0') return;
+    if (Trace::Start(path).ok()) {
+      ::atexit([] { (void)Trace::Stop(); });
+    }
+  }
+} g_env_trace_arm;
+
+}  // namespace
+
+}  // namespace obs
+}  // namespace bess

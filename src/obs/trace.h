@@ -1,0 +1,90 @@
+// Scoped trace spans: BESS_SPAN("wal.fsync") times the enclosing scope,
+// feeds the duration (nanoseconds) into the like-named latency histogram,
+// and — when tracing is armed — appends a complete ("ph":"X") event to an
+// in-memory buffer that Stop() writes out as chrome://tracing JSON (load it
+// in chrome://tracing or https://ui.perfetto.dev).
+//
+// Arming: Trace::Start(path) programmatically, or run any binary with
+// BESS_TRACE=/path/to/trace.json in the environment (the buffer flushes at
+// process exit). Disarmed spans cost two steady_clock reads plus one
+// histogram record; with BESS_METRICS_ENABLED=0 the macro compiles away
+// entirely.
+#ifndef BESS_OBS_TRACE_H_
+#define BESS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace bess {
+namespace obs {
+
+class Trace {
+ public:
+  /// Arms collection; events buffer in memory until Stop(). Bounded: after
+  /// kMaxEvents the buffer wraps (newest events win).
+  static Status Start(const std::string& path);
+
+  /// Writes the buffered events as chrome://tracing JSON and disarms.
+  static Status Stop();
+
+  static bool active() { return active_.load(std::memory_order_relaxed); }
+
+  /// Appends one complete event (called by SpanScope; name must outlive the
+  /// trace — span names are string literals).
+  static void Emit(const char* name, uint64_t start_ns, uint64_t dur_ns);
+
+  /// Nanoseconds on the span clock (steady, process-relative).
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  static std::atomic<bool> active_;
+};
+
+/// RAII span: records scope duration into `hist` and into the trace buffer.
+class SpanScope {
+ public:
+  SpanScope(const char* name, Histogram hist)
+      : name_(name), hist_(hist), start_ns_(Trace::NowNs()) {}
+  ~SpanScope() {
+    const uint64_t dur = Trace::NowNs() - start_ns_;
+    hist_.Record(dur);
+    if (Trace::active()) Trace::Emit(name_, start_ns_, dur);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_;
+  Histogram hist_;
+  uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace bess
+
+#if BESS_METRICS_ENABLED
+/// Times the rest of the enclosing scope under `name` (a string literal,
+/// `module.noun.verb`); the duration lands in the like-named histogram.
+#define BESS_SPAN(name)                                                \
+  static ::bess::obs::Histogram BESS_OBS_CONCAT_(_bess_span_h_,        \
+                                                 __LINE__) =           \
+      ::bess::obs::Registry::Default().histogram(name);                \
+  ::bess::obs::SpanScope BESS_OBS_CONCAT_(_bess_span_, __LINE__)(      \
+      name, BESS_OBS_CONCAT_(_bess_span_h_, __LINE__))
+#else
+#define BESS_SPAN(name) \
+  do {                  \
+  } while (0)
+#endif
+
+#endif  // BESS_OBS_TRACE_H_

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 #if defined(__x86_64__) && defined(__linux__)
 #include <ucontext.h>
 #define BESS_HAVE_X86_ERR 1
@@ -88,6 +90,7 @@ bool FaultDispatcher::Dispatch(void* addr, bool is_write) {
   FaultRangeOwner* owner = FindOwner(addr);
   if (owner == nullptr) return false;
   fault_count_.fetch_add(1, std::memory_order_relaxed);
+  BESS_COUNT("vm.fault.dispatch");
   return owner->OnFault(addr, is_write);
 }
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace bess {
@@ -91,6 +93,8 @@ void BessServer::AcceptLoop() {
       if (!session->main.Send(kMsgOk, reply).ok()) continue;
       std::lock_guard<std::mutex> guard(mutex_);
       sessions_[session->id] = session;
+      BESS_COUNT("srv.session.open");
+      BESS_GAUGE_ADD("srv.session.active", 1);
       session_threads_.emplace_back(
           [this, session] { ServeSession(session); });
     } else if (first->type == kMsgHelloCallback) {
@@ -142,6 +146,7 @@ void BessServer::ServeSession(std::shared_ptr<Session> session) {
   std::lock_guard<std::mutex> guard(mutex_);
   sessions_.erase(session->id);
   stats_.sessions_reaped++;
+  BESS_GAUGE_SUB("srv.session.active", 1);
 }
 
 void BessServer::Handle(Session& session, const Message& msg,
@@ -150,6 +155,8 @@ void BessServer::Handle(Session& session, const Message& msg,
     std::lock_guard<std::mutex> guard(mutex_);
     stats_.requests++;
   }
+  BESS_COUNT("srv.request");
+  BESS_SPAN("srv.request.latency");
   Status s = HandleRequest(session, msg, reply, reply_type);
   if (!s.ok()) {
     EncodeStatus(s, reply_type, reply);
@@ -421,6 +428,12 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       return db->RemoveRoot(name.ToString());
     }
 
+    case kMsgGetStats: {
+      // Everything the server process has counted so far, over the wire.
+      Snapshot().EncodeTo(reply);
+      return Status::OK();
+    }
+
     default:
       return Status::Protocol("unknown request type " +
                               std::to_string(msg.type));
@@ -460,15 +473,18 @@ Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
         std::lock_guard<std::mutex> guard(mutex_);
         stats_.callbacks_sent++;
       }
+      BESS_COUNT("srv.callback.sent");
       if (!holder->callback.Send(kMsgCallback, payload).ok()) continue;
       auto answer = holder->callback.RecvTimeout(options_.callback_timeout_ms);
       if (!answer.ok()) continue;
       std::lock_guard<std::mutex> guard(mutex_);
       if (answer->type == kMsgCallbackReleased) {
         stats_.callbacks_released++;
+        BESS_COUNT("srv.callback.released");
         (void)locks_.Release(holder_id, key);
       } else {
         stats_.callbacks_denied++;  // in use: the requester keeps waiting
+        BESS_COUNT("srv.callback.denied");
       }
     }
 

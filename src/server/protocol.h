@@ -53,6 +53,9 @@ enum MsgType : uint16_t {
   kMsgSetRoot,          ///< {u16 db, name, oid}
   kMsgRemoveRoot,       ///< {u16 db, name}
 
+  // Observability
+  kMsgGetStats,         ///< {} -> encoded bess::Stats snapshot of the server
+
   // Server -> client (callback channel)
   kMsgCallback,         ///< {u64 key, u8 wanted_mode} -> reply below
   kMsgCallbackReleased, ///< client gave the lock back

@@ -2,11 +2,28 @@
 
 #include <unistd.h>
 
+#include "object/database.h"
+#include "obs/trace.h"
 #include "os/fault_injection.h"
 #include "util/logging.h"
 
 namespace bess {
 namespace {
+
+/// Per-opcode RPC counters for the handful of opcodes that dominate the
+/// paper's traffic; the rest pool under rpc.other.
+void CountRpcOp(uint16_t type) {
+  switch (type) {
+    case kMsgFetchSlotted: BESS_COUNT("rpc.fetch_slotted"); break;
+    case kMsgFetchPages: BESS_COUNT("rpc.fetch_pages"); break;
+    case kMsgLock: BESS_COUNT("rpc.lock"); break;
+    case kMsgCommit: BESS_COUNT("rpc.commit"); break;
+    case kMsgPrepare:
+    case kMsgCommitPrepared:
+    case kMsgAbortPrepared: BESS_COUNT("rpc.2pc"); break;
+    default: BESS_COUNT("rpc.other"); break;
+  }
+}
 
 /// Transport failures (vs. an error *reply* from the server): the request
 /// may not have reached the server — the only errors worth a retry.
@@ -146,6 +163,9 @@ Status RemoteClient::Call(Peer& peer, uint16_t type,
     std::lock_guard<std::mutex> sguard(mutex_);
     stats_.rpcs++;
   }
+  BESS_COUNT("rpc.call");
+  CountRpcOp(type);
+  BESS_SPAN("rpc.call.latency");
   Status last;
   for (int attempt = 0; attempt <= options_.max_rpc_retries; ++attempt) {
     if (attempt > 0) {
@@ -153,6 +173,7 @@ Status RemoteClient::Call(Peer& peer, uint16_t type,
         std::lock_guard<std::mutex> sguard(mutex_);
         stats_.rpc_retries++;
       }
+      BESS_COUNT("rpc.retry");
       ::usleep(static_cast<useconds_t>(options_.rpc_backoff_ms) * 1000u
                << (attempt - 1));
       Status rc = Reconnect(peer);
@@ -192,6 +213,7 @@ Status RemoteClient::Reconnect(Peer& peer) {
     std::lock_guard<std::mutex> guard(mutex_);
     stats_.reconnects++;
   }
+  BESS_COUNT("rpc.reconnect");
   peer.main.Close();
   BESS_ASSIGN_OR_RETURN(peer.main, MsgSocket::Connect(peer.path));
   peer.main.set_simulated_latency_us(options_.simulated_latency_us);
@@ -273,6 +295,7 @@ Status RemoteClient::EnsureLock(uint64_t key, LockMode mode, SegmentId home) {
       // Cached from an earlier transaction: no server round trip (§3).
       in_use_.insert(key);
       stats_.lock_cache_hits++;
+      BESS_COUNT("rpc.lock.cache_hit");
       return Status::OK();
     }
   }
@@ -389,7 +412,9 @@ Status RemoteClient::Begin() {
   return Status::OK();
 }
 
-Status RemoteClient::Commit() {
+Status RemoteClient::Commit(CommitStats* out) {
+  const uint64_t start_ns = obs::Trace::NowNs();
+  uint64_t shipped_bytes = 0;
   Status poison;
   {
     std::lock_guard<std::mutex> guard(mutex_);
@@ -402,6 +427,7 @@ Status RemoteClient::Commit() {
   }
   std::vector<PageImage> pages;
   BESS_RETURN_IF_ERROR(mapper_->CollectDirty(&pages));
+  const size_t pages_shipped = pages.size();
 
   // Partition pages by the peer that owns their database.
   std::unordered_map<Peer*, std::vector<PageImage>> by_peer;
@@ -421,6 +447,7 @@ Status RemoteClient::Commit() {
       std::string payload;
       PutFixed64(&payload, ctid);
       EncodePageSet(by_peer.begin()->second, &payload);
+      shipped_bytes += payload.size();
       Message reply;
       outcome = Call(*by_peer.begin()->first, kMsgCommit, payload, &reply);
     }
@@ -436,6 +463,7 @@ Status RemoteClient::Commit() {
       std::string payload;
       PutFixed64(&payload, gtid);
       EncodePageSet(set, &payload);
+      shipped_bytes += payload.size();
       Message reply;
       Status s = Call(*peer, kMsgPrepare, payload, &reply);
       if (!s.ok()) {
@@ -476,7 +504,17 @@ Status RemoteClient::Commit() {
   }
   BESS_RETURN_IF_ERROR(mapper_->MarkClean());
 
+  const uint64_t dur_ns = obs::Trace::NowNs() - start_ns;
+  BESS_COUNT("txn.commit");
+  BESS_HIST("txn.commit.latency", dur_ns);
+
   std::unique_lock<std::mutex> guard(mutex_);
+  if (out != nullptr) {
+    out->log_bytes = shipped_bytes;
+    out->pages_forced = static_cast<uint32_t>(pages_shipped);
+    out->locks_held = static_cast<uint32_t>(in_use_.size());
+    out->duration_ns = dur_ns;
+  }
   in_txn_ = false;
   in_use_.clear();
   if (!options_.cache_inter_txn) {
@@ -655,6 +693,13 @@ Result<Slot*> RemoteClient::Deref(const Oid& oid) {
 RemoteClient::Stats RemoteClient::stats() const {
   std::lock_guard<std::mutex> guard(mutex_);
   return stats_;
+}
+
+Result<::bess::Stats> RemoteClient::ServerStats() {
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgGetStats, "", &reply));
+  if (reply.type == kMsgError) return DecodeStatusReply(reply);
+  return ::bess::Stats::DecodeFrom(reply.payload);
 }
 
 }  // namespace bess

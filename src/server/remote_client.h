@@ -24,10 +24,13 @@
 #include <unordered_map>
 
 #include "object/oid.h"
+#include "obs/stats.h"
 #include "server/protocol.h"
 #include "vm/mapper.h"
 
 namespace bess {
+
+struct CommitStats;  // object/database.h
 
 class RemoteClient : public AccessObserver {
  public:
@@ -62,8 +65,13 @@ class RemoteClient : public AccessObserver {
   // ---- transactions ----------------------------------------------------------
 
   Status Begin();
-  Status Commit();
+  /// Commits; `out`, when non-null, receives what the commit cost
+  /// (log_bytes here counts the commit RPC payload bytes shipped).
+  Status Commit(CommitStats* out = nullptr);
   Status Abort();
+
+  /// The server's own metrics snapshot (kMsgGetStats over the wire).
+  Result<::bess::Stats> ServerStats();
 
   // ---- objects (client-side creation in the cache, write-back at commit) ----
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "hooks/hooks.h"
+#include "obs/trace.h"
 
 namespace bess {
 
@@ -72,6 +73,7 @@ Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
                                     int timeout_ms, bool blocking) {
   std::unique_lock<std::mutex> lk(mutex_);
   stats_.acquires++;
+  BESS_COUNT("txn.lock.acquire");
 
   LockEntry& entry = table_[key];
   // Already holding: no-op or upgrade.
@@ -90,6 +92,7 @@ Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
     if (mine != nullptr) {
       mine->mode = target;
       stats_.upgrades++;
+      BESS_COUNT("txn.lock.upgrade");
     } else {
       entry.holders.push_back(Holder{txn, target});
       by_txn_[txn].insert(key);
@@ -107,7 +110,9 @@ Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
   }
 
   stats_.waits++;
+  BESS_COUNT("txn.lock.wait");
   entry.waiters++;
+  const uint64_t wait_start_ns = obs::Trace::NowNs();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
@@ -115,6 +120,8 @@ Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
       // Timeout stands in for deadlock detection (paper §3).
       table_[key].waiters--;
       stats_.timeouts++;
+      BESS_COUNT("txn.lock.timeout");
+      BESS_HIST("txn.lock.wait.latency", obs::Trace::NowNs() - wait_start_ns);
       EventContext ctx;
       ctx.a = key;
       (void)FireEvent(Event::kDeadlock, ctx);
@@ -142,6 +149,7 @@ Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
         by_txn_[txn].insert(key);
       }
       e.waiters--;
+      BESS_HIST("txn.lock.wait.latency", obs::Trace::NowNs() - wait_start_ns);
       EventContext ctx;
       ctx.a = key;
       ctx.b = static_cast<uint64_t>(tgt);

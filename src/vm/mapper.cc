@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "hooks/hooks.h"
+#include "obs/metrics.h"
 #include "os/vmem.h"
 #include "util/logging.h"
 
@@ -144,6 +145,8 @@ Status SegmentMapper::FaultSlottedLocked(MappedSegment* seg) {
   }
   seg->slotted_mapped = true;
   stats_.slotted_faults++;
+  BESS_COUNT("vm.fault.slotted");
+  BESS_COUNT("cache.miss");
 
   (void)FireEvent(Event::kSegmentFetch, ctx);
   if (observer_ != nullptr) {
@@ -225,6 +228,8 @@ Status SegmentMapper::FaultDataLocked(MappedSegment* seg) {
     BESS_RETURN_IF_ERROR(vmem::Protect(seg->data_base, bytes, vmem::kRead));
   }
   stats_.data_faults++;
+  BESS_COUNT("vm.fault.data");
+  if (seg->data_on_store) BESS_COUNT("cache.miss");
   (void)FireEvent(Event::kSegmentFetch, ctx);
   return Status::OK();
 }
@@ -258,6 +263,7 @@ Status SegmentMapper::SwizzleDataLocked(MappedSegment* seg) {
       *field = reinterpret_cast<uint64_t>(
           static_cast<char*>(tseg->slotted_base) + SlotOffset(slot_no));
       stats_.swizzled_refs++;
+      BESS_COUNT("vm.ref.swizzle");
       if (opts_.greedy && !tseg->slotted_mapped) {
         greedy_targets.push_back(target);
       }
@@ -292,6 +298,8 @@ Status SegmentMapper::FaultLargeLocked(MappedSegment* seg, LargeRange* lr) {
     BESS_RETURN_IF_ERROR(vmem::Protect(lr->base, bytes, vmem::kRead));
   }
   stats_.large_faults++;
+  BESS_COUNT("vm.fault.large");
+  if (seg->data_on_store) BESS_COUNT("cache.miss");
   return Status::OK();
 }
 
@@ -351,6 +359,7 @@ Status SegmentMapper::WriteFaultLocked(MappedSegment* seg, Kind kind,
   (*states)[page_idx] = kMappedDirty;
   BESS_RETURN_IF_ERROR(vmem::Protect(page_base, kPageSize, vmem::kReadWrite));
   stats_.write_faults++;
+  BESS_COUNT("vm.fault.detect");
   return Status::OK();
 }
 
@@ -469,7 +478,11 @@ Status SegmentMapper::FetchDataNow(SegmentId id) {
 }
 
 Status SegmentMapper::EnsureSlottedMappedLocked(MappedSegment* seg) {
-  if (seg->slotted_mapped) return Status::OK();
+  if (seg->slotted_mapped) {
+    // Inter-transaction caching (§3): the segment survived in the mapper.
+    BESS_COUNT("cache.hit");
+    return Status::OK();
+  }
   return FaultSlottedLocked(seg);
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/config.h"
 #include "util/crc32c.h"
 
@@ -82,6 +83,8 @@ Result<Lsn> LogManager::Append(const LogRecord& rec) {
   buffer_.append(frame, kFrameHeader);
   buffer_.append(payload);
   tail_ += kFrameHeader + payload.size();
+  BESS_COUNT("wal.append.records");
+  BESS_COUNT_N("wal.append.bytes", kFrameHeader + payload.size());
   return lsn;
 }
 
@@ -101,7 +104,11 @@ Status LogManager::Flush(Lsn lsn) {
     buffer_start_ += buffer_.size();
     buffer_.clear();
   }
-  Status sync = file_.Sync();
+  Status sync;
+  {
+    BESS_SPAN("wal.fsync");
+    sync = file_.Sync();
+  }
   if (!sync.ok()) {
     // fsyncgate: a failed fsync may have already discarded the dirty pages,
     // so retrying can report "durable" for data that never hit the platter.
@@ -168,7 +175,11 @@ Status LogManager::SetCheckpointLsn(Lsn lsn) {
   EncodeFixed32(buf, kLogMagic);
   EncodeFixed64(buf + 4, lsn);
   BESS_RETURN_IF_ERROR(file_.WriteAt(0, buf, sizeof(buf)));
-  Status sync = file_.Sync();
+  Status sync;
+  {
+    BESS_SPAN("wal.fsync");
+    sync = file_.Sync();
+  }
   if (!sync.ok()) {
     wedged_ = sync;
     return sync;
@@ -203,7 +214,11 @@ Status LogManager::Reset() {
   EncodeFixed32(header, kLogMagic);
   EncodeFixed64(header + 4, kNullLsn);
   BESS_RETURN_IF_ERROR(file_.WriteAt(0, header, sizeof(header)));
-  Status sync = file_.Sync();
+  Status sync;
+  {
+    BESS_SPAN("wal.fsync");
+    sync = file_.Sync();
+  }
   if (!sync.ok()) {
     wedged_ = sync;
     return sync;

@@ -1,12 +1,25 @@
 #include "wal/recovery.h"
 
+#include "obs/trace.h"
+
 namespace bess {
 
 Status RecoveryManager::Run() {
+  BESS_SPAN("wal.recovery");
+  BESS_COUNT("wal.recovery.runs");
   BESS_ASSIGN_OR_RETURN(Lsn checkpoint, log_->GetCheckpointLsn());
-  BESS_RETURN_IF_ERROR(Analysis(checkpoint));
-  BESS_RETURN_IF_ERROR(Redo());
-  BESS_RETURN_IF_ERROR(Undo());
+  {
+    BESS_SPAN("wal.recovery.analysis");
+    BESS_RETURN_IF_ERROR(Analysis(checkpoint));
+  }
+  {
+    BESS_SPAN("wal.recovery.redo");
+    BESS_RETURN_IF_ERROR(Redo());
+  }
+  {
+    BESS_SPAN("wal.recovery.undo");
+    BESS_RETURN_IF_ERROR(Undo());
+  }
   return sink_->Sync();
 }
 
@@ -59,6 +72,7 @@ Status RecoveryManager::Redo() {
       if (!rec.after.empty()) {
         BESS_RETURN_IF_ERROR(sink_->WritePage(rec.page, rec.after.data()));
         stats_.redo_pages++;
+        BESS_COUNT("wal.recovery.redo.pages");
       }
     }
     return Status::OK();
@@ -84,6 +98,7 @@ Status RecoveryManager::Undo() {
       }
       if (rec.type == LogRecordType::kPageWrite) {
         stats_.undo_records++;
+        BESS_COUNT("wal.recovery.undo.records");
         if (!rec.before.empty()) {
           BESS_RETURN_IF_ERROR(sink_->WritePage(rec.page, rec.before.data()));
         }
