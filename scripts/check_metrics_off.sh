@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Verifies that the library still compiles with the observability subsystem
+# compiled out (BESS_METRICS=OFF): every BESS_COUNT / BESS_SPAN / BESS_GAUGE
+# site must reduce to a no-op, never to a missing symbol. CI regression gate
+# for the "pay only for what you use" configurability claim.
+set -eu
+cd "$(dirname "$0")/.."
+cmake --preset metrics-off
+cmake --build --preset metrics-off -j
+echo "BESS_METRICS=OFF build: OK"

@@ -18,4 +18,31 @@
 #include "server/node_server.h"
 #include "server/remote_client.h"
 
+namespace bess {
+
+/// One bag of knobs for an embedder that opens a database and hosts it
+/// behind a server: the database options plus every server timeout, so the
+/// configuration surface (paper title: *configurable* storage manager) sits
+/// in a single struct instead of being scattered across subsystems.
+struct OpenOptions {
+  Database::Options db;
+  std::string socket_path;
+  int lock_timeout_ms = kLockTimeoutMillis;
+  /// Wait for one callback round trip before the holder's session is
+  /// presumed dead and torn down (presumed-abort cleanup).
+  int callback_timeout_ms = kCallbackTimeoutMillis;
+  uint32_t simulated_latency_us = 0;
+
+  BessServer::Options server_options() const {
+    BessServer::Options o;
+    o.socket_path = socket_path;
+    o.lock_timeout_ms = lock_timeout_ms;
+    o.callback_timeout_ms = callback_timeout_ms;
+    o.simulated_latency_us = simulated_latency_us;
+    return o;
+  }
+};
+
+}  // namespace bess
+
 #endif  // BESS_BESS_INTERNAL_H_

@@ -57,7 +57,7 @@ class Database::LocalStore : public SegmentStore {
     StorageArea* a = db_->AreaOrNull(area);
     if (a == nullptr) return Status::NotFound("no storage area " +
                                               std::to_string(area));
-    return a->WritePages(first, page_count, buf);
+    return a->WritePages(first, page_count, buf, kNullLsn);
   }
 
  private:
@@ -182,6 +182,7 @@ Status Database::CreateNew() {
   if (options_.use_wal) {
     BESS_ASSIGN_OR_RETURN(wal_, LogManager::Open(options_.dir + "/wal.log"));
   }
+  InstallRepairHandlers();
   std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
   catalog_dirty_ = true;
   BESS_RETURN_IF_ERROR(SaveCatalogLocked());
@@ -201,7 +202,12 @@ Status Database::OpenExisting() {
   catalog_segment_ = SegmentId{options_.db_id, 0, kCatalogFirstPage};
   if (options_.use_wal) {
     BESS_ASSIGN_OR_RETURN(wal_, LogManager::Open(options_.dir + "/wal.log"));
+    // Repair handlers must be live before recovery: redo's before-image
+    // reads may themselves hit rotted pages.
+    InstallRepairHandlers();
     BESS_RETURN_IF_ERROR(RunRecovery());
+  } else {
+    InstallRepairHandlers();
   }
   return LoadCatalog();
 }
@@ -211,12 +217,12 @@ class AreaSink : public PageSink {
  public:
   explicit AreaSink(std::vector<std::unique_ptr<StorageArea>>* areas)
       : areas_(areas) {}
-  Status WritePage(PageAddr addr, const void* bytes) override {
+  Status WritePage(PageAddr addr, const void* bytes, Lsn lsn) override {
     if (addr.area >= areas_->size()) {
       return Status::Corruption("recovery references unknown area " +
                                 std::to_string(addr.area));
     }
-    return (*areas_)[addr.area]->WritePages(addr.page, 1, bytes);
+    return (*areas_)[addr.area]->WritePages(addr.page, 1, bytes, lsn);
   }
   Status Sync() override {
     for (auto& a : *areas_) BESS_RETURN_IF_ERROR(a->Sync());
@@ -235,6 +241,28 @@ Status Database::RunRecovery() {
   if (recovery.stats().records_scanned > 0) {
     BESS_INFO("recovery: " << recovery.stats().redo_pages << " pages redone, "
                            << recovery.stats().loser_txns << " losers undone");
+  }
+  if (recovery.stats().torn_tail) {
+    BESS_INFO("recovery: torn log tail, recovered up to LSN "
+              << recovery.stats().recovered_tail_lsn);
+  }
+  if (options_.scrub_on_recovery) {
+    // Scrub while the log still exists: this is the last moment the old
+    // epoch's images are available for single-page repair.
+    ScrubReport report;
+    for (auto& area : areas_) {
+      Status s = area->Scrub(&report);
+      if (!s.ok() && !s.IsCorruption()) return s;
+    }
+    if (report.verify_failures > 0) {
+      BESS_INFO("recovery scrub: " << report.verify_failures << " bad pages, "
+                                   << report.repaired << " repaired, "
+                                   << report.quarantined << " quarantined");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> guard(fpi_mutex_);
+    fpi_logged_.clear();
   }
   // Everything recovered is forced; the log is redundant now.
   return wal_->Reset();
@@ -359,6 +387,7 @@ Result<uint16_t> Database::AddStorageArea() {
   if (id > 255) return Status::NoSpace("OIDs carry 8-bit area numbers");
   BESS_ASSIGN_OR_RETURN(auto area, StorageArea::Create(AreaPath(id), id));
   BESS_RETURN_IF_ERROR(area->Sync());
+  InstallRepairHandler(area.get());
   areas_.push_back(std::move(area));
   catalog_dirty_ = true;
   BESS_RETURN_IF_ERROR(SaveCatalogLocked());
@@ -435,9 +464,9 @@ Result<Txn*> Database::Begin() {
   return txn;
 }
 
-Status Database::LogPageSet(TxnId txn_id,
-                            const std::vector<PageImage>& pages,
-                            LogRecordType final_record) {
+Result<Lsn> Database::LogPageSet(TxnId txn_id,
+                                 const std::vector<PageImage>& pages,
+                                 LogRecordType final_record) {
   LogRecord begin;
   begin.type = LogRecordType::kBegin;
   begin.txn = txn_id;
@@ -452,6 +481,25 @@ Status Database::LogPageSet(TxnId txn_id,
     StorageArea* a = AreaOrNull(img.area);
     if (a == nullptr) return Status::Internal("dirty page in unknown area");
     BESS_RETURN_IF_ERROR(a->ReadPages(img.page, 1, before.data()));
+    bool need_fpi = false;
+    {
+      std::lock_guard<std::mutex> guard(fpi_mutex_);
+      need_fpi = fpi_logged_.insert(rec.page.Pack()).second;
+    }
+    if (need_fpi) {
+      // First dirtying of this page since the log epoch began: log its
+      // current durable image so a media failure later in the epoch can be
+      // repaired to a byte-exact state. Costs no extra I/O — the image is
+      // the before-image we just read. prev_lsn stays kNullLsn so undo
+      // never walks into it.
+      LogRecord fpi;
+      fpi.type = LogRecordType::kFullPageImage;
+      fpi.txn = txn_id;
+      fpi.page = rec.page;
+      fpi.after = before;
+      BESS_RETURN_IF_ERROR(wal_->Append(fpi).status());
+      BESS_COUNT("wal.fpi.records");
+    }
     rec.before = before;
     rec.after = img.bytes;
     BESS_ASSIGN_OR_RETURN(prev, wal_->Append(rec));
@@ -461,15 +509,16 @@ Status Database::LogPageSet(TxnId txn_id,
   fin.txn = txn_id;
   fin.prev_lsn = prev;
   BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(fin));
-  return wal_->Flush(lsn);  // WAL rule; flushes coalesce (group commit)
+  BESS_RETURN_IF_ERROR(wal_->Flush(lsn));  // WAL rule; flushes coalesce
+  return lsn;
 }
 
-Status Database::ForcePages(const std::vector<PageImage>& pages) {
+Status Database::ForcePages(const std::vector<PageImage>& pages, Lsn lsn) {
   std::vector<bool> touched(areas_.size(), false);
   for (const PageImage& img : pages) {
     StorageArea* a = AreaOrNull(img.area);
     if (a == nullptr) return Status::Internal("dirty page in unknown area");
-    BESS_RETURN_IF_ERROR(a->WritePages(img.page, 1, img.bytes.data()));
+    BESS_RETURN_IF_ERROR(a->WritePages(img.page, 1, img.bytes.data(), lsn));
     if (img.area < touched.size()) touched[img.area] = true;
   }
   for (size_t i = 0; i < touched.size(); ++i) {
@@ -481,10 +530,13 @@ Status Database::ForcePages(const std::vector<PageImage>& pages) {
 Status Database::LogAndForce(TxnId txn_id,
                              const std::vector<PageImage>& pages) {
   if (pages.empty()) return Status::OK();
+  Lsn commit_lsn = kNullLsn;
   if (options_.use_wal) {
-    BESS_RETURN_IF_ERROR(LogPageSet(txn_id, pages, LogRecordType::kCommit));
+    BESS_ASSIGN_OR_RETURN(commit_lsn,
+                          LogPageSet(txn_id, pages, LogRecordType::kCommit));
   }
-  BESS_RETURN_IF_ERROR(ForcePages(pages));  // no-steal / force policy
+  // no-steal / force policy; trailers carry the commit LSN as page LSN
+  BESS_RETURN_IF_ERROR(ForcePages(pages, commit_lsn));
   if (options_.use_wal) {
     LogRecord end;
     end.type = LogRecordType::kEnd;
@@ -492,6 +544,26 @@ Status Database::LogAndForce(TxnId txn_id,
     BESS_RETURN_IF_ERROR(wal_->Append(end).status());
   }
   return Status::OK();
+}
+
+void Database::InstallRepairHandler(StorageArea* area) {
+  const uint16_t area_id = area->area_id();
+  area->set_repair_handler(
+      [this, area_id](PageId page, uint32_t expected_crc,
+                      std::string* image) -> Status {
+        if (wal_ == nullptr) {
+          return Status::NotFound("no WAL to repair from");
+        }
+        Status s = RepairPageFromLog(wal_.get(), options_.db_id, area_id,
+                                     page, expected_crc, image);
+        if (!s.ok()) BESS_COUNT("page.repair.miss");
+        return s;
+      });
+}
+
+void Database::InstallRepairHandlers() {
+  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  for (auto& area : areas_) InstallRepairHandler(area.get());
 }
 
 Status Database::Commit(Txn* txn, CommitStats* out) {
@@ -1073,7 +1145,8 @@ Status Database::PreparePageSet(uint64_t gtid,
   }
   // Phase 1: make the page set durable in the log together with a prepare
   // record. Nothing is forced yet; presumed abort on restart.
-  BESS_RETURN_IF_ERROR(LogPageSet(gtid, pages, LogRecordType::kPrepare));
+  BESS_RETURN_IF_ERROR(
+      LogPageSet(gtid, pages, LogRecordType::kPrepare).status());
   std::lock_guard<std::mutex> guard(prepared_mutex_);
   prepared_[gtid] = pages;
   return Status::OK();
@@ -1096,7 +1169,7 @@ Status Database::CommitPrepared(uint64_t gtid) {
   commit.txn = gtid;
   BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(commit));
   BESS_RETURN_IF_ERROR(wal_->Flush(lsn));
-  BESS_RETURN_IF_ERROR(ForcePages(pages));
+  BESS_RETURN_IF_ERROR(ForcePages(pages, lsn));
   LogRecord end;
   end.type = LogRecordType::kEnd;
   end.txn = gtid;
@@ -1223,7 +1296,12 @@ Status Database::Checkpoint() {
   }
   // Force + no-steal: everything committed is on disk, so the whole log is
   // redundant after a checkpoint.
-  if (options_.use_wal) return wal_->Reset();
+  if (options_.use_wal) {
+    BESS_RETURN_IF_ERROR(wal_->Reset());
+    // New log epoch: the next dirtying of each page logs a fresh FPI.
+    std::lock_guard<std::mutex> guard(fpi_mutex_);
+    fpi_logged_.clear();
+  }
   return Status::OK();
 }
 
@@ -1231,6 +1309,23 @@ Status Database::Sync() {
   std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
   for (auto& area : areas_) BESS_RETURN_IF_ERROR(area->Sync());
   return Status::OK();
+}
+
+Result<ScrubReport> Database::Scrub() {
+  BESS_SPAN("db.scrub");
+  ScrubReport report;
+  // Snapshot the area list; Scrub itself runs without meta_mutex_ so long
+  // scrubs don't stall allocation (areas are never removed once added).
+  std::vector<StorageArea*> areas;
+  {
+    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    for (auto& a : areas_) areas.push_back(a.get());
+  }
+  for (StorageArea* a : areas) {
+    Status s = a->Scrub(&report);
+    if (!s.ok() && !s.IsCorruption()) return s;
+  }
+  return report;
 }
 
 // ---- registry -----------------------------------------------------------------

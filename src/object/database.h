@@ -22,6 +22,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "object/oid.h"
@@ -67,6 +68,9 @@ class Database {
     /// Objects at least this big (bytes) become transparent large objects
     /// with their own disk segment. Must be <= kMaxTransparentObjectSize.
     uint32_t large_object_threshold = kPageSize;
+    /// Scrub every area after restart recovery, while the log still holds
+    /// the images needed for single-page media repair (DESIGN.md §7).
+    bool scrub_on_recovery = true;
   };
 
   /// Opens or creates a database. Runs ARIES restart recovery when an
@@ -223,6 +227,11 @@ class Database {
   Status Checkpoint();
   Status Sync();
 
+  /// Sweeps every stamped page of every area, verifying checksums and
+  /// repairing (from the WAL) or quarantining what fails (DESIGN.md §7).
+  /// Also exposed as a server opcode (kMsgScrub).
+  Result<ScrubReport> Scrub();
+
   SegmentMapper* mapper() { return mapper_.get(); }
   LockManager* locks() { return &locks_; }
   LogManager* wal() { return wal_.get(); }
@@ -262,9 +271,14 @@ class Database {
   std::string AreaPath(uint16_t area_id) const;
   TxnId NextTxnId();
   Status LogAndForce(TxnId txn_id, const std::vector<PageImage>& pages);
-  Status LogPageSet(TxnId txn_id, const std::vector<PageImage>& pages,
-                    LogRecordType final_record);
-  Status ForcePages(const std::vector<PageImage>& pages);
+  /// Logs the page set; returns the LSN of the final (commit/prepare)
+  /// record so forced pages can be trailer-stamped with it.
+  Result<Lsn> LogPageSet(TxnId txn_id, const std::vector<PageImage>& pages,
+                         LogRecordType final_record);
+  Status ForcePages(const std::vector<PageImage>& pages, Lsn lsn = kNullLsn);
+  /// Hooks every area's read path up to WAL-based single-page repair.
+  void InstallRepairHandlers();
+  void InstallRepairHandler(StorageArea* area);
 
   Options options_;
   TypeTable types_;
@@ -293,6 +307,12 @@ class Database {
   // In-doubt distributed transactions (prepared, awaiting phase 2).
   std::mutex prepared_mutex_;
   std::unordered_map<uint64_t, std::vector<PageImage>> prepared_;
+
+  // Pages that already got a full-page-image record this log epoch (cleared
+  // whenever the log resets: checkpoint and restart recovery). First dirty
+  // after a reset logs an FPI so media repair always has a base image.
+  std::mutex fpi_mutex_;
+  std::unordered_set<uint64_t> fpi_logged_;
 };
 
 }  // namespace bess

@@ -123,6 +123,14 @@ bool FaultRegistry::Decide(const char* point, const std::string& detail,
       out->bytes_allowed = n > 0 ? std::min(p.spec.max_bytes, n) : 0;
       out->crash = true;
       return true;
+    case FaultAction::kBitRot:
+      // Status stays OK: the write "succeeds" but the media decays.
+      out->bit_rot = true;
+      return true;
+    case FaultAction::kTornPage:
+      // Silent torn write: a prefix lands, the call still reports success.
+      out->bytes_allowed = n > 0 ? std::min(p.spec.max_bytes, n - 1) : 0;
+      return true;
   }
   return false;
 }

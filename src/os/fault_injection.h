@@ -41,6 +41,8 @@ enum class FaultAction : uint8_t {
   kLatency,     ///< sleep latency_us, then let the operation proceed
   kShortWrite,  ///< persist only max_bytes of the request, then fail (torn)
   kCrash,       ///< SIGKILL the process (no unwind, no flush) — a crashpoint
+  kBitRot,      ///< silently flip a bit in the persisted bytes (media decay)
+  kTornPage,    ///< silently persist only a prefix but report success
 };
 
 /// A deterministic schedule for one injection point. The trigger sequence is
@@ -83,6 +85,10 @@ struct FaultOutcome {
   Status status;  ///< non-OK: the call site returns this (after partial I/O)
   size_t bytes_allowed = SIZE_MAX;  ///< < n: persist only a prefix (torn)
   bool crash = false;  ///< call CrashNow() after the partial I/O is issued
+  /// kBitRot: corrupt the bytes actually persisted (the call still reports
+  /// success — the lying disk). Which bit to flip is the call site's choice
+  /// so the corruption stays deterministic per page.
+  bool bit_rot = false;
 };
 
 class FaultRegistry {

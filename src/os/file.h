@@ -46,16 +46,18 @@ class File {
 
   void Close();
 
+  /// The raw pwrite loop, bypassing fault injection. Used to persist the
+  /// prefix of an injected torn write, and by the storage layer to issue
+  /// deliberately corrupted page images (bit_rot / torn_page simulation)
+  /// without re-triggering "file.writeat" faults.
+  Status WriteAtUnchecked(uint64_t offset, const void* buf, size_t n);
+
   /// Deletes a file from the filesystem; NotFound if absent.
   static Status Remove(const std::string& path);
   static bool Exists(const std::string& path);
 
  private:
   File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
-
-  /// The raw pwrite loop, bypassing fault injection (used to persist the
-  /// prefix of an injected torn write).
-  Status WriteAtUnchecked(uint64_t offset, const void* buf, size_t n);
 
   int fd_ = -1;
   std::string path_;

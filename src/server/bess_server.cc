@@ -434,10 +434,35 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       return Status::OK();
     }
 
+    case kMsgScrub: {
+      const uint16_t db_id = dec.GetFixed16();
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      BESS_ASSIGN_OR_RETURN(ScrubReport report, db->Scrub());
+      PutFixed64(reply, report.pages_scanned);
+      PutFixed64(reply, report.verify_failures);
+      PutFixed64(reply, report.repaired);
+      PutFixed64(reply, report.quarantined);
+      return Status::OK();
+    }
+
     default:
       return Status::Protocol("unknown request type " +
                               std::to_string(msg.type));
   }
+}
+
+void BessServer::MarkSessionDefunct(Session* session) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats_.callback_timeouts++;
+  }
+  BESS_COUNT("srv.callback.timeout");
+  // Shutting both sockets makes the session's serving thread's Recv fail,
+  // which unwinds it into ServeSession's cleanup: prepared transactions are
+  // presumed-aborted, locks released, the session erased.
+  session->has_callback.store(false);
+  session->callback.Shutdown();
+  session->main.Shutdown();
 }
 
 Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
@@ -474,9 +499,18 @@ Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
         stats_.callbacks_sent++;
       }
       BESS_COUNT("srv.callback.sent");
-      if (!holder->callback.Send(kMsgCallback, payload).ok()) continue;
+      if (!holder->callback.Send(kMsgCallback, payload).ok()) {
+        MarkSessionDefunct(holder.get());
+        continue;
+      }
       auto answer = holder->callback.RecvTimeout(options_.callback_timeout_ms);
-      if (!answer.ok()) continue;
+      if (!answer.ok()) {
+        // No answer inside the window: the holder is unresponsive. Tearing
+        // down its session (not just counting a denial) frees its locks via
+        // the presumed-abort path so the requester stops waiting on a ghost.
+        MarkSessionDefunct(holder.get());
+        continue;
+      }
       std::lock_guard<std::mutex> guard(mutex_);
       if (answer->type == kMsgCallbackReleased) {
         stats_.callbacks_released++;

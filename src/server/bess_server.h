@@ -38,7 +38,8 @@ class BessServer {
   struct Options {
     std::string socket_path;
     int lock_timeout_ms = kLockTimeoutMillis;
-    int callback_timeout_ms = 500;  ///< wait for one callback round trip
+    /// Wait for one callback round trip; plumbed from bess::OpenOptions.
+    int callback_timeout_ms = kCallbackTimeoutMillis;
     uint32_t simulated_latency_us = 0;  ///< per message (LAN simulation)
   };
 
@@ -52,6 +53,9 @@ class BessServer {
     uint64_t callbacks_sent = 0;
     uint64_t callbacks_released = 0;
     uint64_t callbacks_denied = 0;
+    /// Sessions torn down because a callback round trip timed out: the
+    /// holder is presumed dead and unwinds into presumed-abort cleanup.
+    uint64_t callback_timeouts = 0;
   };
 
   explicit BessServer(Options options);
@@ -91,6 +95,9 @@ class BessServer {
                        std::string* reply, uint16_t* reply_type);
   Status AcquireWithCallbacks(Session& session, uint64_t key, LockMode mode,
                               int timeout_ms);
+  /// Tears down an unresponsive session's sockets so its serving thread
+  /// unwinds into the presumed-abort cleanup at the end of ServeSession.
+  void MarkSessionDefunct(Session* session);
   Result<Database*> DbFor(uint16_t db_id);
 
   Options options_;

@@ -64,6 +64,9 @@ enum MsgType : uint16_t {
   // Generic replies
   kMsgOk,               ///< optional payload per request
   kMsgError,            ///< {u8 code, message}
+
+  // Maintenance (appended: enum order is the wire format)
+  kMsgScrub,            ///< {u16 db} -> {u64 scanned, fails, repaired, quarantined}
 };
 
 /// Encodes a Status into a kMsgError payload (or returns kMsgOk type).

@@ -310,7 +310,29 @@ Status RemoteClient::EnsureLock(uint64_t key, LockMode mode, SegmentId home) {
     std::lock_guard<std::mutex> guard(mutex_);
     stats_.lock_rpcs++;
   }
-  BESS_RETURN_IF_ERROR(Call(PeerFor(home.db), kMsgLock, payload, &reply));
+  // kDeadlock means the server's wait timed out — usually transient
+  // contention (the holder's transaction will finish), not a true cycle.
+  // Retry with exponential backoff; jitter desynchronizes clients that timed
+  // out against each other so they don't collide again in lockstep.
+  Status lock_status;
+  for (int attempt = 0;; ++attempt) {
+    lock_status = Call(PeerFor(home.db), kMsgLock, payload, &reply);
+    if (!lock_status.IsDeadlock() || attempt >= options_.lock_retries) break;
+    const uint64_t base = static_cast<uint64_t>(options_.lock_backoff_ms)
+                          << attempt;
+    uint64_t jittered;
+    {
+      std::lock_guard<std::mutex> guard(backoff_mutex_);
+      jittered = base / 2 + backoff_rng_.Uniform(base / 2 + 1);
+    }
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      stats_.lock_backoffs++;
+    }
+    BESS_COUNT("client.lock.backoff");
+    ::usleep(static_cast<useconds_t>(jittered) * 1000u);
+  }
+  BESS_RETURN_IF_ERROR(lock_status);
 
   std::lock_guard<std::mutex> guard(mutex_);
   auto it = cached_locks_.find(key);
@@ -700,6 +722,21 @@ Result<::bess::Stats> RemoteClient::ServerStats() {
   BESS_RETURN_IF_ERROR(Call(primary_, kMsgGetStats, "", &reply));
   if (reply.type == kMsgError) return DecodeStatusReply(reply);
   return ::bess::Stats::DecodeFrom(reply.payload);
+}
+
+Result<ScrubReport> RemoteClient::Scrub() {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgScrub, payload, &reply));
+  if (reply.payload.size() != 32) return Status::Protocol("bad Scrub reply");
+  Decoder dec(reply.payload);
+  ScrubReport report;
+  report.pages_scanned = dec.GetFixed64();
+  report.verify_failures = dec.GetFixed64();
+  report.repaired = dec.GetFixed64();
+  report.quarantined = dec.GetFixed64();
+  return report;
 }
 
 }  // namespace bess

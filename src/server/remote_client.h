@@ -26,6 +26,8 @@
 #include "object/oid.h"
 #include "obs/stats.h"
 #include "server/protocol.h"
+#include "storage/page_io.h"
+#include "util/random.h"
 #include "vm/mapper.h"
 
 namespace bess {
@@ -45,6 +47,11 @@ class RemoteClient : public AccessObserver {
     /// backoff between attempts (doubled each retry).
     int max_rpc_retries = 3;
     int rpc_backoff_ms = 5;
+    /// Contention resilience: a lock RPC answered with kDeadlock (the server's
+    /// wait timed out under the callback algorithm) is retried this many
+    /// times with exponential backoff + jitter before the error surfaces.
+    int lock_retries = 4;
+    int lock_backoff_ms = 10;
     SegmentMapper::Options mapper;
   };
 
@@ -54,6 +61,7 @@ class RemoteClient : public AccessObserver {
     uint64_t reconnects = 0;    ///< sessions re-established after a failure
     uint64_t lock_rpcs = 0;
     uint64_t lock_cache_hits = 0;  ///< lock needed, already cached: no RPC
+    uint64_t lock_backoffs = 0;    ///< deadlock-timeout retries after backoff
     uint64_t callbacks_received = 0;
     uint64_t callbacks_released = 0;
     uint64_t callbacks_denied = 0;
@@ -72,6 +80,10 @@ class RemoteClient : public AccessObserver {
 
   /// The server's own metrics snapshot (kMsgGetStats over the wire).
   Result<::bess::Stats> ServerStats();
+
+  /// Asks the server to sweep every page of the client's database, verifying
+  /// checksums and repairing/quarantining mismatches (kMsgScrub).
+  Result<ScrubReport> Scrub();
 
   // ---- objects (client-side creation in the cache, write-back at commit) ----
 
@@ -150,6 +162,8 @@ class RemoteClient : public AccessObserver {
   std::unordered_map<uint64_t, uint64_t> key_home_;  // key -> packed SegmentId
   std::unordered_map<uint16_t, uint64_t> active_segment_;  // file -> packed
   std::atomic<uint64_t> next_gtid_{1};
+  std::mutex backoff_mutex_;  // protects backoff_rng_ (jitter for retries)
+  Random backoff_rng_{reinterpret_cast<uint64_t>(this)};
   mutable Stats stats_;
 };
 

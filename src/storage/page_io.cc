@@ -1,0 +1,148 @@
+#include "storage/page_io.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/slice.h"
+
+namespace bess {
+
+uint32_t PageCrc(uint16_t area_id, uint32_t page, const void* bytes) {
+  uint32_t crc = crc32c::Value(static_cast<const char*>(bytes), kPageSize);
+  char addr[8];
+  EncodeFixed32(addr, area_id);
+  EncodeFixed32(addr + 4, page);
+  return crc32c::Extend(crc, addr, sizeof(addr));
+}
+
+void PageIntegrity::AddExtent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  extents_.emplace_back(kPagesPerExtent);
+  dirty_.push_back(0);
+}
+
+uint32_t PageIntegrity::extent_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(extents_.size());
+}
+
+void PageIntegrity::EncodeExtent(uint32_t extent, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  char* entries = out + 4;
+  for (uint32_t i = 0; i < kPagesPerExtent; ++i) {
+    const PageTrailer& t = extents_[extent][i];
+    EncodeFixed32(entries + i * kPageTrailerBytes, t.crc);
+    EncodeFixed64(entries + i * kPageTrailerBytes + 4, t.lsn);
+  }
+  EncodeFixed32(out, crc32c::Mask(crc32c::Value(
+                         entries, kPagesPerExtent * kPageTrailerBytes)));
+  dirty_[extent] = 0;
+}
+
+bool PageIntegrity::DecodeExtent(uint32_t extent, const char* in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (extents_.size() <= extent) {
+    extents_.emplace_back(kPagesPerExtent);
+    dirty_.push_back(0);
+  }
+  const char* entries = in + 4;
+  uint32_t stored = DecodeFixed32(in);
+  if (crc32c::Value(entries, kPagesPerExtent * kPageTrailerBytes) !=
+      crc32c::Unmask(stored)) {
+    // Torn trailer write or a pre-trailer-format area: degrade every page in
+    // the extent to unstamped rather than refusing to open.
+    for (PageTrailer& t : extents_[extent]) t = PageTrailer{};
+    dirty_[extent] = 1;
+    return false;
+  }
+  for (uint32_t i = 0; i < kPagesPerExtent; ++i) {
+    PageTrailer& t = extents_[extent][i];
+    t.crc = DecodeFixed32(entries + i * kPageTrailerBytes);
+    t.lsn = DecodeFixed64(entries + i * kPageTrailerBytes + 4);
+  }
+  dirty_[extent] = 0;
+  return true;
+}
+
+void PageIntegrity::Stamp(uint32_t page, const void* bytes, uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t extent = page / kPagesPerExtent;
+  if (extent >= extents_.size()) return;
+  PageTrailer& t = extents_[extent][page % kPagesPerExtent];
+  t.crc = crc32c::Mask(ComputeCrcLocked(page, bytes));
+  // Keep (crc==0, lsn==0) reserved for "never stamped": non-WAL writes get a
+  // locally monotone pseudo-LSN instead of 0.
+  t.lsn = lsn != 0 ? lsn : ++stamp_seq_;
+  dirty_[extent] = 1;
+}
+
+PageIntegrity::Verdict PageIntegrity::Verify(uint32_t page,
+                                             const void* bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t extent = page / kPagesPerExtent;
+  if (extent >= extents_.size()) return Verdict::kUnstamped;
+  const PageTrailer& t = extents_[extent][page % kPagesPerExtent];
+  if (t.crc == 0 && t.lsn == 0) return Verdict::kUnstamped;
+  return crc32c::Unmask(t.crc) == ComputeCrcLocked(page, bytes)
+             ? Verdict::kOk
+             : Verdict::kMismatch;
+}
+
+uint32_t PageIntegrity::expected_crc(uint32_t page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t extent = page / kPagesPerExtent;
+  if (extent >= extents_.size()) return 0;
+  return extents_[extent][page % kPagesPerExtent].crc;
+}
+
+uint64_t PageIntegrity::lsn_of(uint32_t page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t extent = page / kPagesPerExtent;
+  if (extent >= extents_.size()) return 0;
+  return extents_[extent][page % kPagesPerExtent].lsn;
+}
+
+void PageIntegrity::Clear(uint32_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t extent = page / kPagesPerExtent;
+  if (extent >= extents_.size()) return;
+  extents_[extent][page % kPagesPerExtent] = PageTrailer{};
+  dirty_[extent] = 1;
+  quarantined_.erase(page);
+}
+
+bool PageIntegrity::IsQuarantined(uint32_t page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_.count(page) != 0;
+}
+
+void PageIntegrity::Quarantine(uint32_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quarantined_.insert(page);
+}
+
+void PageIntegrity::Unquarantine(uint32_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quarantined_.erase(page);
+}
+
+uint64_t PageIntegrity::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_.size();
+}
+
+std::vector<uint32_t> PageIntegrity::DirtyExtents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < dirty_.size(); ++i) {
+    if (dirty_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+uint32_t PageIntegrity::ComputeCrcLocked(uint32_t page,
+                                         const void* bytes) const {
+  return PageCrc(area_id_, page, bytes);
+}
+
+}  // namespace bess

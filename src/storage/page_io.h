@@ -1,0 +1,132 @@
+// Checksummed page I/O (DESIGN.md §7): every data page carries a trailer —
+// masked CRC32C over the page bytes plus its address, and the page LSN of
+// the write that produced it — so torn writes, bit rot and misdirected
+// writes are detected on read instead of silently poisoning swizzled
+// pointers.
+//
+// Trailers live *out of band* in the owning extent's meta page (an in-page
+// trailer would steal bytes from data segments, whose objects assume full
+// kPageSize pages). Meta page layout with trailers:
+//
+//   [0]    u32 meta magic
+//   [4]    u32 masked crc32c(buddy map)
+//   [8]    buddy allocation map, kPagesPerExtent bytes
+//   [264]  u32 masked crc32c(trailer entries)
+//   [268]  kPagesPerExtent trailer entries of 12 bytes each:
+//            u32 masked crc32c(page bytes ++ area ++ page)  (0 = unstamped)
+//            u64 page LSN of the stamping write
+//
+// The two regions are checksummed independently: allocation-map writes are
+// rare and precious, trailer writes happen on every page write-back. A torn
+// trailer-region write therefore degrades that extent's pages to "unstamped"
+// (verification skipped, counted in `page.trailer.reset`) instead of making
+// the area unopenable.
+//
+// A page whose trailer is all zero has never been stamped (fresh extents,
+// areas from before this format); verification is skipped for it.
+#ifndef BESS_STORAGE_PAGE_IO_H_
+#define BESS_STORAGE_PAGE_IO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "util/config.h"
+#include "util/status.h"
+
+namespace bess {
+
+/// One page's integrity trailer (in-memory form; 12 bytes on disk).
+struct PageTrailer {
+  uint32_t crc = 0;  ///< masked CRC32C; 0 together with lsn==0 = unstamped
+  uint64_t lsn = 0;  ///< page LSN of the stamping write
+};
+
+inline constexpr size_t kPageTrailerBytes = 12;
+/// Byte offset of the trailer region within an extent meta page.
+inline constexpr size_t kTrailerRegionOffset = 8 + kPagesPerExtent;
+/// Region = u32 masked crc over the entries + the entries themselves.
+inline constexpr size_t kTrailerRegionBytes =
+    4 + kPagesPerExtent * kPageTrailerBytes;
+
+static_assert(kTrailerRegionOffset + kTrailerRegionBytes <= kPageSize,
+              "buddy map + page trailer table must fit in one meta page");
+
+/// CRC32C over a page's bytes extended with its (area, page) address, so a
+/// write landing at the wrong offset (misdirected write) also fails
+/// verification. Unmasked; callers mask before storing.
+uint32_t PageCrc(uint16_t area_id, uint32_t page, const void* bytes);
+
+/// Aggregate result of a Scrub() sweep (per area or whole database).
+struct ScrubReport {
+  uint64_t pages_scanned = 0;    ///< stamped pages read and verified
+  uint64_t verify_failures = 0;  ///< pages that failed first verification
+  uint64_t repaired = 0;         ///< restored byte-equal from a WAL image
+  uint64_t quarantined = 0;      ///< unrepairable (includes already-known)
+};
+
+/// Per-area integrity state: the in-memory trailer tables (one per extent),
+/// which extents have unflushed trailer updates, and the quarantine set of
+/// pages that failed verification with no repairable image. Thread-safe;
+/// never does I/O itself — StorageArea moves regions to/from disk.
+class PageIntegrity {
+ public:
+  explicit PageIntegrity(uint16_t area_id) : area_id_(area_id) {}
+
+  void set_area_id(uint16_t area_id) { area_id_ = area_id; }
+
+  /// Appends a zeroed (all-unstamped) trailer table for a new extent.
+  void AddExtent();
+  uint32_t extent_count() const;
+
+  /// Serializes one extent's trailer region (kTrailerRegionBytes) with its
+  /// masked CRC, and clears the extent's dirty flag.
+  void EncodeExtent(uint32_t extent, char* out);
+
+  /// Restores one extent's trailer table from a serialized region. On CRC
+  /// mismatch (torn trailer write, pre-trailer-format area) every entry
+  /// degrades to unstamped and false is returned.
+  bool DecodeExtent(uint32_t extent, const char* in);
+
+  /// Records the trailer for freshly written page bytes. lsn==0 means the
+  /// caller has no WAL LSN (recovery restamp, non-logged write): a local
+  /// monotone sequence is substituted so the entry never looks unstamped.
+  void Stamp(uint32_t page, const void* bytes, uint64_t lsn);
+
+  enum class Verdict { kOk, kUnstamped, kMismatch };
+  Verdict Verify(uint32_t page, const void* bytes) const;
+
+  /// The stored masked CRC for a page (0 when unstamped/out of range).
+  uint32_t expected_crc(uint32_t page) const;
+  bool IsStamped(uint32_t page) const { return expected_crc(page) != 0 || lsn_of(page) != 0; }
+  uint64_t lsn_of(uint32_t page) const;
+
+  /// Forgets a page's trailer (freed segments) and lifts any quarantine.
+  void Clear(uint32_t page);
+
+  // Quarantine bookkeeping. A quarantined page short-circuits reads to
+  // kCorruption; a full-page rewrite clears the flag (fresh content, fresh
+  // trailer — the page is whole again).
+  bool IsQuarantined(uint32_t page) const;
+  void Quarantine(uint32_t page);
+  void Unquarantine(uint32_t page);
+  uint64_t quarantined_count() const;
+
+  /// Extents with trailer updates not yet serialized via EncodeExtent.
+  std::vector<uint32_t> DirtyExtents() const;
+
+ private:
+  uint32_t ComputeCrcLocked(uint32_t page, const void* bytes) const;
+
+  mutable std::mutex mu_;
+  uint16_t area_id_;
+  uint64_t stamp_seq_ = 0;  // pseudo-LSN source for lsn==0 stamps
+  std::vector<std::vector<PageTrailer>> extents_;
+  std::vector<uint8_t> dirty_;  // per extent: trailer region needs a flush
+  std::unordered_set<uint32_t> quarantined_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_STORAGE_PAGE_IO_H_

@@ -1,7 +1,10 @@
 #include "storage/storage_area.h"
 
 #include <cstring>
+#include <string>
 
+#include "obs/metrics.h"
+#include "os/fault_injection.h"
 #include "util/crc32c.h"
 #include "util/slice.h"
 
@@ -11,8 +14,14 @@ namespace {
 constexpr uint32_t kAreaMagic = 0xBE550A3Au;
 constexpr uint32_t kMetaMagic = 0xBE55E7E0u;
 
-static_assert(kPagesPerExtent <= kPageSize - 16,
-              "extent allocation map must fit in one meta page");
+static_assert(kTrailerRegionOffset + kTrailerRegionBytes <= kPageSize,
+              "allocation map + page trailer table must fit in one meta page");
+
+/// Deterministic bit position for an injected bit_rot flip: a function of
+/// the page id alone, so a test can predict (and re-injure) the same bit.
+inline size_t BitRotBit(PageId page) {
+  return (static_cast<uint64_t>(page) * 2654435761u + 17) % (kPageSize * 8);
+}
 
 }  // namespace
 
@@ -101,6 +110,12 @@ Result<std::unique_ptr<StorageArea>> StorageArea::Open(
                           BuddyAllocator::FromMap(map, kPagesPerExtent));
     area->extents_.push_back(
         std::make_unique<BuddyAllocator>(std::move(alloc)));
+    // The trailer region is checksummed separately from the map: a torn
+    // trailer write (or a pre-trailer-format area) degrades this extent's
+    // pages to unstamped instead of refusing to open.
+    if (!area->integrity_.DecodeExtent(e, meta + kTrailerRegionOffset)) {
+      BESS_COUNT("page.trailer.reset");
+    }
   }
   return area;
 }
@@ -108,6 +123,7 @@ Result<std::unique_ptr<StorageArea>> StorageArea::Open(
 Status StorageArea::AddExtentLocked() {
   const uint32_t extent = static_cast<uint32_t>(extents_.size());
   extents_.push_back(std::make_unique<BuddyAllocator>(kPagesPerExtent));
+  integrity_.AddExtent();
   // Size the file to cover the new extent's last data page.
   const uint64_t end = PhysicalOffset((extent + 1) * kPagesPerExtent - 1) +
                        kPageSize;
@@ -123,6 +139,9 @@ Status StorageArea::FlushExtentMetaLocked(uint32_t extent) {
   extents_[extent]->SaveMap(map);
   EncodeFixed32(meta, kMetaMagic);
   EncodeFixed32(meta + 4, crc32c::Mask(crc32c::Value(map, kPagesPerExtent)));
+  // A full-meta rewrite must carry the current trailer table too, or it
+  // would wipe every stamp in the extent.
+  integrity_.EncodeExtent(extent, meta + kTrailerRegionOffset);
   return file_.WriteAt(ExtentMetaOffset(extent), meta, kPageSize);
 }
 
@@ -175,7 +194,13 @@ Status StorageArea::FreeSegment(PageId first_page) {
   if (e >= extents_.size()) {
     return Status::InvalidArgument("free of page beyond area end");
   }
+  // BlockSize is only answerable while the block is still allocated.
+  const uint32_t npages = extents_[e]->BlockSize(first_page % kPagesPerExtent);
   BESS_RETURN_IF_ERROR(extents_[e]->Free(first_page % kPagesPerExtent));
+  // Freed pages carry no promises: drop their stamps (and any quarantine) so
+  // a future reallocation starts unstamped instead of tripping over stale
+  // CRCs of the previous tenant.
+  for (uint32_t i = 0; i < npages; ++i) integrity_.Clear(first_page + i);
   return FlushExtentMetaLocked(e);
 }
 
@@ -194,23 +219,210 @@ Status StorageArea::ReadPages(PageId first_page, uint32_t page_count,
   if (first_extent != last_extent) {
     return Status::InvalidArgument("page run crosses extent boundary");
   }
-  return file_.ReadAt(PhysicalOffset(first_page), buf,
-                      static_cast<size_t>(page_count) * kPageSize);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    if (integrity_.IsQuarantined(first_page + i)) {
+      BESS_COUNT("page.quarantine.hit");
+      return Status::Corruption("page " + std::to_string(first_page + i) +
+                                " is quarantined in " + file_.path());
+    }
+  }
+  BESS_RETURN_IF_ERROR(file_.ReadAt(PhysicalOffset(first_page), buf,
+                                    static_cast<size_t>(page_count) *
+                                        kPageSize));
+  for (uint32_t i = 0; i < page_count; ++i) {
+    char* page_buf = static_cast<char*>(buf) +
+                     static_cast<size_t>(i) * kPageSize;
+    BESS_RETURN_IF_ERROR(
+        VerifyOrRecoverPage(first_page + i, page_buf, nullptr));
+  }
+  return Status::OK();
+}
+
+Status StorageArea::VerifyOrRecoverPage(PageId page, char* page_buf,
+                                        VerifyOutcome* outcome) {
+  if (outcome != nullptr) *outcome = VerifyOutcome::kClean;
+  if (integrity_.Verify(page, page_buf) != PageIntegrity::Verdict::kMismatch) {
+    return Status::OK();
+  }
+  BESS_COUNT("page.verify.fail");
+  // One re-read: a transient torn view (read racing a concurrent write-back)
+  // resolves here without invoking media repair.
+  Status reread = file_.ReadAt(PhysicalOffset(page), page_buf, kPageSize);
+  if (reread.ok() &&
+      integrity_.Verify(page, page_buf) != PageIntegrity::Verdict::kMismatch) {
+    BESS_COUNT("page.reread.ok");
+    if (outcome != nullptr) *outcome = VerifyOutcome::kRereadOk;
+    return Status::OK();
+  }
+  // Media repair: ask the WAL for the exact image this trailer was stamped
+  // from. Anything less than a byte-exact (CRC-verified) match is rejected —
+  // a plausible-but-different image is worse than an honest kCorruption.
+  RepairHandler repair;
+  {
+    std::lock_guard<std::mutex> guard(repair_mutex_);
+    repair = repair_;
+  }
+  const uint32_t expected = integrity_.expected_crc(page);
+  if (repair) {
+    std::string image;
+    Status st = repair(page, expected, &image);
+    if (st.ok() && image.size() == kPageSize &&
+        crc32c::Mask(PageCrc(area_id_, page, image.data())) == expected) {
+      // Rewrite the healthy image in place and make it durable before
+      // reporting success; the trailer already matches it.
+      st = file_.WriteAt(PhysicalOffset(page), image.data(), kPageSize);
+      if (st.ok()) st = file_.Sync();
+      if (st.ok()) {
+        memcpy(page_buf, image.data(), kPageSize);
+        BESS_COUNT("page.repair.ok");
+        if (outcome != nullptr) *outcome = VerifyOutcome::kRepaired;
+        return Status::OK();
+      }
+    }
+  }
+  // No usable image: quarantine. The database stays open; only this page
+  // answers kCorruption until something rewrites it wholesale.
+  integrity_.Quarantine(page);
+  BESS_COUNT("page.quarantined");
+  if (outcome != nullptr) *outcome = VerifyOutcome::kQuarantined;
+  return Status::Corruption("page " + std::to_string(page) +
+                            " failed verification and could not be repaired"
+                            " in " + file_.path());
+}
+
+Status StorageArea::WriteOnePage(PageId page, const char* bytes,
+                                 uint64_t lsn) {
+  const uint64_t off = PhysicalOffset(page);
+  if (fault::Armed()) {
+    fault::FaultOutcome rot = fault::FaultRegistry::Instance().EvaluateIo(
+        "page.bitrot", file_.path(), kPageSize);
+    if (rot.bit_rot) {
+      // The lying disk: persist a flipped bit, report success, and stamp the
+      // trailer with the CRC of what the caller *intended* — exactly the
+      // state a later read must detect.
+      char rotten[kPageSize];
+      memcpy(rotten, bytes, kPageSize);
+      const size_t bit = BitRotBit(page);
+      rotten[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+      BESS_RETURN_IF_ERROR(file_.WriteAtUnchecked(off, rotten, kPageSize));
+      integrity_.Stamp(page, bytes, lsn);
+      integrity_.Unquarantine(page);
+      return Status::OK();
+    }
+    fault::FaultOutcome torn = fault::FaultRegistry::Instance().EvaluateIo(
+        "page.torn", file_.path(), kPageSize);
+    if (torn.bytes_allowed < kPageSize) {
+      if (torn.bytes_allowed > 0) {
+        BESS_RETURN_IF_ERROR(
+            file_.WriteAtUnchecked(off, bytes, torn.bytes_allowed));
+      }
+      integrity_.Stamp(page, bytes, lsn);
+      integrity_.Unquarantine(page);
+      return Status::OK();
+    }
+  }
+  BESS_RETURN_IF_ERROR(file_.WriteAt(off, bytes, kPageSize));
+  // Stamp only after the write succeeded: a failed write leaves the old
+  // trailer, which still describes what is actually on disk.
+  integrity_.Stamp(page, bytes, lsn);
+  integrity_.Unquarantine(page);
+  return Status::OK();
 }
 
 Status StorageArea::WritePages(PageId first_page, uint32_t page_count,
-                               const void* buf) {
+                               const void* buf, uint64_t lsn) {
   if (page_count == 0) return Status::OK();
   const uint32_t first_extent = first_page / kPagesPerExtent;
   const uint32_t last_extent = (first_page + page_count - 1) / kPagesPerExtent;
   if (first_extent != last_extent) {
     return Status::InvalidArgument("page run crosses extent boundary");
   }
-  return file_.WriteAt(PhysicalOffset(first_page), buf,
-                       static_cast<size_t>(page_count) * kPageSize);
+  if (!fault::Armed()) {
+    BESS_RETURN_IF_ERROR(file_.WriteAt(PhysicalOffset(first_page), buf,
+                                       static_cast<size_t>(page_count) *
+                                           kPageSize));
+    for (uint32_t i = 0; i < page_count; ++i) {
+      const char* bytes = static_cast<const char*>(buf) +
+                          static_cast<size_t>(i) * kPageSize;
+      integrity_.Stamp(first_page + i, bytes, lsn);
+      integrity_.Unquarantine(first_page + i);
+    }
+    return Status::OK();
+  }
+  // Faults armed: go page-at-a-time so bit_rot / torn_page can target
+  // individual pages (and ordinary file.writeat faults keep working).
+  for (uint32_t i = 0; i < page_count; ++i) {
+    const char* bytes = static_cast<const char*>(buf) +
+                        static_cast<size_t>(i) * kPageSize;
+    BESS_RETURN_IF_ERROR(WriteOnePage(first_page + i, bytes, lsn));
+  }
+  return Status::OK();
 }
 
-Status StorageArea::Sync() { return file_.Sync(); }
+Status StorageArea::FlushDirtyTrailers() {
+  // Trailer regions ride in the extent meta page but are flushed lazily:
+  // once per Sync instead of once per page write. Written before the
+  // fdatasync so a trailer never describes data that was not also synced.
+  for (uint32_t extent : integrity_.DirtyExtents()) {
+    char region[kTrailerRegionBytes];
+    integrity_.EncodeExtent(extent, region);
+    BESS_RETURN_IF_ERROR(
+        file_.WriteAt(ExtentMetaOffset(extent) + kTrailerRegionOffset, region,
+                      kTrailerRegionBytes));
+  }
+  return Status::OK();
+}
+
+Status StorageArea::Sync() {
+  BESS_RETURN_IF_ERROR(FlushDirtyTrailers());
+  return file_.Sync();
+}
+
+void StorageArea::set_repair_handler(RepairHandler handler) {
+  std::lock_guard<std::mutex> guard(repair_mutex_);
+  repair_ = std::move(handler);
+}
+
+Status StorageArea::Scrub(ScrubReport* report) {
+  const uint32_t nextents = extent_count();
+  char page_buf[kPageSize];
+  for (uint32_t e = 0; e < nextents; ++e) {
+    for (uint32_t i = 0; i < kPagesPerExtent; ++i) {
+      const PageId page = e * kPagesPerExtent + i;
+      if (integrity_.IsQuarantined(page)) {
+        // Already known-bad; keep it in the report but skip the I/O.
+        report->quarantined++;
+        continue;
+      }
+      if (!integrity_.IsStamped(page)) continue;  // never written: no claim
+      report->pages_scanned++;
+      BESS_COUNT("scrub.pages");
+      BESS_RETURN_IF_ERROR(
+          file_.ReadAt(PhysicalOffset(page), page_buf, kPageSize));
+      VerifyOutcome outcome = VerifyOutcome::kClean;
+      Status st = VerifyOrRecoverPage(page, page_buf, &outcome);
+      switch (outcome) {
+        case VerifyOutcome::kClean:
+          break;
+        case VerifyOutcome::kRereadOk:
+          report->verify_failures++;
+          break;
+        case VerifyOutcome::kRepaired:
+          report->verify_failures++;
+          report->repaired++;
+          break;
+        case VerifyOutcome::kQuarantined:
+          report->verify_failures++;
+          report->quarantined++;
+          break;
+      }
+      // Quarantine is a per-page verdict, not a scrub failure: keep
+      // sweeping. Only real I/O errors abort the pass.
+      if (!st.ok() && !st.IsCorruption()) return st;
+    }
+  }
+  return Status::OK();
+}
 
 uint64_t StorageArea::FreePages() {
   std::lock_guard<std::mutex> guard(mutex_);

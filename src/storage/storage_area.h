@@ -18,6 +18,7 @@
 #define BESS_STORAGE_STORAGE_AREA_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "os/file.h"
 #include "storage/buddy.h"
+#include "storage/page_io.h"
 #include "util/config.h"
 #include "util/status.h"
 
@@ -64,6 +66,14 @@ struct DiskSegment {
 /// One storage area backed by a UNIX file. Thread-safe.
 class StorageArea {
  public:
+  /// Media-repair callback: asked for a byte-exact image of `page` whose
+  /// masked trailer CRC is `expected_crc` (the WAL repair path in
+  /// wal/recovery.h fits this signature). Must fill `image` with kPageSize
+  /// bytes; any non-OK status means "no usable image".
+  using RepairHandler =
+      std::function<Status(PageId page, uint32_t expected_crc,
+                           std::string* image)>;
+
   /// Creates a new area file with `initial_extents` extents (>= 1).
   static Result<std::unique_ptr<StorageArea>> Create(
       const std::string& path, uint16_t area_id, uint32_t initial_extents = 1);
@@ -89,13 +99,28 @@ class StorageArea {
   uint32_t SegmentPages(PageId first_page);
 
   /// Reads `page_count` logical pages starting at `first_page` into `buf`
-  /// (the run must not cross an extent boundary).
+  /// (the run must not cross an extent boundary). Each stamped page is
+  /// verified against its trailer; a mismatch triggers one re-read, then the
+  /// repair handler, then quarantine + kCorruption (DESIGN.md §7).
   Status ReadPages(PageId first_page, uint32_t page_count, void* buf);
 
-  /// Writes `page_count` logical pages starting at `first_page` from `buf`.
-  Status WritePages(PageId first_page, uint32_t page_count, const void* buf);
+  /// Writes `page_count` logical pages starting at `first_page` from `buf`,
+  /// stamping each page's trailer with `lsn` (0 = non-WAL write). A full
+  /// overwrite lifts any quarantine on the written pages.
+  Status WritePages(PageId first_page, uint32_t page_count, const void* buf,
+                    uint64_t lsn = 0);
 
   Status Sync();
+
+  /// Installs the WAL-backed media-repair callback (see RepairHandler).
+  void set_repair_handler(RepairHandler handler);
+
+  /// Sweeps every stamped page in every extent, verifying (and repairing or
+  /// quarantining, like ReadPages) each one. Accumulates into `report`.
+  Status Scrub(ScrubReport* report);
+
+  bool IsQuarantined(PageId page) const { return integrity_.IsQuarantined(page); }
+  uint64_t QuarantinedPages() const { return integrity_.quarantined_count(); }
 
   /// Total free pages across extents (statistics / benches).
   uint64_t FreePages();
@@ -105,19 +130,32 @@ class StorageArea {
  private:
   struct AreaHeader;
 
+  enum class VerifyOutcome { kClean, kRereadOk, kRepaired, kQuarantined };
+
   StorageArea(File file, uint16_t area_id)
-      : file_(std::move(file)), area_id_(area_id) {}
+      : file_(std::move(file)), area_id_(area_id), integrity_(area_id) {}
 
   Status AddExtentLocked();
   Status FlushExtentMetaLocked(uint32_t extent);
   Status WriteHeaderLocked();
   uint64_t PhysicalOffset(PageId page) const;
   uint64_t ExtentMetaOffset(uint32_t extent) const;
+  /// Verify-or-recover one page already read into `page_buf`; on mismatch
+  /// re-reads once, then tries the repair handler, then quarantines.
+  Status VerifyOrRecoverPage(PageId page, char* page_buf,
+                             VerifyOutcome* outcome);
+  Status WriteOnePage(PageId page, const char* bytes, uint64_t lsn);
+  /// Flushes trailer regions of extents with unflushed stamps (called from
+  /// Sync, before the fdatasync, so trailers never outrun their data).
+  Status FlushDirtyTrailers();
 
   File file_;
   uint16_t area_id_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<BuddyAllocator>> extents_;
+  PageIntegrity integrity_;
+  std::mutex repair_mutex_;
+  RepairHandler repair_;
 };
 
 }  // namespace bess

@@ -34,6 +34,11 @@ inline constexpr uint32_t kDefaultDataSegmentPages = 8;
 /// deadlock detection (§3).
 inline constexpr int kLockTimeoutMillis = 2000;
 
+/// Default wait for one callback-locking round trip (§3). A client that
+/// cannot answer within this window is treated as unresponsive and its
+/// session is torn down (presumed abort).
+inline constexpr int kCallbackTimeoutMillis = 500;
+
 }  // namespace bess
 
 #endif  // BESS_UTIL_CONFIG_H_

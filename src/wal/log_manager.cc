@@ -60,6 +60,13 @@ Status LogManager::LoadExisting() {
   }
   tail_ = flushed_ = lsn;
   buffer_start_ = lsn;
+  if (lsn < size) {
+    // The scan stopped before end-of-file: a torn/corrupt final record from
+    // a crash mid-append. Normal ARIES business, but worth surfacing — a
+    // torn tail on *every* open would point at a write-path bug.
+    torn_tail_ = true;
+    BESS_COUNT("wal.torn_tail");
+  }
   // A crash between Reset()'s truncate and its header rewrite can leave the
   // master record pointing past the (now shorter) tail. A checkpoint LSN we
   // cannot read is no checkpoint: clamp to kNullLsn so recovery scans from

@@ -59,6 +59,11 @@ class LogManager {
 
   uint64_t sync_count() const { return sync_count_; }
 
+  /// True if the tail scan at open stopped short of the file size: the log
+  /// ended in a truncated or corrupt record (crash mid-append). The torn
+  /// bytes are dead — the next Append overwrites them.
+  bool tail_was_torn() const { return torn_tail_; }
+
   /// Non-OK once a Sync has failed: the log is wedged (see fsyncgate — after
   /// a failed fsync the kernel may have dropped the dirty pages, so "retry
   /// and hope" silently loses log records). All further Append/Flush/
@@ -77,6 +82,7 @@ class LogManager {
   Lsn tail_ = 0;
   Lsn flushed_ = 0;
   Lsn checkpoint_lsn_ = kNullLsn;
+  bool torn_tail_ = false;  // set once at open by the tail scan
   uint64_t sync_count_ = 0;
   Status wedged_;  // sticky first Sync failure; non-OK refuses all mutation
 };

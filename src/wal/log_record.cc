@@ -17,6 +17,10 @@ void LogRecord::EncodeTo(std::string* out) const {
       PutFixed64(out, undo_next);
       PutLengthPrefixed(out, after);
       break;
+    case LogRecordType::kFullPageImage:
+      PutFixed64(out, page.Pack());
+      PutLengthPrefixed(out, after);
+      break;
     case LogRecordType::kCheckpoint:
       PutFixed32(out, static_cast<uint32_t>(active_txns.size()));
       for (const ActiveTxn& t : active_txns) {
@@ -57,6 +61,10 @@ Result<LogRecord> LogRecord::DecodeFrom(Slice payload) {
     case LogRecordType::kClr:
       rec.page = PageAddr::Unpack(dec.GetFixed64());
       rec.undo_next = dec.GetFixed64();
+      rec.after = dec.GetLengthPrefixed().ToString();
+      break;
+    case LogRecordType::kFullPageImage:
+      rec.page = PageAddr::Unpack(dec.GetFixed64());
       rec.after = dec.GetLengthPrefixed().ToString();
       break;
     case LogRecordType::kCheckpoint: {

@@ -33,6 +33,9 @@ enum class LogRecordType : uint8_t {
   kClr,         ///< compensation: before-image applied during undo
   kCheckpoint,  ///< fuzzy checkpoint: txn table + dirty page table
   kPrepare,     ///< 2PC phase 1: transaction is in doubt (presumed abort)
+  kFullPageImage,  ///< full page image for media repair (DESIGN.md §7);
+                   ///< redo applies it like kPageWrite, undo never sees it
+                   ///< (prev_lsn is always kNullLsn)
 };
 
 struct LogRecord {

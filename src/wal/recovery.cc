@@ -1,6 +1,10 @@
 #include "wal/recovery.h"
 
+#include <unordered_set>
+
 #include "obs/trace.h"
+#include "storage/page_io.h"
+#include "util/crc32c.h"
 
 namespace bess {
 
@@ -20,6 +24,8 @@ Status RecoveryManager::Run() {
     BESS_SPAN("wal.recovery.undo");
     BESS_RETURN_IF_ERROR(Undo());
   }
+  stats_.recovered_tail_lsn = log_->tail_lsn();
+  stats_.torn_tail = log_->tail_was_torn();
   return sink_->Sync();
 }
 
@@ -57,6 +63,9 @@ Status RecoveryManager::Analysis(Lsn checkpoint_lsn) {
         break;
       case LogRecordType::kCheckpoint:
         break;
+      case LogRecordType::kFullPageImage:
+        // Media-repair images never join a transaction's undo chain.
+        break;
     }
     return Status::OK();
   });
@@ -66,11 +75,12 @@ Status RecoveryManager::Redo() {
   // Repeating history: blindly reapply every after-image in LSN order.
   // Full-page physical images make this idempotent without page LSNs.
   return log_->Scan(kNullLsn, [&](Lsn lsn, const LogRecord& rec) {
-    (void)lsn;
     if (rec.type == LogRecordType::kPageWrite ||
-        rec.type == LogRecordType::kClr) {
+        rec.type == LogRecordType::kClr ||
+        rec.type == LogRecordType::kFullPageImage) {
       if (!rec.after.empty()) {
-        BESS_RETURN_IF_ERROR(sink_->WritePage(rec.page, rec.after.data()));
+        BESS_RETURN_IF_ERROR(
+            sink_->WritePage(rec.page, rec.after.data(), lsn));
         stats_.redo_pages++;
         BESS_COUNT("wal.recovery.redo.pages");
       }
@@ -100,7 +110,8 @@ Status RecoveryManager::Undo() {
         stats_.undo_records++;
         BESS_COUNT("wal.recovery.undo.records");
         if (!rec.before.empty()) {
-          BESS_RETURN_IF_ERROR(sink_->WritePage(rec.page, rec.before.data()));
+          BESS_RETURN_IF_ERROR(
+              sink_->WritePage(rec.page, rec.before.data(), kNullLsn));
         }
         LogRecord clr;
         clr.type = LogRecordType::kClr;
@@ -120,6 +131,43 @@ Status RecoveryManager::Undo() {
     end.txn = txn;
     end.prev_lsn = state.last_lsn;
     BESS_RETURN_IF_ERROR(log_->AppendAndFlush(end).status());
+  }
+  return Status::OK();
+}
+
+Status RepairPageFromLog(LogManager* log, uint16_t db, uint16_t area,
+                         PageId page, uint32_t expected_masked_crc,
+                         std::string* image) {
+  BESS_SPAN("wal.page_repair");
+  const PageAddr target{db, area, page};
+  // Pass 1: which transactions committed? Only their after-images describe
+  // states that were ever made durable on purpose.
+  std::unordered_set<TxnId> committed;
+  BESS_RETURN_IF_ERROR(log->Scan(kNullLsn, [&](Lsn, const LogRecord& rec) {
+    if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn);
+    return Status::OK();
+  }));
+  // Pass 2: the *last* byte-exact candidate wins (highest LSN = the image
+  // the trailer was stamped from, or an identical rewrite of it).
+  bool found = false;
+  BESS_RETURN_IF_ERROR(log->Scan(kNullLsn, [&](Lsn, const LogRecord& rec) {
+    const bool candidate =
+        rec.type == LogRecordType::kFullPageImage ||
+        rec.type == LogRecordType::kClr ||
+        (rec.type == LogRecordType::kPageWrite && committed.count(rec.txn));
+    if (!candidate || !(rec.page == target)) return Status::OK();
+    if (rec.after.size() != kPageSize) return Status::OK();
+    if (crc32c::Mask(PageCrc(area, page, rec.after.data())) !=
+        expected_masked_crc) {
+      return Status::OK();
+    }
+    *image = rec.after;
+    found = true;
+    return Status::OK();
+  }));
+  if (!found) {
+    return Status::NotFound("no byte-exact WAL image for page " +
+                            std::to_string(page));
   }
   return Status::OK();
 }

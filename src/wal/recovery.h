@@ -11,10 +11,12 @@
 namespace bess {
 
 /// Where recovered page images land (the storage areas, or a test double).
+/// `lsn` is the LSN of the log record being applied (kNullLsn for undo
+/// before-images) so the sink can stamp page trailers (DESIGN.md §7).
 class PageSink {
  public:
   virtual ~PageSink() = default;
-  virtual Status WritePage(PageAddr addr, const void* bytes) = 0;
+  virtual Status WritePage(PageAddr addr, const void* bytes, Lsn lsn) = 0;
   virtual Status Sync() = 0;
 };
 
@@ -25,6 +27,8 @@ struct RecoveryStats {
   uint64_t clrs_written = 0;
   uint64_t loser_txns = 0;
   uint64_t winner_txns = 0;
+  Lsn recovered_tail_lsn = kNullLsn;  ///< log tail after the torn-tail scan
+  bool torn_tail = false;  ///< the log ended in a truncated/garbage record
 };
 
 /// Runs the three ARIES passes over `log`, applying page images to `sink`.
@@ -54,6 +58,16 @@ class RecoveryManager {
   std::unordered_map<TxnId, TxnState> txns_;
   RecoveryStats stats_;
 };
+
+/// Single-page media repair (DESIGN.md §7): scans `log` for the most recent
+/// image of (db, area, page) whose masked trailer CRC equals
+/// `expected_masked_crc` and returns it in `image`. Candidate images are
+/// full-page-image records and CLRs (always safe: they describe durable
+/// states) plus kPageWrite after-images of *committed* transactions.
+/// NotFound when no byte-exact image exists — the caller quarantines.
+Status RepairPageFromLog(LogManager* log, uint16_t db, uint16_t area,
+                         PageId page, uint32_t expected_masked_crc,
+                         std::string* image);
 
 }  // namespace bess
 

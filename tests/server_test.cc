@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
 
+#include "bess/bess_internal.h"
 #include "object/database.h"
 #include "os/fault_injection.h"
 #include "server/bess_server.h"
@@ -642,6 +644,139 @@ TEST_F(ServerTest, PreparedStateResolvedByRestartRecovery) {
   std::string check(kPageSize, '\0');
   ASSERT_TRUE(db_->ReadRawPages(0, 100, 1, check.data()).ok());
   EXPECT_NE(check[0], 'Q');
+}
+
+// Two clients fight over one object: A holds it in an active transaction,
+// so B's lock waits time out server-side (kDeadlock). B's exponential
+// backoff with jitter must carry it past A's transaction instead of
+// surfacing the first timeout to the application.
+TEST_F(ServerTest, LockRetryBackoffOutlastsContention) {
+  StartServer(1, /*lock_timeout_ms=*/150);
+  RemoteClient* a = Connect();
+  ASSERT_TRUE(a->Begin().ok());
+  auto file = a->CreateFile("f");
+  ASSERT_TRUE(file.ok());
+  uint64_t v = 1;
+  auto slot = a->CreateObject(*file, kRawBytesType, 8, &v);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(a->SetRoot("x", *slot).ok());
+  ASSERT_TRUE(a->Commit().ok());
+
+  // A pins the object in an ACTIVE transaction: callbacks get denied.
+  ASSERT_TRUE(a->Begin().ok());
+  auto mine = a->GetRoot("x");
+  ASSERT_TRUE(mine.ok());
+  *reinterpret_cast<uint64_t*>((*mine)->dp) = 10;
+
+  // B retries with backoff; A commits ~250 ms in, well inside B's retry
+  // budget (~150 ms server wait per attempt + 25..400 ms of backoff).
+  RemoteClient::Options bo;
+  bo.server_path = (base_ / "server.sock").string();
+  bo.db_id = 1;
+  bo.lock_timeout_ms = 150;
+  bo.lock_retries = 6;
+  bo.lock_backoff_ms = 50;
+  auto br = RemoteClient::Connect(bo);
+  ASSERT_TRUE(br.ok()) << br.status().ToString();
+  clients_.push_back(std::move(*br));
+  RemoteClient* b = clients_.back().get();
+
+  std::thread release_a([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    EXPECT_TRUE(a->Commit().ok());
+  });
+  ASSERT_TRUE(b->Begin().ok());
+  auto theirs = b->GetRoot("x");
+  release_a.join();
+  ASSERT_TRUE(theirs.ok()) << theirs.status().ToString();
+  *reinterpret_cast<uint64_t*>((*theirs)->dp) = 20;
+  Status commit = b->Commit();
+  EXPECT_TRUE(commit.ok()) << commit.ToString();
+
+  // The win came through the backoff path, not first-try luck.
+  EXPECT_GT(b->stats().lock_backoffs, 0u);
+  EXPECT_GT(Snapshot().counter("client.lock.backoff"), 0u);
+}
+
+// bess::OpenOptions carries the callback timeout into the server, and an
+// unresponsive lock holder (its callback replies stuck behind injected
+// socket latency) is presumed dead: its session is torn down, its locks
+// freed, and the waiting client gets through.
+TEST_F(ServerTest, CallbackTimeoutTearsDownUnresponsiveHolder) {
+  Database::Options o;
+  o.dir = (base_ / "db1").string();
+  o.db_id = 1;
+  o.create = true;
+  auto dbr = Database::Open(o);
+  ASSERT_TRUE(dbr.ok());
+  db_ = std::move(*dbr);
+
+  OpenOptions open;
+  open.socket_path = (base_ / "server.sock").string();
+  open.lock_timeout_ms = 2000;
+  open.callback_timeout_ms = 25;
+  const BessServer::Options so = open.server_options();
+  EXPECT_EQ(so.lock_timeout_ms, 2000);
+  EXPECT_EQ(so.callback_timeout_ms, 25);
+  server_ = std::make_unique<BessServer>(so);
+  ASSERT_TRUE(server_->AddDatabase(db_.get()).ok());
+  ASSERT_TRUE(server_->Start().ok());
+
+  RemoteClient* a = Connect();
+  ASSERT_TRUE(a->Begin().ok());
+  auto file = a->CreateFile("f");
+  ASSERT_TRUE(file.ok());
+  uint64_t v = 1;
+  auto slot = a->CreateObject(*file, kRawBytesType, 8, &v);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(a->SetRoot("x", *slot).ok());
+  ASSERT_TRUE(a->Commit().ok());  // A caches X locks, transaction idle
+
+  RemoteClient* b = Connect();
+
+  // Every client->server send (including A's callback replies) now stalls
+  // 80 ms — far past the 25 ms callback window. The server must stop
+  // waiting on the ghost, reap A's session, and grant B from the freed lock.
+  fault::FaultSpec slow;
+  slow.action = fault::FaultAction::kLatency;
+  slow.latency_us = 80000;
+  slow.detail_filter = open.socket_path;
+  fault::FaultRegistry::Instance().Arm("sock.send", slow);
+
+  ASSERT_TRUE(b->Begin().ok());
+  auto theirs = b->GetRoot("x");
+  ASSERT_TRUE(theirs.ok()) << theirs.status().ToString();
+  *reinterpret_cast<uint64_t*>((*theirs)->dp) = 2;
+  Status commit = b->Commit();
+  fault::FaultRegistry::Instance().DisarmAll();
+  EXPECT_TRUE(commit.ok()) << commit.ToString();
+
+  const auto stats = server_->stats();
+  EXPECT_GT(stats.callback_timeouts, 0u);
+  EXPECT_GT(stats.sessions_reaped, 0u);
+  EXPECT_GT(Snapshot().counter("srv.callback.timeout"), 0u);
+}
+
+// The maintenance opcode end to end: a client asks the server to scrub its
+// database and gets the sweep's report back over the wire.
+TEST_F(ServerTest, ScrubOverRpc) {
+  StartServer();
+  RemoteClient* c = Connect();
+  ASSERT_TRUE(c->Begin().ok());
+  auto file = c->CreateFile("f");
+  ASSERT_TRUE(file.ok());
+  uint64_t v = 7;
+  auto slot = c->CreateObject(*file, kRawBytesType, 8, &v);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(c->SetRoot("x", *slot).ok());
+  ASSERT_TRUE(c->Commit().ok());
+
+  auto report = c->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->pages_scanned, 0u);
+  EXPECT_EQ(report->verify_failures, 0u);
+  EXPECT_EQ(report->repaired, 0u);
+  EXPECT_EQ(report->quarantined, 0u);
 }
 
 }  // namespace

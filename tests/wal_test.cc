@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <map>
 
+#include "obs/stats.h"
+#include "os/fault_injection.h"
 #include "util/random.h"
 #include "wal/recovery.h"
 
@@ -13,7 +15,8 @@ namespace {
 
 class MemPageSink : public PageSink {
  public:
-  Status WritePage(PageAddr addr, const void* bytes) override {
+  Status WritePage(PageAddr addr, const void* bytes, Lsn lsn) override {
+    (void)lsn;
     pages_[addr.Pack()] = std::string(static_cast<const char*>(bytes),
                                       kPageSize);
     return Status::OK();
@@ -140,6 +143,48 @@ TEST_F(WalTest, TornTailIsIgnored) {
                          })
                   .ok());
   EXPECT_EQ(count, 1);
+}
+
+TEST_F(WalTest, TornTailFromInjectedShortWriteIsReported) {
+  const PageAddr p{1, 0, 8};
+  Lsn good_tail;
+  {
+    auto log = LogManager::Open(path_);
+    ASSERT_TRUE(log.ok());
+    // A fully committed, fully flushed transaction: the recoverable prefix.
+    Lsn b = LogSimple(log->get(), LogRecordType::kBegin, 1, kNullLsn);
+    Lsn w = LogWrite(log->get(), 1, p, PageOf('0'), PageOf('C'), b);
+    LogSimple(log->get(), LogRecordType::kCommit, 1, w);
+    ASSERT_TRUE((*log)->Flush((*log)->tail_lsn() - 1).ok());
+    good_tail = (*log)->tail_lsn();
+
+    // The flush of the next record is torn by the fault layer: only 4 bytes
+    // of it reach the file before the (simulated) power loss.
+    LogSimple(log->get(), LogRecordType::kBegin, 2, kNullLsn);
+    fault::FaultSpec spec;
+    spec.action = fault::FaultAction::kShortWrite;
+    spec.max_bytes = 4;
+    spec.count = 1;
+    spec.detail_filter = path_;
+    fault::FaultRegistry::Instance().Arm("file.writeat", spec);
+    EXPECT_FALSE((*log)->Flush((*log)->tail_lsn() - 1).ok());
+    fault::FaultRegistry::Instance().DisarmAll();
+  }
+
+  const uint64_t torn_before = Snapshot().counter("wal.torn_tail");
+  auto log = LogManager::Open(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->tail_lsn(), good_tail);
+  EXPECT_TRUE((*log)->tail_was_torn());
+  EXPECT_EQ(Snapshot().counter("wal.torn_tail"), torn_before + 1);
+
+  // Recovery redoes the committed prefix and reports the torn tail.
+  MemPageSink sink;
+  RecoveryManager rec(log->get(), &sink);
+  ASSERT_TRUE(rec.Run().ok());
+  EXPECT_EQ(sink.Get(p), PageOf('C'));
+  EXPECT_TRUE(rec.stats().torn_tail);
+  EXPECT_EQ(rec.stats().recovered_tail_lsn, good_tail);
 }
 
 TEST_F(WalTest, RecoveryRedoesCommittedUndoesLosers) {
