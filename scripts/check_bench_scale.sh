@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Multi-client scaling gate (paper §4, DESIGN.md §8, EXPERIMENTS.md E8).
+#
+# Builds and runs bench_scale, then fails unless
+#   1. 8-client commit throughput is at least 2x the 1-client throughput
+#      (the commit path must not serialize on the WAL tail or a big lock),
+#   2. the WAL group-commit batch size p50 exceeded 1 under the 8-client
+#      load (group commit actually batched concurrent committers).
+#
+# Usage: scripts/check_bench_scale.sh [build-dir]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake --preset default
+fi
+cmake --build "$BUILD_DIR" -j --target bench_scale
+
+OUT="$("$BUILD_DIR/bench/bench_scale")"
+printf '%s\n' "$OUT"
+
+# Rows look like:  clients  commits  secs  commits/sec  batch-p50  fsyncs
+row() { printf '%s\n' "$OUT" | awk -v n="$1" '$1 == n { print; exit }'; }
+ONE=$(row 1 | awk '{print $4}')
+EIGHT=$(row 8 | awk '{print $4}')
+P50=$(row 8 | awk '{print $5}')
+
+if [ -z "$ONE" ] || [ -z "$EIGHT" ] || [ -z "$P50" ]; then
+  echo "check_bench_scale: FAILED to parse bench_scale output" >&2
+  exit 1
+fi
+
+echo ""
+echo "1 client:  $ONE commits/sec"
+echo "8 clients: $EIGHT commits/sec (batch p50 $P50)"
+
+awk -v one="$ONE" -v eight="$EIGHT" 'BEGIN { exit !(eight >= 2.0 * one) }' || {
+  echo "check_bench_scale: FAILED — 8-client throughput < 2x 1-client" >&2
+  exit 1
+}
+awk -v p50="$P50" 'BEGIN { exit !(p50 > 1.0) }' || {
+  echo "check_bench_scale: FAILED — group-commit batch p50 <= 1 at 8 clients" >&2
+  exit 1
+}
+echo "check_bench_scale: OK (scaling >= 2x, group commit batching)"

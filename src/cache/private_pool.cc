@@ -48,6 +48,15 @@ Status PrivateBufferPool::EvictFrame(uint32_t f) {
   FrameInfo& info = frames_[f];
   if (info.state == kFree) return Status::OK();
   if (info.dirty) {
+    // The clock demotes a victim to access-protected before replacing it;
+    // write-back must lift that first. Reading the frame while it is
+    // protected would fault into OnFault on this thread — which needs mu_,
+    // already held here.
+    if (info.state == kProtected) {
+      BESS_RETURN_IF_ERROR(
+          vmem::Protect(FrameAddr(f), kPageSize, vmem::kRead));
+      info.state = kAccessible;
+    }
     const PageAddr addr = PageAddr::Unpack(info.page_key);
     BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page, 1,
                                             FrameAddr(f)));
@@ -85,7 +94,7 @@ Result<uint32_t> PrivateBufferPool::AcquireFrame() {
 }
 
 Result<void*> PrivateBufferPool::Fix(PageAddr page, bool for_write) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   stats_.fixes++;
   const uint64_t key = page.Pack();
   auto it = page_table_.find(key);
@@ -133,12 +142,16 @@ Result<void*> PrivateBufferPool::Fix(PageAddr page, bool for_write) {
 }
 
 bool PrivateBufferPool::Contains(PageAddr page) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   return page_table_.count(page.Pack()) != 0;
 }
 
 Status PrivateBufferPool::FlushDirty() {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  return FlushDirtyLocked();
+}
+
+Status PrivateBufferPool::FlushDirtyLocked() {
   for (uint32_t f = 0; f < frame_count_; ++f) {
     FrameInfo& info = frames_[f];
     if (info.state == kFree || !info.dirty) continue;
@@ -165,8 +178,8 @@ Status PrivateBufferPool::FlushDirty() {
 }
 
 Status PrivateBufferPool::Clear() {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
-  BESS_RETURN_IF_ERROR(FlushDirty());
+  std::lock_guard<std::mutex> guard(mu_);
+  BESS_RETURN_IF_ERROR(FlushDirtyLocked());
   for (uint32_t f = 0; f < frame_count_; ++f) {
     if (frames_[f].state == kProtected) {
       BESS_RETURN_IF_ERROR(
@@ -184,7 +197,7 @@ bool PrivateBufferPool::OnFault(void* addr, bool is_write) {
   // decisions below derive from the tracked frame state (a fault on a
   // readable frame can only be a store).
   (void)is_write;
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   const size_t off =
       static_cast<size_t>(static_cast<char*>(addr) - base_);
   const uint32_t f = static_cast<uint32_t>(off / kPageSize);

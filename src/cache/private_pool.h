@@ -86,6 +86,9 @@ class PrivateBufferPool : public FaultRangeOwner {
   /// Clock sweep: returns a victim frame (flushing it if dirty).
   Result<uint32_t> AcquireFrame();
   Status EvictFrame(uint32_t f);
+  /// Body of FlushDirty; caller holds mu_ (Clear() reuses it, which is why
+  /// a plain mutex suffices here).
+  Status FlushDirtyLocked();
 
   struct FrameInfo {
     uint64_t page_key = 0;
@@ -98,7 +101,7 @@ class PrivateBufferPool : public FaultRangeOwner {
   SegmentStore* store_;
   char* base_ = nullptr;
   int dispatcher_slot_ = -1;
-  std::recursive_mutex mu_;
+  std::mutex mu_;
   std::vector<FrameInfo> frames_;
   std::unordered_map<uint64_t, uint32_t> page_table_;
   uint32_t hand_ = 0;

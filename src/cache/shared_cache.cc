@@ -287,7 +287,7 @@ Result<uint32_t> SharedPageSpace::AcquireSlot() {
     // Every slot is bound somewhere; push our own bindings down one level
     // and retry (other processes run their level-1 sweeps themselves).
     // Bindings of crashed processes are reclaimed here too (§4.1.2).
-    BESS_RETURN_IF_ERROR(RunClockLevel1());
+    BESS_RETURN_IF_ERROR(RunClockLevel1Locked(0));
     BESS_RETURN_IF_ERROR(cache_.CleanupDeadProcesses().status());
   }
   return Status::Busy("shared cache exhausted: all slots bound");
@@ -316,7 +316,7 @@ Result<uint32_t> SharedPageSpace::EnsureResident(SmtEntry* entry) {
 }
 
 Result<void*> SharedPageSpace::Fix(PageAddr page, bool for_write) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   stats_.fixes++;
   BESS_ASSIGN_OR_RETURN(SmtEntry * entry, cache_.AssignEntry(page.Pack()));
   const uint32_t vframe = entry->vframe.load(std::memory_order_relaxed);
@@ -372,7 +372,7 @@ Result<uint64_t> SharedPageSpace::ToSvma(const void* addr) const {
 }
 
 Status SharedPageSpace::FlushDirty() {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   ShmHeader* h = cache_.header();
   for (uint32_t s = 0; s < h->frame_count; ++s) {
     SlotMeta* meta = cache_.slot(s);
@@ -389,7 +389,11 @@ Status SharedPageSpace::FlushDirty() {
 }
 
 Status SharedPageSpace::RunClockLevel1(uint32_t frames) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  return RunClockLevel1Locked(frames);
+}
+
+Status SharedPageSpace::RunClockLevel1Locked(uint32_t frames) {
   const uint32_t vframes = cache_.header()->vframe_count;
   if (frames == 0 || frames > vframes) frames = vframes;
   stats_.clock_sweeps++;
@@ -416,7 +420,7 @@ Status SharedPageSpace::RunClockLevel1(uint32_t frames) {
 
 bool SharedPageSpace::OnFault(void* addr, bool is_write) {
   (void)is_write;
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   const size_t off = static_cast<size_t>(static_cast<char*>(addr) -
                                          pvma_base_);
   const uint32_t vframe = static_cast<uint32_t>(off / kPageSize);

@@ -200,6 +200,10 @@ class SharedPageSpace : public FaultRangeOwner {
   /// current page (write-back if dirty).
   Result<uint32_t> AcquireSlot();
   Status ResolveFrameFault(uint32_t vframe);
+  /// Body of RunClockLevel1; caller holds mu_. AcquireSlot re-enters the
+  /// level-1 sweep from under the lock, which is why the public entry point
+  /// and this body are split (plain mutex, no hidden re-entrancy).
+  Status RunClockLevel1Locked(uint32_t frames);
 
   SharedCache cache_;
   SegmentStore* store_;
@@ -210,7 +214,7 @@ class SharedPageSpace : public FaultRangeOwner {
   std::vector<uint8_t> frame_state_;
   std::vector<uint32_t> frame_slot_;  // bound slot per vframe (local view)
   uint32_t local_hand_ = 0;
-  std::recursive_mutex mu_;
+  std::mutex mu_;
   Stats stats_;
 };
 

@@ -162,7 +162,9 @@ std::string Database::AreaPath(uint16_t area_id) const {
 }
 
 StorageArea* Database::AreaOrNull(uint16_t area_id) const {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  // Leaf lock only: this is the mapper fetch path's re-entry point into the
+  // database and must stay reachable while meta_mutex_ is held.
+  std::lock_guard<std::mutex> guard(areas_mutex_);
   if (area_id >= areas_.size()) return nullptr;
   return areas_[area_id].get();
 }
@@ -177,16 +179,20 @@ Status Database::CreateNew() {
     return Status::Internal("catalog segment not at page 0");
   }
   catalog_segment_ = SegmentId{options_.db_id, 0, cat.first_page};
-  areas_.push_back(std::move(area0));
+  StorageArea* a0 = area0.get();
+  {
+    std::lock_guard<std::mutex> guard(areas_mutex_);
+    areas_.push_back(std::move(area0));
+  }
 
   if (options_.use_wal) {
     BESS_ASSIGN_OR_RETURN(wal_, LogManager::Open(options_.dir + "/wal.log"));
   }
   InstallRepairHandlers();
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   catalog_dirty_ = true;
   BESS_RETURN_IF_ERROR(SaveCatalogLocked());
-  return areas_[0]->Sync();
+  return a0->Sync();
 }
 
 Status Database::OpenExisting() {
@@ -194,9 +200,10 @@ Status Database::OpenExisting() {
   for (uint16_t i = 0;; ++i) {
     if (!File::Exists(AreaPath(i))) break;
     BESS_ASSIGN_OR_RETURN(auto area, StorageArea::Open(AreaPath(i)));
+    std::lock_guard<std::mutex> guard(areas_mutex_);
     areas_.push_back(std::move(area));
   }
-  if (areas_.empty()) {
+  if (area_count() == 0) {
     return Status::NotFound("no storage areas in " + options_.dir);
   }
   catalog_segment_ = SegmentId{options_.db_id, 0, kCatalogFirstPage};
@@ -264,7 +271,10 @@ Status Database::RunRecovery() {
     std::lock_guard<std::mutex> guard(fpi_mutex_);
     fpi_logged_.clear();
   }
-  // Everything recovered is forced; the log is redundant now.
+  // Sync the redone pages before truncating the log that could redo them
+  // again: commits defer their data sync to exactly this moment (and to
+  // Checkpoint), so the reset must not outrun the data.
+  for (auto& area : areas_) BESS_RETURN_IF_ERROR(area->Sync());
   return wal_->Reset();
 }
 
@@ -296,9 +306,11 @@ void Database::EncodeCatalogLocked(std::string* out) const {
 }
 
 Status Database::LoadCatalog() {
+  StorageArea* a0 = AreaOrNull(0);
+  if (a0 == nullptr) return Status::NotFound("no storage area 0");
   std::string blob(static_cast<size_t>(kCatalogPages) * kPageSize, '\0');
   BESS_RETURN_IF_ERROR(
-      areas_[0]->ReadPages(kCatalogFirstPage, kCatalogPages, blob.data()));
+      a0->ReadPages(kCatalogFirstPage, kCatalogPages, blob.data()));
   Decoder head(blob);
   if (head.GetFixed32() != kCatalogMagic) {
     return Status::Corruption("bad catalog magic");
@@ -311,11 +323,11 @@ Status Database::LoadCatalog() {
     return Status::Corruption("catalog checksum mismatch");
   }
 
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   Decoder dec(payload);
-  const uint32_t area_count = dec.GetFixed32();
+  const uint32_t cataloged_areas = dec.GetFixed32();
   next_file_id_ = dec.GetFixed16();
-  if (area_count != areas_.size()) {
+  if (cataloged_areas != area_count()) {
     return Status::Corruption("catalog/directory area count mismatch");
   }
   BESS_RETURN_IF_ERROR(types_.DecodeFrom(&dec));
@@ -366,8 +378,10 @@ Status Database::SaveCatalogLocked() {
   EncodeFixed32(blob.data() + 8,
                 crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
   memcpy(blob.data() + 12, payload.data(), payload.size());
+  StorageArea* a0 = AreaOrNull(0);
+  if (a0 == nullptr) return Status::NotFound("no storage area 0");
   BESS_RETURN_IF_ERROR(
-      areas_[0]->WritePages(kCatalogFirstPage, kCatalogPages, blob.data()));
+      a0->WritePages(kCatalogFirstPage, kCatalogPages, blob.data()));
   catalog_dirty_ = false;
   return Status::OK();
 }
@@ -376,32 +390,37 @@ Status Database::SaveCatalogLocked() {
 
 Result<TypeIdx> Database::RegisterType(const TypeDescriptor& desc) {
   BESS_ASSIGN_OR_RETURN(TypeIdx idx, types_.Register(desc));
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   catalog_dirty_ = true;
   return idx;
 }
 
 Result<uint16_t> Database::AddStorageArea() {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
-  const uint16_t id = static_cast<uint16_t>(areas_.size());
+  // meta_mutex_ serializes concurrent adds; areas_mutex_ (leaf) covers the
+  // vector mutation itself against lock-free-path readers via AreaOrNull.
+  std::lock_guard<std::mutex> guard(meta_mutex_);
+  const uint16_t id = static_cast<uint16_t>(area_count());
   if (id > 255) return Status::NoSpace("OIDs carry 8-bit area numbers");
   BESS_ASSIGN_OR_RETURN(auto area, StorageArea::Create(AreaPath(id), id));
   BESS_RETURN_IF_ERROR(area->Sync());
   InstallRepairHandler(area.get());
-  areas_.push_back(std::move(area));
+  {
+    std::lock_guard<std::mutex> areas_guard(areas_mutex_);
+    areas_.push_back(std::move(area));
+  }
   catalog_dirty_ = true;
   BESS_RETURN_IF_ERROR(SaveCatalogLocked());
   return id;
 }
 
 uint32_t Database::area_count() const {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(areas_mutex_);
   return static_cast<uint32_t>(areas_.size());
 }
 
 Result<uint16_t> Database::CreateFile(const std::string& name,
                                       bool multifile) {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   if (files_by_name_.count(name)) {
     return Status::InvalidArgument("file exists: " + name);
   }
@@ -418,14 +437,14 @@ Result<uint16_t> Database::CreateFile(const std::string& name,
 }
 
 Result<uint16_t> Database::FindFile(const std::string& name) const {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   auto it = files_by_name_.find(name);
   if (it == files_by_name_.end()) return Status::NotFound("file " + name);
   return it->second;
 }
 
 Status Database::AddFileArea(uint16_t file_id, uint16_t area_id) {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   auto it = files_.find(file_id);
   if (it == files_.end()) return Status::NotFound("no such file");
   if (!it->second.multifile) {
@@ -514,15 +533,21 @@ Result<Lsn> Database::LogPageSet(TxnId txn_id,
 }
 
 Status Database::ForcePages(const std::vector<PageImage>& pages, Lsn lsn) {
-  std::vector<bool> touched(areas_.size(), false);
+  std::vector<StorageArea*> touched;
   for (const PageImage& img : pages) {
     StorageArea* a = AreaOrNull(img.area);
     if (a == nullptr) return Status::Internal("dirty page in unknown area");
     BESS_RETURN_IF_ERROR(a->WritePages(img.page, 1, img.bytes.data(), lsn));
-    if (img.area < touched.size()) touched[img.area] = true;
+    if (std::find(touched.begin(), touched.end(), a) == touched.end()) {
+      touched.push_back(a);
+    }
   }
-  for (size_t i = 0; i < touched.size(); ++i) {
-    if (touched[i]) BESS_RETURN_IF_ERROR(areas_[i]->Sync());
+  // Strict force syncs here, inside the commit. With the WAL on the sync
+  // is deferred (the flushed commit record + after-images carry
+  // durability; Checkpoint syncs before truncating the log), so the
+  // commit path waits on one fsync chain instead of two.
+  if (!options_.use_wal || options_.sync_on_commit) {
+    for (StorageArea* a : touched) BESS_RETURN_IF_ERROR(a->Sync());
   }
   return Status::OK();
 }
@@ -562,7 +587,7 @@ void Database::InstallRepairHandler(StorageArea* area) {
 }
 
 void Database::InstallRepairHandlers() {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(areas_mutex_);
   for (auto& area : areas_) InstallRepairHandler(area.get());
 }
 
@@ -591,7 +616,7 @@ Status Database::Commit(Txn* txn, CommitStats* out) {
   std::vector<PageImage> pages;
   BESS_RETURN_IF_ERROR(mapper_->CollectDirtyFor(&pages, seg_pred, page_pred));
   {
-    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    std::lock_guard<std::mutex> guard(meta_mutex_);
     if (catalog_dirty_) {
       // The catalog rides along in the same atomic commit.
       std::string payload;
@@ -698,7 +723,8 @@ Result<SegmentId> Database::NewObjectSegmentLocked(FileInfo* file,
     area_id = file->areas[file->next_area % file->areas.size()];
     file->next_area++;
   }
-  StorageArea* area = areas_.at(area_id).get();
+  StorageArea* area = AreaOrNull(area_id);
+  if (area == nullptr) return Status::NotFound("no storage area");
 
   const size_t slotted_bytes = SlottedImageSize(options_.slot_capacity,
                                                 options_.outbound_capacity);
@@ -760,7 +786,7 @@ Result<Slot*> Database::CreateObject(uint16_t file_id, TypeIdx type,
   Txn* txn = Current();
   if (txn != nullptr && txn->poisoned) return txn->poison_status;
 
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   auto it = files_.find(file_id);
   if (it == files_.end()) return Status::NotFound("no such file");
   FileInfo* file = &it->second;
@@ -790,7 +816,8 @@ Result<Slot*> Database::CreateObject(uint16_t file_id, TypeIdx type,
     if (large) {
       const uint32_t pages =
           static_cast<uint32_t>((size + kPageSize - 1) / kPageSize);
-      StorageArea* area = areas_.at(home.area).get();
+      StorageArea* area = AreaOrNull(home.area);
+      if (area == nullptr) return Status::NotFound("no storage area");
       BESS_ASSIGN_OR_RETURN(DiskSegment lo, area->AllocSegment(pages));
       slot = mapper_->CreateLargeObject(home, type, size, home.area,
                                         lo.first_page,
@@ -824,7 +851,7 @@ Status Database::DeleteObject(Slot* slot) {
   // Referential integrity: a deleted root loses its name (§2.5).
   auto oid = OidOf(slot);
   if (oid.ok()) {
-    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    std::lock_guard<std::mutex> guard(meta_mutex_);
     auto it = roots_by_oid_.find(*oid);
     if (it != roots_by_oid_.end()) {
       roots_by_name_.erase(it->second);
@@ -906,7 +933,7 @@ Result<Slot*> Database::ResolveForward(Slot* slot) {
 
 Status Database::SetRoot(const std::string& name, Slot* slot) {
   BESS_ASSIGN_OR_RETURN(Oid oid, OidOf(slot));
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   // One name per object and one object per name: replace both directions.
   auto by_name = roots_by_name_.find(name);
   if (by_name != roots_by_name_.end()) roots_by_oid_.erase(by_name->second);
@@ -921,7 +948,7 @@ Status Database::SetRoot(const std::string& name, Slot* slot) {
 Result<Slot*> Database::GetRoot(const std::string& name) {
   Oid oid;
   {
-    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    std::lock_guard<std::mutex> guard(meta_mutex_);
     auto it = roots_by_name_.find(name);
     if (it == roots_by_name_.end()) {
       return Status::NotFound("no root named " + name);
@@ -932,7 +959,7 @@ Result<Slot*> Database::GetRoot(const std::string& name) {
 }
 
 Status Database::RemoveRoot(const std::string& name) {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   auto it = roots_by_name_.find(name);
   if (it == roots_by_name_.end()) return Status::NotFound("no root " + name);
   roots_by_oid_.erase(it->second);
@@ -942,7 +969,7 @@ Status Database::RemoveRoot(const std::string& name) {
 }
 
 std::string Database::NameOf(const Oid& oid) const {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   auto it = roots_by_oid_.find(oid);
   return it == roots_by_oid_.end() ? "" : it->second;
 }
@@ -953,7 +980,7 @@ Status Database::Scan(uint16_t file_id,
                       const std::function<Status(Slot*)>& fn) {
   std::vector<uint64_t> segments;
   {
-    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    std::lock_guard<std::mutex> guard(meta_mutex_);
     auto it = files_.find(file_id);
     if (it == files_.end()) return Status::NotFound("no such file");
     segments = it->second.segments;
@@ -976,7 +1003,7 @@ Status Database::ParallelScan(
     const std::function<Status(const Slot&, const void* data)>& fn) {
   std::vector<uint64_t> segments;
   {
-    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    std::lock_guard<std::mutex> guard(meta_mutex_);
     auto it = files_.find(file_id);
     if (it == files_.end()) return Status::NotFound("no such file");
     segments = it->second.segments;
@@ -1063,10 +1090,10 @@ Result<uint64_t> Database::CountObjects(uint16_t file_id) {
 Status Database::MoveFileData(uint16_t file_id, uint16_t to_area) {
   std::vector<uint64_t> segments;
   {
-    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    std::lock_guard<std::mutex> guard(meta_mutex_);
     auto it = files_.find(file_id);
     if (it == files_.end()) return Status::NotFound("no such file");
-    if (to_area >= areas_.size()) return Status::NotFound("no such area");
+    if (AreaOrNull(to_area) == nullptr) return Status::NotFound("no such area");
     segments = it->second.segments;
   }
   Txn* txn = Current();
@@ -1084,12 +1111,16 @@ Status Database::MoveFileData(uint16_t file_id, uint16_t to_area) {
     const PageId old_first = h->data_first_page;
     const uint32_t pages = h->data_page_count;
     if (old_area == to_area) continue;
-    BESS_ASSIGN_OR_RETURN(DiskSegment fresh,
-                          areas_.at(to_area)->AllocSegment(pages));
+    StorageArea* dst = AreaOrNull(to_area);
+    StorageArea* src = AreaOrNull(old_area);
+    if (dst == nullptr || src == nullptr) {
+      return Status::NotFound("no such area");
+    }
+    BESS_ASSIGN_OR_RETURN(DiskSegment fresh, dst->AllocSegment(pages));
     BESS_RETURN_IF_ERROR(
         mapper_->RelocateData(id, to_area, fresh.first_page,
                               fresh.page_count));
-    BESS_RETURN_IF_ERROR(areas_.at(old_area)->FreeSegment(old_first));
+    BESS_RETURN_IF_ERROR(src->FreeSegment(old_first));
   }
   return Status::OK();
 }
@@ -1097,7 +1128,7 @@ Status Database::MoveFileData(uint16_t file_id, uint16_t to_area) {
 Status Database::CompactFile(uint16_t file_id) {
   std::vector<uint64_t> segments;
   {
-    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    std::lock_guard<std::mutex> guard(meta_mutex_);
     auto it = files_.find(file_id);
     if (it == files_.end()) return Status::NotFound("no such file");
     segments = it->second.segments;
@@ -1193,7 +1224,7 @@ Status Database::AbortPrepared(uint64_t gtid) {
 
 Result<Database::RemoteSegmentGrant> Database::GrantObjectSegment(
     uint16_t file_id, uint32_t min_data_bytes) {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   auto it = files_.find(file_id);
   if (it == files_.end()) return Status::NotFound("no such file");
   FileInfo* file = &it->second;
@@ -1203,7 +1234,8 @@ Result<Database::RemoteSegmentGrant> Database::GrantObjectSegment(
     area_id = file->areas[file->next_area % file->areas.size()];
     file->next_area++;
   }
-  StorageArea* area = areas_.at(area_id).get();
+  StorageArea* area = AreaOrNull(area_id);
+  if (area == nullptr) return Status::NotFound("no storage area");
   const size_t slotted_bytes = SlottedImageSize(options_.slot_capacity,
                                                 options_.outbound_capacity);
   const uint32_t slotted_pages =
@@ -1266,7 +1298,7 @@ Status Database::FreeDiskSegment(uint16_t area, PageId first_page) {
 }
 
 Status Database::SetRootOid(const std::string& name, const Oid& oid) {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   auto by_name = roots_by_name_.find(name);
   if (by_name != roots_by_name_.end()) roots_by_oid_.erase(by_name->second);
   auto by_oid = roots_by_oid_.find(oid);
@@ -1278,7 +1310,7 @@ Status Database::SetRootOid(const std::string& name, const Oid& oid) {
 }
 
 Result<Oid> Database::GetRootOid(const std::string& name) {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+  std::lock_guard<std::mutex> guard(meta_mutex_);
   auto it = roots_by_name_.find(name);
   if (it == roots_by_name_.end()) {
     return Status::NotFound("no root named " + name);
@@ -1290,10 +1322,10 @@ Result<Oid> Database::GetRootOid(const std::string& name) {
 
 Status Database::Checkpoint() {
   {
-    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    std::lock_guard<std::mutex> guard(meta_mutex_);
     BESS_RETURN_IF_ERROR(SaveCatalogLocked());
-    for (auto& area : areas_) BESS_RETURN_IF_ERROR(area->Sync());
   }
+  BESS_RETURN_IF_ERROR(Sync());
   // Force + no-steal: everything committed is on disk, so the whole log is
   // redundant after a checkpoint.
   if (options_.use_wal) {
@@ -1306,19 +1338,23 @@ Status Database::Checkpoint() {
 }
 
 Status Database::Sync() {
-  std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
-  for (auto& area : areas_) BESS_RETURN_IF_ERROR(area->Sync());
+  std::vector<StorageArea*> areas;
+  {
+    std::lock_guard<std::mutex> guard(areas_mutex_);
+    for (auto& a : areas_) areas.push_back(a.get());
+  }
+  for (StorageArea* a : areas) BESS_RETURN_IF_ERROR(a->Sync());
   return Status::OK();
 }
 
 Result<ScrubReport> Database::Scrub() {
   BESS_SPAN("db.scrub");
   ScrubReport report;
-  // Snapshot the area list; Scrub itself runs without meta_mutex_ so long
+  // Snapshot the area list; Scrub itself runs without any lock so long
   // scrubs don't stall allocation (areas are never removed once added).
   std::vector<StorageArea*> areas;
   {
-    std::lock_guard<std::recursive_mutex> guard(meta_mutex_);
+    std::lock_guard<std::mutex> guard(areas_mutex_);
     for (auto& a : areas_) areas.push_back(a.get());
   }
   for (StorageArea* a : areas) {

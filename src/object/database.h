@@ -71,6 +71,14 @@ class Database {
     /// Scrub every area after restart recovery, while the log still holds
     /// the images needed for single-page media repair (DESIGN.md §7).
     bool scrub_on_recovery = true;
+    /// fdatasync the data files inside every commit (strict force). Off by
+    /// default when the WAL is on: the flushed commit record + after-images
+    /// already make the commit durable (restart redo repeats history), so
+    /// the data files only need syncing before the log is truncated — which
+    /// Checkpoint/recovery do. Commits then wait on one fsync chain (the
+    /// group-committed WAL), not two (DESIGN.md §8). Ignored — treated as
+    /// true — when use_wal is false: forcing is then the only durability.
+    bool sync_on_commit = false;
   };
 
   /// Opens or creates a database. Runs ARIES restart recovery when an
@@ -288,9 +296,15 @@ class Database {
   std::unique_ptr<Observer> observer_;
   std::unique_ptr<SegmentMapper> mapper_;
 
-  // Catalog guard: recursive because the mapper's fetch path re-enters
-  // (CreateObject -> mapper fault -> LocalStore -> AreaOrNull).
-  mutable std::recursive_mutex meta_mutex_;
+  // Catalog guard (files, roots, catalog dirtiness). Plain mutex: nothing
+  // that runs under it re-enters a meta_mutex_-taking entry point.
+  mutable std::mutex meta_mutex_;
+  // Leaf lock for the append-only area vector. The mapper's fetch path
+  // re-enters the database while meta_mutex_ is held (CreateObject ->
+  // mapper fault -> LocalStore -> AreaOrNull); area lookup goes through
+  // this separate leaf so that path never touches meta_mutex_.
+  // Lock order: meta_mutex_ -> areas_mutex_; never the reverse.
+  mutable std::mutex areas_mutex_;
   std::vector<std::unique_ptr<StorageArea>> areas_;
   std::unordered_map<uint16_t, FileInfo> files_;
   std::unordered_map<std::string, uint16_t> files_by_name_;

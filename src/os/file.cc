@@ -118,7 +118,15 @@ Status File::Sync() {
   // A crashpoint here dies *before* fdatasync: buffered writes are issued
   // but not durable — the classic lost-tail power-failure scenario.
   BESS_RETURN_IF_ERROR(fault::Check("file.sync", path_));
-  if (::fdatasync(fd_) != 0) return Status::IOError(Errno("fdatasync", path_));
+  if (::fdatasync(fd_) != 0) {
+    // Deliberately NOT an EINTR retry loop (unlike ReadAt/WriteAt): once an
+    // fdatasync returns — even interrupted — the kernel may have cleared the
+    // dirty flags on pages it failed to write, so a retried call can report
+    // "durable" for data that never reached the platter (fsyncgate; see the
+    // wedging contract in wal/log_manager.h). Any non-zero return surfaces
+    // as an error and the caller wedges or re-verifies.
+    return Status::IOError(Errno("fdatasync", path_));
+  }
   return Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #include "server/bess_server.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/stats.h"
@@ -27,7 +28,11 @@ BessServer::BessServer(Options options)
 BessServer::~BessServer() { Stop(); }
 
 Status BessServer::AddDatabase(Database* db) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  // The database registry is lock-free on the read side: registration is
+  // only legal before Start() (whose thread creation publishes the map).
+  if (running_.load()) {
+    return Status::Busy("AddDatabase after Start()");
+  }
   databases_[db->db_id()] = db;
   return Status::OK();
 }
@@ -44,18 +49,20 @@ void BessServer::Stop() {
   listener_.Shutdown();
   // Shutting session sockets down unblocks their serving threads (they
   // close their own fds as they unwind).
-  {
-    std::lock_guard<std::mutex> guard(mutex_);
-    for (auto& [id, session] : sessions_) {
+  for (SessionShard& shard : session_shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (auto& [id, session] : shard.map) {
       (void)id;
       session->main.Shutdown();
+      // A late kMsgHelloCallback may still be attaching this socket.
+      std::lock_guard<std::mutex> cb_guard(session->callback_mutex);
       session->callback.Shutdown();
     }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    std::lock_guard<std::mutex> guard(threads_mu_);
     threads.swap(session_threads_);
   }
   for (auto& t : threads) {
@@ -65,13 +72,29 @@ void BessServer::Stop() {
 }
 
 Result<Database*> BessServer::DbFor(uint16_t db_id) {
-  std::lock_guard<std::mutex> guard(mutex_);
   auto it = databases_.find(db_id);
   if (it == databases_.end()) {
     return Status::NotFound("server does not own database " +
                             std::to_string(db_id));
   }
   return it->second;
+}
+
+std::vector<Database*> BessServer::AllDatabases() {
+  std::vector<Database*> dbs;
+  dbs.reserve(databases_.size());
+  for (auto& [id, db] : databases_) {
+    (void)id;
+    dbs.push_back(db);
+  }
+  return dbs;
+}
+
+std::shared_ptr<BessServer::Session> BessServer::FindSession(uint64_t id) {
+  SessionShard& shard = SessionShardFor(id);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.map.find(id);
+  return it == shard.map.end() ? nullptr : it->second;
 }
 
 void BessServer::AcceptLoop() {
@@ -91,20 +114,26 @@ void BessServer::AcceptLoop() {
       std::string reply;
       PutFixed64(&reply, session->id);
       if (!session->main.Send(kMsgOk, reply).ok()) continue;
-      std::lock_guard<std::mutex> guard(mutex_);
-      sessions_[session->id] = session;
+      {
+        SessionShard& shard = SessionShardFor(session->id);
+        std::lock_guard<std::mutex> guard(shard.mu);
+        shard.map[session->id] = session;
+      }
       BESS_COUNT("srv.session.open");
       BESS_GAUGE_ADD("srv.session.active", 1);
+      std::lock_guard<std::mutex> guard(threads_mu_);
       session_threads_.emplace_back(
           [this, session] { ServeSession(session); });
     } else if (first->type == kMsgHelloCallback) {
       Decoder dec(first->payload);
       const uint64_t id = dec.GetFixed64();
-      std::lock_guard<std::mutex> guard(mutex_);
-      auto it = sessions_.find(id);
-      if (it != sessions_.end()) {
-        it->second->callback = std::move(*sock);
-        it->second->has_callback.store(true);
+      std::shared_ptr<Session> session = FindSession(id);
+      if (session != nullptr) {
+        // The session is already published, so Stop() or a callback round
+        // trip can be looking at this socket; callback_mutex guards the fd.
+        std::lock_guard<std::mutex> cb_guard(session->callback_mutex);
+        session->callback = std::move(*sock);
+        session->has_callback.store(true);
       }
     }
   }
@@ -127,34 +156,26 @@ void BessServer::ServeSession(std::shared_ptr<Session> session) {
   // decided: presumed abort — the coordinator kept its decision in volatile
   // memory, and this channel can no longer deliver one.
   if (!session->prepared_gtids.empty()) {
-    std::vector<Database*> dbs;
-    {
-      std::lock_guard<std::mutex> guard(mutex_);
-      for (auto& [id, db] : databases_) {
-        (void)id;
-        dbs.push_back(db);
-      }
-    }
     for (uint64_t gtid : session->prepared_gtids) {
-      for (Database* db : dbs) {
+      for (Database* db : AllDatabases()) {
         (void)db->AbortPrepared(gtid);
       }
     }
   }
   // Then release its locks (cached and held) and forget it.
   locks_.ReleaseAll(session->id);
-  std::lock_guard<std::mutex> guard(mutex_);
-  sessions_.erase(session->id);
-  stats_.sessions_reaped++;
+  {
+    SessionShard& shard = SessionShardFor(session->id);
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.map.erase(session->id);
+  }
+  stats_.sessions_reaped.fetch_add(1, std::memory_order_relaxed);
   BESS_GAUGE_SUB("srv.session.active", 1);
 }
 
 void BessServer::Handle(Session& session, const Message& msg,
                         uint16_t* reply_type, std::string* reply) {
-  {
-    std::lock_guard<std::mutex> guard(mutex_);
-    stats_.requests++;
-  }
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
   BESS_COUNT("srv.request");
   BESS_SPAN("srv.request.latency");
   Status s = HandleRequest(session, msg, reply, reply_type);
@@ -192,8 +213,7 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       }
       PutFixed32(reply, pages);
       reply->append(buf.data(), static_cast<size_t>(pages) * kPageSize);
-      std::lock_guard<std::mutex> guard(mutex_);
-      stats_.fetches++;
+      stats_.fetches.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
 
@@ -209,8 +229,7 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       reply->resize(static_cast<size_t>(count) * kPageSize);
       BESS_RETURN_IF_ERROR(
           db->ReadRawPages(area, first, count, reply->data()));
-      std::lock_guard<std::mutex> guard(mutex_);
-      stats_.fetches++;
+      stats_.fetches.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
 
@@ -238,10 +257,7 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       const LockMode mode = ModeFromByte(
           static_cast<uint8_t>(dec.GetBytes(1).data()[0]));
       const int timeout = static_cast<int>(dec.GetFixed32());
-      {
-        std::lock_guard<std::mutex> guard(mutex_);
-        stats_.lock_requests++;
-      }
+      stats_.lock_requests.fetch_add(1, std::memory_order_relaxed);
       return AcquireWithCallbacks(session, key, mode,
                                   timeout > 0 ? timeout
                                               : options_.lock_timeout_ms);
@@ -260,12 +276,13 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
     case kMsgCommit: {
       const uint64_t ctid = dec.GetFixed64();
       if (!dec.ok()) return Status::Protocol("bad commit request");
-      {
-        std::lock_guard<std::mutex> guard(mutex_);
-        if (ctid != 0 && applied_commits_.count(ctid)) {
+      if (ctid != 0) {
+        CommitShard& shard = CommitShardFor(ctid);
+        std::lock_guard<std::mutex> guard(shard.mu);
+        if (shard.applied.count(ctid)) {
           // A replay of a commit we already applied (its reply was lost):
           // report the original outcome instead of applying twice.
-          stats_.commit_dedupes++;
+          stats_.commit_dedupes.fetch_add(1, std::memory_order_relaxed);
           return Status::OK();
         }
       }
@@ -278,16 +295,17 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
         BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
         BESS_RETURN_IF_ERROR(db->CommitPageSet(set));
       }
-      std::lock_guard<std::mutex> guard(mutex_);
       if (ctid != 0) {
-        applied_commits_.insert(ctid);
-        applied_commit_order_.push_back(ctid);
-        if (applied_commit_order_.size() > kAppliedCommitWindow) {
-          applied_commits_.erase(applied_commit_order_.front());
-          applied_commit_order_.pop_front();
+        CommitShard& shard = CommitShardFor(ctid);
+        std::lock_guard<std::mutex> guard(shard.mu);
+        shard.applied.insert(ctid);
+        shard.order.push_back(ctid);
+        if (shard.order.size() > kAppliedCommitWindow / kCommitShards) {
+          shard.applied.erase(shard.order.front());
+          shard.order.pop_front();
         }
       }
-      stats_.commits++;
+      stats_.commits.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
 
@@ -307,16 +325,8 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
 
     case kMsgCommitPrepared: {
       const uint64_t gtid = dec.GetFixed64();
-      std::vector<Database*> dbs;
-      {
-        std::lock_guard<std::mutex> guard(mutex_);
-        for (auto& [id, db] : databases_) {
-          (void)id;
-          dbs.push_back(db);
-        }
-      }
       bool any = false;
-      for (Database* db : dbs) {
+      for (Database* db : AllDatabases()) {
         Status s = db->CommitPrepared(gtid);
         if (s.ok()) any = true;
         else if (!s.IsNotFound()) return s;
@@ -328,15 +338,7 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
 
     case kMsgAbortPrepared: {
       const uint64_t gtid = dec.GetFixed64();
-      std::vector<Database*> dbs;
-      {
-        std::lock_guard<std::mutex> guard(mutex_);
-        for (auto& [id, db] : databases_) {
-          (void)id;
-          dbs.push_back(db);
-        }
-      }
-      for (Database* db : dbs) {
+      for (Database* db : AllDatabases()) {
         (void)db->AbortPrepared(gtid);
       }
       session.prepared_gtids.erase(gtid);
@@ -452,17 +454,25 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
 }
 
 void BessServer::MarkSessionDefunct(Session* session) {
-  {
-    std::lock_guard<std::mutex> guard(mutex_);
-    stats_.callback_timeouts++;
-  }
+  stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
   BESS_COUNT("srv.callback.timeout");
   // Shutting both sockets makes the session's serving thread's Recv fail,
   // which unwinds it into ServeSession's cleanup: prepared transactions are
-  // presumed-aborted, locks released, the session erased.
+  // presumed-aborted, locks released, the session erased. The defunct flag
+  // additionally stops that thread from continuing to *wait* for locks —
+  // without it, a serving thread parked in AcquireWithCallbacks rides out
+  // its full timeout on a request whose session is already dead.
+  session->defunct.store(true);
   session->has_callback.store(false);
   session->callback.Shutdown();
   session->main.Shutdown();
+  // Release the ghost's locks now rather than when its serving thread
+  // eventually unwinds: that thread may itself be parked in a lock wait,
+  // and until it unwinds every waiter blocked on these locks would miss its
+  // grant wakeup and time out against a holder that can never answer. The
+  // unwind path's ReleaseAll then finds nothing left — release is
+  // idempotent — and sweeps up anything granted in between.
+  locks_.ReleaseAll(session->id);
 }
 
 Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
@@ -470,6 +480,11 @@ Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
+    if (session.defunct.load()) {
+      // Torn down by the callback-timeout reaper while we were waiting: our
+      // grant (if any) is moot and our locks are already being released.
+      return Status::Aborted("session torn down during lock wait");
+    }
     Status s = locks_.TryAcquire(session.id, key, mode);
     if (!s.IsBusy()) return s;  // granted or hard error
 
@@ -479,12 +494,7 @@ Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
       if (holder_id == session.id || LockCompatible(held_mode, mode)) {
         continue;
       }
-      std::shared_ptr<Session> holder;
-      {
-        std::lock_guard<std::mutex> guard(mutex_);
-        auto it = sessions_.find(holder_id);
-        if (it != sessions_.end()) holder = it->second;
-      }
+      std::shared_ptr<Session> holder = FindSession(holder_id);
       if (holder == nullptr || !holder->has_callback.load()) {
         // A dead or callback-less session cannot answer: break its lock if
         // the session is gone, otherwise keep waiting.
@@ -494,10 +504,7 @@ Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
       PutFixed64(&payload, key);
       payload.push_back(static_cast<char>(mode));
       std::lock_guard<std::mutex> cb_guard(holder->callback_mutex);
-      {
-        std::lock_guard<std::mutex> guard(mutex_);
-        stats_.callbacks_sent++;
-      }
+      stats_.callbacks_sent.fetch_add(1, std::memory_order_relaxed);
       BESS_COUNT("srv.callback.sent");
       if (!holder->callback.Send(kMsgCallback, payload).ok()) {
         MarkSessionDefunct(holder.get());
@@ -511,29 +518,52 @@ Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
         MarkSessionDefunct(holder.get());
         continue;
       }
-      std::lock_guard<std::mutex> guard(mutex_);
       if (answer->type == kMsgCallbackReleased) {
-        stats_.callbacks_released++;
+        stats_.callbacks_released.fetch_add(1, std::memory_order_relaxed);
         BESS_COUNT("srv.callback.released");
         (void)locks_.Release(holder_id, key);
       } else {
-        stats_.callbacks_denied++;  // in use: the requester keeps waiting
+        // In use: the requester keeps waiting.
+        stats_.callbacks_denied.fetch_add(1, std::memory_order_relaxed);
         BESS_COUNT("srv.callback.denied");
       }
     }
 
-    if (std::chrono::steady_clock::now() >= deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
       return Status::Deadlock("lock wait timeout (callbacks exhausted) on " +
                               std::to_string(key));
     }
-    // Brief pause before the next round so busy holders can finish.
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Wait for a grant on the lock manager's shard condition instead of
+    // polling: a release (callback answer, commit, or a reaped holder's
+    // ReleaseAll) wakes us immediately. The wait is capped per round so
+    // unanswered conflicts re-enter the callback loop above.
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int round_ms =
+        static_cast<int>(std::min<int64_t>(remaining.count() + 1, 50));
+    s = locks_.Acquire(session.id, key, mode, round_ms);
+    if (!s.IsDeadlock()) return s;  // granted or hard error
   }
 }
 
 BessServer::Stats BessServer::stats() const {
-  std::lock_guard<std::mutex> guard(mutex_);
-  return stats_;
+  Stats out;
+  out.requests = stats_.requests.load(std::memory_order_relaxed);
+  out.fetches = stats_.fetches.load(std::memory_order_relaxed);
+  out.commits = stats_.commits.load(std::memory_order_relaxed);
+  out.commit_dedupes = stats_.commit_dedupes.load(std::memory_order_relaxed);
+  out.sessions_reaped =
+      stats_.sessions_reaped.load(std::memory_order_relaxed);
+  out.lock_requests = stats_.lock_requests.load(std::memory_order_relaxed);
+  out.callbacks_sent = stats_.callbacks_sent.load(std::memory_order_relaxed);
+  out.callbacks_released =
+      stats_.callbacks_released.load(std::memory_order_relaxed);
+  out.callbacks_denied =
+      stats_.callbacks_denied.load(std::memory_order_relaxed);
+  out.callback_timeouts =
+      stats_.callback_timeouts.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace bess

@@ -77,14 +77,63 @@ class BessServer {
     uint64_t id = 0;
     MsgSocket main;
     MsgSocket callback;
-    std::mutex callback_mutex;  // one callback round trip at a time
+    /// Guards the callback socket: one round trip at a time, and the
+    /// AcceptLoop attach / Stop() shutdown of a published session's socket.
+    /// MarkSessionDefunct expects its callers to hold it.
+    std::mutex callback_mutex;
     std::atomic<bool> has_callback{false};
+    /// Set by the callback-timeout reaper (MarkSessionDefunct): the session
+    /// is being torn down. Its serving thread stops waiting for locks
+    /// immediately instead of riding out the timeout on a doomed request.
+    std::atomic<bool> defunct{false};
     /// Transactions this session prepared but has not yet resolved. Only
     /// touched by the session's own serving thread; on disconnect they are
     /// aborted (presumed abort: the coordinator's decision, if any, lived in
     /// client memory and can no longer reach us through this session).
     std::set<uint64_t> prepared_gtids;
   };
+
+  // There is deliberately no server-wide mutex. Per-session state (sockets,
+  // prepared gtids) is owned by the serving thread; the cross-session
+  // structures are sharded so two clients committing to different pages
+  // never contend: the session registry and the ctid dedup window hash over
+  // small per-shard mutexes, counters are relaxed atomics, and the database
+  // registry is immutable once Start() has been called.
+  static constexpr uint32_t kSessionShards = 16;
+  static constexpr uint32_t kCommitShards = 8;
+  struct SessionShard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<Session>> map;
+  };
+  struct CommitShard {
+    std::mutex mu;
+    /// Recently applied commit ids (kMsgCommit ctid prefix), a bounded
+    /// duplicate-suppression window: a client replaying a commit whose
+    /// reply was lost gets OK instead of a second application.
+    std::unordered_set<uint64_t> applied;
+    std::deque<uint64_t> order;
+  };
+  struct AtomicStats {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> fetches{0};
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> commit_dedupes{0};
+    std::atomic<uint64_t> sessions_reaped{0};
+    std::atomic<uint64_t> lock_requests{0};
+    std::atomic<uint64_t> callbacks_sent{0};
+    std::atomic<uint64_t> callbacks_released{0};
+    std::atomic<uint64_t> callbacks_denied{0};
+    std::atomic<uint64_t> callback_timeouts{0};
+  };
+
+  SessionShard& SessionShardFor(uint64_t id) {
+    return session_shards_[id % kSessionShards];
+  }
+  CommitShard& CommitShardFor(uint64_t ctid) {
+    return commit_shards_[(ctid * 0x9E3779B97F4A7C15ull >> 32) %
+                          kCommitShards];
+  }
+  std::shared_ptr<Session> FindSession(uint64_t id);
 
   void AcceptLoop();
   void ServeSession(std::shared_ptr<Session> session);
@@ -96,9 +145,12 @@ class BessServer {
   Status AcquireWithCallbacks(Session& session, uint64_t key, LockMode mode,
                               int timeout_ms);
   /// Tears down an unresponsive session's sockets so its serving thread
-  /// unwinds into the presumed-abort cleanup at the end of ServeSession.
+  /// unwinds into the presumed-abort cleanup at the end of ServeSession,
+  /// and releases its locks right away so waiters are granted promptly
+  /// instead of riding out their own timeouts against a ghost holder.
   void MarkSessionDefunct(Session* session);
   Result<Database*> DbFor(uint16_t db_id);
+  std::vector<Database*> AllDatabases();
 
   Options options_;
   LockManager locks_;
@@ -107,16 +159,14 @@ class BessServer {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> next_session_{1};
 
-  mutable std::mutex mutex_;
+  /// Populated by AddDatabase strictly before Start(); read without a lock
+  /// afterwards (Start()'s thread creation publishes it).
   std::unordered_map<uint16_t, Database*> databases_;
-  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  SessionShard session_shards_[kSessionShards];
+  CommitShard commit_shards_[kCommitShards];
+  std::mutex threads_mu_;
   std::vector<std::thread> session_threads_;
-  /// Recently applied commit ids (kMsgCommit ctid prefix), a bounded
-  /// duplicate-suppression window: a client replaying a commit whose reply
-  /// was lost gets OK instead of a second application.
-  std::unordered_set<uint64_t> applied_commits_;
-  std::deque<uint64_t> applied_commit_order_;
-  mutable Stats stats_;
+  mutable AtomicStats stats_;
 };
 
 }  // namespace bess

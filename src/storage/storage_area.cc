@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "os/fault_injection.h"
 #include "util/crc32c.h"
 #include "util/slice.h"
@@ -374,8 +375,35 @@ Status StorageArea::FlushDirtyTrailers() {
 }
 
 Status StorageArea::Sync() {
-  BESS_RETURN_IF_ERROR(FlushDirtyTrailers());
-  return file_.Sync();
+  std::unique_lock<std::mutex> lk(sync_mutex_);
+  // Any generation that *starts* after this point covers every write this
+  // caller completed before calling Sync; an in-flight generation may not.
+  const uint64_t need = sync_started_gen_ + 1;
+  bool led = false;
+  while (sync_done_gen_ < need) {
+    if (!sync_in_flight_) {
+      sync_in_flight_ = true;
+      const uint64_t gen = ++sync_started_gen_;  // gen >= need
+      led = true;
+      lk.unlock();
+      Status s = FlushDirtyTrailers();
+      if (s.ok()) {
+        BESS_SPAN("storage.sync");
+        s = file_.Sync();
+      }
+      lk.lock();
+      sync_done_gen_ = gen;
+      sync_done_status_ = s;
+      sync_in_flight_ = false;
+      sync_cv_.notify_all();
+    } else {
+      sync_cv_.wait(lk);
+    }
+  }
+  // The loop exits only once a generation started after entry finished, so
+  // sync_done_status_ is from a sync that covered this caller's writes.
+  if (!led) BESS_COUNT("storage.sync.coalesced");
+  return sync_done_status_;
 }
 
 void StorageArea::set_repair_handler(RepairHandler handler) {

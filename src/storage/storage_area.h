@@ -17,6 +17,7 @@
 #ifndef BESS_STORAGE_STORAGE_AREA_H_
 #define BESS_STORAGE_STORAGE_AREA_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -152,6 +153,16 @@ class StorageArea {
   File file_;
   uint16_t area_id_;
   std::mutex mutex_;
+  /// Sync coalescing (the force path's group commit, DESIGN.md §8): one
+  /// fdatasync covers every write completed before it started. Callers that
+  /// arrive while a sync generation is in flight wait for the next one —
+  /// which one of them leads — instead of queueing their own fsync.
+  std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
+  bool sync_in_flight_ = false;
+  uint64_t sync_started_gen_ = 0;
+  uint64_t sync_done_gen_ = 0;
+  Status sync_done_status_;
   std::vector<std::unique_ptr<BuddyAllocator>> extents_;
   PageIntegrity integrity_;
   std::mutex repair_mutex_;

@@ -71,11 +71,12 @@ Status LockManager::TryAcquire(TxnId txn, uint64_t key, LockMode mode) {
 
 Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
                                     int timeout_ms, bool blocking) {
-  std::unique_lock<std::mutex> lk(mutex_);
-  stats_.acquires++;
+  Shard& sh = ShardFor(key);
+  std::unique_lock<std::mutex> lk(sh.mu);
+  sh.stats.acquires++;
   BESS_COUNT("txn.lock.acquire");
 
-  LockEntry& entry = table_[key];
+  LockEntry& entry = sh.table[key];
   // Already holding: no-op or upgrade.
   LockMode target = mode;
   Holder* mine = nullptr;
@@ -91,12 +92,12 @@ Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
   if (GrantableLocked(entry, txn, target)) {
     if (mine != nullptr) {
       mine->mode = target;
-      stats_.upgrades++;
+      sh.stats.upgrades++;
       BESS_COUNT("txn.lock.upgrade");
     } else {
       entry.holders.push_back(Holder{txn, target});
-      by_txn_[txn].insert(key);
-      stats_.immediate_grants++;
+      sh.by_txn[txn].insert(key);
+      sh.stats.immediate_grants++;
     }
     EventContext ctx;
     ctx.a = key;
@@ -109,27 +110,16 @@ Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
     return Status::Busy("lock " + std::to_string(key) + " held in conflicting mode");
   }
 
-  stats_.waits++;
+  sh.stats.waits++;
   BESS_COUNT("txn.lock.wait");
   entry.waiters++;
   const uint64_t wait_start_ns = obs::Trace::NowNs();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
-  for (;;) {
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
-      // Timeout stands in for deadlock detection (paper §3).
-      table_[key].waiters--;
-      stats_.timeouts++;
-      BESS_COUNT("txn.lock.timeout");
-      BESS_HIST("txn.lock.wait.latency", obs::Trace::NowNs() - wait_start_ns);
-      EventContext ctx;
-      ctx.a = key;
-      (void)FireEvent(Event::kDeadlock, ctx);
-      return Status::Deadlock("lock wait timeout on key " +
-                              std::to_string(key) + " (" +
-                              LockModeName(mode) + ")");
-    }
-    LockEntry& e = table_[key];
+  // Re-checks grantability for this waiter; grants and clears the wait if
+  // possible. Shared by the wakeup and the timeout-victim paths.
+  auto try_grant_locked = [&]() -> bool {
+    LockEntry& e = sh.table[key];
     // Re-resolve our holder entry (vector may have changed).
     Holder* me = nullptr;
     LockMode tgt = mode;
@@ -140,39 +130,66 @@ Status LockManager::AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
         break;
       }
     }
-    if (GrantableLocked(e, txn, tgt)) {
-      if (me != nullptr) {
-        me->mode = tgt;
-        stats_.upgrades++;
-      } else {
-        e.holders.push_back(Holder{txn, tgt});
-        by_txn_[txn].insert(key);
-      }
-      e.waiters--;
+    if (!GrantableLocked(e, txn, tgt)) return false;
+    if (me != nullptr) {
+      me->mode = tgt;
+      sh.stats.upgrades++;
+    } else {
+      e.holders.push_back(Holder{txn, tgt});
+      sh.by_txn[txn].insert(key);
+    }
+    e.waiters--;
+    BESS_HIST("txn.lock.wait.latency", obs::Trace::NowNs() - wait_start_ns);
+    EventContext ctx;
+    ctx.a = key;
+    ctx.b = static_cast<uint64_t>(tgt);
+    (void)FireEvent(Event::kLockAcquire, ctx);
+    return true;
+  };
+  for (;;) {
+    if (sh.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      // Timeout stands in for deadlock detection (paper §3). Before
+      // declaring this waiter the victim, take the global detector mutex
+      // (never held together with a shard mutex by anyone else) and give
+      // grantability one last look: a release on another shard's resource
+      // chain may have unblocked us exactly as the clock ran out, and a
+      // grant beats a spurious abort. The detector mutex serializes victim
+      // passes so concurrent timeouts across shards pick victims one at a
+      // time against a stable table.
+      lk.unlock();
+      std::lock_guard<std::mutex> victim_pass(detector_mu_);
+      lk.lock();
+      if (try_grant_locked()) return Status::OK();
+      sh.table[key].waiters--;
+      sh.stats.timeouts++;
+      BESS_COUNT("txn.lock.timeout");
       BESS_HIST("txn.lock.wait.latency", obs::Trace::NowNs() - wait_start_ns);
       EventContext ctx;
       ctx.a = key;
-      ctx.b = static_cast<uint64_t>(tgt);
-      (void)FireEvent(Event::kLockAcquire, ctx);
-      return Status::OK();
+      (void)FireEvent(Event::kDeadlock, ctx);
+      return Status::Deadlock("lock wait timeout on key " +
+                              std::to_string(key) + " (" +
+                              LockModeName(mode) + ")");
     }
+    if (try_grant_locked()) return Status::OK();
   }
 }
 
 Status LockManager::Release(TxnId txn, uint64_t key) {
-  std::unique_lock<std::mutex> lk(mutex_);
-  auto it = table_.find(key);
-  if (it == table_.end()) return Status::NotFound("lock not held");
+  Shard& sh = ShardFor(key);
+  std::unique_lock<std::mutex> lk(sh.mu);
+  auto it = sh.table.find(key);
+  if (it == sh.table.end()) return Status::NotFound("lock not held");
   auto& holders = it->second.holders;
   for (size_t i = 0; i < holders.size(); ++i) {
     if (holders[i].txn == txn) {
       holders.erase(holders.begin() + static_cast<long>(i));
-      by_txn_[txn].erase(key);
+      sh.by_txn[txn].erase(key);
       EventContext ctx;
       ctx.a = key;
       (void)FireEvent(Event::kLockRelease, ctx);
-      if (holders.empty() && it->second.waiters == 0) table_.erase(it);
-      cv_.notify_all();
+      if (holders.empty() && it->second.waiters == 0) sh.table.erase(it);
+      sh.cv.notify_all();
       return Status::OK();
     }
   }
@@ -180,29 +197,34 @@ Status LockManager::Release(TxnId txn, uint64_t key) {
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::unique_lock<std::mutex> lk(mutex_);
-  auto it = by_txn_.find(txn);
-  if (it == by_txn_.end()) return;
-  for (uint64_t key : it->second) {
-    auto te = table_.find(key);
-    if (te == table_.end()) continue;
-    auto& holders = te->second.holders;
-    for (size_t i = 0; i < holders.size(); ++i) {
-      if (holders[i].txn == txn) {
-        holders.erase(holders.begin() + static_cast<long>(i));
-        break;
+  // A transaction's locks spread over all shards; visit each (end of
+  // transaction — cold relative to Acquire).
+  for (Shard& sh : shards_) {
+    std::unique_lock<std::mutex> lk(sh.mu);
+    auto it = sh.by_txn.find(txn);
+    if (it == sh.by_txn.end()) continue;
+    for (uint64_t key : it->second) {
+      auto te = sh.table.find(key);
+      if (te == sh.table.end()) continue;
+      auto& holders = te->second.holders;
+      for (size_t i = 0; i < holders.size(); ++i) {
+        if (holders[i].txn == txn) {
+          holders.erase(holders.begin() + static_cast<long>(i));
+          break;
+        }
       }
+      if (holders.empty() && te->second.waiters == 0) sh.table.erase(te);
     }
-    if (holders.empty() && te->second.waiters == 0) table_.erase(te);
+    sh.by_txn.erase(it);
+    sh.cv.notify_all();
   }
-  by_txn_.erase(it);
-  cv_.notify_all();
 }
 
 bool LockManager::Holds(TxnId txn, uint64_t key, LockMode* mode) const {
-  std::unique_lock<std::mutex> lk(mutex_);
-  auto it = table_.find(key);
-  if (it == table_.end()) return false;
+  Shard& sh = ShardFor(key);
+  std::unique_lock<std::mutex> lk(sh.mu);
+  auto it = sh.table.find(key);
+  if (it == sh.table.end()) return false;
   for (const Holder& h : it->second.holders) {
     if (h.txn == txn) {
       if (mode != nullptr) *mode = h.mode;
@@ -213,9 +235,10 @@ bool LockManager::Holds(TxnId txn, uint64_t key, LockMode* mode) const {
 }
 
 bool LockManager::Conflicts(TxnId txn, uint64_t key, LockMode mode) const {
-  std::unique_lock<std::mutex> lk(mutex_);
-  auto it = table_.find(key);
-  if (it == table_.end()) return false;
+  Shard& sh = ShardFor(key);
+  std::unique_lock<std::mutex> lk(sh.mu);
+  auto it = sh.table.find(key);
+  if (it == sh.table.end()) return false;
   for (const Holder& h : it->second.holders) {
     if (h.txn != txn && !LockCompatible(h.mode, mode)) return true;
   }
@@ -223,26 +246,39 @@ bool LockManager::Conflicts(TxnId txn, uint64_t key, LockMode mode) const {
 }
 
 std::vector<uint64_t> LockManager::HeldKeys(TxnId txn) const {
-  std::unique_lock<std::mutex> lk(mutex_);
-  auto it = by_txn_.find(txn);
-  if (it == by_txn_.end()) return {};
-  return std::vector<uint64_t>(it->second.begin(), it->second.end());
+  std::vector<uint64_t> out;
+  for (const Shard& sh : shards_) {
+    std::unique_lock<std::mutex> lk(sh.mu);
+    auto it = sh.by_txn.find(txn);
+    if (it == sh.by_txn.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
 }
 
 std::vector<std::pair<TxnId, LockMode>> LockManager::Holders(
     uint64_t key) const {
-  std::unique_lock<std::mutex> lk(mutex_);
+  Shard& sh = ShardFor(key);
+  std::unique_lock<std::mutex> lk(sh.mu);
   std::vector<std::pair<TxnId, LockMode>> out;
-  auto it = table_.find(key);
-  if (it != table_.end()) {
+  auto it = sh.table.find(key);
+  if (it != sh.table.end()) {
     for (const Holder& h : it->second.holders) out.emplace_back(h.txn, h.mode);
   }
   return out;
 }
 
 LockStats LockManager::stats() const {
-  std::unique_lock<std::mutex> lk(mutex_);
-  return stats_;
+  LockStats total;
+  for (const Shard& sh : shards_) {
+    std::unique_lock<std::mutex> lk(sh.mu);
+    total.acquires += sh.stats.acquires;
+    total.immediate_grants += sh.stats.immediate_grants;
+    total.waits += sh.stats.waits;
+    total.timeouts += sh.stats.timeouts;
+    total.upgrades += sh.stats.upgrades;
+  }
+  return total;
 }
 
 }  // namespace bess

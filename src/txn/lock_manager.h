@@ -79,6 +79,17 @@ struct LockStats {
   uint64_t upgrades = 0;
 };
 
+/// The lock table is hash-partitioned into kLockShards shards, each with its
+/// own mutex + condition variable, so sessions locking disjoint resources
+/// never serialize on one manager-wide mutex. A shard is picked by a
+/// Fibonacci hash of the key; a transaction's locks spread across shards, so
+/// ReleaseAll/HeldKeys visit every shard (cold paths). Timeout-based
+/// deadlock detection stays correct across shards: a waiter that times out
+/// first takes the rarely-contended detector mutex and re-checks
+/// grantability once more before declaring itself the victim — a grant that
+/// raced with the timeout wins over a spurious abort.
+inline constexpr uint32_t kLockShards = 16;
+
 class LockManager {
  public:
   explicit LockManager(int default_timeout_ms = kLockTimeoutMillis)
@@ -123,17 +134,35 @@ class LockManager {
     std::vector<Holder> holders;
     uint32_t waiters = 0;
   };
+  /// One lock-table partition. Padded to a cache line so shard mutexes do
+  /// not false-share under contention.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<uint64_t, LockEntry> table;
+    /// Keys of *this shard* held per transaction (ReleaseAll/HeldKeys
+    /// gather across all shards).
+    std::unordered_map<TxnId, std::unordered_set<uint64_t>> by_txn;
+    LockStats stats;
+  };
+
+  static uint32_t ShardIndex(uint64_t key) {
+    // Fibonacci hash: the key namespaces pack structure into high and low
+    // bits; multiply-shift mixes both into the shard index.
+    return static_cast<uint32_t>((key * 0x9E3779B97F4A7C15ull) >> 59) %
+           kLockShards;
+  }
+  Shard& ShardFor(uint64_t key) const { return shards_[ShardIndex(key)]; }
 
   Status AcquireInternal(TxnId txn, uint64_t key, LockMode mode,
                          int timeout_ms, bool blocking);
   static bool GrantableLocked(const LockEntry& entry, TxnId txn,
                               LockMode mode);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::unordered_map<uint64_t, LockEntry> table_;
-  std::unordered_map<TxnId, std::unordered_set<uint64_t>> by_txn_;
-  LockStats stats_;
+  mutable Shard shards_[kLockShards];
+  /// Serializes timed-out waiters' victim passes across shards; taken only
+  /// on the timeout path, never while holding a shard mutex.
+  std::mutex detector_mu_;
   int default_timeout_ms_;
 };
 

@@ -366,7 +366,7 @@ Status SegmentMapper::WriteFaultLocked(MappedSegment* seg, Kind kind,
 // ---- fault entry point ------------------------------------------------------
 
 bool SegmentMapper::OnFault(void* addr, bool is_write) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   Range* range = FindRangeLocked(addr);
   if (range == nullptr) return false;
   MappedSegment* seg = range->seg;
@@ -434,7 +434,7 @@ bool SegmentMapper::OnFault(void* addr, bool is_write) {
 // ---- public access ----------------------------------------------------------
 
 Result<Slot*> SegmentMapper::SlotAddress(SegmentId id, uint16_t slot_no) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   BESS_ASSIGN_OR_RETURN(MappedSegment * seg, EnsureReservedLocked(id));
   if (seg->slotted_mapped) {
     SlottedView view = MappedView(seg);
@@ -448,7 +448,13 @@ Result<Slot*> SegmentMapper::SlotAddress(SegmentId id, uint16_t slot_no) {
 
 Status SegmentMapper::ResolveSlotAddress(const void* slot_addr, SegmentId* id,
                                          uint16_t* slot_no) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  return ResolveSlotAddressLocked(slot_addr, id, slot_no);
+}
+
+Status SegmentMapper::ResolveSlotAddressLocked(const void* slot_addr,
+                                               SegmentId* id,
+                                               uint16_t* slot_no) {
   Range* range = FindRangeLocked(slot_addr);
   if (range == nullptr || range->kind != Kind::kSlotted) {
     return Status::InvalidArgument("address is not a slot address");
@@ -464,14 +470,14 @@ Status SegmentMapper::ResolveSlotAddress(const void* slot_addr, SegmentId* id,
 }
 
 Result<SlottedView> SegmentMapper::FetchSlottedNow(SegmentId id) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   BESS_ASSIGN_OR_RETURN(MappedSegment * seg, EnsureReservedLocked(id));
   BESS_RETURN_IF_ERROR(EnsureSlottedMappedLocked(seg));
   return MappedView(seg);
 }
 
 Status SegmentMapper::FetchDataNow(SegmentId id) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   BESS_ASSIGN_OR_RETURN(MappedSegment * seg, EnsureReservedLocked(id));
   BESS_RETURN_IF_ERROR(EnsureDataMappedLocked(seg));
   return Status::OK();
@@ -498,9 +504,14 @@ Result<SlottedView> SegmentMapper::View(SegmentId id) {
 
 Status SegmentMapper::WithSlottedWritable(
     SegmentId id, const std::function<Status(SlottedView&)>& fn) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   BESS_ASSIGN_OR_RETURN(MappedSegment * seg, EnsureReservedLocked(id));
   BESS_RETURN_IF_ERROR(EnsureSlottedMappedLocked(seg));
+  return WithSlottedWritableLocked(seg, fn);
+}
+
+Status SegmentMapper::WithSlottedWritableLocked(
+    MappedSegment* seg, const std::function<Status(SlottedView&)>& fn) {
   const size_t bytes = static_cast<size_t>(seg->slotted_pages) * kPageSize;
   // Unprotect / mutate / reprotect (§2.2): trusted code only.
   if (opts_.protect_slotted) {
@@ -518,13 +529,13 @@ Status SegmentMapper::WithSlottedWritable(
 }
 
 bool SegmentMapper::IsMapped(SegmentId id) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = segments_.find(id.Pack());
   return it != segments_.end() && it->second->slotted_mapped;
 }
 
 bool SegmentMapper::IsKnown(SegmentId id) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   return segments_.count(id.Pack()) != 0;
 }
 
@@ -532,14 +543,14 @@ bool SegmentMapper::IsKnown(SegmentId id) {
 
 Result<Slot*> SegmentMapper::CreateObject(SegmentId id, TypeIdx type,
                                           uint32_t size, const void* init) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   BESS_ASSIGN_OR_RETURN(MappedSegment * seg, EnsureReservedLocked(id));
   BESS_RETURN_IF_ERROR(EnsureDataMappedLocked(seg));
 
   uint16_t slot_no = kNoSlot;
   uint32_t data_off = 0;
-  BESS_RETURN_IF_ERROR(WithSlottedWritable(
-      id, [&](SlottedView& view) -> Status {
+  BESS_RETURN_IF_ERROR(WithSlottedWritableLocked(
+      seg, [&](SlottedView& view) -> Status {
         BESS_ASSIGN_OR_RETURN(uint32_t off, view.AllocData(size));
         BESS_ASSIGN_OR_RETURN(uint16_t s, view.AllocSlot());
         Slot* slot = view.slot(s);
@@ -553,7 +564,7 @@ Result<Slot*> SegmentMapper::CreateObject(SegmentId id, TypeIdx type,
 
   // Populate the object's bytes; make the covered pages writable + dirty.
   char* obj = static_cast<char*>(seg->data_base) + data_off;
-  BESS_RETURN_IF_ERROR(MarkDirty(obj, size == 0 ? 1 : size));
+  BESS_RETURN_IF_ERROR(MarkDirtyLocked(obj, size == 0 ? 1 : size));
   if (init != nullptr) {
     memcpy(obj, init, size);
   } else {
@@ -573,13 +584,13 @@ Result<Slot*> SegmentMapper::CreateLargeObject(SegmentId id, TypeIdx type,
                                                uint32_t size, uint16_t lo_area,
                                                PageId lo_first_page,
                                                uint16_t lo_pages) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   BESS_ASSIGN_OR_RETURN(MappedSegment * seg, EnsureReservedLocked(id));
   BESS_RETURN_IF_ERROR(EnsureSlottedMappedLocked(seg));
 
   uint16_t slot_no = kNoSlot;
-  BESS_RETURN_IF_ERROR(WithSlottedWritable(
-      id, [&](SlottedView& view) -> Status {
+  BESS_RETURN_IF_ERROR(WithSlottedWritableLocked(
+      seg, [&](SlottedView& view) -> Status {
         BESS_ASSIGN_OR_RETURN(uint16_t s, view.AllocSlot());
         Slot* slot = view.slot(s);
         slot->flags |= kSlotLargeObject;
@@ -607,8 +618,8 @@ Result<Slot*> SegmentMapper::CreateLargeObject(SegmentId id, TypeIdx type,
     }
   }
 
-  BESS_RETURN_IF_ERROR(WithSlottedWritable(
-      id, [&](SlottedView& view) -> Status {
+  BESS_RETURN_IF_ERROR(WithSlottedWritableLocked(
+      seg, [&](SlottedView& view) -> Status {
         view.slot(slot_no)->dp = reinterpret_cast<uint64_t>(lr->base);
         return Status::OK();
       }));
@@ -623,7 +634,7 @@ Result<Slot*> SegmentMapper::CreateLargeObject(SegmentId id, TypeIdx type,
 }
 
 Status SegmentMapper::DeleteObject(SegmentId id, uint16_t slot_no) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   BESS_ASSIGN_OR_RETURN(MappedSegment * seg, EnsureReservedLocked(id));
   BESS_RETURN_IF_ERROR(EnsureSlottedMappedLocked(seg));
 
@@ -632,7 +643,7 @@ Status SegmentMapper::DeleteObject(SegmentId id, uint16_t slot_no) {
   ctx.b = slot_no;
   (void)FireEvent(Event::kObjectDelete, ctx);
 
-  return WithSlottedWritable(id, [&](SlottedView& view) -> Status {
+  return WithSlottedWritableLocked(seg, [&](SlottedView& view) -> Status {
     Slot* slot = view.slot(slot_no);
     if (!slot->in_use()) {
       return Status::InvalidArgument("delete of unused slot");
@@ -653,7 +664,11 @@ Status SegmentMapper::DeleteObject(SegmentId id, uint16_t slot_no) {
 }
 
 Status SegmentMapper::MarkDirty(const void* ptr, size_t len) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  return MarkDirtyLocked(ptr, len);
+}
+
+Status SegmentMapper::MarkDirtyLocked(const void* ptr, size_t len) {
   Range* range = FindRangeLocked(ptr);
   if (range == nullptr || range->kind == Kind::kSlotted) {
     return Status::InvalidArgument("MarkDirty outside an object range");
@@ -702,7 +717,7 @@ Status SegmentMapper::MarkDirty(const void* ptr, size_t len) {
 Status SegmentMapper::RelocateData(SegmentId id, uint16_t new_area,
                                    PageId new_first_page,
                                    uint32_t new_page_count) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   BESS_ASSIGN_OR_RETURN(MappedSegment * seg, EnsureReservedLocked(id));
   BESS_RETURN_IF_ERROR(EnsureDataMappedLocked(seg));
   SlottedView view = MappedView(seg);
@@ -727,8 +742,8 @@ Status SegmentMapper::RelocateData(SegmentId id, uint16_t new_area,
     memcpy(new_base, seg->data_base, std::min(old_bytes, new_bytes));
     const int64_t delta = static_cast<char*>(new_base) -
                           static_cast<char*>(seg->data_base);
-    BESS_RETURN_IF_ERROR(WithSlottedWritable(
-        id, [&](SlottedView& v) -> Status {
+    BESS_RETURN_IF_ERROR(WithSlottedWritableLocked(
+        seg, [&](SlottedView& v) -> Status {
           SlottedHeader* hh = v.header();
           for (uint32_t i = 0; i < hh->slot_count; ++i) {
             Slot* s = v.slot(static_cast<uint16_t>(i));
@@ -755,8 +770,8 @@ Status SegmentMapper::RelocateData(SegmentId id, uint16_t new_area,
         vmem::kReadWrite));
   }
 
-  BESS_RETURN_IF_ERROR(WithSlottedWritable(
-      id, [&](SlottedView& v) -> Status {
+  BESS_RETURN_IF_ERROR(WithSlottedWritableLocked(
+      seg, [&](SlottedView& v) -> Status {
         SlottedHeader* hh = v.header();
         hh->data_area = new_area;
         hh->data_first_page = new_first_page;
@@ -777,7 +792,7 @@ Status SegmentMapper::RelocateData(SegmentId id, uint16_t new_area,
 }
 
 Status SegmentMapper::CompactData(SegmentId id) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   BESS_ASSIGN_OR_RETURN(MappedSegment * seg, EnsureReservedLocked(id));
   BESS_RETURN_IF_ERROR(EnsureDataMappedLocked(seg));
   SlottedView view = MappedView(seg);
@@ -815,8 +830,8 @@ Status SegmentMapper::CompactData(SegmentId id) {
   memset(static_cast<char*>(seg->data_base) + scratch.size(), 0,
          bytes - scratch.size());
 
-  BESS_RETURN_IF_ERROR(WithSlottedWritable(
-      id, [&](SlottedView& v) -> Status {
+  BESS_RETURN_IF_ERROR(WithSlottedWritableLocked(
+      seg, [&](SlottedView& v) -> Status {
         for (size_t i = 0; i < live.size(); ++i) {
           v.slot(live[i].slot_no)->dp =
               reinterpret_cast<uint64_t>(seg->data_base) + new_off[i];
@@ -865,13 +880,13 @@ Status SegmentMapper::UnswizzleImageLocked(MappedSegment* seg,
       if (v == 0 || DiskRef::IsUnswizzled(v)) continue;
       SegmentId target;
       uint16_t slot_no;
-      BESS_RETURN_IF_ERROR(ResolveSlotAddress(
+      BESS_RETURN_IF_ERROR(ResolveSlotAddressLocked(
           reinterpret_cast<const void*>(v), &target, &slot_no));
       uint16_t out_idx = kOutboundSelf;
       if (!(target == seg->id)) {
         // May append to the outbound table (a slotted mutation).
-        BESS_RETURN_IF_ERROR(WithSlottedWritable(
-            seg->id, [&](SlottedView& wv) -> Status {
+        BESS_RETURN_IF_ERROR(WithSlottedWritableLocked(
+            seg, [&](SlottedView& wv) -> Status {
               BESS_ASSIGN_OR_RETURN(out_idx, wv.InternOutbound(target));
               return Status::OK();
             }));
@@ -1007,7 +1022,13 @@ Status SegmentMapper::CollectDirty(std::vector<PageImage>* out) {
 Status SegmentMapper::CollectDirtyFor(std::vector<PageImage>* out,
                                       const SegPred& seg_pred,
                                       const PagePred& page_pred) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  return CollectDirtyForLocked(out, seg_pred, page_pred);
+}
+
+Status SegmentMapper::CollectDirtyForLocked(std::vector<PageImage>* out,
+                                            const SegPred& seg_pred,
+                                            const PagePred& page_pred) {
   for (auto& [key, seg] : segments_) {
     (void)key;
     if (!seg->slotted_mapped) continue;
@@ -1021,7 +1042,12 @@ Status SegmentMapper::MarkClean() { return MarkCleanFor(nullptr, nullptr); }
 
 Status SegmentMapper::MarkCleanFor(const SegPred& seg_pred,
                                    const PagePred& page_pred) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  return MarkCleanForLocked(seg_pred, page_pred);
+}
+
+Status SegmentMapper::MarkCleanForLocked(const SegPred& seg_pred,
+                                         const PagePred& page_pred) {
   for (auto& [key, seg] : segments_) {
     (void)key;
     if (!seg->slotted_mapped) continue;
@@ -1070,7 +1096,7 @@ Status SegmentMapper::MarkCleanFor(const SegPred& seg_pred,
 }
 
 Status SegmentMapper::RevertPage(PageAddr page) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto& [key, seg] : segments_) {
     (void)key;
     if (!seg->slotted_mapped || seg->id.db != page.db) continue;
@@ -1085,7 +1111,7 @@ Status SegmentMapper::RevertPage(PageAddr page) {
       auto it = seg->data_page_undo.find(p);
       if (it == seg->data_page_undo.end()) {
         // No in-memory undo image (e.g. fresh segment): refault from disk.
-        return Evict(seg->id, /*drop_dirty=*/true);
+        return EvictLocked(seg->id, /*drop_dirty=*/true);
       }
       char* base = static_cast<char*>(seg->data_base) +
                    static_cast<size_t>(p) * kPageSize;
@@ -1109,7 +1135,7 @@ Status SegmentMapper::RevertPage(PageAddr page) {
       if (lr.page_state[p] != kMappedDirty) return Status::OK();
       auto it = lr.page_undo.find(p);
       if (it == lr.page_undo.end()) {
-        return Evict(seg->id, /*drop_dirty=*/true);
+        return EvictLocked(seg->id, /*drop_dirty=*/true);
       }
       char* base =
           static_cast<char*>(lr.base) + static_cast<size_t>(p) * kPageSize;
@@ -1126,14 +1152,14 @@ Status SegmentMapper::RevertPage(PageAddr page) {
 }
 
 Status SegmentMapper::WriteBackAll() {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   std::vector<PageImage> pages;
-  BESS_RETURN_IF_ERROR(CollectDirty(&pages));
+  BESS_RETURN_IF_ERROR(CollectDirtyForLocked(&pages, nullptr, nullptr));
   for (const PageImage& img : pages) {
     BESS_RETURN_IF_ERROR(store_->WritePages(img.db, img.area, img.page, 1,
                                             img.bytes.data()));
   }
-  return MarkClean();
+  return MarkCleanForLocked(nullptr, nullptr);
 }
 
 Status SegmentMapper::DecommitSegmentLocked(MappedSegment* seg) {
@@ -1171,7 +1197,11 @@ Status SegmentMapper::DecommitSegmentLocked(MappedSegment* seg) {
 }
 
 Status SegmentMapper::Evict(SegmentId id, bool drop_dirty) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  return EvictLocked(id, drop_dirty);
+}
+
+Status SegmentMapper::EvictLocked(SegmentId id, bool drop_dirty) {
   auto it = segments_.find(id.Pack());
   if (it == segments_.end()) return Status::OK();
   MappedSegment* seg = it->second.get();
@@ -1198,7 +1228,7 @@ Status SegmentMapper::Evict(SegmentId id, bool drop_dirty) {
 }
 
 Status SegmentMapper::DiscardDirty() {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto& [key, seg] : segments_) {
     (void)key;
     bool dirty = seg->slotted_dirty;
@@ -1239,17 +1269,17 @@ Status SegmentMapper::ReleaseSegmentLocked(MappedSegment* seg) {
 }
 
 Status SegmentMapper::EvictAll(bool drop_dirty) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto& [key, seg] : segments_) {
     (void)key;
-    Status s = Evict(seg->id, drop_dirty);
+    Status s = EvictLocked(seg->id, drop_dirty);
     if (!s.ok() && !s.IsBusy()) return s;
   }
   return Status::OK();
 }
 
 Status SegmentMapper::Reset() {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto& [key, seg] : segments_) {
     (void)key;
     BESS_RETURN_IF_ERROR(ReleaseSegmentLocked(seg.get()));
@@ -1263,7 +1293,7 @@ Result<SlottedView> SegmentMapper::InstallNewSegment(
     SegmentId id, uint16_t file_id, uint32_t slotted_page_count,
     uint32_t slot_capacity, uint16_t outbound_capacity, uint16_t data_area,
     PageId data_first_page, uint32_t data_page_count) {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   if (slotted_page_count == 0 || slotted_page_count > kMaxSlottedPages) {
     return Status::InvalidArgument("bad slotted page count");
   }
@@ -1314,7 +1344,7 @@ Result<SlottedView> SegmentMapper::InstallNewSegment(
 }
 
 SegmentMapper::Stats SegmentMapper::stats() const {
-  std::lock_guard<std::recursive_mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(mu_);
   return stats_;
 }
 

@@ -282,8 +282,21 @@ class SegmentMapper : public FaultRangeOwner {
     uint16_t slot_no;  // for kLarge
   };
 
-  // All Locked methods require mu_ held.
+  // All Locked methods require mu_ held. Public entry points lock exactly
+  // once and delegate here; internal code never calls a public entry point
+  // (mu_ is a plain mutex — no hidden re-entrancy).
   Result<MappedSegment*> EnsureReservedLocked(SegmentId id);
+  Status WithSlottedWritableLocked(MappedSegment* seg,
+                                   const std::function<Status(SlottedView&)>&
+                                       fn);
+  Status MarkDirtyLocked(const void* ptr, size_t len);
+  Status ResolveSlotAddressLocked(const void* slot_addr, SegmentId* id,
+                                  uint16_t* slot_no);
+  Status EvictLocked(SegmentId id, bool drop_dirty);
+  Status CollectDirtyForLocked(std::vector<PageImage>* out,
+                               const SegPred& seg_pred,
+                               const PagePred& page_pred);
+  Status MarkCleanForLocked(const SegPred& seg_pred, const PagePred& page_pred);
   Status FaultSlottedLocked(MappedSegment* seg);
   Status FaultDataLocked(MappedSegment* seg);
   Status FaultLargeLocked(MappedSegment* seg, LargeRange* lr);
@@ -322,7 +335,7 @@ class SegmentMapper : public FaultRangeOwner {
   int dispatcher_slot_ = -1;
   AccessObserver* observer_ = nullptr;
 
-  mutable std::recursive_mutex mu_;
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::unique_ptr<MappedSegment>> segments_;
   std::map<uintptr_t, Range> ranges_;  // by begin address
   Stats stats_;

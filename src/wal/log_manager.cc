@@ -101,38 +101,76 @@ Result<Lsn> LogManager::AppendAndFlush(const LogRecord& rec) {
   return lsn;
 }
 
-Status LogManager::Flush(Lsn lsn) {
-  std::lock_guard<std::mutex> guard(mutex_);
+Status LogManager::ClaimFlushOwnership(std::unique_lock<std::mutex>& lk) {
+  while (flush_in_progress_) {
+    flush_cv_.wait(lk);
+  }
   if (!wedged_.ok()) return wedged_;
-  if (flushed_ > lsn) return Status::OK();  // group commit: already durable
-  if (!buffer_.empty()) {
-    BESS_RETURN_IF_ERROR(
-        file_.WriteAt(buffer_start_, buffer_.data(), buffer_.size()));
-    buffer_start_ += buffer_.size();
-    buffer_.clear();
+  flush_in_progress_ = true;
+  return Status::OK();
+}
+
+void LogManager::ReleaseFlushOwnership() {
+  flush_in_progress_ = false;
+  flush_cv_.notify_all();
+}
+
+Status LogManager::Flush(Lsn lsn) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (!wedged_.ok()) return wedged_;
+  if (flushed_ > lsn) return Status::OK();  // covered by an earlier batch
+  pending_syncers_++;
+  // Follower: a leader's fsync is in flight. Park on the batch condition;
+  // on wakeup either that batch covered our LSN (done) or we lead the next.
+  while (flush_in_progress_) {
+    flush_cv_.wait(lk);
+    if (!wedged_.ok()) return wedged_;
+    if (flushed_ > lsn) return Status::OK();
   }
-  Status sync;
-  {
+  // Leader: snap the whole buffer (our record and every committer batched
+  // behind us) and do the one write+fsync with the latch released, so
+  // appenders and the next batch's followers are never blocked on I/O.
+  flush_in_progress_ = true;
+  uint64_t batch = pending_syncers_;
+  if (batch == 0) batch = 1;  // our registration was snapped by a prior batch
+  pending_syncers_ = 0;
+  std::string batch_buf;
+  batch_buf.swap(buffer_);
+  const Lsn write_at = buffer_start_;
+  const Lsn batch_end = tail_;
+  buffer_start_ = batch_end;
+  lk.unlock();
+
+  Status st;
+  if (!batch_buf.empty()) {
+    st = file_.WriteAt(write_at, batch_buf.data(), batch_buf.size());
+  }
+  if (st.ok()) {
     BESS_SPAN("wal.fsync");
-    sync = file_.Sync();
+    st = file_.Sync();
   }
-  if (!sync.ok()) {
-    // fsyncgate: a failed fsync may have already discarded the dirty pages,
-    // so retrying can report "durable" for data that never hit the platter.
-    // Wedge the log permanently; only a reopen (which re-scans the true
-    // on-disk tail) clears it.
-    wedged_ = sync;
-    return sync;
+
+  lk.lock();
+  if (!st.ok()) {
+    // fsyncgate: a failed (or interrupted) fsync may have already discarded
+    // the dirty pages, so retrying can report "durable" for data that never
+    // hit the platter. Wedge the log permanently; only a reopen (which
+    // re-scans the true on-disk tail) clears it. Followers wake to wedged_.
+    wedged_ = st;
+    ReleaseFlushOwnership();
+    return st;
   }
-  sync_count_++;
-  flushed_ = tail_;
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
+  flushed_ = batch_end;
+  BESS_HIST("wal.group_commit.batch_size", batch);
+  ReleaseFlushOwnership();
   return Status::OK();
 }
 
 Status LogManager::Scan(
     Lsn from, const std::function<Status(Lsn, const LogRecord&)>& fn) {
   // Make everything visible to the read path first.
-  BESS_RETURN_IF_ERROR(Flush(tail_ - 1));
+  BESS_RETURN_IF_ERROR(Flush(tail_lsn() - 1));
   Lsn lsn = from == kNullLsn ? kHeaderSize : from;
   char frame[kFrameHeader];
   for (;;) {
@@ -157,7 +195,7 @@ Status LogManager::Scan(
 }
 
 Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
-  BESS_RETURN_IF_ERROR(Flush(tail_ - 1));
+  BESS_RETURN_IF_ERROR(Flush(tail_lsn() - 1));
   char frame[kFrameHeader];
   BESS_RETURN_IF_ERROR(file_.ReadAt(lsn, frame, kFrameHeader));
   const uint32_t len = DecodeFixed32(frame);
@@ -176,23 +214,27 @@ Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
 }
 
 Status LogManager::SetCheckpointLsn(Lsn lsn) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_lock<std::mutex> lk(mutex_);
   if (!wedged_.ok()) return wedged_;
+  // Exclude any in-flight group-commit batch: its fsync must not be able to
+  // observe (and make durable) a master record pointing past its own tail.
+  BESS_RETURN_IF_ERROR(ClaimFlushOwnership(lk));
   char buf[12];
   EncodeFixed32(buf, kLogMagic);
   EncodeFixed64(buf + 4, lsn);
-  BESS_RETURN_IF_ERROR(file_.WriteAt(0, buf, sizeof(buf)));
-  Status sync;
-  {
+  Status st = file_.WriteAt(0, buf, sizeof(buf));
+  if (st.ok()) {
     BESS_SPAN("wal.fsync");
-    sync = file_.Sync();
+    st = file_.Sync();
   }
-  if (!sync.ok()) {
-    wedged_ = sync;
-    return sync;
+  if (!st.ok()) {
+    wedged_ = st;
+    ReleaseFlushOwnership();
+    return st;
   }
-  sync_count_++;
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
   checkpoint_lsn_ = lsn;
+  ReleaseFlushOwnership();
   return Status::OK();
 }
 
@@ -212,28 +254,34 @@ Lsn LogManager::flushed_lsn() const {
 }
 
 Status LogManager::Reset() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_lock<std::mutex> lk(mutex_);
   if (!wedged_.ok()) return wedged_;
+  // Truncating under an in-flight batch write would race the leader's file
+  // ops; claim flush ownership first (mutex_ stays held across our own I/O,
+  // which also keeps appenders out — Reset is rare and cold).
+  BESS_RETURN_IF_ERROR(ClaimFlushOwnership(lk));
+  auto finish = [&](Status st) {
+    if (!st.ok()) wedged_ = st;
+    ReleaseFlushOwnership();
+    return st;
+  };
   buffer_.clear();
-  BESS_RETURN_IF_ERROR(file_.Truncate(kHeaderSize));
+  Status st = file_.Truncate(kHeaderSize);
+  if (!st.ok()) return finish(st);
   char header[kHeaderSize];
   memset(header, 0, sizeof(header));
   EncodeFixed32(header, kLogMagic);
   EncodeFixed64(header + 4, kNullLsn);
-  BESS_RETURN_IF_ERROR(file_.WriteAt(0, header, sizeof(header)));
-  Status sync;
-  {
+  st = file_.WriteAt(0, header, sizeof(header));
+  if (st.ok()) {
     BESS_SPAN("wal.fsync");
-    sync = file_.Sync();
+    st = file_.Sync();
   }
-  if (!sync.ok()) {
-    wedged_ = sync;
-    return sync;
-  }
-  sync_count_++;
+  if (!st.ok()) return finish(st);
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
   tail_ = flushed_ = buffer_start_ = kHeaderSize;
   checkpoint_lsn_ = kNullLsn;
-  return Status::OK();
+  return finish(Status::OK());
 }
 
 Status LogManager::wedged() const {

@@ -5,12 +5,20 @@
 //   then records: [u32 payload_len][u32 masked crc32c(payload)][payload]
 //
 // LSN = byte offset of the record. Appends are buffered in memory; Flush
-// makes everything up to an LSN durable. Commit flushes are coalesced
-// (group commit): if another committer already pushed the tail past our
-// LSN, the fdatasync is skipped.
+// makes everything up to an LSN durable. Commit flushes use *group commit*
+// (ARIES lineage; cf. Shore-MT's scalable logging): committers append under
+// a short buffer latch, then the first committer to need durability becomes
+// the batch leader — it snaps the whole buffer, writes and fsyncs it once
+// with the latch released, and wakes every follower whose LSN the batch
+// covered. Followers arriving mid-fsync park on the batch condition and
+// either find themselves covered on wakeup or lead the next batch. One
+// fsync thus pays for N commits; the `wal.group_commit.batch_size`
+// histogram records N per fsync and `wal.fsync` its latency.
 #ifndef BESS_WAL_LOG_MANAGER_H_
 #define BESS_WAL_LOG_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -57,7 +65,9 @@ class LogManager {
   /// made it redundant).
   Status Reset();
 
-  uint64_t sync_count() const { return sync_count_; }
+  uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
 
   /// True if the tail scan at open stopped short of the file size: the log
   /// ended in a truncated or corrupt record (crash mid-append). The torn
@@ -74,16 +84,28 @@ class LogManager {
   explicit LogManager(File file) : file_(std::move(file)) {}
 
   Status LoadExisting();
+  /// Waits (with `lk` held on mutex_) until no batch is in flight, then
+  /// claims flush ownership. Used by Flush leaders and by Reset/
+  /// SetCheckpointLsn, which must not run file ops concurrently with a
+  /// leader writing outside the mutex. Returns wedged_ if the log wedged
+  /// while waiting.
+  Status ClaimFlushOwnership(std::unique_lock<std::mutex>& lk);
+  void ReleaseFlushOwnership();  // must hold mutex_
 
   File file_;
   mutable std::mutex mutex_;
+  /// Group-commit state: followers park here; the leader holds
+  /// flush_in_progress_ while its write+fsync runs outside the mutex.
+  std::condition_variable flush_cv_;
+  bool flush_in_progress_ = false;
+  uint64_t pending_syncers_ = 0;  ///< Flush callers awaiting the next fsync
   std::string buffer_;       // appended but unwritten bytes
   Lsn buffer_start_ = 0;     // LSN of buffer_[0]
   Lsn tail_ = 0;
   Lsn flushed_ = 0;
   Lsn checkpoint_lsn_ = kNullLsn;
   bool torn_tail_ = false;  // set once at open by the tail scan
-  uint64_t sync_count_ = 0;
+  std::atomic<uint64_t> sync_count_{0};
   Status wedged_;  // sticky first Sync failure; non-OK refuses all mutation
 };
 

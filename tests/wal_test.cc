@@ -187,6 +187,46 @@ TEST_F(WalTest, TornTailFromInjectedShortWriteIsReported) {
   EXPECT_EQ(rec.stats().recovered_tail_lsn, good_tail);
 }
 
+TEST_F(WalTest, InterruptedFsyncWedgesLogUntilReopen) {
+  const PageAddr p{1, 0, 9};
+  {
+    auto log = LogManager::Open(path_);
+    ASSERT_TRUE(log.ok());
+    Lsn b = LogSimple(log->get(), LogRecordType::kBegin, 1, kNullLsn);
+    Lsn w = LogWrite(log->get(), 1, p, PageOf('0'), PageOf('D'), b);
+    Lsn c = LogSimple(log->get(), LogRecordType::kCommit, 1, w);
+
+    // An fdatasync that returns after an interruption leaves the durability
+    // of the pending dirty range unknown (the kernel may already have
+    // cleared dirty flags — fsyncgate). File::Sync deliberately does NOT
+    // retry; the log must treat the interrupted sync as a hard failure and
+    // wedge permanently.
+    fault::FaultSpec spec = fault::FaultSpec::FailNth(1);
+    spec.detail_filter = path_;
+    fault::FaultRegistry::Instance().Arm("file.sync", spec);
+    Status flushed = (*log)->Flush(c);
+    fault::FaultRegistry::Instance().DisarmAll();
+    ASSERT_FALSE(flushed.ok());
+
+    // Wedged: every durability-relevant call fails from now on, with no
+    // further injected faults — the failure is sticky.
+    EXPECT_FALSE((*log)->Flush(c).ok());
+    LogRecord rec;
+    rec.type = LogRecordType::kBegin;
+    rec.txn = 2;
+    EXPECT_FALSE((*log)->Append(rec).ok());
+  }
+
+  // Reopen re-scans the true on-disk tail: that is the only way out of the
+  // wedge. The unsynced batch never reported success, so losing it is
+  // correct; the log must be consistent and writable again.
+  auto log = LogManager::Open(path_);
+  ASSERT_TRUE(log.ok());
+  Lsn b = LogSimple(log->get(), LogRecordType::kBegin, 3, kNullLsn);
+  EXPECT_NE(b, kNullLsn);
+  EXPECT_TRUE((*log)->Flush(b).ok());
+}
+
 TEST_F(WalTest, RecoveryRedoesCommittedUndoesLosers) {
   auto logr = LogManager::Open(path_);
   ASSERT_TRUE(logr.ok());
