@@ -7,6 +7,7 @@
 // transactions (with the server reclaiming via callbacks) against clients
 // that drop everything at commit (the paper's node-less behaviour), and
 // report transactions/second and messages per transaction.
+#include "bess/bess_internal.h"
 #include "workload.h"
 
 using namespace bessbench;

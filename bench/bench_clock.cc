@@ -14,6 +14,7 @@
 #include "baseline/replacement.h"
 #include "cache/private_pool.h"
 #include "vm/mem_store.h"
+#include "bess/bess_internal.h"
 #include "workload.h"
 
 using namespace bessbench;

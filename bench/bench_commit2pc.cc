@@ -6,6 +6,7 @@
 // coordinating for its first server), at several simulated link latencies.
 // Also demonstrates timeout-based deadlock detection: two clients locking
 // two objects in opposite orders; one of them aborts within the timeout.
+#include "bess/bess_internal.h"
 #include "workload.h"
 
 using namespace bessbench;

@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "os/socket.h"
 #include "wal/log_manager.h"
+#include "bess/bess_internal.h"
 #include "workload.h"
 
 using namespace bessbench;
@@ -120,6 +121,8 @@ class PageServer {
 
 // Copy-on-access client store: fetches over the socket; writes ship as a
 // commit page set (and the send/recv copies are the mode's inherent cost).
+// The mutex serializes the request/reply pairs: with the pool's bgwriter
+// enabled, its flush thread shares this socket with foreground fetches.
 class SocketStore : public SegmentStore {
  public:
   explicit SocketStore(const std::string& path) {
@@ -136,6 +139,7 @@ class SocketStore : public SegmentStore {
     PutFixed16(&payload, area);
     PutFixed32(&payload, first);
     PutFixed32(&payload, count);
+    std::lock_guard<std::mutex> guard(mu_);
     BESS_RETURN_IF_ERROR(sock_.Send(kMsgFetchPages, payload));
     BESS_ASSIGN_OR_RETURN(Message reply, sock_.Recv());
     memcpy(buf, reply.payload.data(), reply.payload.size());
@@ -156,6 +160,7 @@ class SocketStore : public SegmentStore {
     }
     std::string payload;
     EncodePageSet(pages, &payload);
+    std::lock_guard<std::mutex> guard(mu_);
     BESS_RETURN_IF_ERROR(sock_.Send(kMsgCommit, payload));
     BESS_ASSIGN_OR_RETURN(Message reply, sock_.Recv());
     (void)reply;
@@ -163,6 +168,7 @@ class SocketStore : public SegmentStore {
   }
 
  private:
+  std::mutex mu_;
   MsgSocket sock_;
 };
 
@@ -171,6 +177,12 @@ struct WorkerArgs {
   int reads_per_txn;
   int writes_per_txn;
   uint64_t seed;
+  /// Eviction-pressure variant (E8b): caches sized below the working set,
+  /// one flush at the end (a long transaction) instead of one per txn.
+  uint32_t cache_frames = 64;       ///< per-worker private pool frames
+  uint32_t shm_frames = kDbPages;   ///< shared-cache slots
+  bool long_txn = false;
+  bool bgwriter = false;
 };
 
 // One copy-on-access worker process: private pool + IPC per miss; commit
@@ -179,7 +191,11 @@ struct WorkerArgs {
 void RunCoaWorker(const std::string& sock_path, const std::string& pool_path,
                   const WorkerArgs& args, int result_fd) {
   SocketStore store(sock_path);
-  auto pool = PrivateBufferPool::Open(pool_path, 64, &store);
+  PrivateBufferPool::Options popts;
+  popts.enable_bgwriter = args.bgwriter;
+  popts.bgwriter_interval_ms = 1;
+  auto pool =
+      PrivateBufferPool::Open(pool_path, args.cache_frames, &store, popts);
   if (!pool.ok()) _exit(2);
   Random rng(args.seed);
   for (int t = 0; t < args.txns; ++t) {
@@ -200,8 +216,9 @@ void RunCoaWorker(const std::string& sock_path, const std::string& pool_path,
       if (!addr.ok()) _exit(2);
       (*static_cast<uint64_t*>(*addr))++;
     }
-    if (!(*pool)->FlushDirty().ok()) _exit(2);
+    if (!args.long_txn && !(*pool)->FlushDirty().ok()) _exit(2);
   }
+  if (args.long_txn && !(*pool)->FlushDirty().ok()) _exit(2);
   char done = 'd';
   (void)!write(result_fd, &done, 1);
   _exit(0);
@@ -237,7 +254,10 @@ void RunShmWorker(const std::string& shm_name, const std::string& file_path,
     File file_;
   } store(file_path);
 
-  auto space = SharedPageSpace::Open(std::move(*cache), &store);
+  SharedPageSpace::Options sopts;
+  sopts.enable_bgwriter = args.bgwriter;
+  sopts.bgwriter_interval_ms = 1;
+  auto space = SharedPageSpace::Open(std::move(*cache), &store, sopts);
   if (!space.ok()) _exit(2);
   Random rng(args.seed);
   for (int t = 0; t < args.txns; ++t) {
@@ -265,7 +285,8 @@ void RunShmWorker(const std::string& shm_name, const std::string& file_path,
   _exit(0);
 }
 
-double RunMode(bool shared_mode, const TempDir& dir, const WorkerArgs& args) {
+double RunMode(bool shared_mode, const TempDir& dir, const WorkerArgs& args,
+               int workers = kWorkers) {
   const std::string file_path = dir.Sub("pages.db");
   {
     auto f = File::Open(file_path);
@@ -283,7 +304,7 @@ double RunMode(bool shared_mode, const TempDir& dir, const WorkerArgs& args) {
   SharedCache creator;  // keeps the shm alive in shared mode
   if (shared_mode) {
     SharedCache::Geometry geo;
-    geo.frame_count = kDbPages;
+    geo.frame_count = args.shm_frames;
     geo.vframe_count = kDbPages * 2;
     geo.smt_capacity = 1024;
     auto c = SharedCache::Create(shm_name, geo);
@@ -298,7 +319,7 @@ double RunMode(bool shared_mode, const TempDir& dir, const WorkerArgs& args) {
 
   const double secs = TimeIt([&] {
     std::vector<pid_t> pids;
-    for (int w = 0; w < kWorkers; ++w) {
+    for (int w = 0; w < workers; ++w) {
       WorkerArgs wa = args;
       wa.seed = static_cast<uint64_t>(w) * 104729 + 7;
       pid_t pid = fork();
@@ -359,6 +380,53 @@ int main() {
          "transaction must ship; its cost is only the latch per write\n"
          "(§4.1). Copy-on-access remains the safe default for untrusted\n"
          "code: processes never touch shared control state.\n");
+
+  // E8b: the same crossover under eviction pressure — working set (256
+  // pages) at 2x the cache (128 frames), one long transaction, so every
+  // miss must evict and dirty victims need write-back. The bgwriter's
+  // claim: foreground faults never pay that write synchronously.
+  PrintHeader(
+      "E8b: eviction pressure (working set 2x cache) — bgwriter off vs on",
+      "mode             bgwriter   txn/s   sync-writebacks   bg-flushed");
+  struct PressureRow {
+    bool shared_mode;
+    bool bgwriter;
+  };
+  bool bgwriter_claim_ok = true;
+  for (const PressureRow row :
+       {PressureRow{false, false}, PressureRow{false, true},
+        PressureRow{true, false}, PressureRow{true, true}}) {
+    TempDir dir("modes_pressure");
+    WorkerArgs args{/*txns=*/40, /*reads=*/32, /*writes=*/16, 0};
+    args.cache_frames = kDbPages / 2;
+    args.shm_frames = kDbPages / 2;
+    args.long_txn = true;
+    args.bgwriter = row.bgwriter;
+    const Stats before = Snapshot();
+    const double secs = RunMode(row.shared_mode, dir, args, /*workers=*/1);
+    const Stats delta = StatsDelta(before, Snapshot());
+    const uint64_t sync_wb = delta.counter("cache.evict.sync_writeback");
+    const uint64_t bg_flushed = delta.counter("cache.bgwriter.flushed");
+    printf("%-15s   %8s   %5.0f   %15llu   %10llu\n",
+           row.shared_mode ? "shared-memory" : "copy-on-access",
+           row.bgwriter ? "on" : "off", args.txns / secs,
+           static_cast<unsigned long long>(sync_wb),
+           static_cast<unsigned long long>(bg_flushed));
+    if (row.bgwriter && (sync_wb != 0 || bg_flushed == 0)) {
+      bgwriter_claim_ok = false;
+    }
+  }
+  printf("\nExpectation: with the bgwriter off, dirty victims are written\n"
+         "back synchronously inside the faulting thread. With it on, the\n"
+         "flush-ahead keeps clean victims available: sync-writebacks drop\n"
+         "to zero and the same work rides the background thread instead\n"
+         "(cache.bgwriter.flushed).\n");
   WriteMetricsSidecar("bench_modes");
+  if (!bgwriter_claim_ok) {
+    fprintf(stderr,
+            "FAIL: bgwriter-enabled phase issued synchronous write-backs "
+            "(or never flushed)\n");
+    return 1;
+  }
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "os/fault_injection.h"
 #include "server/bess_server.h"
 #include "server/remote_client.h"
+#include "bess/bess_internal.h"
 #include "workload.h"
 
 using namespace bessbench;

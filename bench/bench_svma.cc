@@ -5,7 +5,8 @@
 // shm_ref translation vs a raw pointer, and the second-chance transition.
 #include <sys/mman.h>
 
-#include "api/bess.h"
+#include "bess/bess.h"
+#include "bess/bess_internal.h"
 #include "workload.h"
 
 using namespace bessbench;

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "api/bess.h"
+#include "bess/bess.h"
 #include "util/random.h"
 
 namespace bessbench {

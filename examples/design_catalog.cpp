@@ -12,7 +12,8 @@
 #include <string>
 #include <vector>
 
-#include "api/bess.h"
+#include "bess/bess.h"
+#include "bess/bess_internal.h"
 #include "util/random.h"
 
 using namespace bess;

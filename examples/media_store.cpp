@@ -11,7 +11,8 @@
 #include <cstdio>
 #include <string>
 
-#include "api/bess.h"
+#include "bess/bess.h"
+#include "bess/bess_internal.h"
 #include "util/random.h"
 
 using namespace bess;

@@ -9,7 +9,8 @@
 #include <cstdio>
 #include <string>
 
-#include "api/bess.h"
+#include "bess/bess.h"
+#include "bess/bess_internal.h"
 
 using namespace bess;
 

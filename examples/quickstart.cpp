@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <string>
 
-#include "api/bess.h"
+#include "bess/bess.h"
 
 using namespace bess;
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Guards the locking discipline the frame-lifecycle refactor depends on:
+# every mutex in the tree is a plain std::mutex, with public entry points
+# locking exactly once and delegating to *Locked internals. A recursive
+# mutex would let hidden re-entrancy creep back in (the original eviction
+# self-deadlock was exactly such a cycle) and TSan's lock-order analysis
+# degrades on recursive locks. CI fails on the first occurrence.
+set -eu
+cd "$(dirname "$0")/.."
+
+if grep -rn "recursive_mutex" src/ bench/ examples/ tests/ 2>/dev/null; then
+  echo "error: recursive_mutex found — use a plain std::mutex and the" >&2
+  echo "Locked-suffix delegation pattern instead (see vm/mapper.h)." >&2
+  exit 1
+fi
+echo "no recursive_mutex: OK"

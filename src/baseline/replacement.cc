@@ -2,128 +2,40 @@
 
 namespace bess {
 
-// ---- LruPool ------------------------------------------------------------------
-
-LruPool::LruPool(uint32_t frame_count, SegmentStore* store)
-    : frame_count_(frame_count), store_(store) {
-  data_.resize(frame_count);
-  frames_.resize(frame_count);
-  for (uint32_t f = 0; f < frame_count; ++f) {
-    data_[f].resize(kPageSize);
-    free_.push_back(frame_count - 1 - f);
-  }
+FrameTable::Options ClassicPool::MakeOptions(uint32_t frame_count,
+                                             const std::string& policy) {
+  FrameTable::Options opts;
+  opts.frame_count = frame_count;
+  opts.policy = policy;
+  return opts;
 }
 
-Result<void*> LruPool::Fix(PageAddr page, bool for_write) {
-  stats_.fixes++;
-  const uint64_t key = page.Pack();
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    const uint32_t f = it->second;
-    lru_.erase(frames_[f].lru_pos);
-    lru_.push_front(f);
-    frames_[f].lru_pos = lru_.begin();
-    frames_[f].dirty |= for_write;
-    stats_.hits++;
-    return data_[f].data();
-  }
-  uint32_t f;
-  if (!free_.empty()) {
-    f = free_.back();
-    free_.pop_back();
-  } else {
-    f = lru_.back();
-    lru_.pop_back();
-    Frame& victim = frames_[f];
-    if (victim.dirty) {
-      const PageAddr addr = PageAddr::Unpack(victim.key);
-      BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page,
-                                              1, data_[f].data()));
-    }
-    table_.erase(victim.key);
-    stats_.evictions++;
-  }
-  BESS_RETURN_IF_ERROR(
-      store_->FetchPages(page.db, page.area, page.page, 1, data_[f].data()));
-  lru_.push_front(f);
-  frames_[f] = Frame{key, for_write, lru_.begin()};
-  table_[key] = f;
-  stats_.misses++;
-  return data_[f].data();
+ClassicPool::ClassicPool(uint32_t frame_count, SegmentStore* store,
+                         const std::string& policy)
+    : placement_(frame_count),
+      io_(store),
+      table_(MakeOptions(frame_count, policy), &placement_, &io_),
+      init_(table_.Init()) {}
+
+void ClassicPool::RefreshStats() {
+  const FrameTable::Stats t = table_.stats();
+  stats_.fixes = t.fixes;
+  stats_.hits = t.hits;
+  stats_.misses = t.misses;
+  stats_.evictions = t.evictions;
 }
 
-Status LruPool::FlushDirty() {
-  for (uint32_t f = 0; f < frame_count_; ++f) {
-    if (frames_[f].key == 0 || !frames_[f].dirty) continue;
-    const PageAddr addr = PageAddr::Unpack(frames_[f].key);
-    BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page, 1,
-                                            data_[f].data()));
-    frames_[f].dirty = false;
-  }
-  return Status::OK();
+Result<void*> ClassicPool::Fix(PageAddr page, bool for_write) {
+  BESS_RETURN_IF_ERROR(init_);
+  auto r = table_.Fix(page.Pack(), for_write);
+  RefreshStats();
+  BESS_RETURN_IF_ERROR(r.status());
+  return r->data;
 }
 
-// ---- ClassicClockPool ------------------------------------------------------------
-
-ClassicClockPool::ClassicClockPool(uint32_t frame_count, SegmentStore* store)
-    : frame_count_(frame_count), store_(store) {
-  data_.resize(frame_count);
-  frames_.resize(frame_count);
-  for (auto& d : data_) d.resize(kPageSize);
-}
-
-Result<uint32_t> ClassicClockPool::Victim() {
-  for (uint32_t step = 0; step < 2 * frame_count_ + 1; ++step) {
-    const uint32_t f = hand_;
-    hand_ = (hand_ + 1) % frame_count_;
-    Frame& frame = frames_[f];
-    if (!frame.used) return f;
-    if (frame.ref_bit) {
-      frame.ref_bit = false;  // second chance
-      continue;
-    }
-    if (frame.dirty) {
-      const PageAddr addr = PageAddr::Unpack(frame.key);
-      BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page,
-                                              1, data_[f].data()));
-    }
-    table_.erase(frame.key);
-    frame = Frame{};
-    stats_.evictions++;
-    return f;
-  }
-  return Status::Internal("clock failed to find a victim");
-}
-
-Result<void*> ClassicClockPool::Fix(PageAddr page, bool for_write) {
-  stats_.fixes++;
-  const uint64_t key = page.Pack();
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    Frame& frame = frames_[it->second];
-    frame.ref_bit = true;  // the only access signal this design gets
-    frame.dirty |= for_write;
-    stats_.hits++;
-    return data_[it->second].data();
-  }
-  BESS_ASSIGN_OR_RETURN(uint32_t f, Victim());
-  BESS_RETURN_IF_ERROR(
-      store_->FetchPages(page.db, page.area, page.page, 1, data_[f].data()));
-  frames_[f] = Frame{key, true, true, for_write};
-  table_[key] = f;
-  stats_.misses++;
-  return data_[f].data();
-}
-
-Status ClassicClockPool::FlushDirty() {
-  for (uint32_t f = 0; f < frame_count_; ++f) {
-    if (!frames_[f].used || !frames_[f].dirty) continue;
-    const PageAddr addr = PageAddr::Unpack(frames_[f].key);
-    BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page, 1,
-                                            data_[f].data()));
-    frames_[f].dirty = false;
-  }
-  return Status::OK();
+Status ClassicPool::FlushDirty() {
+  BESS_RETURN_IF_ERROR(init_);
+  return table_.FlushDirty();
 }
 
 }  // namespace bess

@@ -9,14 +9,14 @@
 // a fraction of accesses are raw pointer touches, and reports hit rates:
 // the protection-state clock (PrivateBufferPool) sees the touches via
 // faults, these baselines do not.
+//
+// Both baselines are heap-placement configurations of the common frame
+// core (cache/frame_table.h) — same state machine as the real pools, just
+// with no protection hooks and the classic policies ("lru", "clock").
 #ifndef BESS_BASELINE_REPLACEMENT_H_
 #define BESS_BASELINE_REPLACEMENT_H_
 
-#include <list>
-#include <memory>
-#include <unordered_map>
-#include <vector>
-
+#include "cache/frame_table.h"
 #include "storage/storage_area.h"
 #include "util/config.h"
 #include "util/status.h"
@@ -44,49 +44,37 @@ class PageCacheBase {
   Stats stats_;
 };
 
-/// Strict LRU with a doubly-linked recency list.
-class LruPool : public PageCacheBase {
+/// A frame-core configuration with heap frames and a classic policy.
+class ClassicPool : public PageCacheBase {
  public:
-  LruPool(uint32_t frame_count, SegmentStore* store);
+  ClassicPool(uint32_t frame_count, SegmentStore* store,
+              const std::string& policy);
   Result<void*> Fix(PageAddr page, bool for_write) override;
   Status FlushDirty() override;
 
  private:
-  struct Frame {
-    uint64_t key = 0;
-    bool dirty = false;
-    std::list<uint32_t>::iterator lru_pos;
-  };
-  uint32_t frame_count_;
-  SegmentStore* store_;
-  std::vector<std::string> data_;
-  std::vector<Frame> frames_;
-  std::vector<uint32_t> free_;
-  std::list<uint32_t> lru_;  // front = most recent
-  std::unordered_map<uint64_t, uint32_t> table_;
+  static FrameTable::Options MakeOptions(uint32_t frame_count,
+                                         const std::string& policy);
+  void RefreshStats();
+
+  HeapPlacement placement_;
+  StorePageIo io_;
+  FrameTable table_;
+  Status init_;
+};
+
+/// Strict LRU (the frame core's "lru" = LRU-K with K = 1).
+class LruPool : public ClassicPool {
+ public:
+  LruPool(uint32_t frame_count, SegmentStore* store)
+      : ClassicPool(frame_count, store, "lru") {}
 };
 
 /// Textbook clock: one reference bit per frame, set on Fix.
-class ClassicClockPool : public PageCacheBase {
+class ClassicClockPool : public ClassicPool {
  public:
-  ClassicClockPool(uint32_t frame_count, SegmentStore* store);
-  Result<void*> Fix(PageAddr page, bool for_write) override;
-  Status FlushDirty() override;
-
- private:
-  struct Frame {
-    uint64_t key = 0;
-    bool used = false;
-    bool ref_bit = false;
-    bool dirty = false;
-  };
-  Result<uint32_t> Victim();
-  uint32_t frame_count_;
-  SegmentStore* store_;
-  std::vector<std::string> data_;
-  std::vector<Frame> frames_;
-  std::unordered_map<uint64_t, uint32_t> table_;
-  uint32_t hand_ = 0;
+  ClassicClockPool(uint32_t frame_count, SegmentStore* store)
+      : ClassicPool(frame_count, store, "clock") {}
 };
 
 }  // namespace bess

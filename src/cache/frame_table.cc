@@ -1,0 +1,647 @@
+#include "cache/frame_table.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace bess {
+namespace {
+
+/// How long a foreground miss nudges the bgwriter before falling back to a
+/// synchronous write-back, and how many whole acquisition rounds run before
+/// giving up (each round ends in Placement::ReleasePressure).
+constexpr int kBgWaitAttempts = 3;
+constexpr auto kBgWaitSlice = std::chrono::milliseconds(50);
+constexpr int kPressureRounds = 3;
+constexpr auto kLoadPoll = std::chrono::milliseconds(1);
+
+class MapDirectory : public FrameTable::Directory {
+ public:
+  uint32_t Lookup(uint64_t key) override {
+    auto it = map_.find(key);
+    return it == map_.end() ? kNoFrame : it->second;
+  }
+  Status Install(uint64_t key, uint32_t f) override {
+    map_[key] = f;
+    return Status::OK();
+  }
+  void Erase(uint64_t key, uint32_t f) override {
+    auto it = map_.find(key);
+    if (it != map_.end() && it->second == f) map_.erase(it);
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> map_;
+};
+
+}  // namespace
+
+FrameTable::FrameTable(const Options& opts, Placement* placement, PageIo* io)
+    : opts_(opts), placement_(placement), io_(io) {}
+
+FrameTable::~FrameTable() { Stop(); }
+
+Status FrameTable::Init() {
+  if (opts_.frame_count == 0) {
+    return Status::InvalidArgument("frame table needs at least one frame");
+  }
+  ClockPolicyOptions co;
+  co.use_ref_bits = opts_.clock_ref_bits;
+  co.shared_hand = opts_.shared_hand;
+  BESS_ASSIGN_OR_RETURN(
+      policy_, MakeReplacementPolicy(opts_.policy, opts_.frame_count, co));
+  if (opts_.frames != nullptr) {
+    meta_ = opts_.frames;
+  } else {
+    owned_meta_.reset(new FrameMeta[opts_.frame_count]);
+    meta_ = owned_meta_.get();
+  }
+  if (opts_.directory != nullptr) {
+    dir_ = opts_.directory;
+  } else {
+    owned_dir_.reset(new MapDirectory());
+    dir_ = owned_dir_.get();
+  }
+  if (opts_.enable_bgwriter || opts_.enable_prefetch) {
+    std::lock_guard<std::mutex> guard(mu_);
+    running_ = true;
+    bg_thread_ = std::thread([this] { BackgroundMain(); });
+  }
+  return Status::OK();
+}
+
+void FrameTable::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    running_ = false;
+  }
+  bg_cv_.notify_all();
+  if (bg_thread_.joinable()) bg_thread_.join();
+}
+
+bool FrameTable::EvictableLocked(uint32_t f, bool allow_dirty) const {
+  if (meta_[f].pins.load(std::memory_order_acquire) != 0) return false;
+  switch (meta_[f].State()) {
+    case FrameState::kFree:
+    case FrameState::kClean:
+      return true;
+    case FrameState::kDirty:
+      return allow_dirty;
+    default:
+      return false;
+  }
+}
+
+Status FrameTable::MarkDirtyLocked(uint32_t f, uint64_t lsn) {
+  FrameMeta& m = meta_[f];
+  switch (m.State()) {
+    case FrameState::kClean:
+    case FrameState::kWriting:
+      // kWriting: the in-flight write-back carries a stale image; leaving
+      // the frame dirty makes its finalize CAS fail, so the page is
+      // rewritten later. This is how re-dirty-during-write stays lossless.
+      SetState(f, FrameState::kDirty);
+      // Software flavour of the write-detection event the fault path
+      // counts for hardware detection (§2.3).
+      BESS_COUNT("vm.fault.detect");
+      break;
+    case FrameState::kDirty:
+      break;
+    default:
+      return Status::Internal("MarkDirty on a frame with no page");
+  }
+  if (lsn != 0) {
+    uint64_t cur = m.page_lsn.load(std::memory_order_relaxed);
+    while (lsn > cur &&
+           !m.page_lsn.compare_exchange_weak(cur, lsn,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+  return placement_->OnDirty(f);
+}
+
+Status FrameTable::MarkDirty(uint32_t f, uint64_t lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (f >= opts_.frame_count) return Status::InvalidArgument("bad frame");
+  return MarkDirtyLocked(f, lsn);
+}
+
+Status FrameTable::NoteAccess(uint32_t f) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (f >= opts_.frame_count) return Status::InvalidArgument("bad frame");
+  const FrameState st = StateOf(f);
+  if (st != FrameState::kClean && st != FrameState::kDirty &&
+      st != FrameState::kWriting) {
+    return Status::Internal("touch of a frame with no page");
+  }
+  policy_->OnAccess(f);
+  return placement_->OnAccess(f, st == FrameState::kDirty);
+}
+
+Status FrameTable::EvictLocked(uint32_t f) {
+  FrameMeta& m = meta_[f];
+  if (m.State() == FrameState::kFree) {
+    policy_->OnEvict(f);
+    return Status::OK();
+  }
+  SetState(f, FrameState::kEvicting);
+  const uint64_t old_key = m.page_key.load(std::memory_order_acquire);
+  if (m.prefetched.exchange(0, std::memory_order_relaxed) != 0) {
+    stats_.prefetch_wasted++;
+    BESS_COUNT("cache.prefetch.wasted");
+  }
+  if (old_key != 0) dir_->Erase(old_key, f);
+  Status es = placement_->OnEvict(f);
+  m.page_key.store(0, std::memory_order_release);
+  m.page_lsn.store(0, std::memory_order_relaxed);
+  SetState(f, FrameState::kFree);
+  policy_->OnEvict(f);
+  if (old_key != 0) {
+    stats_.evictions++;
+    BESS_COUNT("cache.eviction");
+  }
+  return es;
+}
+
+Status FrameTable::WriteBackLocked(uint32_t f,
+                                   std::unique_lock<std::mutex>& lk,
+                                   WritebackMode mode) {
+  FrameMeta& m = meta_[f];
+  if (io_ == nullptr) {
+    // Put/get caches have no backing store: dirty frames simply drop.
+    SetState(f, FrameState::kClean);
+    return Status::OK();
+  }
+  SetState(f, FrameState::kWriting);
+  const uint64_t key = m.page_key.load(std::memory_order_acquire);
+  const uint64_t lsn = m.page_lsn.load(std::memory_order_relaxed);
+  lk.unlock();
+  // Structural invariant (the PR 4 self-deadlock fix, now a lifecycle
+  // rule): the placement makes the frame readable — lifting any access
+  // protection and latching against writers — before I/O touches it.
+  Status ws = placement_->PrepareForWriteback(f);
+  if (ws.ok()) ws = io_->EnsureWalDurable(lsn);
+  if (ws.ok()) ws = io_->Write(key, placement_->frame_data(f));
+  lk.lock();
+  if (!ws.ok()) {
+    SetState(f, FrameState::kDirty);
+    (void)placement_->FinishWriteback(f, false);
+    return ws;
+  }
+  // Fails when the frame was re-dirtied during the write; it then stays
+  // kDirty and is written again later. FinishWriteback runs after, so the
+  // placement re-arms protection from the true post-write state.
+  uint8_t expected = static_cast<uint8_t>(FrameState::kWriting);
+  m.state.compare_exchange_strong(expected,
+                                  static_cast<uint8_t>(FrameState::kClean),
+                                  std::memory_order_acq_rel);
+  (void)placement_->FinishWriteback(f, true);
+  stats_.writebacks++;
+  BESS_COUNT("cache.writeback");
+  if (mode == WritebackMode::kSyncEvict) {
+    stats_.sync_writebacks++;
+    BESS_COUNT("cache.evict.sync_writeback");
+  } else if (mode == WritebackMode::kBackground) {
+    stats_.bgwriter_flushed++;
+    BESS_COUNT("cache.bgwriter.flushed");
+  }
+  cleaned_cv_.notify_all();
+  load_cv_.notify_all();
+  return Status::OK();
+}
+
+Result<uint32_t> FrameTable::AcquireFrameLocked(
+    std::unique_lock<std::mutex>& lk) {
+  Status demote_status;
+  auto demote = [&](uint32_t f) {
+    Status s = placement_->Demote(f);
+    if (!s.ok() && demote_status.ok()) demote_status = s;
+  };
+  auto clean = [&](uint32_t f) { return EvictableLocked(f, false); };
+  auto any = [&](uint32_t f) { return EvictableLocked(f, true); };
+
+  for (int round = 0; round < kPressureRounds; ++round) {
+    if (opts_.enable_bgwriter && io_ != nullptr) {
+      // Prefer clean victims; when only dirty frames remain, kick the
+      // bgwriter and wait briefly instead of stalling on write I/O.
+      for (int attempt = 0;; ++attempt) {
+        const uint32_t f = policy_->PickVictim(clean, demote);
+        BESS_RETURN_IF_ERROR(demote_status);
+        if (f != kNoFrame) {
+          BESS_RETURN_IF_ERROR(EvictLocked(f));
+          return f;
+        }
+        if (attempt >= kBgWaitAttempts) break;
+        // Waiting only helps if the bgwriter can actually mint a victim:
+        // an unpinned dirty frame. When every frame is pinned (shared mode
+        // with all slots bound), fall through to ReleasePressure instead.
+        bool cleanable = false;
+        for (uint32_t i = 0; i < opts_.frame_count; ++i) {
+          if (meta_[i].pins.load(std::memory_order_acquire) == 0 &&
+              StateOf(i) == FrameState::kDirty) {
+            cleanable = true;
+            break;
+          }
+        }
+        if (!cleanable) break;
+        urgent_flush_ = true;
+        bg_cv_.notify_all();
+        stats_.pressure_waits++;
+        BESS_COUNT("cache.bgwriter.pressure_wait");
+        cleaned_cv_.wait_for(lk, kBgWaitSlice);
+      }
+    }
+    const uint32_t f = policy_->PickVictim(any, demote);
+    BESS_RETURN_IF_ERROR(demote_status);
+    if (f != kNoFrame) {
+      if (StateOf(f) == FrameState::kDirty && io_ != nullptr) {
+        BESS_RETURN_IF_ERROR(
+            WriteBackLocked(f, lk, WritebackMode::kSyncEvict));
+        // The lock dropped during the write; re-validate before evicting.
+        if (!EvictableLocked(f, false)) continue;
+      }
+      BESS_RETURN_IF_ERROR(EvictLocked(f));
+      return f;
+    }
+    BESS_RETURN_IF_ERROR(placement_->ReleasePressure());
+  }
+  return Status::Busy("cache exhausted: all frames pinned or bound");
+}
+
+Result<FrameTable::FixResult> FrameTable::Fix(uint64_t key, bool for_write,
+                                              bool pin) {
+  if (key == 0) return Status::InvalidArgument("null page key");
+  std::unique_lock<std::mutex> lk(mu_);
+  stats_.fixes++;
+  for (;;) {
+    const uint32_t f = dir_->Lookup(key);
+    if (f == kNoFrame) break;
+    FrameMeta& m = meta_[f];
+    if (m.page_key.load(std::memory_order_acquire) != key) break;
+    const FrameState st = m.State();
+    if (st == FrameState::kLoading) {
+      // Another thread (or, in shared mode, another process) is filling
+      // this frame; wait with a poll so cross-process loads finish too.
+      load_cv_.wait_for(lk, kLoadPoll);
+      continue;
+    }
+    if (st == FrameState::kFree || st == FrameState::kEvicting) break;
+    // Hit.
+    if (m.prefetched.exchange(0, std::memory_order_relaxed) != 0) {
+      stats_.prefetch_hits++;
+      BESS_COUNT("cache.prefetch.hits");
+      FeedPrefetchLocked(key, 1);
+    }
+    policy_->OnAccess(f);
+    BESS_RETURN_IF_ERROR(placement_->OnAccess(f, st == FrameState::kDirty));
+    if (for_write) BESS_RETURN_IF_ERROR(MarkDirtyLocked(f, 0));
+    if (pin) m.pins.fetch_add(1, std::memory_order_acq_rel);
+    stats_.hits++;
+    BESS_COUNT("cache.hit");
+    return FixResult{f, placement_->frame_data(f), true};
+  }
+
+  // Miss: claim a frame, publish it as loading, fetch outside the lock.
+  BESS_ASSIGN_OR_RETURN(const uint32_t f, AcquireFrameLocked(lk));
+  FrameMeta& m = meta_[f];
+  m.page_key.store(key, std::memory_order_release);
+  m.prefetched.store(0, std::memory_order_relaxed);
+  SetState(f, FrameState::kLoading);
+  BESS_RETURN_IF_ERROR(dir_->Install(key, f));
+  Status ls = placement_->BeginLoad(f);
+  if (ls.ok()) {
+    FeedPrefetchLocked(key, 1);
+    if (io_ != nullptr) {
+      lk.unlock();
+      ls = io_->Fetch(key, placement_->frame_data(f));
+      lk.lock();
+    } else {
+      memset(placement_->frame_data(f), 0, kPageSize);
+    }
+  }
+  if (!ls.ok()) {
+    dir_->Erase(key, f);
+    m.page_key.store(0, std::memory_order_release);
+    SetState(f, FrameState::kFree);
+    load_cv_.notify_all();
+    return ls;
+  }
+  SetState(f, for_write ? FrameState::kDirty : FrameState::kClean);
+  BESS_RETURN_IF_ERROR(placement_->FinishLoad(f, for_write));
+  policy_->OnInsert(f);
+  if (pin) m.pins.fetch_add(1, std::memory_order_acq_rel);
+  stats_.misses++;
+  BESS_COUNT("cache.miss");
+  load_cv_.notify_all();
+  return FixResult{f, placement_->frame_data(f), false};
+}
+
+Status FrameTable::Unpin(uint32_t f) {
+  if (f >= opts_.frame_count) return Status::InvalidArgument("bad frame");
+  std::lock_guard<std::mutex> guard(mu_);
+  if (meta_[f].pins.load(std::memory_order_acquire) == 0) {
+    return Status::Internal("unpin of an unpinned frame");
+  }
+  meta_[f].pins.fetch_sub(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+bool FrameTable::Contains(uint64_t key) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint32_t f = dir_->Lookup(key);
+  if (f == kNoFrame) return false;
+  if (meta_[f].page_key.load(std::memory_order_acquire) != key) return false;
+  return meta_[f].State() != FrameState::kFree;
+}
+
+Status FrameTable::FlushDirtyLocked(std::unique_lock<std::mutex>& lk,
+                                    WritebackMode mode) {
+  if (io_ == nullptr) return Status::OK();
+  std::vector<uint32_t> dirty;
+  uint64_t max_lsn = 0;
+  for (uint32_t f = 0; f < opts_.frame_count; ++f) {
+    if (StateOf(f) != FrameState::kDirty) continue;
+    dirty.push_back(f);
+    max_lsn =
+        std::max(max_lsn, meta_[f].page_lsn.load(std::memory_order_relaxed));
+  }
+  if (dirty.empty()) return Status::OK();
+  // LSN-ascending order + one up-front WAL gate: WAL-before-data holds for
+  // every page, with one log fsync per pass instead of one per page.
+  std::sort(dirty.begin(), dirty.end(), [this](uint32_t a, uint32_t b) {
+    return meta_[a].page_lsn.load(std::memory_order_relaxed) <
+           meta_[b].page_lsn.load(std::memory_order_relaxed);
+  });
+  if (max_lsn != 0) {
+    lk.unlock();
+    Status ws = io_->EnsureWalDurable(max_lsn);
+    lk.lock();
+    BESS_RETURN_IF_ERROR(ws);
+  }
+  for (uint32_t f : dirty) {
+    if (StateOf(f) != FrameState::kDirty) continue;
+    BESS_RETURN_IF_ERROR(WriteBackLocked(f, lk, mode));
+  }
+  return Status::OK();
+}
+
+Status FrameTable::FlushDirty() {
+  std::unique_lock<std::mutex> lk(mu_);
+  return FlushDirtyLocked(lk, WritebackMode::kFlush);
+}
+
+bool FrameTable::Get(uint64_t key, void* out) {
+  if (key == 0) return false;
+  std::lock_guard<std::mutex> guard(mu_);
+  stats_.fixes++;
+  const uint32_t f = dir_->Lookup(key);
+  if (f == kNoFrame || meta_[f].page_key.load(std::memory_order_acquire) != key) {
+    stats_.misses++;
+    return false;
+  }
+  const FrameState st = StateOf(f);
+  if (st == FrameState::kFree || st == FrameState::kLoading ||
+      st == FrameState::kEvicting) {
+    stats_.misses++;
+    return false;
+  }
+  memcpy(out, placement_->frame_data(f), kPageSize);
+  policy_->OnAccess(f);
+  stats_.hits++;
+  BESS_COUNT("cache.hit");
+  return true;
+}
+
+Status FrameTable::Put(uint64_t key, const void* bytes) {
+  if (key == 0) return Status::InvalidArgument("null page key");
+  std::unique_lock<std::mutex> lk(mu_);
+  const uint32_t f = dir_->Lookup(key);
+  if (f != kNoFrame &&
+      meta_[f].page_key.load(std::memory_order_acquire) == key) {
+    const FrameState st = StateOf(f);
+    if (st == FrameState::kLoading || st == FrameState::kEvicting ||
+        st == FrameState::kWriting) {
+      return Status::Busy("frame busy");
+    }
+    if (st != FrameState::kFree) {
+      memcpy(placement_->frame_data(f), bytes, kPageSize);
+      policy_->OnAccess(f);
+      return Status::OK();
+    }
+  }
+  BESS_ASSIGN_OR_RETURN(const uint32_t nf, AcquireFrameLocked(lk));
+  FrameMeta& m = meta_[nf];
+  m.page_key.store(key, std::memory_order_release);
+  m.prefetched.store(0, std::memory_order_relaxed);
+  BESS_RETURN_IF_ERROR(placement_->BeginLoad(nf));
+  memcpy(placement_->frame_data(nf), bytes, kPageSize);
+  SetState(nf, FrameState::kClean);
+  BESS_RETURN_IF_ERROR(placement_->FinishLoad(nf, false));
+  BESS_RETURN_IF_ERROR(dir_->Install(key, nf));
+  policy_->OnInsert(nf);
+  return Status::OK();
+}
+
+Status FrameTable::Invalidate(uint64_t key) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const uint32_t f = dir_->Lookup(key);
+  if (f == kNoFrame ||
+      meta_[f].page_key.load(std::memory_order_acquire) != key) {
+    return Status::OK();
+  }
+  if (meta_[f].pins.load(std::memory_order_acquire) != 0) {
+    return Status::Busy("frame pinned");
+  }
+  const FrameState st = StateOf(f);
+  if (st == FrameState::kLoading || st == FrameState::kWriting) {
+    return Status::Busy("frame busy");
+  }
+  return EvictLocked(f);
+}
+
+Status FrameTable::Clear(bool flush) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (flush) {
+    BESS_RETURN_IF_ERROR(FlushDirtyLocked(lk, WritebackMode::kFlush));
+  }
+  for (uint32_t f = 0; f < opts_.frame_count; ++f) {
+    if (meta_[f].pins.load(std::memory_order_acquire) != 0) continue;
+    const FrameState st = StateOf(f);
+    if (st == FrameState::kFree || st == FrameState::kLoading ||
+        st == FrameState::kWriting) {
+      continue;
+    }
+    BESS_RETURN_IF_ERROR(EvictLocked(f));
+  }
+  return Status::OK();
+}
+
+FrameTable::Stats FrameTable::stats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return stats_;
+}
+
+// ---- prefetch ---------------------------------------------------------------
+
+void FrameTable::NotePrefetchHint(uint64_t key, uint32_t count) {
+  std::lock_guard<std::mutex> guard(mu_);
+  FeedPrefetchLocked(key, count);
+}
+
+void FrameTable::FeedPrefetchLocked(uint64_t key, uint32_t count) {
+  if (!opts_.enable_prefetch || io_ == nullptr || key == 0 || count == 0) {
+    return;
+  }
+  // A hint covering exactly what the demand stream already reported (the
+  // upstream sink echoing fetches this table itself served) adds nothing.
+  if (key + count == pf_next_ && pf_run_ != 0) return;
+  if (key == pf_next_) {
+    pf_run_ += count;
+  } else {
+    pf_run_ = count;
+    pf_frontier_ = key + count;
+  }
+  pf_next_ = key + count;
+  if (pf_frontier_ < pf_next_) pf_frontier_ = pf_next_;
+  // Issue when the run is established and the remaining read-ahead runway
+  // is shorter than the trigger distance (keeps the pipeline ahead).
+  if (pf_run_ >= opts_.prefetch_trigger &&
+      pf_frontier_ < pf_next_ + opts_.prefetch_trigger &&
+      prefetch_q_.size() < 4) {
+    prefetch_q_.emplace_back(pf_frontier_, opts_.prefetch_window);
+    pf_frontier_ += opts_.prefetch_window;
+    bg_cv_.notify_all();
+  }
+}
+
+void FrameTable::DoPrefetchLocked(std::unique_lock<std::mutex>& lk) {
+  auto clean = [&](uint32_t f) { return EvictableLocked(f, false); };
+  while (!prefetch_q_.empty()) {
+    auto [start, count] = prefetch_q_.front();
+    prefetch_q_.pop_front();
+    uint64_t first = start;
+    while (count > 0 && dir_->Lookup(first) != kNoFrame) {
+      ++first;
+      --count;
+    }
+    std::vector<uint32_t> frames;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (dir_->Lookup(first + i) != kNoFrame) break;
+      // PickIdle: no ref bits cleared, no demotions — speculative loads
+      // must not burn a resident page's second chance.
+      const uint32_t f = policy_->PickIdle(clean);
+      if (f == kNoFrame) break;
+      if (!EvictLocked(f).ok()) break;
+      meta_[f].page_key.store(first + i, std::memory_order_release);
+      SetState(f, FrameState::kLoading);
+      if (!dir_->Install(first + i, f).ok() ||
+          !placement_->BeginLoad(f).ok()) {
+        dir_->Erase(first + i, f);
+        meta_[f].page_key.store(0, std::memory_order_release);
+        SetState(f, FrameState::kFree);
+        break;
+      }
+      frames.push_back(f);
+    }
+    if (frames.empty()) continue;
+    const uint32_t n = static_cast<uint32_t>(frames.size());
+    pf_scratch_.resize(static_cast<size_t>(n) * kPageSize);
+    lk.unlock();
+    const Status fs = io_->FetchRun(first, n, pf_scratch_.data());
+    lk.lock();
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t f = frames[i];
+      if (fs.ok()) {
+        memcpy(placement_->frame_data(f),
+               pf_scratch_.data() + static_cast<size_t>(i) * kPageSize,
+               kPageSize);
+        (void)placement_->FinishLoad(f, false);
+        SetState(f, FrameState::kClean);
+        meta_[f].prefetched.store(1, std::memory_order_relaxed);
+        // No policy OnInsert: an undemanded page should rank coldest so
+        // wasted prefetches recycle first.
+        stats_.prefetch_issued++;
+        BESS_COUNT("cache.prefetch.issued");
+      } else {
+        dir_->Erase(first + i, f);
+        meta_[f].page_key.store(0, std::memory_order_release);
+        SetState(f, FrameState::kFree);
+      }
+    }
+    load_cv_.notify_all();
+  }
+}
+
+// ---- bgwriter ---------------------------------------------------------------
+
+void FrameTable::BgFlushRoundLocked(std::unique_lock<std::mutex>& lk) {
+  if (!opts_.enable_bgwriter || io_ == nullptr) return;
+  const bool urgent = urgent_flush_;
+  urgent_flush_ = false;
+  auto is_dirty = [&](uint32_t f) {
+    return StateOf(f) == FrameState::kDirty;
+  };
+  std::vector<uint32_t> cand;
+  if (urgent) {
+    for (uint32_t f = 0; f < opts_.frame_count; ++f) {
+      if (is_dirty(f)) cand.push_back(f);
+    }
+  } else {
+    policy_->FlushHorizon(opts_.bgwriter_lookahead, is_dirty, &cand);
+    if (cand.size() > opts_.bgwriter_batch) cand.resize(opts_.bgwriter_batch);
+  }
+  if (cand.empty()) return;
+  uint64_t max_lsn = 0;
+  for (uint32_t f : cand) {
+    max_lsn =
+        std::max(max_lsn, meta_[f].page_lsn.load(std::memory_order_relaxed));
+  }
+  std::sort(cand.begin(), cand.end(), [this](uint32_t a, uint32_t b) {
+    return meta_[a].page_lsn.load(std::memory_order_relaxed) <
+           meta_[b].page_lsn.load(std::memory_order_relaxed);
+  });
+  if (max_lsn != 0) {
+    lk.unlock();
+    const Status ws = io_->EnsureWalDurable(max_lsn);
+    lk.lock();
+    if (!ws.ok()) {
+      stats_.bgwriter_errors++;
+      BESS_COUNT("cache.bgwriter.error");
+      return;
+    }
+  }
+  uint32_t flushed = 0;
+  for (uint32_t f : cand) {
+    if (StateOf(f) != FrameState::kDirty) continue;
+    const Status ws = WriteBackLocked(f, lk, WritebackMode::kBackground);
+    if (!ws.ok()) {
+      // The frame stays dirty; the store may recover (transient injected
+      // faults) — keep the thread alive and retry on a later round.
+      stats_.bgwriter_errors++;
+      BESS_COUNT("cache.bgwriter.error");
+      break;
+    }
+    ++flushed;
+  }
+  stats_.bgwriter_rounds++;
+  BESS_COUNT("cache.bgwriter.round");
+  if (flushed != 0) BESS_HIST("cache.bgwriter.batch_size", flushed);
+}
+
+void FrameTable::BackgroundMain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (running_) {
+    bg_cv_.wait_for(lk, std::chrono::milliseconds(opts_.bgwriter_interval_ms),
+                    [&] {
+                      return !running_ || urgent_flush_ ||
+                             !prefetch_q_.empty();
+                    });
+    if (!running_) break;
+    if (opts_.enable_prefetch) DoPrefetchLocked(lk);
+    BgFlushRoundLocked(lk);
+  }
+}
+
+}  // namespace bess

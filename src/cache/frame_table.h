@@ -1,0 +1,357 @@
+// The frame-lifecycle core shared by every BeSS cache (paper §4).
+//
+// Both operation modes — copy-on-access private pools (§4.1.1) and the
+// shared-memory cache (§4.1.2) — plus the node server's page cache are
+// *configurations* of this one state machine. A frame moves through
+//
+//            ┌────────────────────────────────────────────┐
+//            ▼                                            │
+//   free → loading → clean ⇄ dirty → writing → clean → evicting → free
+//
+// and the FrameTable owns every transition. What differs per mode is
+// injected through three seams:
+//
+//   Placement  — where frame bytes live (private mmap'd file, POSIX shm
+//                slots, plain heap) and how access protection tracks the
+//                lifecycle. The structural invariant inherited from the
+//                PR 4 eviction self-deadlock fix lives here:
+//                PrepareForWriteback is ALWAYS called before any I/O reads
+//                a frame, so a protection-demoted frame is made readable
+//                first and write-back can never fault into the handler
+//                while the table mutex is held.
+//   PageIo     — how pages are fetched/written (SegmentStore, RPC, none),
+//                including the WAL-before-data gate for dirty write-back.
+//   Directory  — page-key → frame map (process-private hash map, or the
+//                shared mapping table in shm).
+//
+// Replacement is pluggable (cache/replacement_policy.h). Two I/O services
+// run off the demand path on a background thread:
+//
+//   bgwriter  — flushes dirty frames ahead of the eviction hand, batched
+//               and LSN-ordered (one WAL gate per batch), so foreground
+//               faults find clean victims instead of paying synchronous
+//               write-back (`cache.bgwriter.*`, `cache.evict.sync_writeback`).
+//   prefetch  — segment-sequential read-ahead driven by demand-miss
+//               patterns (`cache.prefetch.{issued,hits,wasted}`); PageAddr
+//               keys are dense within an area, so key+1 is the next
+//               sequential page.
+#ifndef BESS_CACHE_FRAME_TABLE_H_
+#define BESS_CACHE_FRAME_TABLE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/replacement_policy.h"
+#include "os/latch.h"
+#include "storage/storage_area.h"
+#include "util/config.h"
+#include "util/status.h"
+#include "vm/segment_store.h"
+
+namespace bess {
+
+/// Page-frame lifecycle states. Stored as one byte so the whole FrameMeta
+/// is shared-memory safe.
+enum class FrameState : uint8_t {
+  kFree = 0,      ///< no page
+  kLoading = 1,   ///< fetch in flight; bytes not yet valid
+  kClean = 2,     ///< matches the store
+  kDirty = 3,     ///< modified since fetch/last write-back
+  kWriting = 4,   ///< write-back in flight (re-dirty allowed)
+  kEvicting = 5,  ///< being detached from the directory (momentary)
+};
+
+/// Per-frame control data. POD-layout atomics only: the shared cache
+/// places an array of these in POSIX shm, private pools allocate theirs.
+struct FrameMeta {
+  Latch latch;                          ///< page latch (shared mode)
+  std::atomic<uint64_t> page_key{0};    ///< PageAddr::Pack(); 0 = none
+  std::atomic<uint64_t> page_lsn{0};    ///< newest WAL LSN covering the page
+  std::atomic<uint32_t> pins{0};        ///< pin / cross-process binding count
+  std::atomic<uint8_t> state{0};        ///< FrameState
+  std::atomic<uint8_t> prefetched{0};   ///< loaded ahead, not yet demanded
+
+  FrameState State() const {
+    return static_cast<FrameState>(state.load(std::memory_order_acquire));
+  }
+};
+
+class FrameTable {
+ public:
+  /// Frame placement: byte storage + the protection side of the lifecycle.
+  /// Hooks run with the table mutex held unless noted; they must not call
+  /// back into the FrameTable.
+  class Placement {
+   public:
+    virtual ~Placement() = default;
+    virtual char* frame_data(uint32_t f) = 0;
+    /// Frame is about to be filled: make it writable by this process.
+    virtual Status BeginLoad(uint32_t f) { return Status::OK(); }
+    /// Fill done; arm write detection when the mode wants it.
+    virtual Status FinishLoad(uint32_t f, bool for_write) {
+      (void)f;
+      (void)for_write;
+      return Status::OK();
+    }
+    /// Frame accessed (fix hit or raw touch): lift a demotion if present.
+    virtual Status OnAccess(uint32_t f, bool dirty) {
+      (void)f;
+      (void)dirty;
+      return Status::OK();
+    }
+    /// Frame turned dirty: grant write access.
+    virtual Status OnDirty(uint32_t f) {
+      (void)f;
+      return Status::OK();
+    }
+    /// Replacement second chance: revoke access so the next touch faults.
+    virtual Status Demote(uint32_t f) {
+      (void)f;
+      return Status::OK();
+    }
+    /// Called — without the table mutex — before write-back I/O reads the
+    /// frame. Must leave the frame readable by this process (lifting any
+    /// access protection) and may block to latch it against writers.
+    virtual Status PrepareForWriteback(uint32_t f) {
+      (void)f;
+      return Status::OK();
+    }
+    /// Write-back finished (table mutex held again): release what
+    /// PrepareForWriteback took and re-arm detection when `ok` and still
+    /// clean.
+    virtual Status FinishWriteback(uint32_t f, bool ok) {
+      (void)f;
+      (void)ok;
+      return Status::OK();
+    }
+    virtual Status OnEvict(uint32_t f) {
+      (void)f;
+      return Status::OK();
+    }
+    /// Nothing evictable: make progress possible (shared mode runs its
+    /// level-1 sweep + dead-process cleanup). Only invoked from Fix.
+    virtual Status ReleasePressure() { return Status::OK(); }
+  };
+
+  /// Page transfer + durability ordering. Called without the table mutex.
+  class PageIo {
+   public:
+    virtual ~PageIo() = default;
+    virtual Status Fetch(uint64_t key, void* buf) = 0;
+    virtual Status Write(uint64_t key, const void* buf) = 0;
+    /// Sequential run fetch for prefetch; keys are PageAddr-packed and
+    /// dense, so key + i addresses page first + i of the same area.
+    virtual Status FetchRun(uint64_t first_key, uint32_t count, void* buf) {
+      for (uint32_t i = 0; i < count; ++i) {
+        BESS_RETURN_IF_ERROR(
+            Fetch(first_key + i, static_cast<char*>(buf) + i * kPageSize));
+      }
+      return Status::OK();
+    }
+    /// WAL-before-data: make the log durable up to `lsn` before the frame
+    /// bytes it covers reach the store. Default: no WAL in play.
+    virtual Status EnsureWalDurable(uint64_t lsn) {
+      (void)lsn;
+      return Status::OK();
+    }
+  };
+
+  /// page-key → frame map. Called with the table mutex held.
+  class Directory {
+   public:
+    virtual ~Directory() = default;
+    virtual uint32_t Lookup(uint64_t key) = 0;
+    virtual Status Install(uint64_t key, uint32_t f) = 0;
+    virtual void Erase(uint64_t key, uint32_t f) = 0;
+  };
+
+  struct Options {
+    uint32_t frame_count = 0;
+    std::string policy = "clock";        ///< clock | lru | lru2
+    bool clock_ref_bits = true;          ///< see ClockPolicyOptions
+    std::atomic<uint32_t>* shared_hand = nullptr;
+    /// External FrameMeta array (shared memory); owned array when null.
+    FrameMeta* frames = nullptr;
+    /// External directory (the SMT); internal hash map when null.
+    Directory* directory = nullptr;
+
+    bool enable_bgwriter = false;
+    uint32_t bgwriter_interval_ms = 5;
+    uint32_t bgwriter_batch = 16;        ///< frames per round (flush-ahead)
+    uint32_t bgwriter_lookahead = 32;    ///< horizon scanned for candidates
+
+    bool enable_prefetch = false;
+    uint32_t prefetch_trigger = 3;       ///< sequential misses before issue
+    uint32_t prefetch_window = 8;        ///< pages per read-ahead
+  };
+
+  struct Stats {
+    uint64_t fixes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;        ///< all dirty write-backs
+    uint64_t sync_writebacks = 0;   ///< paid on the foreground evict path
+    uint64_t bgwriter_flushed = 0;
+    uint64_t bgwriter_rounds = 0;
+    uint64_t bgwriter_errors = 0;
+    uint64_t prefetch_issued = 0;
+    uint64_t prefetch_hits = 0;
+    uint64_t prefetch_wasted = 0;
+    uint64_t pressure_waits = 0;    ///< foreground waited for the bgwriter
+  };
+
+  struct FixResult {
+    uint32_t frame = kNoFrame;
+    void* data = nullptr;
+    bool hit = false;
+  };
+
+  /// `io` may be null for put/get-style caches that never fetch or write
+  /// back (misses zero-fill, dirty frames are dropped on evict).
+  FrameTable(const Options& opts, Placement* placement, PageIo* io);
+  ~FrameTable();
+  FrameTable(const FrameTable&) = delete;
+  FrameTable& operator=(const FrameTable&) = delete;
+
+  /// Validates options, builds the replacement policy, starts the
+  /// background thread when bgwriter/prefetch are enabled.
+  Status Init();
+  /// Stops the background thread (idempotent; ~FrameTable calls it).
+  void Stop();
+
+  /// Returns the frame holding `key`, loading it on a miss (evicting via
+  /// the policy when full). With `pin` the frame is pinned before the
+  /// table mutex drops, so it cannot be replaced until Unpin.
+  Result<FixResult> Fix(uint64_t key, bool for_write, bool pin = false);
+  Status Unpin(uint32_t f);
+
+  /// Software / fault-path write detection: ensure `f` is dirty and
+  /// writable. `lsn` (when nonzero) raises the frame's WAL horizon.
+  Status MarkDirty(uint32_t f, uint64_t lsn = 0);
+
+  /// Raw-touch signal from a placement fault handler: the frame was
+  /// demoted and got touched — re-enable it and tell the policy.
+  Status NoteAccess(uint32_t f);
+
+  /// Sequential-access hint (a demand fetch of `count` pages at `key`
+  /// happened upstream); may schedule read-ahead.
+  void NotePrefetchHint(uint64_t key, uint32_t count);
+
+  bool Contains(uint64_t key);
+
+  /// Writes every dirty frame back, LSN-ordered, one WAL gate per pass.
+  Status FlushDirty();
+
+  /// Copy-out / copy-in convenience for put/get caches (node cache).
+  bool Get(uint64_t key, void* out);
+  Status Put(uint64_t key, const void* bytes);
+
+  /// Drops `key` if present and unpinned.
+  Status Invalidate(uint64_t key);
+
+  /// Evicts every unpinned frame; flushes dirty frames first when asked.
+  Status Clear(bool flush);
+
+  FrameMeta* meta(uint32_t f) const { return meta_ + f; }
+  char* frame_data(uint32_t f) { return placement_->frame_data(f); }
+  Stats stats() const;
+  uint32_t frame_count() const { return opts_.frame_count; }
+  const char* policy_name() const { return policy_->name(); }
+
+ private:
+  enum class WritebackMode { kSyncEvict, kFlush, kBackground };
+
+  FrameState StateOf(uint32_t f) const { return meta_[f].State(); }
+  void SetState(uint32_t f, FrameState s) {
+    meta_[f].state.store(static_cast<uint8_t>(s), std::memory_order_release);
+  }
+  bool EvictableLocked(uint32_t f, bool allow_dirty) const;
+  Status MarkDirtyLocked(uint32_t f, uint64_t lsn);
+  Result<uint32_t> AcquireFrameLocked(std::unique_lock<std::mutex>& lk);
+  Status EvictLocked(uint32_t f);
+  /// kDirty → kWriting → (kClean | kDirty). Drops and reacquires `lk`
+  /// around PrepareForWriteback + I/O.
+  Status WriteBackLocked(uint32_t f, std::unique_lock<std::mutex>& lk,
+                         WritebackMode mode);
+  Status FlushDirtyLocked(std::unique_lock<std::mutex>& lk,
+                          WritebackMode mode);
+  void FeedPrefetchLocked(uint64_t key, uint32_t count);
+  void DoPrefetchLocked(std::unique_lock<std::mutex>& lk);
+  void BgFlushRoundLocked(std::unique_lock<std::mutex>& lk);
+  void BackgroundMain();
+
+  Options opts_;
+  Placement* placement_;
+  PageIo* io_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unique_ptr<FrameMeta[]> owned_meta_;
+  FrameMeta* meta_ = nullptr;
+  std::unique_ptr<Directory> owned_dir_;
+  Directory* dir_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable bg_cv_;       ///< wakes the background thread
+  std::condition_variable cleaned_cv_;  ///< a frame turned clean
+  std::condition_variable load_cv_;     ///< a load finished
+  bool running_ = false;
+  bool urgent_flush_ = false;
+  std::thread bg_thread_;
+
+  // Sequential-run detector (guarded by mu_).
+  uint64_t pf_next_ = 0;      ///< next expected demand key
+  uint64_t pf_frontier_ = 0;  ///< first key not yet prefetched/queued
+  uint32_t pf_run_ = 0;
+  std::deque<std::pair<uint64_t, uint32_t>> prefetch_q_;
+  std::string pf_scratch_;
+
+  Stats stats_;
+};
+
+/// Plain heap placement: no protection, no faults — for caches that only
+/// see accesses through explicit calls (node cache, classic baselines).
+class HeapPlacement : public FrameTable::Placement {
+ public:
+  explicit HeapPlacement(uint32_t frame_count)
+      : data_(static_cast<size_t>(frame_count) * kPageSize, '\0') {}
+  char* frame_data(uint32_t f) override {
+    return data_.data() + static_cast<size_t>(f) * kPageSize;
+  }
+
+ private:
+  std::vector<char> data_;
+};
+
+/// PageIo over a SegmentStore: unpacks keys to (db, area, page).
+class StorePageIo : public FrameTable::PageIo {
+ public:
+  explicit StorePageIo(SegmentStore* store) : store_(store) {}
+  Status Fetch(uint64_t key, void* buf) override {
+    const PageAddr a = PageAddr::Unpack(key);
+    return store_->FetchPages(a.db, a.area, a.page, 1, buf);
+  }
+  Status Write(uint64_t key, const void* buf) override {
+    const PageAddr a = PageAddr::Unpack(key);
+    return store_->WritePages(a.db, a.area, a.page, 1, buf);
+  }
+  Status FetchRun(uint64_t first_key, uint32_t count, void* buf) override {
+    const PageAddr a = PageAddr::Unpack(first_key);
+    return store_->FetchPages(a.db, a.area, a.page, count, buf);
+  }
+
+ private:
+  SegmentStore* store_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_CACHE_FRAME_TABLE_H_

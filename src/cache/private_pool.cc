@@ -8,8 +8,82 @@
 
 namespace bess {
 
+// ---- PoolPlacement ----------------------------------------------------------
+//
+// No eviction or write-back loop lives here: the FrameTable drives the
+// lifecycle and these hooks only translate it into mprotect state.
+
+Status PrivateBufferPool::PoolPlacement::BeginLoad(uint32_t f) {
+  pool_->prot_[f].store(kOpen, std::memory_order_relaxed);
+  return vmem::Protect(pool_->FrameAddr(f), kPageSize, vmem::kReadWrite);
+}
+
+Status PrivateBufferPool::PoolPlacement::FinishLoad(uint32_t f,
+                                                    bool for_write) {
+  if (for_write) return Status::OK();
+  // Read-only until the first store faults (write detection, §2.3).
+  return vmem::Protect(pool_->FrameAddr(f), kPageSize, vmem::kRead);
+}
+
+Status PrivateBufferPool::PoolPlacement::OnAccess(uint32_t f, bool dirty) {
+  if (pool_->prot_[f].load(std::memory_order_relaxed) != kRevoked) {
+    return Status::OK();
+  }
+  // Second chance: re-enable access, read-only so a later store is still
+  // caught. The store before the mprotect keeps the fault path's lock-free
+  // read consistent (a fault implies the mprotect completed).
+  pool_->prot_[f].store(kOpen, std::memory_order_relaxed);
+  BESS_RETURN_IF_ERROR(vmem::Protect(pool_->FrameAddr(f), kPageSize,
+                                     dirty ? vmem::kReadWrite : vmem::kRead));
+  pool_->second_chances_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PrivateBufferPool::PoolPlacement::OnDirty(uint32_t f) {
+  return vmem::Protect(pool_->FrameAddr(f), kPageSize, vmem::kReadWrite);
+}
+
+Status PrivateBufferPool::PoolPlacement::Demote(uint32_t f) {
+  pool_->prot_[f].store(kRevoked, std::memory_order_relaxed);
+  return vmem::Protect(pool_->FrameAddr(f), kPageSize, vmem::kNone);
+}
+
+Status PrivateBufferPool::PoolPlacement::PrepareForWriteback(uint32_t f) {
+  // Lifecycle invariant: the frame must be readable before write-back I/O
+  // touches it — reading an access-protected frame would fault into
+  // OnFault on the writing thread. Downgrading an open dirty frame to
+  // read-only here also catches stores racing the write: they fault, the
+  // frame re-dirties, and the finalize CAS keeps it dirty.
+  return vmem::Protect(pool_->FrameAddr(f), kPageSize, vmem::kRead);
+}
+
+Status PrivateBufferPool::PoolPlacement::FinishWriteback(uint32_t f,
+                                                         bool ok) {
+  (void)ok;
+  if (pool_->prot_[f].load(std::memory_order_relaxed) == kRevoked) {
+    // Restore the clock's revocation.
+    return vmem::Protect(pool_->FrameAddr(f), kPageSize, vmem::kNone);
+  }
+  const bool clean = pool_->table_->meta(f)->State() == FrameState::kClean;
+  return vmem::Protect(pool_->FrameAddr(f), kPageSize,
+                       clean ? vmem::kRead : vmem::kReadWrite);
+}
+
+Status PrivateBufferPool::PoolPlacement::OnEvict(uint32_t f) {
+  pool_->prot_[f].store(kOpen, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---- PrivateBufferPool ------------------------------------------------------
+
 Result<std::unique_ptr<PrivateBufferPool>> PrivateBufferPool::Open(
     const std::string& path, uint32_t frame_count, SegmentStore* store) {
+  return Open(path, frame_count, store, Options{});
+}
+
+Result<std::unique_ptr<PrivateBufferPool>> PrivateBufferPool::Open(
+    const std::string& path, uint32_t frame_count, SegmentStore* store,
+    const Options& options) {
   if (frame_count == 0) {
     return Status::InvalidArgument("pool needs at least one frame");
   }
@@ -17,7 +91,7 @@ Result<std::unique_ptr<PrivateBufferPool>> PrivateBufferPool::Open(
   BESS_RETURN_IF_ERROR(
       file.Truncate(static_cast<uint64_t>(frame_count) * kPageSize));
   auto pool = std::unique_ptr<PrivateBufferPool>(
-      new PrivateBufferPool(std::move(file), frame_count, store));
+      new PrivateBufferPool(std::move(file), frame_count, store, options));
   BESS_RETURN_IF_ERROR(pool->Init());
   return pool;
 }
@@ -29,197 +103,78 @@ Status PrivateBufferPool::Init() {
       vmem::MapFile(static_cast<size_t>(frame_count_) * kPageSize,
                     file_.fd(), 0));
   base_ = static_cast<char*>(base);
-  frames_.assign(frame_count_, FrameInfo{});
+  prot_.reset(new std::atomic<uint8_t>[frame_count_]);
+  for (uint32_t f = 0; f < frame_count_; ++f) {
+    prot_[f].store(kOpen, std::memory_order_relaxed);
+  }
+  FrameTable::Options topts;
+  topts.frame_count = frame_count_;
+  topts.policy = options_.policy;
+  topts.enable_bgwriter = options_.enable_bgwriter;
+  topts.bgwriter_interval_ms = options_.bgwriter_interval_ms;
+  topts.enable_prefetch = options_.enable_prefetch;
+  table_.reset(new FrameTable(topts, &placement_, &store_io_));
+  // Fault routing must be live before the table's background services
+  // start touching protection state.
   dispatcher_slot_ = FaultDispatcher::Instance().RegisterRange(
       base_, static_cast<size_t>(frame_count_) * kPageSize, this);
-  return Status::OK();
+  return table_->Init();
 }
 
 PrivateBufferPool::~PrivateBufferPool() {
+  if (table_ != nullptr) table_->Stop();
   if (dispatcher_slot_ >= 0) {
     FaultDispatcher::Instance().UnregisterRange(dispatcher_slot_);
   }
+  table_.reset();
   if (base_ != nullptr) {
     (void)vmem::Release(base_, static_cast<size_t>(frame_count_) * kPageSize);
   }
 }
 
-Status PrivateBufferPool::EvictFrame(uint32_t f) {
-  FrameInfo& info = frames_[f];
-  if (info.state == kFree) return Status::OK();
-  if (info.dirty) {
-    // The clock demotes a victim to access-protected before replacing it;
-    // write-back must lift that first. Reading the frame while it is
-    // protected would fault into OnFault on this thread — which needs mu_,
-    // already held here.
-    if (info.state == kProtected) {
-      BESS_RETURN_IF_ERROR(
-          vmem::Protect(FrameAddr(f), kPageSize, vmem::kRead));
-      info.state = kAccessible;
-    }
-    const PageAddr addr = PageAddr::Unpack(info.page_key);
-    BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page, 1,
-                                            FrameAddr(f)));
-    stats_.dirty_writebacks++;
-    BESS_COUNT("cache.writeback");
-  }
-  page_table_.erase(info.page_key);
-  info = FrameInfo{};
-  stats_.evictions++;
-  BESS_COUNT("cache.eviction");
-  return Status::OK();
-}
-
-Result<uint32_t> PrivateBufferPool::AcquireFrame() {
-  // Protection-state clock (§4.2): skip free-on-first-use, give accessible
-  // frames a second chance by protecting them, replace protected frames.
-  for (uint32_t step = 0; step < 2 * frame_count_ + 1; ++step) {
-    const uint32_t f = hand_;
-    hand_ = (hand_ + 1) % frame_count_;
-    FrameInfo& info = frames_[f];
-    switch (info.state) {
-      case kFree:
-        return f;
-      case kAccessible:
-        BESS_RETURN_IF_ERROR(
-            vmem::Protect(FrameAddr(f), kPageSize, vmem::kNone));
-        info.state = kProtected;
-        break;
-      case kProtected:
-        BESS_RETURN_IF_ERROR(EvictFrame(f));
-        return f;
-    }
-  }
-  return Status::Internal("clock failed to find a victim");
-}
-
 Result<void*> PrivateBufferPool::Fix(PageAddr page, bool for_write) {
-  std::lock_guard<std::mutex> guard(mu_);
-  stats_.fixes++;
-  const uint64_t key = page.Pack();
-  auto it = page_table_.find(key);
-  if (it != page_table_.end()) {
-    const uint32_t f = it->second;
-    FrameInfo& info = frames_[f];
-    if (info.state == kProtected) {
-      // Second chance taken explicitly on a fix.
-      BESS_RETURN_IF_ERROR(vmem::Protect(
-          FrameAddr(f), kPageSize,
-          info.dirty ? vmem::kReadWrite : vmem::kRead));
-      info.state = kAccessible;
-      stats_.second_chances++;
-    }
-    if (for_write && !info.dirty) {
-      info.dirty = true;
-      // Clean frame fixed for write: the software flavour of the same
-      // write-detection event OnFault counts for hardware detection.
-      BESS_COUNT("vm.fault.detect");
-      BESS_RETURN_IF_ERROR(
-          vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite));
-    }
-    stats_.hits++;
-    BESS_COUNT("cache.hit");
-    return FrameAddr(f);
-  }
-
-  BESS_ASSIGN_OR_RETURN(uint32_t f, AcquireFrame());
-  BESS_RETURN_IF_ERROR(
-      vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite));
-  BESS_RETURN_IF_ERROR(
-      store_->FetchPages(page.db, page.area, page.page, 1, FrameAddr(f)));
-  FrameInfo& info = frames_[f];
-  info.page_key = key;
-  info.state = kAccessible;
-  info.dirty = for_write;
-  if (!for_write) {
-    // Read-only until the first store faults (write detection, §2.3).
-    BESS_RETURN_IF_ERROR(vmem::Protect(FrameAddr(f), kPageSize, vmem::kRead));
-  }
-  page_table_[key] = f;
-  stats_.misses++;
-  BESS_COUNT("cache.miss");
-  return FrameAddr(f);
+  BESS_ASSIGN_OR_RETURN(FrameTable::FixResult r,
+                        table_->Fix(page.Pack(), for_write));
+  return r.data;
 }
 
 bool PrivateBufferPool::Contains(PageAddr page) {
-  std::lock_guard<std::mutex> guard(mu_);
-  return page_table_.count(page.Pack()) != 0;
+  return table_->Contains(page.Pack());
 }
 
-Status PrivateBufferPool::FlushDirty() {
-  std::lock_guard<std::mutex> guard(mu_);
-  return FlushDirtyLocked();
-}
+Status PrivateBufferPool::FlushDirty() { return table_->FlushDirty(); }
 
-Status PrivateBufferPool::FlushDirtyLocked() {
-  for (uint32_t f = 0; f < frame_count_; ++f) {
-    FrameInfo& info = frames_[f];
-    if (info.state == kFree || !info.dirty) continue;
-    const PageAddr addr = PageAddr::Unpack(info.page_key);
-    // The frame may be access-protected by the clock: read via protection.
-    if (info.state == kProtected) {
-      BESS_RETURN_IF_ERROR(
-          vmem::Protect(FrameAddr(f), kPageSize, vmem::kRead));
-    }
-    BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page, 1,
-                                            FrameAddr(f)));
-    if (info.state == kProtected) {
-      BESS_RETURN_IF_ERROR(
-          vmem::Protect(FrameAddr(f), kPageSize, vmem::kNone));
-    } else {
-      BESS_RETURN_IF_ERROR(
-          vmem::Protect(FrameAddr(f), kPageSize, vmem::kRead));
-    }
-    info.dirty = false;
-    stats_.dirty_writebacks++;
-    BESS_COUNT("cache.writeback");
-  }
-  return Status::OK();
-}
-
-Status PrivateBufferPool::Clear() {
-  std::lock_guard<std::mutex> guard(mu_);
-  BESS_RETURN_IF_ERROR(FlushDirtyLocked());
-  for (uint32_t f = 0; f < frame_count_; ++f) {
-    if (frames_[f].state == kProtected) {
-      BESS_RETURN_IF_ERROR(
-          vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite));
-    }
-    frames_[f] = FrameInfo{};
-  }
-  page_table_.clear();
-  hand_ = 0;
-  return Status::OK();
-}
+Status PrivateBufferPool::Clear() { return table_->Clear(/*flush=*/true); }
 
 bool PrivateBufferPool::OnFault(void* addr, bool is_write) {
-  // Note: `is_write` is only a hint and absent on some kernels; all
-  // decisions below derive from the tracked frame state (a fault on a
-  // readable frame can only be a store).
+  // Note: `is_write` is only a hint and absent on some kernels; decisions
+  // derive from tracked state (a fault on a readable frame can only be a
+  // store).
   (void)is_write;
-  std::lock_guard<std::mutex> guard(mu_);
-  const size_t off =
-      static_cast<size_t>(static_cast<char*>(addr) - base_);
+  const size_t off = static_cast<size_t>(static_cast<char*>(addr) - base_);
   const uint32_t f = static_cast<uint32_t>(off / kPageSize);
   if (f >= frame_count_) return false;
-  FrameInfo& info = frames_[f];
-  if (info.state == kProtected) {
-    // Touch of a protected frame: re-enable (this is the "used" signal the
-    // clock observes). Restore read-only so a later store is still caught.
-    Status s = vmem::Protect(FrameAddr(f), kPageSize,
-                             info.dirty ? vmem::kReadWrite : vmem::kRead);
-    if (!s.ok()) return false;
-    info.state = kAccessible;
-    stats_.second_chances++;
-    return true;  // a store refaults immediately and lands below
+  if (prot_[f].load(std::memory_order_relaxed) == kRevoked) {
+    // Touch of a protected frame: the clock's "used" signal. A store
+    // refaults immediately and lands in the branch below.
+    return table_->NoteAccess(f).ok();
   }
-  if (info.state == kAccessible && !info.dirty) {
-    // Readable frame faulted: must be the first store — update detection.
-    info.dirty = true;
-    BESS_COUNT("vm.fault.detect");
-    return vmem::Protect(FrameAddr(f), kPageSize, vmem::kReadWrite).ok();
-  }
-  return false;
+  // Readable frame faulted: the first store — software update detection.
+  return table_->MarkDirty(f).ok();
+}
+
+PrivateBufferPool::Stats PrivateBufferPool::stats() const {
+  const FrameTable::Stats t = table_->stats();
+  Stats s;
+  s.fixes = t.fixes;
+  s.hits = t.hits;
+  s.misses = t.misses;
+  s.evictions = t.evictions;
+  s.dirty_writebacks = t.writebacks;
+  s.second_chances = second_chances_.load(std::memory_order_relaxed);
+  s.sync_writebacks = t.sync_writebacks;
+  s.bgwriter_flushed = t.bgwriter_flushed;
+  return s;
 }
 
 }  // namespace bess

@@ -7,26 +7,25 @@
 // using the UNIX mmap system call. Because the file serves as backing store
 // for the buffer pool, no physical or swap space is allocated."
 //
-// Replacement is the paper's protection-state clock (§4.2): the cache
-// manager cannot observe loads/stores directly under memory mapping, so the
-// clock derives "recently used" from the frame's protection state —
-// accessible frames are skipped but access-protected on the way past
-// (second chance); a frame still protected when the hand returns is
-// replaced. Touching a protected frame faults; the handler re-enables
-// access, which is what marks the frame used.
+// This class is a thin *configuration* of the shared frame-lifecycle core
+// (cache/frame_table.h): frame states, eviction, write-back ordering and
+// the optional bgwriter/prefetch services all live there. What this file
+// contributes is the placement — an mmap'd pool file plus the paper's
+// protection-state machinery (§4.2):
 //
-// Write detection works the same way at the pool level: frames are mapped
-// read-only after a fetch; the first store faults and marks the frame
-// dirty before granting write access.
+//   - replacement recency is derived from access protection: the clock
+//     demotes a frame by revoking access; touching it faults, and the
+//     handler re-enables it (the "used" signal);
+//   - write detection maps fetched frames read-only; the first store
+//     faults and marks the frame dirty before granting write access.
 #ifndef BESS_CACHE_PRIVATE_POOL_H_
 #define BESS_CACHE_PRIVATE_POOL_H_
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
+#include "cache/frame_table.h"
 #include "os/fault_dispatcher.h"
 #include "os/file.h"
 #include "storage/storage_area.h"
@@ -45,12 +44,26 @@ class PrivateBufferPool : public FaultRangeOwner {
     uint64_t evictions = 0;
     uint64_t dirty_writebacks = 0;
     uint64_t second_chances = 0;
+    uint64_t sync_writebacks = 0;   ///< write-backs paid on the fault path
+    uint64_t bgwriter_flushed = 0;
+  };
+
+  /// Frame-core knobs exposed to pool users (bench_modes drives the
+  /// bgwriter comparison through these).
+  struct Options {
+    std::string policy = "clock";
+    bool enable_bgwriter = false;
+    uint32_t bgwriter_interval_ms = 5;
+    bool enable_prefetch = false;
   };
 
   /// Creates a pool of `frame_count` frames backed by the file at `path`
   /// (created/truncated), fetching misses through `store`.
   static Result<std::unique_ptr<PrivateBufferPool>> Open(
       const std::string& path, uint32_t frame_count, SegmentStore* store);
+  static Result<std::unique_ptr<PrivateBufferPool>> Open(
+      const std::string& path, uint32_t frame_count, SegmentStore* store,
+      const Options& options);
   ~PrivateBufferPool() override;
 
   /// Returns the frame address holding `page`, fetching on a miss (and
@@ -70,42 +83,58 @@ class PrivateBufferPool : public FaultRangeOwner {
 
   bool OnFault(void* addr, bool is_write) override;
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   uint32_t frame_count() const { return frame_count_; }
+  FrameTable* table() { return table_.get(); }
 
  private:
-  enum FrameState : uint8_t { kFree = 0, kAccessible, kProtected };
+  /// The protection side of the lifecycle; every hook runs under the
+  /// FrameTable mutex except PrepareForWriteback (by core contract).
+  class PoolPlacement : public FrameTable::Placement {
+   public:
+    explicit PoolPlacement(PrivateBufferPool* pool) : pool_(pool) {}
+    char* frame_data(uint32_t f) override { return pool_->FrameAddr(f); }
+    Status BeginLoad(uint32_t f) override;
+    Status FinishLoad(uint32_t f, bool for_write) override;
+    Status OnAccess(uint32_t f, bool dirty) override;
+    Status OnDirty(uint32_t f) override;
+    Status Demote(uint32_t f) override;
+    Status PrepareForWriteback(uint32_t f) override;
+    Status FinishWriteback(uint32_t f, bool ok) override;
+    Status OnEvict(uint32_t f) override;
 
-  PrivateBufferPool(File file, uint32_t frame_count, SegmentStore* store)
-      : file_(std::move(file)), frame_count_(frame_count), store_(store) {}
+   private:
+    PrivateBufferPool* pool_;
+  };
+
+  enum Prot : uint8_t { kOpen = 0, kRevoked = 1 };
+
+  PrivateBufferPool(File file, uint32_t frame_count, SegmentStore* store,
+                    const Options& options)
+      : file_(std::move(file)),
+        frame_count_(frame_count),
+        store_io_(store),
+        options_(options),
+        placement_(this) {}
 
   Status Init();
   char* FrameAddr(uint32_t f) const {
     return base_ + static_cast<size_t>(f) * kPageSize;
   }
-  /// Clock sweep: returns a victim frame (flushing it if dirty).
-  Result<uint32_t> AcquireFrame();
-  Status EvictFrame(uint32_t f);
-  /// Body of FlushDirty; caller holds mu_ (Clear() reuses it, which is why
-  /// a plain mutex suffices here).
-  Status FlushDirtyLocked();
-
-  struct FrameInfo {
-    uint64_t page_key = 0;
-    FrameState state = kFree;
-    bool dirty = false;
-  };
 
   File file_;
   uint32_t frame_count_;
-  SegmentStore* store_;
+  StorePageIo store_io_;
+  Options options_;
   char* base_ = nullptr;
   int dispatcher_slot_ = -1;
-  std::mutex mu_;
-  std::vector<FrameInfo> frames_;
-  std::unordered_map<uint64_t, uint32_t> page_table_;
-  uint32_t hand_ = 0;
-  Stats stats_;
+  /// Per-frame protection marker (kRevoked = access-protected by the
+  /// clock). Written under the table mutex before the mprotect that makes
+  /// it observable; read lock-free on the fault path.
+  std::unique_ptr<std::atomic<uint8_t>[]> prot_;
+  std::atomic<uint64_t> second_chances_{0};
+  PoolPlacement placement_;
+  std::unique_ptr<FrameTable> table_;
 };
 
 }  // namespace bess

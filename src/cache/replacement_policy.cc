@@ -1,0 +1,155 @@
+#include "cache/replacement_policy.h"
+
+#include <algorithm>
+
+namespace bess {
+
+// ---- ClockPolicy ------------------------------------------------------------
+
+ClockPolicy::ClockPolicy(uint32_t frame_count, ClockPolicyOptions opts)
+    : frame_count_(frame_count), opts_(opts) {
+  if (opts_.use_ref_bits) ref_.assign(frame_count_, 0);
+}
+
+uint32_t ClockPolicy::Advance() {
+  if (opts_.shared_hand != nullptr) {
+    return opts_.shared_hand->fetch_add(1, std::memory_order_relaxed) %
+           frame_count_;
+  }
+  const uint32_t f = local_hand_;
+  local_hand_ = (local_hand_ + 1) % frame_count_;
+  return f;
+}
+
+uint32_t ClockPolicy::PeekHand() const {
+  if (opts_.shared_hand != nullptr) {
+    return opts_.shared_hand->load(std::memory_order_relaxed) % frame_count_;
+  }
+  return local_hand_;
+}
+
+void ClockPolicy::OnInsert(uint32_t f) {
+  if (opts_.use_ref_bits) ref_[f] = 1;
+}
+
+void ClockPolicy::OnAccess(uint32_t f) {
+  if (opts_.use_ref_bits) ref_[f] = 1;
+}
+
+void ClockPolicy::OnEvict(uint32_t f) {
+  if (opts_.use_ref_bits) ref_[f] = 0;
+}
+
+uint32_t ClockPolicy::PickVictim(const FrameFilter& evictable,
+                                 const DemoteHook& demote) {
+  // Two revolutions: the first clears reference bits (demoting as it goes),
+  // the second is guaranteed to find any frame that stayed cold.
+  for (uint32_t step = 0; step < 2 * frame_count_ + 1; ++step) {
+    const uint32_t f = Advance();
+    if (!evictable(f)) continue;
+    if (opts_.use_ref_bits && ref_[f]) {
+      ref_[f] = 0;
+      if (demote) demote(f);
+      continue;
+    }
+    return f;
+  }
+  return kNoFrame;
+}
+
+uint32_t ClockPolicy::PickIdle(const FrameFilter& evictable) const {
+  const uint32_t start = PeekHand();
+  for (uint32_t i = 0; i < frame_count_; ++i) {
+    const uint32_t f = (start + i) % frame_count_;
+    if (!evictable(f)) continue;
+    if (opts_.use_ref_bits && ref_[f]) continue;
+    return f;
+  }
+  return kNoFrame;
+}
+
+void ClockPolicy::FlushHorizon(uint32_t n, const FrameFilter& candidate,
+                               std::vector<uint32_t>* out) const {
+  const uint32_t start = PeekHand();
+  for (uint32_t i = 0; i < frame_count_ && out->size() < n; ++i) {
+    const uint32_t f = (start + i) % frame_count_;
+    if (candidate(f)) out->push_back(f);
+  }
+}
+
+// ---- LruKPolicy -------------------------------------------------------------
+
+LruKPolicy::LruKPolicy(uint32_t frame_count, int k)
+    : frame_count_(frame_count), k_(k) {
+  hist_.assign(frame_count_, History{});
+}
+
+std::pair<uint64_t, uint64_t> LruKPolicy::RankKey(uint32_t f) const {
+  const History& h = hist_[f];
+  if (k_ == 2) return {h.prev, h.last};
+  return {h.last, 0};
+}
+
+void LruKPolicy::OnInsert(uint32_t f) { OnAccess(f); }
+
+void LruKPolicy::OnAccess(uint32_t f) {
+  History& h = hist_[f];
+  ++tick_;
+  if (k_ == 2) h.prev = h.last;
+  h.last = tick_;
+}
+
+void LruKPolicy::OnEvict(uint32_t f) { hist_[f] = History{}; }
+
+uint32_t LruKPolicy::PickVictim(const FrameFilter& evictable,
+                                const DemoteHook& demote) {
+  (void)demote;  // LRU-K has no second-chance notion
+  return PickIdle(evictable);
+}
+
+uint32_t LruKPolicy::PickIdle(const FrameFilter& evictable) const {
+  uint32_t best = kNoFrame;
+  std::pair<uint64_t, uint64_t> best_key{~0ull, ~0ull};
+  for (uint32_t f = 0; f < frame_count_; ++f) {
+    if (!evictable(f)) continue;
+    const auto key = RankKey(f);
+    if (best == kNoFrame || key < best_key) {
+      best = f;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+void LruKPolicy::FlushHorizon(uint32_t n, const FrameFilter& candidate,
+                              std::vector<uint32_t>* out) const {
+  std::vector<uint32_t> cands;
+  for (uint32_t f = 0; f < frame_count_; ++f) {
+    if (candidate(f)) cands.push_back(f);
+  }
+  std::sort(cands.begin(), cands.end(), [this](uint32_t a, uint32_t b) {
+    return RankKey(a) < RankKey(b);
+  });
+  if (cands.size() > n) cands.resize(n);
+  out->insert(out->end(), cands.begin(), cands.end());
+}
+
+// ---- factory ----------------------------------------------------------------
+
+Result<std::unique_ptr<ReplacementPolicy>> MakeReplacementPolicy(
+    const std::string& name, uint32_t frame_count,
+    ClockPolicyOptions clock_opts) {
+  if (name == "clock") {
+    return std::unique_ptr<ReplacementPolicy>(
+        new ClockPolicy(frame_count, clock_opts));
+  }
+  if (name == "lru") {
+    return std::unique_ptr<ReplacementPolicy>(new LruKPolicy(frame_count, 1));
+  }
+  if (name == "lru2") {
+    return std::unique_ptr<ReplacementPolicy>(new LruKPolicy(frame_count, 2));
+  }
+  return Status::InvalidArgument("unknown replacement policy: " + name);
+}
+
+}  // namespace bess

@@ -32,7 +32,7 @@ struct Layout {
 Layout ComputeLayout(uint32_t frame_count, uint32_t smt_capacity) {
   Layout l;
   l.slots_off = Align(sizeof(ShmHeader), 64);
-  l.smt_off = Align(l.slots_off + frame_count * sizeof(SlotMeta), 64);
+  l.smt_off = Align(l.slots_off + frame_count * sizeof(FrameMeta), 64);
   l.bindings_off = Align(l.smt_off + smt_capacity * sizeof(SmtEntry), 64);
   l.frames_off = Align(
       l.bindings_off + static_cast<size_t>(kMaxCacheProcs) * frame_count,
@@ -49,7 +49,7 @@ void SharedCache::InitPointers() {
   header_ = static_cast<ShmHeader*>(shm_.base());
   const Layout l = ComputeLayout(header_->frame_count, header_->smt_capacity);
   char* base = static_cast<char*>(shm_.base());
-  slots_ = reinterpret_cast<SlotMeta*>(base + l.slots_off);
+  slots_ = reinterpret_cast<FrameMeta*>(base + l.slots_off);
   smt_ = reinterpret_cast<SmtEntry*>(base + l.smt_off);
   bindings_ = reinterpret_cast<uint8_t*>(base + l.bindings_off);
   frames_offset_ = l.frames_off;
@@ -163,7 +163,7 @@ void SharedCache::UnregisterProcess(uint32_t proc_idx) {
   for (uint32_t s = 0; s < header_->frame_count; ++s) {
     if (bound[s]) {
       bound[s] = 0;
-      slot(s)->ref_count.fetch_sub(1, std::memory_order_acq_rel);
+      slot(s)->pins.fetch_sub(1, std::memory_order_acq_rel);
     }
   }
   header_->pids[proc_idx].store(0, std::memory_order_release);
@@ -188,12 +188,78 @@ Result<int> SharedCache::CleanupDeadProcesses() {
   return cleaned;
 }
 
-// ---- SharedPageSpace ----------------------------------------------------------
+// ---- SharedPageSpace::SmtDirectory ------------------------------------------
+
+uint32_t SharedPageSpace::SmtDirectory::Lookup(uint64_t key) {
+  SmtEntry* e = cache_->FindEntry(key);
+  if (e == nullptr) return kNoFrame;
+  return e->slot.load(std::memory_order_acquire);
+}
+
+Status SharedPageSpace::SmtDirectory::Install(uint64_t key, uint32_t f) {
+  SmtEntry* e = cache_->FindEntry(key);
+  if (e == nullptr) {
+    return Status::Internal("page key has no SMT entry");
+  }
+  e->slot.store(f, std::memory_order_release);
+  return Status::OK();
+}
+
+void SharedPageSpace::SmtDirectory::Erase(uint64_t key, uint32_t f) {
+  SmtEntry* e = cache_->FindEntry(key);
+  if (e != nullptr && e->slot.load(std::memory_order_relaxed) == f) {
+    e->slot.store(kNoFrame, std::memory_order_release);
+  }
+}
+
+// ---- SharedPageSpace::SharedPlacement ---------------------------------------
+
+char* SharedPageSpace::SharedPlacement::frame_data(uint32_t f) {
+  return space_->cache_.frame_data(f);
+}
+
+Status SharedPageSpace::SharedPlacement::PrepareForWriteback(uint32_t f) {
+  // A slot with pins == 0 is bound by no process: nobody can store to it,
+  // and the SMT latch (held across the miss path) keeps it that way. A
+  // *bound* slot may be written through another process's PVMA at any
+  // moment, so latch it for the duration of the I/O.
+  FrameMeta* m = space_->cache_.slot(f);
+  if (m->pins.load(std::memory_order_acquire) != 0) {
+    m->latch.Lock();
+    space_->latched_[f] = 1;
+  }
+  return Status::OK();
+}
+
+Status SharedPageSpace::SharedPlacement::FinishWriteback(uint32_t f, bool ok) {
+  (void)ok;
+  if (space_->latched_[f]) {
+    space_->latched_[f] = 0;
+    space_->cache_.slot(f)->latch.Unlock();
+  }
+  return Status::OK();
+}
+
+Status SharedPageSpace::SharedPlacement::ReleasePressure() {
+  // Every slot is bound somewhere; push our own bindings down one level
+  // (other processes run their level-1 sweeps themselves) and reclaim the
+  // bindings of crashed processes (§4.1.2). Reached only from Fix, so the
+  // space mutex is held.
+  BESS_RETURN_IF_ERROR(space_->RunClockLevel1Locked(0));
+  return space_->cache_.CleanupDeadProcesses().status();
+}
+
+// ---- SharedPageSpace --------------------------------------------------------
 
 Result<std::unique_ptr<SharedPageSpace>> SharedPageSpace::Open(
     SharedCache cache, SegmentStore* store) {
+  return Open(std::move(cache), store, Options{});
+}
+
+Result<std::unique_ptr<SharedPageSpace>> SharedPageSpace::Open(
+    SharedCache cache, SegmentStore* store, const Options& options) {
   auto space = std::unique_ptr<SharedPageSpace>(
-      new SharedPageSpace(std::move(cache), store));
+      new SharedPageSpace(std::move(cache), store, options));
   BESS_RETURN_IF_ERROR(space->Init());
   return space;
 }
@@ -207,12 +273,31 @@ Status SharedPageSpace::Init() {
   pvma_base_ = static_cast<char*>(base);
   frame_state_.assign(vframes, kInvalid);
   frame_slot_.assign(vframes, kNoFrame);
+  latched_.assign(cache_.header()->frame_count, 0);
+
+  FrameTable::Options topts;
+  topts.frame_count = cache_.header()->frame_count;
+  topts.policy = "clock";
+  // The level-2 clock's recency signal is the pin count fed by per-process
+  // bindings, not per-fix reference bits; the hand lives in the header so
+  // all processes share one sweep position.
+  topts.clock_ref_bits = false;
+  topts.shared_hand = &cache_.header()->clock_hand;
+  topts.frames = cache_.slot(0);
+  topts.directory = &smt_dir_;
+  topts.enable_bgwriter = options_.enable_bgwriter;
+  topts.bgwriter_interval_ms = options_.bgwriter_interval_ms;
+  topts.enable_prefetch = options_.enable_prefetch;
+  table_.reset(new FrameTable(topts, &placement_, &store_io_));
+  BESS_RETURN_IF_ERROR(table_->Init());
+
   dispatcher_slot_ = FaultDispatcher::Instance().RegisterRange(
       pvma_base_, pvma_bytes_, this);
   return Status::OK();
 }
 
 SharedPageSpace::~SharedPageSpace() {
+  if (table_ != nullptr) table_->Stop();
   if (dispatcher_slot_ >= 0) {
     FaultDispatcher::Instance().UnregisterRange(dispatcher_slot_);
   }
@@ -228,7 +313,7 @@ Status SharedPageSpace::BindFrame(uint32_t vframe, uint32_t slot) {
       cache_.fd(), cache_.frame_offset(slot), vmem::kReadWrite));
   if (!cache_.proc_bindings(proc_idx_)[slot]) {
     cache_.proc_bindings(proc_idx_)[slot] = 1;
-    cache_.slot(slot)->ref_count.fetch_add(1, std::memory_order_acq_rel);
+    cache_.slot(slot)->pins.fetch_add(1, std::memory_order_acq_rel);
   }
   frame_state_[vframe] = kAccessible;
   frame_slot_[vframe] = slot;
@@ -242,77 +327,26 @@ Status SharedPageSpace::UnbindFrame(uint32_t vframe) {
       vmem::kNone));
   if (slot != kNoFrame && cache_.proc_bindings(proc_idx_)[slot]) {
     cache_.proc_bindings(proc_idx_)[slot] = 0;
-    cache_.slot(slot)->ref_count.fetch_sub(1, std::memory_order_acq_rel);
+    cache_.slot(slot)->pins.fetch_sub(1, std::memory_order_acq_rel);
   }
   frame_state_[vframe] = kInvalid;
   frame_slot_[vframe] = kNoFrame;
   return Status::OK();
 }
 
-Result<uint32_t> SharedPageSpace::AcquireSlot() {
-  // Level-2 clock over cache slots: a slot with reference count zero has
-  // not been (re)bound since the hands last pushed it down — replace it.
-  ShmHeader* h = cache_.header();
-  // Up to two local level-1 sweeps: the first demotes accessible frames to
-  // protected, the second unbinds them — after which their slots' counters
-  // reach zero and become replaceable.
-  for (int round = 0; round < 3; ++round) {
-    for (uint32_t step = 0; step < 2 * h->frame_count; ++step) {
-      const uint32_t s =
-          h->clock_hand.fetch_add(1, std::memory_order_relaxed) %
-          h->frame_count;
-      SlotMeta* meta = cache_.slot(s);
-      if (meta->ref_count.load(std::memory_order_acquire) != 0) continue;
-      const uint64_t old_key = meta->page_key.load(std::memory_order_acquire);
-      if (old_key != 0) {
-        // Evict: write back if dirty, then detach from the SMT.
-        if (meta->dirty.load(std::memory_order_acquire) != 0) {
-          PageAddr addr = PageAddr::Unpack(old_key);
-          BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area,
-                                                  addr.page, 1,
-                                                  cache_.frame_data(s)));
-          meta->dirty.store(0, std::memory_order_release);
-          BESS_COUNT("cache.writeback");
-        }
-        SmtEntry* old_entry = cache_.FindEntry(old_key);
-        if (old_entry != nullptr) {
-          old_entry->slot.store(kNoFrame, std::memory_order_release);
-        }
-        stats_.evictions++;
-        BESS_COUNT("cache.eviction");
-      }
-      meta->page_key.store(0, std::memory_order_release);
-      return s;
-    }
-    // Every slot is bound somewhere; push our own bindings down one level
-    // and retry (other processes run their level-1 sweeps themselves).
-    // Bindings of crashed processes are reclaimed here too (§4.1.2).
-    BESS_RETURN_IF_ERROR(RunClockLevel1Locked(0));
-    BESS_RETURN_IF_ERROR(cache_.CleanupDeadProcesses().status());
-  }
-  return Status::Busy("shared cache exhausted: all slots bound");
-}
-
-Result<uint32_t> SharedPageSpace::EnsureResident(SmtEntry* entry) {
+Status SharedPageSpace::MapIn(SmtEntry* entry, uint32_t vframe) {
+  // The SMT latch serializes cross-process miss paths: while we hold it,
+  // no other process can bind or replace slots, so an unpinned frame the
+  // core picks as victim stays untouchable until we bind it.
+  LatchGuard smt(cache_.header()->smt_latch);
   const uint64_t key = entry->page_key.load(std::memory_order_acquire);
-  uint32_t s = entry->slot.load(std::memory_order_acquire);
-  if (s != kNoFrame &&
-      cache_.slot(s)->page_key.load(std::memory_order_acquire) == key) {
-    stats_.hits++;
-    BESS_COUNT("cache.hit");
-    return s;
-  }
-  BESS_ASSIGN_OR_RETURN(s, AcquireSlot());
-  const PageAddr addr = PageAddr::Unpack(key);
-  BESS_RETURN_IF_ERROR(
-      store_->FetchPages(addr.db, addr.area, addr.page, 1,
-                         cache_.frame_data(s)));
-  cache_.slot(s)->dirty.store(0, std::memory_order_relaxed);
-  cache_.slot(s)->page_key.store(key, std::memory_order_release);
-  entry->slot.store(s, std::memory_order_release);
-  stats_.misses++;
-  BESS_COUNT("cache.miss");
-  return s;
+  BESS_ASSIGN_OR_RETURN(FrameTable::FixResult r,
+                        table_->Fix(key, /*for_write=*/false, /*pin=*/true));
+  // The transient fix pin covers the gap until the binding's own pin is in
+  // place.
+  Status bs = BindFrame(vframe, r.frame);
+  Status us = table_->Unpin(r.frame);
+  return bs.ok() ? us : bs;
 }
 
 Result<void*> SharedPageSpace::Fix(PageAddr page, bool for_write) {
@@ -331,16 +365,12 @@ Result<void*> SharedPageSpace::Fix(PageAddr page, bool for_write) {
     frame_state_[vframe] = kAccessible;
     stats_.second_chances++;
   } else {
-    LatchGuard smt(cache_.header()->smt_latch);
-    BESS_ASSIGN_OR_RETURN(uint32_t s, EnsureResident(entry));
-    BESS_RETURN_IF_ERROR(BindFrame(vframe, s));
+    BESS_RETURN_IF_ERROR(MapIn(entry, vframe));
   }
   if (for_write) {
-    const uint32_t s = frame_slot_[vframe];
-    if (cache_.slot(s)->dirty.exchange(1, std::memory_order_release) == 0) {
-      // Clean slot fixed for write: software write detection (§2.3).
-      BESS_COUNT("vm.fault.detect");
-    }
+    // Clean -> dirty is the software flavour of write detection (§2.3);
+    // the core counts it.
+    BESS_RETURN_IF_ERROR(table_->MarkDirty(frame_slot_[vframe]));
   }
   return addr;
 }
@@ -371,22 +401,7 @@ Result<uint64_t> SharedPageSpace::ToSvma(const void* addr) const {
   return static_cast<uint64_t>(p - pvma_base_);
 }
 
-Status SharedPageSpace::FlushDirty() {
-  std::lock_guard<std::mutex> guard(mu_);
-  ShmHeader* h = cache_.header();
-  for (uint32_t s = 0; s < h->frame_count; ++s) {
-    SlotMeta* meta = cache_.slot(s);
-    if (meta->dirty.load(std::memory_order_acquire) == 0) continue;
-    const uint64_t key = meta->page_key.load(std::memory_order_acquire);
-    if (key == 0) continue;
-    LatchGuard latch(meta->latch);
-    const PageAddr addr = PageAddr::Unpack(key);
-    BESS_RETURN_IF_ERROR(store_->WritePages(addr.db, addr.area, addr.page, 1,
-                                            cache_.frame_data(s)));
-    meta->dirty.store(0, std::memory_order_release);
-  }
-  return Status::OK();
-}
+Status SharedPageSpace::FlushDirty() { return table_->FlushDirty(); }
 
 Status SharedPageSpace::RunClockLevel1(uint32_t frames) {
   std::lock_guard<std::mutex> guard(mu_);
@@ -446,13 +461,20 @@ Status SharedPageSpace::ResolveFrameFault(uint32_t vframe) {
     if (entry == nullptr) {
       return Status::NotFound("fault on unassigned virtual frame");
     }
-    LatchGuard smt(cache_.header()->smt_latch);
-    BESS_ASSIGN_OR_RETURN(uint32_t s, EnsureResident(entry));
-    BESS_RETURN_IF_ERROR(BindFrame(vframe, s));
+    BESS_RETURN_IF_ERROR(MapIn(entry, vframe));
     stats_.remaps++;
     return Status::OK();
   }
   return Status::Internal("fault on accessible frame");
+}
+
+SharedPageSpace::Stats SharedPageSpace::stats() const {
+  Stats s = stats_;
+  const FrameTable::Stats t = table_->stats();
+  s.hits += t.hits;
+  s.misses += t.misses;
+  s.evictions += t.evictions;
+  return s;
 }
 
 }  // namespace bess

@@ -14,12 +14,15 @@
 // addresses by adding the local PVMA base. A pointer needs to be fixed only
 // once, by the first process that fetched the page.
 //
-// Frame states and replacement (§4.2): each PVMA frame is invalid (access
-// protected, no slot), protected (access protected, still bound to a slot),
-// or accessible. The level-1 clock sweeps a process's frames: accessible →
-// protected, protected → invalid (unbind + decrement the slot's reference
-// counter). The level-2 clock sweeps cache slots and replaces one whose
-// counter is zero — no process has it bound.
+// Slot lifecycle, replacement and write-back are NOT implemented here: the
+// slot array is a shared-memory FrameMeta[] driven by the common
+// frame-lifecycle core (cache/frame_table.h) with the SMT as its directory
+// and the level-2 clock hand in the header as its shared policy state. What
+// this file keeps is the shared-memory *placement*: PVMA binding, the
+// per-process level-1 protection clock (§4.2: accessible → protected →
+// invalid), and crash cleanup. The slot reference counter of the paper is
+// the frame's pin count — a slot with pins == 0 is bound by no process and
+// only then can the level-2 clock replace it.
 #ifndef BESS_CACHE_SHARED_CACHE_H_
 #define BESS_CACHE_SHARED_CACHE_H_
 
@@ -30,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/frame_table.h"
 #include "os/fault_dispatcher.h"
 #include "os/latch.h"
 #include "os/shm.h"
@@ -40,16 +44,7 @@
 
 namespace bess {
 
-inline constexpr uint32_t kNoFrame = 0xFFFFFFFFu;
 inline constexpr uint32_t kMaxCacheProcs = 64;
-
-/// Per-cache-slot control data, in shared memory.
-struct SlotMeta {
-  Latch latch;                     ///< page latch (atomic test-and-set)
-  std::atomic<uint64_t> page_key{0};   ///< PageAddr::Pack(); 0 = free
-  std::atomic<uint32_t> ref_count{0};  ///< processes with this slot bound
-  std::atomic<uint32_t> dirty{0};
-};
 
 /// One SMT entry: page -> (virtual frame, current cache slot).
 struct SmtEntry {
@@ -59,7 +54,7 @@ struct SmtEntry {
 };
 
 struct ShmHeader {
-  static constexpr uint32_t kMagic = 0xBE555CACu;
+  static constexpr uint32_t kMagic = 0xBE555CADu;  ///< v2: FrameMeta slots
   uint32_t magic;
   uint32_t frame_count;   ///< cache slots
   uint32_t vframe_count;  ///< PVMA frames (>= frame_count)
@@ -71,6 +66,8 @@ struct ShmHeader {
 };
 
 /// The shared cache object itself (creation/attachment + raw accessors).
+/// Per-slot control data is the lifecycle core's FrameMeta, placed in the
+/// shared segment so every process sees one state machine per slot.
 class SharedCache {
  public:
   struct Geometry {
@@ -87,7 +84,7 @@ class SharedCache {
   SharedCache& operator=(SharedCache&&) = default;
 
   ShmHeader* header() const { return header_; }
-  SlotMeta* slot(uint32_t i) const { return slots_ + i; }
+  FrameMeta* slot(uint32_t i) const { return slots_ + i; }
   SmtEntry* entry(uint32_t i) const { return smt_ + i; }
   /// Per-process slot-binding map (crash cleanup bookkeeping, per [20]).
   uint8_t* proc_bindings(uint32_t proc_idx) const {
@@ -127,7 +124,7 @@ class SharedCache {
 
   SharedMemory shm_;
   ShmHeader* header_ = nullptr;
-  SlotMeta* slots_ = nullptr;
+  FrameMeta* slots_ = nullptr;
   SmtEntry* smt_ = nullptr;
   uint8_t* bindings_ = nullptr;
   uint64_t frames_offset_ = 0;
@@ -135,6 +132,9 @@ class SharedCache {
 
 /// Per-process window into the shared cache: the PVMA region plus the
 /// level-1 clock. This is the "shared memory" operation mode's access path.
+/// Slot replacement (the level-2 clock), fetch, and write-back are the
+/// frame core's job; this class binds slots into the PVMA and feeds the
+/// core's pin counts from its bindings.
 class SharedPageSpace : public FaultRangeOwner {
  public:
   struct Stats {
@@ -147,10 +147,20 @@ class SharedPageSpace : public FaultRangeOwner {
     uint64_t clock_sweeps = 0;
   };
 
+  /// Frame-core knobs (bench_modes drives the bgwriter comparison).
+  struct Options {
+    bool enable_bgwriter = false;
+    uint32_t bgwriter_interval_ms = 5;
+    bool enable_prefetch = false;
+  };
+
   /// `store` supplies page fetch/write-back (a LocalStore on the node
   /// server, a remote store on pure clients).
   static Result<std::unique_ptr<SharedPageSpace>> Open(SharedCache cache,
                                                        SegmentStore* store);
+  static Result<std::unique_ptr<SharedPageSpace>> Open(SharedCache cache,
+                                                       SegmentStore* store,
+                                                       const Options& options);
   ~SharedPageSpace() override;
 
   /// Returns the stable per-process address of `page`, fetching and mapping
@@ -169,7 +179,8 @@ class SharedPageSpace : public FaultRangeOwner {
     return pvma_base_ + svma;
   }
 
-  /// Writes back every dirty slot through the store.
+  /// Writes back every dirty slot through the store (LSN-ordered by the
+  /// frame core).
   Status FlushDirty();
 
   /// Level-1 clock over this process's frames: accessible -> protected,
@@ -179,40 +190,84 @@ class SharedPageSpace : public FaultRangeOwner {
 
   bool OnFault(void* addr, bool is_write) override;
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   char* pvma_base() const { return pvma_base_; }
   SharedCache* cache() { return &cache_; }
+  FrameTable* table() { return table_.get(); }
 
  private:
-  enum FrameState : uint8_t { kInvalid = 0, kProtected = 1, kAccessible = 2 };
+  /// Local (per-process) binding state of a PVMA frame; the shared slot
+  /// lifecycle lives in FrameMeta.
+  enum PvmaState : uint8_t { kInvalid = 0, kProtected = 1, kAccessible = 2 };
 
-  explicit SharedPageSpace(SharedCache cache, SegmentStore* store)
-      : cache_(std::move(cache)), store_(store) {}
+  /// The SMT as the frame core's directory. Entries are created by
+  /// AssignEntry before the core ever sees the key, so Install only updates
+  /// the entry's slot field.
+  class SmtDirectory : public FrameTable::Directory {
+   public:
+    explicit SmtDirectory(SharedCache* cache) : cache_(cache) {}
+    uint32_t Lookup(uint64_t key) override;
+    Status Install(uint64_t key, uint32_t f) override;
+    void Erase(uint64_t key, uint32_t f) override;
+
+   private:
+    SharedCache* cache_;
+  };
+
+  /// Shared-memory placement: frames are always mapped read-write in the
+  /// whole-object view (protection applies to PVMA views, handled by the
+  /// level-1 clock), so most hooks are no-ops. Write-back of a *bound*
+  /// slot latches it against cross-process writers.
+  class SharedPlacement : public FrameTable::Placement {
+   public:
+    explicit SharedPlacement(SharedPageSpace* space) : space_(space) {}
+    char* frame_data(uint32_t f) override;
+    Status PrepareForWriteback(uint32_t f) override;
+    Status FinishWriteback(uint32_t f, bool ok) override;
+    Status ReleasePressure() override;
+
+   private:
+    SharedPageSpace* space_;
+  };
+
+  explicit SharedPageSpace(SharedCache cache, SegmentStore* store,
+                           const Options& options)
+      : cache_(std::move(cache)),
+        store_io_(store),
+        options_(options),
+        smt_dir_(&cache_),
+        placement_(this) {}
 
   Status Init();
   /// Binds `vframe` to `slot`: MAP_FIXED of the slot's frame, read-write.
+  /// A new binding pins the slot (the paper's slot reference counter).
   Status BindFrame(uint32_t vframe, uint32_t slot);
-  /// Unbinds: decommit + ref_count--.
+  /// Unbinds: decommit + unpin.
   Status UnbindFrame(uint32_t vframe);
-  /// Ensures the page of `entry` is resident in some slot; returns it.
-  Result<uint32_t> EnsureResident(SmtEntry* entry);
-  /// Level-2 clock: picks a victim slot with ref_count == 0, evicting its
-  /// current page (write-back if dirty).
-  Result<uint32_t> AcquireSlot();
+  /// Makes `entry`'s page resident via the frame core and binds it, under
+  /// the SMT latch (cross-process miss serialization).
+  Status MapIn(SmtEntry* entry, uint32_t vframe);
   Status ResolveFrameFault(uint32_t vframe);
-  /// Body of RunClockLevel1; caller holds mu_. AcquireSlot re-enters the
-  /// level-1 sweep from under the lock, which is why the public entry point
-  /// and this body are split (plain mutex, no hidden re-entrancy).
+  /// Body of RunClockLevel1; caller holds mu_. Also the core's
+  /// ReleasePressure hook (reached only from Fix, which holds mu_).
   Status RunClockLevel1Locked(uint32_t frames);
 
   SharedCache cache_;
-  SegmentStore* store_;
+  StorePageIo store_io_;
+  Options options_;
+  SmtDirectory smt_dir_;
+  SharedPlacement placement_;
+  std::unique_ptr<FrameTable> table_;
   char* pvma_base_ = nullptr;
   size_t pvma_bytes_ = 0;
   int dispatcher_slot_ = -1;
   uint32_t proc_idx_ = kNoFrame;
   std::vector<uint8_t> frame_state_;
   std::vector<uint32_t> frame_slot_;  // bound slot per vframe (local view)
+  /// latched_[s] != 0 while this process's write-back of slot s holds its
+  /// latch. Only the thread running that write-back touches entry s
+  /// (serialized by the kWriting state under the table mutex).
+  std::vector<uint8_t> latched_;
   uint32_t local_hand_ = 0;
   std::mutex mu_;
   Stats stats_;

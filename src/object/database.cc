@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "cache/cached_store.h"
 #include "hooks/hooks.h"
 #include "obs/trace.h"
 #include "util/crc32c.h"
@@ -137,8 +138,19 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   auto db = std::unique_ptr<Database>(new Database(options));
   db->observer_ = std::make_unique<Observer>(db.get());
   db->store_ = std::make_unique<LocalStore>(db.get());
-  db->mapper_ = std::make_unique<SegmentMapper>(db->store_.get(), &db->types_,
-                                                options.mapper);
+  SegmentStore* mapper_store = db->store_.get();
+  SegmentMapper::Options mapper_opts = options.mapper;
+  if (options.page_cache_frames > 0) {
+    CachedSegmentStore::Options copts;
+    copts.frame_count = options.page_cache_frames;
+    db->page_cache_ =
+        std::make_unique<CachedSegmentStore>(db->store_.get(), copts);
+    BESS_RETURN_IF_ERROR(db->page_cache_->Init());
+    mapper_store = db->page_cache_.get();
+    mapper_opts.prefetch_sink = db->page_cache_.get();
+  }
+  db->mapper_ = std::make_unique<SegmentMapper>(mapper_store, &db->types_,
+                                                mapper_opts);
   db->mapper_->set_observer(db->observer_.get());
 
   if (options.create) {
@@ -538,6 +550,10 @@ Status Database::ForcePages(const std::vector<PageImage>& pages, Lsn lsn) {
     StorageArea* a = AreaOrNull(img.area);
     if (a == nullptr) return Status::Internal("dirty page in unknown area");
     BESS_RETURN_IF_ERROR(a->WritePages(img.page, 1, img.bytes.data(), lsn));
+    if (page_cache_ != nullptr) {
+      // Forced pages bypass the store seam; keep the cached copies fresh.
+      page_cache_->Refresh(img.db, img.area, img.page, img.bytes.data());
+    }
     if (std::find(touched.begin(), touched.end(), a) == touched.end()) {
       touched.push_back(a);
     }
@@ -1160,7 +1176,15 @@ Status Database::WriteRawPages(uint16_t area, PageId first, uint32_t count,
                                const void* buf) {
   StorageArea* a = AreaOrNull(area);
   if (a == nullptr) return Status::NotFound("no storage area");
-  return a->WritePages(first, count, buf);
+  BESS_RETURN_IF_ERROR(a->WritePages(first, count, buf));
+  if (page_cache_ != nullptr) {
+    const char* in = static_cast<const char*>(buf);
+    for (uint32_t i = 0; i < count; ++i) {
+      page_cache_->Refresh(options_.db_id, area, first + i,
+                           in + static_cast<size_t>(i) * kPageSize);
+    }
+  }
+  return Status::OK();
 }
 
 Status Database::CommitPageSet(const std::vector<PageImage>& pages) {
@@ -1360,6 +1384,10 @@ Result<ScrubReport> Database::Scrub() {
   for (StorageArea* a : areas) {
     Status s = a->Scrub(&report);
     if (!s.ok() && !s.IsCorruption()) return s;
+  }
+  // Repair may have rewritten pages underneath the cache.
+  if (page_cache_ != nullptr && report.repaired > 0) {
+    page_cache_->InvalidateAll();
   }
   return report;
 }

@@ -15,6 +15,17 @@ Result<std::unique_ptr<NodeServer>> NodeServer::Start(Options options) {
 NodeServer::~NodeServer() { Stop(); }
 
 Status NodeServer::Init() {
+  // Node page cache: copy-in/copy-out frames on the heap, LRU-2 so a
+  // one-touch scan through the node cannot flush the working set.
+  const uint32_t frames = options_.cache_pages == 0 ? 1 : options_.cache_pages;
+  cache_placement_.reset(new HeapPlacement(frames));
+  FrameTable::Options copts;
+  copts.frame_count = frames;
+  copts.policy = "lru2";
+  page_cache_.reset(
+      new FrameTable(copts, cache_placement_.get(), /*io=*/nullptr));
+  BESS_RETURN_IF_ERROR(page_cache_->Init());
+
   // Upstream connection (the node server is itself a client, §3).
   BESS_ASSIGN_OR_RETURN(upstream_, MsgSocket::Connect(options_.upstream_path));
   upstream_.set_simulated_latency_us(options_.upstream_latency_us);
@@ -112,30 +123,21 @@ void NodeServer::ServeSession(std::shared_ptr<LocalSession> session) {
 }
 
 bool NodeServer::CacheGet(uint64_t page_key, std::string* bytes) {
+  bytes->resize(kPageSize);
+  if (!page_cache_->Get(page_key, bytes->data())) return false;
   std::lock_guard<std::mutex> guard(mutex_);
-  auto it = cache_.find(page_key);
-  if (it == cache_.end()) return false;
-  *bytes = it->second;
   stats_.cache_hits++;
   return true;
 }
 
 void NodeServer::CachePut(uint64_t page_key, std::string bytes) {
-  std::lock_guard<std::mutex> guard(mutex_);
-  if (cache_.count(page_key) == 0) {
-    cache_order_.push_back(page_key);
-    while (cache_order_.size() > options_.cache_pages) {
-      cache_.erase(cache_order_.front());
-      cache_order_.pop_front();
-    }
-  }
-  cache_[page_key] = std::move(bytes);
+  if (bytes.size() != kPageSize) return;
+  (void)page_cache_->Put(page_key, bytes.data());
 }
 
 void NodeServer::CacheInvalidateAll() {
+  (void)page_cache_->Clear(/*flush=*/false);
   std::lock_guard<std::mutex> guard(mutex_);
-  cache_.clear();
-  cache_order_.clear();
   stats_.cache_invalidations++;
 }
 

@@ -16,7 +16,6 @@
 #define BESS_SERVER_NODE_SERVER_H_
 
 #include <atomic>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cache/frame_table.h"
 #include "os/socket.h"
 #include "server/protocol.h"
 #include "txn/lock_manager.h"
@@ -76,7 +76,9 @@ class NodeServer {
   Status EnsureUpstreamLock(uint64_t key, LockMode mode, int timeout_ms);
   void UpstreamCallbackLoop();
 
-  // Node page cache (write-through on local commits).
+  // Node page cache (write-through on local commits): a heap-placement
+  // frame-core configuration with LRU-2 replacement and no backing I/O —
+  // misses are resolved upstream by the caller, invalidated pages drop.
   bool CacheGet(uint64_t page_key, std::string* bytes);
   void CachePut(uint64_t page_key, std::string bytes);
   void CacheInvalidateAll();
@@ -96,8 +98,8 @@ class NodeServer {
   LockManager local_locks_;
 
   mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, std::string> cache_;
-  std::list<uint64_t> cache_order_;  // FIFO eviction
+  std::unique_ptr<HeapPlacement> cache_placement_;
+  std::unique_ptr<FrameTable> page_cache_;
   std::unordered_map<uint64_t, LockMode> node_locks_;  // cached upstream locks
   std::vector<std::shared_ptr<LocalSession>> sessions_;
   std::vector<std::thread> session_threads_;

@@ -5,7 +5,7 @@
 
 #include <filesystem>
 
-#include "api/bess.h"
+#include "bess/bess.h"
 
 namespace bess {
 namespace {

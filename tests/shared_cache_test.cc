@@ -301,7 +301,7 @@ TEST_F(SharedCacheTest, CrashCleanupReleasesDeadProcessState) {
   ASSERT_NE(entry, nullptr);
   const uint32_t slot = entry->slot.load();
   ASSERT_NE(slot, kNoFrame);
-  EXPECT_EQ(c->slot(slot)->ref_count.load(), 0u);
+  EXPECT_EQ(c->slot(slot)->pins.load(), 0u);
   EXPECT_FALSE(c->slot(slot)->latch.is_locked());
 }
 
