@@ -47,6 +47,16 @@ Status FrameTable::Init() {
   if (opts_.frame_count == 0) {
     return Status::InvalidArgument("frame table needs at least one frame");
   }
+  if (opts_.enable_prefetch && opts_.directory != nullptr) {
+    // The prefetch claim/install step runs on the background thread under
+    // only this process's table mutex. An external directory (the shared
+    // mapping table) is also written by other processes' miss paths, which
+    // serialize on the SMT latch that thread does not hold — a prefetch
+    // here racing a remote miss could leave one page resident in two
+    // slots, breaking the single-copy invariant.
+    return Status::InvalidArgument(
+        "prefetch is unsupported with an external (cross-process) directory");
+  }
   ClockPolicyOptions co;
   co.use_ref_bits = opts_.clock_ref_bits;
   co.shared_hand = opts_.shared_hand;
@@ -83,6 +93,9 @@ void FrameTable::Stop() {
 
 bool FrameTable::EvictableLocked(uint32_t f, bool allow_dirty) const {
   if (meta_[f].pins.load(std::memory_order_acquire) != 0) return false;
+  // A frame whose write-back I/O is still in flight (kWriting, or kDirty
+  // after a re-dirty) must keep its bytes until that writer lands.
+  if (meta_[f].writer.load(std::memory_order_acquire) != 0) return false;
   switch (meta_[f].State()) {
     case FrameState::kFree:
     case FrameState::kClean:
@@ -174,6 +187,27 @@ Status FrameTable::WriteBackLocked(uint32_t f,
     SetState(f, FrameState::kClean);
     return Status::OK();
   }
+  // One write-back per frame at a time, across threads and processes: the
+  // writer flag is claimed before any state change, so a frame re-dirtied
+  // while its write is in flight (kWriting → kDirty via MarkDirty) cannot
+  // enter a second concurrent write-back, and the finalize CAS below can
+  // only ever match this writer's own kWriting.
+  for (uint8_t unclaimed = 0;
+       !m.writer.compare_exchange_strong(unclaimed, 1,
+                                         std::memory_order_acq_rel);
+       unclaimed = 0) {
+    // Background and evict callers just skip: the frame is retried next
+    // round or re-validated by the caller. Flush waits out the in-flight
+    // write (possibly another process's, hence the timed poll) so
+    // FlushDirty's everything-durable contract holds.
+    if (mode != WritebackMode::kFlush) return Status::OK();
+    cleaned_cv_.wait_for(lk, kLoadPoll);
+  }
+  if (m.State() != FrameState::kDirty) {
+    // Cleaned — or evicted and reloaded — while we waited for the flag.
+    m.writer.store(0, std::memory_order_release);
+    return Status::OK();
+  }
   SetState(f, FrameState::kWriting);
   const uint64_t key = m.page_key.load(std::memory_order_acquire);
   const uint64_t lsn = m.page_lsn.load(std::memory_order_relaxed);
@@ -188,6 +222,8 @@ Status FrameTable::WriteBackLocked(uint32_t f,
   if (!ws.ok()) {
     SetState(f, FrameState::kDirty);
     (void)placement_->FinishWriteback(f, false);
+    m.writer.store(0, std::memory_order_release);
+    cleaned_cv_.notify_all();
     return ws;
   }
   // Fails when the frame was re-dirtied during the write; it then stays
@@ -198,6 +234,7 @@ Status FrameTable::WriteBackLocked(uint32_t f,
                                   static_cast<uint8_t>(FrameState::kClean),
                                   std::memory_order_acq_rel);
   (void)placement_->FinishWriteback(f, true);
+  m.writer.store(0, std::memory_order_release);
   stats_.writebacks++;
   BESS_COUNT("cache.writeback");
   if (mode == WritebackMode::kSyncEvict) {
@@ -309,8 +346,10 @@ Result<FrameTable::FixResult> FrameTable::Fix(uint64_t key, bool for_write,
   m.page_key.store(key, std::memory_order_release);
   m.prefetched.store(0, std::memory_order_relaxed);
   SetState(f, FrameState::kLoading);
-  BESS_RETURN_IF_ERROR(dir_->Install(key, f));
-  Status ls = placement_->BeginLoad(f);
+  // Install/BeginLoad/fetch failures all unwind through the cleanup below:
+  // a frame left kLoading is never evictable and would leak permanently.
+  Status ls = dir_->Install(key, f);
+  if (ls.ok()) ls = placement_->BeginLoad(f);
   if (ls.ok()) {
     FeedPrefetchLocked(key, 1);
     if (io_ != nullptr) {
@@ -455,8 +494,21 @@ Status FrameTable::Invalidate(uint64_t key) {
     return Status::Busy("frame pinned");
   }
   const FrameState st = StateOf(f);
-  if (st == FrameState::kLoading || st == FrameState::kWriting) {
+  if (st == FrameState::kLoading || st == FrameState::kWriting ||
+      meta_[f].writer.load(std::memory_order_acquire) != 0) {
     return Status::Busy("frame busy");
+  }
+  if (st == FrameState::kDirty && io_ != nullptr) {
+    // Never silently drop modified data: write it back first. The mutex
+    // drops during the I/O, so re-validate the frame before evicting.
+    BESS_RETURN_IF_ERROR(WriteBackLocked(f, lk, WritebackMode::kFlush));
+    if (meta_[f].page_key.load(std::memory_order_acquire) != key) {
+      return Status::OK();
+    }
+    if (meta_[f].pins.load(std::memory_order_acquire) != 0) {
+      return Status::Busy("frame pinned");
+    }
+    if (StateOf(f) != FrameState::kClean) return Status::Busy("frame busy");
   }
   return EvictLocked(f);
 }
@@ -468,9 +520,19 @@ Status FrameTable::Clear(bool flush) {
   }
   for (uint32_t f = 0; f < opts_.frame_count; ++f) {
     if (meta_[f].pins.load(std::memory_order_acquire) != 0) continue;
-    const FrameState st = StateOf(f);
+    FrameState st = StateOf(f);
+    if (flush && st == FrameState::kDirty && io_ != nullptr) {
+      // Re-dirtied since (or during) the flush pass: write it back rather
+      // than dropping the update. The mutex drops during the I/O, so
+      // re-validate below before evicting.
+      BESS_RETURN_IF_ERROR(WriteBackLocked(f, lk, WritebackMode::kFlush));
+      if (meta_[f].pins.load(std::memory_order_acquire) != 0) continue;
+      st = StateOf(f);
+    }
     if (st == FrameState::kFree || st == FrameState::kLoading ||
-        st == FrameState::kWriting) {
+        st == FrameState::kWriting ||
+        meta_[f].writer.load(std::memory_order_acquire) != 0 ||
+        (flush && st == FrameState::kDirty)) {
       continue;
     }
     BESS_RETURN_IF_ERROR(EvictLocked(f));
@@ -581,7 +643,10 @@ void FrameTable::BgFlushRoundLocked(std::unique_lock<std::mutex>& lk) {
   const bool urgent = urgent_flush_;
   urgent_flush_ = false;
   auto is_dirty = [&](uint32_t f) {
-    return StateOf(f) == FrameState::kDirty;
+    // Skip frames another flusher already has in flight — WriteBackLocked
+    // would skip them anyway; don't burn batch slots on them.
+    return StateOf(f) == FrameState::kDirty &&
+           meta_[f].writer.load(std::memory_order_acquire) == 0;
   };
   std::vector<uint32_t> cand;
   if (urgent) {

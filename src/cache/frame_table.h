@@ -79,6 +79,13 @@ struct FrameMeta {
   std::atomic<uint32_t> pins{0};        ///< pin / cross-process binding count
   std::atomic<uint8_t> state{0};        ///< FrameState
   std::atomic<uint8_t> prefetched{0};   ///< loaded ahead, not yet demanded
+  /// Write-back ownership. Claimed (CAS 0 → 1) before any state change by
+  /// the one flusher whose I/O is pending — across threads AND processes —
+  /// so a frame re-dirtied mid-write (kWriting → kDirty) cannot enter a
+  /// second concurrent write-back, and the finalize CAS can only match the
+  /// owner's own kWriting. A frame with writer != 0 is never evictable:
+  /// its bytes are still being read by the in-flight I/O.
+  std::atomic<uint8_t> writer{0};
 
   FrameState State() const {
     return static_cast<FrameState>(state.load(std::memory_order_acquire));
@@ -256,10 +263,15 @@ class FrameTable {
   bool Get(uint64_t key, void* out);
   Status Put(uint64_t key, const void* bytes);
 
-  /// Drops `key` if present and unpinned.
+  /// Drops `key` if present and unpinned. A dirty frame is written back
+  /// first (Busy if it is still busy afterwards) — modified data is never
+  /// silently discarded. With no PageIo the bytes drop by definition.
   Status Invalidate(uint64_t key);
 
-  /// Evicts every unpinned frame; flushes dirty frames first when asked.
+  /// Evicts every unpinned frame. With `flush`, dirty frames — including
+  /// frames re-dirtied during the flush pass — are written back before
+  /// eviction and never dropped (a frame that stays busy is skipped).
+  /// Without `flush`, dirty data is discarded by design.
   Status Clear(bool flush);
 
   FrameMeta* meta(uint32_t f) const { return meta_ + f; }

@@ -219,15 +219,13 @@ char* SharedPageSpace::SharedPlacement::frame_data(uint32_t f) {
 }
 
 Status SharedPageSpace::SharedPlacement::PrepareForWriteback(uint32_t f) {
-  // A slot with pins == 0 is bound by no process: nobody can store to it,
-  // and the SMT latch (held across the miss path) keeps it that way. A
-  // *bound* slot may be written through another process's PVMA at any
-  // moment, so latch it for the duration of the I/O.
-  FrameMeta* m = space_->cache_.slot(f);
-  if (m->pins.load(std::memory_order_acquire) != 0) {
-    m->latch.Lock();
-    space_->latched_[f] = 1;
-  }
+  // Latch unconditionally. A bound slot may be stored to through another
+  // process's PVMA at any moment, and a pins == 0 snapshot taken here —
+  // the flusher does not hold the SMT latch — can be invalidated the next
+  // instant by another process binding the slot; the latch is the only
+  // thing that keeps the on-store image untorn for the length of the I/O.
+  space_->cache_.slot(f)->latch.Lock();
+  space_->latched_[f] = 1;
   return Status::OK();
 }
 

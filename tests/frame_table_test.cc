@@ -6,8 +6,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/frame_table.h"
@@ -109,6 +112,75 @@ class AuditingIo : public FrameTable::PageIo {
   FrameTable** table_;
   std::atomic<uint64_t> wal_durable_{0};
   std::atomic<uint64_t> writes_{0};
+};
+
+// A PageIo whose writes hold at a gate until the test opens it, recording
+// how many writes ever ran concurrently — the probe for write-back
+// exclusivity on a re-dirtied frame.
+class GatedIo : public StorePageIo {
+ public:
+  explicit GatedIo(SegmentStore* store) : StorePageIo(store) {}
+
+  Status Write(uint64_t key, const void* buf) override {
+    const int now = in_write_.fetch_add(1) + 1;
+    int max = max_concurrent_.load();
+    while (now > max && !max_concurrent_.compare_exchange_weak(max, now)) {
+    }
+    {
+      std::unique_lock<std::mutex> lk(gate_mu_);
+      gate_cv_.wait(lk, [&] { return open_; });
+    }
+    writes_.fetch_add(1);
+    const Status s = StorePageIo::Write(key, buf);
+    in_write_.fetch_sub(1);
+    return s;
+  }
+
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lk(gate_mu_);
+      open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+  bool InWrite() const { return in_write_.load() > 0; }
+  int max_concurrent() const { return max_concurrent_.load(); }
+  int writes() const { return writes_.load(); }
+
+ private:
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  bool open_ = false;
+  std::atomic<int> in_write_{0};
+  std::atomic<int> max_concurrent_{0};
+  std::atomic<int> writes_{0};
+};
+
+// A directory that can fail the next N installs (the shared SMT can return
+// NoSpace), for the miss-path unwind test.
+class FlakyDirectory : public FrameTable::Directory {
+ public:
+  uint32_t Lookup(uint64_t key) override {
+    auto it = map_.find(key);
+    return it == map_.end() ? kNoFrame : it->second;
+  }
+  Status Install(uint64_t key, uint32_t f) override {
+    if (fail_installs_ > 0) {
+      --fail_installs_;
+      return Status::NoSpace("injected install failure");
+    }
+    map_[key] = f;
+    return Status::OK();
+  }
+  void Erase(uint64_t key, uint32_t f) override {
+    auto it = map_.find(key);
+    if (it != map_.end() && it->second == f) map_.erase(it);
+  }
+  void FailNextInstalls(int n) { fail_installs_ = n; }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> map_;
+  int fail_installs_ = 0;
 };
 
 // ---- state-machine legality -------------------------------------------------
@@ -485,6 +557,137 @@ TEST(FrameTableTest, WastedPrefetchesAreCountedOnEviction) {
   const FrameTable::Stats stats = table.stats();
   EXPECT_GE(stats.prefetch_wasted, 1u);
   EXPECT_EQ(stats.prefetch_hits, 0u);
+}
+
+// ---- write-back exclusivity -------------------------------------------------
+
+// A frame re-dirtied while its write-back is in flight must not enter a
+// second concurrent write-back (the two finalize CASes would alias and the
+// frame could go clean — then evicted and reused — mid-I/O), and must not
+// be evictable until the in-flight writer lands.
+TEST(FrameTableTest, RedirtyDuringWritebackCannotDoubleWrite) {
+  InMemoryStore store;
+  SeedStore(&store, 8);
+  HeapPlacement placement(4);
+  GatedIo io(&store);
+  FrameTable::Options opts;
+  opts.frame_count = 4;
+  FrameTable table(opts, &placement, &io);
+  ASSERT_TRUE(table.Init().ok());
+
+  auto r = table.Fix(Key(0), /*for_write=*/true);
+  ASSERT_TRUE(r.ok());
+  const uint32_t f = r->frame;
+  memcpy(r->data, PageBytes(111).data(), kPageSize);
+  ASSERT_TRUE(table.MarkDirty(f, /*lsn=*/1).ok());
+
+  // Flusher 1 blocks at the gate with its write-back claimed.
+  std::thread flusher1([&] { EXPECT_TRUE(table.FlushDirty().ok()); });
+  while (!io.InWrite()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Re-dirty mid-flight (kWriting → kDirty) with fresh bytes, then race a
+  // second flusher and an invalidate against the in-flight write.
+  memcpy(table.frame_data(f), PageBytes(222).data(), kPageSize);
+  ASSERT_TRUE(table.MarkDirty(f, /*lsn=*/2).ok());
+  std::thread flusher2([&] { EXPECT_TRUE(table.FlushDirty().ok()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(io.max_concurrent(), 1)
+      << "two write-backs of one frame ran concurrently";
+  // The frame's bytes are still being read by the in-flight I/O: it must
+  // refuse to leave the cache.
+  EXPECT_TRUE(table.Invalidate(Key(0)).IsBusy());
+
+  io.OpenGate();
+  flusher1.join();
+  flusher2.join();
+
+  // Writer 1 carried the stale image, so its finalize left the frame dirty
+  // and writer 2 re-wrote it: exactly two writes, never overlapping, and
+  // the store ends at the newest version.
+  EXPECT_EQ(io.max_concurrent(), 1);
+  EXPECT_EQ(io.writes(), 2);
+  EXPECT_EQ(table.meta(f)->State(), FrameState::kClean);
+  EXPECT_EQ(table.meta(f)->writer.load(), 0u);
+  std::string got(kPageSize, '\0');
+  ASSERT_TRUE(store.FetchPages(1, 0, 0, 1, got.data()).ok());
+  uint32_t tag = 0;
+  memcpy(&tag, got.data(), sizeof(tag));
+  EXPECT_EQ(tag, 222u) << "stale write-back image won over the re-dirty";
+}
+
+// ---- invalidate / miss-path unwind ------------------------------------------
+
+TEST(FrameTableTest, InvalidateWritesBackDirtyFramesFirst) {
+  InMemoryStore store;
+  SeedStore(&store, 8);
+  HeapPlacement placement(4);
+  StorePageIo io(&store);
+  FrameTable::Options opts;
+  opts.frame_count = 4;
+  FrameTable table(opts, &placement, &io);
+  ASSERT_TRUE(table.Init().ok());
+
+  auto r = table.Fix(Key(3), /*for_write=*/true);
+  ASSERT_TRUE(r.ok());
+  memcpy(r->data, PageBytes(77).data(), kPageSize);
+  ASSERT_TRUE(table.MarkDirty(r->frame, /*lsn=*/5).ok());
+
+  ASSERT_TRUE(table.Invalidate(Key(3)).ok());
+  EXPECT_FALSE(table.Contains(Key(3)));
+  // The modified page reached the store instead of being dropped.
+  std::string got(kPageSize, '\0');
+  ASSERT_TRUE(store.FetchPages(1, 0, 3, 1, got.data()).ok());
+  uint32_t tag = 0;
+  memcpy(&tag, got.data(), sizeof(tag));
+  EXPECT_EQ(tag, 77u) << "Invalidate discarded a dirty frame";
+}
+
+TEST(FrameTableTest, InstallFailureDoesNotLeakTheFrame) {
+  InMemoryStore store;
+  SeedStore(&store, 8);
+  HeapPlacement placement(1);
+  StorePageIo io(&store);
+  FlakyDirectory dir;
+  FrameTable::Options opts;
+  opts.frame_count = 1;
+  opts.directory = &dir;
+  FrameTable table(opts, &placement, &io);
+  ASSERT_TRUE(table.Init().ok());
+
+  dir.FailNextInstalls(1);
+  auto r = table.Fix(Key(0), /*for_write=*/false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNoSpace()) << r.status().message();
+
+  // With a single frame, a frame leaked in kLoading would make every later
+  // miss return Busy forever; the retry must get the frame back.
+  r = table.Fix(Key(0), /*for_write=*/false);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(table.meta(r->frame)->State(), FrameState::kClean);
+  uint32_t got = 0;
+  memcpy(&got, r->data, sizeof(got));
+  EXPECT_EQ(got, 0u);
+}
+
+// ---- shared-mode restrictions -----------------------------------------------
+
+// Prefetch installs directory entries from the background thread without
+// the cross-process serialization (SMT latch) the miss path uses, so it is
+// rejected outright for tables with an external directory.
+TEST(FrameTableTest, PrefetchIsRejectedForCrossProcessDirectories) {
+  InMemoryStore store;
+  HeapPlacement placement(4);
+  StorePageIo io(&store);
+  FlakyDirectory dir;
+  FrameTable::Options opts;
+  opts.frame_count = 4;
+  opts.directory = &dir;
+  opts.enable_prefetch = true;
+  FrameTable table(opts, &placement, &io);
+  const Status s = table.Init();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
 }
 
 }  // namespace
