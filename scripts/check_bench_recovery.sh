@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Always-on-recovery gate (paper §3, DESIGN.md §10, EXPERIMENTS.md E13).
+#
+# Builds and runs bench_recovery, then fails unless the fuzzy-checkpoint
+# restart beats the full-scan baseline on the BENCH_recovery.json artifact:
+#   1. records scanned at restart drop by at least 4x (analysis seeds from
+#      the checkpoint snapshot instead of scanning the whole log),
+#   2. pages replayed do not exceed the baseline (redo is bounded by the
+#      dirty set at the checkpoint, not by log length),
+#   3. restart wall-clock is no slower than the baseline (generous 1.5x
+#      slack: the point is the bound, not a timing microbenchmark).
+#
+# Usage: scripts/check_bench_recovery.sh [build-dir]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake --preset default
+fi
+cmake --build "$BUILD_DIR" -j --target bench_recovery
+
+BESS_METRICS_DIR="$BUILD_DIR" "$BUILD_DIR/bench/bench_recovery"
+JSON="$BUILD_DIR/BENCH_recovery.json"
+
+if [ ! -f "$JSON" ]; then
+  echo "check_bench_recovery: FAILED — $JSON was not written" >&2
+  exit 1
+fi
+
+# The artifact is flat (one "key": value per line) precisely so this works.
+field() { awk -F'[:,]' -v k="\"$1\"" '$1 ~ k { gsub(/ /, "", $2); print $2; exit }' "$JSON"; }
+BASE_MS=$(field baseline_restart_ms)
+BASE_RECORDS=$(field baseline_records_scanned)
+BASE_PAGES=$(field baseline_redo_pages)
+FUZZY_MS=$(field fuzzy_restart_ms)
+FUZZY_RECORDS=$(field fuzzy_records_scanned)
+FUZZY_PAGES=$(field fuzzy_redo_pages)
+
+if [ -z "$BASE_MS" ] || [ -z "$BASE_RECORDS" ] || [ -z "$BASE_PAGES" ] ||
+   [ -z "$FUZZY_MS" ] || [ -z "$FUZZY_RECORDS" ] || [ -z "$FUZZY_PAGES" ]; then
+  echo "check_bench_recovery: FAILED to parse $JSON" >&2
+  exit 1
+fi
+
+echo ""
+echo "full-scan baseline: ${BASE_MS}ms, $BASE_RECORDS records, $BASE_PAGES pages"
+echo "fuzzy checkpoint:   ${FUZZY_MS}ms, $FUZZY_RECORDS records, $FUZZY_PAGES pages"
+
+awk -v b="$BASE_RECORDS" -v f="$FUZZY_RECORDS" 'BEGIN { exit !(4 * f <= b) }' || {
+  echo "check_bench_recovery: FAILED — checkpoint restart scanned $FUZZY_RECORDS" >&2
+  echo "records vs $BASE_RECORDS baseline (< 4x reduction): analysis is not" >&2
+  echo "seeding from the checkpoint snapshot" >&2
+  exit 1
+}
+awk -v b="$BASE_PAGES" -v f="$FUZZY_PAGES" 'BEGIN { exit !(f <= b) }' || {
+  echo "check_bench_recovery: FAILED — checkpoint restart replayed more pages" >&2
+  echo "($FUZZY_PAGES) than the full-scan baseline ($BASE_PAGES)" >&2
+  exit 1
+}
+awk -v b="$BASE_MS" -v f="$FUZZY_MS" 'BEGIN { exit !(f <= 1.5 * b) }' || {
+  echo "check_bench_recovery: FAILED — checkpoint restart (${FUZZY_MS}ms) slower" >&2
+  echo "than 1.5x the full-scan baseline (${BASE_MS}ms)" >&2
+  exit 1
+}
+echo "check_bench_recovery: OK — fuzzy-checkpoint restart is bounded by the"
+echo "dirty set, not the log length"

@@ -115,6 +115,14 @@ Status FrameTable::MarkDirtyLocked(uint32_t f, uint64_t lsn) {
       // kWriting: the in-flight write-back carries a stale image; leaving
       // the frame dirty makes its finalize CAS fail, so the page is
       // rewritten later. This is how re-dirty-during-write stays lossless.
+      // recLSN: set only when the frame was verifiably clean — this LSN is
+      // then the page's redo lower bound until it turns clean again. On a
+      // kWriting re-dirty the old recLSN stands (the in-flight write may
+      // still fail, so the earlier records may still need redo); 0 means
+      // dirtied without an LSN and the checkpoint has no bound to snapshot.
+      if (m.State() == FrameState::kClean) {
+        m.rec_lsn.store(lsn, std::memory_order_relaxed);
+      }
       SetState(f, FrameState::kDirty);
       // Software flavour of the write-detection event the fault path
       // counts for hardware detection (§2.3).
@@ -169,6 +177,7 @@ Status FrameTable::EvictLocked(uint32_t f) {
   Status es = placement_->OnEvict(f);
   m.page_key.store(0, std::memory_order_release);
   m.page_lsn.store(0, std::memory_order_relaxed);
+  m.rec_lsn.store(0, std::memory_order_relaxed);
   SetState(f, FrameState::kFree);
   policy_->OnEvict(f);
   if (old_key != 0) {
@@ -230,9 +239,11 @@ Status FrameTable::WriteBackLocked(uint32_t f,
   // kDirty and is written again later. FinishWriteback runs after, so the
   // placement re-arms protection from the true post-write state.
   uint8_t expected = static_cast<uint8_t>(FrameState::kWriting);
-  m.state.compare_exchange_strong(expected,
-                                  static_cast<uint8_t>(FrameState::kClean),
-                                  std::memory_order_acq_rel);
+  if (m.state.compare_exchange_strong(expected,
+                                      static_cast<uint8_t>(FrameState::kClean),
+                                      std::memory_order_acq_rel)) {
+    m.rec_lsn.store(0, std::memory_order_relaxed);
+  }
   (void)placement_->FinishWriteback(f, true);
   m.writer.store(0, std::memory_order_release);
   stats_.writebacks++;
@@ -429,6 +440,20 @@ Status FrameTable::FlushDirtyLocked(std::unique_lock<std::mutex>& lk,
 Status FrameTable::FlushDirty() {
   std::unique_lock<std::mutex> lk(mu_);
   return FlushDirtyLocked(lk, WritebackMode::kFlush);
+}
+
+void FrameTable::CollectDirty(
+    std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (uint32_t f = 0; f < opts_.frame_count; ++f) {
+    const FrameState st = StateOf(f);
+    // kWriting counts: the write-back has not been acked durable yet, so
+    // redo must still cover this page from its recLSN.
+    if (st != FrameState::kDirty && st != FrameState::kWriting) continue;
+    const uint64_t key = meta_[f].page_key.load(std::memory_order_acquire);
+    if (key == 0) continue;
+    out->emplace_back(key, meta_[f].rec_lsn.load(std::memory_order_relaxed));
+  }
 }
 
 bool FrameTable::Get(uint64_t key, void* out) {

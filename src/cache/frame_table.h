@@ -76,6 +76,11 @@ struct FrameMeta {
   Latch latch;                          ///< page latch (shared mode)
   std::atomic<uint64_t> page_key{0};    ///< PageAddr::Pack(); 0 = none
   std::atomic<uint64_t> page_lsn{0};    ///< newest WAL LSN covering the page
+  /// recLSN: the WAL LSN that first dirtied this frame since it was last
+  /// clean — the lower bound for redo of this page (the fuzzy checkpoint's
+  /// dirty-page table snapshots it). 0 while clean, or when the dirtying
+  /// write carried no LSN (redo then starts conservatively at log start).
+  std::atomic<uint64_t> rec_lsn{0};
   std::atomic<uint32_t> pins{0};        ///< pin / cross-process binding count
   std::atomic<uint8_t> state{0};        ///< FrameState
   std::atomic<uint8_t> prefetched{0};   ///< loaded ahead, not yet demanded
@@ -258,6 +263,12 @@ class FrameTable {
 
   /// Writes every dirty frame back, LSN-ordered, one WAL gate per pass.
   Status FlushDirty();
+
+  /// Snapshots (page key, recLSN) for every frame that may hold bytes the
+  /// store does not: the fuzzy checkpoint's dirty-page table. Includes
+  /// frames with a write-back in flight (not yet acked durable). A recLSN
+  /// of 0 means unknown — the checkpoint must treat it conservatively.
+  void CollectDirty(std::vector<std::pair<uint64_t, uint64_t>>* out) const;
 
   /// Copy-out / copy-in convenience for put/get caches (node cache).
   bool Get(uint64_t key, void* out);

@@ -7,6 +7,7 @@
 #include "cache/cached_store.h"
 #include "hooks/hooks.h"
 #include "obs/trace.h"
+#include "os/fault_injection.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
 #include "vm/mem_store.h"
@@ -24,6 +25,14 @@ thread_local Txn* tl_txn = nullptr;
 
 std::mutex g_registry_mutex;
 std::unordered_map<uint8_t, Database*> g_databases_by_id;
+
+LogManager::Options WalOptions(const Database::Options& options) {
+  LogManager::Options wopts;
+  wopts.segment_bytes = options.wal_segment_bytes;
+  wopts.soft_limit_bytes = options.wal_soft_limit_bytes;
+  wopts.throttle_timeout_ms = options.wal_throttle_timeout_ms;
+  return wopts;
+}
 
 }  // namespace
 
@@ -118,6 +127,7 @@ Database::Database(Options options)
     : options_(std::move(options)), locks_(options_.lock_timeout_ms) {}
 
 Database::~Database() {
+  StopCheckpointThread();
   {
     std::lock_guard<std::mutex> guard(g_registry_mutex);
     g_databases_by_id.erase(static_cast<uint8_t>(options_.db_id));
@@ -158,6 +168,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   } else {
     BESS_RETURN_IF_ERROR(db->OpenExisting());
   }
+  db->StartCheckpointThread();
 
   {
     std::lock_guard<std::mutex> guard(g_registry_mutex);
@@ -198,7 +209,8 @@ Status Database::CreateNew() {
   }
 
   if (options_.use_wal) {
-    BESS_ASSIGN_OR_RETURN(wal_, LogManager::Open(options_.dir + "/wal.log"));
+    BESS_ASSIGN_OR_RETURN(
+        wal_, LogManager::Open(options_.dir + "/wal", WalOptions(options_)));
   }
   InstallRepairHandlers();
   std::lock_guard<std::mutex> guard(meta_mutex_);
@@ -220,7 +232,8 @@ Status Database::OpenExisting() {
   }
   catalog_segment_ = SegmentId{options_.db_id, 0, kCatalogFirstPage};
   if (options_.use_wal) {
-    BESS_ASSIGN_OR_RETURN(wal_, LogManager::Open(options_.dir + "/wal.log"));
+    BESS_ASSIGN_OR_RETURN(
+        wal_, LogManager::Open(options_.dir + "/wal", WalOptions(options_)));
     // Repair handlers must be live before recovery: redo's before-image
     // reads may themselves hit rotted pages.
     InstallRepairHandlers();
@@ -255,8 +268,11 @@ class AreaSink : public PageSink {
 
 Status Database::RunRecovery() {
   AreaSink sink(&areas_);
-  RecoveryManager recovery(wal_.get(), &sink);
+  RecoveryOptions ropts;
+  ropts.redo_workers = options_.recovery_redo_workers;
+  RecoveryManager recovery(wal_.get(), &sink, ropts);
   BESS_RETURN_IF_ERROR(recovery.Run());
+  last_recovery_stats_ = recovery.stats();
   if (recovery.stats().records_scanned > 0) {
     BESS_INFO("recovery: " << recovery.stats().redo_pages << " pages redone, "
                            << recovery.stats().loser_txns << " losers undone");
@@ -497,11 +513,34 @@ Result<Txn*> Database::Begin() {
 
 Result<Lsn> Database::LogPageSet(TxnId txn_id,
                                  const std::vector<PageImage>& pages,
-                                 LogRecordType final_record) {
+                                 LogRecordType final_record,
+                                 std::vector<Lsn>* page_lsns) {
+  // Register before the first append: the fuzzy checkpoint's redo floor
+  // folds in active transactions' first LSNs, which covers the window where
+  // a page is logged but not yet forced (the DPT only learns of it at force
+  // time). Reading the tail *before* kBegin keeps the bound conservative
+  // against appends that slip in between.
+  {
+    std::lock_guard<std::mutex> guard(rec_mutex_);
+    logging_txns_[txn_id].first_lsn = wal_->tail_lsn();
+  }
+  auto fail = [&](Status st) -> Result<Lsn> {
+    // Nothing was forced: the orphaned records make the txn a restart
+    // loser whose undo rewrites the untouched disk state — harmless.
+    UnregisterLoggingTxn(txn_id);
+    return st;
+  };
+  // Admission control: only the kBegin append is subject to log-full
+  // backpressure. Once a transaction is admitted, its remaining records go
+  // through unthrottled — a registered transaction pins the redo floor, so
+  // throttling it mid-flight would wait on a checkpoint that can never free
+  // space below its own records (self-deadlock until timeout).
   LogRecord begin;
   begin.type = LogRecordType::kBegin;
   begin.txn = txn_id;
-  BESS_ASSIGN_OR_RETURN(Lsn prev, wal_->Append(begin));
+  auto prev_r = wal_->Append(begin);
+  if (!prev_r.ok()) return fail(prev_r.status());
+  Lsn prev = *prev_r;
   std::string before(kPageSize, '\0');
   for (const PageImage& img : pages) {
     LogRecord rec;
@@ -510,46 +549,78 @@ Result<Lsn> Database::LogPageSet(TxnId txn_id,
     rec.prev_lsn = prev;
     rec.page = PageAddr{img.db, img.area, img.page};
     StorageArea* a = AreaOrNull(img.area);
-    if (a == nullptr) return Status::Internal("dirty page in unknown area");
-    BESS_RETURN_IF_ERROR(a->ReadPages(img.page, 1, before.data()));
+    if (a == nullptr) return fail(Status::Internal("dirty page in unknown area"));
+    Status rs = a->ReadPages(img.page, 1, before.data());
+    if (!rs.ok()) return fail(rs);
     bool need_fpi = false;
     {
       std::lock_guard<std::mutex> guard(fpi_mutex_);
-      need_fpi = fpi_logged_.insert(rec.page.Pack()).second;
+      auto it = fpi_logged_.find(rec.page.Pack());
+      need_fpi = it == fpi_logged_.end() || it->second < wal_->oldest_lsn();
     }
     if (need_fpi) {
-      // First dirtying of this page since the log epoch began: log its
-      // current durable image so a media failure later in the epoch can be
-      // repaired to a byte-exact state. Costs no extra I/O — the image is
-      // the before-image we just read. prev_lsn stays kNullLsn so undo
-      // never walks into it.
+      // No FPI for this page in the retained log (never logged, or its
+      // segment was recycled): log its current durable image so a media
+      // failure later can be repaired to a byte-exact state. Costs no
+      // extra I/O — the image is the before-image we just read. prev_lsn
+      // stays kNullLsn so undo never walks into it.
       LogRecord fpi;
       fpi.type = LogRecordType::kFullPageImage;
       fpi.txn = txn_id;
       fpi.page = rec.page;
       fpi.after = before;
-      BESS_RETURN_IF_ERROR(wal_->Append(fpi).status());
+      auto fpi_r = wal_->AppendUnthrottled(fpi);
+      if (!fpi_r.ok()) return fail(fpi_r.status());
+      {
+        std::lock_guard<std::mutex> guard(fpi_mutex_);
+        fpi_logged_[rec.page.Pack()] = *fpi_r;
+      }
       BESS_COUNT("wal.fpi.records");
     }
     rec.before = before;
     rec.after = img.bytes;
-    BESS_ASSIGN_OR_RETURN(prev, wal_->Append(rec));
+    prev_r = wal_->AppendUnthrottled(rec);
+    if (!prev_r.ok()) return fail(prev_r.status());
+    prev = *prev_r;
+    if (page_lsns != nullptr) page_lsns->push_back(prev);
+    {
+      // The undo chain head, snapshotted by checkpoints so restart undo of
+      // a txn active at checkpoint time starts at the right record.
+      std::lock_guard<std::mutex> guard(rec_mutex_);
+      logging_txns_[txn_id].last_lsn = prev;
+    }
   }
   LogRecord fin;
   fin.type = final_record;
   fin.txn = txn_id;
   fin.prev_lsn = prev;
-  BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(fin));
-  BESS_RETURN_IF_ERROR(wal_->Flush(lsn));  // WAL rule; flushes coalesce
-  return lsn;
+  auto lsn_r = wal_->AppendUnthrottled(fin);
+  if (!lsn_r.ok()) return fail(lsn_r.status());
+  Status fs = wal_->Flush(*lsn_r);  // WAL rule; flushes coalesce
+  if (!fs.ok()) return fail(fs);
+  return *lsn_r;
 }
 
-Status Database::ForcePages(const std::vector<PageImage>& pages, Lsn lsn) {
+Status Database::ForcePages(const std::vector<PageImage>& pages, Lsn lsn,
+                            const std::vector<Lsn>* page_lsns) {
   std::vector<StorageArea*> touched;
-  for (const PageImage& img : pages) {
+  for (size_t i = 0; i < pages.size(); ++i) {
+    const PageImage& img = pages[i];
     StorageArea* a = AreaOrNull(img.area);
     if (a == nullptr) return Status::Internal("dirty page in unknown area");
     BESS_RETURN_IF_ERROR(a->WritePages(img.page, 1, img.bytes.data(), lsn));
+    if (options_.use_wal && wal_ != nullptr) {
+      // DPT entry strictly after the write: every entry a checkpoint trim
+      // swaps out describes a completed write its area sync then covers.
+      // The recLSN is the page's own kPageWrite record (never the commit
+      // LSN — redo from the commit record would skip the page's images).
+      const Lsn rec_lsn =
+          page_lsns != nullptr && i < page_lsns->size() ? (*page_lsns)[i]
+                                                        : lsn;
+      if (rec_lsn != kNullLsn) {
+        TouchDpt(PageAddr{img.db, img.area, img.page}.Pack(), rec_lsn);
+      }
+    }
     if (page_cache_ != nullptr) {
       // Forced pages bypass the store seam; keep the cached copies fresh.
       page_cache_->Refresh(img.db, img.area, img.page, img.bytes.data());
@@ -572,19 +643,47 @@ Status Database::LogAndForce(TxnId txn_id,
                              const std::vector<PageImage>& pages) {
   if (pages.empty()) return Status::OK();
   Lsn commit_lsn = kNullLsn;
+  std::vector<Lsn> page_lsns;
   if (options_.use_wal) {
-    BESS_ASSIGN_OR_RETURN(commit_lsn,
-                          LogPageSet(txn_id, pages, LogRecordType::kCommit));
+    // LogPageSet unregisters the txn itself on failure (nothing forced).
+    BESS_ASSIGN_OR_RETURN(
+        commit_lsn,
+        LogPageSet(txn_id, pages, LogRecordType::kCommit, &page_lsns));
   }
   // no-steal / force policy; trailers carry the commit LSN as page LSN
-  BESS_RETURN_IF_ERROR(ForcePages(pages, commit_lsn));
+  Status fs = ForcePages(pages, commit_lsn,
+                         options_.use_wal ? &page_lsns : nullptr);
+  if (!fs.ok()) {
+    // Partially forced commit: the txn stays registered so the retention
+    // floor keeps its records (restart undo must be able to revert the
+    // pages that did land) until this process restarts.
+    return fs;
+  }
   if (options_.use_wal) {
     LogRecord end;
     end.type = LogRecordType::kEnd;
     end.txn = txn_id;
-    BESS_RETURN_IF_ERROR(wal_->Append(end).status());
+    // Unthrottled like every post-admission record: the txn still pins the
+    // retention floor, so throttling here would wait on a checkpoint that
+    // cannot free space below the txn's own records.
+    Status es = wal_->AppendUnthrottled(end).status();
+    // Forced pages are in the DPT now; the DPT carries retention from here
+    // even if the End append failed.
+    UnregisterLoggingTxn(txn_id);
+    return es;
   }
   return Status::OK();
+}
+
+void Database::UnregisterLoggingTxn(TxnId txn_id) {
+  std::lock_guard<std::mutex> guard(rec_mutex_);
+  logging_txns_.erase(txn_id);
+}
+
+void Database::TouchDpt(uint64_t page_key, Lsn rec_lsn) {
+  std::lock_guard<std::mutex> guard(rec_mutex_);
+  auto [it, inserted] = dpt_.try_emplace(page_key, rec_lsn);
+  if (!inserted && rec_lsn < it->second) it->second = rec_lsn;
 }
 
 void Database::InstallRepairHandler(StorageArea* area) {
@@ -1199,16 +1298,21 @@ Status Database::PreparePageSet(uint64_t gtid,
     return Status::NotSupported("2PC requires the WAL");
   }
   // Phase 1: make the page set durable in the log together with a prepare
-  // record. Nothing is forced yet; presumed abort on restart.
+  // record. Nothing is forced yet; presumed abort on restart. The txn stays
+  // in the logging-txn table until phase 2 — an in-doubt txn pins the log's
+  // retention floor at its first record (its page set lives only there).
+  PreparedSet set;
+  set.pages = pages;
   BESS_RETURN_IF_ERROR(
-      LogPageSet(gtid, pages, LogRecordType::kPrepare).status());
+      LogPageSet(gtid, pages, LogRecordType::kPrepare, &set.page_lsns)
+          .status());
   std::lock_guard<std::mutex> guard(prepared_mutex_);
-  prepared_[gtid] = pages;
+  prepared_[gtid] = std::move(set);
   return Status::OK();
 }
 
 Status Database::CommitPrepared(uint64_t gtid) {
-  std::vector<PageImage> pages;
+  PreparedSet set;
   {
     std::lock_guard<std::mutex> guard(prepared_mutex_);
     auto it = prepared_.find(gtid);
@@ -1216,19 +1320,23 @@ Status Database::CommitPrepared(uint64_t gtid) {
       return Status::NotFound("no prepared transaction " +
                               std::to_string(gtid) + " (presumed abort)");
     }
-    pages = std::move(it->second);
+    set = std::move(it->second);
     prepared_.erase(it);
   }
+  // Phase 2 records bypass backpressure: resolving an in-doubt txn is what
+  // lets the retention floor (and the log) shrink again.
   LogRecord commit;
   commit.type = LogRecordType::kCommit;
   commit.txn = gtid;
-  BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->Append(commit));
+  BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendUnthrottled(commit));
   BESS_RETURN_IF_ERROR(wal_->Flush(lsn));
-  BESS_RETURN_IF_ERROR(ForcePages(pages, lsn));
+  BESS_RETURN_IF_ERROR(ForcePages(set.pages, lsn, &set.page_lsns));
   LogRecord end;
   end.type = LogRecordType::kEnd;
   end.txn = gtid;
-  return wal_->Append(end).status();
+  Status es = wal_->AppendUnthrottled(end).status();
+  UnregisterLoggingTxn(gtid);
+  return es;
 }
 
 Status Database::AbortPrepared(uint64_t gtid) {
@@ -1239,11 +1347,14 @@ Status Database::AbortPrepared(uint64_t gtid) {
   LogRecord abort;
   abort.type = LogRecordType::kAbort;
   abort.txn = gtid;
-  BESS_RETURN_IF_ERROR(wal_->Append(abort).status());
+  BESS_RETURN_IF_ERROR(wal_->AppendUnthrottled(abort).status());
   LogRecord end;
   end.type = LogRecordType::kEnd;
   end.txn = gtid;
-  return wal_->AppendAndFlush(end).status();
+  BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendUnthrottled(end));
+  Status fs = wal_->Flush(lsn);
+  UnregisterLoggingTxn(gtid);
+  return fs;
 }
 
 Result<Database::RemoteSegmentGrant> Database::GrantObjectSegment(
@@ -1345,20 +1456,148 @@ Result<Oid> Database::GetRootOid(const std::string& name) {
 // ---- maintenance --------------------------------------------------------------
 
 Status Database::Checkpoint() {
+  if (!options_.use_wal || wal_ == nullptr) {
+    std::lock_guard<std::mutex> guard(meta_mutex_);
+    BESS_RETURN_IF_ERROR(SaveCatalogLocked());
+    return Sync();
+  }
+  // Fuzzy checkpoint (paper §3 / ARIES): commits never quiesce. One at a
+  // time; the log stays fully appendable throughout.
+  std::lock_guard<std::mutex> cp_guard(checkpoint_mutex_);
+  BESS_SPAN("db.checkpoint");
   {
     std::lock_guard<std::mutex> guard(meta_mutex_);
     BESS_RETURN_IF_ERROR(SaveCatalogLocked());
   }
-  BESS_RETURN_IF_ERROR(Sync());
-  // Force + no-steal: everything committed is on disk, so the whole log is
-  // redundant after a checkpoint.
-  if (options_.use_wal) {
-    BESS_RETURN_IF_ERROR(wal_->Reset());
-    // New log epoch: the next dirtying of each page logs a fresh FPI.
-    std::lock_guard<std::mutex> guard(fpi_mutex_);
-    fpi_logged_.clear();
+  // (1) Trim the dirty-page table: swap it out, fsync every area, discard.
+  // Every swapped entry describes a force write that completed before the
+  // entry was made (ForcePages inserts after WritePages), so the sync
+  // covers it. Entries added concurrently land in the fresh table and stay
+  // for the snapshot. On a sync failure the entries are merged back —
+  // nothing is verifiably durable.
+  std::unordered_map<uint64_t, Lsn> trimmed;
+  {
+    std::lock_guard<std::mutex> guard(rec_mutex_);
+    trimmed.swap(dpt_);
   }
+  Status sync_st = Sync();
+  if (!sync_st.ok()) {
+    std::lock_guard<std::mutex> guard(rec_mutex_);
+    for (const auto& [key, lsn] : trimmed) {
+      auto [it, inserted] = dpt_.try_emplace(key, lsn);
+      if (!inserted && lsn < it->second) it->second = lsn;
+    }
+    return sync_st;
+  }
+  // (2) Snapshot: remaining dirty pages (+ any write-cache dirt), active
+  // transactions, and the redo floor = min(snapshot start, recLSNs, active
+  // txns' first LSNs). Taken atomically under rec_mutex_ so no page or txn
+  // can slip between the floor and the tables.
+  LogRecord cp;
+  cp.type = LogRecordType::kCheckpoint;
+  Lsn snapshot_start;
+  {
+    std::lock_guard<std::mutex> guard(rec_mutex_);
+    snapshot_start = wal_->tail_lsn();
+    cp.redo_floor = snapshot_start;
+    if (page_cache_ != nullptr) {
+      // Frame-table dirt (pages modified through the cache seam, not yet
+      // written back). A recLSN of 0 is unknown: fold it in as "from the
+      // start of the retained log" — conservative, never lossy.
+      std::vector<std::pair<uint64_t, uint64_t>> frames;
+      page_cache_->table()->CollectDirty(&frames);
+      for (const auto& [key, rec_lsn] : frames) {
+        const Lsn bound = rec_lsn != 0 ? rec_lsn : wal_->oldest_lsn();
+        auto [it, inserted] = dpt_.try_emplace(key, bound);
+        if (!inserted && bound < it->second) it->second = bound;
+      }
+    }
+    for (const auto& [key, rec_lsn] : dpt_) {
+      cp.dirty_pages.push_back({PageAddr::Unpack(key), rec_lsn});
+      if (rec_lsn != kNullLsn && rec_lsn < cp.redo_floor) {
+        cp.redo_floor = rec_lsn;
+      }
+    }
+    for (const auto& [txn, state] : logging_txns_) {
+      cp.active_txns.push_back({txn, state.last_lsn});
+      if (state.first_lsn != kNullLsn && state.first_lsn < cp.redo_floor) {
+        cp.redo_floor = state.first_lsn;
+      }
+    }
+  }
+  // (3) Log the checkpoint record (exempt from backpressure: checkpoints
+  // are how a full log shrinks) and swing the master record to it.
+  BESS_RETURN_IF_ERROR(fault::Check("wal.checkpoint.record", options_.dir));
+  BESS_ASSIGN_OR_RETURN(Lsn cp_lsn, wal_->AppendUnthrottled(cp));
+  BESS_RETURN_IF_ERROR(wal_->Flush(cp_lsn));
+  BESS_RETURN_IF_ERROR(fault::Check("wal.checkpoint.master", options_.dir));
+  BESS_RETURN_IF_ERROR(wal_->SetCheckpointLsn(cp_lsn));
+  // (4) Retire FPI entries that fall below the new retention floor *before*
+  // any segment is recycled: the next write of such a page then logs a
+  // fresh full-page image, so media repair always has a base image in the
+  // retained log.
+  {
+    std::lock_guard<std::mutex> guard(fpi_mutex_);
+    for (auto it = fpi_logged_.begin(); it != fpi_logged_.end();) {
+      if (it->second < cp.redo_floor) {
+        it = fpi_logged_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  BESS_RETURN_IF_ERROR(wal_->ReleaseSegments(cp.redo_floor));
+  last_cp_tail_.store(snapshot_start, std::memory_order_relaxed);
+  BESS_COUNT("wal.checkpoint.records");
   return Status::OK();
+}
+
+void Database::StartCheckpointThread() {
+  if (!options_.use_wal || wal_ == nullptr) return;
+  if (options_.checkpoint_log_bytes == 0 &&
+      options_.wal_soft_limit_bytes == 0) {
+    return;
+  }
+  // Log-full backpressure kicks the thread for an urgent run; the periodic
+  // trigger fires on log bytes appended since the last checkpoint.
+  wal_->SetLogFullCallback([this] {
+    std::lock_guard<std::mutex> guard(cp_mutex_);
+    cp_kick_ = true;
+    cp_cv_.notify_all();
+  });
+  cp_stop_ = false;
+  checkpoint_thread_ = std::thread([this] { CheckpointMain(); });
+}
+
+void Database::StopCheckpointThread() {
+  {
+    std::lock_guard<std::mutex> guard(cp_mutex_);
+    cp_stop_ = true;
+    cp_cv_.notify_all();
+  }
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+  if (wal_ != nullptr) wal_->SetLogFullCallback(nullptr);
+}
+
+void Database::CheckpointMain() {
+  std::unique_lock<std::mutex> lk(cp_mutex_);
+  while (!cp_stop_) {
+    cp_cv_.wait_for(lk, std::chrono::milliseconds(200),
+                    [this] { return cp_stop_ || cp_kick_; });
+    if (cp_stop_) return;
+    const bool kicked = cp_kick_;
+    cp_kick_ = false;
+    lk.unlock();
+    const bool due =
+        options_.checkpoint_log_bytes > 0 &&
+        wal_->tail_lsn() - last_cp_tail_.load(std::memory_order_relaxed) >=
+            options_.checkpoint_log_bytes;
+    if (kicked || due) {
+      Status st = Checkpoint();
+      if (!st.ok()) BESS_COUNT("db.checkpoint.errors");
+    }
+    lk.lock();
+  }
 }
 
 Status Database::Sync() {

@@ -17,10 +17,12 @@
 #define BESS_OBJECT_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -29,6 +31,7 @@
 #include "txn/lock_manager.h"
 #include "vm/mapper.h"
 #include "wal/log_manager.h"
+#include "wal/recovery.h"
 
 namespace bess {
 
@@ -75,6 +78,21 @@ class Database {
     /// Objects at least this big (bytes) become transparent large objects
     /// with their own disk segment. Must be <= kMaxTransparentObjectSize.
     uint32_t large_object_threshold = kPageSize;
+    /// WAL segment size (the log is a ring of recycled segment files).
+    uint64_t wal_segment_bytes = 4ull << 20;
+    /// Retained-log soft limit: beyond it commit appends throttle (and kick
+    /// a forced checkpoint) instead of growing the log unboundedly. 0 = off.
+    uint64_t wal_soft_limit_bytes = 0;
+    /// How long a throttled commit append waits for a checkpoint to free
+    /// log space before failing with NoSpace.
+    uint32_t wal_throttle_timeout_ms = 1000;
+    /// Fuzzy-checkpoint trigger: checkpoint when this many log bytes have
+    /// been appended since the last one (checked by a background thread).
+    /// 0 disables the periodic trigger; explicit Checkpoint() still works.
+    uint64_t checkpoint_log_bytes = 16ull << 20;
+    /// Worker threads for the parallel redo pass of restart recovery.
+    /// <= 1 replays inline.
+    int recovery_redo_workers = 4;
     /// Scrub every area after restart recovery, while the log still holds
     /// the images needed for single-page media repair (DESIGN.md §7).
     bool scrub_on_recovery = true;
@@ -237,10 +255,20 @@ class Database {
 
   // ---- Maintenance -----------------------------------------------------------
 
-  /// Fuzzy checkpoint: records the log's redundancy point and resets it
-  /// (all committed state is forced by policy).
+  /// Fuzzy checkpoint (non-blocking for committers): syncs the areas for
+  /// the pages forced so far, logs a kCheckpoint record carrying the
+  /// dirty-page table (page + recLSN) and active-transaction snapshot,
+  /// swings the master record to it, and recycles log segments below the
+  /// snapshot's redo floor. Commits keep running throughout. Also triggered
+  /// periodically (Options::checkpoint_log_bytes) and on log-full
+  /// backpressure.
   Status Checkpoint();
   Status Sync();
+
+  /// Stats of the restart recovery run by Open (zeroed when none ran).
+  const RecoveryStats& last_recovery_stats() const {
+    return last_recovery_stats_;
+  }
 
   /// Sweeps every stamped page of every area, verifying checksums and
   /// repairing (from the WAL) or quarantining what fails (DESIGN.md §7).
@@ -287,10 +315,25 @@ class Database {
   TxnId NextTxnId();
   Status LogAndForce(TxnId txn_id, const std::vector<PageImage>& pages);
   /// Logs the page set; returns the LSN of the final (commit/prepare)
-  /// record so forced pages can be trailer-stamped with it.
+  /// record so forced pages can be trailer-stamped with it. Registers the
+  /// transaction in the logging-txn table first (unregistered again on
+  /// error — nothing was forced). `page_lsns`, when non-null, receives the
+  /// kPageWrite record LSN of each page: the page's recLSN when forced.
   Result<Lsn> LogPageSet(TxnId txn_id, const std::vector<PageImage>& pages,
-                         LogRecordType final_record);
-  Status ForcePages(const std::vector<PageImage>& pages, Lsn lsn = kNullLsn);
+                         LogRecordType final_record,
+                         std::vector<Lsn>* page_lsns = nullptr);
+  /// Forces pages to their areas. With the WAL on, each forced page enters
+  /// the dirty-page table under its kPageWrite LSN (from `page_lsns`) —
+  /// "dirty" here means forced but not yet fsynced; the next checkpoint's
+  /// area sync retires the entries.
+  Status ForcePages(const std::vector<PageImage>& pages, Lsn lsn = kNullLsn,
+                    const std::vector<Lsn>* page_lsns = nullptr);
+  void UnregisterLoggingTxn(TxnId txn_id);
+  /// Insert-or-lower a dirty-page-table entry (recLSN = min).
+  void TouchDpt(uint64_t page_key, Lsn rec_lsn);
+  void StartCheckpointThread();
+  void StopCheckpointThread();
+  void CheckpointMain();
   /// Hooks every area's read path up to WAL-based single-page repair.
   void InstallRepairHandlers();
   void InstallRepairHandler(StorageArea* area);
@@ -326,15 +369,49 @@ class Database {
 
   std::atomic<TxnId> next_txn_id_{1};
 
-  // In-doubt distributed transactions (prepared, awaiting phase 2).
+  // In-doubt distributed transactions (prepared, awaiting phase 2). The
+  // page LSNs ride along so phase 2 can force with true recLSNs.
+  struct PreparedSet {
+    std::vector<PageImage> pages;
+    std::vector<Lsn> page_lsns;
+  };
   std::mutex prepared_mutex_;
-  std::unordered_map<uint64_t, std::vector<PageImage>> prepared_;
+  std::unordered_map<uint64_t, PreparedSet> prepared_;
 
-  // Pages that already got a full-page-image record this log epoch (cleared
-  // whenever the log resets: checkpoint and restart recovery). First dirty
-  // after a reset logs an FPI so media repair always has a base image.
+  // Pages whose most recent full-page-image record is at the stored LSN.
+  // A page needs a fresh FPI when it has none, or when its FPI fell below
+  // the log's oldest retained LSN (the segment holding it was recycled) —
+  // media repair must always find a base image in the retained log.
+  // Checkpoint prunes entries below the new retention floor *before*
+  // releasing segments, so the check can never pass on a recycled FPI.
   std::mutex fpi_mutex_;
-  std::unordered_set<uint64_t> fpi_logged_;
+  std::unordered_map<uint64_t, Lsn> fpi_logged_;
+
+  // Recovery bookkeeping for fuzzy checkpoints (guarded by rec_mutex_; a
+  // leaf below the WAL's internal mutex is never held when taking this —
+  // order: rec_mutex_ -> LogManager internals).
+  struct LoggingTxn {
+    Lsn first_lsn = kNullLsn;  ///< at/below the txn's first record
+    Lsn last_lsn = kNullLsn;   ///< newest kPageWrite (undo chain head)
+  };
+  std::mutex rec_mutex_;
+  /// Dirty-page table: pages forced to an area but not yet covered by an
+  /// area fsync, with the LSN of the record that wrote them (recLSN).
+  std::unordered_map<uint64_t, Lsn> dpt_;
+  /// Transactions between their first log append and End (or phase 2).
+  std::unordered_map<TxnId, LoggingTxn> logging_txns_;
+
+  // Checkpoint machinery: one checkpoint at a time; a background thread
+  // triggers on log growth and on log-full backpressure.
+  std::mutex checkpoint_mutex_;
+  std::mutex cp_mutex_;
+  std::condition_variable cp_cv_;
+  bool cp_stop_ = false;
+  bool cp_kick_ = false;  ///< log-full callback requests an urgent run
+  std::thread checkpoint_thread_;
+  std::atomic<Lsn> last_cp_tail_{0};  ///< log tail at the last checkpoint
+
+  RecoveryStats last_recovery_stats_;
 };
 
 }  // namespace bess

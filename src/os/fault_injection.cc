@@ -131,6 +131,12 @@ bool FaultRegistry::Decide(const char* point, const std::string& detail,
       // Silent torn write: a prefix lands, the call still reports success.
       out->bytes_allowed = n > 0 ? std::min(p.spec.max_bytes, n - 1) : 0;
       return true;
+    case FaultAction::kNoSpace:
+      // ENOSPC: the write is refused whole — unlike kShortWrite no prefix
+      // lands, and unlike an fsync failure nothing already-acked is in doubt.
+      out->bytes_allowed = 0;
+      out->status = Status::NoSpace(p.spec.message);
+      return true;
   }
   return false;
 }

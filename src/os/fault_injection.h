@@ -43,6 +43,7 @@ enum class FaultAction : uint8_t {
   kCrash,       ///< SIGKILL the process (no unwind, no flush) — a crashpoint
   kBitRot,      ///< silently flip a bit in the persisted bytes (media decay)
   kTornPage,    ///< silently persist only a prefix but report success
+  kNoSpace,     ///< ENOSPC: nothing persisted, the call returns NoSpace
 };
 
 /// A deterministic schedule for one injection point. The trigger sequence is
@@ -76,6 +77,17 @@ struct FaultSpec {
     s.action = FaultAction::kCrash;
     s.skip = nth - 1;
     s.count = 1;
+    return s;
+  }
+  /// Convenience: the disk fills at the nth matching write and stays full
+  /// for `times` operations (-1 = until disarmed).
+  static FaultSpec NoSpaceAtNth(int nth, int times = -1) {
+    FaultSpec s;
+    s.action = FaultAction::kNoSpace;
+    s.code = StatusCode::kNoSpace;
+    s.message = "injected ENOSPC";
+    s.skip = nth - 1;
+    s.count = times;
     return s;
   }
 };

@@ -1,87 +1,385 @@
 #include "wal/log_manager.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 
 #include "obs/trace.h"
+#include "os/fault_injection.h"
 #include "util/config.h"
 #include "util/crc32c.h"
 
 namespace bess {
 namespace {
 
-constexpr uint32_t kLogMagic = 0xBE55106Fu;
-constexpr size_t kHeaderSize = kPageSize;  // one page: magic + checkpoint LSN
-constexpr size_t kFrameHeader = 8;         // u32 len + u32 masked crc
+constexpr uint32_t kSegMagic = 0xBE551070u;
+constexpr uint32_t kMasterMagic = 0xBE55AA57u;
+constexpr size_t kSegHeaderSize = kPageSize;  // magic + seq + base LSN + crc
+constexpr size_t kFrameHeader = 8;            // u32 len + u32 masked crc
+// Master record: two ping-pong slots; version v writes slot v & 1, the
+// reader takes the valid slot with the higher version.
+constexpr size_t kMasterSlotStride = 64;
+constexpr size_t kMasterSlotBytes = 32;  // magic + version + ckpt + oldest + crc
+
+std::string SegmentName(uint64_t seq) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "wal-%08llu.log",
+           static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+void EncodeMasterSlot(char* slot, uint64_t version, Lsn checkpoint_lsn,
+                      Lsn oldest_lsn) {
+  memset(slot, 0, kMasterSlotBytes);
+  EncodeFixed32(slot, kMasterMagic);
+  EncodeFixed64(slot + 4, version);
+  EncodeFixed64(slot + 12, checkpoint_lsn);
+  EncodeFixed64(slot + 20, oldest_lsn);
+  EncodeFixed32(slot + 28, crc32c::Mask(crc32c::Value(slot, 28)));
+}
+
+bool DecodeMasterSlot(const char* slot, uint64_t* version, Lsn* checkpoint_lsn,
+                      Lsn* oldest_lsn) {
+  if (DecodeFixed32(slot) != kMasterMagic) return false;
+  if (crc32c::Unmask(DecodeFixed32(slot + 28)) != crc32c::Value(slot, 28)) {
+    return false;
+  }
+  *version = DecodeFixed64(slot + 4);
+  *checkpoint_lsn = DecodeFixed64(slot + 12);
+  *oldest_lsn = DecodeFixed64(slot + 20);
+  return true;
+}
 
 }  // namespace
 
-Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path) {
-  BESS_ASSIGN_OR_RETURN(File file, File::Open(path));
-  auto log = std::unique_ptr<LogManager>(new LogManager(std::move(file)));
+Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& dir,
+                                                     Options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("create log directory " + dir + ": " +
+                           ec.message());
+  }
+  auto log = std::unique_ptr<LogManager>(new LogManager(dir, options));
   BESS_RETURN_IF_ERROR(log->LoadExisting());
   return log;
 }
 
+Result<LogManager::SegmentPtr> LogManager::CreateSegment(uint64_t seq,
+                                                         Lsn base) {
+  const std::string path = dir_ + "/" + SegmentName(seq);
+  BESS_RETURN_IF_ERROR(fault::Check("wal.segment.roll", path));
+  BESS_ASSIGN_OR_RETURN(File file, File::Open(path));
+  char header[kSegHeaderSize];
+  memset(header, 0, sizeof(header));
+  EncodeFixed32(header, kSegMagic);
+  EncodeFixed64(header + 4, seq);
+  EncodeFixed64(header + 12, base);
+  EncodeFixed32(header + 20, crc32c::Mask(crc32c::Value(header, 20)));
+  Status st = file.WriteAt(0, header, sizeof(header));
+  // The header must be durable before any record fsync in this segment:
+  // otherwise a crash could ack records the tail scan can no longer locate.
+  if (st.ok()) st = file.Sync();
+  if (!st.ok()) {
+    file.Close();
+    (void)File::Remove(path);
+    return st;
+  }
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
+  auto seg = std::make_shared<Segment>();
+  seg->seq = seq;
+  seg->base = base;
+  seg->file = std::move(file);
+  return seg;
+}
+
+Status LogManager::WriteMasterLocked(Lsn checkpoint_lsn, Lsn oldest_lsn) {
+  BESS_RETURN_IF_ERROR(fault::Check("wal.master.swing", master_.path()));
+  const uint64_t version = master_version_ + 1;
+  char slot[kMasterSlotBytes];
+  EncodeMasterSlot(slot, version, checkpoint_lsn, oldest_lsn);
+  Status st =
+      master_.WriteAt((version & 1) * kMasterSlotStride, slot, sizeof(slot));
+  if (!st.ok()) return st;  // master unchanged on disk; not wedged
+  {
+    BESS_SPAN("wal.fsync");
+    st = master_.Sync();
+  }
+  if (!st.ok()) {
+    wedged_ = st;
+    return st;
+  }
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
+  master_version_ = version;
+  checkpoint_lsn_ = checkpoint_lsn;
+  oldest_.store(oldest_lsn, std::memory_order_release);
+  return Status::OK();
+}
+
 Status LogManager::LoadExisting() {
-  BESS_ASSIGN_OR_RETURN(uint64_t size, file_.Size());
-  if (size < kHeaderSize) {
-    // Fresh log: write the header.
-    char header[kHeaderSize];
-    memset(header, 0, sizeof(header));
-    EncodeFixed32(header, kLogMagic);
-    EncodeFixed64(header + 4, kNullLsn);
-    BESS_RETURN_IF_ERROR(file_.WriteAt(0, header, sizeof(header)));
-    BESS_RETURN_IF_ERROR(file_.Sync());
-    tail_ = flushed_ = kHeaderSize;
-    buffer_start_ = kHeaderSize;
-    checkpoint_lsn_ = kNullLsn;
+  BESS_ASSIGN_OR_RETURN(master_, File::Open(master_path()));
+  BESS_ASSIGN_OR_RETURN(uint64_t master_size, master_.Size());
+  bool have_master = false;
+  Lsn master_oldest = kSegHeaderSize;
+  if (master_size >= kMasterSlotBytes) {
+    char slots[2 * kMasterSlotStride];
+    memset(slots, 0, sizeof(slots));
+    const size_t n = std::min<uint64_t>(master_size, sizeof(slots));
+    BESS_RETURN_IF_ERROR(master_.ReadAt(0, slots, n));
+    for (int i = 0; i < 2; ++i) {
+      uint64_t version;
+      Lsn ckpt, oldest;
+      if (static_cast<size_t>(i) * kMasterSlotStride + kMasterSlotBytes > n) {
+        continue;
+      }
+      if (!DecodeMasterSlot(slots + i * kMasterSlotStride, &version, &ckpt,
+                            &oldest)) {
+        continue;
+      }
+      if (!have_master || version > master_version_) {
+        have_master = true;
+        master_version_ = version;
+        checkpoint_lsn_ = ckpt;
+        master_oldest = oldest;
+      }
+    }
+    if (!have_master) {
+      return Status::Corruption("no valid master record in " + master_path());
+    }
+  }
+
+  // Enumerate segments; a file with a bad header is a creation torn by a
+  // crash — its records were never acked (the header fsync precedes any
+  // record fsync), so it is deleted, not an error.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0) continue;
+    auto file = File::Open(entry.path().string(), /*create=*/false);
+    if (!file.ok()) continue;
+    char header[kSegHeaderSize];
+    uint64_t size = 0;
+    if (auto s = file->Size(); s.ok()) size = *s;
+    bool valid = size >= kSegHeaderSize &&
+                 file->ReadAt(0, header, sizeof(header)).ok() &&
+                 DecodeFixed32(header) == kSegMagic &&
+                 crc32c::Unmask(DecodeFixed32(header + 20)) ==
+                     crc32c::Value(header, 20);
+    if (!valid) {
+      file->Close();
+      (void)File::Remove(entry.path().string());
+      continue;
+    }
+    auto seg = std::make_shared<Segment>();
+    seg->seq = DecodeFixed64(header + 4);
+    seg->base = DecodeFixed64(header + 12);
+    seg->file = std::move(*file);
+    segments_.push_back(std::move(seg));
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const SegmentPtr& a, const SegmentPtr& b) {
+              return a->base != b->base ? a->base < b->base : a->seq < b->seq;
+            });
+  // Equal bases: a roll/reset re-based at an empty segment's tail; the
+  // higher sequence is the live epoch, the lower one holds nothing.
+  for (size_t i = 0; i + 1 < segments_.size();) {
+    if (segments_[i]->base == segments_[i + 1]->base) {
+      const std::string path = segments_[i]->file.path();
+      segments_[i]->file.Close();
+      (void)File::Remove(path);
+      segments_.erase(segments_.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  // Segments wholly below the master's oldest LSN are leftovers of a crash
+  // between the recycle's master bump and its unlinks.
+  while (segments_.size() > 1 && segments_[1]->base <= master_oldest) {
+    const std::string path = segments_.front()->file.path();
+    segments_.front()->file.Close();
+    (void)File::Remove(path);
+    segments_.erase(segments_.begin());
+  }
+
+  if (segments_.empty()) {
+    // Fresh log (or every segment lost): start an epoch at the master's
+    // oldest LSN so LSNs stay monotone.
+    BESS_ASSIGN_OR_RETURN(SegmentPtr seg, CreateSegment(1, master_oldest));
+    segments_.push_back(std::move(seg));
+    tail_ = flushed_ = buffer_start_ = master_oldest;
+    oldest_.store(master_oldest, std::memory_order_release);
+    if (checkpoint_lsn_ != kNullLsn) checkpoint_lsn_ = kNullLsn;
+    if (!have_master) {
+      BESS_RETURN_IF_ERROR(WriteMasterLocked(kNullLsn, master_oldest));
+    }
     return Status::OK();
   }
-  char header[kHeaderSize];
-  BESS_RETURN_IF_ERROR(file_.ReadAt(0, header, sizeof(header)));
-  if (DecodeFixed32(header) != kLogMagic) {
-    return Status::Corruption("not a BeSS log: " + file_.path());
-  }
-  checkpoint_lsn_ = DecodeFixed64(header + 4);
-  // Find the true tail by scanning (crashes can leave a torn final record).
-  Lsn lsn = kHeaderSize;
-  std::string frame(kFrameHeader, '\0');
-  while (lsn + kFrameHeader <= size) {
-    if (!file_.ReadAt(lsn, frame.data(), kFrameHeader).ok()) break;
-    const uint32_t len = DecodeFixed32(frame.data());
-    if (len == 0 || len > (64u << 20) || lsn + kFrameHeader + len > size) {
+
+  // Find the true tail by scanning records across segments (crashes leave a
+  // torn final record; later segments past a tear hold only unacked bytes —
+  // an ack of any byte beyond a segment boundary requires that boundary's
+  // fsync to have completed first).
+  Lsn lsn = segments_.front()->base;
+  size_t live = 0;
+  bool torn = false;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    SegmentPtr seg = segments_[i];
+    if (seg->base != lsn) {  // gap: everything from here on is unreachable
+      torn = true;
       break;
     }
-    std::string payload(len, '\0');
-    if (!file_.ReadAt(lsn + kFrameHeader, payload.data(), len).ok()) break;
-    const uint32_t want = crc32c::Unmask(DecodeFixed32(frame.data() + 4));
-    if (crc32c::Value(payload.data(), len) != want) break;
-    lsn += kFrameHeader + len;
+    Lsn seg_end;
+    if (i + 1 < segments_.size()) {
+      seg_end = segments_[i + 1]->base;
+    } else {
+      BESS_ASSIGN_OR_RETURN(uint64_t size, seg->file.Size());
+      seg_end = seg->base + (size > kSegHeaderSize ? size - kSegHeaderSize : 0);
+    }
+    std::string frame(kFrameHeader, '\0');
+    while (lsn + kFrameHeader <= seg_end) {
+      const uint64_t off = kSegHeaderSize + (lsn - seg->base);
+      if (!seg->file.ReadAt(off, frame.data(), kFrameHeader).ok()) break;
+      const uint32_t len = DecodeFixed32(frame.data());
+      if (len == 0 || len > (64u << 20) || lsn + kFrameHeader + len > seg_end) {
+        break;
+      }
+      std::string payload(len, '\0');
+      if (!seg->file.ReadAt(off + kFrameHeader, payload.data(), len).ok()) {
+        break;
+      }
+      const uint32_t want = crc32c::Unmask(DecodeFixed32(frame.data() + 4));
+      if (crc32c::Value(payload.data(), len) != want) break;
+      lsn += kFrameHeader + len;
+    }
+    live = i;
+    if (lsn < seg_end || i + 1 == segments_.size()) {
+      torn = torn || lsn < seg_end;
+      break;
+    }
   }
-  tail_ = flushed_ = lsn;
-  buffer_start_ = lsn;
-  if (lsn < size) {
-    // The scan stopped before end-of-file: a torn/corrupt final record from
-    // a crash mid-append. Normal ARIES business, but worth surfacing — a
-    // torn tail on *every* open would point at a write-path bug.
+  tail_ = flushed_ = buffer_start_ = lsn;
+  if (torn || live + 1 < segments_.size()) {
+    // The scan stopped before the physical log end: a torn/corrupt record
+    // from a crash mid-append. The dead bytes are discarded so stale frames
+    // beyond the tail can never resurrect after re-appending.
     torn_tail_ = true;
     BESS_COUNT("wal.torn_tail");
+    SegmentPtr cur = segments_[live];
+    (void)cur->file.Truncate(kSegHeaderSize + (tail_ - cur->base));
+    for (size_t i = live + 1; i < segments_.size(); ++i) {
+      const std::string path = segments_[i]->file.path();
+      segments_[i]->file.Close();
+      (void)File::Remove(path);
+    }
+    segments_.resize(live + 1);
   }
-  // A crash between Reset()'s truncate and its header rewrite can leave the
-  // master record pointing past the (now shorter) tail. A checkpoint LSN we
-  // cannot read is no checkpoint: clamp to kNullLsn so recovery scans from
-  // the start instead of failing forever on a dangling pointer.
-  if (checkpoint_lsn_ != kNullLsn && checkpoint_lsn_ >= tail_) {
+  oldest_.store(segments_.front()->base, std::memory_order_release);
+  // A checkpoint LSN we cannot read is no checkpoint: a crash in the wrong
+  // window (master swung, records torn) can leave the master pointing past
+  // the recovered tail, or below the oldest retained segment. Clamp to
+  // kNullLsn so recovery scans from the start of the retained log instead
+  // of failing forever on a dangling pointer.
+  if (checkpoint_lsn_ != kNullLsn &&
+      (checkpoint_lsn_ >= tail_ || checkpoint_lsn_ < oldest_lsn())) {
     checkpoint_lsn_ = kNullLsn;
+  }
+  if (!have_master) {
+    BESS_RETURN_IF_ERROR(WriteMasterLocked(kNullLsn, oldest_lsn()));
   }
   return Status::OK();
 }
 
+LogManager::SegmentPtr LogManager::SegmentFor(Lsn lsn) const {
+  // Largest base <= lsn. Caller holds mutex_.
+  SegmentPtr best;
+  for (const SegmentPtr& seg : segments_) {
+    if (seg->base > lsn) break;
+    best = seg;
+  }
+  return best;
+}
+
+void LogManager::MaybeRollLocked() {
+  // Rolls are skipped while a flush leader is writing outside the mutex:
+  // the leader's snapshot (current segment, needs_sync set) must stay
+  // stable, and its error path must be able to splice its batch back in
+  // front of the buffer contiguously.
+  if (flush_in_progress_) return;
+  SegmentPtr cur = segments_.back();
+  if (tail_ == cur->base) return;  // empty segment: let one record overflow
+  if (kSegHeaderSize + (tail_ - cur->base) < opts_.segment_bytes) return;
+  if (!buffer_.empty()) {
+    const uint64_t off = kSegHeaderSize + (buffer_start_ - cur->base);
+    if (!cur->file.WriteAt(off, buffer_.data(), buffer_.size()).ok()) {
+      return;  // can't drain the buffer (ENOSPC?): keep appending in memory
+    }
+    cur->needs_sync = true;
+    buffer_.clear();
+    buffer_start_ = tail_;
+  }
+  auto seg = CreateSegment(cur->seq + 1, tail_);
+  if (!seg.ok()) {
+    // Best-effort: the current segment simply overflows its nominal size.
+    BESS_COUNT("wal.segment.roll_failed");
+    return;
+  }
+  segments_.push_back(std::move(*seg));
+  buffer_start_ = tail_;
+  BESS_COUNT("wal.segment.rolls");
+}
+
 Result<Lsn> LogManager::Append(const LogRecord& rec) {
+  return AppendImpl(rec, /*throttled=*/true);
+}
+
+Result<Lsn> LogManager::AppendUnthrottled(const LogRecord& rec) {
+  return AppendImpl(rec, /*throttled=*/false);
+}
+
+Result<Lsn> LogManager::AppendImpl(const LogRecord& rec, bool throttled) {
   std::string payload;
   rec.EncodeTo(&payload);
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_lock<std::mutex> lk(mutex_);
   if (!wedged_.ok()) return wedged_;
+  if (throttled && opts_.soft_limit_bytes > 0 &&
+      tail_ - oldest_.load(std::memory_order_relaxed) >=
+          opts_.soft_limit_bytes) {
+    // Log full: backpressure, not a wedge. Kick the log-full hook (a forced
+    // checkpoint frees segments), wait a bounded time for space, then give
+    // up with NoSpace — the caller's commit fails cleanly and can retry.
+    BESS_COUNT("wal.throttle.waits");
+    if (log_full_cb_) {
+      auto cb = log_full_cb_;
+      lk.unlock();
+      cb();
+      lk.lock();
+      if (!wedged_.ok()) return wedged_;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(opts_.throttle_timeout_ms);
+    while (wedged_.ok() &&
+           tail_ - oldest_.load(std::memory_order_relaxed) >=
+               opts_.soft_limit_bytes) {
+      if (space_cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        if (tail_ - oldest_.load(std::memory_order_relaxed) >=
+            opts_.soft_limit_bytes) {
+          BESS_COUNT("wal.throttle.timeouts");
+          return Status::NoSpace(
+              "log full: " + std::to_string(tail_ - oldest_lsn()) +
+              " bytes retained (soft limit " +
+              std::to_string(opts_.soft_limit_bytes) + ")");
+        }
+        break;
+      }
+    }
+    if (!wedged_.ok()) return wedged_;
+  }
+  SegmentPtr cur = segments_.back();
+  if (kSegHeaderSize + (tail_ - cur->base) + kFrameHeader + payload.size() >
+      opts_.segment_bytes) {
+    MaybeRollLocked();
+  }
   const Lsn lsn = tail_;
   char frame[kFrameHeader];
   EncodeFixed32(frame, static_cast<uint32_t>(payload.size()));
@@ -139,19 +437,45 @@ Status LogManager::Flush(Lsn lsn) {
   const Lsn write_at = buffer_start_;
   const Lsn batch_end = tail_;
   buffer_start_ = batch_end;
+  SegmentPtr cur = segments_.back();
+  // Segments that took roll-time writes without an fsync: their bytes are
+  // below this batch's end, so this ack must cover them too.
+  std::vector<SegmentPtr> to_sync;
+  for (const SegmentPtr& seg : segments_) {
+    if (seg->needs_sync && seg != cur) to_sync.push_back(seg);
+  }
   lk.unlock();
 
   Status st;
+  bool write_failed = false;
   if (!batch_buf.empty()) {
-    st = file_.WriteAt(write_at, batch_buf.data(), batch_buf.size());
+    st = cur->file.WriteAt(kSegHeaderSize + (write_at - cur->base),
+                           batch_buf.data(), batch_buf.size());
+    write_failed = !st.ok();
   }
   if (st.ok()) {
     BESS_SPAN("wal.fsync");
-    st = file_.Sync();
+    for (const SegmentPtr& seg : to_sync) {
+      st = seg->file.Sync();
+      if (!st.ok()) break;
+    }
+    if (st.ok()) st = cur->file.Sync();
   }
 
   lk.lock();
   if (!st.ok()) {
+    if (write_failed) {
+      // The write itself failed (ENOSPC, injected I/O error): nothing that
+      // was acked durable is in doubt, so this is NOT a wedge. Splice the
+      // batch back in front of the buffer — contiguous, since rolls are
+      // excluded while a flush is in flight — and fail just this flush.
+      batch_buf.append(buffer_);
+      buffer_.swap(batch_buf);
+      buffer_start_ = write_at;
+      BESS_COUNT("wal.flush.write_failed");
+      ReleaseFlushOwnership();
+      return st;
+    }
     // fsyncgate: a failed (or interrupted) fsync may have already discarded
     // the dirty pages, so retrying can report "durable" for data that never
     // hit the platter. Wedge the log permanently; only a reopen (which
@@ -160,6 +484,7 @@ Status LogManager::Flush(Lsn lsn) {
     ReleaseFlushOwnership();
     return st;
   }
+  for (const SegmentPtr& seg : to_sync) seg->needs_sync = false;
   sync_count_.fetch_add(1, std::memory_order_relaxed);
   flushed_ = batch_end;
   BESS_HIST("wal.group_commit.batch_size", batch);
@@ -171,20 +496,40 @@ Status LogManager::Scan(
     Lsn from, const std::function<Status(Lsn, const LogRecord&)>& fn) {
   // Make everything visible to the read path first.
   BESS_RETURN_IF_ERROR(Flush(tail_lsn() - 1));
-  Lsn lsn = from == kNullLsn ? kHeaderSize : from;
+  Lsn lsn;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    lsn = from == kNullLsn ? segments_.front()->base : from;
+  }
   char frame[kFrameHeader];
   for (;;) {
-    Lsn end;
+    SegmentPtr seg;
+    Lsn seg_end;
     {
       std::lock_guard<std::mutex> guard(mutex_);
-      end = flushed_;
+      if (lsn + kFrameHeader > flushed_) break;
+      seg = SegmentFor(lsn);
+      if (seg == nullptr) return Status::NotFound(
+          "log scan at recycled LSN " + std::to_string(lsn));
+      seg_end = flushed_;
+      for (const SegmentPtr& s : segments_) {
+        if (s->base > lsn) {
+          seg_end = std::min(seg_end, s->base);
+          break;
+        }
+      }
     }
-    if (lsn + kFrameHeader > end) break;
-    BESS_RETURN_IF_ERROR(file_.ReadAt(lsn, frame, kFrameHeader));
+    if (lsn + kFrameHeader > seg_end) {
+      lsn = seg_end;  // records never span segments; continue in the next
+      continue;
+    }
+    const uint64_t off = kSegHeaderSize + (lsn - seg->base);
+    BESS_RETURN_IF_ERROR(seg->file.ReadAt(off, frame, kFrameHeader));
     const uint32_t len = DecodeFixed32(frame);
-    if (len == 0 || lsn + kFrameHeader + len > end) break;
+    if (len == 0 || lsn + kFrameHeader + len > seg_end) break;
     std::string payload(len, '\0');
-    BESS_RETURN_IF_ERROR(file_.ReadAt(lsn + kFrameHeader, payload.data(), len));
+    BESS_RETURN_IF_ERROR(
+        seg->file.ReadAt(off + kFrameHeader, payload.data(), len));
     const uint32_t want = crc32c::Unmask(DecodeFixed32(frame + 4));
     if (crc32c::Value(payload.data(), len) != want) break;  // torn tail
     BESS_ASSIGN_OR_RETURN(LogRecord rec, LogRecord::DecodeFrom(payload));
@@ -196,15 +541,26 @@ Status LogManager::Scan(
 
 Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
   BESS_RETURN_IF_ERROR(Flush(tail_lsn() - 1));
+  SegmentPtr seg;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    seg = SegmentFor(lsn);
+  }
+  if (seg == nullptr) {
+    return Status::NotFound("log record at recycled LSN " +
+                            std::to_string(lsn));
+  }
+  const uint64_t off = kSegHeaderSize + (lsn - seg->base);
   char frame[kFrameHeader];
-  BESS_RETURN_IF_ERROR(file_.ReadAt(lsn, frame, kFrameHeader));
+  BESS_RETURN_IF_ERROR(seg->file.ReadAt(off, frame, kFrameHeader));
   const uint32_t len = DecodeFixed32(frame);
   if (len == 0 || len > (64u << 20)) {
     return Status::Corruption("bad record length at LSN " +
                               std::to_string(lsn));
   }
   std::string payload(len, '\0');
-  BESS_RETURN_IF_ERROR(file_.ReadAt(lsn + kFrameHeader, payload.data(), len));
+  BESS_RETURN_IF_ERROR(seg->file.ReadAt(off + kFrameHeader, payload.data(),
+                                        len));
   if (crc32c::Value(payload.data(), len) !=
       crc32c::Unmask(DecodeFixed32(frame + 4))) {
     return Status::Corruption("record checksum mismatch at LSN " +
@@ -219,28 +575,60 @@ Status LogManager::SetCheckpointLsn(Lsn lsn) {
   // Exclude any in-flight group-commit batch: its fsync must not be able to
   // observe (and make durable) a master record pointing past its own tail.
   BESS_RETURN_IF_ERROR(ClaimFlushOwnership(lk));
-  char buf[12];
-  EncodeFixed32(buf, kLogMagic);
-  EncodeFixed64(buf + 4, lsn);
-  Status st = file_.WriteAt(0, buf, sizeof(buf));
-  if (st.ok()) {
-    BESS_SPAN("wal.fsync");
-    st = file_.Sync();
-  }
-  if (!st.ok()) {
-    wedged_ = st;
-    ReleaseFlushOwnership();
-    return st;
-  }
-  sync_count_.fetch_add(1, std::memory_order_relaxed);
-  checkpoint_lsn_ = lsn;
+  Status st =
+      WriteMasterLocked(lsn, oldest_.load(std::memory_order_relaxed));
   ReleaseFlushOwnership();
-  return Status::OK();
+  return st;
 }
 
 Result<Lsn> LogManager::GetCheckpointLsn() {
   std::lock_guard<std::mutex> guard(mutex_);
   return checkpoint_lsn_;
+}
+
+Status LogManager::ReleaseSegments(Lsn floor) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (!wedged_.ok()) return wedged_;
+  BESS_RETURN_IF_ERROR(ClaimFlushOwnership(lk));
+  // A segment is recyclable when the *next* segment's base is still <=
+  // floor: every record >= floor then lives in a retained segment. The
+  // current segment never recycles.
+  size_t drop = 0;
+  while (drop + 1 < segments_.size() &&
+         segments_[drop + 1]->base <= floor) {
+    drop++;
+  }
+  if (drop == 0) {
+    ReleaseFlushOwnership();
+    return Status::OK();
+  }
+  // Crash-safe order: the master's oldest bump is durable *before* any
+  // unlink, so a crash in between leaves only garbage segments that the
+  // next Open deletes (wholly below the master's oldest).
+  Status st = WriteMasterLocked(checkpoint_lsn_, segments_[drop]->base);
+  if (!st.ok()) {
+    ReleaseFlushOwnership();
+    return st;
+  }
+  size_t removed = 0;
+  for (size_t i = 0; i < drop; ++i) {
+    const std::string path = segments_[i]->file.path();
+    st = fault::Check("wal.recycle.unlink", path);
+    if (!st.ok()) break;  // retained files are re-pruned by the next pass
+    segments_[i]->file.Close();
+    (void)File::Remove(path);
+    removed++;
+    BESS_COUNT("wal.segment.recycled");
+  }
+  segments_.erase(segments_.begin(), segments_.begin() + removed);
+  space_cv_.notify_all();
+  ReleaseFlushOwnership();
+  return st;
+}
+
+void LogManager::SetLogFullCallback(std::function<void()> cb) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  log_full_cb_ = std::move(cb);
 }
 
 Lsn LogManager::tail_lsn() const {
@@ -253,12 +641,29 @@ Lsn LogManager::flushed_lsn() const {
   return flushed_;
 }
 
+uint64_t LogManager::retained_bytes() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return tail_ - oldest_.load(std::memory_order_relaxed);
+}
+
+size_t LogManager::segment_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return segments_.size();
+}
+
+std::vector<std::string> LogManager::SegmentPaths() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<std::string> paths;
+  for (const SegmentPtr& seg : segments_) paths.push_back(seg->file.path());
+  return paths;
+}
+
 Status LogManager::Reset() {
   std::unique_lock<std::mutex> lk(mutex_);
   if (!wedged_.ok()) return wedged_;
-  // Truncating under an in-flight batch write would race the leader's file
-  // ops; claim flush ownership first (mutex_ stays held across our own I/O,
-  // which also keeps appenders out — Reset is rare and cold).
+  // Excluding an in-flight batch also keeps the leader's segment snapshot
+  // valid (mutex_ stays held across our own I/O, which also keeps appenders
+  // out — Reset is rare and cold).
   BESS_RETURN_IF_ERROR(ClaimFlushOwnership(lk));
   auto finish = [&](Status st) {
     if (!st.ok()) wedged_ = st;
@@ -266,21 +671,48 @@ Status LogManager::Reset() {
     return st;
   };
   buffer_.clear();
-  Status st = file_.Truncate(kHeaderSize);
-  if (!st.ok()) return finish(st);
-  char header[kHeaderSize];
-  memset(header, 0, sizeof(header));
-  EncodeFixed32(header, kLogMagic);
-  EncodeFixed64(header + 4, kNullLsn);
-  st = file_.WriteAt(0, header, sizeof(header));
-  if (st.ok()) {
-    BESS_SPAN("wal.fsync");
-    st = file_.Sync();
+  const Lsn epoch = tail_;
+  if (segments_.size() == 1 && segments_.back()->base == epoch &&
+      checkpoint_lsn_ == kNullLsn) {
+    // Already an empty single-segment log; nothing to discard.
+    buffer_start_ = flushed_ = epoch;
+    return finish(Status::OK());
   }
-  if (!st.ok()) return finish(st);
-  sync_count_.fetch_add(1, std::memory_order_relaxed);
-  tail_ = flushed_ = buffer_start_ = kHeaderSize;
-  checkpoint_lsn_ = kNullLsn;
+  // Crash-proof order: (1) start the new epoch's segment at the old tail,
+  // (2) swing the master to it, (3) unlink the old epoch. A crash after any
+  // step recovers: after (1) the new empty segment just extends the log;
+  // after (2) the old segments are wholly below the master's oldest and the
+  // next Open deletes them.
+  SegmentPtr fresh;
+  if (segments_.back()->base == epoch) {
+    fresh = segments_.back();  // current segment is empty: reuse as epoch 0
+    segments_.pop_back();
+  } else {
+    auto created = CreateSegment(segments_.back()->seq + 1, epoch);
+    if (!created.ok()) return finish(created.status());
+    fresh = std::move(*created);
+  }
+  Status st = WriteMasterLocked(kNullLsn, epoch);
+  if (!st.ok()) {
+    segments_.push_back(fresh);  // keep it addressable; Open dedupes anyway
+    std::sort(segments_.begin(), segments_.end(),
+              [](const SegmentPtr& a, const SegmentPtr& b) {
+                return a->base != b->base ? a->base < b->base
+                                          : a->seq < b->seq;
+              });
+    return finish(st);
+  }
+  std::vector<SegmentPtr> old;
+  old.swap(segments_);
+  segments_.push_back(std::move(fresh));
+  tail_ = flushed_ = buffer_start_ = epoch;
+  for (SegmentPtr& seg : old) {
+    const std::string path = seg->file.path();
+    if (!fault::Check("wal.recycle.unlink", path).ok()) continue;
+    seg->file.Close();
+    (void)File::Remove(path);
+  }
+  space_cv_.notify_all();
   return finish(Status::OK());
 }
 

@@ -1,27 +1,46 @@
-// LogManager: an append-only write-ahead log on one file.
+// LogManager: a bounded, append-only write-ahead log on recycled segments.
 //
-// Physical layout:
-//   [header page: magic, last checkpoint LSN]
-//   then records: [u32 payload_len][u32 masked crc32c(payload)][payload]
+// Physical layout — a directory, not a single file:
+//   master            two ping-pong master-record slots (version, checkpoint
+//                     LSN, oldest LSN, crc); the reader picks the valid slot
+//                     with the highest version, so a torn master write can
+//                     never lose both copies
+//   wal-<seq>.log     log segments: [header page: magic, seq, base LSN]
+//                     then records: [u32 len][u32 masked crc32c][payload]
 //
-// LSN = byte offset of the record. Appends are buffered in memory; Flush
-// makes everything up to an LSN durable. Commit flushes use *group commit*
-// (ARIES lineage; cf. Shore-MT's scalable logging): committers append under
-// a short buffer latch, then the first committer to need durability becomes
-// the batch leader — it snaps the whole buffer, writes and fsyncs it once
-// with the latch released, and wakes every follower whose LSN the batch
-// covered. Followers arriving mid-fsync park on the batch condition and
-// either find themselves covered on wakeup or lead the next batch. One
-// fsync thus pays for N commits; the `wal.group_commit.batch_size`
-// histogram records N per fsync and `wal.fsync` its latency.
+// LSNs are monotone byte offsets into the *logical* log stream and never
+// reset, even across Reset(): the record at LSN L lives in the segment with
+// the largest base <= L, at file offset header + (L - base). Records never
+// span segments — when a segment fills, the log rolls to a fresh one whose
+// base is the current tail, so the LSN space stays gapless.
+//
+// Appends are buffered in memory; Flush makes everything up to an LSN
+// durable. Commit flushes use *group commit* (ARIES lineage; cf. Shore-MT's
+// scalable logging): committers append under a short buffer latch, then the
+// first committer to need durability becomes the batch leader — it snaps the
+// whole buffer, writes and fsyncs it once with the latch released, and wakes
+// every follower whose LSN the batch covered. One fsync thus pays for N
+// commits; `wal.group_commit.batch_size` records N per fsync.
+//
+// Bounding the log: segments wholly below a caller-supplied retention floor
+// (min recLSN over the dirty-page table, active transactions' first LSNs —
+// see object/database.cc) are recycled by ReleaseSegments, in crash-safe
+// order: the master's oldest-LSN bump is made durable *before* any file is
+// unlinked, so a crash between the two only leaves garbage segments that the
+// next Open deletes. When the retained log exceeds soft_limit_bytes,
+// throttled appenders back off (fire the log-full callback, wait for a
+// checkpoint to free segments, and fail with NoSpace after a bounded wait) —
+// log-full degrades commits gracefully instead of wedging the log.
 #ifndef BESS_WAL_LOG_MANAGER_H_
 #define BESS_WAL_LOG_MANAGER_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "os/file.h"
 #include "wal/log_record.h"
@@ -30,11 +49,33 @@ namespace bess {
 
 class LogManager {
  public:
-  /// Opens (creating if necessary) the log at `path`.
-  static Result<std::unique_ptr<LogManager>> Open(const std::string& path);
+  struct Options {
+    /// Nominal segment size (header included). A single record larger than
+    /// one segment overflows its segment rather than spanning two.
+    uint64_t segment_bytes = 4ull << 20;
+    /// Retained-log backpressure threshold for throttled appends; 0 = off.
+    uint64_t soft_limit_bytes = 0;
+    /// How long a throttled append waits for space before NoSpace.
+    uint32_t throttle_timeout_ms = 1000;
+  };
 
-  /// Appends a record; returns its LSN. Not yet durable.
+  /// Opens (creating if necessary) the log directory at `dir`.
+  static Result<std::unique_ptr<LogManager>> Open(const std::string& dir,
+                                                  Options options);
+  static Result<std::unique_ptr<LogManager>> Open(const std::string& dir) {
+    return Open(dir, Options());
+  }
+
+  /// Appends a record; returns its LSN. Not yet durable. Subject to
+  /// log-full backpressure: over the soft limit this fires the log-full
+  /// callback, waits up to throttle_timeout_ms for segments to be released,
+  /// then returns NoSpace — the log itself stays healthy.
   Result<Lsn> Append(const LogRecord& rec);
+
+  /// Appends exempt from backpressure. For the records that *shrink* the
+  /// log — checkpoints and recovery's CLR/End records — which must go
+  /// through even (especially) when the log is full.
+  Result<Lsn> AppendUnthrottled(const LogRecord& rec);
 
   /// Appends and makes durable up to and including this record.
   Result<Lsn> AppendAndFlush(const LogRecord& rec);
@@ -42,9 +83,9 @@ class LogManager {
   /// Ensures everything up to `lsn` is durable.
   Status Flush(Lsn lsn);
 
-  /// Scans all records from `from` (kNullLsn = start of log), invoking
-  /// `fn(lsn, record)`. Stops cleanly at a truncated/corrupt tail (the
-  /// expected state after a crash mid-append).
+  /// Scans records from `from` (kNullLsn = start of the retained log),
+  /// invoking `fn(lsn, record)`. Stops cleanly at a truncated/corrupt tail
+  /// (the expected state after a crash mid-append).
   Status Scan(Lsn from,
               const std::function<Status(Lsn, const LogRecord&)>& fn);
 
@@ -52,58 +93,116 @@ class LogManager {
   /// prev_lsn chains).
   Result<LogRecord> ReadRecord(Lsn lsn);
 
-  /// Records the LSN of the latest checkpoint in the log header (the
-  /// "master record"), durably.
+  /// Records the LSN of the latest checkpoint in the master record,
+  /// durably (the master-record swing).
   Status SetCheckpointLsn(Lsn lsn);
   Result<Lsn> GetCheckpointLsn();
+
+  /// Recycles every segment wholly below `floor` (every record the caller
+  /// may still need must be >= floor). The master's oldest LSN is bumped
+  /// durably *before* any segment file is unlinked. Wakes throttled
+  /// appenders when space was freed.
+  Status ReleaseSegments(Lsn floor);
+
+  /// Invoked (without internal locks) when a throttled append finds the log
+  /// over its soft limit — the hook that kicks a forced checkpoint. The
+  /// callback must not call back into this LogManager.
+  void SetLogFullCallback(std::function<void()> cb);
 
   /// Byte offset one past the last appended record.
   Lsn tail_lsn() const;
   Lsn flushed_lsn() const;
 
-  /// Discards the whole log and starts fresh (after a full checkpoint has
-  /// made it redundant).
+  /// Base LSN of the oldest retained segment: every record >= oldest_lsn()
+  /// is still readable; anything below may have been recycled. Lock-free —
+  /// the FPI-epoch check on the commit path reads this per page.
+  Lsn oldest_lsn() const { return oldest_.load(std::memory_order_acquire); }
+
+  /// Bytes of retained log (tail - oldest): what the soft limit throttles.
+  uint64_t retained_bytes() const;
+
+  size_t segment_count() const;
+  /// Paths of the retained segments, base-ascending (tests / tooling).
+  std::vector<std::string> SegmentPaths() const;
+  std::string master_path() const { return dir_ + "/master"; }
+
+  /// Discards the whole log and starts fresh (after restart recovery has
+  /// made it redundant). LSNs do NOT reset: the new epoch's first segment
+  /// is based at the old tail.
   Status Reset();
 
   uint64_t sync_count() const {
     return sync_count_.load(std::memory_order_relaxed);
   }
 
-  /// True if the tail scan at open stopped short of the file size: the log
-  /// ended in a truncated or corrupt record (crash mid-append). The torn
-  /// bytes are dead — the next Append overwrites them.
+  /// True if the tail scan at open stopped short of the physical log end:
+  /// the log ended in a truncated or corrupt record (crash mid-append).
   bool tail_was_torn() const { return torn_tail_; }
 
   /// Non-OK once a Sync has failed: the log is wedged (see fsyncgate — after
   /// a failed fsync the kernel may have dropped the dirty pages, so "retry
   /// and hope" silently loses log records). All further Append/Flush/
   /// SetCheckpointLsn/Reset return this status; recovery requires reopening.
+  /// Plain write failures (ENOSPC, injected I/O errors) do NOT wedge:
+  /// nothing acked durable was lost, the operation just fails.
   Status wedged() const;
 
  private:
-  explicit LogManager(File file) : file_(std::move(file)) {}
+  struct Segment {
+    uint64_t seq = 0;
+    Lsn base = 0;
+    File file;
+    /// Bytes were written (at roll time) without an fsync; the next flush
+    /// leader must fsync this segment before acking. Guarded by mutex_;
+    /// stable while a flush is in flight (rolls skip during flushes).
+    bool needs_sync = false;
+  };
+  using SegmentPtr = std::shared_ptr<Segment>;
+
+  explicit LogManager(std::string dir, Options options)
+      : dir_(std::move(dir)), opts_(options) {}
 
   Status LoadExisting();
+  Result<SegmentPtr> CreateSegment(uint64_t seq, Lsn base);
+  /// Durably writes the next master version. Write failure returns without
+  /// wedging; fsync failure wedges. Caller holds mutex_ with flush
+  /// ownership claimed (or is single-threaded inside Open).
+  Status WriteMasterLocked(Lsn checkpoint_lsn, Lsn oldest_lsn);
+  /// Segment holding `lsn` (largest base <= lsn), or nullptr.
+  SegmentPtr SegmentFor(Lsn lsn) const;
+  /// Rolls to a fresh segment when the current one is full. Best-effort:
+  /// failures leave the log appending to the (overflowing) current segment.
+  void MaybeRollLocked();
+  Result<Lsn> AppendImpl(const LogRecord& rec, bool throttled);
+
   /// Waits (with `lk` held on mutex_) until no batch is in flight, then
   /// claims flush ownership. Used by Flush leaders and by Reset/
-  /// SetCheckpointLsn, which must not run file ops concurrently with a
-  /// leader writing outside the mutex. Returns wedged_ if the log wedged
-  /// while waiting.
+  /// SetCheckpointLsn/ReleaseSegments, which must not run file ops
+  /// concurrently with a leader writing outside the mutex. Returns wedged_
+  /// if the log wedged while waiting.
   Status ClaimFlushOwnership(std::unique_lock<std::mutex>& lk);
   void ReleaseFlushOwnership();  // must hold mutex_
 
-  File file_;
+  const std::string dir_;
+  const Options opts_;
+  File master_;
+  uint64_t master_version_ = 0;
   mutable std::mutex mutex_;
   /// Group-commit state: followers park here; the leader holds
   /// flush_in_progress_ while its write+fsync runs outside the mutex.
   std::condition_variable flush_cv_;
+  /// Throttled appenders park here; ReleaseSegments/Reset signal it.
+  std::condition_variable space_cv_;
   bool flush_in_progress_ = false;
   uint64_t pending_syncers_ = 0;  ///< Flush callers awaiting the next fsync
-  std::string buffer_;       // appended but unwritten bytes
+  std::vector<SegmentPtr> segments_;  // base-ascending; back() is current
+  std::string buffer_;       // appended but unwritten bytes (current segment)
   Lsn buffer_start_ = 0;     // LSN of buffer_[0]
   Lsn tail_ = 0;
   Lsn flushed_ = 0;
+  std::atomic<Lsn> oldest_{0};
   Lsn checkpoint_lsn_ = kNullLsn;
+  std::function<void()> log_full_cb_;
   bool torn_tail_ = false;  // set once at open by the tail scan
   std::atomic<uint64_t> sync_count_{0};
   Status wedged_;  // sticky first Sync failure; non-OK refuses all mutation

@@ -32,6 +32,7 @@ void LogRecord::EncodeTo(std::string* out) const {
         PutFixed64(out, d.page.Pack());
         PutFixed64(out, d.rec_lsn);
       }
+      PutFixed64(out, redo_floor);
       break;
     default:
       break;
@@ -88,6 +89,7 @@ Result<LogRecord> LogRecord::DecodeFrom(Slice payload) {
         d.rec_lsn = dec.GetFixed64();
         rec.dirty_pages.push_back(d);
       }
+      rec.redo_floor = dec.GetFixed64();
       break;
     }
     default:

@@ -60,6 +60,10 @@ struct LogRecord {
     Lsn rec_lsn;
   };
   std::vector<DirtyPage> dirty_pages;
+  /// kCheckpoint: lower bound for redo — min over the dirty pages' recLSNs,
+  /// the active transactions' first LSNs, and the snapshot-start LSN. No
+  /// page image needing redo can live below it.
+  Lsn redo_floor = kNullLsn;
 
   void EncodeTo(std::string* out) const;
   static Result<LogRecord> DecodeFrom(Slice payload);

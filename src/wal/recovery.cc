@@ -1,6 +1,13 @@
 #include "wal/recovery.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "obs/trace.h"
 #include "storage/page_io.h"
@@ -30,17 +37,38 @@ Status RecoveryManager::Run() {
 }
 
 Status RecoveryManager::Analysis(Lsn checkpoint_lsn) {
-  // Seed the transaction table from the checkpoint, then roll forward.
+  // Establish the redo floor from the checkpoint, then roll the transaction
+  // table forward. Without a checkpoint, redo must repeat history from the
+  // start of the retained log.
+  redo_start_ = kNullLsn;
+  Lsn scan_start = checkpoint_lsn;
   if (checkpoint_lsn != kNullLsn) {
     BESS_ASSIGN_OR_RETURN(LogRecord cp, log_->ReadRecord(checkpoint_lsn));
     if (cp.type != LogRecordType::kCheckpoint) {
       return Status::Corruption("master record does not point at checkpoint");
     }
-    for (const LogRecord::ActiveTxn& t : cp.active_txns) {
-      txns_[t.txn].last_lsn = t.last_lsn;
+    // The checkpoint's redo floor already folds in the snapshot's dirty-page
+    // recLSNs and active transactions' first LSNs; re-min against the dirty
+    // pages defensively (it can only lower the floor, never lose redo work).
+    redo_start_ = cp.redo_floor;
+    for (const LogRecord::DirtyPage& d : cp.dirty_pages) {
+      if (d.rec_lsn != kNullLsn &&
+          (redo_start_ == kNullLsn || d.rec_lsn < redo_start_)) {
+        redo_start_ = d.rec_lsn;
+      }
     }
+    // Scan from the redo floor, NOT from the checkpoint record. The
+    // checkpoint is fuzzy: records appended between its snapshot and the
+    // append of the record itself — commit records included — are invisible
+    // to the snapshotted transaction table, so seeding from cp.active_txns
+    // could resurrect an already-committed transaction as a loser and roll
+    // back an acknowledged commit. The floor lower-bounds every snapshotted
+    // transaction's first record (it folds in their first LSNs), so scanning
+    // from it rebuilds the full table — begin, writes, commit — from the
+    // records themselves.
+    scan_start = redo_start_;
   }
-  return log_->Scan(checkpoint_lsn, [&](Lsn lsn, const LogRecord& rec) {
+  return log_->Scan(scan_start, [&](Lsn lsn, const LogRecord& rec) {
     stats_.records_scanned++;
     switch (rec.type) {
       case LogRecordType::kBegin:
@@ -71,22 +99,125 @@ Status RecoveryManager::Analysis(Lsn checkpoint_lsn) {
   });
 }
 
-Status RecoveryManager::Redo() {
-  // Repeating history: blindly reapply every after-image in LSN order.
-  // Full-page physical images make this idempotent without page LSNs.
-  return log_->Scan(kNullLsn, [&](Lsn lsn, const LogRecord& rec) {
-    if (rec.type == LogRecordType::kPageWrite ||
-        rec.type == LogRecordType::kClr ||
-        rec.type == LogRecordType::kFullPageImage) {
-      if (!rec.after.empty()) {
-        BESS_RETURN_IF_ERROR(
-            sink_->WritePage(rec.page, rec.after.data(), lsn));
-        stats_.redo_pages++;
-        BESS_COUNT("wal.recovery.redo.pages");
+namespace {
+
+/// One redo worker: a bounded queue of after-images for the pages hashed to
+/// it. Per-page ordering is preserved because a page always hashes to the
+/// same worker and the scan feeds items in LSN order.
+struct RedoWorker {
+  struct Item {
+    Lsn lsn;
+    PageAddr page;
+    std::string after;
+  };
+  static constexpr size_t kQueueCap = 128;
+
+  std::mutex mu;
+  std::condition_variable cv_pop;   // worker waits for items
+  std::condition_variable cv_push;  // producer waits for space
+  std::deque<Item> queue;
+  bool done = false;
+  uint64_t pages = 0;
+  Status status;
+  std::thread thread;
+
+  void RunLoop(PageSink* sink, std::atomic<bool>* failed) {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv_pop.wait(lk, [&] { return done || !queue.empty(); });
+        if (queue.empty()) return;
+        item = std::move(queue.front());
+        queue.pop_front();
+        cv_push.notify_one();
       }
+      if (failed->load(std::memory_order_relaxed)) continue;  // drain
+      Status st = sink->WritePage(item.page, item.after.data(), item.lsn);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (status.ok()) status = st;
+        failed->store(true, std::memory_order_relaxed);
+        continue;
+      }
+      pages++;
+      BESS_COUNT("wal.recovery.redo.pages");
     }
+  }
+};
+
+}  // namespace
+
+Status RecoveryManager::Redo() {
+  // Repeating history: blindly reapply every after-image, starting at the
+  // recLSN floor from analysis. Full-page physical images make replay
+  // idempotent without page LSNs, and make pages independent — so the work
+  // partitions by page across workers, each applying its pages in LSN order.
+  const int workers = std::max(1, opts_.redo_workers);
+  stats_.redo_start_lsn = redo_start_;
+  stats_.redo_workers = workers;
+
+  if (workers == 1) {
+    return log_->Scan(redo_start_, [&](Lsn lsn, const LogRecord& rec) {
+      if (rec.type == LogRecordType::kPageWrite ||
+          rec.type == LogRecordType::kClr ||
+          rec.type == LogRecordType::kFullPageImage) {
+        if (!rec.after.empty()) {
+          BESS_RETURN_IF_ERROR(
+              sink_->WritePage(rec.page, rec.after.data(), lsn));
+          stats_.redo_pages++;
+          BESS_COUNT("wal.recovery.redo.pages");
+        }
+      }
+      return Status::OK();
+    });
+  }
+
+  std::vector<std::unique_ptr<RedoWorker>> pool;
+  std::atomic<bool> failed{false};
+  for (int i = 0; i < workers; ++i) {
+    auto w = std::make_unique<RedoWorker>();
+    w->thread = std::thread([worker = w.get(), this, &failed] {
+      worker->RunLoop(sink_, &failed);
+    });
+    pool.push_back(std::move(w));
+  }
+  Status scan_st = log_->Scan(redo_start_, [&](Lsn lsn, const LogRecord& rec) {
+    if (rec.type != LogRecordType::kPageWrite &&
+        rec.type != LogRecordType::kClr &&
+        rec.type != LogRecordType::kFullPageImage) {
+      return Status::OK();
+    }
+    if (rec.after.empty()) return Status::OK();
+    if (failed.load(std::memory_order_relaxed)) {
+      return Status::Aborted("redo worker failed");  // stop scanning early
+    }
+    RedoWorker& w =
+        *pool[std::hash<uint64_t>{}(rec.page.Pack()) % pool.size()];
+    std::unique_lock<std::mutex> lk(w.mu);
+    w.cv_push.wait(lk, [&] {
+      return w.queue.size() < RedoWorker::kQueueCap ||
+             failed.load(std::memory_order_relaxed);
+    });
+    w.queue.push_back({lsn, rec.page, rec.after});
+    w.cv_pop.notify_one();
     return Status::OK();
   });
+  Status worker_st;
+  for (auto& w : pool) {
+    {
+      std::lock_guard<std::mutex> lk(w->mu);
+      w->done = true;
+    }
+    w->cv_pop.notify_all();
+    w->thread.join();
+    stats_.redo_pages += w->pages;
+    if (worker_st.ok() && !w->status.ok()) worker_st = w->status;
+  }
+  // A worker failure is the root cause; the scan's Aborted is just the
+  // early-stop signal it triggered.
+  if (!worker_st.ok()) return worker_st;
+  return scan_st;
 }
 
 Status RecoveryManager::Undo() {
@@ -98,7 +229,9 @@ Status RecoveryManager::Undo() {
     stats_.loser_txns++;
     // Walk the prev_lsn chain backwards, restoring before-images. CLRs
     // from a previous (crashed) undo attempt are skipped via undo_next,
-    // so undo never undoes its own compensation.
+    // so undo never undoes its own compensation. Appends here are exempt
+    // from log-full backpressure: recovery must complete even (especially)
+    // on a full log, and its records are what let the log shrink again.
     Lsn cur = state.last_lsn;
     while (cur != kNullLsn) {
       BESS_ASSIGN_OR_RETURN(LogRecord rec, log_->ReadRecord(cur));
@@ -120,7 +253,7 @@ Status RecoveryManager::Undo() {
         clr.page = rec.page;
         clr.after = rec.before;  // the image the CLR (re)applies on redo
         clr.undo_next = rec.prev_lsn;
-        BESS_ASSIGN_OR_RETURN(Lsn clr_lsn, log_->Append(clr));
+        BESS_ASSIGN_OR_RETURN(Lsn clr_lsn, log_->AppendUnthrottled(clr));
         state.last_lsn = clr_lsn;
         stats_.clrs_written++;
       }
@@ -130,7 +263,8 @@ Status RecoveryManager::Undo() {
     end.type = LogRecordType::kEnd;
     end.txn = txn;
     end.prev_lsn = state.last_lsn;
-    BESS_RETURN_IF_ERROR(log_->AppendAndFlush(end).status());
+    BESS_ASSIGN_OR_RETURN(Lsn end_lsn, log_->AppendUnthrottled(end));
+    BESS_RETURN_IF_ERROR(log_->Flush(end_lsn));
   }
   return Status::OK();
 }

@@ -1,5 +1,17 @@
 // ARIES-style restart recovery: analysis, redo (repeating history), undo
 // with compensation records.
+//
+// With a fuzzy checkpoint (log_record.h kCheckpoint) in the master record,
+// analysis seeds its transaction table from the checkpoint snapshot and
+// scans forward from the checkpoint LSN, and redo starts at the checkpoint's
+// redo floor — min over the snapshot's dirty-page recLSNs and active
+// transactions' first LSNs — rather than the start of the log. Restart cost
+// is then bounded by the dirty set at the last checkpoint, not log length.
+//
+// Redo partitions work by page across a small worker pool (redo of full
+// physical images is blind and idempotent, so pages are independent; only
+// per-page ordering matters, which hashing each page to a fixed worker
+// preserves).
 #ifndef BESS_WAL_RECOVERY_H_
 #define BESS_WAL_RECOVERY_H_
 
@@ -13,11 +25,18 @@ namespace bess {
 /// Where recovered page images land (the storage areas, or a test double).
 /// `lsn` is the LSN of the log record being applied (kNullLsn for undo
 /// before-images) so the sink can stamp page trailers (DESIGN.md §7).
+/// With redo_workers > 1, WritePage must be thread-safe for distinct pages
+/// (StorageArea::WritePages is).
 class PageSink {
  public:
   virtual ~PageSink() = default;
   virtual Status WritePage(PageAddr addr, const void* bytes, Lsn lsn) = 0;
   virtual Status Sync() = 0;
+};
+
+struct RecoveryOptions {
+  /// Redo worker threads; <= 1 applies images inline on the scanning thread.
+  int redo_workers = 0;
 };
 
 struct RecoveryStats {
@@ -27,6 +46,8 @@ struct RecoveryStats {
   uint64_t clrs_written = 0;
   uint64_t loser_txns = 0;
   uint64_t winner_txns = 0;
+  Lsn redo_start_lsn = kNullLsn;  ///< where redo began (the recLSN floor)
+  int redo_workers = 1;
   Lsn recovered_tail_lsn = kNullLsn;  ///< log tail after the torn-tail scan
   bool torn_tail = false;  ///< the log ended in a truncated/garbage record
 };
@@ -36,7 +57,9 @@ struct RecoveryStats {
 /// idempotent; redo is blind physical reapplication).
 class RecoveryManager {
  public:
-  RecoveryManager(LogManager* log, PageSink* sink) : log_(log), sink_(sink) {}
+  RecoveryManager(LogManager* log, PageSink* sink,
+                  RecoveryOptions options = RecoveryOptions())
+      : log_(log), sink_(sink), opts_(options) {}
 
   Status Run();
 
@@ -55,7 +78,9 @@ class RecoveryManager {
 
   LogManager* log_;
   PageSink* sink_;
+  RecoveryOptions opts_;
   std::unordered_map<TxnId, TxnState> txns_;
+  Lsn redo_start_ = kNullLsn;  ///< set by Analysis
   RecoveryStats stats_;
 };
 

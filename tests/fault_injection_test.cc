@@ -328,22 +328,78 @@ TEST_F(FaultInjectionTest, StaleCheckpointLsnIsClamped) {
     ckpt = *lsn;
   }
   {
-    // Simulate a crash mid-Reset: the log file was truncated back to its
-    // header, but the master record still points at the old checkpoint —
-    // now beyond the tail.
-    auto f = File::Open(Path("wal"), /*create=*/false);
+    // Simulate a crash window inside Reset(): the segment lost its records
+    // (truncated back to its header) but the master record still points at
+    // the old checkpoint — now at/beyond the rescanned tail.
+    std::string seg;
+    for (const auto& e : std::filesystem::directory_iterator(Path("wal"))) {
+      const std::string name = e.path().filename().string();
+      if (name.rfind("wal-", 0) == 0) seg = e.path().string();
+    }
+    ASSERT_FALSE(seg.empty());
+    auto f = File::Open(seg, /*create=*/false);
     ASSERT_TRUE(f.ok());
     ASSERT_TRUE(f->Truncate(kPageSize).ok());
-    char header[12];
-    EncodeFixed32(header, 0xBE55106Fu);  // kLogMagic
-    EncodeFixed64(header + 4, ckpt);
-    ASSERT_TRUE(f->WriteAt(0, header, 12).ok());
   }
   auto reopened = LogManager::Open(Path("wal"));
   ASSERT_TRUE(reopened.ok());
   auto clamped = (*reopened)->GetCheckpointLsn();
   ASSERT_TRUE(clamped.ok());
   EXPECT_EQ(*clamped, kNullLsn);  // dangling master record ignored
+  (void)ckpt;
+}
+
+TEST_F(FaultInjectionTest, CrashInsideResetLeavesReopenableLog) {
+  // Reset() swings to a fresh segment, commits the swing in the master
+  // record, and only then unlinks the old segments. Fail the unlink: the
+  // process is left with the superseded segment still on disk (exactly the
+  // state a crash between the master write and the unlink leaves behind).
+  Lsn tail = kNullLsn;
+  {
+    auto log = LogManager::Open(Path("wal"));
+    ASSERT_TRUE(log.ok());
+    LogRecord rec;
+    rec.type = LogRecordType::kCommit;
+    rec.txn = 1;
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE((*log)->AppendAndFlush(rec).ok());
+    tail = (*log)->tail_lsn();
+    FaultRegistry::Instance().Arm("wal.recycle.unlink", FaultSpec::FailNth(1));
+    // The master already swung to the new epoch, so a failed unlink is
+    // benign — Reset still succeeds; the stale file is garbage on disk.
+    EXPECT_TRUE((*log)->Reset().ok());
+    FaultRegistry::Instance().DisarmAll();
+  }
+  // The superseded segment really was left behind (the crash window is
+  // exercised), and the next Open prunes it via the master's oldest floor.
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(Path("wal"))) {
+    if (e.path().filename().string().rfind("wal-", 0) == 0) ++files;
+  }
+  EXPECT_EQ(files, 2);
+  // Reopen prunes the stale segment via the master's oldest-LSN floor: the
+  // log is empty, un-checkpointed, and appendable again, and LSNs continue
+  // monotonically from the pre-Reset tail (they never restart at zero).
+  auto log = LogManager::Open(Path("wal"));
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->segment_count(), 1u);
+  int count = 0;
+  ASSERT_TRUE((*log)
+                  ->Scan(kNullLsn,
+                         [&](Lsn, const LogRecord&) {
+                           ++count;
+                           return Status::OK();
+                         })
+                  .ok());
+  EXPECT_EQ(count, 0);
+  auto cp = (*log)->GetCheckpointLsn();
+  ASSERT_TRUE(cp.ok());
+  EXPECT_EQ(*cp, kNullLsn);
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  rec.txn = 2;
+  auto lsn = (*log)->AppendAndFlush(rec);
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_GE(*lsn, tail);
 }
 
 }  // namespace

@@ -125,11 +125,20 @@ TEST_F(WalTest, TornTailIsIgnored) {
     good_tail = (*log)->tail_lsn();
   }
   // Simulate a crash mid-append: garbage bytes after the last good record.
+  // In the segmented layout the record at LSN L lives in its segment at file
+  // offset header + (L - base); this test's log is one segment with base 0.
   {
-    auto f = File::Open(path_);
+    std::string seg;
+    for (const auto& e : std::filesystem::directory_iterator(path_)) {
+      const std::string name = e.path().filename().string();
+      if (name.rfind("wal-", 0) == 0) seg = e.path().string();
+    }
+    ASSERT_FALSE(seg.empty());
+    auto f = File::Open(seg);
     ASSERT_TRUE(f.ok());
     std::string garbage = "\x40\x00\x00\x00garbage-without-valid-crc";
-    ASSERT_TRUE(f->WriteAt(good_tail, garbage.data(), garbage.size()).ok());
+    ASSERT_TRUE(
+        f->WriteAt(kPageSize + good_tail, garbage.data(), garbage.size()).ok());
   }
   auto log = LogManager::Open(path_);
   ASSERT_TRUE(log.ok());
