@@ -14,6 +14,7 @@ CachedSegmentStore::CachedSegmentStore(SegmentStore* inner, Options options)
   topts.enable_prefetch = options_.enable_prefetch;
   topts.prefetch_trigger = options_.prefetch_trigger;
   topts.prefetch_window = options_.prefetch_window;
+  topts.on_cleaned = options_.on_cleaned;
   table_.reset(new FrameTable(topts, &placement_, &io_));
 }
 

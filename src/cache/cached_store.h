@@ -19,6 +19,7 @@
 #ifndef BESS_CACHE_CACHED_STORE_H_
 #define BESS_CACHE_CACHED_STORE_H_
 
+#include <functional>
 #include <memory>
 
 #include "cache/frame_table.h"
@@ -35,6 +36,9 @@ class CachedSegmentStore : public SegmentStore, public PrefetchSink {
     bool enable_prefetch = true;
     uint32_t prefetch_trigger = 2;  ///< runs, not pages: be eager on RPC paths
     uint32_t prefetch_window = 8;
+    /// Forwarded to FrameTable::Options::on_cleaned: fired (without the
+    /// table mutex) when a write-back finalizes a frame clean.
+    std::function<void(uint64_t key, uint64_t rec_lsn)> on_cleaned;
   };
 
   /// `inner` must outlive this store.

@@ -239,10 +239,13 @@ Status FrameTable::WriteBackLocked(uint32_t f,
   // kDirty and is written again later. FinishWriteback runs after, so the
   // placement re-arms protection from the true post-write state.
   uint8_t expected = static_cast<uint8_t>(FrameState::kWriting);
+  bool cleaned = false;
+  uint64_t cleaned_rec_lsn = 0;
   if (m.state.compare_exchange_strong(expected,
                                       static_cast<uint8_t>(FrameState::kClean),
                                       std::memory_order_acq_rel)) {
-    m.rec_lsn.store(0, std::memory_order_relaxed);
+    cleaned = true;
+    cleaned_rec_lsn = m.rec_lsn.exchange(0, std::memory_order_relaxed);
   }
   (void)placement_->FinishWriteback(f, true);
   m.writer.store(0, std::memory_order_release);
@@ -257,6 +260,16 @@ Status FrameTable::WriteBackLocked(uint32_t f,
   }
   cleaned_cv_.notify_all();
   load_cv_.notify_all();
+  if (cleaned && opts_.on_cleaned) {
+    // Without the mutex: the checkpoint thread holds its recovery mutex
+    // across CollectDirty (which takes mu_), and the callback takes that
+    // same recovery mutex — firing under mu_ would invert the order. The
+    // frame may be re-dirtied or evicted by the time the callback runs;
+    // that's fine, the callback only parks (key, recLSN) conservatively.
+    lk.unlock();
+    opts_.on_cleaned(key, cleaned_rec_lsn);
+    lk.lock();
+  }
   return Status::OK();
 }
 

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -204,6 +205,14 @@ class FrameTable {
     bool enable_prefetch = false;
     uint32_t prefetch_trigger = 3;       ///< sequential misses before issue
     uint32_t prefetch_window = 8;        ///< pages per read-ahead
+
+    /// Fired after a write-back finalizes a frame clean, with the page key
+    /// and the recLSN the frame carried while dirty (0 = unknown). Invoked
+    /// WITHOUT the table mutex — the callback may take locks that order
+    /// before it (the database's recovery mutex does: checkpoint holds it
+    /// across CollectDirty). Used to park the written page in the WAL
+    /// dirty-page table until an area fsync verifiably covers the write.
+    std::function<void(uint64_t key, uint64_t rec_lsn)> on_cleaned;
   };
 
   struct Stats {

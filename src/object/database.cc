@@ -153,6 +153,16 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   if (options.page_cache_frames > 0) {
     CachedSegmentStore::Options copts;
     copts.frame_count = options.page_cache_frames;
+    // A frame cleaned by write-back leaves CollectDirty's view before any
+    // checkpoint fsync covers the write, so park it in the dirty-page
+    // table (insert-after-write, like ForcePages) until a checkpoint's
+    // area sync verifiably retires it. recLSN 0 = unknown: bound it by the
+    // oldest retained LSN, conservative but never lossy.
+    copts.on_cleaned = [raw = db.get()](uint64_t key, uint64_t rec_lsn) {
+      if (raw->wal_ == nullptr) return;
+      raw->TouchDpt(key,
+                    rec_lsn != 0 ? rec_lsn : raw->wal_->oldest_lsn());
+    };
     db->page_cache_ =
         std::make_unique<CachedSegmentStore>(db->store_.get(), copts);
     BESS_RETURN_IF_ERROR(db->page_cache_->Init());
@@ -232,6 +242,18 @@ Status Database::OpenExisting() {
   }
   catalog_segment_ = SegmentId{options_.db_id, 0, kCatalogFirstPage};
   if (options_.use_wal) {
+    // The WAL moved from a single file to the <dir>/wal directory. A
+    // leftover wal.log may hold logged-but-unforced commits from a crash
+    // of the old version; silently starting an empty segmented log would
+    // drop them. Refuse instead of guessing.
+    if (File::Exists(options_.dir + "/wal.log")) {
+      return Status::NotSupported(
+          "legacy single-file WAL found at " + options_.dir +
+          "/wal.log; this version uses a segmented log directory. Reopen "
+          "with the previous version to recover and checkpoint (clean "
+          "shutdown), then delete wal.log — or delete it directly only if "
+          "it is known to hold no unrecovered commits");
+    }
     BESS_ASSIGN_OR_RETURN(
         wal_, LogManager::Open(options_.dir + "/wal", WalOptions(options_)));
     // Repair handlers must be live before recovery: redo's before-image
@@ -524,9 +546,17 @@ Result<Lsn> Database::LogPageSet(TxnId txn_id,
     std::lock_guard<std::mutex> guard(rec_mutex_);
     logging_txns_[txn_id].first_lsn = wal_->tail_lsn();
   }
+  Lsn chain = kNullLsn;  // newest appended record of this txn's chain
   auto fail = [&](Status st) -> Result<Lsn> {
-    // Nothing was forced: the orphaned records make the txn a restart
-    // loser whose undo rewrites the untouched disk state — harmless.
+    // Nothing was forced, but the appended records cannot be left orphaned:
+    // once the txn is unregistered it no longer pins the retention floor,
+    // and a later checkpoint could recycle the segment holding the chain's
+    // early records while newer ones survive — restart undo would then walk
+    // prev_lsn into recycled log and fail forever. Close the chain now
+    // (kAbort + CLRs + kEnd, best-effort: appends only fail here when the
+    // log is wedged, and a wedged log blocks checkpoints — and thus
+    // recycling — too, so the fully-retained chain stays undoable).
+    (void)AbortLoggedChain(txn_id, chain);
     UnregisterLoggingTxn(txn_id);
     return st;
   };
@@ -541,6 +571,7 @@ Result<Lsn> Database::LogPageSet(TxnId txn_id,
   auto prev_r = wal_->Append(begin);
   if (!prev_r.ok()) return fail(prev_r.status());
   Lsn prev = *prev_r;
+  chain = prev;
   std::string before(kPageSize, '\0');
   for (const PageImage& img : pages) {
     LogRecord rec;
@@ -553,10 +584,36 @@ Result<Lsn> Database::LogPageSet(TxnId txn_id,
     Status rs = a->ReadPages(img.page, 1, before.data());
     if (!rs.ok()) return fail(rs);
     bool need_fpi = false;
+    Lsn fpi_lsn = kNullLsn;
     {
       std::lock_guard<std::mutex> guard(fpi_mutex_);
       auto it = fpi_logged_.find(rec.page.Pack());
-      need_fpi = it == fpi_logged_.end() || it->second < wal_->oldest_lsn();
+      if (it == fpi_logged_.end() || it->second < wal_->oldest_lsn()) {
+        need_fpi = true;
+      } else {
+        fpi_lsn = it->second;
+      }
+    }
+    if (!need_fpi) {
+      // Pin the FPI this transaction now relies on, then re-validate.
+      // Mark-then-verify pairs with the checkpoint's publish-then-fold:
+      // a checkpoint publishes its tentative release floor (fpi_floor_)
+      // *before* folding relied FPIs into the final floor under rec_mutex_.
+      // Either our mark lands before the fold (the checkpoint retains the
+      // FPI's segment), or the fold ran first — then rec_mutex_ ordering
+      // guarantees we see the published floor here and relog instead of
+      // relying on an image the checkpoint may already be recycling.
+      {
+        std::lock_guard<std::mutex> guard(rec_mutex_);
+        auto& lt = logging_txns_[txn_id];
+        if (lt.relied_fpi == kNullLsn || fpi_lsn < lt.relied_fpi) {
+          lt.relied_fpi = fpi_lsn;
+        }
+      }
+      if (fpi_lsn < fpi_floor_.load(std::memory_order_acquire) ||
+          fpi_lsn < wal_->oldest_lsn()) {
+        need_fpi = true;
+      }
     }
     if (need_fpi) {
       // No FPI for this page in the retained log (never logged, or its
@@ -582,6 +639,7 @@ Result<Lsn> Database::LogPageSet(TxnId txn_id,
     prev_r = wal_->AppendUnthrottled(rec);
     if (!prev_r.ok()) return fail(prev_r.status());
     prev = *prev_r;
+    chain = prev;
     if (page_lsns != nullptr) page_lsns->push_back(prev);
     {
       // The undo chain head, snapshotted by checkpoints so restart undo of
@@ -678,6 +736,44 @@ Status Database::LogAndForce(TxnId txn_id,
 void Database::UnregisterLoggingTxn(TxnId txn_id) {
   std::lock_guard<std::mutex> guard(rec_mutex_);
   logging_txns_.erase(txn_id);
+}
+
+Status Database::AbortLoggedChain(TxnId txn_id, Lsn last_lsn) {
+  if (wal_ == nullptr || last_lsn == kNullLsn) return Status::OK();
+  // A transaction whose records reached the log but whose pages were never
+  // forced. Plain kAbort+kEnd would be wrong: restart redo blindly repeats
+  // history, so the chain's after-images would land on disk with no loser
+  // undo to remove them. Mirror restart undo instead — walk the prev_lsn
+  // chain appending CLRs that (re)apply the before-images, then kEnd; redo
+  // of the closed chain nets out to the untouched disk state, and analysis
+  // never needs records below whatever suffix of the chain is retained.
+  LogRecord abort_rec;
+  abort_rec.type = LogRecordType::kAbort;
+  abort_rec.txn = txn_id;
+  abort_rec.prev_lsn = last_lsn;
+  BESS_ASSIGN_OR_RETURN(Lsn tail, wal_->AppendUnthrottled(abort_rec));
+  Lsn cur = last_lsn;
+  while (cur != kNullLsn) {
+    BESS_ASSIGN_OR_RETURN(LogRecord rec, wal_->ReadRecord(cur));
+    if (rec.type == LogRecordType::kPageWrite && !rec.before.empty()) {
+      LogRecord clr;
+      clr.type = LogRecordType::kClr;
+      clr.txn = txn_id;
+      clr.prev_lsn = tail;
+      clr.page = rec.page;
+      clr.after = rec.before;
+      clr.undo_next = rec.prev_lsn;
+      BESS_ASSIGN_OR_RETURN(tail, wal_->AppendUnthrottled(clr));
+      BESS_COUNT("wal.abort.clrs");
+    }
+    cur = rec.prev_lsn;
+  }
+  LogRecord end;
+  end.type = LogRecordType::kEnd;
+  end.txn = txn_id;
+  end.prev_lsn = tail;
+  BESS_ASSIGN_OR_RETURN(Lsn end_lsn, wal_->AppendUnthrottled(end));
+  return wal_->Flush(end_lsn);
 }
 
 void Database::TouchDpt(uint64_t page_key, Lsn rec_lsn) {
@@ -1340,10 +1436,26 @@ Status Database::CommitPrepared(uint64_t gtid) {
 }
 
 Status Database::AbortPrepared(uint64_t gtid) {
+  std::vector<Lsn> page_lsns;
   {
     std::lock_guard<std::mutex> guard(prepared_mutex_);
-    prepared_.erase(gtid);
+    auto it = prepared_.find(gtid);
+    if (it != prepared_.end()) {
+      page_lsns = std::move(it->second.page_lsns);
+      prepared_.erase(it);
+    }
   }
+  if (!page_lsns.empty()) {
+    // The prepared page set is in the log but was never forced: close the
+    // chain with CLRs so blind restart redo nets out to the untouched disk
+    // state (kAbort+kEnd alone would replay the after-images with no loser
+    // undo to remove them).
+    Status st = AbortLoggedChain(gtid, page_lsns.back());
+    UnregisterLoggingTxn(gtid);
+    return st;
+  }
+  // Nothing of this gtid in the log (presumed abort of an unknown txn):
+  // record the decision for the coordinator's benefit only.
   LogRecord abort;
   abort.type = LogRecordType::kAbort;
   abort.txn = gtid;
@@ -1470,11 +1582,16 @@ Status Database::Checkpoint() {
     BESS_RETURN_IF_ERROR(SaveCatalogLocked());
   }
   // (1) Trim the dirty-page table: swap it out, fsync every area, discard.
-  // Every swapped entry describes a force write that completed before the
-  // entry was made (ForcePages inserts after WritePages), so the sync
+  // Every swapped entry describes a write that completed before the entry
+  // was made — ForcePages inserts after WritePages, and the frame core's
+  // cleaned hook inserts after the write-back I/O returned — so the sync
   // covers it. Entries added concurrently land in the fresh table and stay
-  // for the snapshot. On a sync failure the entries are merged back —
-  // nothing is verifiably durable.
+  // for the snapshot. This insert-after-write rule is also why a background
+  // write-back finishing between the Sync below and the CollectDirty
+  // snapshot cannot lose its page: the frame leaves CollectDirty's view,
+  // but its DPT entry (made post-swap) keeps the redo floor at its recLSN
+  // until a later checkpoint's sync verifiably covers the write. On a sync
+  // failure the entries are merged back — nothing is verifiably durable.
   std::unordered_map<uint64_t, Lsn> trimmed;
   {
     std::lock_guard<std::mutex> guard(rec_mutex_);
@@ -1525,6 +1642,23 @@ Status Database::Checkpoint() {
       }
     }
   }
+  // Publish-then-fold (pairs with LogPageSet's mark-then-verify): announce
+  // the tentative release floor first, then fold in the FPIs that admitted
+  // transactions already decided to rely on. A transaction whose reliance
+  // mark misses the fold is guaranteed — by rec_mutex_ ordering — to see
+  // the published floor on its re-validation and relog the image instead.
+  // The retained log thus always holds a base image for media repair of
+  // every page an in-flight transaction is overwriting.
+  fpi_floor_.store(cp.redo_floor, std::memory_order_release);
+  Lsn release_floor = cp.redo_floor;
+  {
+    std::lock_guard<std::mutex> guard(rec_mutex_);
+    for (const auto& [txn, state] : logging_txns_) {
+      if (state.relied_fpi != kNullLsn && state.relied_fpi < release_floor) {
+        release_floor = state.relied_fpi;
+      }
+    }
+  }
   // (3) Log the checkpoint record (exempt from backpressure: checkpoints
   // are how a full log shrinks) and swing the master record to it.
   BESS_RETURN_IF_ERROR(fault::Check("wal.checkpoint.record", options_.dir));
@@ -1532,21 +1666,23 @@ Status Database::Checkpoint() {
   BESS_RETURN_IF_ERROR(wal_->Flush(cp_lsn));
   BESS_RETURN_IF_ERROR(fault::Check("wal.checkpoint.master", options_.dir));
   BESS_RETURN_IF_ERROR(wal_->SetCheckpointLsn(cp_lsn));
-  // (4) Retire FPI entries that fall below the new retention floor *before*
-  // any segment is recycled: the next write of such a page then logs a
-  // fresh full-page image, so media repair always has a base image in the
-  // retained log.
+  // (4) Retire FPI entries that fall below the release floor *before* any
+  // segment is recycled: the next write of such a page then logs a fresh
+  // full-page image, so media repair always has a base image in the
+  // retained log. The release floor (not the redo floor) gates both the
+  // pruning and the recycle, so an FPI a registered transaction relies on
+  // stays readable until that transaction ends.
   {
     std::lock_guard<std::mutex> guard(fpi_mutex_);
     for (auto it = fpi_logged_.begin(); it != fpi_logged_.end();) {
-      if (it->second < cp.redo_floor) {
+      if (it->second < release_floor) {
         it = fpi_logged_.erase(it);
       } else {
         ++it;
       }
     }
   }
-  BESS_RETURN_IF_ERROR(wal_->ReleaseSegments(cp.redo_floor));
+  BESS_RETURN_IF_ERROR(wal_->ReleaseSegments(release_floor));
   last_cp_tail_.store(snapshot_start, std::memory_order_relaxed);
   BESS_COUNT("wal.checkpoint.records");
   return Status::OK();

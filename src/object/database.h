@@ -329,6 +329,13 @@ class Database {
   Status ForcePages(const std::vector<PageImage>& pages, Lsn lsn = kNullLsn,
                     const std::vector<Lsn>* page_lsns = nullptr);
   void UnregisterLoggingTxn(TxnId txn_id);
+  /// Closes an orphaned log chain (newest record `last_lsn`) with CLRs that
+  /// restore every before-image, then kEnd, flushed. Used when a commit/
+  /// prepare fails after records were appended: once the txn unregisters it
+  /// stops pinning the retention floor, and a partially-recycled chain would
+  /// brick restart undo. The CLRs (not a bare kAbort+kEnd) matter because
+  /// redo blindly replays after-images and kEnd suppresses restart undo.
+  Status AbortLoggedChain(TxnId txn_id, Lsn last_lsn);
   /// Insert-or-lower a dirty-page-table entry (recLSN = min).
   void TouchDpt(uint64_t page_key, Lsn rec_lsn);
   void StartCheckpointThread();
@@ -386,6 +393,14 @@ class Database {
   // releasing segments, so the check can never pass on a recycled FPI.
   std::mutex fpi_mutex_;
   std::unordered_map<uint64_t, Lsn> fpi_logged_;
+  /// Floor below which checkpoint may prune fpi_logged_ entries, published
+  /// (release) before the prune happens. Writers use mark-then-verify: mark
+  /// relied_fpi under rec_mutex_, then re-check the FPI against this floor
+  /// and oldest_lsn(); checkpoint publishes the floor, then folds relied
+  /// FPIs (under rec_mutex_) into its release floor — so either the writer
+  /// sees the new floor and relogs, or the checkpoint sees the mark and
+  /// retains.
+  std::atomic<Lsn> fpi_floor_{0};
 
   // Recovery bookkeeping for fuzzy checkpoints (guarded by rec_mutex_; a
   // leaf below the WAL's internal mutex is never held when taking this —
@@ -393,6 +408,11 @@ class Database {
   struct LoggingTxn {
     Lsn first_lsn = kNullLsn;  ///< at/below the txn's first record
     Lsn last_lsn = kNullLsn;   ///< newest kPageWrite (undo chain head)
+    /// Oldest retained-log FPI this txn decided to rely on instead of
+    /// relogging one (kNullLsn = none). Checkpoint folds these into its
+    /// segment-release floor so the relied-on base image can't be recycled
+    /// between the txn's FPI check and its records landing.
+    Lsn relied_fpi = kNullLsn;
   };
   std::mutex rec_mutex_;
   /// Dirty-page table: pages forced to an area but not yet covered by an

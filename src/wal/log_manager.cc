@@ -615,7 +615,11 @@ Status LogManager::ReleaseSegments(Lsn floor) {
     const std::string path = segments_[i]->file.path();
     st = fault::Check("wal.recycle.unlink", path);
     if (!st.ok()) break;  // retained files are re-pruned by the next pass
-    segments_[i]->file.Close();
+    // Unlink without closing: Scan/ReadRecord capture a SegmentPtr under
+    // the mutex but pread outside it, so an explicit Close here could yank
+    // the fd (or let its number be reused) mid-read. POSIX keeps unlinked-
+    // but-open files readable; the fd closes in ~File when the last
+    // SegmentPtr drops.
     (void)File::Remove(path);
     removed++;
     BESS_COUNT("wal.segment.recycled");
@@ -709,7 +713,8 @@ Status LogManager::Reset() {
   for (SegmentPtr& seg : old) {
     const std::string path = seg->file.path();
     if (!fault::Check("wal.recycle.unlink", path).ok()) continue;
-    seg->file.Close();
+    // No Close before the unlink — in-flight readers may still hold the
+    // SegmentPtr (see ReleaseSegments); ~File closes the fd when it drops.
     (void)File::Remove(path);
   }
   space_cv_.notify_all();

@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <set>
 
@@ -201,8 +202,10 @@ TEST_F(DatabaseTest, ManyObjectsSpillIntoNewSegments) {
   // More objects than one segment's slot capacity (120).
   const int kCount = 500;
   for (int i = 0; i < kCount; ++i) {
-    uint64_t v = static_cast<uint64_t>(i);
-    auto slot = db_->CreateObject(*file, kRawBytesType, 64, &v);
+    char body[64] = {0};
+    const uint64_t v = static_cast<uint64_t>(i);
+    memcpy(body, &v, sizeof(v));
+    auto slot = db_->CreateObject(*file, kRawBytesType, sizeof(body), body);
     ASSERT_TRUE(slot.ok()) << i << ": " << slot.status().ToString();
   }
   ASSERT_TRUE(db_->Commit(*txn).ok());
@@ -269,8 +272,11 @@ TEST_F(DatabaseTest, MultifileParallelScan) {
   ASSERT_TRUE(txn.ok());
   const int kCount = 300;
   for (int i = 0; i < kCount; ++i) {
-    uint64_t v = static_cast<uint64_t>(i);
-    ASSERT_TRUE(db_->CreateObject(*file, kRawBytesType, 256, &v).ok());
+    char body[256] = {0};
+    const uint64_t v = static_cast<uint64_t>(i);
+    memcpy(body, &v, sizeof(v));
+    ASSERT_TRUE(
+        db_->CreateObject(*file, kRawBytesType, sizeof(body), body).ok());
   }
   ASSERT_TRUE(db_->Commit(*txn).ok());
 
@@ -446,8 +452,12 @@ TEST_F(DatabaseTest, SigkillCrashRecovery) {
       auto txn = db->Begin();
       if (!txn.ok()) _exit(2);
       for (int k = 0; k < 3; ++k) {
-        uint64_t v = i * 3 + static_cast<uint64_t>(k);
-        if (!db->CreateObject(*file, kRawBytesType, 128, &v).ok()) _exit(2);
+        char body[128] = {0};
+        const uint64_t v = i * 3 + static_cast<uint64_t>(k);
+        memcpy(body, &v, sizeof(v));
+        if (!db->CreateObject(*file, kRawBytesType, sizeof(body), body).ok()) {
+          _exit(2);
+        }
       }
       if (!db->Commit(*txn).ok()) _exit(2);
       if (write(pipefd[1], &i, sizeof(i)) != sizeof(i)) _exit(2);

@@ -476,5 +476,72 @@ TEST_F(RecoveryTest, ParallelRedoPropagatesSinkFailure) {
   EXPECT_TRUE(st.IsIOError()) << st.ToString();
 }
 
+// ---- failed commits must not orphan their log chains ------------------------
+
+// A commit that fails after appending records (here: an area read error while
+// collecting a before-image) closes its chain with CLRs + End. If it merely
+// unregistered, the orphaned records would stop pinning the retention floor;
+// a later checkpoint could recycle the chain's early segments while a suffix
+// survives, and restart undo walking prev_lsn below the oldest retained LSN
+// would fail on every subsequent open — a bricked database.
+TEST_F(RecoveryTest, FailedCommitClosesItsLogChain) {
+  Create();
+  ASSERT_TRUE(CommitValue(1).ok());
+
+  const Stats before = Snapshot();
+  // Second before-image read of the commit's page loop fails: the chain
+  // already holds kBegin + the first kPageWrite when the commit dies.
+  FaultRegistry::Instance().Arm("file.readat",
+                                [] {
+                                  FaultSpec s = FaultSpec::FailNth(2);
+                                  s.detail_filter = "area_";
+                                  return s;
+                                }());
+  EXPECT_FALSE(CommitValue(2).ok());
+  FaultRegistry::Instance().DisarmAll();
+  EXPECT_GT(StatsDelta(before, Snapshot()).counter("wal.abort.clrs"), 0u)
+      << "failed commit did not compensate its appended records";
+
+  // Commit far enough to roll segments, then checkpoint: if the dead chain
+  // were still open it would either pin the floor forever or (unregistered)
+  // be partially recycled.
+  for (uint64_t v = 3; v <= 40; ++v) ASSERT_TRUE(CommitValue(v).ok());
+  ASSERT_TRUE(db_->Checkpoint().ok());
+
+  Reopen();
+  EXPECT_EQ(ReadValue(), 40u);
+  EXPECT_EQ(db_->last_recovery_stats().loser_txns, 0u)
+      << "the closed chain must restart as a winner (ended), not a loser";
+  // And the database keeps working after restart.
+  ASSERT_TRUE(CommitValue(41).ok());
+  Reopen();
+  EXPECT_EQ(ReadValue(), 41u);
+}
+
+// ---- legacy single-file WAL is refused, never silently ignored --------------
+
+// Databases from before the segmented log kept their WAL at <dir>/wal.log. A
+// leftover one may hold unrecovered commits; opening must refuse with a
+// migration error instead of starting an empty segmented log over it.
+TEST_F(RecoveryTest, LegacySingleFileWalRefusesOpen) {
+  Create();
+  ASSERT_TRUE(CommitValue(7).ok());
+  db_.reset();
+
+  const std::string legacy = (dir_ / "wal.log").string();
+  {
+    auto f = File::Open(legacy, /*create=*/true);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+  }
+  auto refused = Database::Open(Opts(false, dir_));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kNotSupported)
+      << refused.status().ToString();
+
+  ASSERT_TRUE(File::Remove(legacy).ok());
+  Reopen();
+  EXPECT_EQ(ReadValue(), 7u);
+}
+
 }  // namespace
 }  // namespace bess
