@@ -19,6 +19,20 @@
 // `scripts/check_bench_scale.sh` parses this output and fails when
 // 8-client throughput is below 2x the 1-client throughput, or when the
 // group-commit batch size never exceeded 1 under the 8-client load.
+//
+// E15 (DESIGN.md §11): open-loop latency sweep over the epoll server.
+// A fixed arrival rate of pings is spread across 64 → 1024 simulated
+// clients (raw pipelined connections, a few driver threads, not a thread
+// per client), and request latency is measured against each ping's
+// *scheduled* send time — the open-loop convention, so server-side queueing
+// is charged to the server rather than hidden by a stalled closed loop.
+// Reported per sweep point: exact p50/p99, the process thread count (the
+// O(workers)-not-O(connections) claim), and the `server.reactor.*` counter
+// deltas (wakeups + reply-batch size: the batched-dispatch proof). Besides
+// stdout, writes the BENCH_scale.json gate artifact.
+#include <poll.h>
+
+#include <algorithm>
 #include <thread>
 
 #include "obs/stats.h"
@@ -54,6 +68,12 @@ ScaleServer StartServer(const TempDir& dir) {
   s.db = std::move(*db);
   BessServer::Options so;
   so.socket_path = dir.Sub("srv.sock");
+  // E14 measures what the *commit path* serializes on, so the worker pool
+  // must not be the bottleneck: provision one blocking-work slot per client
+  // (the default pool sizes off hardware concurrency, which in a 1-core CI
+  // container would cap concurrent commits — and group-commit batches — at
+  // 2 regardless of the WAL's behaviour).
+  so.worker_threads = 8;
   s.server = std::make_unique<BessServer>(so);
   (void)s.server->AddDatabase(s.db.get());
   if (!s.server->Start().ok()) exit(1);
@@ -89,6 +109,212 @@ Client MakeClient(const std::string& server_path, int n, int i) {
   if (!c.rc->Commit().ok()) exit(1);
   c.slot = *slot;
   return c;
+}
+
+// ---- E15: open-loop ping sweep ---------------------------------------------
+
+constexpr int kDrivers = 4;
+constexpr uint64_t kTotalRatePerSec = 4000;  // arrivals across all clients
+constexpr double kSweepSecs = 2.0;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One simulated client: a pipelined non-blocking connection with its own
+/// send/recv continuations and ping schedule.
+struct SimClient {
+  MsgSocket sock;
+  SendContinuation send_cont;
+  RecvContinuation recv_cont;
+  uint64_t next_send_ns = 0;
+  uint64_t sent = 0;
+  uint64_t received = 0;
+};
+
+struct SweepPoint {
+  int clients = 0;
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  int threads = 0;
+  uint64_t wakeups = 0;
+  double batch_p50 = 0;
+  uint64_t batch_max = 0;
+};
+
+int ProcessThreads() {
+  FILE* f = fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int threads = -1;
+  while (fgets(line, sizeof(line), f) != nullptr) {
+    if (sscanf(line, "Threads: %d", &threads) == 1) break;
+  }
+  fclose(f);
+  return threads;
+}
+
+double Percentile(std::vector<uint64_t>& ns, double p) {
+  if (ns.empty()) return 0;
+  std::sort(ns.begin(), ns.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(ns.size() - 1));
+  return static_cast<double>(ns[idx]) / 1e3;  // us
+}
+
+/// Drives `count` clients open-loop: pings are queued at their scheduled
+/// times regardless of how fast replies come back, replies drain on poll
+/// readiness, and each latency sample is reply_time - scheduled_time.
+void DriveClients(const std::string& server_path, int count,
+                  uint64_t interval_ns, uint64_t start_ns, uint64_t stop_ns,
+                  std::vector<uint64_t>* latencies_ns, uint64_t* sent_out,
+                  uint64_t* received_out) {
+  std::vector<SimClient> clients(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto sock = MsgSocket::Connect(server_path);
+    if (!sock.ok()) {
+      fprintf(stderr, "connect: %s\n", sock.status().ToString().c_str());
+      exit(1);
+    }
+    clients[static_cast<size_t>(i)].sock = std::move(*sock);
+    SimClient& c = clients[static_cast<size_t>(i)];
+    if (!c.sock.Send(kMsgHello, "").ok()) exit(1);
+    auto hello = c.sock.Recv();
+    if (!hello.ok() || hello->type != kMsgOk) exit(1);
+    if (!c.sock.SetNonBlocking(true).ok()) exit(1);
+    // Stagger first arrivals uniformly across one interval so the sweep
+    // offers a smooth rate instead of N-at-once bursts.
+    c.next_send_ns =
+        start_ns + interval_ns * static_cast<uint64_t>(i) /
+                       static_cast<uint64_t>(count);
+  }
+
+  std::vector<pollfd> pfds(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    pfds[static_cast<size_t>(i)].fd = clients[static_cast<size_t>(i)].sock.fd();
+  }
+
+  uint64_t in_flight = 0;
+  for (;;) {
+    const uint64_t now = NowNs();
+    bool sending = now < stop_ns;
+    if (!sending && in_flight == 0) break;
+
+    uint64_t next_event = stop_ns + 1000000000ull;  // drain grace: 1s
+    for (auto& c : clients) {
+      if (sending) {
+        while (c.next_send_ns <= now) {
+          // The stamp is the *scheduled* time: open-loop latency includes
+          // any delay the generator itself incurred under load.
+          std::string payload;
+          PutFixed64(&payload, c.next_send_ns);
+          MsgSocket::QueueFrame(kMsgPing, ++c.sent, payload, &c.send_cont);
+          in_flight++;
+          c.next_send_ns += interval_ns;
+        }
+        next_event = std::min(next_event, c.next_send_ns);
+      }
+      if (!c.send_cont.empty()) (void)c.sock.TrySend(&c.send_cont);
+    }
+
+    // Wait for readable replies, but never past the next scheduled send.
+    const uint64_t wake = sending ? std::min(next_event, stop_ns) : next_event;
+    const uint64_t now2 = NowNs();
+    int timeout_ms =
+        wake > now2 ? static_cast<int>((wake - now2) / 1000000ull) + 1 : 0;
+    for (auto& p : pfds) {
+      p.events = POLLIN;
+      p.revents = 0;
+    }
+    int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (!sending && ready == 0) break;  // drain grace expired: lost replies
+
+    if (ready > 0) {
+      for (int i = 0; i < count; ++i) {
+        if (pfds[static_cast<size_t>(i)].revents == 0) continue;
+        SimClient& c = clients[static_cast<size_t>(i)];
+        for (;;) {
+          Message msg;
+          Status s = c.sock.TryRecv(&msg, &c.recv_cont);
+          if (s.IsWouldBlock()) break;
+          if (!s.ok()) {
+            // Dead connection: write off its in-flight pings so the drain
+            // loop can still terminate, and stop polling it.
+            const uint64_t lost = c.sent - c.received;
+            in_flight -= std::min(in_flight, lost);
+            c.received = c.sent;
+            pfds[static_cast<size_t>(i)].fd = -1;
+            break;
+          }
+          if (msg.type == kMsgOk && msg.payload.size() == 8) {
+            const uint64_t stamp = DecodeFixed64(msg.payload.data());
+            latencies_ns->push_back(NowNs() - stamp);
+          }
+          c.received++;
+          if (in_flight > 0) in_flight--;
+        }
+      }
+    }
+  }
+
+  for (auto& c : clients) {
+    *sent_out += c.sent;
+    *received_out += c.received;
+    (void)c.sock.Send(kMsgGoodbye, "");
+    c.sock.Close();
+  }
+}
+
+SweepPoint RunSweepPoint(const std::string& server_path, int n) {
+  SweepPoint pt;
+  pt.clients = n;
+  const uint64_t interval_ns =
+      static_cast<uint64_t>(n) * 1000000000ull / kTotalRatePerSec;
+
+  std::vector<std::vector<uint64_t>> lat(kDrivers);
+  std::vector<uint64_t> sent(kDrivers, 0), received(kDrivers, 0);
+  const Stats before = Snapshot();
+  // Connect/handshake slack before the measured window opens: n blocking
+  // handshakes must all land first or the first pings start pre-delayed.
+  const uint64_t start =
+      NowNs() + 100000000ull + static_cast<uint64_t>(n) * 500000ull;
+  const uint64_t stop =
+      start + static_cast<uint64_t>(kSweepSecs * 1e9);
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      DriveClients(server_path, n / kDrivers, interval_ns,
+                   start + interval_ns * static_cast<uint64_t>(d) / kDrivers,
+                   stop, &lat[static_cast<size_t>(d)],
+                   &sent[static_cast<size_t>(d)],
+                   &received[static_cast<size_t>(d)]);
+    });
+  }
+  // Sample the thread count mid-sweep, while all n connections are live.
+  std::this_thread::sleep_for(std::chrono::duration<double>(kSweepSecs / 2));
+  pt.threads = ProcessThreads();
+  for (auto& t : drivers) t.join();
+
+  const Stats delta = StatsDelta(before, Snapshot());
+  pt.wakeups = delta.counter("server.reactor.wakeup");
+  const HistogramSnapshot* batch = delta.histogram("server.reactor.batch_size");
+  pt.batch_p50 = batch == nullptr ? 0 : batch->p50();
+  pt.batch_max = batch == nullptr ? 0 : batch->max_bound();
+
+  std::vector<uint64_t> all;
+  for (int d = 0; d < kDrivers; ++d) {
+    all.insert(all.end(), lat[static_cast<size_t>(d)].begin(),
+               lat[static_cast<size_t>(d)].end());
+    pt.sent += sent[static_cast<size_t>(d)];
+    pt.received += received[static_cast<size_t>(d)];
+  }
+  pt.p50_us = Percentile(all, 0.50);
+  pt.p99_us = Percentile(all, 0.99);
+  return pt;
 }
 
 }  // namespace
@@ -137,6 +363,60 @@ int main() {
     const double total = static_cast<double>(n) * kCommitsPerClient;
     printf("%7d   %7.0f   %5.2f   %11.1f   %9.2f   %6llu\n", n, total, secs,
            total / secs, p50, static_cast<unsigned long long>(fsyncs));
+  }
+
+  PrintHeader(
+      "E15: open-loop latency sweep, epoll server (DESIGN.md §11)",
+      "clients      sent  received   p50-us    p99-us  threads  wakeups"
+      "  batch-p50  batch-max");
+  std::vector<SweepPoint> sweep;
+  for (int n : {64, 256, 1024}) {
+    SweepPoint pt = RunSweepPoint(srv.path, n);
+    printf("%7d  %8llu  %8llu  %7.0f  %8.0f  %7d  %7llu  %9.2f  %9llu\n",
+           pt.clients, (unsigned long long)pt.sent,
+           (unsigned long long)pt.received, pt.p50_us, pt.p99_us, pt.threads,
+           (unsigned long long)pt.wakeups, pt.batch_p50,
+           (unsigned long long)pt.batch_max);
+    sweep.push_back(pt);
+  }
+  printf(
+      "\nExpectation: one event thread + a fixed worker pool serve every\n"
+      "connection, so the thread count stays flat from 64 to 1024 clients\n"
+      "while the arrival rate is held constant; reply batches > 1 show the\n"
+      "reactor coalescing dispatch per wakeup instead of one syscall round\n"
+      "trip per message.\n");
+
+  // The persistent gate artifact: flat keys, one per line, awk-parseable.
+  {
+    std::string out_dir = ".";
+    if (const char* env = ::getenv("BESS_METRICS_DIR")) out_dir = env;
+    const std::string path = out_dir + "/BENCH_scale.json";
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    fprintf(f, "{\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& pt = sweep[i];
+      fprintf(f,
+              "  \"open_loop_%d_sent\": %llu,\n"
+              "  \"open_loop_%d_received\": %llu,\n"
+              "  \"open_loop_%d_p50_us\": %.1f,\n"
+              "  \"open_loop_%d_p99_us\": %.1f,\n"
+              "  \"open_loop_%d_threads\": %d,\n"
+              "  \"open_loop_%d_reactor_wakeups\": %llu,\n"
+              "  \"open_loop_%d_reactor_batch_p50\": %.2f,\n"
+              "  \"open_loop_%d_reactor_batch_max\": %llu%s\n",
+              pt.clients, (unsigned long long)pt.sent, pt.clients,
+              (unsigned long long)pt.received, pt.clients, pt.p50_us,
+              pt.clients, pt.p99_us, pt.clients, pt.threads, pt.clients,
+              (unsigned long long)pt.wakeups, pt.clients, pt.batch_p50,
+              pt.clients, (unsigned long long)pt.batch_max,
+              i + 1 == sweep.size() ? "" : ",");
+    }
+    fprintf(f, "}\n");
+    fclose(f);
   }
 
   WriteMetricsSidecar("bench_scale");

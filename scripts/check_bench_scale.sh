@@ -1,23 +1,29 @@
 #!/usr/bin/env sh
-# Multi-client scaling gate (paper §4, DESIGN.md §8, EXPERIMENTS.md E8).
+# Multi-client scaling gate (paper §4, DESIGN.md §8 + §11, EXPERIMENTS.md
+# E14 + E15).
 #
 # Builds and runs bench_scale, then fails unless
 #   1. 8-client commit throughput is at least 2x the 1-client throughput
 #      (the commit path must not serialize on the WAL tail or a big lock),
 #   2. the WAL group-commit batch size p50 exceeded 1 under the 8-client
-#      load (group commit actually batched concurrent committers).
+#      load (group commit actually batched concurrent committers),
+#   3. the open-loop sweep wrote BENCH_scale.json with p99 at 256 clients
+#      within budget (default 50ms, override with BESS_SCALE_P99_BUDGET_US),
+#   4. the server stayed O(workers) at 256 clients (< 64 process threads)
+#      and the reactor's reply batches coalesced (batch max > 1).
 #
 # Usage: scripts/check_bench_scale.sh [build-dir]   (default: build)
 set -eu
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+P99_BUDGET_US="${BESS_SCALE_P99_BUDGET_US:-50000}"
 
 if [ ! -d "$BUILD_DIR" ]; then
   cmake --preset default
 fi
 cmake --build "$BUILD_DIR" -j --target bench_scale
 
-OUT="$("$BUILD_DIR/bench/bench_scale")"
+OUT="$(BESS_METRICS_DIR="$BUILD_DIR" "$BUILD_DIR/bench/bench_scale")"
 printf '%s\n' "$OUT"
 
 # Rows look like:  clients  commits  secs  commits/sec  batch-p50  fsyncs
@@ -43,4 +49,47 @@ awk -v p50="$P50" 'BEGIN { exit !(p50 > 1.0) }' || {
   echo "check_bench_scale: FAILED — group-commit batch p50 <= 1 at 8 clients" >&2
   exit 1
 }
-echo "check_bench_scale: OK (scaling >= 2x, group commit batching)"
+
+# ---- E15: open-loop sweep gates on the persistent artifact ------------------
+JSON="$BUILD_DIR/BENCH_scale.json"
+if [ ! -f "$JSON" ]; then
+  echo "check_bench_scale: FAILED — $JSON was not written" >&2
+  exit 1
+fi
+# The artifact is flat (one "key": value per line) precisely so this works.
+field() { awk -F'[:,]' -v k="\"$1\"" '$1 ~ k { gsub(/ /, "", $2); print $2; exit }' "$JSON"; }
+P99_256=$(field open_loop_256_p99_us)
+THREADS_256=$(field open_loop_256_threads)
+SENT_256=$(field open_loop_256_sent)
+RECEIVED_256=$(field open_loop_256_received)
+BATCH_MAX_256=$(field open_loop_256_reactor_batch_max)
+
+if [ -z "$P99_256" ] || [ -z "$THREADS_256" ] || [ -z "$SENT_256" ] ||
+   [ -z "$RECEIVED_256" ] || [ -z "$BATCH_MAX_256" ]; then
+  echo "check_bench_scale: FAILED to parse $JSON" >&2
+  exit 1
+fi
+
+echo "256 clients open-loop: p99 ${P99_256}us, $THREADS_256 threads," \
+     "$RECEIVED_256/$SENT_256 replies, reactor batch max $BATCH_MAX_256"
+
+awk -v got="$RECEIVED_256" -v want="$SENT_256" 'BEGIN { exit !(got == want) }' || {
+  echo "check_bench_scale: FAILED — open-loop sweep lost replies at 256 clients" >&2
+  exit 1
+}
+awk -v p99="$P99_256" -v budget="$P99_BUDGET_US" 'BEGIN { exit !(p99 + 0 > 0 && p99 <= budget) }' || {
+  echo "check_bench_scale: FAILED — p99 at 256 clients (${P99_256}us) outside" >&2
+  echo "budget (${P99_BUDGET_US}us)" >&2
+  exit 1
+}
+awk -v t="$THREADS_256" 'BEGIN { exit !(t + 0 > 0 && t < 64) }' || {
+  echo "check_bench_scale: FAILED — $THREADS_256 threads at 256 clients: the" >&2
+  echo "server is scaling threads with connections, not O(workers)" >&2
+  exit 1
+}
+awk -v b="$BATCH_MAX_256" 'BEGIN { exit !(b + 0 > 1) }' || {
+  echo "check_bench_scale: FAILED — reactor reply batches never exceeded 1" >&2
+  exit 1
+}
+echo "check_bench_scale: OK (scaling >= 2x, group commit batching," \
+     "open-loop p99 in budget, O(workers) threads, batched dispatch)"

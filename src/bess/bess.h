@@ -213,6 +213,37 @@ class Transaction {
   TxnGuard guard_;
 };
 
+// ---- Pipelined RPCs (DESIGN.md §11) -----------------------------------------
+//
+// Networked applications talk to a BeSS server through `RemoteClient`
+// (server/remote_client.h; included via bess_internal.h). Every RPC on a
+// connection is correlated by request id, so the connection is a pipeline,
+// not a lockstep request/response channel:
+//
+//   bess::ReplyFuture f1 = client->CallAsync(type1, payload1);
+//   bess::ReplyFuture f2 = client->CallAsync(type2, payload2);  // in flight
+//   ...                                    // server may already be executing
+//   auto reply = f1.Get();                 // blocks only for f1's reply
+//   client->Flush();                       // barrier: everything resolved
+//
+// Semantics:
+//   - `CallAsync` never blocks on the server; it frames the request, hands
+//     it to the wire, and returns a shareable `ReplyFuture`. The future
+//     resolves to the server's reply (a `kMsgError` reply arrives as a
+//     Message — decode with `DecodeStatusReply`) or to the transport
+//     failure that killed the connection. `Get()` is idempotent.
+//   - Requests from one client execute *serially in issue order* at the
+//     server (a session is a FIFO drained by one worker at a time), so
+//     pipelined writes + a final read behave as if issued synchronously —
+//     only the wire round trips overlap.
+//   - `Flush()` blocks until every in-flight RPC on every peer has
+//     resolved, successfully or not: the barrier to run before asserting
+//     server-side state.
+//   - The synchronous calls (`Begin`/`Commit`, the catalog and object
+//     helpers — everything else on RemoteClient) are built on this same
+//     machinery and carry the retry/reconnect policy; `CallAsync` itself
+//     is the raw single-attempt surface.
+
 /// Typed object creation (§2.5): size and type descriptor are supplied by
 /// the caller's registered type; returns a typed ref.
 template <typename T>

@@ -34,6 +34,8 @@ Status MakeStatus(const FaultSpec& spec) {
       return Status::Protocol(spec.message);
     case StatusCode::kInternal:
       return Status::Internal(spec.message);
+    case StatusCode::kWouldBlock:
+      return Status::WouldBlock(spec.message);
     case StatusCode::kIOError:
     case StatusCode::kOk:
     default:

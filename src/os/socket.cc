@@ -1,6 +1,7 @@
 #include "os/socket.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
@@ -28,6 +29,29 @@ Status FillSockaddr(const std::string& path, sockaddr_un* addr) {
   addr->sun_family = AF_UNIX;
   memcpy(addr->sun_path, path.c_str(), path.size());
   return Status::OK();
+}
+
+Status SetFdNonBlocking(int fd, bool on) {
+  if (fd < 0) return Status::InvalidArgument("invalid socket");
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+/// Blocks until `events` is pending on `fd` (or an error/hangup, which the
+/// following Try* call will surface). Used by the blocking wrappers to ride
+/// out WouldBlock from the non-blocking core.
+Status WaitReady(int fd, short events) {
+  for (;;) {
+    struct pollfd pfd = {fd, events, 0};
+    int r = ::poll(&pfd, 1, -1);
+    if (r > 0) return Status::OK();
+    if (r < 0 && errno != EINTR) return ErrnoStatus("poll");
+  }
 }
 
 }  // namespace
@@ -79,33 +103,130 @@ Status MsgSocket::Pair(MsgSocket* a, MsgSocket* b) {
   return Status::OK();
 }
 
-Status MsgSocket::Send(uint16_t type, Slice payload) {
-  BESS_RETURN_IF_ERROR(fault::Check("sock.send", name_));
-  if (latency_us_ > 0) ::usleep(latency_us_);
-  char header[6];
+Status MsgSocket::SetNonBlocking(bool on) {
+  return SetFdNonBlocking(fd_, on);
+}
+
+// ---- non-blocking core ------------------------------------------------------
+
+void MsgSocket::QueueFrame(uint16_t type, uint64_t req_id, Slice payload,
+                           SendContinuation* cont) {
+  // Compact a fully drained continuation so back-to-back queue/flush cycles
+  // don't grow the buffer forever.
+  if (cont->empty()) cont->clear();
+  char header[kHeaderSize];
   EncodeFixed32(header, static_cast<uint32_t>(payload.size()));
   EncodeFixed16(header + 4, type);
-  BESS_RETURN_IF_ERROR(SendAll(header, sizeof(header)));
-  if (!payload.empty()) {
-    BESS_RETURN_IF_ERROR(SendAll(payload.data(), payload.size()));
-  }
+  EncodeFixed64(header + 6, req_id);
+  cont->buf.append(header, sizeof(header));
+  if (!payload.empty()) cont->buf.append(payload.data(), payload.size());
   g_messages_sent.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status MsgSocket::TrySend(SendContinuation* cont) {
+  while (!cont->empty()) {
+    size_t n = cont->pending_bytes();
+    if (fault::Armed()) {
+      fault::FaultOutcome out =
+          fault::FaultRegistry::Instance().EvaluateIo("sock.trysend", name_, n);
+      if (!out.status.ok() && out.bytes_allowed == SIZE_MAX) {
+        // kFail spec: surface as-is (code kWouldBlock simulates EAGAIN).
+        return out.status;
+      }
+      if (out.bytes_allowed < n) {
+        // kShortWrite spec: the wire accepts only a prefix this call; the
+        // remainder stays in the continuation, exactly like real EAGAIN
+        // after a partial write.
+        if (out.bytes_allowed == 0) {
+          return Status::WouldBlock("injected zero-byte write window");
+        }
+        n = out.bytes_allowed;
+        ssize_t w = ::send(fd_, cont->buf.data() + cont->off, n, MSG_NOSIGNAL);
+        if (w > 0) cont->off += static_cast<size_t>(w);
+        return Status::WouldBlock("injected short write");
+      }
+    }
+    ssize_t w = ::send(fd_, cont->buf.data() + cont->off, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::WouldBlock("send would block");
+      }
+      return ErrnoStatus("send");
+    }
+    cont->off += static_cast<size_t>(w);
+  }
+  cont->clear();
   return Status::OK();
+}
+
+Status MsgSocket::TryRecv(Message* out, RecvContinuation* cont) {
+  if (fault::Armed()) {
+    BESS_RETURN_IF_ERROR(fault::Check("sock.tryrecv", name_));
+  }
+  if (cont->target == 0) cont->target = kHeaderSize;
+  for (;;) {
+    while (cont->buf.size() < cont->target) {
+      const size_t old = cont->buf.size();
+      const size_t want = cont->target - old;
+      cont->buf.resize(cont->target);
+      ssize_t r = ::recv(fd_, cont->buf.data() + old, want, 0);
+      if (r < 0) {
+        cont->buf.resize(old);
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Status::WouldBlock("recv would block");
+        }
+        return ErrnoStatus("recv");
+      }
+      if (r == 0) {
+        cont->buf.resize(old);
+        return Status::Protocol("peer closed connection");
+      }
+      cont->buf.resize(old + static_cast<size_t>(r));
+    }
+    if (!cont->have_header) {
+      const uint32_t len = DecodeFixed32(cont->buf.data());
+      if (len > (64u << 20)) {
+        return Status::Protocol("oversized frame: " + std::to_string(len));
+      }
+      cont->have_header = true;
+      cont->target = kHeaderSize + len;
+      continue;
+    }
+    out->type = DecodeFixed16(cont->buf.data() + 4);
+    out->req_id = DecodeFixed64(cont->buf.data() + 6);
+    out->payload.assign(cont->buf, kHeaderSize, std::string::npos);
+    cont->clear();
+    return Status::OK();
+  }
+}
+
+// ---- blocking wrappers ------------------------------------------------------
+
+Status MsgSocket::Send(uint16_t type, Slice payload, uint64_t req_id) {
+  BESS_RETURN_IF_ERROR(fault::Check("sock.send", name_));
+  if (latency_us_ > 0) ::usleep(latency_us_);
+  SendContinuation cont;
+  QueueFrame(type, req_id, payload, &cont);
+  for (;;) {
+    Status s = TrySend(&cont);
+    if (s.ok()) return s;
+    if (!s.IsWouldBlock()) return s;
+    BESS_RETURN_IF_ERROR(WaitReady(fd_, POLLOUT));
+  }
 }
 
 Result<Message> MsgSocket::Recv() {
   BESS_RETURN_IF_ERROR(fault::Check("sock.recv", name_));
-  char header[6];
-  BESS_RETURN_IF_ERROR(RecvAll(header, sizeof(header)));
+  RecvContinuation cont;
   Message msg;
-  uint32_t len = DecodeFixed32(header);
-  msg.type = DecodeFixed16(header + 4);
-  if (len > (64u << 20)) {
-    return Status::Protocol("oversized frame: " + std::to_string(len));
+  for (;;) {
+    Status s = TryRecv(&msg, &cont);
+    if (s.ok()) return msg;
+    if (!s.IsWouldBlock()) return s;
+    BESS_RETURN_IF_ERROR(WaitReady(fd_, POLLIN));
   }
-  msg.payload.resize(len);
-  if (len > 0) BESS_RETURN_IF_ERROR(RecvAll(msg.payload.data(), len));
-  return msg;
 }
 
 Result<Message> MsgSocket::RecvTimeout(int timeout_ms) {
@@ -114,35 +235,6 @@ Result<Message> MsgSocket::RecvTimeout(int timeout_ms) {
   if (r < 0) return ErrnoStatus("poll");
   if (r == 0) return Status::Busy("recv timeout");
   return Recv();
-}
-
-Status MsgSocket::SendAll(const void* buf, size_t n) {
-  const char* p = static_cast<const char*>(buf);
-  while (n > 0) {
-    ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("send");
-    }
-    p += w;
-    n -= static_cast<size_t>(w);
-  }
-  return Status::OK();
-}
-
-Status MsgSocket::RecvAll(void* buf, size_t n) {
-  char* p = static_cast<char*>(buf);
-  while (n > 0) {
-    ssize_t r = ::recv(fd_, p, n, 0);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("recv");
-    }
-    if (r == 0) return Status::Protocol("peer closed connection");
-    p += r;
-    n -= static_cast<size_t>(r);
-  }
-  return Status::OK();
 }
 
 void MsgSocket::Shutdown() {
@@ -206,7 +298,7 @@ Result<MsgListener> MsgListener::Listen(const std::string& path) {
     ::close(fd);
     return s;
   }
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, 512) != 0) {
     Status s = ErrnoStatus("listen");
     ::close(fd);
     return s;
@@ -219,6 +311,13 @@ Result<MsgSocket> MsgListener::Accept() {
     int cfd = ::accept(fd_, nullptr, nullptr);
     if (cfd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking listener: fall back to a poll so the blocking
+        // contract holds in either fd mode.
+        Status s = WaitReady(fd_, POLLIN);
+        if (!s.ok()) return s;
+        continue;
+      }
       return ErrnoStatus("accept");
     }
     return MsgSocket(cfd);
@@ -231,6 +330,24 @@ Result<MsgSocket> MsgListener::AcceptTimeout(int timeout_ms) {
   if (r < 0) return ErrnoStatus("poll(accept)");
   if (r == 0) return Status::Busy("accept timeout");
   return Accept();
+}
+
+Result<MsgSocket> MsgListener::TryAccept() {
+  for (;;) {
+    int cfd = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::WouldBlock("no pending connection");
+      }
+      return ErrnoStatus("accept4");
+    }
+    return MsgSocket(cfd);
+  }
+}
+
+Status MsgListener::SetNonBlocking(bool on) {
+  return SetFdNonBlocking(fd_, on);
 }
 
 void MsgListener::Shutdown() {

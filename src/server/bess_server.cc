@@ -1,7 +1,10 @@
 #include "server/bess_server.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "obs/stats.h"
 #include "obs/trace.h"
@@ -19,6 +22,11 @@ LockMode ModeFromByte(uint8_t b) {
 // A client retries a commit within a few backoff rounds, so even a small
 // window is generous; bounding it keeps a long-lived server at O(1) memory.
 constexpr size_t kAppliedCommitWindow = 1024;
+
+int DefaultWorkerCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(8u, std::max(2u, hw)));
+}
 
 }  // namespace
 
@@ -39,35 +47,33 @@ Status BessServer::AddDatabase(Database* db) {
 
 Status BessServer::Start() {
   BESS_ASSIGN_OR_RETURN(listener_, MsgListener::Listen(options_.socket_path));
+  const int workers = options_.worker_threads > 0 ? options_.worker_threads
+                                                  : DefaultWorkerCount();
+  reactor_ = std::make_unique<Reactor>(workers);
+  BESS_RETURN_IF_ERROR(reactor_->AddListener(
+      &listener_, [this](MsgSocket sock) { OnAccept(std::move(sock)); }));
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
+  return reactor_->Start();
 }
 
 void BessServer::Stop() {
   if (!running_.exchange(false)) return;
-  listener_.Shutdown();
-  // Shutting session sockets down unblocks their serving threads (they
-  // close their own fds as they unwind).
+  // Mark every session defunct first: workers parked in lock-wait rounds
+  // abort within one capped round instead of riding out their timeouts, and
+  // callback round trips fail fast once their sockets are shut.
   for (SessionShard& shard : session_shards_) {
     std::lock_guard<std::mutex> guard(shard.mu);
     for (auto& [id, session] : shard.map) {
       (void)id;
-      session->main.Shutdown();
+      session->defunct.store(true);
       // A late kMsgHelloCallback may still be attaching this socket.
       std::lock_guard<std::mutex> cb_guard(session->callback_mutex);
       session->callback.Shutdown();
     }
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> guard(threads_mu_);
-    threads.swap(session_threads_);
-  }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
-  }
+  // The reactor closes every connection on its event thread (running each
+  // session's on_close cleanup), drains the worker queue, then joins.
+  if (reactor_ != nullptr) reactor_->Stop();
   listener_.Close();
 }
 
@@ -97,64 +103,182 @@ std::shared_ptr<BessServer::Session> BessServer::FindSession(uint64_t id) {
   return it == shard.map.end() ? nullptr : it->second;
 }
 
-void BessServer::AcceptLoop() {
-  while (running_.load()) {
-    auto sock = listener_.AcceptTimeout(100);
-    if (!sock.ok()) {
-      if (sock.status().IsBusy()) continue;  // poll tick: re-check running_
-      break;  // listener closed
-    }
-    sock->set_simulated_latency_us(options_.simulated_latency_us);
-    auto first = sock->Recv();
-    if (!first.ok()) continue;
-    if (first->type == kMsgHello) {
-      auto session = std::make_shared<Session>();
+void BessServer::OnAccept(MsgSocket sock) {
+  // What this connection *is* — a new session's main channel or the
+  // callback channel of an existing session — is decided by its first
+  // message, so the handler carries a slot that Hello fills in.
+  auto bound = std::make_shared<std::shared_ptr<Session>>();
+  Reactor::ConnHandler handler;
+  handler.on_message = [this, bound](Reactor::ConnId conn, Message msg) {
+    OnConnMessage(bound, conn, std::move(msg));
+  };
+  handler.on_close = [this, bound](Reactor::ConnId) { OnConnClose(bound); };
+  reactor_->AddConnection(std::move(sock), std::move(handler));
+}
+
+void BessServer::OnConnMessage(
+    const std::shared_ptr<std::shared_ptr<Session>>& bound,
+    Reactor::ConnId conn, Message msg) {
+  std::shared_ptr<Session> session = *bound;
+  if (session == nullptr) {
+    // First message on a fresh connection.
+    if (msg.type == kMsgHello) {
+      session = std::make_shared<Session>();
       session->id = next_session_.fetch_add(1);
-      session->main = std::move(*sock);
-      std::string reply;
-      PutFixed64(&reply, session->id);
-      if (!session->main.Send(kMsgOk, reply).ok()) continue;
+      session->conn = conn;
       {
         SessionShard& shard = SessionShardFor(session->id);
         std::lock_guard<std::mutex> guard(shard.mu);
         shard.map[session->id] = session;
       }
+      *bound = session;
       BESS_COUNT("srv.session.open");
       BESS_GAUGE_ADD("srv.session.active", 1);
-      std::lock_guard<std::mutex> guard(threads_mu_);
-      session_threads_.emplace_back(
-          [this, session] { ServeSession(session); });
-    } else if (first->type == kMsgHelloCallback) {
-      Decoder dec(first->payload);
+      std::string reply;
+      PutFixed64(&reply, session->id);
+      reactor_->Send(conn, kMsgOk, msg.req_id, std::move(reply));
+    } else if (msg.type == kMsgHelloCallback) {
+      Decoder dec(msg.payload);
       const uint64_t id = dec.GetFixed64();
-      std::shared_ptr<Session> session = FindSession(id);
-      if (session != nullptr) {
+      // The callback channel leaves the event loop: the server writes
+      // callbacks and blocks for the answer from worker context, which is
+      // exactly what the detached blocking surface is for.
+      MsgSocket cb = reactor_->Detach(conn);
+      std::shared_ptr<Session> target = dec.ok() ? FindSession(id) : nullptr;
+      if (target != nullptr && cb.valid()) {
+        cb.set_simulated_latency_us(options_.simulated_latency_us);
         // The session is already published, so Stop() or a callback round
         // trip can be looking at this socket; callback_mutex guards the fd.
-        std::lock_guard<std::mutex> cb_guard(session->callback_mutex);
-        session->callback = std::move(*sock);
-        session->has_callback.store(true);
+        std::lock_guard<std::mutex> cb_guard(target->callback_mutex);
+        target->callback = std::move(cb);
+        target->has_callback.store(true);
       }
+    } else {
+      BESS_DEBUG("conn " << conn << " bad first message type " << msg.type);
+      reactor_->CloseConn(conn);
     }
+    return;
+  }
+  // Pipelining: append to the session's FIFO and claim the single-drainer
+  // token if no worker currently owns this session.
+  bool claim = false;
+  {
+    std::lock_guard<std::mutex> guard(session->q_mu);
+    session->queue.push_back(std::move(msg));
+    if (!session->draining) {
+      session->draining = true;
+      claim = true;
+    }
+  }
+  if (claim) {
+    reactor_->Submit([this, session] { DrainSession(std::move(session)); });
   }
 }
 
-void BessServer::ServeSession(std::shared_ptr<Session> session) {
+void BessServer::OnConnClose(
+    const std::shared_ptr<std::shared_ptr<Session>>& bound) {
+  std::shared_ptr<Session> session = *bound;
+  if (session == nullptr) return;  // never said Hello (or was detached)
+  bool claim = false;
+  {
+    std::lock_guard<std::mutex> guard(session->q_mu);
+    session->closed = true;
+    if (!session->draining) {
+      session->draining = true;
+      claim = true;
+    }
+  }
+  // If a drain is in flight it will observe `closed` once the queue empties;
+  // otherwise claim the token so cleanup runs exactly once, on a worker.
+  if (claim) {
+    reactor_->Submit([this, session] { DrainSession(std::move(session)); });
+  }
+}
+
+void BessServer::DrainSession(std::shared_ptr<Session> session) {
   for (;;) {
-    auto msg = session->main.Recv();
-    BESS_DEBUG("session " << session->id << " recv type "
-               << (msg.ok() ? msg->type : 0) << " ok=" << msg.ok());
-    if (!msg.ok()) break;  // disconnect
-    if (msg->type == kMsgGoodbye) break;
+    // An in-progress lock wait is the head-of-line request: run one bounded
+    // round; if still undecided, requeue ourselves at the back of the worker
+    // FIFO so other sessions — including whoever will release this lock —
+    // get worker time. A waiter never parks a worker for its full timeout.
+    if (session->lock_wait.active) {
+      Status s = LockWaitRound(*session);
+      if (s.IsBusy()) {
+        reactor_->Submit([this, session] { DrainSession(std::move(session)); });
+        return;  // the drain token stays held; no one else may enter
+      }
+      session->lock_wait.active = false;
+      uint16_t type;
+      std::string reply;
+      EncodeStatus(s, &type, &reply);
+      SendReply(*session, type, session->lock_wait.req_id, std::move(reply));
+    }
+    Message msg;
+    bool got = false;
+    bool cleanup = false;
+    {
+      std::lock_guard<std::mutex> guard(session->q_mu);
+      if (session->queue.empty()) {
+        session->draining = false;
+        if (session->closed && !session->cleaned) {
+          session->cleaned = true;
+          cleanup = true;
+        }
+      } else {
+        msg = std::move(session->queue.front());
+        session->queue.pop_front();
+        got = true;
+      }
+    }
+    if (cleanup) {
+      CleanupSession(session);
+      return;
+    }
+    if (!got) return;
+    if (session->defunct.load()) continue;  // torn down: drop queued work
+    if (msg.type == kMsgGoodbye) {
+      // Close via the event loop; its on_close re-enters the drain path for
+      // the final cleanup once the token is released.
+      reactor_->CloseConn(session->conn);
+      continue;
+    }
+    if (msg.type == kMsgLock) {
+      stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      BESS_COUNT("srv.request");
+      Decoder dec(msg.payload);
+      const uint64_t key = dec.GetFixed64();
+      Slice mode_byte = dec.GetBytes(1);
+      const int timeout = static_cast<int>(dec.GetFixed32());
+      if (!dec.ok()) {
+        uint16_t type;
+        std::string reply;
+        EncodeStatus(Status::Protocol("bad lock request"), &type, &reply);
+        SendReply(*session, type, msg.req_id, std::move(reply));
+        continue;
+      }
+      stats_.lock_requests.fetch_add(1, std::memory_order_relaxed);
+      session->lock_wait.active = true;
+      session->lock_wait.key = key;
+      session->lock_wait.mode =
+          ModeFromByte(static_cast<uint8_t>(mode_byte.data()[0]));
+      session->lock_wait.req_id = msg.req_id;
+      session->lock_wait.deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(timeout > 0 ? timeout
+                                                : options_.lock_timeout_ms);
+      continue;  // the top of the loop runs the first round
+    }
     uint16_t reply_type;
     std::string reply;
-    Handle(*session, *msg, &reply_type, &reply);
-    BESS_DEBUG("session " << session->id << " reply type " << reply_type);
-    if (!session->main.Send(reply_type, reply).ok()) break;
+    Handle(*session, msg, &reply_type, &reply);
+    SendReply(*session, reply_type, msg.req_id, std::move(reply));
   }
-  // Session over. First resolve any transaction it prepared but never
-  // decided: presumed abort — the coordinator kept its decision in volatile
-  // memory, and this channel can no longer deliver one.
+}
+
+void BessServer::CleanupSession(const std::shared_ptr<Session>& session) {
+  // First resolve any transaction it prepared but never decided: presumed
+  // abort — the coordinator kept its decision in volatile memory, and this
+  // channel can no longer deliver one.
   if (!session->prepared_gtids.empty()) {
     for (uint64_t gtid : session->prepared_gtids) {
       for (Database* db : AllDatabases()) {
@@ -169,8 +293,22 @@ void BessServer::ServeSession(std::shared_ptr<Session> session) {
     std::lock_guard<std::mutex> guard(shard.mu);
     shard.map.erase(session->id);
   }
+  {
+    std::lock_guard<std::mutex> cb_guard(session->callback_mutex);
+    session->has_callback.store(false);
+    session->callback.Close();
+  }
   stats_.sessions_reaped.fetch_add(1, std::memory_order_relaxed);
   BESS_GAUGE_SUB("srv.session.active", 1);
+}
+
+void BessServer::SendReply(Session& session, uint16_t type, uint64_t req_id,
+                           std::string payload) {
+  // The simulated LAN latency burns worker time, never event-loop time.
+  if (options_.simulated_latency_us > 0) {
+    ::usleep(options_.simulated_latency_us);
+  }
+  reactor_->Send(session.conn, type, req_id, std::move(payload));
 }
 
 void BessServer::Handle(Session& session, const Message& msg,
@@ -191,6 +329,12 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
   Decoder dec(msg.payload);
 
   switch (msg.type) {
+    case kMsgPing: {
+      // Echo, for latency probes and pipelining-exactness tests.
+      reply->assign(msg.payload);
+      return Status::OK();
+    }
+
     case kMsgFetchSlotted: {
       const SegmentId id = SegmentId::Unpack(dec.GetFixed64());
       BESS_ASSIGN_OR_RETURN(Database * db, DbFor(id.db));
@@ -250,17 +394,6 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       const PageId first = dec.GetFixed32();
       BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
       return db->FreeDiskSegment(area, first);
-    }
-
-    case kMsgLock: {
-      const uint64_t key = dec.GetFixed64();
-      const LockMode mode = ModeFromByte(
-          static_cast<uint8_t>(dec.GetBytes(1).data()[0]));
-      const int timeout = static_cast<int>(dec.GetFixed32());
-      stats_.lock_requests.fetch_add(1, std::memory_order_relaxed);
-      return AcquireWithCallbacks(session, key, mode,
-                                  timeout > 0 ? timeout
-                                              : options_.lock_timeout_ms);
     }
 
     case kMsgReleaseLock: {
@@ -456,95 +589,93 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
 void BessServer::MarkSessionDefunct(Session* session) {
   stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
   BESS_COUNT("srv.callback.timeout");
-  // Shutting both sockets makes the session's serving thread's Recv fail,
-  // which unwinds it into ServeSession's cleanup: prepared transactions are
-  // presumed-aborted, locks released, the session erased. The defunct flag
-  // additionally stops that thread from continuing to *wait* for locks —
-  // without it, a serving thread parked in AcquireWithCallbacks rides out
-  // its full timeout on a request whose session is already dead.
+  // The defunct flag stops the session's drain from continuing to *wait*
+  // for locks — without it, a lock-wait round in flight rides out its cap
+  // on a request whose session is already dead. Closing the main channel
+  // (via the reactor, so it is safe from any thread) triggers the session's
+  // on_close → cleanup path: prepared transactions are presumed-aborted,
+  // the session erased.
   session->defunct.store(true);
   session->has_callback.store(false);
   session->callback.Shutdown();
-  session->main.Shutdown();
-  // Release the ghost's locks now rather than when its serving thread
-  // eventually unwinds: that thread may itself be parked in a lock wait,
-  // and until it unwinds every waiter blocked on these locks would miss its
+  reactor_->CloseConn(session->conn);
+  // Release the ghost's locks now rather than when its cleanup eventually
+  // runs: every waiter blocked on these locks would otherwise miss its
   // grant wakeup and time out against a holder that can never answer. The
-  // unwind path's ReleaseAll then finds nothing left — release is
+  // cleanup path's ReleaseAll then finds nothing left — release is
   // idempotent — and sweeps up anything granted in between.
   locks_.ReleaseAll(session->id);
 }
 
-Status BessServer::AcquireWithCallbacks(Session& session, uint64_t key,
-                                        LockMode mode, int timeout_ms) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
-  for (;;) {
-    if (session.defunct.load()) {
-      // Torn down by the callback-timeout reaper while we were waiting: our
-      // grant (if any) is moot and our locks are already being released.
-      return Status::Aborted("session torn down during lock wait");
-    }
-    Status s = locks_.TryAcquire(session.id, key, mode);
-    if (!s.IsBusy()) return s;  // granted or hard error
-
-    // Conflict: call back the caching holders (callback locking, §3).
-    std::vector<std::pair<TxnId, LockMode>> holders = locks_.Holders(key);
-    for (const auto& [holder_id, held_mode] : holders) {
-      if (holder_id == session.id || LockCompatible(held_mode, mode)) {
-        continue;
-      }
-      std::shared_ptr<Session> holder = FindSession(holder_id);
-      if (holder == nullptr || !holder->has_callback.load()) {
-        // A dead or callback-less session cannot answer: break its lock if
-        // the session is gone, otherwise keep waiting.
-        continue;
-      }
-      std::string payload;
-      PutFixed64(&payload, key);
-      payload.push_back(static_cast<char>(mode));
-      std::lock_guard<std::mutex> cb_guard(holder->callback_mutex);
-      stats_.callbacks_sent.fetch_add(1, std::memory_order_relaxed);
-      BESS_COUNT("srv.callback.sent");
-      if (!holder->callback.Send(kMsgCallback, payload).ok()) {
-        MarkSessionDefunct(holder.get());
-        continue;
-      }
-      auto answer = holder->callback.RecvTimeout(options_.callback_timeout_ms);
-      if (!answer.ok()) {
-        // No answer inside the window: the holder is unresponsive. Tearing
-        // down its session (not just counting a denial) frees its locks via
-        // the presumed-abort path so the requester stops waiting on a ghost.
-        MarkSessionDefunct(holder.get());
-        continue;
-      }
-      if (answer->type == kMsgCallbackReleased) {
-        stats_.callbacks_released.fetch_add(1, std::memory_order_relaxed);
-        BESS_COUNT("srv.callback.released");
-        (void)locks_.Release(holder_id, key);
-      } else {
-        // In use: the requester keeps waiting.
-        stats_.callbacks_denied.fetch_add(1, std::memory_order_relaxed);
-        BESS_COUNT("srv.callback.denied");
-      }
-    }
-
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) {
-      return Status::Deadlock("lock wait timeout (callbacks exhausted) on " +
-                              std::to_string(key));
-    }
-    // Wait for a grant on the lock manager's shard condition instead of
-    // polling: a release (callback answer, commit, or a reaped holder's
-    // ReleaseAll) wakes us immediately. The wait is capped per round so
-    // unanswered conflicts re-enter the callback loop above.
-    const auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-    const int round_ms =
-        static_cast<int>(std::min<int64_t>(remaining.count() + 1, 50));
-    s = locks_.Acquire(session.id, key, mode, round_ms);
-    if (!s.IsDeadlock()) return s;  // granted or hard error
+Status BessServer::LockWaitRound(Session& session) {
+  const LockWait& w = session.lock_wait;
+  if (session.defunct.load()) {
+    // Torn down by the callback-timeout reaper while we were waiting: our
+    // grant (if any) is moot and our locks are already being released.
+    return Status::Aborted("session torn down during lock wait");
   }
+  Status s = locks_.TryAcquire(session.id, w.key, w.mode);
+  if (!s.IsBusy()) return s;  // granted or hard error
+
+  // Conflict: call back the caching holders (callback locking, §3). The
+  // round trips block, which is why lock waits live on workers.
+  std::vector<std::pair<TxnId, LockMode>> holders = locks_.Holders(w.key);
+  for (const auto& [holder_id, held_mode] : holders) {
+    if (holder_id == session.id || LockCompatible(held_mode, w.mode)) {
+      continue;
+    }
+    std::shared_ptr<Session> holder = FindSession(holder_id);
+    if (holder == nullptr || !holder->has_callback.load()) {
+      // A dead or callback-less session cannot answer: break its lock if
+      // the session is gone, otherwise keep waiting.
+      continue;
+    }
+    std::string payload;
+    PutFixed64(&payload, w.key);
+    payload.push_back(static_cast<char>(w.mode));
+    std::lock_guard<std::mutex> cb_guard(holder->callback_mutex);
+    stats_.callbacks_sent.fetch_add(1, std::memory_order_relaxed);
+    BESS_COUNT("srv.callback.sent");
+    if (!holder->callback.Send(kMsgCallback, payload).ok()) {
+      MarkSessionDefunct(holder.get());
+      continue;
+    }
+    auto answer = holder->callback.RecvTimeout(options_.callback_timeout_ms);
+    if (!answer.ok()) {
+      // No answer inside the window: the holder is unresponsive. Tearing
+      // down its session (not just counting a denial) frees its locks via
+      // the presumed-abort path so the requester stops waiting on a ghost.
+      MarkSessionDefunct(holder.get());
+      continue;
+    }
+    if (answer->type == kMsgCallbackReleased) {
+      stats_.callbacks_released.fetch_add(1, std::memory_order_relaxed);
+      BESS_COUNT("srv.callback.released");
+      (void)locks_.Release(holder_id, w.key);
+    } else {
+      // In use: the requester keeps waiting.
+      stats_.callbacks_denied.fetch_add(1, std::memory_order_relaxed);
+      BESS_COUNT("srv.callback.denied");
+    }
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= w.deadline) {
+    return Status::Deadlock("lock wait timeout (callbacks exhausted) on " +
+                            std::to_string(w.key));
+  }
+  // Wait for a grant on the lock manager's shard condition instead of
+  // polling: a release (callback answer, commit, or a reaped holder's
+  // ReleaseAll) wakes us immediately. The wait is capped per round so the
+  // worker is handed back between rounds and unanswered conflicts re-enter
+  // the callback loop above.
+  const auto remaining =
+      std::chrono::duration_cast<std::chrono::milliseconds>(w.deadline - now);
+  const int round_ms =
+      static_cast<int>(std::min<int64_t>(remaining.count() + 1, 50));
+  s = locks_.Acquire(session.id, w.key, w.mode, round_ms);
+  if (!s.IsDeadlock()) return s;  // granted or hard error
+  return Status::Busy("lock wait round expired");
 }
 
 BessServer::Stats BessServer::stats() const {

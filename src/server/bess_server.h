@@ -9,6 +9,13 @@
 // the lock if no active transaction uses it, otherwise the requester waits
 // (timeouts standing in for distributed deadlock detection).
 //
+// Threading (DESIGN.md §11): the server runs one epoll event loop (Reactor)
+// that owns every session socket, plus a small worker pool. Sessions are
+// not threads — each is a FIFO request queue drained by at most one worker
+// at a time, so a connection may pipeline many requests (replies matched by
+// req_id) while the server still executes them serially per session. At 256
+// or 1024 connections the thread count stays O(workers).
+//
 // The server is an *open server*: trusted code can be linked with it — in
 // this codebase that simply means constructing BessServer inside your own
 // process and registering hooks or using the owned Databases directly
@@ -17,12 +24,12 @@
 #define BESS_SERVER_BESS_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -30,6 +37,7 @@
 #include "object/database.h"
 #include "os/socket.h"
 #include "server/protocol.h"
+#include "server/reactor.h"
 
 namespace bess {
 
@@ -41,6 +49,9 @@ class BessServer {
     /// Wait for one callback round trip; plumbed from bess::OpenOptions.
     int callback_timeout_ms = kCallbackTimeoutMillis;
     uint32_t simulated_latency_us = 0;  ///< per message (LAN simulation)
+    /// Blocking-work pool size (fsync/group commit, page I/O, lock waits).
+    /// 0 picks a small default; the count never scales with connections.
+    int worker_threads = 0;
   };
 
   struct Stats {
@@ -73,28 +84,53 @@ class BessServer {
   LockStats lock_stats() const { return locks_.stats(); }
 
  private:
+  /// An in-progress cooperative lock wait. A lock request that cannot be
+  /// granted immediately does NOT park a worker for its whole timeout: each
+  /// drain slot runs one bounded round (callbacks + a short capped wait),
+  /// then re-queues the session so other sessions' work — including the
+  /// release that will eventually grant us — gets worker time.
+  struct LockWait {
+    bool active = false;
+    uint64_t key = 0;
+    LockMode mode = LockMode::kS;
+    uint64_t req_id = 0;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
   struct Session {
     uint64_t id = 0;
-    MsgSocket main;
+    Reactor::ConnId conn = 0;  ///< reactor-owned main channel
     MsgSocket callback;
     /// Guards the callback socket: one round trip at a time, and the
-    /// AcceptLoop attach / Stop() shutdown of a published session's socket.
-    /// MarkSessionDefunct expects its callers to hold it.
+    /// HelloCallback attach / Stop() shutdown of a published session's
+    /// socket. MarkSessionDefunct expects its callers to hold it.
     std::mutex callback_mutex;
     std::atomic<bool> has_callback{false};
     /// Set by the callback-timeout reaper (MarkSessionDefunct): the session
-    /// is being torn down. Its serving thread stops waiting for locks
-    /// immediately instead of riding out the timeout on a doomed request.
+    /// is being torn down. Its drain stops waiting for locks immediately
+    /// instead of riding out the timeout on a doomed request.
     std::atomic<bool> defunct{false};
+
+    /// Pipelining queue: the event thread appends, one worker at a time
+    /// drains. `draining` is the single-drainer token; `closed` is set by
+    /// the reactor's on_close; `cleaned` makes teardown run exactly once.
+    std::mutex q_mu;
+    std::deque<Message> queue;
+    bool draining = false;
+    bool closed = false;
+    bool cleaned = false;
+
+    /// Drainer-owned (serial per session): cooperative lock-wait state.
+    LockWait lock_wait;
     /// Transactions this session prepared but has not yet resolved. Only
-    /// touched by the session's own serving thread; on disconnect they are
+    /// touched by the session's drain (serial); on disconnect they are
     /// aborted (presumed abort: the coordinator's decision, if any, lived in
     /// client memory and can no longer reach us through this session).
     std::set<uint64_t> prepared_gtids;
   };
 
-  // There is deliberately no server-wide mutex. Per-session state (sockets,
-  // prepared gtids) is owned by the serving thread; the cross-session
+  // There is deliberately no server-wide mutex. Per-session state (queue,
+  // prepared gtids) is owned by its serial drain; the cross-session
   // structures are sharded so two clients committing to different pages
   // never contend: the session registry and the ctid dedup window hash over
   // small per-shard mutexes, counters are relaxed atomics, and the database
@@ -135,19 +171,30 @@ class BessServer {
   }
   std::shared_ptr<Session> FindSession(uint64_t id);
 
-  void AcceptLoop();
-  void ServeSession(std::shared_ptr<Session> session);
+  // Reactor callbacks (event thread; must not block).
+  void OnAccept(MsgSocket sock);
+  void OnConnMessage(
+      const std::shared_ptr<std::shared_ptr<Session>>& bound,
+      Reactor::ConnId conn, Message msg);
+  void OnConnClose(const std::shared_ptr<std::shared_ptr<Session>>& bound);
+
+  // Worker-side request execution (serial per session).
+  void DrainSession(std::shared_ptr<Session> session);
+  void CleanupSession(const std::shared_ptr<Session>& session);
+  void SendReply(Session& session, uint16_t type, uint64_t req_id,
+                 std::string payload);
   /// Handles one request; fills the reply (type + payload).
   void Handle(Session& session, const Message& msg, uint16_t* reply_type,
               std::string* reply);
   Status HandleRequest(Session& session, const Message& msg,
                        std::string* reply, uint16_t* reply_type);
-  Status AcquireWithCallbacks(Session& session, uint64_t key, LockMode mode,
-                              int timeout_ms);
-  /// Tears down an unresponsive session's sockets so its serving thread
-  /// unwinds into the presumed-abort cleanup at the end of ServeSession,
-  /// and releases its locks right away so waiters are granted promptly
-  /// instead of riding out their own timeouts against a ghost holder.
+  /// One bounded round of the callback-locking acquire; kBusy means
+  /// "undecided, yield the worker and try again next slot".
+  Status LockWaitRound(Session& session);
+  /// Tears down an unresponsive session so its drain unwinds into the
+  /// presumed-abort cleanup, and releases its locks right away so waiters
+  /// are granted promptly instead of riding out their own timeouts against
+  /// a ghost holder.
   void MarkSessionDefunct(Session* session);
   Result<Database*> DbFor(uint16_t db_id);
   std::vector<Database*> AllDatabases();
@@ -155,7 +202,7 @@ class BessServer {
   Options options_;
   LockManager locks_;
   MsgListener listener_;
-  std::thread accept_thread_;
+  std::unique_ptr<Reactor> reactor_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> next_session_{1};
 
@@ -164,8 +211,6 @@ class BessServer {
   std::unordered_map<uint16_t, Database*> databases_;
   SessionShard session_shards_[kSessionShards];
   CommitShard commit_shards_[kCommitShards];
-  std::mutex threads_mu_;
-  std::vector<std::thread> session_threads_;
   mutable AtomicStats stats_;
 };
 

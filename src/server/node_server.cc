@@ -117,7 +117,7 @@ void NodeServer::ServeSession(std::shared_ptr<LocalSession> session) {
     std::string reply;
     Status s = HandleRequest(*session, *msg, &reply, &reply_type);
     if (!s.ok()) EncodeStatus(s, &reply_type, &reply);
-    if (!session->main.Send(reply_type, reply).ok()) break;
+    if (!session->main.Send(reply_type, reply, msg->req_id).ok()) break;
   }
   local_locks_.ReleaseAll(session->id);
 }

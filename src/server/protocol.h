@@ -67,6 +67,10 @@ enum MsgType : uint16_t {
 
   // Maintenance (appended: enum order is the wire format)
   kMsgScrub,            ///< {u16 db} -> {u64 scanned, fails, repaired, quarantined}
+
+  // Latency probe (appended)
+  kMsgPing,             ///< payload echoed back verbatim; the open-loop
+                        ///< load generator and pipelining tests ride on it
 };
 
 /// Encodes a Status into a kMsgError payload (or returns kMsgOk type).

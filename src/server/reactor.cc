@@ -1,0 +1,311 @@
+#include "server/reactor.h"
+
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace bess {
+namespace {
+
+// epoll user-data tags. Connection ids start at 1 and listeners are tagged
+// with the high bit so one epoll instance serves both.
+constexpr uint64_t kWakeTag = 0;
+constexpr uint64_t kListenerBit = 1ull << 63;
+
+thread_local const Reactor* t_event_reactor = nullptr;
+
+}  // namespace
+
+Reactor::Reactor(int workers) : num_workers_(workers < 1 ? 1 : workers) {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epfd_ >= 0 && wake_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+Reactor::~Reactor() {
+  Stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+Status Reactor::Start() {
+  if (epfd_ < 0 || wake_fd_ < 0) {
+    return Status::Internal("reactor: epoll/eventfd setup failed");
+  }
+  if (running_.exchange(true)) return Status::OK();
+  {
+    std::lock_guard<std::mutex> guard(ops_mu_);
+    ops_accepting_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> guard(work_mu_);
+    work_accepting_ = true;
+  }
+  event_thread_ = std::thread(&Reactor::EventLoop, this);
+  workers_.reserve(num_workers_);
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back(&Reactor::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void Reactor::Stop() {
+  if (!running_.exchange(false)) return;
+  // Refuse new cross-thread ops, then kick the event thread so it observes
+  // the stop flag, tears down every connection (on_close may Submit final
+  // cleanup work), and exits.
+  {
+    std::lock_guard<std::mutex> guard(ops_mu_);
+    ops_accepting_ = false;
+  }
+  Wake();
+  if (event_thread_.joinable()) event_thread_.join();
+  // Workers drain whatever the teardown queued, then exit.
+  {
+    std::lock_guard<std::mutex> guard(work_mu_);
+    work_accepting_ = false;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> guard(ops_mu_);
+    ops_.clear();
+  }
+}
+
+Status Reactor::AddListener(MsgListener* listener,
+                            std::function<void(MsgSocket)> on_accept) {
+  BESS_RETURN_IF_ERROR(listener->SetNonBlocking(true));
+  auto l = std::make_unique<Listener>();
+  l->listener = listener;
+  l->on_accept = std::move(on_accept);
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = kListenerBit | listeners_.size();
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, listener->fd(), &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(listener): ") +
+                            strerror(errno));
+  }
+  listeners_.push_back(std::move(l));
+  return Status::OK();
+}
+
+Reactor::ConnId Reactor::AddConnection(MsgSocket sock, ConnHandler handler) {
+  const ConnId id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  (void)sock.SetNonBlocking(true);
+  auto conn = std::make_unique<Conn>();
+  conn->sock = std::move(sock);
+  conn->handler = std::move(handler);
+  epoll_event ev{};
+  // One registration, edge-triggered, for the connection's whole life:
+  // EPOLLOUT edges arrive only after a send hit WouldBlock, EPOLLIN edges
+  // whenever new bytes land. No epoll_ctl churn per message.
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, conn->sock.fd(), &ev) != 0) {
+    BESS_ERROR("reactor: epoll_ctl(add conn): " << strerror(errno));
+    return 0;
+  }
+  conns_.emplace(id, std::move(conn));
+  return id;
+}
+
+MsgSocket Reactor::Detach(ConnId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return MsgSocket();
+  MsgSocket sock = std::move(it->second->sock);
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, sock.fd(), nullptr);
+  conns_.erase(it);
+  return sock;
+}
+
+void Reactor::Send(ConnId id, uint16_t type, uint64_t req_id,
+                   std::string payload) {
+  Post([this, id, type, req_id, payload = std::move(payload)]() {
+    Conn* c = FindConn(id);
+    if (c == nullptr) return;
+    MsgSocket::QueueFrame(type, req_id, payload, &c->out);
+    FlushConn(id);
+  });
+}
+
+void Reactor::CloseConn(ConnId id) {
+  Post([this, id]() { DestroyConn(id, /*invoke_on_close=*/true); });
+}
+
+void Reactor::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> guard(ops_mu_);
+    if (!ops_accepting_) return;
+    ops_.push_back(std::move(fn));
+  }
+  // Always wake, even from the event thread: a Post issued after this
+  // iteration's DrainOps would otherwise sit until the next epoll timeout.
+  // The eventfd write is cheap and immediately re-readies epoll_wait.
+  Wake();
+}
+
+void Reactor::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> guard(work_mu_);
+    if (!work_accepting_) return;
+    work_.push_back(std::move(fn));
+    BESS_GAUGE_ADD("server.reactor.queue_depth", 1);
+  }
+  work_cv_.notify_one();
+}
+
+bool Reactor::OnEventThread() const { return t_event_reactor == this; }
+
+void Reactor::Wake() {
+  uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void Reactor::DrainOps() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> guard(ops_mu_);
+    batch.swap(ops_);
+  }
+  if (batch.empty()) return;
+  // The batch-size histogram is the proof of coalescing: under load many
+  // replies ride one wakeup instead of one syscall round trip each.
+  BESS_HIST("server.reactor.batch_size", batch.size());
+  for (auto& fn : batch) fn();
+}
+
+void Reactor::EventLoop() {
+  t_event_reactor = this;
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epfd_, events, kMaxEvents, /*timeout_ms=*/500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      BESS_ERROR("reactor: epoll_wait: " << strerror(errno));
+      break;
+    }
+    BESS_COUNT("server.reactor.wakeup");
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (tag & kListenerBit) {
+        const size_t idx = tag & ~kListenerBit;
+        if (idx < listeners_.size()) AcceptPending(listeners_[idx].get());
+        continue;
+      }
+      const ConnId id = tag;
+      if (events[i].events & EPOLLOUT) FlushConn(id);
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(id);
+      }
+    }
+    // Cross-thread ops (queued replies, closes, posts) drain as one batch
+    // per wakeup, after readiness handling so a reply to a just-read
+    // request can still make this batch via on_message → Send.
+    DrainOps();
+  }
+  // Teardown: every surviving connection closes on this thread, so
+  // on_close ordering guarantees hold to the very end.
+  std::vector<ConnId> ids;
+  ids.reserve(conns_.size());
+  for (auto& kv : conns_) ids.push_back(kv.first);
+  for (ConnId id : ids) DestroyConn(id, /*invoke_on_close=*/true);
+  DrainOps();
+  t_event_reactor = nullptr;
+}
+
+void Reactor::AcceptPending(Listener* l) {
+  for (;;) {
+    auto sock = l->listener->TryAccept();
+    if (!sock.ok()) {
+      if (!sock.status().IsWouldBlock()) {
+        BESS_DEBUG("reactor: accept: " << sock.status().ToString());
+      }
+      return;
+    }
+    l->on_accept(std::move(sock).value());
+  }
+}
+
+void Reactor::HandleReadable(ConnId id) {
+  // Edge-triggered: drain until WouldBlock. The conn is re-looked-up every
+  // iteration because on_message may Detach or CloseConn it.
+  for (;;) {
+    Conn* c = FindConn(id);
+    if (c == nullptr) return;
+    Message msg;
+    Status s = c->sock.TryRecv(&msg, &c->in);
+    if (s.ok()) {
+      c->handler.on_message(id, std::move(msg));
+      continue;
+    }
+    if (s.IsWouldBlock()) return;
+    // Peer close or transport error: tear the connection down.
+    DestroyConn(id, /*invoke_on_close=*/true);
+    return;
+  }
+}
+
+void Reactor::FlushConn(ConnId id) {
+  Conn* c = FindConn(id);
+  if (c == nullptr || c->out.empty()) return;
+  Status s = c->sock.TrySend(&c->out);
+  if (s.ok() || s.IsWouldBlock()) return;  // WouldBlock: EPOLLOUT resumes us
+  DestroyConn(id, /*invoke_on_close=*/true);
+}
+
+void Reactor::DestroyConn(ConnId id, bool invoke_on_close) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  // Move the conn out before the callback so a re-entrant CloseConn for the
+  // same id is a no-op.
+  std::unique_ptr<Conn> conn = std::move(it->second);
+  conns_.erase(it);
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->sock.fd(), nullptr);
+  if (invoke_on_close && conn->handler.on_close) {
+    conn->handler.on_close(id);
+  }
+  conn->sock.Close();
+}
+
+Reactor::Conn* Reactor::FindConn(ConnId id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void Reactor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] { return !work_.empty() || !work_accepting_; });
+      if (work_.empty()) return;  // accepting == false and drained
+      fn = std::move(work_.front());
+      work_.pop_front();
+      BESS_GAUGE_SUB("server.reactor.queue_depth", 1);
+    }
+    fn();
+  }
+}
+
+}  // namespace bess

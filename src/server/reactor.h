@@ -1,0 +1,151 @@
+// Reactor: the server's epoll event loop plus a small worker pool
+// (DESIGN.md §11). One event thread multiplexes every session socket with
+// edge-triggered readiness — the server runs O(workers) threads regardless
+// of how many connections are live, instead of the old thread-per-session
+// model that fell over past a few hundred clients.
+//
+// Threading rules (the whole contract — see DESIGN.md §11 for rationale):
+//   - The event thread exclusively owns connection state (epoll membership,
+//     continuations, callbacks). AddConnection/Detach may only be called on
+//     it (i.e. from inside a reactor callback).
+//   - on_message / on_close / on_accept run on the event thread and must
+//     never block: hand real work to Submit() and return.
+//   - Send / CloseConn / Post are safe from any thread; they enqueue an
+//     operation the event thread drains on its next wakeup (one eventfd
+//     kick per batch — replies queued while the loop is busy coalesce).
+//   - Submit() runs a closure on the worker pool; blocking work (fsync,
+//     page I/O, lock waits, callback round trips) belongs there.
+#ifndef BESS_SERVER_REACTOR_H_
+#define BESS_SERVER_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <condition_variable>
+
+#include "os/socket.h"
+#include "util/status.h"
+
+namespace bess {
+
+class Reactor {
+ public:
+  /// Identifies one reactor-owned connection. Never reused within a run.
+  using ConnId = uint64_t;
+
+  /// Per-connection callbacks, invoked on the event thread.
+  struct ConnHandler {
+    /// One complete message arrived. May call Detach/CloseConn for its own
+    /// connection. Must not block.
+    std::function<void(ConnId, Message)> on_message;
+    /// The connection died (peer close, transport error, or reactor Stop).
+    /// Fires at most once, and never after Detach.
+    std::function<void(ConnId)> on_close;
+  };
+
+  /// `workers`: size of the blocking-work pool (>= 1).
+  explicit Reactor(int workers);
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Spawns the event thread and workers. Listeners may be registered
+  /// before or after Start.
+  Status Start();
+
+  /// Stops everything, in order: the event thread closes all connections
+  /// (each on_close fires there), then the worker queue drains, then all
+  /// threads join. Send/Post/Submit after Stop are dropped silently.
+  void Stop();
+
+  /// Registers a listening socket; `on_accept` receives each accepted
+  /// (already non-blocking) socket on the event thread. The listener must
+  /// outlive the reactor's run. Call before Start or from the event thread.
+  Status AddListener(MsgListener* listener,
+                     std::function<void(MsgSocket)> on_accept);
+
+  /// Takes ownership of `sock` (switched to non-blocking) and watches it.
+  /// Event thread only.
+  ConnId AddConnection(MsgSocket sock, ConnHandler handler);
+
+  /// Removes the connection from the loop and returns its socket (still
+  /// non-blocking; the blocking wrappers poll, so it can be used as a
+  /// plain blocking channel). on_close will not fire. Event thread only.
+  /// Returns an invalid socket if the id is already gone.
+  MsgSocket Detach(ConnId id);
+
+  /// Queues one framed message for `id` and flushes opportunistically.
+  /// Any thread. Messages from one thread keep their order; the frame goes
+  /// out after any bytes already pending.
+  void Send(ConnId id, uint16_t type, uint64_t req_id, std::string payload);
+
+  /// Closes `id` from any thread (on_close fires on the event thread).
+  /// Pending outbound bytes are NOT flushed first — this is teardown.
+  void CloseConn(ConnId id);
+
+  /// Runs `fn` on the event thread at its next wakeup. Any thread.
+  void Post(std::function<void()> fn);
+
+  /// Runs `fn` on the worker pool. Any thread.
+  void Submit(std::function<void()> fn);
+
+  /// True only on the reactor's event thread (for asserts).
+  bool OnEventThread() const;
+
+ private:
+  struct Conn {
+    MsgSocket sock;
+    SendContinuation out;
+    RecvContinuation in;
+    ConnHandler handler;
+  };
+  struct Listener {
+    MsgListener* listener;
+    std::function<void(MsgSocket)> on_accept;
+  };
+
+  void EventLoop();
+  void WorkerLoop();
+  void Wake();
+  void DrainOps();
+  void HandleReadable(ConnId id);
+  void FlushConn(ConnId id);
+  void DestroyConn(ConnId id, bool invoke_on_close);
+  void AcceptPending(Listener* l);
+  Conn* FindConn(ConnId id);
+
+  int epfd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: cross-thread kick out of epoll_wait
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::thread event_thread_;
+
+  // Event-thread-owned (no lock): live connections and listeners.
+  std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<Listener>> listeners_;
+
+  // Cross-thread operation queue, drained once per event-loop wakeup.
+  std::mutex ops_mu_;
+  std::vector<std::function<void()>> ops_;
+  bool ops_accepting_ = true;
+
+  // Worker pool.
+  std::vector<std::thread> workers_;
+  int num_workers_;
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> work_;
+  bool work_accepting_ = true;
+};
+
+}  // namespace bess
+
+#endif  // BESS_SERVER_REACTOR_H_

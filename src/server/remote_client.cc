@@ -120,12 +120,15 @@ Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(Options options) {
   client->primary_.main.set_simulated_latency_us(options.simulated_latency_us);
   client->primary_.path = options.server_path;
   client->primary_.db_ids.push_back(options.db_id);
+  // The hello handshake is the one blocking round trip on the main socket;
+  // once the reader thread starts, all receives go through it.
   BESS_RETURN_IF_ERROR(client->primary_.main.Send(kMsgHello, ""));
   BESS_ASSIGN_OR_RETURN(Message hello, client->primary_.main.Recv());
   if (hello.type != kMsgOk || hello.payload.size() != 8) {
     return Status::Protocol("bad hello reply");
   }
   client->session_id_ = DecodeFixed64(hello.payload.data());
+  client->StartReader(&client->primary_);
 
   BESS_ASSIGN_OR_RETURN(client->callback_sock_,
                         MsgSocket::Connect(options.server_path));
@@ -150,15 +153,155 @@ Result<std::unique_ptr<RemoteClient>> RemoteClient::Connect(Options options) {
 RemoteClient::~RemoteClient() {
   running_.store(false);
   (void)primary_.main.Send(kMsgGoodbye, "");
+  StopReader(&primary_);
+  for (auto& peer : extra_peers_) StopReader(peer.get());
   callback_sock_.Shutdown();
   if (callback_thread_.joinable()) callback_thread_.join();
   callback_sock_.Close();
   mapper_.reset();
 }
 
+// ---- pipelined RPC core -------------------------------------------------------
+
+Result<Message> ReplyFuture::Get() {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("Get() on an empty ReplyFuture");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  if (!state_->status.ok()) return state_->status;
+  return state_->reply;
+}
+
+void RemoteClient::StartReader(Peer* peer) {
+  std::lock_guard<std::mutex> guard(peer->p_mu);
+  const uint64_t gen = peer->generation;
+  peer->reader = std::thread([this, peer, gen] { ReaderLoop(peer, gen); });
+}
+
+void RemoteClient::StopReader(Peer* peer) {
+  peer->main.Shutdown();  // wakes the reader's poll
+  std::thread reader;
+  {
+    std::lock_guard<std::mutex> guard(peer->p_mu);
+    reader = std::move(peer->reader);
+  }
+  if (reader.joinable()) reader.join();
+}
+
+void RemoteClient::FailAllPending(Peer* peer, const Status& s) {
+  std::vector<std::shared_ptr<ReplyFuture::State>> victims;
+  {
+    std::lock_guard<std::mutex> guard(peer->p_mu);
+    victims.reserve(peer->pending.size());
+    for (auto& [id, st] : peer->pending) {
+      (void)id;
+      victims.push_back(st);
+    }
+    peer->pending.clear();
+    peer->drained_cv.notify_all();
+  }
+  for (auto& st : victims) {
+    std::lock_guard<std::mutex> guard(st->mu);
+    st->done = true;
+    st->status = s;
+    st->cv.notify_all();
+  }
+}
+
+void RemoteClient::ReaderLoop(Peer* peer, uint64_t generation) {
+  for (;;) {
+    // Poll-first receive: the socket's fault point is only consulted once
+    // data (or a close) is actually pending, so a parked reader does not
+    // consume injection triggers aimed at in-flight replies.
+    auto r = peer->main.RecvTimeout(-1);
+    {
+      std::lock_guard<std::mutex> guard(peer->p_mu);
+      if (peer->generation != generation) return;  // superseded by Reconnect
+    }
+    if (!r.ok()) {
+      // Transport death takes every in-flight RPC with it; the sync Call
+      // layer decides per-opcode whether a replay is safe.
+      FailAllPending(peer, r.status());
+      return;
+    }
+    std::shared_ptr<ReplyFuture::State> st;
+    {
+      std::lock_guard<std::mutex> guard(peer->p_mu);
+      auto it = peer->pending.find(r->req_id);
+      if (it != peer->pending.end()) {
+        st = it->second;
+        peer->pending.erase(it);
+      }
+      if (peer->pending.empty()) peer->drained_cv.notify_all();
+    }
+    if (st != nullptr) {
+      std::lock_guard<std::mutex> guard(st->mu);
+      st->done = true;
+      st->reply = std::move(*r);
+      st->cv.notify_all();
+    }
+    // A reply with no pending entry is dropped: its Call already failed the
+    // send locally, or this is a stray from a dying connection.
+  }
+}
+
+ReplyFuture RemoteClient::CallAsyncOn(Peer& peer, uint16_t type,
+                                      const std::string& payload) {
+  ReplyFuture fut;
+  fut.state_ = std::make_shared<ReplyFuture::State>();
+  const uint64_t req_id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
+  // Register before sending so the reader can never race the reply.
+  {
+    std::lock_guard<std::mutex> guard(peer.p_mu);
+    peer.pending.emplace(req_id, fut.state_);
+  }
+  Status s;
+  {
+    std::lock_guard<std::mutex> guard(peer.send_mu);
+    s = peer.main.Send(type, payload, req_id);
+  }
+  if (!s.ok()) {
+    // Whoever erases the pending entry owns completion (the reader's
+    // fail-all may be racing us).
+    bool own = false;
+    {
+      std::lock_guard<std::mutex> guard(peer.p_mu);
+      own = peer.pending.erase(req_id) > 0;
+      if (peer.pending.empty()) peer.drained_cv.notify_all();
+    }
+    if (own) {
+      std::lock_guard<std::mutex> guard(fut.state_->mu);
+      fut.state_->done = true;
+      fut.state_->status = s;
+      fut.state_->cv.notify_all();
+    }
+  }
+  return fut;
+}
+
+ReplyFuture RemoteClient::CallAsync(uint16_t type, const std::string& payload) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stats_.rpcs++;
+  }
+  BESS_COUNT("rpc.call");
+  CountRpcOp(type);
+  return CallAsyncOn(primary_, type, payload);
+}
+
+Status RemoteClient::Flush() {
+  auto wait_drained = [](Peer& peer) {
+    std::unique_lock<std::mutex> lock(peer.p_mu);
+    peer.drained_cv.wait(lock, [&peer] { return peer.pending.empty(); });
+  };
+  wait_drained(primary_);
+  for (auto& peer : extra_peers_) wait_drained(*peer);
+  return Status::OK();
+}
+
 Status RemoteClient::Call(Peer& peer, uint16_t type,
                           const std::string& payload, Message* reply) {
-  std::lock_guard<std::mutex> guard(peer.mutex);
   {
     std::lock_guard<std::mutex> sguard(mutex_);
     stats_.rpcs++;
@@ -167,6 +310,7 @@ Status RemoteClient::Call(Peer& peer, uint16_t type,
   CountRpcOp(type);
   BESS_SPAN("rpc.call.latency");
   Status last;
+  uint64_t observed_gen = 0;
   for (int attempt = 0; attempt <= options_.max_rpc_retries; ++attempt) {
     if (attempt > 0) {
       {
@@ -176,26 +320,28 @@ Status RemoteClient::Call(Peer& peer, uint16_t type,
       BESS_COUNT("rpc.retry");
       ::usleep(static_cast<useconds_t>(options_.rpc_backoff_ms) * 1000u
                << (attempt - 1));
-      Status rc = Reconnect(peer);
+      Status rc = Reconnect(peer, observed_gen);
       if (!rc.ok()) {
         last = rc;
         continue;  // server may still be coming back: back off and retry
       }
     }
-    BESS_DEBUG("client call send type " << type << " attempt " << attempt);
-    Status s = peer.main.Send(type, payload);
-    if (s.ok()) {
-      auto r = peer.main.Recv();
-      if (r.ok()) {
-        *reply = std::move(*r);
-        BESS_DEBUG("client call got reply " << reply->type);
-        // The server answered: this is the operation's outcome, success or
-        // not — never retried.
-        if (reply->type == kMsgError) return DecodeStatusReply(*reply);
-        return Status::OK();
-      }
-      s = r.status();
+    {
+      std::lock_guard<std::mutex> guard(peer.p_mu);
+      observed_gen = peer.generation;
     }
+    BESS_DEBUG("client call send type " << type << " attempt " << attempt);
+    ReplyFuture fut = CallAsyncOn(peer, type, payload);
+    Result<Message> r = fut.Get();
+    if (r.ok()) {
+      *reply = std::move(*r);
+      BESS_DEBUG("client call got reply " << reply->type);
+      // The server answered: this is the operation's outcome, success or
+      // not — never retried.
+      if (reply->type == kMsgError) return DecodeStatusReply(*reply);
+      return Status::OK();
+    }
+    Status s = r.status();
     last = s;
     if (!IsTransportFailure(s)) return s;
     if (!IsIdempotentRpc(type)) {
@@ -208,36 +354,56 @@ Status RemoteClient::Call(Peer& peer, uint16_t type,
   return last;
 }
 
-Status RemoteClient::Reconnect(Peer& peer) {
+Status RemoteClient::Reconnect(Peer& peer, uint64_t observed_generation) {
+  {
+    std::unique_lock<std::mutex> guard(peer.p_mu);
+    if (peer.generation != observed_generation) {
+      // Another thread reconnected since our attempt failed: ride its work.
+      return Status::OK();
+    }
+    peer.generation++;
+  }
   {
     std::lock_guard<std::mutex> guard(mutex_);
     stats_.reconnects++;
   }
   BESS_COUNT("rpc.reconnect");
-  peer.main.Close();
-  BESS_ASSIGN_OR_RETURN(peer.main, MsgSocket::Connect(peer.path));
-  peer.main.set_simulated_latency_us(options_.simulated_latency_us);
-  BESS_RETURN_IF_ERROR(peer.main.Send(kMsgHello, ""));
-  BESS_ASSIGN_OR_RETURN(Message hello, peer.main.Recv());
-  if (hello.type != kMsgOk || hello.payload.size() != 8) {
-    return Status::Protocol("bad hello reply");
-  }
-  const uint64_t new_session = DecodeFixed64(hello.payload.data());
+  // Retire the old reader (it exits on the generation bump; shutdown wakes
+  // it if parked) and fail whatever was still in flight.
+  StopReader(&peer);
+  FailAllPending(&peer, Status::IOError("connection reset by reconnect"));
 
-  if (&peer == &primary_) {
-    session_id_.store(new_session);
-    // Rebind the callback channel: the old one belonged to the dead session.
-    callback_sock_.Shutdown();
-    if (callback_thread_.joinable()) callback_thread_.join();
-    callback_sock_.Close();
-    BESS_ASSIGN_OR_RETURN(callback_sock_, MsgSocket::Connect(peer.path));
-    std::string bind;
-    PutFixed64(&bind, new_session);
-    BESS_RETURN_IF_ERROR(callback_sock_.Send(kMsgHelloCallback, bind));
-    if (running_.load()) {
-      callback_thread_ = std::thread([this] { CallbackLoop(); });
+  // Swap the socket under send_mu so concurrent pipelined sends can never
+  // interleave with the handshake.
+  {
+    std::lock_guard<std::mutex> guard(peer.send_mu);
+    peer.main.Close();
+    BESS_ASSIGN_OR_RETURN(peer.main, MsgSocket::Connect(peer.path));
+    peer.main.set_simulated_latency_us(options_.simulated_latency_us);
+    BESS_RETURN_IF_ERROR(peer.main.Send(kMsgHello, ""));
+    BESS_ASSIGN_OR_RETURN(Message hello, peer.main.Recv());
+    if (hello.type != kMsgOk || hello.payload.size() != 8) {
+      return Status::Protocol("bad hello reply");
+    }
+    const uint64_t new_session = DecodeFixed64(hello.payload.data());
+
+    if (&peer == &primary_) {
+      session_id_.store(new_session);
+      // Rebind the callback channel: the old one belonged to the dead
+      // session.
+      callback_sock_.Shutdown();
+      if (callback_thread_.joinable()) callback_thread_.join();
+      callback_sock_.Close();
+      BESS_ASSIGN_OR_RETURN(callback_sock_, MsgSocket::Connect(peer.path));
+      std::string bind;
+      PutFixed64(&bind, new_session);
+      BESS_RETURN_IF_ERROR(callback_sock_.Send(kMsgHelloCallback, bind));
+      if (running_.load()) {
+        callback_thread_ = std::thread([this] { CallbackLoop(); });
+      }
     }
   }
+  StartReader(&peer);
 
   // The server released the dead session's locks, so every cached lock —
   // and the 2PL guarantee of any transaction in flight — is gone.
@@ -272,6 +438,7 @@ Status RemoteClient::AddServer(const std::string& server_path,
   BESS_RETURN_IF_ERROR(peer->main.Send(kMsgHello, ""));
   BESS_ASSIGN_OR_RETURN(Message hello, peer->main.Recv());
   if (hello.type != kMsgOk) return Status::Protocol("bad hello reply");
+  StartReader(peer.get());
   extra_peers_.push_back(std::move(peer));
   return Status::OK();
 }
@@ -369,7 +536,11 @@ Status RemoteClient::OnPageWrite(SegmentId id, PageAddr page) {
 
 void RemoteClient::CallbackLoop() {
   while (running_.load()) {
-    auto msg = callback_sock_.Recv();
+    // Poll-first (negative timeout = wait forever): a parked callback loop
+    // only touches the "sock.recv" fault point once a callback (or a close)
+    // is actually pending, so it cannot eat triggers a test aimed at the
+    // main channel's replies.
+    auto msg = callback_sock_.RecvTimeout(-1);
     if (!msg.ok()) break;
     if (msg->type != kMsgCallback || msg->payload.size() < 9) continue;
     const uint64_t key = DecodeFixed64(msg->payload.data());

@@ -16,6 +16,7 @@
 #define BESS_SERVER_REMOTE_CLIENT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -33,6 +34,32 @@
 namespace bess {
 
 struct CommitStats;  // object/database.h
+
+/// The eventual reply of a pipelined RPC issued with CallAsync. Shareable
+/// and cheap to copy; Get() blocks until the reply (or the transport
+/// failure that killed it) arrives. See bess/bess.h §"Pipelined RPCs".
+class ReplyFuture {
+ public:
+  ReplyFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the reply is in. A kMsgError reply is returned as a
+  /// Message (decode with DecodeStatusReply); a non-OK Result means the
+  /// transport died before the reply arrived. Idempotent.
+  Result<Message> Get();
+
+ private:
+  friend class RemoteClient;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;  ///< transport outcome; OK = `reply` is valid
+    Message reply;
+  };
+  std::shared_ptr<State> state_;
+};
 
 class RemoteClient : public AccessObserver {
  public:
@@ -78,6 +105,20 @@ class RemoteClient : public AccessObserver {
   Status Commit(CommitStats* out = nullptr);
   Status Abort();
 
+  // ---- pipelined RPCs --------------------------------------------------------
+
+  /// Issues one raw RPC to the primary server without waiting for the reply:
+  /// many calls may be in flight on the one connection, correlated by
+  /// request id, and the server may be executing them while earlier replies
+  /// are still in transit. No retry/reconnect machinery — the future
+  /// resolves to the reply or to the transport failure. The synchronous
+  /// surface (and its retry semantics) is built on top of this.
+  ReplyFuture CallAsync(uint16_t type, const std::string& payload);
+
+  /// Barrier: blocks until every in-flight RPC on every peer has resolved
+  /// (successfully or not). Useful before asserting server-side state.
+  Status Flush();
+
   /// The server's own metrics snapshot (kMsgGetStats over the wire).
   Result<::bess::Stats> ServerStats();
 
@@ -114,22 +155,45 @@ class RemoteClient : public AccessObserver {
 
  private:
   class RemoteStore;
+
+  /// One server connection. Requests are framed onto the socket under
+  /// `send_mu` (many threads may pipeline concurrently); a per-peer reader
+  /// thread demultiplexes replies back to their futures by request id.
   struct Peer {
     MsgSocket main;
-    std::mutex mutex;  // serialize request/response
-    std::string path;  // server socket path, for reconnect
+    std::mutex send_mu;  ///< serializes frame writes onto the socket
+    std::string path;    ///< server socket path, for reconnect
     std::vector<uint16_t> db_ids;
+
+    /// Guards everything below: the in-flight map, the reconnect
+    /// generation, and reader-thread management.
+    std::mutex p_mu;
+    std::unordered_map<uint64_t, std::shared_ptr<ReplyFuture::State>> pending;
+    std::condition_variable drained_cv;  ///< signalled when pending empties
+    /// Bumped by every (successful or not) Reconnect: a reader observing a
+    /// newer generation exits, and a Call that observed an older one skips
+    /// its own reconnect — someone already did it.
+    uint64_t generation = 0;
+    std::thread reader;
   };
 
   RemoteClient() = default;
 
   Status Call(Peer& peer, uint16_t type, const std::string& payload,
               Message* reply);
+  ReplyFuture CallAsyncOn(Peer& peer, uint16_t type,
+                          const std::string& payload);
+  void ReaderLoop(Peer* peer, uint64_t generation);
+  void StartReader(Peer* peer);
+  /// Shuts the peer's socket and joins its reader (used by teardown).
+  void StopReader(Peer* peer);
+  void FailAllPending(Peer* peer, const Status& s);
   /// Re-establishes a failed peer connection: fresh session (the server has
   /// already — or will — release the dead session's locks), rebound callback
   /// channel for the primary, client lock/data caches invalidated, any
-  /// active transaction poisoned (its 2PL guarantee is gone).
-  Status Reconnect(Peer& peer);
+  /// active transaction poisoned (its 2PL guarantee is gone). A no-op if
+  /// `observed_generation` is stale (a concurrent caller reconnected first).
+  Status Reconnect(Peer& peer, uint64_t observed_generation);
   Peer& PeerFor(uint16_t db_id);
   Status EnsureLock(uint64_t key, LockMode mode, SegmentId home);
   Status SyncTypes();
@@ -144,6 +208,7 @@ class RemoteClient : public AccessObserver {
   std::thread callback_thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> session_id_{0};
+  std::atomic<uint64_t> next_req_id_{1};
 
   TypeTable types_;
   std::unique_ptr<RemoteStore> store_;

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Protocol";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kWouldBlock:
+      return "WouldBlock";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode : unsigned char {
   kNoSpace,        ///< allocator or cache exhausted
   kProtocol,       ///< malformed or unexpected network message
   kInternal,
+  kWouldBlock,     ///< non-blocking op made no/partial progress; retry later
 };
 
 /// Returns the canonical spelling of a code, e.g. "NotFound".
@@ -75,6 +76,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status WouldBlock(std::string msg) {
+    return Status(StatusCode::kWouldBlock, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
@@ -87,6 +91,7 @@ class Status {
   bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
   }
+  bool IsWouldBlock() const { return code() == StatusCode::kWouldBlock; }
 
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
 
