@@ -317,6 +317,178 @@ SweepPoint RunSweepPoint(const std::string& server_path, int n) {
   return pt;
 }
 
+// ---- E16: overload sweep past capacity (DESIGN.md §12) ----------------------
+//
+// A dedicated server whose worker pool is the deterministic bottleneck:
+// kOverloadWorkers workers, each reply costing kOverloadServiceUs of
+// simulated latency, gives a capacity of workers / service_time requests
+// per second, independent of the host. The sweep offers 0.5x, 1x, 2x and
+// 4x that capacity open-loop with every ping carrying a deadline budget,
+// and classifies each reply: kMsgOk is goodput, kDeadlineExceeded /
+// kRetryLater are sheds. Graceful degradation means goodput past capacity
+// holds near the peak (never collapses), accepted-request p99 stays
+// bounded by the deadline (the server sheds stale work instead of serving
+// an ever-growing queue), and every request gets exactly one reply.
+
+constexpr int kOverloadWorkers = 4;
+constexpr uint32_t kOverloadServiceUs = 1000;   // => capacity 4000 req/s
+constexpr uint32_t kOverloadDeadlineMs = 50;
+constexpr int kOverloadClients = 64;
+constexpr double kOverloadSecs = 2.0;
+
+struct OverloadPoint {
+  uint64_t offered = 0;  ///< requests/sec across all clients
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t ok = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_retry = 0;
+  double goodput_per_sec = 0;
+  double p50_us = 0;  ///< accepted (kMsgOk) replies only
+  double p99_us = 0;
+};
+
+/// Open-loop driver for the overload sweep: like DriveClients, but every
+/// ping carries the deadline budget and replies are classified instead of
+/// just counted — only accepted replies contribute latency samples.
+void DriveOverload(const std::string& server_path, int count,
+                   uint64_t interval_ns, uint64_t start_ns, uint64_t stop_ns,
+                   std::vector<uint64_t>* ok_lat_ns, OverloadPoint* agg) {
+  std::vector<SimClient> clients(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto sock = MsgSocket::Connect(server_path);
+    if (!sock.ok()) {
+      fprintf(stderr, "connect: %s\n", sock.status().ToString().c_str());
+      exit(1);
+    }
+    SimClient& c = clients[static_cast<size_t>(i)];
+    c.sock = std::move(*sock);
+    if (!c.sock.Send(kMsgHello, "").ok()) exit(1);
+    auto hello = c.sock.Recv();
+    if (!hello.ok() || hello->type != kMsgOk) exit(1);
+    if (!c.sock.SetNonBlocking(true).ok()) exit(1);
+    c.next_send_ns = start_ns + interval_ns * static_cast<uint64_t>(i) /
+                                    static_cast<uint64_t>(count);
+  }
+
+  std::vector<pollfd> pfds(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    pfds[static_cast<size_t>(i)].fd = clients[static_cast<size_t>(i)].sock.fd();
+  }
+
+  uint64_t in_flight = 0;
+  for (;;) {
+    const uint64_t now = NowNs();
+    bool sending = now < stop_ns;
+    if (!sending && in_flight == 0) break;
+
+    uint64_t next_event = stop_ns + 1000000000ull;  // drain grace: 1s
+    for (auto& c : clients) {
+      if (sending) {
+        while (c.next_send_ns <= now) {
+          std::string payload;
+          PutFixed64(&payload, c.next_send_ns);
+          MsgSocket::QueueFrame(kMsgPing, ++c.sent, payload, &c.send_cont,
+                                kOverloadDeadlineMs);
+          in_flight++;
+          c.next_send_ns += interval_ns;
+        }
+        next_event = std::min(next_event, c.next_send_ns);
+      }
+      if (!c.send_cont.empty()) (void)c.sock.TrySend(&c.send_cont);
+    }
+
+    const uint64_t wake = sending ? std::min(next_event, stop_ns) : next_event;
+    const uint64_t now2 = NowNs();
+    int timeout_ms =
+        wake > now2 ? static_cast<int>((wake - now2) / 1000000ull) + 1 : 0;
+    for (auto& p : pfds) {
+      p.events = POLLIN;
+      p.revents = 0;
+    }
+    int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (!sending && ready == 0) break;  // drain grace expired: lost replies
+
+    if (ready > 0) {
+      for (int i = 0; i < count; ++i) {
+        if (pfds[static_cast<size_t>(i)].revents == 0) continue;
+        SimClient& c = clients[static_cast<size_t>(i)];
+        for (;;) {
+          Message msg;
+          Status s = c.sock.TryRecv(&msg, &c.recv_cont);
+          if (s.IsWouldBlock()) break;
+          if (!s.ok()) {
+            const uint64_t lost = c.sent - c.received;
+            in_flight -= std::min(in_flight, lost);
+            c.received = c.sent;
+            pfds[static_cast<size_t>(i)].fd = -1;
+            break;
+          }
+          if (msg.type == kMsgOk && msg.payload.size() == 8) {
+            agg->ok++;
+            const uint64_t stamp = DecodeFixed64(msg.payload.data());
+            ok_lat_ns->push_back(NowNs() - stamp);
+          } else if (msg.type == kMsgError) {
+            const Status shed = DecodeStatusReply(msg);
+            if (shed.IsDeadlineExceeded()) {
+              agg->shed_deadline++;
+            } else {
+              agg->shed_retry++;
+            }
+          }
+          c.received++;
+          if (in_flight > 0) in_flight--;
+        }
+      }
+    }
+  }
+
+  for (auto& c : clients) {
+    agg->sent += c.sent;
+    agg->received += c.received;
+    (void)c.sock.Send(kMsgGoodbye, "");
+    c.sock.Close();
+  }
+}
+
+OverloadPoint RunOverloadPoint(const std::string& server_path,
+                               uint64_t offered_per_sec) {
+  const uint64_t interval_ns = static_cast<uint64_t>(kOverloadClients) *
+                               1000000000ull / offered_per_sec;
+  std::vector<std::vector<uint64_t>> lat(kDrivers);
+  std::vector<OverloadPoint> parts(kDrivers);
+  const uint64_t start = NowNs() + 100000000ull;
+  const uint64_t stop = start + static_cast<uint64_t>(kOverloadSecs * 1e9);
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      DriveOverload(server_path, kOverloadClients / kDrivers, interval_ns,
+                    start + interval_ns * static_cast<uint64_t>(d) / kDrivers,
+                    stop, &lat[static_cast<size_t>(d)],
+                    &parts[static_cast<size_t>(d)]);
+    });
+  }
+  for (auto& t : drivers) t.join();
+
+  OverloadPoint pt;
+  pt.offered = offered_per_sec;
+  std::vector<uint64_t> all;
+  for (int d = 0; d < kDrivers; ++d) {
+    const OverloadPoint& p = parts[static_cast<size_t>(d)];
+    pt.sent += p.sent;
+    pt.received += p.received;
+    pt.ok += p.ok;
+    pt.shed_deadline += p.shed_deadline;
+    pt.shed_retry += p.shed_retry;
+    all.insert(all.end(), lat[static_cast<size_t>(d)].begin(),
+               lat[static_cast<size_t>(d)].end());
+  }
+  pt.goodput_per_sec = static_cast<double>(pt.ok) / kOverloadSecs;
+  pt.p50_us = Percentile(all, 0.50);
+  pt.p99_us = Percentile(all, 0.99);
+  return pt;
+}
+
 }  // namespace
 
 int main() {
@@ -386,6 +558,58 @@ int main() {
       "reactor coalescing dispatch per wakeup instead of one syscall round\n"
       "trip per message.\n");
 
+  // E16: overload sweep against a dedicated server whose worker pool is the
+  // deterministic bottleneck (capacity = workers / service time), with the
+  // overload-protection layer on. The shed counts are the degradation made
+  // visible: every refused request got an explicit kDeadlineExceeded or
+  // kRetryLater reply rather than silence or a growing queue.
+  const uint64_t capacity = static_cast<uint64_t>(kOverloadWorkers) *
+                            1000000ull / kOverloadServiceUs;
+  ScaleServer ovl;
+  {
+    Database::Options dbo;
+    dbo.dir = dir.Sub("ovl_db");
+    dbo.db_id = 1;
+    dbo.create = true;
+    auto db = Database::Open(dbo);
+    if (!db.ok()) exit(1);
+    ovl.db = std::move(*db);
+    BessServer::Options so;
+    so.socket_path = dir.Sub("ovl.sock");
+    so.worker_threads = kOverloadWorkers;
+    so.simulated_latency_us = kOverloadServiceUs;
+    so.max_inflight_global = 64;
+    so.idle_timeout_ms = 0;  // the sweep itself controls connection life
+    ovl.server = std::make_unique<BessServer>(so);
+    (void)ovl.server->AddDatabase(ovl.db.get());
+    if (!ovl.server->Start().ok()) exit(1);
+    ovl.path = so.socket_path;
+  }
+
+  PrintHeader(
+      "E16: overload sweep past capacity (DESIGN.md §12)",
+      "offered/s      sent  received        ok  shed-dl  shed-rl"
+      "  goodput/s   p50-us   p99-us");
+  std::vector<OverloadPoint> overload;
+  for (uint64_t rate : {capacity / 2, capacity, 2 * capacity, 4 * capacity}) {
+    OverloadPoint pt = RunOverloadPoint(ovl.path, rate);
+    printf("%9llu  %8llu  %8llu  %8llu  %7llu  %7llu  %9.1f  %7.0f  %7.0f\n",
+           (unsigned long long)pt.offered, (unsigned long long)pt.sent,
+           (unsigned long long)pt.received, (unsigned long long)pt.ok,
+           (unsigned long long)pt.shed_deadline,
+           (unsigned long long)pt.shed_retry, pt.goodput_per_sec, pt.p50_us,
+           pt.p99_us);
+    overload.push_back(pt);
+  }
+  printf(
+      "\nExpectation: goodput climbs to capacity (%llu/s here: %d workers x\n"
+      "%uus service) and *stays near it* past saturation instead of\n"
+      "collapsing; the surplus is shed with explicit kDeadlineExceeded /\n"
+      "kRetryLater replies, so accepted-request p99 stays bounded by the\n"
+      "%ums deadline budget and sent == received at every point.\n",
+      (unsigned long long)capacity, kOverloadWorkers, kOverloadServiceUs,
+      kOverloadDeadlineMs);
+
   // The persistent gate artifact: flat keys, one per line, awk-parseable.
   {
     std::string out_dir = ".";
@@ -407,13 +631,37 @@ int main() {
               "  \"open_loop_%d_threads\": %d,\n"
               "  \"open_loop_%d_reactor_wakeups\": %llu,\n"
               "  \"open_loop_%d_reactor_batch_p50\": %.2f,\n"
-              "  \"open_loop_%d_reactor_batch_max\": %llu%s\n",
+              "  \"open_loop_%d_reactor_batch_max\": %llu,\n",
               pt.clients, (unsigned long long)pt.sent, pt.clients,
               (unsigned long long)pt.received, pt.clients, pt.p50_us,
               pt.clients, pt.p99_us, pt.clients, pt.threads, pt.clients,
               (unsigned long long)pt.wakeups, pt.clients, pt.batch_p50,
-              pt.clients, (unsigned long long)pt.batch_max,
-              i + 1 == sweep.size() ? "" : ",");
+              pt.clients, (unsigned long long)pt.batch_max);
+    }
+    fprintf(f, "  \"overload_capacity_per_sec\": %llu,\n",
+            (unsigned long long)capacity);
+    for (size_t i = 0; i < overload.size(); ++i) {
+      const OverloadPoint& pt = overload[i];
+      fprintf(f,
+              "  \"overload_%llu_sent\": %llu,\n"
+              "  \"overload_%llu_received\": %llu,\n"
+              "  \"overload_%llu_ok\": %llu,\n"
+              "  \"overload_%llu_shed_deadline\": %llu,\n"
+              "  \"overload_%llu_shed_retry\": %llu,\n"
+              "  \"overload_%llu_goodput_per_sec\": %.1f,\n"
+              "  \"overload_%llu_p50_us\": %.1f,\n"
+              "  \"overload_%llu_p99_us\": %.1f%s\n",
+              (unsigned long long)pt.offered, (unsigned long long)pt.sent,
+              (unsigned long long)pt.offered, (unsigned long long)pt.received,
+              (unsigned long long)pt.offered, (unsigned long long)pt.ok,
+              (unsigned long long)pt.offered,
+              (unsigned long long)pt.shed_deadline,
+              (unsigned long long)pt.offered,
+              (unsigned long long)pt.shed_retry,
+              (unsigned long long)pt.offered, pt.goodput_per_sec,
+              (unsigned long long)pt.offered, pt.p50_us,
+              (unsigned long long)pt.offered, pt.p99_us,
+              i + 1 == overload.size() ? "" : ",");
     }
     fprintf(f, "}\n");
     fclose(f);

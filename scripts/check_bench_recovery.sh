@@ -63,5 +63,9 @@ awk -v b="$BASE_MS" -v f="$FUZZY_MS" 'BEGIN { exit !(f <= 1.5 * b) }' || {
   echo "than 1.5x the full-scan baseline (${BASE_MS}ms)" >&2
   exit 1
 }
+# Publish the gate artifact at the repo root so the latest gated run is
+# always inspectable without digging through build dirs.
+cp "$JSON" ./BENCH_recovery.json
+
 echo "check_bench_recovery: OK — fuzzy-checkpoint restart is bounded by the"
 echo "dirty set, not the log length"

@@ -91,5 +91,73 @@ awk -v b="$BATCH_MAX_256" 'BEGIN { exit !(b + 0 > 1) }' || {
   echo "check_bench_scale: FAILED — reactor reply batches never exceeded 1" >&2
   exit 1
 }
+
+# ---- E16: overload sweep gates (DESIGN.md §12) ------------------------------
+# Graceful degradation past capacity: goodput at 4x offered load holds at
+# >= 70% of the peak across the sweep, accepted-request p99 stays within
+# 2x the deadline budget (the server sheds stale work instead of serving an
+# ever-growing queue), every request got exactly one reply, and the surplus
+# actually was shed (the protection layer engaged).
+CAPACITY=$(field overload_capacity_per_sec)
+if [ -z "$CAPACITY" ]; then
+  echo "check_bench_scale: FAILED — no overload sweep in $JSON" >&2
+  exit 1
+fi
+PEAK=0
+for MULT in 2 4; do
+  RATE=$((CAPACITY * MULT))
+  G=$(field "overload_${RATE}_goodput_per_sec")
+  PEAK=$(awk -v a="$PEAK" -v b="${G:-0}" 'BEGIN { print (b + 0 > a + 0) ? b : a }')
+done
+HALF_G=$(field "overload_$((CAPACITY / 2))_goodput_per_sec")
+PEAK=$(awk -v a="$PEAK" -v b="${HALF_G:-0}" -v c="$(field "overload_${CAPACITY}_goodput_per_sec")" \
+       'BEGIN { m = a + 0; if (b + 0 > m) m = b + 0; if (c + 0 > m) m = c + 0; print m }')
+OVER_RATE=$((CAPACITY * 4))
+OVER_G=$(field "overload_${OVER_RATE}_goodput_per_sec")
+OVER_P99=$(field "overload_${OVER_RATE}_p99_us")
+OVER_SENT=$(field "overload_${OVER_RATE}_sent")
+OVER_RECV=$(field "overload_${OVER_RATE}_received")
+OVER_SHED=$(awk -v a="$(field "overload_${OVER_RATE}_shed_deadline")" \
+                -v b="$(field "overload_${OVER_RATE}_shed_retry")" \
+                'BEGIN { print a + b }')
+P99_OVERLOAD_BUDGET_US="${BESS_OVERLOAD_P99_BUDGET_US:-100000}"
+
+if [ -z "$OVER_G" ] || [ -z "$OVER_P99" ] || [ -z "$OVER_SENT" ] ||
+   [ -z "$OVER_RECV" ]; then
+  echo "check_bench_scale: FAILED to parse overload sweep from $JSON" >&2
+  exit 1
+fi
+
+echo "overload 4x capacity: goodput ${OVER_G}/s (peak ${PEAK}/s)," \
+     "p99 ${OVER_P99}us, $OVER_RECV/$OVER_SENT replies, $OVER_SHED shed"
+
+awk -v got="$OVER_RECV" -v want="$OVER_SENT" 'BEGIN { exit !(got == want) }' || {
+  echo "check_bench_scale: FAILED — overload sweep lost replies at 4x capacity:" >&2
+  echo "sheds must be explicit error replies, never silence" >&2
+  exit 1
+}
+awk -v g="$OVER_G" -v peak="$PEAK" 'BEGIN { exit !(g + 0 >= 0.7 * peak) }' || {
+  echo "check_bench_scale: FAILED — goodput collapsed past capacity:" >&2
+  echo "${OVER_G}/s at 4x offered vs ${PEAK}/s peak (< 70%)" >&2
+  exit 1
+}
+awk -v p99="$OVER_P99" -v budget="$P99_OVERLOAD_BUDGET_US" \
+    'BEGIN { exit !(p99 + 0 > 0 && p99 <= budget) }' || {
+  echo "check_bench_scale: FAILED — accepted-request p99 at 4x capacity" >&2
+  echo "(${OVER_P99}us) outside budget (${P99_OVERLOAD_BUDGET_US}us): the" >&2
+  echo "server is queueing stale work instead of shedding it" >&2
+  exit 1
+}
+awk -v s="$OVER_SHED" 'BEGIN { exit !(s + 0 > 0) }' || {
+  echo "check_bench_scale: FAILED — nothing was shed at 4x capacity: the" >&2
+  echo "overload-protection layer never engaged" >&2
+  exit 1
+}
+
+# Publish the gate artifact at the repo root so the latest gated run is
+# always inspectable without digging through build dirs.
+cp "$JSON" ./BENCH_scale.json
+
 echo "check_bench_scale: OK (scaling >= 2x, group commit batching," \
-     "open-loop p99 in budget, O(workers) threads, batched dispatch)"
+     "open-loop p99 in budget, O(workers) threads, batched dispatch," \
+     "graceful degradation past capacity)"

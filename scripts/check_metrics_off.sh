@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# Verifies that the library still compiles with the observability subsystem
+# Verifies that the library still works with the observability subsystem
 # compiled out (BESS_METRICS=OFF): every BESS_COUNT / BESS_SPAN / BESS_GAUGE
-# site must reduce to a no-op, never to a missing symbol. CI regression gate
-# for the "pay only for what you use" configurability claim.
+# site must reduce to a no-op, never to a missing symbol — and the full test
+# suite must pass, so no code path *depends* on a metric being recorded
+# (counter-delta assertions in tests are compiled out alongside). CI
+# regression gate for the "pay only for what you use" configurability claim.
 set -eu
 cd "$(dirname "$0")/.."
 cmake --preset metrics-off
 cmake --build --preset metrics-off -j
 echo "BESS_METRICS=OFF build: OK"
+ctest --test-dir build-off --output-on-failure -j "$(nproc)"
+echo "BESS_METRICS=OFF tests: OK"

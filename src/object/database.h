@@ -280,6 +280,13 @@ class Database {
   LogManager* wal() { return wal_.get(); }
   const Options& options() const { return options_; }
 
+  /// True while the retained WAL is over its soft limit. The server sheds
+  /// new commit/prepare work with RetryLater while this holds, so clients
+  /// back off instead of piling onto a throttled append (DESIGN.md §12).
+  bool LogBackpressured() const {
+    return wal_ != nullptr && wal_->IsBackpressured();
+  }
+
   /// Finds the open Database that owns a mapped object address (used by
   /// typed references to route inter-database operations).
   static Database* FindByAddress(const void* addr);

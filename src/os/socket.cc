@@ -110,7 +110,7 @@ Status MsgSocket::SetNonBlocking(bool on) {
 // ---- non-blocking core ------------------------------------------------------
 
 void MsgSocket::QueueFrame(uint16_t type, uint64_t req_id, Slice payload,
-                           SendContinuation* cont) {
+                           SendContinuation* cont, uint32_t deadline_ms) {
   // Compact a fully drained continuation so back-to-back queue/flush cycles
   // don't grow the buffer forever.
   if (cont->empty()) cont->clear();
@@ -118,6 +118,7 @@ void MsgSocket::QueueFrame(uint16_t type, uint64_t req_id, Slice payload,
   EncodeFixed32(header, static_cast<uint32_t>(payload.size()));
   EncodeFixed16(header + 4, type);
   EncodeFixed64(header + 6, req_id);
+  EncodeFixed32(header + 14, deadline_ms);
   cont->buf.append(header, sizeof(header));
   if (!payload.empty()) cont->buf.append(payload.data(), payload.size());
   g_messages_sent.fetch_add(1, std::memory_order_relaxed);
@@ -196,6 +197,7 @@ Status MsgSocket::TryRecv(Message* out, RecvContinuation* cont) {
     }
     out->type = DecodeFixed16(cont->buf.data() + 4);
     out->req_id = DecodeFixed64(cont->buf.data() + 6);
+    out->deadline_ms = DecodeFixed32(cont->buf.data() + 14);
     out->payload.assign(cont->buf, kHeaderSize, std::string::npos);
     cont->clear();
     return Status::OK();
@@ -204,11 +206,12 @@ Status MsgSocket::TryRecv(Message* out, RecvContinuation* cont) {
 
 // ---- blocking wrappers ------------------------------------------------------
 
-Status MsgSocket::Send(uint16_t type, Slice payload, uint64_t req_id) {
+Status MsgSocket::Send(uint16_t type, Slice payload, uint64_t req_id,
+                       uint32_t deadline_ms) {
   BESS_RETURN_IF_ERROR(fault::Check("sock.send", name_));
   if (latency_us_ > 0) ::usleep(latency_us_);
   SendContinuation cont;
-  QueueFrame(type, req_id, payload, &cont);
+  QueueFrame(type, req_id, payload, &cont, deadline_ms);
   for (;;) {
     Status s = TrySend(&cont);
     if (s.ok()) return s;

@@ -24,12 +24,17 @@
 
 namespace bess {
 
-/// One framed message: a small type tag, a pipelining correlation id, and
-/// an opaque payload. Replies echo the request's id so a connection can
-/// carry many in-flight RPCs (req_id 0 = unpipelined request/response).
+/// One framed message: a small type tag, a pipelining correlation id, a
+/// request deadline, and an opaque payload. Replies echo the request's id so
+/// a connection can carry many in-flight RPCs (req_id 0 = unpipelined
+/// request/response). `deadline_ms` is the sender's remaining time budget
+/// (relative, so peers need no clock agreement): 0 = no deadline; a server
+/// sheds queued work whose budget expired before dispatch instead of
+/// executing it (DESIGN.md §12).
 struct Message {
   uint16_t type = 0;
   uint64_t req_id = 0;
+  uint32_t deadline_ms = 0;
   std::string payload;
 };
 
@@ -68,8 +73,9 @@ struct RecvContinuation {
 /// externally serialized, likewise Recv.
 class MsgSocket {
  public:
-  /// Wire frame header: u32 payload length, u16 type, u64 request id.
-  static constexpr size_t kHeaderSize = 14;
+  /// Wire frame header: u32 payload length, u16 type, u64 request id,
+  /// u32 deadline budget in ms (0 = none).
+  static constexpr size_t kHeaderSize = 18;
 
   MsgSocket() = default;
   ~MsgSocket();
@@ -92,7 +98,7 @@ class MsgSocket {
   /// toward TotalMessagesSent. Several messages may be queued before a
   /// flush; they leave the wire back-to-back.
   static void QueueFrame(uint16_t type, uint64_t req_id, Slice payload,
-                         SendContinuation* cont);
+                         SendContinuation* cont, uint32_t deadline_ms = 0);
 
   /// Writes as much of `cont` as the wire accepts. OK = continuation fully
   /// flushed; WouldBlock = partial progress, retry when writable (fault
@@ -115,7 +121,8 @@ class MsgSocket {
 
   /// Sends one message (applies the simulated latency first); blocks until
   /// the whole frame is on the wire. Thin wrapper over QueueFrame+TrySend.
-  Status Send(uint16_t type, Slice payload, uint64_t req_id = 0);
+  Status Send(uint16_t type, Slice payload, uint64_t req_id = 0,
+              uint32_t deadline_ms = 0);
 
   /// Receives one message; blocks. Returns Protocol status on peer close.
   /// Thin wrapper over TryRecv.

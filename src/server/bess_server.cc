@@ -47,9 +47,15 @@ Status BessServer::AddDatabase(Database* db) {
 
 Status BessServer::Start() {
   BESS_ASSIGN_OR_RETURN(listener_, MsgListener::Listen(options_.socket_path));
-  const int workers = options_.worker_threads > 0 ? options_.worker_threads
-                                                  : DefaultWorkerCount();
-  reactor_ = std::make_unique<Reactor>(workers);
+  Reactor::Options ropts;
+  ropts.workers = options_.worker_threads > 0 ? options_.worker_threads
+                                              : DefaultWorkerCount();
+  ropts.send_soft_cap_bytes = options_.send_soft_cap_bytes;
+  ropts.send_hard_cap_bytes = options_.send_hard_cap_bytes;
+  ropts.idle_timeout_ms = options_.idle_timeout_ms;
+  ropts.probe_type = kMsgPing;
+  ropts.watchdog_ms = options_.watchdog_ms;
+  reactor_ = std::make_unique<Reactor>(ropts);
   BESS_RETURN_IF_ERROR(reactor_->AddListener(
       &listener_, [this](MsgSocket sock) { OnAccept(std::move(sock)); }));
   running_.store(true);
@@ -104,6 +110,16 @@ std::shared_ptr<BessServer::Session> BessServer::FindSession(uint64_t id) {
 }
 
 void BessServer::OnAccept(MsgSocket sock) {
+  // Accept-time admission: past the connection cap there is no session to
+  // reply through, so the socket is simply closed — the cheapest possible
+  // refusal, and on the client a clean retryable transport failure.
+  if (options_.max_connections > 0 &&
+      reactor_->ConnCountOnEventThread() >= options_.max_connections) {
+    stats_.conns_rejected.fetch_add(1, std::memory_order_relaxed);
+    BESS_COUNT("server.overload.conn_rejected");
+    sock.Close();
+    return;
+  }
   // What this connection *is* — a new session's main channel or the
   // callback channel of an existing session — is decided by its first
   // message, so the handler carries a slot that Hello fills in.
@@ -159,12 +175,56 @@ void BessServer::OnConnMessage(
     }
     return;
   }
+  // An unsolicited kMsgOk/kMsgError inbound is a client's answer to our
+  // idle probe (or a stray reply): pure liveness, already credited by the
+  // reactor's activity tracking. Never a request — drop it here.
+  if (msg.type == kMsgOk || msg.type == kMsgError) return;
+
+  // Enqueue admission (DESIGN.md §12). Shedding order under overload:
+  // phase-two 2PC decisions and Goodbye always pass (refusing them only
+  // delays resolving an already-decided transaction); commit-carrying work
+  // gets double the global budget; everything else sheds first. Every shed
+  // is an explicit kRetryLater reply, never a silent drop.
+  const bool exempt = msg.type == kMsgCommitPrepared ||
+                      msg.type == kMsgAbortPrepared || msg.type == kMsgGoodbye;
+  if (!exempt && options_.max_inflight_global > 0) {
+    const uint64_t budget =
+        (msg.type == kMsgCommit || msg.type == kMsgPrepare)
+            ? uint64_t{options_.max_inflight_global} * 2
+            : uint64_t{options_.max_inflight_global};
+    if (inflight_.load(std::memory_order_relaxed) >= budget) {
+      stats_.shed_admission.fetch_add(1, std::memory_order_relaxed);
+      BESS_COUNT("server.overload.shed.admission");
+      ShedRequest(conn, msg.req_id,
+                  Status::RetryLater("server at capacity; back off"));
+      return;
+    }
+  }
+
+  // The wire deadline is a relative budget; pin it to an absolute expiry at
+  // arrival so time spent queued counts against it.
+  Session::Queued q;
+  q.expiry = msg.deadline_ms > 0
+                 ? std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(msg.deadline_ms)
+                 : std::chrono::steady_clock::time_point::max();
+  q.msg = std::move(msg);
+
   // Pipelining: append to the session's FIFO and claim the single-drainer
   // token if no worker currently owns this session.
   bool claim = false;
   {
     std::lock_guard<std::mutex> guard(session->q_mu);
-    session->queue.push_back(std::move(msg));
+    if (!exempt && options_.max_inflight_per_session > 0 &&
+        session->queue.size() >= options_.max_inflight_per_session) {
+      stats_.shed_admission.fetch_add(1, std::memory_order_relaxed);
+      BESS_COUNT("server.overload.shed.admission");
+      ShedRequest(conn, q.msg.req_id,
+                  Status::RetryLater("session pipeline full; back off"));
+      return;
+    }
+    session->queue.push_back(std::move(q));
+    inflight_.fetch_add(1, std::memory_order_relaxed);
     if (!session->draining) {
       session->draining = true;
       claim = true;
@@ -212,8 +272,10 @@ void BessServer::DrainSession(std::shared_ptr<Session> session) {
       std::string reply;
       EncodeStatus(s, &type, &reply);
       SendReply(*session, type, session->lock_wait.req_id, std::move(reply));
+      // The kMsgLock request that started this wait completes here.
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
     }
-    Message msg;
+    Session::Queued q;
     bool got = false;
     bool cleanup = false;
     {
@@ -225,7 +287,7 @@ void BessServer::DrainSession(std::shared_ptr<Session> session) {
           cleanup = true;
         }
       } else {
-        msg = std::move(session->queue.front());
+        q = std::move(session->queue.front());
         session->queue.pop_front();
         got = true;
       }
@@ -235,11 +297,29 @@ void BessServer::DrainSession(std::shared_ptr<Session> session) {
       return;
     }
     if (!got) return;
-    if (session->defunct.load()) continue;  // torn down: drop queued work
+    Message msg = std::move(q.msg);
+    if (session->defunct.load()) {  // torn down: drop queued work
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
     if (msg.type == kMsgGoodbye) {
       // Close via the event loop; its on_close re-enters the drain path for
       // the final cleanup once the token is released.
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
       reactor_->CloseConn(session->conn);
+      continue;
+    }
+    // Deadline shed: the client's budget ran out while the request sat in
+    // the pipeline. Executing it would burn worker time on an answer no one
+    // is waiting for — refuse instead, before dispatch. Phase-two 2PC
+    // decisions execute regardless: they only shrink in-doubt state.
+    if (q.expiry <= std::chrono::steady_clock::now() &&
+        msg.type != kMsgCommitPrepared && msg.type != kMsgAbortPrepared) {
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      BESS_COUNT("server.overload.shed.deadline");
+      ShedRequest(session->conn, msg.req_id,
+                  Status::DeadlineExceeded("deadline passed before dispatch"));
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
     if (msg.type == kMsgLock) {
@@ -254,6 +334,7 @@ void BessServer::DrainSession(std::shared_ptr<Session> session) {
         std::string reply;
         EncodeStatus(Status::Protocol("bad lock request"), &type, &reply);
         SendReply(*session, type, msg.req_id, std::move(reply));
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
         continue;
       }
       stats_.lock_requests.fetch_add(1, std::memory_order_relaxed);
@@ -262,16 +343,17 @@ void BessServer::DrainSession(std::shared_ptr<Session> session) {
       session->lock_wait.mode =
           ModeFromByte(static_cast<uint8_t>(mode_byte.data()[0]));
       session->lock_wait.req_id = msg.req_id;
-      session->lock_wait.deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::milliseconds(timeout > 0 ? timeout
-                                                : options_.lock_timeout_ms);
+      session->lock_wait.deadline = std::min(
+          q.expiry, std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            timeout > 0 ? timeout : options_.lock_timeout_ms));
       continue;  // the top of the loop runs the first round
     }
     uint16_t reply_type;
     std::string reply;
     Handle(*session, msg, &reply_type, &reply);
     SendReply(*session, reply_type, msg.req_id, std::move(reply));
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -300,6 +382,17 @@ void BessServer::CleanupSession(const std::shared_ptr<Session>& session) {
   }
   stats_.sessions_reaped.fetch_add(1, std::memory_order_relaxed);
   BESS_GAUGE_SUB("srv.session.active", 1);
+}
+
+void BessServer::ShedRequest(Reactor::ConnId conn, uint64_t req_id,
+                             const Status& s) {
+  // No simulated LAN latency here: a shed exists to be cheaper than the
+  // work it refuses, and under overload the worker (or event thread) must
+  // not sleep per refusal.
+  uint16_t type;
+  std::string reply;
+  EncodeStatus(s, &type, &reply);
+  reactor_->Send(conn, type, req_id, std::move(reply));
 }
 
 void BessServer::SendReply(Session& session, uint16_t type, uint64_t req_id,
@@ -426,6 +519,16 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       for (PageImage& img : pages) by_db[img.db].push_back(std::move(img));
       for (auto& [db_id, set] : by_db) {
         BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+        // WAL backpressure: while the retained log is over its soft limit,
+        // refuse *new* commit work outright rather than parking a worker in
+        // a throttled append. The client retries after backing off — by
+        // then the forced checkpoint has usually reclaimed space. A replay
+        // of an applied commit never gets here (dedup window answered OK).
+        if (db->LogBackpressured()) {
+          stats_.shed_log_full.fetch_add(1, std::memory_order_relaxed);
+          BESS_COUNT("server.overload.shed.log_full");
+          return Status::RetryLater("log full; retry after backoff");
+        }
         BESS_RETURN_IF_ERROR(db->CommitPageSet(set));
       }
       if (ctid != 0) {
@@ -450,6 +553,13 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       for (PageImage& img : pages) by_db[img.db].push_back(std::move(img));
       for (auto& [db_id, set] : by_db) {
         BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+        // Same WAL-backpressure refusal as kMsgCommit: prepares open *new*
+        // in-doubt state, which is exactly what a full log cannot afford.
+        if (db->LogBackpressured()) {
+          stats_.shed_log_full.fetch_add(1, std::memory_order_relaxed);
+          BESS_COUNT("server.overload.shed.log_full");
+          return Status::RetryLater("log full; retry after backoff");
+        }
         BESS_RETURN_IF_ERROR(db->PreparePageSet(gtid, set));
       }
       session.prepared_gtids.insert(gtid);
@@ -694,7 +804,20 @@ BessServer::Stats BessServer::stats() const {
       stats_.callbacks_denied.load(std::memory_order_relaxed);
   out.callback_timeouts =
       stats_.callback_timeouts.load(std::memory_order_relaxed);
+  out.shed_deadline = stats_.shed_deadline.load(std::memory_order_relaxed);
+  out.shed_admission = stats_.shed_admission.load(std::memory_order_relaxed);
+  out.shed_log_full = stats_.shed_log_full.load(std::memory_order_relaxed);
+  out.conns_rejected = stats_.conns_rejected.load(std::memory_order_relaxed);
   return out;
+}
+
+size_t BessServer::live_sessions() const {
+  size_t n = 0;
+  for (const SessionShard& shard : session_shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
 }
 
 }  // namespace bess

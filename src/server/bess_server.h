@@ -52,6 +52,30 @@ class BessServer {
     /// Blocking-work pool size (fsync/group commit, page I/O, lock waits).
     /// 0 picks a small default; the count never scales with connections.
     int worker_threads = 0;
+
+    // ---- overload protection (DESIGN.md §12); 0 always means "off" ------
+
+    /// Accept-time admission: connections beyond this are closed without a
+    /// session (the client's connect succeeds, then the socket drops —
+    /// a retryable transport failure on its side).
+    size_t max_connections = 0;
+    /// Per-session pipelining depth: requests queued beyond this are shed
+    /// with kRetryLater instead of buffered without bound.
+    uint32_t max_inflight_per_session = 0;
+    /// Global enqueued-but-unfinished request cap. Commit-carrying work
+    /// (kMsgCommit/kMsgPrepare) gets 2x this budget so under overload the
+    /// server finishes transactions rather than starting new reads;
+    /// phase-two 2PC decisions are never shed.
+    uint32_t max_inflight_global = 0;
+    /// Outbound byte caps per connection (reactor slow-consumer policy):
+    /// throttle reads above soft, disconnect above hard.
+    size_t send_soft_cap_bytes = 1u << 20;
+    size_t send_hard_cap_bytes = 8u << 20;
+    /// Idle/half-open reaping: a connection silent this long is pinged
+    /// (kMsgPing) and closed if the next period also passes silent.
+    uint32_t idle_timeout_ms = 0;
+    /// Workers stuck on one task longer than this are flagged.
+    uint32_t watchdog_ms = 0;
   };
 
   struct Stats {
@@ -67,6 +91,12 @@ class BessServer {
     /// Sessions torn down because a callback round trip timed out: the
     /// holder is presumed dead and unwinds into presumed-abort cleanup.
     uint64_t callback_timeouts = 0;
+    /// Overload sheds (DESIGN.md §12): every shed is a *reply* (never a
+    /// silent drop), so these reconcile against client-side counts.
+    uint64_t shed_deadline = 0;   ///< expired budget, kDeadlineExceeded
+    uint64_t shed_admission = 0;  ///< in-flight caps, kRetryLater
+    uint64_t shed_log_full = 0;   ///< WAL backpressure, kRetryLater
+    uint64_t conns_rejected = 0;  ///< closed at accept (max_connections)
   };
 
   explicit BessServer(Options options);
@@ -82,6 +112,14 @@ class BessServer {
   const std::string& socket_path() const { return options_.socket_path; }
   Stats stats() const;
   LockStats lock_stats() const { return locks_.stats(); }
+
+  /// Sessions currently registered (leak checks: must return to baseline
+  /// after clients disconnect).
+  size_t live_sessions() const;
+  /// Workers currently stuck past watchdog_ms (0 when healthy).
+  int stuck_workers() const {
+    return reactor_ != nullptr ? reactor_->stuck_workers() : 0;
+  }
 
  private:
   /// An in-progress cooperative lock wait. A lock request that cannot be
@@ -111,11 +149,20 @@ class BessServer {
     /// instead of riding out the timeout on a doomed request.
     std::atomic<bool> defunct{false};
 
+    /// One queued request plus its deadline, fixed at arrival: a relative
+    /// wire budget (Message::deadline_ms) becomes an absolute expiry here,
+    /// so queueing delay counts against it and an expired request is shed
+    /// before dispatch instead of executed late (DESIGN.md §12).
+    struct Queued {
+      Message msg;
+      std::chrono::steady_clock::time_point expiry;
+    };
+
     /// Pipelining queue: the event thread appends, one worker at a time
     /// drains. `draining` is the single-drainer token; `closed` is set by
     /// the reactor's on_close; `cleaned` makes teardown run exactly once.
     std::mutex q_mu;
-    std::deque<Message> queue;
+    std::deque<Queued> queue;
     bool draining = false;
     bool closed = false;
     bool cleaned = false;
@@ -138,7 +185,7 @@ class BessServer {
   static constexpr uint32_t kSessionShards = 16;
   static constexpr uint32_t kCommitShards = 8;
   struct SessionShard {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::unordered_map<uint64_t, std::shared_ptr<Session>> map;
   };
   struct CommitShard {
@@ -160,6 +207,10 @@ class BessServer {
     std::atomic<uint64_t> callbacks_released{0};
     std::atomic<uint64_t> callbacks_denied{0};
     std::atomic<uint64_t> callback_timeouts{0};
+    std::atomic<uint64_t> shed_deadline{0};
+    std::atomic<uint64_t> shed_admission{0};
+    std::atomic<uint64_t> shed_log_full{0};
+    std::atomic<uint64_t> conns_rejected{0};
   };
 
   SessionShard& SessionShardFor(uint64_t id) {
@@ -183,6 +234,9 @@ class BessServer {
   void CleanupSession(const std::shared_ptr<Session>& session);
   void SendReply(Session& session, uint16_t type, uint64_t req_id,
                  std::string payload);
+  /// Replies `s` to a request being refused without execution. Bypasses the
+  /// simulated LAN latency: a shed must be cheaper than the work it sheds.
+  void ShedRequest(Reactor::ConnId conn, uint64_t req_id, const Status& s);
   /// Handles one request; fills the reply (type + payload).
   void Handle(Session& session, const Message& msg, uint16_t* reply_type,
               std::string* reply);
@@ -205,6 +259,10 @@ class BessServer {
   std::unique_ptr<Reactor> reactor_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> next_session_{1};
+  /// Requests enqueued but not yet finished, across all sessions — the
+  /// quantity max_inflight_global caps. Incremented at enqueue (event
+  /// thread), decremented once per request when its drain completes it.
+  std::atomic<uint64_t> inflight_{0};
 
   /// Populated by AddDatabase strictly before Start(); read without a lock
   /// afterwards (Start()'s thread creation publishes it).

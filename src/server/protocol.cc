@@ -23,6 +23,8 @@ Status DecodeStatusReply(const Message& msg) {
     case StatusCode::kAborted: return Status::Aborted(text);
     case StatusCode::kNoSpace: return Status::NoSpace(text);
     case StatusCode::kProtocol: return Status::Protocol(text);
+    case StatusCode::kDeadlineExceeded: return Status::DeadlineExceeded(text);
+    case StatusCode::kRetryLater: return Status::RetryLater(text);
     default: return Status::Internal(text);
   }
 }

@@ -3,7 +3,10 @@
 #include <string.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <time.h>
 #include <unistd.h>
+
+#include <algorithm>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -18,9 +21,17 @@ constexpr uint64_t kListenerBit = 1ull << 63;
 
 thread_local const Reactor* t_event_reactor = nullptr;
 
+uint64_t MonotonicNs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
 }  // namespace
 
-Reactor::Reactor(int workers) : num_workers_(workers < 1 ? 1 : workers) {
+Reactor::Reactor(Options options)
+    : opts_(options), num_workers_(opts_.workers < 1 ? 1 : opts_.workers) {
   epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (epfd_ >= 0 && wake_fd_ >= 0) {
@@ -29,6 +40,16 @@ Reactor::Reactor(int workers) : num_workers_(workers < 1 ? 1 : workers) {
     ev.data.u64 = kWakeTag;
     ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
   }
+  if (opts_.idle_timeout_ms > 0) {
+    // Coarse wheel: a quarter of the idle period, floored so a tiny timeout
+    // cannot turn the event loop into a busy spin.
+    wheel_granularity_ns_ =
+        std::max<uint64_t>(10, opts_.idle_timeout_ms / 4) * 1000000ull;
+  }
+  worker_busy_since_ns_ =
+      std::make_unique<std::atomic<uint64_t>[]>(num_workers_);
+  for (int i = 0; i < num_workers_; ++i) worker_busy_since_ns_[i] = 0;
+  worker_reported_stamp_.assign(num_workers_, 0);
 }
 
 Reactor::~Reactor() {
@@ -53,7 +74,7 @@ Status Reactor::Start() {
   event_thread_ = std::thread(&Reactor::EventLoop, this);
   workers_.reserve(num_workers_);
   for (int i = 0; i < num_workers_; ++i) {
-    workers_.emplace_back(&Reactor::WorkerLoop, this);
+    workers_.emplace_back(&Reactor::WorkerLoop, this, i);
   }
   return Status::OK();
 }
@@ -108,6 +129,7 @@ Reactor::ConnId Reactor::AddConnection(MsgSocket sock, ConnHandler handler) {
   auto conn = std::make_unique<Conn>();
   conn->sock = std::move(sock);
   conn->handler = std::move(handler);
+  conn->last_activity_ns = MonotonicNs();
   epoll_event ev{};
   // One registration, edge-triggered, for the connection's whole life:
   // EPOLLOUT edges arrive only after a send hit WouldBlock, EPOLLIN edges
@@ -118,7 +140,11 @@ Reactor::ConnId Reactor::AddConnection(MsgSocket sock, ConnHandler handler) {
     BESS_ERROR("reactor: epoll_ctl(add conn): " << strerror(errno));
     return 0;
   }
+  const uint64_t activity = conn->last_activity_ns;
   conns_.emplace(id, std::move(conn));
+  if (wheel_granularity_ns_ > 0) {
+    ScheduleIdleCheck(id, activity + opts_.idle_timeout_ms * 1000000ull);
+  }
   return id;
 }
 
@@ -192,8 +218,20 @@ void Reactor::EventLoop() {
   t_event_reactor = this;
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
+  // With timers or a watchdog armed the loop must tick even when sockets
+  // are silent; otherwise the 500ms heartbeat only bounds Stop() latency.
+  int timeout_ms = 500;
+  if (wheel_granularity_ns_ > 0) {
+    timeout_ms = std::min<int>(
+        timeout_ms, static_cast<int>(wheel_granularity_ns_ / 1000000ull));
+  }
+  if (opts_.watchdog_ms > 0) {
+    timeout_ms = std::min<int>(
+        timeout_ms, std::max<int>(10, static_cast<int>(opts_.watchdog_ms / 2)));
+  }
+  wheel_cursor_ns_ = MonotonicNs();
   while (running_.load(std::memory_order_acquire)) {
-    int n = ::epoll_wait(epfd_, events, kMaxEvents, /*timeout_ms=*/500);
+    int n = ::epoll_wait(epfd_, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       BESS_ERROR("reactor: epoll_wait: " << strerror(errno));
@@ -223,6 +261,9 @@ void Reactor::EventLoop() {
     // per wakeup, after readiness handling so a reply to a just-read
     // request can still make this batch via on_message → Send.
     DrainOps();
+    const uint64_t now = MonotonicNs();
+    if (wheel_granularity_ns_ > 0) RunTimers(now);
+    if (opts_.watchdog_ms > 0) CheckWorkers(now);
   }
   // Teardown: every surviving connection closes on this thread, so
   // on_close ordering guarantees hold to the very end.
@@ -247,15 +288,24 @@ void Reactor::AcceptPending(Listener* l) {
   }
 }
 
+void Reactor::MarkActivity(Conn* c, uint64_t now_ns) {
+  // Only *inbound* traffic counts as liveness: outbound progress (including
+  // our own idle probes) proves nothing about the peer.
+  c->last_activity_ns = now_ns;
+  c->probe_sent = false;
+}
+
 void Reactor::HandleReadable(ConnId id) {
   // Edge-triggered: drain until WouldBlock. The conn is re-looked-up every
   // iteration because on_message may Detach or CloseConn it.
   for (;;) {
     Conn* c = FindConn(id);
     if (c == nullptr) return;
+    if (c->read_paused) return;  // slow consumer: kernel buffer backpressure
     Message msg;
     Status s = c->sock.TryRecv(&msg, &c->in);
     if (s.ok()) {
+      MarkActivity(c, MonotonicNs());
       c->handler.on_message(id, std::move(msg));
       continue;
     }
@@ -268,10 +318,115 @@ void Reactor::HandleReadable(ConnId id) {
 
 void Reactor::FlushConn(ConnId id) {
   Conn* c = FindConn(id);
-  if (c == nullptr || c->out.empty()) return;
-  Status s = c->sock.TrySend(&c->out);
-  if (s.ok() || s.IsWouldBlock()) return;  // WouldBlock: EPOLLOUT resumes us
-  DestroyConn(id, /*invoke_on_close=*/true);
+  if (c == nullptr) return;
+  if (!c->out.empty()) {
+    Status s = c->sock.TrySend(&c->out);
+    if (!s.ok() && !s.IsWouldBlock()) {
+      DestroyConn(id, /*invoke_on_close=*/true);
+      return;
+    }
+  }
+  (void)EnforceSendCaps(id, c);
+}
+
+bool Reactor::EnforceSendCaps(ConnId id, Conn* c) {
+  const size_t pending = c->out.pending_bytes();
+  if (opts_.send_hard_cap_bytes > 0 && pending > opts_.send_hard_cap_bytes) {
+    // Slow consumer past the hard cap: presumed dead or hostile. on_close
+    // runs the session's presumed-abort cleanup.
+    BESS_COUNT("server.overload.slow_consumer.disconnect");
+    BESS_ERROR("reactor: conn " << id << " disconnected, " << pending
+                                << " outbound bytes undrained");
+    DestroyConn(id, /*invoke_on_close=*/true);
+    return false;
+  }
+  if (opts_.send_soft_cap_bytes > 0) {
+    if (!c->read_paused && pending > opts_.send_soft_cap_bytes) {
+      // Throttle: stop reading its requests. The peer keeps its socket
+      // buffers; our kernel recv queue fills; the peer's sends block.
+      c->read_paused = true;
+      BESS_COUNT("server.overload.slow_consumer.throttle");
+    } else if (c->read_paused && pending < opts_.send_soft_cap_bytes / 2) {
+      // Drained below the low watermark: resume. The paused stretch may
+      // have consumed EPOLLIN edges, so drain the kernel buffer now.
+      c->read_paused = false;
+      HandleReadable(id);
+    }
+  }
+  return true;
+}
+
+void Reactor::ScheduleIdleCheck(ConnId id, uint64_t fire_at_ns) {
+  // Entries below the cursor would never be visited; file them into the
+  // next tick instead.
+  if (fire_at_ns <= wheel_cursor_ns_) fire_at_ns = wheel_cursor_ns_ + 1;
+  const size_t bucket =
+      (fire_at_ns / wheel_granularity_ns_) % kWheelBuckets;
+  wheel_[bucket].push_back(id);
+}
+
+void Reactor::RunTimers(uint64_t now_ns) {
+  const uint64_t idle_ns = opts_.idle_timeout_ms * 1000000ull;
+  // Visit every bucket the cursor passes; cap the walk at one full rotation
+  // (a long stall visits each bucket once, not once per missed tick).
+  uint64_t from = wheel_cursor_ns_ / wheel_granularity_ns_;
+  const uint64_t to = now_ns / wheel_granularity_ns_;
+  if (to <= from) return;
+  if (to - from > kWheelBuckets) from = to - kWheelBuckets;
+  std::vector<ConnId> due;
+  for (uint64_t t = from + 1; t <= to; ++t) {
+    auto& bucket = wheel_[t % kWheelBuckets];
+    due.insert(due.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  wheel_cursor_ns_ = now_ns;
+  for (ConnId id : due) {
+    Conn* c = FindConn(id);
+    if (c == nullptr) continue;  // stale entry: conn already gone
+    const uint64_t deadline = c->last_activity_ns + idle_ns;
+    if (now_ns < deadline) {
+      // Traffic since this entry was filed: lazy re-arm at the real
+      // deadline. Activity never touches the wheel.
+      ScheduleIdleCheck(id, deadline);
+      continue;
+    }
+    if (opts_.probe_type != 0 && !c->probe_sent) {
+      // One probe per silent period: a live-but-quiet peer answers (the
+      // client echoes unsolicited pings) and the answer re-arms the timer.
+      c->probe_sent = true;
+      BESS_COUNT("server.overload.idle_probe");
+      MsgSocket::QueueFrame(opts_.probe_type, 0, "", &c->out);
+      FlushConn(id);
+      if (FindConn(id) != nullptr) {
+        ScheduleIdleCheck(id, now_ns + idle_ns);
+      }
+      continue;
+    }
+    // Probed and still silent (or probing disabled): half-open or dead.
+    BESS_COUNT("server.overload.idle_reaped");
+    BESS_DEBUG("reactor: reaping idle conn " << id);
+    DestroyConn(id, /*invoke_on_close=*/true);
+  }
+}
+
+void Reactor::CheckWorkers(uint64_t now_ns) {
+  const uint64_t limit_ns = opts_.watchdog_ms * 1000000ull;
+  int stuck = 0;
+  for (int i = 0; i < num_workers_; ++i) {
+    const uint64_t since =
+        worker_busy_since_ns_[i].load(std::memory_order_relaxed);
+    if (since == 0 || now_ns - since <= limit_ns) continue;
+    ++stuck;
+    if (worker_reported_stamp_[i] != since) {
+      // New incident (same task still running on a later pass is not
+      // re-counted): surface it once per stuck task.
+      worker_reported_stamp_[i] = since;
+      BESS_COUNT("server.overload.worker_stuck");
+      BESS_ERROR("reactor: worker " << i << " stuck for "
+                                    << (now_ns - since) / 1000000ull << " ms");
+    }
+  }
+  stuck_workers_.store(stuck, std::memory_order_relaxed);
 }
 
 void Reactor::DestroyConn(ConnId id, bool invoke_on_close) {
@@ -293,7 +448,7 @@ Reactor::Conn* Reactor::FindConn(ConnId id) {
   return it == conns_.end() ? nullptr : it->second.get();
 }
 
-void Reactor::WorkerLoop() {
+void Reactor::WorkerLoop(int index) {
   for (;;) {
     std::function<void()> fn;
     {
@@ -304,7 +459,10 @@ void Reactor::WorkerLoop() {
       work_.pop_front();
       BESS_GAUGE_SUB("server.reactor.queue_depth", 1);
     }
+    worker_busy_since_ns_[index].store(MonotonicNs(),
+                                       std::memory_order_relaxed);
     fn();
+    worker_busy_since_ns_[index].store(0, std::memory_order_relaxed);
   }
 }
 

@@ -15,6 +15,15 @@
 //     kick per batch — replies queued while the loop is busy coalesce).
 //   - Submit() runs a closure on the worker pool; blocking work (fsync,
 //     page I/O, lock waits, callback round trips) belongs there.
+//
+// Overload protection (DESIGN.md §12): each connection's outbound queue is
+// byte-capped — a slow consumer is first throttled (the reactor stops
+// reading its requests, letting kernel-buffer backpressure reach the peer)
+// and disconnected when the hard cap is crossed. A coarse lazy timer wheel
+// reaps idle and half-open connections: after idle_timeout_ms of silence
+// the reactor sends one probe frame (the server wires kMsgPing) and closes
+// the connection if the next period passes without traffic. A watchdog
+// flags workers stuck on one task longer than watchdog_ms.
 #ifndef BESS_SERVER_REACTOR_H_
 #define BESS_SERVER_REACTOR_H_
 
@@ -41,18 +50,41 @@ class Reactor {
   /// Identifies one reactor-owned connection. Never reused within a run.
   using ConnId = uint64_t;
 
+  struct Options {
+    /// Size of the blocking-work pool (>= 1).
+    int workers = 1;
+    /// Outbound byte caps per connection (0 = uncapped). Above the soft cap
+    /// the reactor stops reading from the connection — a pipelining peer
+    /// that won't drain replies is throttled by its own socket buffers.
+    /// Above the hard cap it is disconnected (slow-consumer policy).
+    size_t send_soft_cap_bytes = 1u << 20;
+    size_t send_hard_cap_bytes = 8u << 20;
+    /// Idle/half-open reaping: after this long without any inbound or
+    /// outbound progress the connection is probed (once) and then closed if
+    /// another period passes silent. 0 disables reaping.
+    uint32_t idle_timeout_ms = 0;
+    /// Frame type of the idle probe (the server passes kMsgPing); 0 sends
+    /// no probe — idle connections are closed after one period.
+    uint16_t probe_type = 0;
+    /// A worker running one task longer than this is counted stuck
+    /// (server.overload.worker_stuck) and logged. 0 disables the watchdog.
+    uint32_t watchdog_ms = 0;
+  };
+
   /// Per-connection callbacks, invoked on the event thread.
   struct ConnHandler {
     /// One complete message arrived. May call Detach/CloseConn for its own
     /// connection. Must not block.
     std::function<void(ConnId, Message)> on_message;
-    /// The connection died (peer close, transport error, or reactor Stop).
-    /// Fires at most once, and never after Detach.
+    /// The connection died (peer close, transport error, slow-consumer or
+    /// idle reaping, or reactor Stop). Fires at most once, never after
+    /// Detach.
     std::function<void(ConnId)> on_close;
   };
 
-  /// `workers`: size of the blocking-work pool (>= 1).
-  explicit Reactor(int workers);
+  explicit Reactor(Options options);
+  /// Convenience: a pool of `workers` with default overload options.
+  explicit Reactor(int workers) : Reactor(Options{.workers = workers}) {}
   ~Reactor();
   Reactor(const Reactor&) = delete;
   Reactor& operator=(const Reactor&) = delete;
@@ -100,12 +132,29 @@ class Reactor {
   /// True only on the reactor's event thread (for asserts).
   bool OnEventThread() const;
 
+  /// Live connection count. Event thread only (admission checks in
+  /// on_accept).
+  size_t ConnCountOnEventThread() const { return conns_.size(); }
+
+  /// Workers currently stuck past watchdog_ms on one task (informational;
+  /// the counter server.overload.worker_stuck records incidents).
+  int stuck_workers() const {
+    return stuck_workers_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Conn {
     MsgSocket sock;
     SendContinuation out;
     RecvContinuation in;
     ConnHandler handler;
+    /// Monotonic ns of the last inbound or outbound progress.
+    uint64_t last_activity_ns = 0;
+    /// Slow-consumer throttle: reads are paused until the out queue drains
+    /// below the low watermark (half the soft cap).
+    bool read_paused = false;
+    /// One idle probe per silent period; any activity re-arms it.
+    bool probe_sent = false;
   };
   struct Listener {
     MsgListener* listener;
@@ -113,7 +162,7 @@ class Reactor {
   };
 
   void EventLoop();
-  void WorkerLoop();
+  void WorkerLoop(int index);
   void Wake();
   void DrainOps();
   void HandleReadable(ConnId id);
@@ -121,7 +170,18 @@ class Reactor {
   void DestroyConn(ConnId id, bool invoke_on_close);
   void AcceptPending(Listener* l);
   Conn* FindConn(ConnId id);
+  /// Applies the outbound byte-cap policy after bytes were queued/flushed.
+  /// Returns false if the connection was destroyed (hard cap).
+  bool EnforceSendCaps(ConnId id, Conn* c);
+  void MarkActivity(Conn* c, uint64_t now_ns);
+  /// Lazy timer wheel: entries are (re)filed by expiry bucket; a due entry
+  /// whose connection saw traffic since is simply refiled at its real
+  /// deadline, so activity never touches the wheel.
+  void ScheduleIdleCheck(ConnId id, uint64_t fire_at_ns);
+  void RunTimers(uint64_t now_ns);
+  void CheckWorkers(uint64_t now_ns);
 
+  Options opts_;
   int epfd_ = -1;
   int wake_fd_ = -1;  ///< eventfd: cross-thread kick out of epoll_wait
   std::atomic<bool> running_{false};
@@ -131,6 +191,12 @@ class Reactor {
   // Event-thread-owned (no lock): live connections and listeners.
   std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_;
   std::vector<std::unique_ptr<Listener>> listeners_;
+
+  // Event-thread-owned timer wheel (coarse hashed buckets of ConnIds).
+  static constexpr size_t kWheelBuckets = 64;
+  std::vector<std::vector<ConnId>> wheel_{kWheelBuckets};
+  uint64_t wheel_granularity_ns_ = 0;
+  uint64_t wheel_cursor_ns_ = 0;  ///< timers below this already ran
 
   // Cross-thread operation queue, drained once per event-loop wakeup.
   std::mutex ops_mu_;
@@ -144,6 +210,12 @@ class Reactor {
   std::condition_variable work_cv_;
   std::deque<std::function<void()>> work_;
   bool work_accepting_ = true;
+
+  // Watchdog: per-worker start-of-task stamps (0 = idle), written by the
+  // workers, read by the event thread; `reported_` is event-thread-only.
+  std::unique_ptr<std::atomic<uint64_t>[]> worker_busy_since_ns_;
+  std::vector<uint64_t> worker_reported_stamp_;
+  std::atomic<int> stuck_workers_{0};
 };
 
 }  // namespace bess

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+
 #include "object/database.h"
 #include "obs/trace.h"
 #include "os/fault_injection.h"
@@ -240,17 +242,25 @@ void RemoteClient::ReaderLoop(Peer* peer, uint64_t generation) {
       st->done = true;
       st->reply = std::move(*r);
       st->cv.notify_all();
+    } else if (r->type == kMsgPing) {
+      // The server's idle probe (DESIGN.md §12): an unsolicited ping with
+      // no pending entry. Answer it so a live-but-quiet client is not
+      // reaped as half-open; the echo's req_id lets the server drop it.
+      std::lock_guard<std::mutex> guard(peer->send_mu);
+      (void)peer->main.Send(kMsgOk, "", r->req_id);
     }
-    // A reply with no pending entry is dropped: its Call already failed the
-    // send locally, or this is a stray from a dying connection.
+    // Any other reply with no pending entry is dropped: its Call already
+    // failed the send locally, or this is a stray from a dying connection.
   }
 }
 
 ReplyFuture RemoteClient::CallAsyncOn(Peer& peer, uint16_t type,
-                                      const std::string& payload) {
+                                      const std::string& payload,
+                                      uint64_t* req_id_out) {
   ReplyFuture fut;
   fut.state_ = std::make_shared<ReplyFuture::State>();
   const uint64_t req_id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
+  if (req_id_out != nullptr) *req_id_out = req_id;
   // Register before sending so the reader can never race the reply.
   {
     std::lock_guard<std::mutex> guard(peer.p_mu);
@@ -259,7 +269,10 @@ ReplyFuture RemoteClient::CallAsyncOn(Peer& peer, uint16_t type,
   Status s;
   {
     std::lock_guard<std::mutex> guard(peer.send_mu);
-    s = peer.main.Send(type, payload, req_id);
+    // The deadline rides the frame header: the server turns the relative
+    // budget into an absolute expiry at arrival and sheds the request if
+    // it is still queued when the budget runs out (DESIGN.md §12).
+    s = peer.main.Send(type, payload, req_id, options_.rpc_deadline_ms);
   }
   if (!s.ok()) {
     // Whoever erases the pending entry owns completion (the reader's
@@ -300,6 +313,124 @@ Status RemoteClient::Flush() {
   return Status::OK();
 }
 
+Result<Message> RemoteClient::AwaitReply(Peer& peer, ReplyFuture& fut,
+                                         uint64_t req_id, int timeout_ms) {
+  auto st = fut.state_;
+  if (st == nullptr) return Status::InvalidArgument("empty future");
+  std::unique_lock<std::mutex> lock(st->mu);
+  if (timeout_ms <= 0) {
+    st->cv.wait(lock, [&] { return st->done; });
+  } else if (!st->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                              [&] { return st->done; })) {
+    // Timed out waiting locally. Withdraw the pending entry; whoever
+    // erases it owns completion (the reader may be racing us with the
+    // real reply, in which case we take that instead).
+    lock.unlock();
+    bool own;
+    {
+      std::lock_guard<std::mutex> pguard(peer.p_mu);
+      own = peer.pending.erase(req_id) > 0;
+      if (peer.pending.empty()) peer.drained_cv.notify_all();
+    }
+    lock.lock();
+    if (own) {
+      st->done = true;
+      st->status = Status::DeadlineExceeded("no reply within deadline");
+      st->cv.notify_all();
+    } else {
+      st->cv.wait(lock, [&] { return st->done; });  // reader is finishing
+    }
+  }
+  if (!st->status.ok()) return st->status;
+  return st->reply;
+}
+
+Status RemoteClient::BreakerAdmit(Peer& peer) {
+  if (options_.breaker_failure_threshold <= 0) return Status::OK();
+  {
+    std::lock_guard<std::mutex> guard(peer.b_mu);
+    if (!peer.breaker_open) return Status::OK();
+    const auto now = std::chrono::steady_clock::now();
+    if (now < peer.breaker_until || peer.probe_inflight) {
+      BESS_COUNT("client.breaker.short_circuit");
+      {
+        std::lock_guard<std::mutex> sguard(mutex_);
+        stats_.breaker_short_circuits++;
+      }
+      return Status::RetryLater("circuit open to " + peer.path);
+    }
+    peer.probe_inflight = true;  // half-open: this caller owns the probe
+  }
+  {
+    std::lock_guard<std::mutex> sguard(mutex_);
+    stats_.breaker_probes++;
+  }
+  BESS_COUNT("client.breaker.probe");
+  const int probe_wait = std::max(options_.breaker_cooldown_ms, 50);
+  uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> guard(peer.p_mu);
+    gen = peer.generation;
+  }
+  uint64_t req_id = 0;
+  ReplyFuture fut = CallAsyncOn(peer, kMsgPing, "", &req_id);
+  Result<Message> r = AwaitReply(peer, fut, req_id, probe_wait);
+  if (!r.ok() && IsTransportFailure(r.status())) {
+    // The old socket is dead but the server may be back by now: probe once
+    // more on a fresh connection. (This is how an opened breaker heals
+    // across a server restart — the regular reconnect path never runs
+    // while every call short-circuits.)
+    if (Reconnect(peer, gen).ok()) {
+      fut = CallAsyncOn(peer, kMsgPing, "", &req_id);
+      r = AwaitReply(peer, fut, req_id, probe_wait);
+    }
+  }
+  std::lock_guard<std::mutex> guard(peer.b_mu);
+  peer.probe_inflight = false;
+  if (r.ok()) {
+    // Any reply at all — even an error status — proves the peer serves
+    // traffic again.
+    peer.breaker_open = false;
+    peer.consecutive_failures = 0;
+    BESS_COUNT("client.breaker.close");
+    return Status::OK();
+  }
+  peer.breaker_until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.breaker_cooldown_ms);
+  return Status::RetryLater("half-open probe failed; circuit stays open");
+}
+
+void RemoteClient::BreakerRecord(Peer& peer, bool failed) {
+  if (options_.breaker_failure_threshold <= 0) return;
+  bool opened = false;
+  {
+    std::lock_guard<std::mutex> guard(peer.b_mu);
+    if (!failed) {
+      peer.consecutive_failures = 0;
+      return;
+    }
+    peer.consecutive_failures++;
+    if (!peer.breaker_open &&
+        peer.consecutive_failures >= options_.breaker_failure_threshold) {
+      peer.breaker_open = true;
+      opened = true;
+    }
+    if (peer.breaker_open) {
+      peer.breaker_until =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options_.breaker_cooldown_ms);
+    }
+  }
+  if (opened) {
+    {
+      std::lock_guard<std::mutex> sguard(mutex_);
+      stats_.breaker_opens++;
+    }
+    BESS_COUNT("client.breaker.open");
+    BESS_DEBUG("breaker opened to " << peer.path);
+  }
+}
+
 Status RemoteClient::Call(Peer& peer, uint16_t type,
                           const std::string& payload, Message* reply) {
   {
@@ -309,49 +440,109 @@ Status RemoteClient::Call(Peer& peer, uint16_t type,
   BESS_COUNT("rpc.call");
   CountRpcOp(type);
   BESS_SPAN("rpc.call.latency");
+  // Local wait backstop: roughly twice the wire deadline (budget for the
+  // queueing the server's shed already accounts for, plus transit), so a
+  // wedged server cannot park this caller forever. No deadline = wait
+  // forever, as before.
+  const int local_wait_ms =
+      options_.rpc_deadline_ms > 0
+          ? static_cast<int>(options_.rpc_deadline_ms * 2 + 50)
+          : -1;
   Status last;
   uint64_t observed_gen = 0;
-  for (int attempt = 0; attempt <= options_.max_rpc_retries; ++attempt) {
-    if (attempt > 0) {
+  int transport_attempts = 0;
+  int shed_retries = 0;
+  bool need_reconnect = false;
+  for (;;) {
+    if (need_reconnect) {
+      if (++transport_attempts > options_.max_rpc_retries) return last;
       {
         std::lock_guard<std::mutex> sguard(mutex_);
         stats_.rpc_retries++;
       }
       BESS_COUNT("rpc.retry");
       ::usleep(static_cast<useconds_t>(options_.rpc_backoff_ms) * 1000u
-               << (attempt - 1));
+               << (transport_attempts - 1));
       Status rc = Reconnect(peer, observed_gen);
       if (!rc.ok()) {
         last = rc;
         continue;  // server may still be coming back: back off and retry
       }
+      need_reconnect = false;
     }
+    // Circuit breaker: while open, fail fast with kRetryLater — no socket
+    // traffic, no reconnect storm. The first caller past the cooldown runs
+    // the half-open ping probe inside BreakerAdmit.
+    BESS_RETURN_IF_ERROR(BreakerAdmit(peer));
     {
       std::lock_guard<std::mutex> guard(peer.p_mu);
       observed_gen = peer.generation;
     }
-    BESS_DEBUG("client call send type " << type << " attempt " << attempt);
-    ReplyFuture fut = CallAsyncOn(peer, type, payload);
-    Result<Message> r = fut.Get();
+    BESS_DEBUG("client call send type " << type << " attempt "
+               << (transport_attempts + shed_retries));
+    uint64_t req_id = 0;
+    ReplyFuture fut = CallAsyncOn(peer, type, payload, &req_id);
+    Result<Message> r = AwaitReply(peer, fut, req_id, local_wait_ms);
     if (r.ok()) {
+      BreakerRecord(peer, /*failed=*/false);
       *reply = std::move(*r);
       BESS_DEBUG("client call got reply " << reply->type);
-      // The server answered: this is the operation's outcome, success or
-      // not — never retried.
-      if (reply->type == kMsgError) return DecodeStatusReply(*reply);
+      if (reply->type == kMsgError) {
+        Status e = DecodeStatusReply(*reply);
+        // kRetryLater = the server shed us (admission control or WAL
+        // backpressure): it is healthy, just full. Back off and resend on
+        // the same connection, within its own budget — this never burns a
+        // transport retry and never reconnects.
+        if (e.IsRetryLater() && shed_retries < options_.retry_later_max) {
+          ++shed_retries;
+          {
+            std::lock_guard<std::mutex> sguard(mutex_);
+            stats_.retry_later_backoffs++;
+          }
+          BESS_COUNT("client.retry_later.backoff");
+          const uint64_t base =
+              static_cast<uint64_t>(options_.retry_later_backoff_ms)
+              << std::min(shed_retries - 1, 10);
+          uint64_t jittered;
+          {
+            std::lock_guard<std::mutex> guard(backoff_mutex_);
+            jittered = base / 2 + backoff_rng_.Uniform(base / 2 + 1);
+          }
+          ::usleep(static_cast<useconds_t>(jittered) * 1000u);
+          continue;
+        }
+        // Any other error reply (including kDeadlineExceeded — the server
+        // refused unexecuted work whose budget ran out) is the operation's
+        // outcome: never retried.
+        return e;
+      }
       return Status::OK();
     }
     Status s = r.status();
     last = s;
+    if (s.IsDeadlineExceeded()) {
+      // Gave up waiting locally. The budget is gone — a retry would only
+      // expire again — so surface it, but feed the breaker: enough of
+      // these in a row and subsequent calls fail fast instead of each
+      // burning a full deadline against a wedged server.
+      BreakerRecord(peer, /*failed=*/true);
+      {
+        std::lock_guard<std::mutex> sguard(mutex_);
+        stats_.deadline_timeouts++;
+      }
+      BESS_COUNT("client.deadline.local");
+      return s;
+    }
     if (!IsTransportFailure(s)) return s;
+    BreakerRecord(peer, /*failed=*/true);
     if (!IsIdempotentRpc(type)) {
       // The request may have reached the server even though the send or the
       // reply failed; replaying it could apply the operation twice.
       return Status::Aborted("RPC outcome unknown after transport failure (op " +
                              std::to_string(type) + "): " + s.message());
     }
+    need_reconnect = true;
   }
-  return last;
 }
 
 Status RemoteClient::Reconnect(Peer& peer, uint64_t observed_generation) {

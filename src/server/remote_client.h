@@ -16,6 +16,7 @@
 #define BESS_SERVER_REMOTE_CLIENT_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -79,6 +80,27 @@ class RemoteClient : public AccessObserver {
     /// times with exponential backoff + jitter before the error surfaces.
     int lock_retries = 4;
     int lock_backoff_ms = 10;
+
+    // ---- overload resilience (DESIGN.md §12) ----------------------------
+
+    /// Deadline stamped on every RPC (wire header, relative ms): the server
+    /// sheds the request with kDeadlineExceeded if the budget expires while
+    /// it is queued, and the client gives up waiting locally at roughly
+    /// twice the budget (a wedged server can't park callers forever).
+    /// 0 = no deadline.
+    uint32_t rpc_deadline_ms = 0;
+    /// Retry budget for kRetryLater sheds (admission control / WAL
+    /// backpressure): retried this many times with exponential backoff —
+    /// no reconnect; the server is healthy, just full.
+    int retry_later_max = 5;
+    int retry_later_backoff_ms = 5;
+    /// Circuit breaker: this many *consecutive* transport failures or
+    /// local deadline timeouts on one peer open its breaker; calls then
+    /// fail fast with kRetryLater (no socket traffic) until cooldown_ms
+    /// passes, after which one caller probes with a ping (half-open) and
+    /// any reply closes the breaker. 0 disables the breaker.
+    int breaker_failure_threshold = 0;
+    int breaker_cooldown_ms = 100;
     SegmentMapper::Options mapper;
   };
 
@@ -92,6 +114,12 @@ class RemoteClient : public AccessObserver {
     uint64_t callbacks_received = 0;
     uint64_t callbacks_released = 0;
     uint64_t callbacks_denied = 0;
+    /// Overload resilience (DESIGN.md §12).
+    uint64_t retry_later_backoffs = 0;  ///< kRetryLater sheds retried
+    uint64_t deadline_timeouts = 0;     ///< gave up waiting locally
+    uint64_t breaker_opens = 0;
+    uint64_t breaker_short_circuits = 0;  ///< calls refused while open
+    uint64_t breaker_probes = 0;          ///< half-open ping probes sent
   };
 
   static Result<std::unique_ptr<RemoteClient>> Connect(Options options);
@@ -175,6 +203,17 @@ class RemoteClient : public AccessObserver {
     /// its own reconnect — someone already did it.
     uint64_t generation = 0;
     std::thread reader;
+
+    /// Circuit breaker (guarded by `b_mu`, separate from p_mu so breaker
+    /// checks never contend with reply demultiplexing). Consecutive
+    /// transport failures / local timeouts open it; while open, calls fail
+    /// fast with kRetryLater; after the cooldown one caller probes with a
+    /// ping (half-open) and any reply closes it.
+    std::mutex b_mu;
+    int consecutive_failures = 0;
+    bool breaker_open = false;
+    std::chrono::steady_clock::time_point breaker_until{};
+    bool probe_inflight = false;
   };
 
   RemoteClient() = default;
@@ -182,7 +221,21 @@ class RemoteClient : public AccessObserver {
   Status Call(Peer& peer, uint16_t type, const std::string& payload,
               Message* reply);
   ReplyFuture CallAsyncOn(Peer& peer, uint16_t type,
-                          const std::string& payload);
+                          const std::string& payload,
+                          uint64_t* req_id_out = nullptr);
+  /// Blocks for the future like ReplyFuture::Get, but gives up after
+  /// `timeout_ms` (> 0), withdrawing the pending entry and failing the
+  /// future with kDeadlineExceeded — the local backstop for a wedged
+  /// server. timeout_ms <= 0 waits forever.
+  Result<Message> AwaitReply(Peer& peer, ReplyFuture& fut, uint64_t req_id,
+                             int timeout_ms);
+  /// Circuit-breaker admission for one attempt on `peer`. OK = proceed
+  /// (possibly after this caller ran the half-open ping probe);
+  /// kRetryLater = breaker open, fail fast.
+  Status BreakerAdmit(Peer& peer);
+  /// Feeds the breaker: `failed` = transport failure or local timeout
+  /// (server error replies are *successes* here — the server answered).
+  void BreakerRecord(Peer& peer, bool failed);
   void ReaderLoop(Peer* peer, uint64_t generation);
   void StartReader(Peer* peer);
   /// Shuts the peer's socket and joins its reader (used by teardown).

@@ -30,6 +30,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kWouldBlock:
       return "WouldBlock";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kRetryLater:
+      return "RetryLater";
   }
   return "Unknown";
 }

@@ -29,6 +29,8 @@ enum class StatusCode : unsigned char {
   kProtocol,       ///< malformed or unexpected network message
   kInternal,
   kWouldBlock,     ///< non-blocking op made no/partial progress; retry later
+  kDeadlineExceeded,  ///< the request's deadline passed before completion
+  kRetryLater,     ///< shed by admission control; retry after backing off
 };
 
 /// Returns the canonical spelling of a code, e.g. "NotFound".
@@ -79,6 +81,12 @@ class Status {
   static Status WouldBlock(std::string msg) {
     return Status(StatusCode::kWouldBlock, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status RetryLater(std::string msg) {
+    return Status(StatusCode::kRetryLater, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
@@ -92,6 +100,10 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsWouldBlock() const { return code() == StatusCode::kWouldBlock; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsRetryLater() const { return code() == StatusCode::kRetryLater; }
 
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
 

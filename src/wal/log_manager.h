@@ -121,6 +121,14 @@ class LogManager {
   /// Bytes of retained log (tail - oldest): what the soft limit throttles.
   uint64_t retained_bytes() const;
 
+  /// True while the retained log is over its soft limit — the signal the
+  /// server's admission control uses to shed new transactional work with
+  /// RetryLater *before* it reaches a throttled append (DESIGN.md §12).
+  bool IsBackpressured() const {
+    return opts_.soft_limit_bytes > 0 &&
+           retained_bytes() > opts_.soft_limit_bytes;
+  }
+
   size_t segment_count() const;
   /// Paths of the retained segments, base-ascending (tests / tooling).
   std::vector<std::string> SegmentPaths() const;

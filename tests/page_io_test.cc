@@ -101,14 +101,18 @@ TEST_F(PageIoTest, BitFlipOnDiskIsDetectedAndQuarantined) {
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
   EXPECT_TRUE((*area)->IsQuarantined(seg->first_page));
   EXPECT_EQ((*area)->QuarantinedPages(), 1u);
+#if BESS_METRICS_ENABLED
   EXPECT_EQ(Snapshot().counter("page.verify.fail"), fails_before + 1);
   EXPECT_EQ(Snapshot().counter("page.quarantined"), quarantines_before + 1);
+#endif
 
   // Further reads short-circuit on the quarantine flag (no I/O, no repair).
   const uint64_t hits_before = Snapshot().counter("page.quarantine.hit");
   s = (*area)->ReadPages(seg->first_page, 1, back.data());
   EXPECT_TRUE(s.IsCorruption());
+#if BESS_METRICS_ENABLED
   EXPECT_EQ(Snapshot().counter("page.quarantine.hit"), hits_before + 1);
+#endif
 
   // A full-page rewrite makes the page whole again and lifts the quarantine.
   const std::string fresh = FilledPage('y');
@@ -181,7 +185,9 @@ TEST_F(PageIoTest, RepairFromWalFullPageImage) {
   ASSERT_TRUE((*area)->ReadPages(seg->first_page, 1, back.data()).ok());
   EXPECT_EQ(back, data);  // restored byte-equal from the image
   EXPECT_FALSE((*area)->IsQuarantined(seg->first_page));
+#if BESS_METRICS_ENABLED
   EXPECT_EQ(Snapshot().counter("page.repair.ok"), repairs_before + 1);
+#endif
 
   // The repair rewrote the page through the checked path: reads keep working.
   ASSERT_TRUE((*area)->ReadPages(seg->first_page, 1, back.data()).ok());
@@ -254,7 +260,9 @@ TEST_F(PageIoTest, ScrubSweepsMultipleExtents) {
   EXPECT_EQ(clean.verify_failures, 0u);
   EXPECT_EQ(clean.repaired, 0u);
   EXPECT_EQ(clean.quarantined, 0u);
+#if BESS_METRICS_ENABLED
   EXPECT_EQ(Snapshot().counter("scrub.pages"), scrubbed_before + segs.size());
+#endif
 
   // Damage one page in each extent; the scrub finds both, and with no repair
   // handler both end up quarantined (the sweep itself never fails).

@@ -139,9 +139,11 @@ TEST_F(RecoveryTest, CheckpointRecyclesSegments) {
   EXPECT_GT(before, 2u) << "workload never rolled a segment";
   EXPECT_LT(after, before);
   EXPECT_GT(db_->wal()->oldest_lsn(), 0u);
+#if BESS_METRICS_ENABLED
   EXPECT_GT(StatsDelta(stats_before, Snapshot())
                 .counter("wal.segment.recycled"),
             0u);
+#endif
   // LSNs survive recycling: the tail is monotone and the retained suffix is
   // still scannable from the new floor.
   int count = 0;
@@ -243,9 +245,11 @@ TEST_F(RecoveryTest, LogFullThrottlesAndRecoversWithoutWedging) {
   ASSERT_TRUE(st.IsNoSpace()) << st.ToString();
   EXPECT_GT(kicks, 0) << "log-full callback never fired";
   EXPECT_TRUE((*log)->wedged().ok());
+#if BESS_METRICS_ENABLED
   const Stats s = Snapshot();
   EXPECT_GT(s.counter("wal.throttle.waits"), 0u);
   EXPECT_GT(s.counter("wal.throttle.timeouts"), 0u);
+#endif
 
   // Unthrottled appends (checkpoints, recovery records) still go through on
   // the full log — they are how it shrinks.
@@ -293,7 +297,9 @@ TEST_F(RecoveryTest, EnospcDuringFlushRestoresBatch) {
   FaultRegistry::Instance().DisarmAll();
   ASSERT_TRUE(flushed.IsNoSpace()) << flushed.ToString();
   EXPECT_TRUE((*log)->wedged().ok()) << "ENOSPC is transient, not a wedge";
+#if BESS_METRICS_ENABLED
   EXPECT_GT(Snapshot().counter("wal.flush.write_failed"), 0u);
+#endif
 
   ASSERT_TRUE((*log)->Flush(*lsn).ok());  // space is back: same batch lands
   int count = 0;
@@ -499,8 +505,10 @@ TEST_F(RecoveryTest, FailedCommitClosesItsLogChain) {
                                 }());
   EXPECT_FALSE(CommitValue(2).ok());
   FaultRegistry::Instance().DisarmAll();
+#if BESS_METRICS_ENABLED
   EXPECT_GT(StatsDelta(before, Snapshot()).counter("wal.abort.clrs"), 0u)
       << "failed commit did not compensate its appended records";
+#endif
 
   // Commit far enough to roll segments, then checkpoint: if the dead chain
   // were still open it would either pin the floor forever or (unregistered)

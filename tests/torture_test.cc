@@ -26,10 +26,14 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "object/database.h"
 #include "obs/stats.h"
 #include "os/fault_injection.h"
+#include "os/socket.h"
+#include "server/bess_server.h"
 #include "storage/storage_area.h"
 #include "util/random.h"
 
@@ -526,10 +530,234 @@ TEST_F(TortureTest, BitRotRepairOrCleanQuarantine) {
   const uint64_t hits = faults.hits("page.bitrot") - hits_before;
   const Stats delta = StatsDelta(before, Snapshot());
   EXPECT_GT(hits, 0u) << "injector never fired: bit-rot path untested";
+#if BESS_METRICS_ENABLED
   EXPECT_EQ(delta.counter("page.verify.fail"), hits);
   EXPECT_EQ(delta.counter("page.repair.ok"), hits - quarantine_rounds);
   EXPECT_EQ(delta.counter("page.quarantined"), quarantine_rounds);
   EXPECT_EQ(delta.counter("page.reread.ok"), 0u);
+#endif
+}
+
+// ---- reactor-path chaos (DESIGN.md §12) -------------------------------------
+//
+// Seeded fault schedules against a live server: EAGAIN/short-write storms on
+// the reactor's non-blocking send/recv paths, clients that vanish abruptly
+// mid-pipeline, clients holding locks when they die, slow consumers that
+// stop reading, and a forked client SIGSTOP'd mid-flight (a frozen peer the
+// idle prober must reap). The invariant is graceful degradation: whatever
+// the schedule does, afterwards the server holds zero sessions, every lock
+// the dead clients held is grantable again immediately, and the process's
+// fd count returns to baseline.
+
+// Forked pipeline client for the SIGSTOP schedule: hammers pings until the
+// parent freezes and then kills it. Runs in a child process, so gtest
+// machinery and the parent's fault registry are out of the picture.
+[[noreturn]] void RunPipelineChild(const std::string& sock_path) {
+  auto s = MsgSocket::Connect(sock_path);
+  if (!s.ok()) ::_exit(3);
+  if (!s->Send(kMsgHello, "").ok()) ::_exit(3);
+  if (!s->Recv().ok()) ::_exit(3);
+  uint64_t id = 1;
+  for (;;) {
+    if (!s->Send(kMsgPing, "chaos", id++).ok()) ::_exit(0);
+    (void)s->RecvTimeout(5);
+  }
+}
+
+TEST_F(TortureTest, ReactorChaosLeaksNoSessionsFdsOrLocks) {
+  uint64_t base_seed = 0xC4405EEDull;
+  if (const char* env = std::getenv("BESS_TORTURE_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
+  int iters = 60;  // the overload gate wants >= 50 schedules
+  if (const char* env = std::getenv("BESS_CHAOS_ITERS")) {
+    iters = std::max(50, std::atoi(env));
+  }
+
+  const std::string sock_path = (dir_ / "chaos.sock").string();
+  BessServer::Options o;
+  o.socket_path = sock_path;
+  o.worker_threads = 2;
+  o.lock_timeout_ms = 300;
+  o.max_inflight_global = 64;
+  o.send_soft_cap_bytes = 32 << 10;
+  o.send_hard_cap_bytes = 128 << 10;
+  o.idle_timeout_ms = 50;
+  o.watchdog_ms = 200;
+  BessServer server(o);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connect_raw = [&]() -> Result<MsgSocket> {
+    auto s = MsgSocket::Connect(sock_path);
+    if (!s.ok()) return s.status();
+    BESS_RETURN_IF_ERROR(s->Send(kMsgHello, ""));
+    auto h = s->Recv();
+    if (!h.ok()) return h.status();
+    if (h->type != kMsgOk) return Status::Protocol("bad hello");
+    return std::move(*s);
+  };
+  auto lock_payload = [](uint64_t key, uint32_t timeout_ms) {
+    std::string p;
+    PutFixed64(&p, key);
+    p.push_back(static_cast<char>(LockMode::kX));
+    PutFixed32(&p, timeout_ms);
+    return p;
+  };
+
+  // Steady-state fd baseline (listener + reactor plumbing are up).
+  {
+    auto warm = connect_raw();
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    (void)warm->Send(kMsgGoodbye, "");
+  }
+  size_t fd_baseline = 0;
+  for (auto it = std::filesystem::directory_iterator("/proc/self/fd");
+       it != std::filesystem::directory_iterator(); ++it) {
+    ++fd_baseline;
+  }
+
+  auto& faults = fault::FaultRegistry::Instance();
+  for (int iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = base_seed * 6364136223846793005ull + iter;
+    Random rng(seed);
+
+    // A fault storm on the reactor's non-blocking paths. kFail/kWouldBlock
+    // is an EAGAIN storm; kShortWrite fragments reply frames. Blocking
+    // client sockets don't pass these points, so the schedule stresses
+    // exactly the server's continuation/flush machinery.
+    if (rng.Uniform(4) != 0) {
+      fault::FaultSpec storm;
+      if (rng.Uniform(2) == 0) {
+        storm.action = fault::FaultAction::kFail;
+        storm.code = StatusCode::kWouldBlock;
+      } else {
+        storm.action = fault::FaultAction::kShortWrite;
+        storm.max_bytes = rng.Range(0, 40);
+      }
+      storm.probability = 0.2 + 0.1 * rng.Uniform(4);
+      storm.seed = seed;
+      faults.Arm("sock.trysend", storm);
+    }
+    if (rng.Uniform(3) == 0) {
+      fault::FaultSpec storm;
+      storm.action = fault::FaultAction::kFail;
+      storm.code = StatusCode::kWouldBlock;
+      storm.probability = 0.2;
+      storm.seed = seed ^ 0xFEED;
+      faults.Arm("sock.tryrecv", storm);
+    }
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+      const uint64_t cseed = seed + 1000 + c;
+      clients.emplace_back([&, cseed] {
+        Random crng(cseed);
+        auto s = connect_raw();
+        if (!s.ok()) return;  // rejected/raced: fine, nothing to leak
+        const int mode = static_cast<int>(crng.Uniform(4));
+        const uint64_t key = 1000 + crng.Uniform(4);
+        switch (mode) {
+          case 0: {  // clean pipeline, deadline on some requests, goodbye
+            for (uint64_t i = 1; i <= 10; ++i) {
+              const uint32_t dl = crng.Uniform(2) == 0 ? 0 : 20;
+              if (!s->Send(kMsgPing, "p", i, dl).ok()) return;
+            }
+            for (int i = 0; i < 10; ++i) {
+              if (!s->RecvTimeout(500).ok()) break;  // storm delays are fine
+            }
+            (void)s->Send(kMsgGoodbye, "");
+            break;
+          }
+          case 1: {  // vanish abruptly mid-pipeline
+            for (uint64_t i = 1; i <= 10; ++i) {
+              if (!s->Send(kMsgPing, "p", i).ok()) return;
+            }
+            s->Close();
+            break;
+          }
+          case 2: {  // die holding a lock: on_close must release it
+            (void)s->Send(kMsgLock, lock_payload(key, 200), 1);
+            (void)s->RecvTimeout(400);
+            (void)s->Send(kMsgPing, "p", 2);
+            s->Close();
+            break;
+          }
+          default: {  // slow consumer: pipeline bulk, never read, vanish
+            const std::string big(4 << 10, 'c');
+            for (uint64_t i = 1; i <= 8; ++i) {
+              if (!s->Send(kMsgPing, big, i).ok()) break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            s->Close();
+            break;
+          }
+        }
+      });
+    }
+
+    // Every fifth schedule adds a frozen peer: a forked pipelining client
+    // SIGSTOP'd mid-flight. The server must probe it, get silence, and
+    // reap — then the corpse is killed for real.
+    pid_t frozen = -1;
+    if (iter % 5 == 0) {
+      frozen = ::fork();
+      ASSERT_GE(frozen, 0);
+      if (frozen == 0) RunPipelineChild(sock_path);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      ASSERT_EQ(::kill(frozen, SIGSTOP), 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      (void)::kill(frozen, SIGCONT);
+      (void)::kill(frozen, SIGKILL);
+      int st = 0;
+      ASSERT_EQ(::waitpid(frozen, &st, 0), frozen);
+    }
+
+    for (auto& t : clients) t.join();
+    faults.DisarmAll();
+
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping after failing chaos iteration " << iter
+             << ", seed=" << seed << " (base " << base_seed << ")";
+    }
+  }
+
+  // Graceful degradation: every session unwound, no fd leaked, and every
+  // lock a dead client held is grantable immediately by a fresh session.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (server.live_sessions() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.live_sessions(), 0u) << "sessions leaked after chaos";
+  EXPECT_EQ(server.stuck_workers(), 0);
+
+  auto probe = connect_raw();
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  for (uint64_t key = 1000; key < 1004; ++key) {
+    ASSERT_TRUE(probe->Send(kMsgLock, lock_payload(key, 100), key).ok());
+    auto granted = probe->Recv();
+    ASSERT_TRUE(granted.ok()) << granted.status().ToString();
+    EXPECT_EQ(granted->type, kMsgOk)
+        << "lock " << key << " leaked by a dead session";
+  }
+  (void)probe->Send(kMsgGoodbye, "");
+
+  size_t fds = 0;
+  const auto fd_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    fds = 0;
+    for (auto it = std::filesystem::directory_iterator("/proc/self/fd");
+         it != std::filesystem::directory_iterator(); ++it) {
+      ++fds;
+    }
+    if (fds <= fd_baseline || std::chrono::steady_clock::now() > fd_deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LE(fds, fd_baseline) << "fds leaked after chaos";
 }
 
 }  // namespace
