@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # The whole release gate in one command: the full test suite across the
 # default, asan and tsan presets, then every scripts/check_*.sh regression
-# gate (bench scaling + overload degradation, recovery bound, metrics-off
-# build-and-test, mutex discipline).
+# gate (bench scaling + overload degradation, recovery bound, scan
+# pipeline, metrics-off build-and-test, mutex discipline).
 #
 # Suite notes:
 #   - the default preset runs everything, torture harnesses included
@@ -12,7 +12,10 @@
 #     `concurrency` and asan `integrity` presets cover those paths with
 #     reduced iterations — run them separately when touching that code;
 #   - the overload-protection slice alone is `ctest -L overload`; it also
-#     rides the tsan run via its `concurrency` label.
+#     rides the tsan run via its `concurrency` label;
+#   - the async I/O pipeline slice alone is `ctest -L scan`; it rides both
+#     sanitizer presets, and `scripts/check_bench_scan.sh` gates the
+#     push-vs-pull throughput claim on BENCH_scan.json.
 #
 # Usage: scripts/run_gates.sh
 set -eu

@@ -8,6 +8,17 @@ CachedSegmentStore::CachedSegmentStore(SegmentStore* inner, Options options)
     : inner_(inner), options_(options),
       placement_(options.frame_count == 0 ? 1 : options.frame_count),
       io_(inner) {
+  if (options_.async_backend != "off") {
+    AsyncPageIoOptions aopts;
+    aopts.backend = options_.async_backend;
+    aopts.queue_depth = options_.async_queue_depth;
+    aopts.workers = options_.async_workers;
+    auto made = MakeAsyncPageIo(aopts, &io_, options_.raw_source);
+    // A backend that cannot be built (bad name) degrades to synchronous
+    // paths rather than failing the cache; Init-time callers can check
+    // async_backend() when they require the push pipeline.
+    if (made.ok()) async_io_ = std::move(*made);
+  }
   FrameTable::Options topts;
   topts.frame_count = options_.frame_count == 0 ? 1 : options_.frame_count;
   topts.policy = "clock";
@@ -15,6 +26,8 @@ CachedSegmentStore::CachedSegmentStore(SegmentStore* inner, Options options)
   topts.prefetch_trigger = options_.prefetch_trigger;
   topts.prefetch_window = options_.prefetch_window;
   topts.on_cleaned = options_.on_cleaned;
+  topts.async_io = async_io_.get();
+  topts.async_queue_depth = options_.async_queue_depth;
   table_.reset(new FrameTable(topts, &placement_, &io_));
 }
 
@@ -24,6 +37,7 @@ Status CachedSegmentStore::Init() { return table_->Init(); }
 
 void CachedSegmentStore::Stop() {
   if (table_ != nullptr) table_->Stop();
+  if (async_io_ != nullptr) async_io_->Shutdown();
 }
 
 Status CachedSegmentStore::FetchSlotted(SegmentId id, void* buf,
@@ -55,6 +69,15 @@ Status CachedSegmentStore::WritePages(uint16_t db, uint16_t area, PageId first,
                       in + static_cast<size_t>(i) * kPageSize);
   }
   return Status::OK();
+}
+
+Status CachedSegmentStore::ScanPages(uint16_t db, uint16_t area, PageId first,
+                                     uint32_t page_count,
+                                     const ScanConsumer& consume) {
+  return table_->ScanRange(Key(db, area, first), page_count,
+                           [&](uint64_t key, const void* bytes) {
+                             return consume(PageAddr::Unpack(key).page, bytes);
+                           });
 }
 
 void CachedSegmentStore::NoteFetch(uint16_t db, uint16_t area, PageId first,

@@ -21,7 +21,9 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
+#include "cache/async_page_io.h"
 #include "cache/frame_table.h"
 #include "storage/storage_area.h"
 #include "util/config.h"
@@ -39,6 +41,16 @@ class CachedSegmentStore : public SegmentStore, public PrefetchSink {
     /// Forwarded to FrameTable::Options::on_cleaned: fired (without the
     /// table mutex) when a write-back finalizes a frame clean.
     std::function<void(uint64_t key, uint64_t rec_lsn)> on_cleaned;
+
+    /// Batched async backend for prefetch and push-based scans:
+    /// "off" (default) keeps the classic synchronous paths;
+    /// "auto"/"uring"/"pool" select an AsyncPageIo (see async_page_io.h).
+    std::string async_backend = "off";
+    uint32_t async_queue_depth = 16;
+    uint32_t async_workers = 4;
+    /// Raw (fd, offset) resolver enabling the io_uring path; null limits
+    /// backend selection to the worker pool over the inner store.
+    aio::RawPageSource* raw_source = nullptr;
   };
 
   /// `inner` must outlive this store.
@@ -57,6 +69,23 @@ class CachedSegmentStore : public SegmentStore, public PrefetchSink {
   void NoteFetch(uint16_t db, uint16_t area, PageId first,
                  uint32_t page_count) override;
 
+  /// Per-page scan delivery: `page` is frame-resident for the call only.
+  using ScanConsumer =
+      std::function<Status(PageId page, const void* bytes)>;
+
+  /// Streams `page_count` pages from `first` through `consume` in order.
+  /// With an async backend this is the push path: reads are staged into
+  /// the frame table ahead of the consumer (FrameTable::ScanRange);
+  /// without one it degrades to the pull-on-fault loop.
+  Status ScanPages(uint16_t db, uint16_t area, PageId first,
+                   uint32_t page_count, const ScanConsumer& consume);
+
+  /// Active async backend name ("off" when none).
+  const char* async_backend() const {
+    return async_io_ == nullptr ? "off" : async_io_->backend();
+  }
+  AsyncPageIo* async_io() { return async_io_.get(); }
+
   /// Refreshes the cached copy of a page (used by the commit force path).
   void Refresh(uint16_t db, uint16_t area, PageId page, const void* bytes);
   /// Drops everything (after scrub/repair the store may differ from us).
@@ -73,6 +102,9 @@ class CachedSegmentStore : public SegmentStore, public PrefetchSink {
   Options options_;
   HeapPlacement placement_;
   StorePageIo io_;
+  /// Destroyed after table_ (declared first): the table's Stop() drains
+  /// every in-flight op before the backend's threads go away.
+  std::unique_ptr<AsyncPageIo> async_io_;
   std::unique_ptr<FrameTable> table_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "cache/async_page_io.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -13,7 +14,6 @@ namespace {
 /// synchronous write-back, and how many whole acquisition rounds run before
 /// giving up (each round ends in Placement::ReleasePressure).
 constexpr int kBgWaitAttempts = 3;
-constexpr auto kBgWaitSlice = std::chrono::milliseconds(50);
 constexpr int kPressureRounds = 3;
 constexpr auto kLoadPoll = std::chrono::milliseconds(1);
 
@@ -46,6 +46,18 @@ FrameTable::~FrameTable() { Stop(); }
 Status FrameTable::Init() {
   if (opts_.frame_count == 0) {
     return Status::InvalidArgument("frame table needs at least one frame");
+  }
+  if (opts_.async_io != nullptr) {
+    if (opts_.directory != nullptr) {
+      // Async claim/install runs under only this process's table mutex —
+      // same single-copy hazard as prefetch below.
+      return Status::InvalidArgument(
+          "async I/O is unsupported with an external (cross-process) "
+          "directory");
+    }
+    if (opts_.async_queue_depth == 0) opts_.async_queue_depth = 1;
+    aio_ = opts_.async_io;
+    aio_pending_.assign(opts_.frame_count, PendingAio{});
   }
   if (opts_.enable_prefetch && opts_.directory != nullptr) {
     // The prefetch claim/install step runs on the background thread under
@@ -89,6 +101,20 @@ void FrameTable::Stop() {
   }
   bg_cv_.notify_all();
   if (bg_thread_.joinable()) bg_thread_.join();
+  if (aio_ != nullptr) {
+    // Drain every in-flight async op: a frame left kLoading/kWriting with a
+    // pending completion would leak (never evictable). The engine contract
+    // guarantees one completion per accepted request, so this terminates;
+    // the retry cap only guards against a wedged backend.
+    std::unique_lock<std::mutex> lk(mu_);
+    for (int spins = 0; aio_inflight_ > 0 && spins < 200; ++spins) {
+      (void)ReapAioLocked(lk, 50);
+    }
+    if (aio_inflight_ > 0) {
+      BESS_ERROR("frame table stopped with " << aio_inflight_
+                                             << " async page ops unreaped");
+    }
+  }
 }
 
 bool FrameTable::EvictableLocked(uint32_t f, bool allow_dirty) const {
@@ -184,6 +210,11 @@ Status FrameTable::EvictLocked(uint32_t f) {
     stats_.evictions++;
     BESS_COUNT("cache.eviction");
   }
+  // A frame just became free: a foreground pressure-waiter blocked on
+  // cleaned_cv_ may now have a victim — or, if this was the last unpinned
+  // dirty frame (evicted after a write-back), waiting no longer helps.
+  // Without this notify that waiter sleeps out its whole slice.
+  cleaned_cv_.notify_all();
   return es;
 }
 
@@ -296,22 +327,39 @@ Result<uint32_t> FrameTable::AcquireFrameLocked(
         }
         if (attempt >= kBgWaitAttempts) break;
         // Waiting only helps if the bgwriter can actually mint a victim:
-        // an unpinned dirty frame. When every frame is pinned (shared mode
-        // with all slots bound), fall through to ReleasePressure instead.
-        bool cleanable = false;
-        for (uint32_t i = 0; i < opts_.frame_count; ++i) {
-          if (meta_[i].pins.load(std::memory_order_acquire) == 0 &&
-              StateOf(i) == FrameState::kDirty) {
-            cleanable = true;
-            break;
+        // an unpinned dirty frame (or one whose write-back is already in
+        // flight). When every frame is pinned (shared mode with all slots
+        // bound), fall through to ReleasePressure instead.
+        auto any_cleanable = [&] {
+          for (uint32_t i = 0; i < opts_.frame_count; ++i) {
+            const FrameState st = StateOf(i);
+            if (meta_[i].pins.load(std::memory_order_acquire) == 0 &&
+                (st == FrameState::kDirty || st == FrameState::kWriting)) {
+              return true;
+            }
           }
-        }
-        if (!cleanable) break;
+          return false;
+        };
+        auto any_clean_victim = [&] {
+          for (uint32_t i = 0; i < opts_.frame_count; ++i) {
+            if (EvictableLocked(i, false)) return true;
+          }
+          return false;
+        };
+        if (!any_cleanable()) break;
         urgent_flush_ = true;
         bg_cv_.notify_all();
         stats_.pressure_waits++;
         BESS_COUNT("cache.bgwriter.pressure_wait");
-        cleaned_cv_.wait_for(lk, kBgWaitSlice);
+        // Predicate wait, not a bare timed sleep: the state this waiter
+        // cares about can change without a write-back completing — the
+        // last unpinned dirty frame can get pinned (waiting is then
+        // futile) or evicted (a victim exists). Both paths notify
+        // cleaned_cv_; the predicate makes the wakeup effective instead of
+        // sleeping out the full slice (missed-wakeup fix).
+        cleaned_cv_.wait_for(
+            lk, std::chrono::milliseconds(opts_.bgwriter_wait_slice_ms),
+            [&] { return any_clean_victim() || !any_cleanable(); });
       }
     }
     const uint32_t f = policy_->PickVictim(any, demote);
@@ -345,7 +393,14 @@ Result<FrameTable::FixResult> FrameTable::Fix(uint64_t key, bool for_write,
     if (st == FrameState::kLoading) {
       // Another thread (or, in shared mode, another process) is filling
       // this frame; wait with a poll so cross-process loads finish too.
-      load_cv_.wait_for(lk, kLoadPoll);
+      // With an async backend the fill may be a completion nobody has
+      // reaped yet — reap instead of sleeping so a lone foreground thread
+      // makes progress without depending on the background thread.
+      if (aio_ != nullptr && aio_inflight_ > 0) {
+        (void)ReapAioLocked(lk, 1);
+      } else {
+        load_cv_.wait_for(lk, kLoadPoll);
+      }
       continue;
     }
     if (st == FrameState::kFree || st == FrameState::kEvicting) break;
@@ -358,7 +413,15 @@ Result<FrameTable::FixResult> FrameTable::Fix(uint64_t key, bool for_write,
     policy_->OnAccess(f);
     BESS_RETURN_IF_ERROR(placement_->OnAccess(f, st == FrameState::kDirty));
     if (for_write) BESS_RETURN_IF_ERROR(MarkDirtyLocked(f, 0));
-    if (pin) m.pins.fetch_add(1, std::memory_order_acq_rel);
+    if (pin) {
+      m.pins.fetch_add(1, std::memory_order_acq_rel);
+      if (m.State() == FrameState::kDirty) {
+        // Pinning a dirty frame may have removed the last frame the
+        // bgwriter could mint into a victim: wake pressure-waiters so they
+        // re-check instead of sleeping out their slice (missed-wakeup fix).
+        cleaned_cv_.notify_all();
+      }
+    }
     stats_.hits++;
     BESS_COUNT("cache.hit");
     return FixResult{f, placement_->frame_data(f), true};
@@ -578,6 +641,166 @@ Status FrameTable::Clear(bool flush) {
   return Status::OK();
 }
 
+Status FrameTable::ScanRange(uint64_t first_key, uint32_t count,
+                             const ScanConsumer& consume) {
+  if (first_key == 0) return Status::InvalidArgument("null page key");
+  if (count == 0) return Status::OK();
+  const uint64_t end = first_key + count;
+
+  // Pull fallback: no async backend (or an external directory, where this
+  // process must not claim frames off the demand path) — a plain Fix loop.
+  if (aio_ == nullptr || opts_.directory != nullptr) {
+    for (uint64_t key = first_key; key < end; ++key) {
+      BESS_ASSIGN_OR_RETURN(FixResult r, Fix(key, /*for_write=*/false,
+                                             /*pin=*/true));
+      Status cs = consume(key, r.data);
+      (void)Unpin(r.frame);
+      BESS_RETURN_IF_ERROR(cs);
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        stats_.scan_pages++;
+        stats_.scan_fallbacks++;
+      }
+      BESS_COUNT("cache.scan.pages");
+      BESS_COUNT("cache.scan.fallback");
+    }
+    return Status::OK();
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  uint64_t next_stage = first_key;  // first key not yet staged/considered
+
+  // Pushes reads for upcoming keys into claimed kLoading frames until the
+  // queue depth is reached. Resident keys are skipped (consumed from cache
+  // below); claim failures stop the wave — later keys retry next call.
+  auto stage = [&]() {
+    while (next_stage < end && aio_inflight_ < opts_.async_queue_depth) {
+      if (dir_->Lookup(next_stage) != kNoFrame) {
+        ++next_stage;
+        continue;
+      }
+      const uint32_t want = static_cast<uint32_t>(
+          std::min<uint64_t>(end - next_stage,
+                             opts_.async_queue_depth - aio_inflight_));
+      std::vector<uint32_t> frames;
+      ClaimLoadingRunLocked(next_stage, want, &frames);
+      if (frames.empty()) return;
+      const uint32_t n = static_cast<uint32_t>(frames.size());
+      std::vector<AsyncPageIo::Request> reqs(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t f = frames[i];
+        reqs[i].write = false;
+        reqs[i].key = next_stage + i;
+        reqs[i].buf = placement_->frame_data(f);
+        reqs[i].user_data = f;
+        aio_pending_[f] = PendingAio{AioOp::kScanRead, next_stage + i};
+      }
+      aio_inflight_ += n;
+      scan_inflight_ += n;
+      stats_.scan_staged += n;
+      BESS_HIST("cache.scan.depth", scan_inflight_);
+      const uint64_t staged_first = next_stage;
+      next_stage += n;
+      lk.unlock();
+      const Status ss = aio_->Submit(reqs.data(), n);
+      BESS_COUNT_N("cache.scan.staged", n);
+      lk.lock();
+      if (!ss.ok()) {
+        for (uint32_t i = 0; i < n; ++i) {
+          const uint32_t f = frames[i];
+          aio_pending_[f] = PendingAio{};
+          aio_inflight_--;
+          scan_inflight_--;
+          dir_->Erase(staged_first + i, f);
+          meta_[f].page_key.store(0, std::memory_order_release);
+          SetState(f, FrameState::kFree);
+        }
+        load_cv_.notify_all();
+        return;
+      }
+    }
+  };
+
+  // Drains this scan's outstanding reads before any return: an abandoned
+  // kLoading frame would leak, and its buffer must stay valid meanwhile.
+  auto drain = [&]() {
+    for (int spins = 0; scan_inflight_ > 0 && spins < 200; ++spins) {
+      (void)ReapAioLocked(lk, 50);
+    }
+  };
+
+  stage();
+  for (uint64_t key = first_key; key < end; ++key) {
+    for (;;) {
+      const uint32_t f = dir_->Lookup(key);
+      if (f != kNoFrame &&
+          meta_[f].page_key.load(std::memory_order_acquire) == key) {
+        const FrameState st = StateOf(f);
+        if (st == FrameState::kLoading) {
+          if (aio_inflight_ > 0) {
+            (void)ReapAioLocked(lk, 1);
+          } else {
+            load_cv_.wait_for(lk, kLoadPoll);
+          }
+          continue;
+        }
+        if (st != FrameState::kFree && st != FrameState::kEvicting) {
+          // Consumable. Pin so the frame survives the unlocked callback;
+          // no policy promotion — a scan must not flush the hot set.
+          meta_[f].pins.fetch_add(1, std::memory_order_acq_rel);
+          if (meta_[f].prefetched.exchange(0, std::memory_order_relaxed) !=
+              0) {
+            stats_.prefetch_hits++;
+            BESS_COUNT("cache.prefetch.hits");
+          }
+          stats_.scan_pages++;
+          BESS_COUNT("cache.scan.pages");
+          lk.unlock();
+          const Status cs = consume(key, placement_->frame_data(f));
+          lk.lock();
+          meta_[f].pins.fetch_sub(1, std::memory_order_acq_rel);
+          if (!cs.ok()) {
+            drain();
+            return cs;
+          }
+          // Refill the staging window as the consumer advances — without
+          // this the scan degenerates into batch-synchronous waves (stage
+          // queue_depth, drain it dry, stage again) and device time stops
+          // overlapping consumer compute.
+          stage();
+          break;
+        }
+      }
+      // Not resident: try to stage it (frames may have freed up); when
+      // that fails too, fall back to a demand fix — the pull path.
+      stage();
+      if (dir_->Lookup(key) != kNoFrame) continue;
+      stats_.scan_fallbacks++;
+      BESS_COUNT("cache.scan.fallback");
+      lk.unlock();
+      auto r = Fix(key, /*for_write=*/false, /*pin=*/true);
+      if (!r.ok()) {
+        lk.lock();
+        drain();
+        return r.status();
+      }
+      const Status cs = consume(key, r->data);
+      (void)Unpin(r->frame);
+      lk.lock();
+      stats_.scan_pages++;
+      BESS_COUNT("cache.scan.pages");
+      if (!cs.ok()) {
+        drain();
+        return cs;
+      }
+      break;
+    }
+    stage();  // keep the pipeline deep while the consumer works
+  }
+  drain();
+  return Status::OK();
+}
+
 FrameTable::Stats FrameTable::stats() const {
   std::lock_guard<std::mutex> guard(mu_);
   return stats_;
@@ -616,8 +839,43 @@ void FrameTable::FeedPrefetchLocked(uint64_t key, uint32_t count) {
   }
 }
 
+void FrameTable::ClaimLoadingRunLocked(uint64_t first, uint32_t count,
+                                       std::vector<uint32_t>* frames) {
+  // Never evict a staged-but-unconsumed speculative load to stage another:
+  // completed scan/prefetch pages are clean, unpinned and ranked coldest,
+  // which made them prime PickIdle victims — deep queues cannibalized
+  // their own window and every cannibalized page came back as a full-
+  // latency demand fix (cache.scan.fallback). The demand path can still
+  // evict prefetched frames, so a truly wasted prefetch is reclaimed
+  // there (and counted cache.prefetch.wasted), not leaked.
+  auto clean = [&](uint32_t f) {
+    return EvictableLocked(f, false) &&
+           meta_[f].prefetched.load(std::memory_order_relaxed) == 0;
+  };
+  for (uint32_t i = 0; i < count; ++i) {
+    if (dir_->Lookup(first + i) != kNoFrame) break;
+    // PickIdle: no ref bits cleared, no demotions — speculative loads
+    // must not burn a resident page's second chance.
+    const uint32_t f = policy_->PickIdle(clean);
+    if (f == kNoFrame) break;
+    if (!EvictLocked(f).ok()) break;
+    meta_[f].page_key.store(first + i, std::memory_order_release);
+    SetState(f, FrameState::kLoading);
+    if (!dir_->Install(first + i, f).ok() || !placement_->BeginLoad(f).ok()) {
+      dir_->Erase(first + i, f);
+      meta_[f].page_key.store(0, std::memory_order_release);
+      SetState(f, FrameState::kFree);
+      break;
+    }
+    frames->push_back(f);
+  }
+}
+
 void FrameTable::DoPrefetchLocked(std::unique_lock<std::mutex>& lk) {
-  auto clean = [&](uint32_t f) { return EvictableLocked(f, false); };
+  if (aio_ != nullptr) {
+    DoPrefetchAsyncLocked(lk);
+    return;
+  }
   while (!prefetch_q_.empty()) {
     auto [start, count] = prefetch_q_.front();
     prefetch_q_.pop_front();
@@ -627,24 +885,7 @@ void FrameTable::DoPrefetchLocked(std::unique_lock<std::mutex>& lk) {
       --count;
     }
     std::vector<uint32_t> frames;
-    for (uint32_t i = 0; i < count; ++i) {
-      if (dir_->Lookup(first + i) != kNoFrame) break;
-      // PickIdle: no ref bits cleared, no demotions — speculative loads
-      // must not burn a resident page's second chance.
-      const uint32_t f = policy_->PickIdle(clean);
-      if (f == kNoFrame) break;
-      if (!EvictLocked(f).ok()) break;
-      meta_[f].page_key.store(first + i, std::memory_order_release);
-      SetState(f, FrameState::kLoading);
-      if (!dir_->Install(first + i, f).ok() ||
-          !placement_->BeginLoad(f).ok()) {
-        dir_->Erase(first + i, f);
-        meta_[f].page_key.store(0, std::memory_order_release);
-        SetState(f, FrameState::kFree);
-        break;
-      }
-      frames.push_back(f);
-    }
+    ClaimLoadingRunLocked(first, count, &frames);
     if (frames.empty()) continue;
     const uint32_t n = static_cast<uint32_t>(frames.size());
     pf_scratch_.resize(static_cast<size_t>(n) * kPageSize);
@@ -674,6 +915,138 @@ void FrameTable::DoPrefetchLocked(std::unique_lock<std::mutex>& lk) {
   }
 }
 
+// ---- async pipeline ---------------------------------------------------------
+
+void FrameTable::DoPrefetchAsyncLocked(std::unique_lock<std::mutex>& lk) {
+  while (!prefetch_q_.empty() && aio_inflight_ < opts_.async_queue_depth) {
+    auto [start, count] = prefetch_q_.front();
+    prefetch_q_.pop_front();
+    uint64_t first = start;
+    while (count > 0 && dir_->Lookup(first) != kNoFrame) {
+      ++first;
+      --count;
+    }
+    count = std::min(count, opts_.async_queue_depth - aio_inflight_);
+    std::vector<uint32_t> frames;
+    ClaimLoadingRunLocked(first, count, &frames);
+    if (frames.empty()) continue;
+    const uint32_t n = static_cast<uint32_t>(frames.size());
+    std::vector<AsyncPageIo::Request> reqs(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t f = frames[i];
+      reqs[i].write = false;
+      reqs[i].key = first + i;
+      reqs[i].buf = placement_->frame_data(f);
+      reqs[i].user_data = f;
+      aio_pending_[f] = PendingAio{AioOp::kPrefetchRead, first + i};
+    }
+    aio_inflight_ += n;
+    BESS_HIST("cache.prefetch.depth", aio_inflight_);
+    // Submit without the mutex (the backend may block briefly); the frames
+    // are kLoading with pending ops, so nothing can touch them meanwhile.
+    lk.unlock();
+    const Status ss = aio_->Submit(reqs.data(), n);
+    lk.lock();
+    if (!ss.ok()) {
+      // Nothing was queued: unwind every claimed frame.
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t f = frames[i];
+        aio_pending_[f] = PendingAio{};
+        aio_inflight_--;
+        dir_->Erase(first + i, f);
+        meta_[f].page_key.store(0, std::memory_order_release);
+        SetState(f, FrameState::kFree);
+      }
+      load_cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void FrameTable::ProcessAioLocked(
+    const aio::AioCompletion* cs, uint32_t n,
+    std::vector<std::pair<uint64_t, uint64_t>>* cleaned) {
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t f = static_cast<uint32_t>(cs[i].user_data);
+    if (f >= opts_.frame_count) continue;
+    const PendingAio p = aio_pending_[f];
+    if (p.op == AioOp::kNone) continue;
+    aio_pending_[f] = PendingAio{};
+    aio_inflight_--;
+    if (p.op == AioOp::kScanRead) scan_inflight_--;
+    FrameMeta& m = meta_[f];
+    const bool ok = cs[i].status.ok();
+    if (p.op == AioOp::kPrefetchRead || p.op == AioOp::kScanRead) {
+      if (ok) {
+        (void)placement_->FinishLoad(f, false);
+        SetState(f, FrameState::kClean);
+        m.prefetched.store(1, std::memory_order_relaxed);
+        // No policy OnInsert: an undemanded page should rank coldest so
+        // wasted speculative loads recycle first.
+        stats_.prefetch_issued++;
+        BESS_COUNT("cache.prefetch.issued");
+      } else {
+        // Unwind exactly like a failed demand load: the next Fix of this
+        // key misses and surfaces the store error on its own fetch.
+        dir_->Erase(p.key, f);
+        m.page_key.store(0, std::memory_order_release);
+        SetState(f, FrameState::kFree);
+      }
+    } else {  // kFlushWrite — the async tail of WriteBackLocked
+      if (ok) {
+        uint8_t expected = static_cast<uint8_t>(FrameState::kWriting);
+        bool now_clean = false;
+        uint64_t cleaned_rec_lsn = 0;
+        // Fails when the frame was re-dirtied mid-flight: it stays kDirty
+        // and is written again later (same losslessness as the sync path).
+        if (m.state.compare_exchange_strong(
+                expected, static_cast<uint8_t>(FrameState::kClean),
+                std::memory_order_acq_rel)) {
+          now_clean = true;
+          cleaned_rec_lsn = m.rec_lsn.exchange(0, std::memory_order_relaxed);
+        }
+        (void)placement_->FinishWriteback(f, true);
+        m.writer.store(0, std::memory_order_release);
+        stats_.writebacks++;
+        BESS_COUNT("cache.writeback");
+        stats_.bgwriter_flushed++;
+        BESS_COUNT("cache.bgwriter.flushed");
+        if (now_clean && opts_.on_cleaned) {
+          cleaned->emplace_back(p.key, cleaned_rec_lsn);
+        }
+      } else {
+        if (m.State() == FrameState::kWriting) SetState(f, FrameState::kDirty);
+        (void)placement_->FinishWriteback(f, false);
+        m.writer.store(0, std::memory_order_release);
+        stats_.bgwriter_errors++;
+        BESS_COUNT("cache.bgwriter.error");
+      }
+    }
+  }
+  cleaned_cv_.notify_all();
+  load_cv_.notify_all();
+}
+
+uint32_t FrameTable::ReapAioLocked(std::unique_lock<std::mutex>& lk,
+                                   uint32_t timeout_ms) {
+  if (aio_ == nullptr || aio_inflight_ == 0) return 0;
+  aio::AioCompletion buf[32];
+  lk.unlock();
+  const uint32_t n = aio_->Reap(buf, 32, timeout_ms);
+  lk.lock();
+  if (n == 0) return 0;
+  std::vector<std::pair<uint64_t, uint64_t>> cleaned;
+  ProcessAioLocked(buf, n, &cleaned);
+  if (!cleaned.empty()) {
+    // on_cleaned fires without the mutex — same lock-order contract as the
+    // synchronous write-back path.
+    lk.unlock();
+    for (const auto& [key, rec] : cleaned) opts_.on_cleaned(key, rec);
+    lk.lock();
+  }
+  return n;
+}
+
 // ---- bgwriter ---------------------------------------------------------------
 
 void FrameTable::BgFlushRoundLocked(std::unique_lock<std::mutex>& lk) {
@@ -696,6 +1069,12 @@ void FrameTable::BgFlushRoundLocked(std::unique_lock<std::mutex>& lk) {
     if (cand.size() > opts_.bgwriter_batch) cand.resize(opts_.bgwriter_batch);
   }
   if (cand.empty()) return;
+  if (aio_ != nullptr) {
+    AsyncBgFlushBatchLocked(lk, cand);
+    stats_.bgwriter_rounds++;
+    BESS_COUNT("cache.bgwriter.round");
+    return;
+  }
   uint64_t max_lsn = 0;
   for (uint32_t f : cand) {
     max_lsn =
@@ -733,15 +1112,95 @@ void FrameTable::BgFlushRoundLocked(std::unique_lock<std::mutex>& lk) {
   if (flushed != 0) BESS_HIST("cache.bgwriter.batch_size", flushed);
 }
 
+void FrameTable::AsyncBgFlushBatchLocked(std::unique_lock<std::mutex>& lk,
+                                         const std::vector<uint32_t>& cand) {
+  // Claim the whole batch under the mutex first: writer flag + kWriting
+  // make each frame untouchable, so keys and buffers stay stable across
+  // the unlocked stretch below.
+  std::vector<uint32_t> batch;
+  batch.reserve(cand.size());
+  std::vector<AsyncPageIo::Request> reqs;
+  reqs.reserve(cand.size());
+  uint64_t max_lsn = 0;
+  for (uint32_t f : cand) {
+    if (aio_inflight_ + batch.size() >= opts_.async_queue_depth) break;
+    FrameMeta& m = meta_[f];
+    if (StateOf(f) != FrameState::kDirty) continue;
+    uint8_t unclaimed = 0;
+    if (!m.writer.compare_exchange_strong(unclaimed, 1,
+                                          std::memory_order_acq_rel)) {
+      continue;  // another flusher owns it
+    }
+    SetState(f, FrameState::kWriting);
+    const uint64_t key = m.page_key.load(std::memory_order_acquire);
+    const uint64_t lsn = m.page_lsn.load(std::memory_order_relaxed);
+    aio_pending_[f] = PendingAio{AioOp::kFlushWrite, key};
+    batch.push_back(f);
+    AsyncPageIo::Request r;
+    r.write = true;
+    r.key = key;
+    r.buf = placement_->frame_data(f);
+    r.lsn = lsn;
+    r.user_data = f;
+    reqs.push_back(r);
+    max_lsn = std::max(max_lsn, lsn);
+  }
+  if (batch.empty()) return;
+  const uint32_t n = static_cast<uint32_t>(batch.size());
+  aio_inflight_ += n;
+  lk.unlock();
+  Status ws;
+  for (uint32_t f : batch) {
+    // Same structural invariant as WriteBackLocked: the frame is made
+    // readable before any I/O can touch it.
+    ws = placement_->PrepareForWriteback(f);
+    if (!ws.ok()) break;
+  }
+  // ONE durability gate covers the whole batch (WAL-before-data for its
+  // highest LSN implies it for every member) — this is the submission-
+  // batching win the scan bench measures against per-page gating.
+  if (ws.ok() && max_lsn != 0) ws = io_->EnsureWalDurable(max_lsn);
+  if (ws.ok()) ws = aio_->Submit(reqs.data(), n);
+  lk.lock();
+  if (!ws.ok()) {
+    // Nothing was queued (Submit is all-or-nothing): release every claim.
+    for (uint32_t f : batch) {
+      aio_pending_[f] = PendingAio{};
+      aio_inflight_--;
+      if (StateOf(f) == FrameState::kWriting) SetState(f, FrameState::kDirty);
+      (void)placement_->FinishWriteback(f, false);
+      meta_[f].writer.store(0, std::memory_order_release);
+    }
+    stats_.bgwriter_errors++;
+    BESS_COUNT("cache.bgwriter.error");
+    cleaned_cv_.notify_all();
+    return;
+  }
+  stats_.async_flush_batches++;
+  BESS_COUNT("cache.bgwriter.async_batch");
+  BESS_HIST("cache.bgwriter.batch_size", n);
+}
+
 void FrameTable::BackgroundMain() {
   std::unique_lock<std::mutex> lk(mu_);
   while (running_) {
-    bg_cv_.wait_for(lk, std::chrono::milliseconds(opts_.bgwriter_interval_ms),
-                    [&] {
-                      return !running_ || urgent_flush_ ||
-                             !prefetch_q_.empty();
-                    });
+    // With async ops in flight, tick fast to reap completions promptly;
+    // otherwise sleep out the bgwriter interval. Prefetch work only wakes
+    // the thread when it can actually submit (queue depth available) —
+    // else the wait predicate would spin while the pipeline is full.
+    const bool pipeline_busy = aio_ != nullptr && aio_inflight_ > 0;
+    bg_cv_.wait_for(
+        lk,
+        std::chrono::milliseconds(pipeline_busy ? 1
+                                                : opts_.bgwriter_interval_ms),
+        [&] {
+          return !running_ || urgent_flush_ ||
+                 (!prefetch_q_.empty() &&
+                  (aio_ == nullptr ||
+                   aio_inflight_ < opts_.async_queue_depth));
+        });
     if (!running_) break;
+    if (aio_ != nullptr) (void)ReapAioLocked(lk, 0);
     if (opts_.enable_prefetch) DoPrefetchLocked(lk);
     BgFlushRoundLocked(lk);
   }

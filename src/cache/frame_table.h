@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "cache/replacement_policy.h"
+#include "os/async_io.h"
 #include "os/latch.h"
 #include "storage/storage_area.h"
 #include "util/config.h"
@@ -59,6 +60,8 @@
 #include "vm/segment_store.h"
 
 namespace bess {
+
+class AsyncPageIo;
 
 /// Page-frame lifecycle states. Stored as one byte so the whole FrameMeta
 /// is shared-memory safe.
@@ -206,6 +209,20 @@ class FrameTable {
     uint32_t prefetch_trigger = 3;       ///< sequential misses before issue
     uint32_t prefetch_window = 8;        ///< pages per read-ahead
 
+    /// Batched asynchronous I/O backend (non-owning; must outlive the
+    /// table — Stop() drains all in-flight operations before returning).
+    /// When set: prefetch submits deep-queue read batches straight into
+    /// kLoading frames instead of fetching one run at a time, bgwriter
+    /// rounds go out as one batched submission with a single WAL gate per
+    /// batch, and ScanRange pushes pages ahead of its consumer. Null keeps
+    /// the classic synchronous paths.
+    AsyncPageIo* async_io = nullptr;
+    /// Max async page operations in flight (prefetch + scan + flush).
+    uint32_t async_queue_depth = 16;
+    /// One foreground pressure-wait slice (the bounded wait for the
+    /// bgwriter to mint a clean victim). Exposed for regression tests.
+    uint32_t bgwriter_wait_slice_ms = 50;
+
     /// Fired after a write-back finalizes a frame clean, with the page key
     /// and the recLSN the frame carried while dirty (0 = unknown). Invoked
     /// WITHOUT the table mutex — the callback may take locks that order
@@ -229,6 +246,10 @@ class FrameTable {
     uint64_t prefetch_hits = 0;
     uint64_t prefetch_wasted = 0;
     uint64_t pressure_waits = 0;    ///< foreground waited for the bgwriter
+    uint64_t async_flush_batches = 0;  ///< bgwriter batches submitted async
+    uint64_t scan_pages = 0;        ///< pages delivered by ScanRange
+    uint64_t scan_staged = 0;       ///< scan reads pushed ahead of consume
+    uint64_t scan_fallbacks = 0;    ///< scan pages that fell back to Fix
   };
 
   struct FixResult {
@@ -268,6 +289,21 @@ class FrameTable {
   /// happened upstream); may schedule read-ahead.
   void NotePrefetchHint(uint64_t key, uint32_t count);
 
+  /// Per-page scan delivery. `page` points at frame bytes valid only for
+  /// the duration of the call (the frame is pinned); the callback runs
+  /// without the table mutex and must not call back into this table.
+  using ScanConsumer = std::function<Status(uint64_t key, const void* page)>;
+
+  /// Streams pages [first_key, first_key + count) through `consume` in key
+  /// order. With an async backend, reads for upcoming pages are pushed into
+  /// kLoading frames up to the queue depth while earlier pages are being
+  /// consumed (push-based scan); pages it cannot stage (resident, pinned-
+  /// out cache, failed speculative read) are served through the classic
+  /// pull-on-fault path. Consumed pages are not promoted by the
+  /// replacement policy, so a scan cannot flush the hot set.
+  Status ScanRange(uint64_t first_key, uint32_t count,
+                   const ScanConsumer& consume);
+
   bool Contains(uint64_t key);
 
   /// Writes every dirty frame back, LSN-ordered, one WAL gate per pass.
@@ -303,6 +339,13 @@ class FrameTable {
  private:
   enum class WritebackMode { kSyncEvict, kFlush, kBackground };
 
+  /// What an in-flight async operation will do to its frame when reaped.
+  enum class AioOp : uint8_t { kNone = 0, kPrefetchRead, kScanRead, kFlushWrite };
+  struct PendingAio {
+    AioOp op = AioOp::kNone;
+    uint64_t key = 0;
+  };
+
   FrameState StateOf(uint32_t f) const { return meta_[f].State(); }
   void SetState(uint32_t f, FrameState s) {
     meta_[f].state.store(static_cast<uint8_t>(s), std::memory_order_release);
@@ -321,6 +364,26 @@ class FrameTable {
   void DoPrefetchLocked(std::unique_lock<std::mutex>& lk);
   void BgFlushRoundLocked(std::unique_lock<std::mutex>& lk);
   void BackgroundMain();
+
+  // ---- async pipeline (all guarded by mu_ unless noted) ----
+  /// Claims up to `count` idle frames for keys [first, first+count),
+  /// stopping at the first resident key or when the policy has no idle
+  /// victim; claimed frames are installed in the directory as kLoading.
+  void ClaimLoadingRunLocked(uint64_t first, uint32_t count,
+                             std::vector<uint32_t>* frames);
+  /// Submits prefetch queue entries as async read batches (deep queue).
+  void DoPrefetchAsyncLocked(std::unique_lock<std::mutex>& lk);
+  /// Submits one bgwriter candidate set as a single async write batch with
+  /// one WAL durability gate.
+  void AsyncBgFlushBatchLocked(std::unique_lock<std::mutex>& lk,
+                               const std::vector<uint32_t>& cand);
+  /// Applies reaped completions to their frames' state machines.
+  void ProcessAioLocked(const aio::AioCompletion* cs, uint32_t n,
+                        std::vector<std::pair<uint64_t, uint64_t>>* cleaned);
+  /// Reaps (dropping `lk` around the wait) and processes completions; fires
+  /// on_cleaned callbacks without the mutex. Returns completions processed.
+  uint32_t ReapAioLocked(std::unique_lock<std::mutex>& lk,
+                         uint32_t timeout_ms);
 
   Options opts_;
   Placement* placement_;
@@ -345,6 +408,14 @@ class FrameTable {
   uint32_t pf_run_ = 0;
   std::deque<std::pair<uint64_t, uint32_t>> prefetch_q_;
   std::string pf_scratch_;
+
+  // Async pipeline state (guarded by mu_). A frame with a PendingAio op is
+  // kLoading (reads) or kWriting+writer (flushes): never evictable, never
+  // reusable until its completion is processed.
+  AsyncPageIo* aio_ = nullptr;
+  std::vector<PendingAio> aio_pending_;  ///< indexed by frame
+  uint32_t aio_inflight_ = 0;
+  uint32_t scan_inflight_ = 0;  ///< subset of aio_inflight_ from ScanRange
 
   Stats stats_;
 };

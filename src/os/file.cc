@@ -49,12 +49,31 @@ Result<File> File::OpenReadOnly(const std::string& path) {
 }
 
 Status File::ReadAt(uint64_t offset, void* buf, size_t n) const {
-  BESS_RETURN_IF_ERROR(fault::Check("file.readat", path_));
+  size_t first_cap = n;
+  if (fault::Armed()) {
+    fault::FaultOutcome out =
+        fault::FaultRegistry::Instance().EvaluateIo("file.readat", path_, n);
+    if (out.crash) fault::FaultRegistry::CrashNow();
+    // Injected short read (kShortWrite/kTornPage schedules): cap the first
+    // pread so the loop below has to resume mid-buffer — the partial-count
+    // path a test can't provoke from a regular file any other way. Unlike
+    // WriteAt, a short count on a read is not a torn-data hazard, so it is
+    // recoverable here rather than an error. A zero cap would mimic EOF
+    // (r == 0, a hard error below), so the smallest injectable cap is one
+    // byte; kNoSpace and plain kFail still surface their status.
+    if (out.bytes_allowed < n && out.bytes_allowed > 0 &&
+        !out.status.IsNoSpace()) {
+      first_cap = out.bytes_allowed;
+    } else if (!out.status.ok()) {
+      return out.status;
+    }
+  }
   char* p = static_cast<char*>(buf);
   size_t left = n;
   uint64_t off = offset;
   while (left > 0) {
-    ssize_t r = ::pread(fd_, p, left, static_cast<off_t>(off));
+    const size_t ask = left == n && first_cap < left ? first_cap : left;
+    ssize_t r = ::pread(fd_, p, ask, static_cast<off_t>(off));
     if (r < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(Errno("pread", path_));

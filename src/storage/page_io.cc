@@ -65,11 +65,16 @@ bool PageIntegrity::DecodeExtent(uint32_t extent, const char* in) {
 }
 
 void PageIntegrity::Stamp(uint32_t page, const void* bytes, uint64_t lsn) {
+  // The CRC walks the whole page; keep it off the trailer mutex so
+  // concurrent stampers (async write-back batches) don't serialize on it.
+  // The caller owns the page buffer for the duration (frame is kWriting),
+  // so computing outside the lock reads stable bytes.
+  const uint32_t crc = crc32c::Mask(PageCrc(area_id_, page, bytes));
   std::lock_guard<std::mutex> lock(mu_);
   uint32_t extent = page / kPagesPerExtent;
   if (extent >= extents_.size()) return;
   PageTrailer& t = extents_[extent][page % kPagesPerExtent];
-  t.crc = crc32c::Mask(ComputeCrcLocked(page, bytes));
+  t.crc = crc;
   // Keep (crc==0, lsn==0) reserved for "never stamped": non-WAL writes get a
   // locally monotone pseudo-LSN instead of 0.
   t.lsn = lsn != 0 ? lsn : ++stamp_seq_;
@@ -78,12 +83,20 @@ void PageIntegrity::Stamp(uint32_t page, const void* bytes, uint64_t lsn) {
 
 PageIntegrity::Verdict PageIntegrity::Verify(uint32_t page,
                                              const void* bytes) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint32_t extent = page / kPagesPerExtent;
-  if (extent >= extents_.size()) return Verdict::kUnstamped;
-  const PageTrailer& t = extents_[extent][page % kPagesPerExtent];
-  if (t.crc == 0 && t.lsn == 0) return Verdict::kUnstamped;
-  return crc32c::Unmask(t.crc) == ComputeCrcLocked(page, bytes)
+  // Snapshot the expected trailer under the mutex, then compute the page
+  // CRC outside it: holding mu_ across a full-page checksum serializes
+  // every concurrent reader's verification (the pool backend runs many at
+  // once), turning the trailer lock into a read-path bottleneck.
+  uint32_t expected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t extent = page / kPagesPerExtent;
+    if (extent >= extents_.size()) return Verdict::kUnstamped;
+    const PageTrailer& t = extents_[extent][page % kPagesPerExtent];
+    if (t.crc == 0 && t.lsn == 0) return Verdict::kUnstamped;
+    expected = t.crc;
+  }
+  return crc32c::Unmask(expected) == PageCrc(area_id_, page, bytes)
              ? Verdict::kOk
              : Verdict::kMismatch;
 }
@@ -138,11 +151,6 @@ std::vector<uint32_t> PageIntegrity::DirtyExtents() const {
     if (dirty_[i]) out.push_back(i);
   }
   return out;
-}
-
-uint32_t PageIntegrity::ComputeCrcLocked(uint32_t page,
-                                         const void* bytes) const {
-  return PageCrc(area_id_, page, bytes);
 }
 
 }  // namespace bess

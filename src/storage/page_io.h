@@ -117,8 +117,6 @@ class PageIntegrity {
   std::vector<uint32_t> DirtyExtents() const;
 
  private:
-  uint32_t ComputeCrcLocked(uint32_t page, const void* bytes) const;
-
   mutable std::mutex mu_;
   uint16_t area_id_;
   uint64_t stamp_seq_ = 0;  // pseudo-LSN source for lsn==0 stamps

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/async_page_io.h"
 #include "cache/frame_table.h"
 #include "os/fault_injection.h"
 #include "util/random.h"
@@ -676,6 +677,195 @@ TEST(FrameTableTest, InstallFailureDoesNotLeakTheFrame) {
 // Prefetch installs directory entries from the background thread without
 // the cross-process serialization (SMT latch) the miss path uses, so it is
 // rejected outright for tables with an external directory.
+// ---- pressure-wait wakeup (missed-wakeup regression) ------------------------
+
+// The urgent-mode pressure wait used to be a bare timed sleep: if the last
+// unpinned dirty frame got pinned (or evicted) mid-wait, the waiter slept
+// out the full slice even though waiting had become futile. The wait is now
+// a predicate wait and both transitions notify cleaned_cv_; this pins the
+// wakeup with an enlarged slice so a regression is a visible stall, and
+// rides the tsan preset via the `cache` label for the race side.
+TEST(FrameTableTest, PressureWaitWakesWhenLastDirtyFrameGetsPinned) {
+  InMemoryStore store;
+  SeedStore(&store, 16);
+  HeapPlacement placement(2);
+  StorePageIo io(&store);
+  FrameTable::Options opts;
+  opts.frame_count = 2;
+  opts.enable_bgwriter = true;
+  opts.bgwriter_interval_ms = 60 * 1000;  // only urgent kicks run it
+  opts.bgwriter_wait_slice_ms = 2000;     // a missed wakeup = visible stall
+  FrameTable table(opts, &placement, &io);
+  ASSERT_TRUE(table.Init().ok());
+
+  // Frame A: dirty and pinned. Frame B: dirty, unpinned — the only frame
+  // the bgwriter could ever mint a victim from.
+  auto a = table.Fix(Key(0), /*for_write=*/true, /*pin=*/true);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(table.MarkDirty(a->frame, 1).ok());
+  auto b = table.Fix(Key(1), /*for_write=*/true);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(table.MarkDirty(b->frame, 2).ok());
+
+  // Every write-back fails: B stays dirty no matter how hard the urgent
+  // flush tries, so only the pin-side wakeup can release the waiter.
+  fault::FaultSpec always_fail;
+  always_fail.count = -1;
+  fault::FaultRegistry::Instance().Arm("memstore.write", always_fail);
+
+  Status t1_status;
+  std::chrono::milliseconds t1_elapsed{0};
+  std::thread t1([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    t1_status = table.Fix(Key(9), false).status();
+    t1_elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+  });
+
+  // Once T1 is inside the pressure wait, pin B: now nothing is cleanable
+  // and waiting is futile — T1 must return Busy without sleeping the slice.
+  while (table.stats().pressure_waits == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto b2 = table.Fix(Key(1), false, /*pin=*/true);
+  ASSERT_TRUE(b2.ok());
+  t1.join();
+  fault::FaultRegistry::Instance().DisarmAll();
+
+  EXPECT_TRUE(t1_status.IsBusy()) << t1_status.message();
+  EXPECT_LT(t1_elapsed.count(), 1500)
+      << "pressure waiter slept out the enlarged slice: missed wakeup";
+  ASSERT_TRUE(table.Unpin(a->frame).ok());
+  ASSERT_TRUE(table.Unpin(b2->frame).ok());
+  table.Stop();
+}
+
+// ---- async pipeline ---------------------------------------------------------
+
+class WalGateCountingIo : public StorePageIo {
+ public:
+  explicit WalGateCountingIo(SegmentStore* store) : StorePageIo(store) {}
+  Status EnsureWalDurable(uint64_t lsn) override {
+    (void)lsn;
+    gates_.fetch_add(1);
+    return Status::OK();
+  }
+  uint64_t gates() const { return gates_.load(); }
+
+ private:
+  std::atomic<uint64_t> gates_{0};
+};
+
+// An async bgwriter batch pays ONE WAL durability gate for the whole batch
+// (max LSN), not one per page — the write-amplification win the tentpole is
+// after. Foreground evictions must still never pay sync write-back.
+TEST(FrameTableTest, AsyncBgwriterBatchesPayOneWalGatePerBatch) {
+  InMemoryStore store;
+  SeedStore(&store, 64);
+  WalGateCountingIo io(&store);
+  AsyncPageIoOptions aopts;
+  aopts.backend = "pool";
+  auto aio_io = MakeAsyncPageIo(aopts, &io, nullptr);
+  ASSERT_TRUE(aio_io.ok());
+
+  HeapPlacement placement(8);
+  FrameTable::Options opts;
+  opts.frame_count = 8;
+  opts.enable_bgwriter = true;
+  opts.bgwriter_interval_ms = 1;
+  opts.async_io = aio_io->get();
+  opts.async_queue_depth = 16;
+  FrameTable table(opts, &placement, &io);
+  ASSERT_TRUE(table.Init().ok());
+
+  for (uint32_t p = 0; p < 8; ++p) {
+    auto r = table.Fix(Key(p), /*for_write=*/true);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(table.MarkDirty(r->frame, p + 1).ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (table.stats().bgwriter_flushed >= 8) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  FrameTable::Stats stats = table.stats();
+  ASSERT_GE(stats.bgwriter_flushed, 8u) << "async bgwriter never caught up";
+  EXPECT_GE(stats.async_flush_batches, 1u);
+  EXPECT_EQ(io.gates(), stats.async_flush_batches)
+      << "expected exactly one WAL gate per async flush batch";
+  EXPECT_LT(io.gates(), stats.bgwriter_flushed)
+      << "gate per page means batching bought nothing";
+
+  // Clean victims exist; misses must not pay sync write-back.
+  for (uint32_t p = 8; p < 16; ++p) {
+    ASSERT_TRUE(table.Fix(Key(p), false).ok());
+  }
+  EXPECT_EQ(table.stats().sync_writebacks, 0u);
+  table.Stop();
+}
+
+// cache.prefetch.wasted must charge a speculative frame exactly once even
+// when its completion is reordered behind later ones: issued loads are
+// eventually scored as exactly one of {hit, wasted, still resident}.
+TEST(FrameTableTest, PrefetchWastedCountedExactlyOnceUnderReorder) {
+  InMemoryStore store;
+  SeedStore(&store, 256);
+  StorePageIo io(&store);
+  AsyncPageIoOptions aopts;
+  aopts.backend = "pool";
+  auto aio_io = MakeAsyncPageIo(aopts, &io, nullptr);
+  ASSERT_TRUE(aio_io.ok());
+
+  HeapPlacement placement(8);
+  FrameTable::Options opts;
+  opts.frame_count = 8;
+  opts.enable_prefetch = true;
+  opts.prefetch_trigger = 2;
+  opts.prefetch_window = 4;
+  opts.async_io = aio_io->get();
+  opts.async_queue_depth = 4;
+  FrameTable table(opts, &placement, &io);
+  ASSERT_TRUE(table.Init().ok());
+
+  fault::FaultSpec reorder;
+  reorder.probability = 0.5;
+  reorder.count = -1;
+  reorder.seed = 42;
+  fault::FaultRegistry::Instance().Arm("aio.reorder", reorder);
+
+  ASSERT_TRUE(table.Fix(Key(0), false).ok());
+  ASSERT_TRUE(table.Fix(Key(1), false).ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (table.stats().prefetch_issued >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(table.stats().prefetch_issued, 1u) << "read-ahead never issued";
+
+  // Abandon the run and churn unrelated pages so the speculative frames
+  // recycle while reordered completions are still in flight.
+  for (uint32_t p = 40; p < 130; p += 3) {
+    ASSERT_TRUE(table.Fix(Key(p), false).ok());
+  }
+  fault::FaultRegistry::Instance().DisarmAll();
+  table.Stop();
+
+  // No frame may be stranded mid-load, and the prefetch ledger must balance
+  // exactly: every issued load is a hit, a waste, or still resident — a
+  // double-counted or leaked waste breaks the identity.
+  uint32_t still_resident = 0;
+  for (uint32_t f = 0; f < opts.frame_count; ++f) {
+    EXPECT_NE(table.meta(f)->State(), FrameState::kLoading)
+        << "frame " << f << " leaked in kLoading after Stop";
+    if (table.meta(f)->prefetched.load() != 0) ++still_resident;
+  }
+  const FrameTable::Stats stats = table.stats();
+  EXPECT_EQ(stats.prefetch_issued,
+            stats.prefetch_hits + stats.prefetch_wasted + still_resident);
+}
+
 TEST(FrameTableTest, PrefetchIsRejectedForCrossProcessDirectories) {
   InMemoryStore store;
   HeapPlacement placement(4);

@@ -277,6 +277,55 @@ TEST_F(PageIoTest, ScrubSweepsMultipleExtents) {
   EXPECT_TRUE((*area)->IsQuarantined(segs.back().first_page));
 }
 
+// File::ReadAt must loop a partial pread count to completion instead of
+// surfacing a prefix. A regular file can't produce a short pread on demand,
+// so the kShortWrite schedule on "file.readat" caps the first pread — the
+// resume-mid-buffer path this regression pins. kFail must keep failing.
+TEST_F(PageIoTest, ShortReadCountLoopsToFullLength) {
+  const std::string path = Path("short_read.dat");
+  auto f = File::Open(path);
+  ASSERT_TRUE(f.ok());
+  std::string image(kPageSize, '\0');
+  for (size_t i = 0; i < kPageSize; ++i) {
+    image[i] = static_cast<char>((i * 7 + 3) & 0xFF);
+  }
+  ASSERT_TRUE(f->WriteAt(0, image.data(), kPageSize).ok());
+
+  // Every read completes short (512 bytes first) until disarmed.
+  fault::FaultSpec shortread;
+  shortread.action = fault::FaultAction::kShortWrite;
+  shortread.max_bytes = 512;
+  shortread.count = -1;
+  fault::FaultRegistry::Instance().Arm("file.readat", shortread);
+
+  std::string out(kPageSize, 'x');
+  Status st = f->ReadAt(0, out.data(), kPageSize);
+  ASSERT_TRUE(st.ok()) << st.message();
+  EXPECT_EQ(out, image) << "resumed read reassembled the wrong bytes";
+  EXPECT_GE(fault::FaultRegistry::Instance().hits("file.readat"), 1u);
+  fault::FaultRegistry::Instance().DisarmAll();
+
+  // The storage layer's verified read path rides the same loop: a short
+  // count under a page read must still verify clean, not quarantine.
+  const std::string area_path = Path("short_read.bess");
+  auto area = StorageArea::Create(area_path, /*area_id=*/1);
+  ASSERT_TRUE(area.ok());
+  ASSERT_TRUE((*area)->WritePages(0, 1, image.data(), /*lsn=*/5).ok());
+  fault::FaultRegistry::Instance().Arm("file.readat", shortread);
+  std::string got(kPageSize, 'x');
+  st = (*area)->ReadPages(0, 1, got.data());
+  ASSERT_TRUE(st.ok()) << st.message();
+  EXPECT_EQ(got, image);
+  EXPECT_EQ((*area)->QuarantinedPages(), 0u);
+  fault::FaultRegistry::Instance().DisarmAll();
+
+  // Plain kFail on the same point still surfaces as the injected error.
+  fault::FaultRegistry::Instance().Arm("file.readat",
+                                       fault::FaultSpec::FailNth(1));
+  st = f->ReadAt(0, out.data(), kPageSize);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+}
+
 TEST_F(PageIoTest, MisdirectedWriteFailsVerification) {
   // Two pages with identical bytes still stamp different CRCs, because the
   // page address is folded into the checksum: content copied to the wrong
