@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# Secondary-index gate (DESIGN.md §14, EXPERIMENTS.md E18).
+#
+# Builds and runs bench_index, then fails unless the BENCH_index.json
+# artifact shows the B+-tree earning its keep over the frame core:
+#   1. point lookups/s >= 10x the scan-everything baseline at 10k objects
+#      (the O(height) descent vs. grinding the whole keyspace),
+#   2. the cold index range scan stays within 1.5x of raw ScanRange page
+#      throughput on the same frame-table configuration (the tree layering
+#      must ride the push pipeline, not forfeit it),
+#   3. no sync evict write-backs in any phase (the bgwriter with write
+#      coalescing keeps the demand path clean),
+#   4. the tree validates and the scan delivered exactly `objects` entries.
+#
+# Usage: scripts/check_bench_index.sh [build-dir]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake --preset default
+fi
+cmake --build "$BUILD_DIR" -j --target bench_index
+
+BESS_METRICS_DIR="$BUILD_DIR" "$BUILD_DIR/bench/bench_index"
+JSON="$BUILD_DIR/BENCH_index.json"
+
+if [ ! -f "$JSON" ]; then
+  echo "check_bench_index: FAILED — $JSON was not written" >&2
+  exit 1
+fi
+
+# The artifact is flat (one "key": value per line) precisely so this works.
+field() { awk -F'[:,]' -v k="\"$1\"" '$1 ~ k { gsub(/ /, "", $2); print $2; exit }' "$JSON"; }
+OBJECTS=$(field objects)
+SPEEDUP=$(field point_speedup)
+RATIO=$(field range_ratio)
+ENTRIES=$(field scan_entries)
+LOOKUPS_OK=$(field lookups_ok)
+SYNC_WB=$(field evict_sync_writebacks)
+IDX_PPS=$(field index_pages_per_sec)
+RAW_PPS=$(field raw_pages_per_sec)
+
+if [ -z "$OBJECTS" ] || [ -z "$SPEEDUP" ] || [ -z "$RATIO" ] ||
+   [ -z "$ENTRIES" ] || [ -z "$LOOKUPS_OK" ] || [ -z "$SYNC_WB" ]; then
+  echo "check_bench_index: FAILED to parse $JSON" >&2
+  exit 1
+fi
+
+echo ""
+echo "point lookup: ${SPEEDUP}x the scan baseline at ${OBJECTS} objects"
+echo "range scan: ${IDX_PPS} pages/s vs raw ${RAW_PPS} pages/s" \
+     "(${RATIO}x slower); ${SYNC_WB} sync evict write-backs"
+
+awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 10.0) }' || {
+  echo "check_bench_index: FAILED — indexed point lookup is only ${SPEEDUP}x" >&2
+  echo "the scan-everything baseline (< 10x): the descent is not earning" >&2
+  echo "its keep over a full sweep" >&2
+  exit 1
+}
+awk -v r="$RATIO" 'BEGIN { exit !(r <= 1.5) }' || {
+  echo "check_bench_index: FAILED — the cold index range scan is ${RATIO}x" >&2
+  echo "slower than raw ScanRange (> 1.5x): the tree layering is forfeiting" >&2
+  echo "the push pipeline" >&2
+  exit 1
+}
+[ "$ENTRIES" = "$OBJECTS" ] || {
+  echo "check_bench_index: FAILED — the range scan delivered $ENTRIES of" >&2
+  echo "$OBJECTS entries: the leaf walk skipped or duplicated data" >&2
+  exit 1
+}
+[ "$LOOKUPS_OK" = "1" ] || {
+  echo "check_bench_index: FAILED — a lookup missed or Validate found a" >&2
+  echo "structural fault (lookups_ok=$LOOKUPS_OK)" >&2
+  exit 1
+}
+[ "$SYNC_WB" = "0" ] || {
+  echo "check_bench_index: FAILED — $SYNC_WB sync write-backs on the demand" >&2
+  echo "path: eviction outran the coalescing bgwriter" >&2
+  exit 1
+}
+# Publish the gate artifact at the repo root so the latest gated run is
+# always inspectable without digging through build dirs.
+cp "$JSON" ./BENCH_index.json
+
+echo "check_bench_index: OK — the index turns full sweeps into O(height)"
+echo "descents and its leaf scans ride the push pipeline at raw-scan speed"

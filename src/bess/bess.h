@@ -244,6 +244,34 @@ class Transaction {
 //     machinery and carry the retry/reconnect policy; `CallAsync` itself
 //     is the raw single-attempt surface.
 
+// ---- Secondary indexes (DESIGN.md §14) --------------------------------------
+//
+// `bess::Index` (declared in object/database.h, part of this surface) is a
+// WAL-logged B+-tree over byte-string keys in its own storage area:
+//
+//   BESS_ASSIGN_OR_RETURN(bess::Index by_name, db->CreateIndex("by_name"));
+//   by_name.Put(nullptr, "alice", EncodeOid(oid));      // autocommitted
+//   TxnGuard txn(db);
+//   by_name.Put(txn.handle(), "bob", EncodeOid(oid2));  // rides the txn
+//   txn.Commit();                                       // or Abort: undone
+//   by_name.Scan("a", "c", [](Slice k, Slice v) { ...; return Status::OK(); });
+//
+// Mutations join the surrounding transaction's WAL chain (abort reverses
+// them logically); with `txn == nullptr` each call is its own durable
+// micro-commit. Reads see the latest latched state.
+
+/// Collects an index range into (key, value) pairs — the convenience form
+/// of Index::Scan for small ranges.
+inline Result<std::vector<std::pair<std::string, std::string>>> IndexRange(
+    const Index& index, Slice lo, Slice hi) {
+  std::vector<std::pair<std::string, std::string>> out;
+  BESS_RETURN_IF_ERROR(index.Scan(lo, hi, [&](Slice k, Slice v) {
+    out.emplace_back(k.ToString(), v.ToString());
+    return Status::OK();
+  }));
+  return out;
+}
+
 /// Typed object creation (§2.5): size and type descriptor are supplied by
 /// the caller's registered type; returns a typed ref.
 template <typename T>

@@ -80,6 +80,7 @@ class WorkerPoolPageIo final : public AsyncPageIo {
     s.max_inflight = max_inflight_.load(std::memory_order_relaxed);
     s.io_busy_ns = io_busy_ns_.load(std::memory_order_relaxed);
     s.read_runs = read_runs_.load(std::memory_order_relaxed);
+    s.write_runs = write_runs_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -98,13 +99,15 @@ class WorkerPoolPageIo final : public AsyncPageIo {
         if (queue_.empty()) return;  // stopped and drained
         run.push_back(queue_.front());
         queue_.pop_front();
-        // Batched reads: queued reads for consecutive keys ride one device
-        // op (FetchRun) — block-layer style request merging. Scan staging
-        // and prefetch submit in ascending key order, so the natural runs
-        // sit adjacent at the queue head; a gap, a write, or a key whose
-        // page field would carry into the area bits ends the run.
-        while (!run.front().write && run.size() < kMaxRunPages &&
-               !queue_.empty() && !queue_.front().write &&
+        // Batched transfers: queued requests of the same kind for
+        // consecutive keys ride one device op (FetchRun / WriteRun) —
+        // block-layer style request merging. Scan staging, prefetch, and
+        // bgwriter flush batches all submit in ascending key order, so the
+        // natural runs sit adjacent at the queue head; a gap, a kind
+        // switch, or a key whose page field would carry into the area bits
+        // ends the run.
+        while (run.size() < kMaxRunPages && !queue_.empty() &&
+               queue_.front().write == run.front().write &&
                (run.back().key & 0xFFFFFFFFull) != 0xFFFFFFFFull &&
                queue_.front().key == run.back().key + 1) {
           run.push_back(queue_.front());
@@ -113,6 +116,8 @@ class WorkerPoolPageIo final : public AsyncPageIo {
       }
       if (run.size() == 1) {
         Execute(run[0]);
+      } else if (run.front().write) {
+        ExecuteWriteRun(run);
       } else {
         ExecuteReadRun(run);
       }
@@ -145,7 +150,8 @@ class WorkerPoolPageIo final : public AsyncPageIo {
       }
     }
     if (!st.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
-    if (!req.write) read_runs_.fetch_add(1, std::memory_order_relaxed);
+    (req.write ? write_runs_ : read_runs_)
+        .fetch_add(1, std::memory_order_relaxed);
     io_busy_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
     Completion c;
     c.user_data = req.user_data;
@@ -224,6 +230,74 @@ class WorkerPoolPageIo final : public AsyncPageIo {
     }
   }
 
+  /// Services a coalesced run of `n` writes for consecutive keys with one
+  /// WriteRun. Mirrors ExecuteReadRun: faults evaluate per request (a
+  /// mid-run io_error drops only its own page out of the run), a failed run
+  /// transfer retries each page alone, and every request gets its own
+  /// completion. Note the synchronous single-write path drops the request
+  /// LSN too — EnsureWalDurable already gated the batch upstream.
+  void ExecuteWriteRun(const std::vector<Request>& run) {
+    const uint32_t n = static_cast<uint32_t>(run.size());
+    const uint64_t t0 = NowNs();
+    writes_.fetch_add(n, std::memory_order_relaxed);
+    std::vector<Status> st(n, Status::OK());
+    std::vector<bool> faulted(n, false);
+    if (fault::Armed()) {
+      for (uint32_t i = 0; i < n; ++i) {
+        fault::FaultOutcome out = fault::FaultRegistry::Instance().EvaluateIo(
+            "aio.write", "", kPageSize);
+        if (out.crash) fault::FaultRegistry::CrashNow();
+        Status err;
+        size_t first_cap = kPageSize;
+        if (aio::AioFaultFails(out, kPageSize, &err, &first_cap)) {
+          st[i] = err;
+          faulted[i] = true;
+        } else if (first_cap < kPageSize) {
+          // Injected short count: WriteRun below transfers full length
+          // anyway (loop-to-complete); record the fixup.
+          short_fixups_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    std::vector<char> scratch;
+    uint32_t i = 0;
+    while (i < n) {
+      if (faulted[i]) {
+        ++i;
+        continue;
+      }
+      uint32_t j = i + 1;
+      while (j < n && !faulted[j]) ++j;
+      const uint32_t len = j - i;
+      scratch.resize(static_cast<size_t>(len) * kPageSize);
+      for (uint32_t k = 0; k < len; ++k) {
+        memcpy(scratch.data() + static_cast<size_t>(k) * kPageSize,
+               run[i + k].buf, kPageSize);
+      }
+      const Status ws = sync_->WriteRun(run[i].key, len, scratch.data());
+      write_runs_.fetch_add(1, std::memory_order_relaxed);
+      if (!ws.ok()) {
+        // The run write fails as a unit; retry each page alone so one bad
+        // page cannot fail its neighbours' requests.
+        for (uint32_t k = 0; k < len; ++k) {
+          st[i + k] = sync_->Write(run[i + k].key, run[i + k].buf);
+          write_runs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      i = j;
+    }
+    io_busy_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    for (uint32_t k = 0; k < n; ++k) {
+      if (!st[k].ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+      Completion c;
+      c.user_data = run[k].user_data;
+      c.status = st[k];
+      c.bytes = st[k].ok() ? kPageSize : 0;
+      const bool last = inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+      mailbox_.Deliver(c, last);
+    }
+  }
+
   FrameTable::PageIo* sync_;
   std::mutex mu_;
   std::condition_variable work_cv_;
@@ -239,6 +313,7 @@ class WorkerPoolPageIo final : public AsyncPageIo {
   std::atomic<uint64_t> max_inflight_{0};
   std::atomic<uint64_t> io_busy_ns_{0};
   std::atomic<uint64_t> read_runs_{0};
+  std::atomic<uint64_t> write_runs_{0};
 };
 
 // ---------------------------------------------------------------------------

@@ -250,12 +250,15 @@ Status FrameTable::WriteBackLocked(uint32_t f,
   }
   SetState(f, FrameState::kWriting);
   const uint64_t key = m.page_key.load(std::memory_order_acquire);
-  const uint64_t lsn = m.page_lsn.load(std::memory_order_relaxed);
   lk.unlock();
   // Structural invariant (the PR 4 self-deadlock fix, now a lifecycle
   // rule): the placement makes the frame readable — lifting any access
   // protection and latching against writers — before I/O touches it.
   Status ws = placement_->PrepareForWriteback(f);
+  // The covering LSN is read only after the placement latched the frame:
+  // a mutator may have rewritten the bytes between the claim above and
+  // the latch, and the WAL gate must cover whatever image the I/O reads.
+  const uint64_t lsn = m.page_lsn.load(std::memory_order_acquire);
   if (ws.ok()) ws = io_->EnsureWalDurable(lsn);
   if (ws.ok()) ws = io_->Write(key, placement_->frame_data(f));
   lk.lock();
@@ -644,13 +647,29 @@ Status FrameTable::Clear(bool flush) {
 Status FrameTable::ScanRange(uint64_t first_key, uint32_t count,
                              const ScanConsumer& consume) {
   if (first_key == 0) return Status::InvalidArgument("null page key");
+  return ScanOrdered(
+      count, [first_key](uint32_t i) { return first_key + i; }, consume);
+}
+
+Status FrameTable::ScanKeys(const std::vector<uint64_t>& keys,
+                            const ScanConsumer& consume) {
+  for (uint64_t k : keys) {
+    if (k == 0) return Status::InvalidArgument("null page key");
+  }
+  return ScanOrdered(static_cast<uint32_t>(keys.size()),
+                     [&keys](uint32_t i) { return keys[i]; }, consume);
+}
+
+Status FrameTable::ScanOrdered(uint32_t count,
+                               const std::function<uint64_t(uint32_t)>& key_at,
+                               const ScanConsumer& consume) {
   if (count == 0) return Status::OK();
-  const uint64_t end = first_key + count;
 
   // Pull fallback: no async backend (or an external directory, where this
   // process must not claim frames off the demand path) — a plain Fix loop.
   if (aio_ == nullptr || opts_.directory != nullptr) {
-    for (uint64_t key = first_key; key < end; ++key) {
+    for (uint32_t idx = 0; idx < count; ++idx) {
+      const uint64_t key = key_at(idx);
       BESS_ASSIGN_OR_RETURN(FixResult r, Fix(key, /*for_write=*/false,
                                              /*pin=*/true));
       Status cs = consume(key, r.data);
@@ -668,39 +687,42 @@ Status FrameTable::ScanRange(uint64_t first_key, uint32_t count,
   }
 
   std::unique_lock<std::mutex> lk(mu_);
-  uint64_t next_stage = first_key;  // first key not yet staged/considered
+  uint32_t next_idx = 0;  // first position not yet staged/considered
 
   // Pushes reads for upcoming keys into claimed kLoading frames until the
   // queue depth is reached. Resident keys are skipped (consumed from cache
   // below); claim failures stop the wave — later keys retry next call.
+  // Consecutive keys in the list stage as one run (coalescible downstream);
+  // a discontinuity just ends the run, the next wave picks up after it.
   auto stage = [&]() {
-    while (next_stage < end && aio_inflight_ < opts_.async_queue_depth) {
-      if (dir_->Lookup(next_stage) != kNoFrame) {
-        ++next_stage;
+    while (next_idx < count && aio_inflight_ < opts_.async_queue_depth) {
+      const uint64_t key0 = key_at(next_idx);
+      if (dir_->Lookup(key0) != kNoFrame) {
+        ++next_idx;
         continue;
       }
-      const uint32_t want = static_cast<uint32_t>(
-          std::min<uint64_t>(end - next_stage,
-                             opts_.async_queue_depth - aio_inflight_));
+      const uint32_t cap = std::min<uint32_t>(
+          count - next_idx, opts_.async_queue_depth - aio_inflight_);
+      uint32_t want = 1;
+      while (want < cap && key_at(next_idx + want) == key0 + want) ++want;
       std::vector<uint32_t> frames;
-      ClaimLoadingRunLocked(next_stage, want, &frames);
+      ClaimLoadingRunLocked(key0, want, &frames);
       if (frames.empty()) return;
       const uint32_t n = static_cast<uint32_t>(frames.size());
       std::vector<AsyncPageIo::Request> reqs(n);
       for (uint32_t i = 0; i < n; ++i) {
         const uint32_t f = frames[i];
         reqs[i].write = false;
-        reqs[i].key = next_stage + i;
+        reqs[i].key = key0 + i;
         reqs[i].buf = placement_->frame_data(f);
         reqs[i].user_data = f;
-        aio_pending_[f] = PendingAio{AioOp::kScanRead, next_stage + i};
+        aio_pending_[f] = PendingAio{AioOp::kScanRead, key0 + i};
       }
       aio_inflight_ += n;
       scan_inflight_ += n;
       stats_.scan_staged += n;
       BESS_HIST("cache.scan.depth", scan_inflight_);
-      const uint64_t staged_first = next_stage;
-      next_stage += n;
+      next_idx += n;
       lk.unlock();
       const Status ss = aio_->Submit(reqs.data(), n);
       BESS_COUNT_N("cache.scan.staged", n);
@@ -711,7 +733,7 @@ Status FrameTable::ScanRange(uint64_t first_key, uint32_t count,
           aio_pending_[f] = PendingAio{};
           aio_inflight_--;
           scan_inflight_--;
-          dir_->Erase(staged_first + i, f);
+          dir_->Erase(key0 + i, f);
           meta_[f].page_key.store(0, std::memory_order_release);
           SetState(f, FrameState::kFree);
         }
@@ -730,7 +752,8 @@ Status FrameTable::ScanRange(uint64_t first_key, uint32_t count,
   };
 
   stage();
-  for (uint64_t key = first_key; key < end; ++key) {
+  for (uint32_t idx = 0; idx < count; ++idx) {
+    const uint64_t key = key_at(idx);
     for (;;) {
       const uint32_t f = dir_->Lookup(key);
       if (f != kNoFrame &&
@@ -1146,6 +1169,15 @@ void FrameTable::AsyncBgFlushBatchLocked(std::unique_lock<std::mutex>& lk,
     max_lsn = std::max(max_lsn, lsn);
   }
   if (batch.empty()) return;
+  // Key-ascending submission order: the single WAL gate below covers the
+  // whole batch regardless of in-batch order, so sorting costs nothing —
+  // and it lets the pool backend merge consecutive-key pages into one
+  // device write (AioStats::write_runs), the write-side mirror of the
+  // scan path's read coalescing.
+  std::sort(reqs.begin(), reqs.end(),
+            [](const AsyncPageIo::Request& a, const AsyncPageIo::Request& b) {
+              return a.key < b.key;
+            });
   const uint32_t n = static_cast<uint32_t>(batch.size());
   aio_inflight_ += n;
   lk.unlock();
@@ -1155,6 +1187,16 @@ void FrameTable::AsyncBgFlushBatchLocked(std::unique_lock<std::mutex>& lk,
     // readable before any I/O can touch it.
     ws = placement_->PrepareForWriteback(f);
     if (!ws.ok()) break;
+  }
+  if (ws.ok()) {
+    // Covering LSNs re-read only now, with every frame latched by its
+    // placement: a mutator may have rewritten bytes between the claim and
+    // the latch, and the gate must cover whatever images the I/O reads.
+    for (auto& r : reqs) {
+      const uint32_t f = static_cast<uint32_t>(r.user_data);
+      r.lsn = meta_[f].page_lsn.load(std::memory_order_acquire);
+      max_lsn = std::max(max_lsn, r.lsn);
+    }
   }
   // ONE durability gate covers the whole batch (WAL-before-data for its
   // highest LSN implies it for every member) — this is the submission-

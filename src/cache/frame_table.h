@@ -173,6 +173,19 @@ class FrameTable {
       }
       return Status::OK();
     }
+    /// Sequential run write for coalesced flush batches: pages for keys
+    /// [first_key, first_key + count) laid out contiguously in `buf`.
+    /// Default decomposes into single writes; stores that can issue one
+    /// device op for the run override it (AioStats::write_runs counts).
+    virtual Status WriteRun(uint64_t first_key, uint32_t count,
+                            const void* buf) {
+      for (uint32_t i = 0; i < count; ++i) {
+        BESS_RETURN_IF_ERROR(Write(first_key + i,
+                                   static_cast<const char*>(buf) +
+                                       static_cast<size_t>(i) * kPageSize));
+      }
+      return Status::OK();
+    }
     /// WAL-before-data: make the log durable up to `lsn` before the frame
     /// bytes it covers reach the store. Default: no WAL in play.
     virtual Status EnsureWalDurable(uint64_t lsn) {
@@ -281,6 +294,7 @@ class FrameTable {
   /// writable. `lsn` (when nonzero) raises the frame's WAL horizon.
   Status MarkDirty(uint32_t f, uint64_t lsn = 0);
 
+
   /// Raw-touch signal from a placement fault handler: the frame was
   /// demoted and got touched — re-enable it and tell the policy.
   Status NoteAccess(uint32_t f);
@@ -303,6 +317,15 @@ class FrameTable {
   /// replacement policy, so a scan cannot flush the hot set.
   Status ScanRange(uint64_t first_key, uint32_t count,
                    const ScanConsumer& consume);
+
+  /// Streams an explicit, ordered page list through `consume` — the bounded
+  /// sub-range scan the index leaf chain needs (satellite of DESIGN.md §14).
+  /// Same push pipeline as ScanRange: consecutive keys inside `keys` are
+  /// staged as coalescible read runs; non-contiguous steps break the run
+  /// but still ride the deep queue. Keys may be arbitrary but must be
+  /// distinct and in the order the consumer expects.
+  Status ScanKeys(const std::vector<uint64_t>& keys,
+                  const ScanConsumer& consume);
 
   bool Contains(uint64_t key);
 
@@ -371,6 +394,12 @@ class FrameTable {
   /// victim; claimed frames are installed in the directory as kLoading.
   void ClaimLoadingRunLocked(uint64_t first, uint32_t count,
                              std::vector<uint32_t>* frames);
+  /// Shared body of ScanRange/ScanKeys: streams pages key_at(0..count-1)
+  /// through `consume`, staging ahead through the async pipeline when one
+  /// is configured.
+  Status ScanOrdered(uint32_t count,
+                     const std::function<uint64_t(uint32_t)>& key_at,
+                     const ScanConsumer& consume);
   /// Submits prefetch queue entries as async read batches (deep queue).
   void DoPrefetchAsyncLocked(std::unique_lock<std::mutex>& lk);
   /// Submits one bgwriter candidate set as a single async write batch with
@@ -449,6 +478,11 @@ class StorePageIo : public FrameTable::PageIo {
   Status FetchRun(uint64_t first_key, uint32_t count, void* buf) override {
     const PageAddr a = PageAddr::Unpack(first_key);
     return store_->FetchPages(a.db, a.area, a.page, count, buf);
+  }
+  Status WriteRun(uint64_t first_key, uint32_t count,
+                  const void* buf) override {
+    const PageAddr a = PageAddr::Unpack(first_key);
+    return store_->WritePages(a.db, a.area, a.page, count, buf);
   }
 
  private:

@@ -1,0 +1,155 @@
+#include "index/btree_page.h"
+
+#include <vector>
+
+namespace bess {
+
+void NodeView::Init(char* p, uint8_t level) {
+  memset(p, 0, kPageSize);
+  EncodeFixed32(p, kBtreeNodeMagic);
+  p[4] = static_cast<char>(level);
+  EncodeFixed16(p + 6, 0);                              // count
+  EncodeFixed16(p + 8, static_cast<uint16_t>(kPageSize % 65536));  // heap
+  EncodeFixed16(p + 10, 0);                             // live
+  EncodeFixed32(p + 12, kInvalidPage);                  // next leaf
+  EncodeFixed32(p + 16, kInvalidPage);                  // leftmost child
+}
+
+// heap == 0 encodes kPageSize (4096 < 65536, so in practice heap is stored
+// verbatim; the modulo in Init only matters if kPageSize ever hits 64 KiB).
+
+Slice NodeView::key_at(uint16_t i) const {
+  const char* cell = p_ + slot(i);
+  const uint16_t klen = DecodeFixed16(cell);
+  return Slice(cell + (is_leaf() ? 4 : 6), klen);
+}
+
+Slice NodeView::leaf_val_at(uint16_t i) const {
+  const char* cell = p_ + slot(i);
+  const uint16_t klen = DecodeFixed16(cell);
+  const uint16_t vlen = DecodeFixed16(cell + 2);
+  return Slice(cell + 4 + klen, vlen);
+}
+
+uint32_t NodeView::child_at(uint16_t i) const {
+  return DecodeFixed32(p_ + slot(i) + 2);
+}
+
+uint16_t NodeView::LowerBound(Slice key) const {
+  uint16_t lo = 0, hi = count();
+  while (lo < hi) {
+    const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (key_at(mid).compare(key) < 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool NodeView::Find(Slice key, uint16_t* pos) const {
+  const uint16_t i = LowerBound(key);
+  *pos = i;
+  return i < count() && key_at(i) == key;
+}
+
+uint32_t NodeView::FindChild(Slice key) const {
+  // Separator semantics: child(i) holds keys >= key(i) (and < key(i+1));
+  // keys below key(0) live under the leftmost child.
+  const uint16_t n = count();
+  uint16_t lo = 0, hi = n;
+  while (lo < hi) {  // first separator strictly greater than key
+    const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (key_at(mid).compare(key) <= 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? leftmost() : child_at(static_cast<uint16_t>(lo - 1));
+}
+
+bool NodeView::InsertCell(uint16_t pos, Slice key, Slice val, uint32_t child) {
+  const size_t cell = CellSize(key, val);
+  const size_t need = cell + 2;
+  const uint16_t n = count();
+  if (kNodeUsable - live() < need) return false;  // genuinely out of space
+  const size_t slot_end = kNodeHeaderSize + 2 * (static_cast<size_t>(n) + 1);
+  if (static_cast<size_t>(heap_top()) < slot_end + cell) Compact();
+  const uint16_t off = static_cast<uint16_t>(heap_top() - cell);
+  char* c = p_ + off;
+  EncodeFixed16(c, static_cast<uint16_t>(key.size()));
+  if (is_leaf()) {
+    EncodeFixed16(c + 2, static_cast<uint16_t>(val.size()));
+    memcpy(c + 4, key.data(), key.size());
+    memcpy(c + 4 + key.size(), val.data(), val.size());
+  } else {
+    EncodeFixed32(c + 2, child);
+    memcpy(c + 6, key.data(), key.size());
+  }
+  char* slots = p_ + kNodeHeaderSize;
+  memmove(slots + 2 * (pos + 1), slots + 2 * pos,
+          2 * (static_cast<size_t>(n) - pos));
+  EncodeFixed16(slots + 2 * pos, off);
+  EncodeFixed16(p_ + 6, static_cast<uint16_t>(n + 1));
+  EncodeFixed16(p_ + 8, off);
+  EncodeFixed16(p_ + 10, static_cast<uint16_t>(live() + need));
+  return true;
+}
+
+bool NodeView::LeafInsert(uint16_t pos, Slice key, Slice value) {
+  return InsertCell(pos, key, value, 0);
+}
+
+bool NodeView::InternalInsert(uint16_t pos, Slice key, uint32_t child) {
+  return InsertCell(pos, key, Slice(), child);
+}
+
+void NodeView::LeafRemove(uint16_t pos) {
+  const uint16_t n = count();
+  const Slice k = key_at(pos);
+  const Slice v = leaf_val_at(pos);
+  const uint16_t dead = static_cast<uint16_t>(CellSize(k, v) + 2);
+  char* slots = p_ + kNodeHeaderSize;
+  memmove(slots + 2 * pos, slots + 2 * (pos + 1),
+          2 * (static_cast<size_t>(n) - pos - 1));
+  EncodeFixed16(p_ + 6, static_cast<uint16_t>(n - 1));
+  EncodeFixed16(p_ + 10, static_cast<uint16_t>(live() - dead));
+  // The cell bytes leak until the next Compact (lazy delete, no merges).
+}
+
+void NodeView::Compact() {
+  // Rebuild the heap densely through a scratch page; slot order (and the
+  // header) are preserved, only cell offsets move.
+  std::vector<char> scratch(kPageSize);
+  char* s = scratch.data();
+  memcpy(s, p_, kNodeHeaderSize);
+  const uint16_t n = count();
+  uint16_t top = static_cast<uint16_t>(kPageSize);
+  for (uint16_t i = 0; i < n; ++i) {
+    const char* cell = p_ + slot(i);
+    const uint16_t klen = DecodeFixed16(cell);
+    const size_t sz = is_leaf() ? 4u + klen + DecodeFixed16(cell + 2)
+                                : 6u + klen;
+    top = static_cast<uint16_t>(top - sz);
+    memcpy(s + top, cell, sz);
+    EncodeFixed16(s + kNodeHeaderSize + 2 * i, top);
+  }
+  EncodeFixed16(s + 8, top);
+  memcpy(p_, s, kPageSize);
+}
+
+void MetaView::Init(char* p, uint32_t root, uint32_t first_leaf,
+                    uint32_t alloc_next, uint32_t alloc_end) {
+  memset(p, 0, kPageSize);
+  EncodeFixed32(p, kIndexMetaMagic);
+  EncodeFixed32(p + 4, 1);  // version
+  EncodeFixed32(p + 8, root);
+  EncodeFixed32(p + 12, 1);  // height: root is a leaf
+  EncodeFixed32(p + 16, first_leaf);
+  EncodeFixed32(p + 20, alloc_next);
+  EncodeFixed32(p + 24, alloc_end);
+}
+
+}  // namespace bess

@@ -1,0 +1,140 @@
+// On-page layout of B+-tree index nodes (DESIGN.md §14).
+//
+// An index lives in its own storage area. Page 0 is the index meta page
+// (root pointer, height, leaf-chain head, page allocator cursor); every
+// other page the tree uses is a node. The full kPageSize bytes are node
+// payload — integrity trailers are out-of-band (storage/page_io.h).
+//
+// Node layout (little-endian):
+//
+//   0   magic     u32   0xBE55B7EE
+//   4   level     u8    0 = leaf; internals count up toward the root
+//   5   flags     u8    unused
+//   6   count     u16   populated slots
+//   8   heap      u16   offset of the lowest used heap byte
+//   10  live      u16   live bytes: sum of cell sizes + 2 per slot
+//   12  next      u32   leaf only: next-leaf page id (kInvalidPage = end)
+//   16  leftmost  u32   internal only: child for keys < key(0)
+//   20  reserved  u32
+//   24  slots     u16[count]  cell offsets, key-sorted
+//   ... free ...
+//   heap cells, allocated downward from the page end
+//
+// Leaf cell:      u16 klen, u16 vlen, key bytes, value bytes
+// Internal cell:  u16 klen, u32 child, key bytes
+//
+// Mutation is slot-array surgery: inserts carve a cell off the heap and
+// splice a slot; removals splice the slot out and leak the cell (lazy
+// delete). When the contiguous gap is too small but enough leaked bytes
+// exist, Compact rebuilds the heap in place through a scratch page.
+#ifndef BESS_INDEX_BTREE_PAGE_H_
+#define BESS_INDEX_BTREE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "storage/storage_area.h"
+#include "util/config.h"
+#include "util/slice.h"
+
+namespace bess {
+
+inline constexpr uint32_t kBtreeNodeMagic = 0xBE55B7EEu;
+inline constexpr uint32_t kIndexMetaMagic = 0xBE55D3C5u;
+
+/// Bounds enforced at the public API: together with the header they
+/// guarantee any node can hold at least 6 worst-case entries, so a split
+/// always leaves both halves with room for the insert that triggered it.
+inline constexpr size_t kIndexMaxKeyLen = 256;
+inline constexpr size_t kIndexMaxValLen = 256;
+
+inline constexpr size_t kNodeHeaderSize = 24;
+inline constexpr size_t kNodeUsable = kPageSize - kNodeHeaderSize;
+/// Worst-case insert footprint (slot + cell), per node kind.
+inline constexpr size_t kLeafWorstNeed =
+    2 + 4 + kIndexMaxKeyLen + kIndexMaxValLen;
+inline constexpr size_t kInternalWorstNeed = 2 + 6 + kIndexMaxKeyLen;
+
+/// Mutable view over one node page (non-owning; the caller pins the frame).
+class NodeView {
+ public:
+  explicit NodeView(char* p) : p_(p) {}
+
+  static void Init(char* p, uint8_t level);
+
+  bool valid() const { return DecodeFixed32(p_) == kBtreeNodeMagic; }
+  uint8_t level() const { return static_cast<uint8_t>(p_[4]); }
+  bool is_leaf() const { return level() == 0; }
+  uint16_t count() const { return DecodeFixed16(p_ + 6); }
+  uint16_t live() const { return DecodeFixed16(p_ + 10); }
+  uint32_t next_leaf() const { return DecodeFixed32(p_ + 12); }
+  void set_next_leaf(uint32_t n) { EncodeFixed32(p_ + 12, n); }
+  uint32_t leftmost() const { return DecodeFixed32(p_ + 16); }
+  void set_leftmost(uint32_t c) { EncodeFixed32(p_ + 16, c); }
+
+  Slice key_at(uint16_t i) const;
+  Slice leaf_val_at(uint16_t i) const;
+  uint32_t child_at(uint16_t i) const;
+
+  /// First slot whose key is >= `key` (== count() when all are smaller).
+  uint16_t LowerBound(Slice key) const;
+  /// Exact-match lookup; *pos is the LowerBound either way.
+  bool Find(Slice key, uint16_t* pos) const;
+  /// Internal node: the child to descend into for `key`.
+  uint32_t FindChild(Slice key) const;
+
+  /// True when a worst-case insert might not fit — the preemptive-split
+  /// trigger (split-before-descend keeps parents never-full).
+  bool NeedsSplit() const {
+    return kNodeUsable - live() <
+           (is_leaf() ? kLeafWorstNeed : kInternalWorstNeed);
+  }
+
+  /// Inserts (key, value) at slot `pos` (caller: pos = LowerBound, key
+  /// absent). False when the node genuinely lacks the live bytes; a
+  /// fragmented heap is compacted internally first.
+  bool LeafInsert(uint16_t pos, Slice key, Slice value);
+  void LeafRemove(uint16_t pos);
+  /// Inserts separator (key → child) at slot `pos`.
+  bool InternalInsert(uint16_t pos, Slice key, uint32_t child);
+
+ private:
+  uint16_t slot(uint16_t i) const {
+    return DecodeFixed16(p_ + kNodeHeaderSize + 2 * i);
+  }
+  uint16_t heap_top() const { return DecodeFixed16(p_ + 8); }
+  size_t CellSize(Slice key, Slice val) const {
+    return is_leaf() ? 4 + key.size() + val.size() : 6 + key.size();
+  }
+  bool InsertCell(uint16_t pos, Slice key, Slice val, uint32_t child);
+  void Compact();
+
+  char* p_;
+};
+
+/// View over the index meta page (page 0 of the index area).
+class MetaView {
+ public:
+  explicit MetaView(char* p) : p_(p) {}
+
+  static void Init(char* p, uint32_t root, uint32_t first_leaf,
+                   uint32_t alloc_next, uint32_t alloc_end);
+
+  bool valid() const { return DecodeFixed32(p_) == kIndexMetaMagic; }
+  uint32_t root() const { return DecodeFixed32(p_ + 8); }
+  void set_root(uint32_t r) { EncodeFixed32(p_ + 8, r); }
+  uint32_t height() const { return DecodeFixed32(p_ + 12); }
+  void set_height(uint32_t h) { EncodeFixed32(p_ + 12, h); }
+  uint32_t first_leaf() const { return DecodeFixed32(p_ + 16); }
+  uint32_t alloc_next() const { return DecodeFixed32(p_ + 20); }
+  void set_alloc_next(uint32_t v) { EncodeFixed32(p_ + 20, v); }
+  uint32_t alloc_end() const { return DecodeFixed32(p_ + 24); }
+  void set_alloc_end(uint32_t v) { EncodeFixed32(p_ + 24, v); }
+
+ private:
+  char* p_;
+};
+
+}  // namespace bess
+
+#endif  // BESS_INDEX_BTREE_PAGE_H_

@@ -6,6 +6,7 @@
 
 #include "cache/cached_store.h"
 #include "hooks/hooks.h"
+#include "index/index.h"
 #include "obs/trace.h"
 #include "os/fault_injection.h"
 #include "util/crc32c.h"
@@ -128,6 +129,22 @@ Database::Database(Options options)
 
 Database::~Database() {
   StopCheckpointThread();
+  {
+    // Best-effort flush of index dirt (steal/no-force: a clean close that
+    // skipped it would just replay from the WAL on the next open).
+    std::vector<std::shared_ptr<BTreeIndex>> rts;
+    {
+      std::lock_guard<std::mutex> guard(indexes_mutex_);
+      for (auto& [id, rt] : index_runtimes_) rts.push_back(rt);
+      index_runtimes_.clear();
+    }
+    for (auto& rt : rts) (void)rt->FlushDirty();
+    // Index handles share ownership of these runtimes and may outlive us.
+    // Detach severs each runtime now — joins its bgwriter and gates every
+    // entry point — so a surviving handle degrades into errors instead of
+    // a background thread calling into a freed database (or its areas).
+    for (auto& rt : rts) rt->Detach();
+  }
   {
     std::lock_guard<std::mutex> guard(g_registry_mutex);
     g_databases_by_id.erase(static_cast<uint8_t>(options_.db_id));
@@ -292,8 +309,56 @@ Status Database::RunRecovery() {
   AreaSink sink(&areas_);
   RecoveryOptions ropts;
   ropts.redo_workers = options_.recovery_redo_workers;
+  // Logical undo of loser index records runs against temporary tree
+  // runtimes (synchronous I/O, no bgwriter) opened lazily per index area —
+  // the catalog is not loaded yet, but the meta page is page 0 of the
+  // area by construction. The runtimes are flushed and torn down before
+  // the areas are synced and the log is reset below.
+  std::unordered_map<uint16_t, std::unique_ptr<BTreeIndex>> undo_trees;
+  ropts.index_undo = [this, &undo_trees](const LogRecord& rec, Lsn chain_tail,
+                                         Lsn* new_tail) -> Status {
+    auto it = undo_trees.find(rec.index_area);
+    if (it == undo_trees.end()) {
+      StorageArea* area = AreaOrNull(rec.index_area);
+      if (area == nullptr) {
+        return Status::Corruption("index record references unknown area " +
+                                  std::to_string(rec.index_area));
+      }
+      BTreeIndex::Options iopts;
+      iopts.db = options_.db_id;
+      iopts.cache_frames = 64;
+      iopts.enable_bgwriter = false;
+      iopts.use_async = false;
+      iopts.ensure_wal_durable = [this](uint64_t lsn) {
+        return wal_->Flush(lsn);
+      };
+      iopts.append_smo = [this](const LogRecord& smo) {
+        return wal_->AppendUnthrottled(smo);
+      };
+      BESS_ASSIGN_OR_RETURN(auto tree, BTreeIndex::Open(area, iopts));
+      it = undo_trees.emplace(rec.index_area, std::move(tree)).first;
+    }
+    return it->second->UndoLogical(
+        rec,
+        [&](PageAddr page, const std::string& after) -> Result<Lsn> {
+          LogRecord clr;
+          clr.type = LogRecordType::kClr;
+          clr.txn = rec.txn;
+          clr.prev_lsn = chain_tail;
+          clr.page = page;
+          clr.after = after;
+          clr.undo_next = rec.prev_lsn;
+          BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendUnthrottled(clr));
+          *new_tail = lsn;
+          return lsn;
+        });
+  };
   RecoveryManager recovery(wal_.get(), &sink, ropts);
   BESS_RETURN_IF_ERROR(recovery.Run());
+  for (auto& [area_id, tree] : undo_trees) {
+    BESS_RETURN_IF_ERROR(tree->FlushDirty());
+  }
+  undo_trees.clear();
   last_recovery_stats_ = recovery.stats();
   if (recovery.stats().records_scanned > 0) {
     BESS_INFO("recovery: " << recovery.stats().redo_pages << " pages redone, "
@@ -353,6 +418,13 @@ void Database::EncodeCatalogLocked(std::string* out) const {
     oid.EncodeTo(buf);
     out->append(buf, 12);
   }
+  // Index catalog, appended last so catalogs written before indexes existed
+  // (no section at all) still decode.
+  PutFixed32(out, static_cast<uint32_t>(index_catalog_.size()));
+  for (const auto& [name, area] : index_catalog_) {
+    PutLengthPrefixed(out, name);
+    PutFixed16(out, area);
+  }
 }
 
 Status Database::LoadCatalog() {
@@ -409,6 +481,16 @@ Status Database::LoadCatalog() {
     Oid oid = Oid::DecodeFrom(oid_bytes.data());
     roots_by_name_[name] = oid;
     roots_by_oid_[oid] = name;
+  }
+  index_catalog_.clear();
+  if (dec.remaining() >= 4) {  // pre-index catalogs end at the roots
+    const uint32_t nindexes = dec.GetFixed32();
+    for (uint32_t i = 0; i < nindexes; ++i) {
+      std::string name = dec.GetLengthPrefixed().ToString();
+      const uint16_t area = dec.GetFixed16();
+      if (!dec.ok()) return Status::Corruption("truncated catalog (indexes)");
+      index_catalog_[name] = area;
+    }
   }
   catalog_dirty_ = false;
   return Status::OK();
@@ -541,12 +623,21 @@ Result<Lsn> Database::LogPageSet(TxnId txn_id,
   // folds in active transactions' first LSNs, which covers the window where
   // a page is logged but not yet forced (the DPT only learns of it at force
   // time). Reading the tail *before* kBegin keeps the bound conservative
-  // against appends that slip in between.
+  // against appends that slip in between. A transaction that already logged
+  // index records (LogIndexRecord) is registered and admitted — its page
+  // records continue the existing chain instead of opening a second one.
+  bool had_chain = false;
+  Lsn chain = kNullLsn;  // newest appended record of this txn's chain
   {
     std::lock_guard<std::mutex> guard(rec_mutex_);
-    logging_txns_[txn_id].first_lsn = wal_->tail_lsn();
+    auto lt = logging_txns_.find(txn_id);
+    if (lt != logging_txns_.end() && lt->second.last_lsn != kNullLsn) {
+      had_chain = true;
+      chain = lt->second.last_lsn;
+    } else {
+      logging_txns_[txn_id].first_lsn = wal_->tail_lsn();
+    }
   }
-  Lsn chain = kNullLsn;  // newest appended record of this txn's chain
   auto fail = [&](Status st) -> Result<Lsn> {
     // Nothing was forced, but the appended records cannot be left orphaned:
     // once the txn is unregistered it no longer pins the retention floor,
@@ -565,13 +656,16 @@ Result<Lsn> Database::LogPageSet(TxnId txn_id,
   // through unthrottled — a registered transaction pins the redo floor, so
   // throttling it mid-flight would wait on a checkpoint that can never free
   // space below its own records (self-deadlock until timeout).
-  LogRecord begin;
-  begin.type = LogRecordType::kBegin;
-  begin.txn = txn_id;
-  auto prev_r = wal_->Append(begin);
-  if (!prev_r.ok()) return fail(prev_r.status());
-  Lsn prev = *prev_r;
-  chain = prev;
+  Lsn prev = chain;
+  if (!had_chain) {
+    LogRecord begin;
+    begin.type = LogRecordType::kBegin;
+    begin.txn = txn_id;
+    auto begin_r = wal_->Append(begin);
+    if (!begin_r.ok()) return fail(begin_r.status());
+    prev = *begin_r;
+    chain = prev;
+  }
   std::string before(kPageSize, '\0');
   for (const PageImage& img : pages) {
     LogRecord rec;
@@ -636,9 +730,9 @@ Result<Lsn> Database::LogPageSet(TxnId txn_id,
     }
     rec.before = before;
     rec.after = img.bytes;
-    prev_r = wal_->AppendUnthrottled(rec);
-    if (!prev_r.ok()) return fail(prev_r.status());
-    prev = *prev_r;
+    auto rec_r = wal_->AppendUnthrottled(rec);
+    if (!rec_r.ok()) return fail(rec_r.status());
+    prev = *rec_r;
     chain = prev;
     if (page_lsns != nullptr) page_lsns->push_back(prev);
     {
@@ -699,7 +793,34 @@ Status Database::ForcePages(const std::vector<PageImage>& pages, Lsn lsn,
 
 Status Database::LogAndForce(TxnId txn_id,
                              const std::vector<PageImage>& pages) {
-  if (pages.empty()) return Status::OK();
+  if (pages.empty()) {
+    // No object pages to force — but the transaction may have logged index
+    // records (steal/no-force: nothing to force at commit, durability is
+    // the flushed commit record alone). Close its chain.
+    if (!options_.use_wal || wal_ == nullptr) return Status::OK();
+    const Lsn chain = TxnChainHead(txn_id);
+    if (chain == kNullLsn) return Status::OK();
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.txn = txn_id;
+    commit.prev_lsn = chain;
+    auto commit_r = wal_->AppendUnthrottled(commit);
+    Status cs = commit_r.ok() ? wal_->Flush(*commit_r) : commit_r.status();
+    if (!cs.ok()) {
+      // The commit was never acknowledged; close the chain as an abort so
+      // its records cannot be half-recycled (same as LogPageSet's fail).
+      (void)AbortLoggedChain(txn_id, chain);
+      UnregisterLoggingTxn(txn_id);
+      return cs;
+    }
+    LogRecord end;
+    end.type = LogRecordType::kEnd;
+    end.txn = txn_id;
+    end.prev_lsn = *commit_r;
+    Status es = wal_->AppendUnthrottled(end).status();
+    UnregisterLoggingTxn(txn_id);
+    return es;
+  }
   Lsn commit_lsn = kNullLsn;
   std::vector<Lsn> page_lsns;
   if (options_.use_wal) {
@@ -765,6 +886,27 @@ Status Database::AbortLoggedChain(TxnId txn_id, Lsn last_lsn) {
       clr.undo_next = rec.prev_lsn;
       BESS_ASSIGN_OR_RETURN(tail, wal_->AppendUnthrottled(clr));
       BESS_COUNT("wal.abort.clrs");
+    } else if (rec.type == LogRecordType::kIndexPut ||
+               rec.type == LogRecordType::kIndexDelete) {
+      // Logical undo against the live tree (a split may have moved the key
+      // since the record was written); the runtime hands back the leaf's
+      // post-undo image, which the CLR carries for blind restart redo.
+      BESS_ASSIGN_OR_RETURN(std::shared_ptr<BTreeIndex> rt,
+                            IndexRuntime(rec.index_area));
+      BESS_RETURN_IF_ERROR(rt->UndoLogical(
+          rec,
+          [&](PageAddr page, const std::string& after) -> Result<Lsn> {
+            LogRecord clr;
+            clr.type = LogRecordType::kClr;
+            clr.txn = txn_id;
+            clr.prev_lsn = tail;
+            clr.page = page;
+            clr.after = after;
+            clr.undo_next = rec.prev_lsn;
+            BESS_ASSIGN_OR_RETURN(tail, wal_->AppendUnthrottled(clr));
+            BESS_COUNT("wal.abort.clrs");
+            return tail;
+          }));
     }
     cur = rec.prev_lsn;
   }
@@ -891,6 +1033,17 @@ Status Database::Abort(Txn* txn) {
   if (txn == nullptr || txn != tl_txn) {
     return Status::InvalidArgument("abort of foreign transaction");
   }
+  // Index records are steal/no-force: unlike object pages their effects are
+  // live in the trees (and possibly on disk) right now, so an abort must
+  // close the WAL chain with logical undo + CLRs. Object-page records in
+  // the same chain get before-image CLRs — redundant with the in-memory
+  // revert below, but required for restart redo to net out. No-op for
+  // transactions that never logged (the common abort: nothing committed).
+  if (wal_ != nullptr) {
+    const Lsn chain = TxnChainHead(txn->id);
+    if (chain != kNullLsn) (void)AbortLoggedChain(txn->id, chain);
+    UnregisterLoggingTxn(txn->id);
+  }
   // Roll back in-memory state: segments this txn created/mutated
   // structurally are evicted (refault from disk); pages it dirtied are
   // restored from their undo images.
@@ -921,6 +1074,279 @@ Status Database::Abort(Txn* txn) {
   delete txn;
   BESS_COUNT("txn.abort");
   return Status::OK();
+}
+
+// ---- secondary indexes (DESIGN.md §14) --------------------------------------
+
+Result<Lsn> Database::LogIndexRecord(TxnId txn_id, LogRecord&& rec) {
+  if (wal_ == nullptr) {
+    return Status::Internal("index logging without a WAL");
+  }
+  Lsn prev = kNullLsn;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> guard(rec_mutex_);
+    auto it = logging_txns_.find(txn_id);
+    if (it != logging_txns_.end()) {
+      prev = it->second.last_lsn;
+    } else {
+      // First record of this transaction: register before appending so the
+      // checkpoint redo floor covers the chain (same rule as LogPageSet).
+      fresh = true;
+      logging_txns_[txn_id].first_lsn = wal_->tail_lsn();
+    }
+  }
+  if (fresh) {
+    // Admission control: the throttled kBegin is the transaction's only
+    // gate; everything after goes through unthrottled (a registered txn
+    // pins the redo floor — throttling it would self-deadlock on the
+    // checkpoint it is waiting for).
+    LogRecord begin;
+    begin.type = LogRecordType::kBegin;
+    begin.txn = txn_id;
+    auto begin_r = wal_->Append(begin);
+    if (!begin_r.ok()) {
+      UnregisterLoggingTxn(txn_id);
+      return begin_r.status();
+    }
+    prev = *begin_r;
+  }
+  rec.txn = txn_id;
+  rec.prev_lsn = prev;
+  BESS_ASSIGN_OR_RETURN(Lsn lsn, wal_->AppendUnthrottled(rec));
+  {
+    std::lock_guard<std::mutex> guard(rec_mutex_);
+    logging_txns_[txn_id].last_lsn = lsn;
+  }
+  return lsn;
+}
+
+Lsn Database::TxnChainHead(TxnId txn_id) {
+  std::lock_guard<std::mutex> guard(rec_mutex_);
+  auto it = logging_txns_.find(txn_id);
+  return it == logging_txns_.end() ? kNullLsn : it->second.last_lsn;
+}
+
+Result<std::shared_ptr<BTreeIndex>> Database::IndexRuntime(uint16_t area_id) {
+  {
+    std::lock_guard<std::mutex> guard(indexes_mutex_);
+    auto it = index_runtimes_.find(area_id);
+    if (it != index_runtimes_.end()) return it->second;
+  }
+  StorageArea* area = AreaOrNull(area_id);
+  if (area == nullptr) {
+    return Status::NotFound("no storage area " + std::to_string(area_id));
+  }
+  BTreeIndex::Options iopts;
+  iopts.db = options_.db_id;
+  if (wal_ != nullptr) {
+    // Same write-back coupling as the page cache: a cleaned frame parks in
+    // the DPT until a checkpoint sync verifiably covers the write, and the
+    // WAL-before-data gate holds the write back until its LSN is durable.
+    iopts.on_cleaned = [this](uint64_t key, uint64_t rec_lsn) {
+      TouchDpt(key, rec_lsn != 0 ? rec_lsn : wal_->oldest_lsn());
+    };
+    iopts.ensure_wal_durable = [this](uint64_t lsn) {
+      return wal_->Flush(lsn);
+    };
+    iopts.append_smo = [this](const LogRecord& smo) {
+      return wal_->AppendUnthrottled(smo);
+    };
+  }
+  BESS_ASSIGN_OR_RETURN(auto tree, BTreeIndex::Open(area, iopts));
+  std::shared_ptr<BTreeIndex> shared(std::move(tree));
+  std::lock_guard<std::mutex> guard(indexes_mutex_);
+  auto [it, inserted] = index_runtimes_.emplace(area_id, std::move(shared));
+  return it->second;  // a racing opener may have won; use whoever did
+}
+
+Result<Index> Database::CreateIndex(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("index name required");
+  uint16_t area_id = 0;
+  {
+    std::lock_guard<std::mutex> guard(meta_mutex_);
+    if (index_catalog_.count(name) != 0) {
+      return Status::InvalidArgument("index exists: " + name);
+    }
+    const uint16_t id = static_cast<uint16_t>(area_count());
+    if (id > 255) return Status::NoSpace("OIDs carry 8-bit area numbers");
+    BESS_ASSIGN_OR_RETURN(auto area, StorageArea::Create(AreaPath(id), id));
+    BESS_RETURN_IF_ERROR(BTreeIndex::Format(area.get()));
+    BESS_RETURN_IF_ERROR(area->Sync());
+    InstallRepairHandler(area.get());
+    {
+      std::lock_guard<std::mutex> areas_guard(areas_mutex_);
+      areas_.push_back(std::move(area));
+    }
+    index_catalog_[name] = id;
+    catalog_dirty_ = true;
+    // Creation is made durable by the catalog save, not the WAL — which
+    // means the save must be synced here: the direct catalog write has no
+    // WAL image to redo from, and its trailer stamp only reaches the file
+    // on Sync (a commit-riding catalog save gets both from ForcePages).
+    BESS_RETURN_IF_ERROR(SaveCatalogLocked());
+    StorageArea* a0 = AreaOrNull(0);
+    if (a0 == nullptr) return Status::NotFound("no storage area 0");
+    BESS_RETURN_IF_ERROR(a0->Sync());
+    area_id = id;
+  }
+  BESS_COUNT("index.create");
+  return OpenHandle(name, area_id);
+}
+
+Result<Index> Database::OpenIndex(const std::string& name) {
+  uint16_t area_id = 0;
+  {
+    std::lock_guard<std::mutex> guard(meta_mutex_);
+    auto it = index_catalog_.find(name);
+    if (it == index_catalog_.end()) {
+      return Status::NotFound("no index named " + name);
+    }
+    area_id = it->second;
+  }
+  return OpenHandle(name, area_id);
+}
+
+Result<Index> Database::OpenHandle(const std::string& name, uint16_t area_id) {
+  BESS_ASSIGN_OR_RETURN(std::shared_ptr<BTreeIndex> rt, IndexRuntime(area_id));
+  Index handle;
+  handle.db_ = this;
+  handle.impl_ = std::move(rt);
+  handle.name_ = name;
+  return handle;
+}
+
+Status Database::DropIndex(const std::string& name) {
+  uint16_t area_id = 0;
+  {
+    std::lock_guard<std::mutex> guard(meta_mutex_);
+    auto it = index_catalog_.find(name);
+    if (it == index_catalog_.end()) {
+      return Status::NotFound("no index named " + name);
+    }
+    area_id = it->second;
+    index_catalog_.erase(it);
+    catalog_dirty_ = true;
+    BESS_RETURN_IF_ERROR(SaveCatalogLocked());
+    // Same durability rule as CreateIndex: the direct save needs its sync.
+    StorageArea* a0 = AreaOrNull(0);
+    if (a0 == nullptr) return Status::NotFound("no storage area 0");
+    BESS_RETURN_IF_ERROR(a0->Sync());
+  }
+  std::shared_ptr<BTreeIndex> victim;
+  {
+    std::lock_guard<std::mutex> guard(indexes_mutex_);
+    auto it = index_runtimes_.find(area_id);
+    if (it != index_runtimes_.end()) {
+      victim = std::move(it->second);
+      index_runtimes_.erase(it);
+    }
+  }
+  victim.reset();  // outstanding handles keep the runtime alive until dropped
+  BESS_COUNT("index.drop");
+  return Status::OK();
+}
+
+std::vector<std::string> Database::ListIndexes() const {
+  std::lock_guard<std::mutex> guard(meta_mutex_);
+  std::vector<std::string> names;
+  names.reserve(index_catalog_.size());
+  for (const auto& [name, area] : index_catalog_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ---- Index handle -----------------------------------------------------------
+
+// Shared prologue of Index::Put/Delete: resolve the acting transaction id
+// (autocommit mints a fresh one) and refuse poisoned transactions.
+Status Database::IndexTxnPrologue(Txn* txn, bool* autocommit, TxnId* id) {
+  if (txn != nullptr) {
+    if (txn->db != this) {
+      return Status::InvalidArgument("index write under foreign transaction");
+    }
+    if (txn->poisoned) {
+      return txn->poison_status.ok()
+                 ? Status::Aborted("transaction was poisoned")
+                 : txn->poison_status;
+    }
+    *autocommit = false;
+    *id = txn->id;
+  } else {
+    *autocommit = true;
+    *id = NextTxnId();
+  }
+  return Status::OK();
+}
+
+Status Index::Put(Txn* txn, Slice key, Slice value) {
+  if (!valid()) return Status::InvalidArgument("invalid index handle");
+  bool autocommit = false;
+  TxnId id = kNoTxn;
+  BESS_RETURN_IF_ERROR(db_->IndexTxnPrologue(txn, &autocommit, &id));
+  BTreeIndex::RecordLogger logger;
+  if (db_->wal_ != nullptr) {
+    logger = [this, id](LogRecord&& rec) {
+      return db_->LogIndexRecord(id, std::move(rec));
+    };
+  }
+  Status s = impl_->Put(key, value, logger);
+  return db_->FinishIndexWrite(txn, id, autocommit, s);
+}
+
+Status Index::Delete(Txn* txn, Slice key, bool* existed) {
+  if (!valid()) return Status::InvalidArgument("invalid index handle");
+  bool autocommit = false;
+  TxnId id = kNoTxn;
+  BESS_RETURN_IF_ERROR(db_->IndexTxnPrologue(txn, &autocommit, &id));
+  BTreeIndex::RecordLogger logger;
+  if (db_->wal_ != nullptr) {
+    logger = [this, id](LogRecord&& rec) {
+      return db_->LogIndexRecord(id, std::move(rec));
+    };
+  }
+  bool was_there = false;
+  Status s = impl_->Delete(key, &was_there, logger);
+  if (existed != nullptr) *existed = was_there;
+  return db_->FinishIndexWrite(txn, id, autocommit, s);
+}
+
+Status Database::FinishIndexWrite(Txn* txn, TxnId id, bool autocommit,
+                                  Status op) {
+  if (!op.ok()) {
+    if (wal_ != nullptr) {
+      if (autocommit) {
+        // Close whatever chain the failed op left behind (possibly none).
+        const Lsn chain = TxnChainHead(id);
+        if (chain != kNullLsn) (void)AbortLoggedChain(id, chain);
+        UnregisterLoggingTxn(id);
+      } else if (!txn->poisoned) {
+        // The tree and the txn's chain may disagree now; only Abort's
+        // logical undo reconciles them. Poison so commit refuses.
+        txn->poisoned = true;
+        txn->poison_status = op;
+      }
+    }
+    return op;
+  }
+  if (autocommit && wal_ != nullptr) {
+    // Micro-commit: kCommit + flush + kEnd on the chain (index pages are
+    // steal/no-force — nothing to force, the flushed record is the commit).
+    return LogAndForce(id, {});
+  }
+  return Status::OK();
+}
+
+Result<bool> Index::Get(Slice key, std::string* value) const {
+  if (!valid()) return Status::InvalidArgument("invalid index handle");
+  return impl_->Get(key, value);
+}
+
+Status Index::Scan(
+    Slice lo, Slice hi,
+    const std::function<Status(Slice key, Slice value)>& fn) const {
+  if (!valid()) return Status::InvalidArgument("invalid index handle");
+  return impl_->Scan(lo, hi, fn);
 }
 
 // ---- object lifecycle ---------------------------------------------------------
@@ -1613,10 +2039,28 @@ Status Database::Checkpoint() {
   LogRecord cp;
   cp.type = LogRecordType::kCheckpoint;
   Lsn snapshot_start;
+  // Index runtimes snapshotted outside rec_mutex_ (indexes_mutex_ is a
+  // leaf); their dirty frames fold into the DPT exactly like the page
+  // cache's below — still-dirty frames re-enter at every checkpoint, and
+  // frames cleaned in between entered via on_cleaned → TouchDpt.
+  std::vector<std::shared_ptr<BTreeIndex>> index_rts;
+  {
+    std::lock_guard<std::mutex> guard(indexes_mutex_);
+    for (const auto& [id, rt] : index_runtimes_) index_rts.push_back(rt);
+  }
   {
     std::lock_guard<std::mutex> guard(rec_mutex_);
     snapshot_start = wal_->tail_lsn();
     cp.redo_floor = snapshot_start;
+    for (const auto& rt : index_rts) {
+      std::vector<std::pair<uint64_t, uint64_t>> frames;
+      rt->CollectDirty(&frames);
+      for (const auto& [key, rec_lsn] : frames) {
+        const Lsn bound = rec_lsn != 0 ? rec_lsn : wal_->oldest_lsn();
+        auto [it, inserted] = dpt_.try_emplace(key, bound);
+        if (!inserted && bound < it->second) it->second = bound;
+      }
+    }
     if (page_cache_ != nullptr) {
       // Frame-table dirt (pages modified through the cache seam, not yet
       // written back). A recLSN of 0 is unknown: fold it in as "from the

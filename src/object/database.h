@@ -36,6 +36,7 @@
 namespace bess {
 
 class CachedSegmentStore;
+class BTreeIndex;
 
 /// A transaction handle. Obtain with Database::Begin (one active transaction
 /// per thread); pass to Commit/Abort.
@@ -54,6 +55,43 @@ struct CommitStats {
   uint32_t pages_forced = 0; ///< dirty pages forced at commit (no-steal/force)
   uint32_t locks_held = 0;   ///< locks released by this commit
   uint64_t duration_ns = 0;  ///< wall time inside Commit
+};
+
+/// Handle to a named secondary index (DESIGN.md §14): a WAL-logged B+-tree
+/// over byte-string keys, living in its own storage area. Obtained from
+/// Database::CreateIndex/OpenIndex; cheap to copy (shared runtime).
+///
+/// Mutations may run inside a transaction (the index records join the
+/// transaction's WAL chain; commit makes them durable, abort reverses them
+/// logically) or standalone (`txn == nullptr`: each call is its own
+/// committed micro-transaction). Index pages are steal/no-force — unlike
+/// object pages they reach disk lazily via the background writer, and
+/// restart recovery redoes/undoes them from the log.
+class Index {
+ public:
+  Index() = default;
+  bool valid() const { return impl_ != nullptr; }
+  const std::string& name() const { return name_; }
+
+  /// Upsert (key 1..256 bytes, value 0..256 bytes).
+  Status Put(Txn* txn, Slice key, Slice value);
+  /// Removes `key`; *existed (optional) reports whether it was present.
+  Status Delete(Txn* txn, Slice key, bool* existed = nullptr);
+  /// Point lookup: true + *value when present. Reads see the latest
+  /// latched state (including uncommitted writes — see DESIGN.md §14).
+  Result<bool> Get(Slice key, std::string* value) const;
+  /// Ordered scan over [lo, hi] inclusive; empty lo = from the first key,
+  /// empty hi = to the last. Leaves stream through the frame table's push
+  /// pipeline. `fn` gets (key, value) views valid only during the call and
+  /// must not call back into this index.
+  Status Scan(Slice lo, Slice hi,
+              const std::function<Status(Slice key, Slice value)>& fn) const;
+
+ private:
+  friend class Database;
+  Database* db_ = nullptr;
+  std::shared_ptr<BTreeIndex> impl_;
+  std::string name_;
 };
 
 class Database {
@@ -253,6 +291,19 @@ class Database {
   Status SetRootOid(const std::string& name, const Oid& oid);
   Result<Oid> GetRootOid(const std::string& name);
 
+  // ---- Secondary indexes (DESIGN.md §14) -------------------------------------
+
+  /// Creates a named B+-tree index in a fresh storage area and persists it
+  /// in the catalog. The returned handle is immediately usable.
+  Result<Index> CreateIndex(const std::string& name);
+  /// Opens an existing index by name (the runtime is shared and cached).
+  Result<Index> OpenIndex(const std::string& name);
+  /// Removes the index from the catalog and drops its runtime. The area
+  /// file itself is retained (area ids are append-only); its pages become
+  /// unreachable.
+  Status DropIndex(const std::string& name);
+  std::vector<std::string> ListIndexes() const;
+
   // ---- Maintenance -----------------------------------------------------------
 
   /// Fuzzy checkpoint (non-blocking for committers): syncs the areas for
@@ -294,6 +345,7 @@ class Database {
   static Database* FindById(uint8_t db_id);
 
  private:
+  friend class Index;
   class LocalStore;
   class Observer;
   struct FileInfo {
@@ -348,6 +400,21 @@ class Database {
   void StartCheckpointThread();
   void StopCheckpointThread();
   void CheckpointMain();
+  /// Opens (or returns the cached) index runtime for an index area.
+  Result<std::shared_ptr<BTreeIndex>> IndexRuntime(uint16_t area_id);
+  /// Builds a public handle over the (cached) runtime for `area_id`.
+  Result<Index> OpenHandle(const std::string& name, uint16_t area_id);
+  /// Index-write prologue: acting txn id (autocommit mints one), poison gate.
+  Status IndexTxnPrologue(Txn* txn, bool* autocommit, TxnId* id);
+  /// Index-write epilogue: micro-commit (autocommit), or poison/abort the
+  /// chain on failure.
+  Status FinishIndexWrite(Txn* txn, TxnId id, bool autocommit, Status op);
+  /// Appends one kIndexPut/kIndexDelete to `txn_id`'s WAL chain, admitting
+  /// the transaction (throttled kBegin) on its first record. Called with
+  /// the index latch held; takes rec_mutex_ (leaf) only.
+  Result<Lsn> LogIndexRecord(TxnId txn_id, LogRecord&& rec);
+  /// The txn's current undo-chain head, or kNullLsn when it never logged.
+  Lsn TxnChainHead(TxnId txn_id);
   /// Hooks every area's read path up to WAL-based single-page repair.
   void InstallRepairHandlers();
   void InstallRepairHandler(StorageArea* area);
@@ -374,6 +441,13 @@ class Database {
   std::unordered_map<uint16_t, FileInfo> files_;
   std::unordered_map<std::string, uint16_t> files_by_name_;
   uint16_t next_file_id_ = 1;
+  /// Index catalog: name → area id (guarded by meta_mutex_ like files_;
+  /// persisted in the catalog blob).
+  std::unordered_map<std::string, uint16_t> index_catalog_;
+  /// Open index runtimes by area id. Leaf mutex: never held while calling
+  /// into a runtime (shared_ptrs are copied out first).
+  mutable std::mutex indexes_mutex_;
+  std::unordered_map<uint16_t, std::shared_ptr<BTreeIndex>> index_runtimes_;
   // The paper's root directory: a pair of hash tables with enforced
   // referential integrity between objects and their names.
   std::unordered_map<std::string, Oid> roots_by_name_;

@@ -91,6 +91,10 @@ struct AioStats {
                             ///< (pool backend merges queued reads for
                             ///< consecutive keys into one FetchRun; 0 when
                             ///< the backend does not coalesce)
+  uint64_t write_runs = 0;  ///< device write ops after request coalescing
+                            ///< (pool backend merges queued writes for
+                            ///< consecutive keys — bgwriter batches sort by
+                            ///< key to line these up; 0 = no coalescing)
 };
 
 /// Completion mailbox shared by both engines. Applies the "aio.reorder"

@@ -690,6 +690,104 @@ Status BessServer::HandleRequest(Session& session, const Message& msg,
       return Status::OK();
     }
 
+    case kMsgIndexCreate: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      if (!dec.ok()) return Status::Protocol("bad IndexCreate");
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      return db->CreateIndex(name.ToString()).status();
+    }
+
+    case kMsgIndexDrop: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      if (!dec.ok()) return Status::Protocol("bad IndexDrop");
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      return db->DropIndex(name.ToString());
+    }
+
+    case kMsgIndexPut: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      Slice key = dec.GetLengthPrefixed();
+      Slice value = dec.GetLengthPrefixed();
+      if (!dec.ok()) return Status::Protocol("bad IndexPut");
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      // Same WAL-backpressure refusal as kMsgCommit: an index put is a new
+      // micro-commit (kBegin is its throttled admission point).
+      if (db->LogBackpressured()) {
+        stats_.shed_log_full.fetch_add(1, std::memory_order_relaxed);
+        BESS_COUNT("server.overload.shed.log_full");
+        return Status::RetryLater("log full; retry after backoff");
+      }
+      BESS_ASSIGN_OR_RETURN(Index index, db->OpenIndex(name.ToString()));
+      return index.Put(nullptr, key, value);
+    }
+
+    case kMsgIndexDel: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      Slice key = dec.GetLengthPrefixed();
+      if (!dec.ok()) return Status::Protocol("bad IndexDel");
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      if (db->LogBackpressured()) {
+        stats_.shed_log_full.fetch_add(1, std::memory_order_relaxed);
+        BESS_COUNT("server.overload.shed.log_full");
+        return Status::RetryLater("log full; retry after backoff");
+      }
+      BESS_ASSIGN_OR_RETURN(Index index, db->OpenIndex(name.ToString()));
+      bool existed = false;
+      BESS_RETURN_IF_ERROR(index.Delete(nullptr, key, &existed));
+      reply->push_back(existed ? 1 : 0);
+      return Status::OK();
+    }
+
+    case kMsgIndexGet: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      Slice key = dec.GetLengthPrefixed();
+      if (!dec.ok()) return Status::Protocol("bad IndexGet");
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      BESS_ASSIGN_OR_RETURN(Index index, db->OpenIndex(name.ToString()));
+      std::string value;
+      BESS_ASSIGN_OR_RETURN(bool found, index.Get(key, &value));
+      reply->push_back(found ? 1 : 0);
+      if (found) PutLengthPrefixed(reply, value);
+      return Status::OK();
+    }
+
+    case kMsgIndexScan: {
+      const uint16_t db_id = dec.GetFixed16();
+      Slice name = dec.GetLengthPrefixed();
+      std::string lo = dec.GetLengthPrefixed().ToString();
+      std::string hi = dec.GetLengthPrefixed().ToString();
+      uint32_t limit = dec.GetFixed32();
+      if (!dec.ok()) return Status::Protocol("bad IndexScan");
+      if (limit == 0 || limit > kIndexScanMaxEntries) {
+        limit = kIndexScanMaxEntries;  // bound the reply frame
+      }
+      BESS_ASSIGN_OR_RETURN(Database * db, DbFor(db_id));
+      BESS_ASSIGN_OR_RETURN(Index index, db->OpenIndex(name.ToString()));
+      std::string entries;
+      uint32_t n = 0;
+      bool truncated = false;
+      Status s = index.Scan(lo, hi, [&](Slice k, Slice v) {
+        if (n >= limit) {
+          truncated = true;
+          return Status::Aborted("scan limit");  // stop the scan, not an error
+        }
+        PutLengthPrefixed(&entries, k);
+        PutLengthPrefixed(&entries, v);
+        ++n;
+        return Status::OK();
+      });
+      if (!s.ok() && !truncated) return s;
+      PutFixed32(reply, n);
+      reply->append(entries);
+      reply->push_back(truncated ? 1 : 0);
+      return Status::OK();
+    }
+
     default:
       return Status::Protocol("unknown request type " +
                               std::to_string(msg.type));

@@ -71,7 +71,21 @@ enum MsgType : uint16_t {
   // Latency probe (appended)
   kMsgPing,             ///< payload echoed back verbatim; the open-loop
                         ///< load generator and pipelining tests ride on it
+
+  // Secondary indexes (appended; DESIGN.md §14). All index RPCs are
+  // autocommitted server-side micro-transactions.
+  kMsgIndexCreate,      ///< {u16 db, name} -> status
+  kMsgIndexDrop,        ///< {u16 db, name} -> status
+  kMsgIndexPut,         ///< {u16 db, name, key, value} -> status
+  kMsgIndexDel,         ///< {u16 db, name, key} -> {u8 existed}
+  kMsgIndexGet,         ///< {u16 db, name, key} -> {u8 found, value}
+  kMsgIndexScan,        ///< {u16 db, name, lo, hi, u32 limit} ->
+                        ///< {u32 n, n×(key, value), u8 truncated}
 };
+
+/// Server-side cap on entries per kMsgIndexScan reply. A wider scan returns
+/// `truncated = 1`; the client resumes with lo = last key + '\0'.
+inline constexpr uint32_t kIndexScanMaxEntries = 4096;
 
 /// Encodes a Status into a kMsgError payload (or returns kMsgOk type).
 inline void EncodeStatus(const Status& s, uint16_t* type,

@@ -1101,4 +1101,96 @@ Result<ScrubReport> RemoteClient::Scrub() {
   return report;
 }
 
+// ---- secondary indexes ------------------------------------------------------
+
+Status RemoteClient::IndexCreate(const std::string& name) {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutLengthPrefixed(&payload, name);
+  Message reply;
+  return Call(primary_, kMsgIndexCreate, payload, &reply);
+}
+
+Status RemoteClient::IndexDrop(const std::string& name) {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutLengthPrefixed(&payload, name);
+  Message reply;
+  return Call(primary_, kMsgIndexDrop, payload, &reply);
+}
+
+Status RemoteClient::IndexPut(const std::string& name, Slice key,
+                              Slice value) {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutLengthPrefixed(&payload, name);
+  PutLengthPrefixed(&payload, key);
+  PutLengthPrefixed(&payload, value);
+  Message reply;
+  return Call(primary_, kMsgIndexPut, payload, &reply);
+}
+
+Status RemoteClient::IndexDelete(const std::string& name, Slice key,
+                                 bool* existed) {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutLengthPrefixed(&payload, name);
+  PutLengthPrefixed(&payload, key);
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgIndexDel, payload, &reply));
+  if (reply.payload.empty()) return Status::Protocol("bad IndexDel reply");
+  if (existed != nullptr) *existed = reply.payload[0] != 0;
+  return Status::OK();
+}
+
+Result<bool> RemoteClient::IndexGet(const std::string& name, Slice key,
+                                    std::string* value) {
+  std::string payload;
+  PutFixed16(&payload, options_.db_id);
+  PutLengthPrefixed(&payload, name);
+  PutLengthPrefixed(&payload, key);
+  Message reply;
+  BESS_RETURN_IF_ERROR(Call(primary_, kMsgIndexGet, payload, &reply));
+  if (reply.payload.empty()) return Status::Protocol("bad IndexGet reply");
+  const bool found = reply.payload[0] != 0;
+  if (found && value != nullptr) {
+    Decoder dec(Slice(reply.payload.data() + 1, reply.payload.size() - 1));
+    *value = dec.GetLengthPrefixed().ToString();
+    if (!dec.ok()) return Status::Protocol("bad IndexGet reply");
+  }
+  return found;
+}
+
+Status RemoteClient::IndexScan(
+    const std::string& name, Slice lo, Slice hi,
+    const std::function<Status(Slice key, Slice value)>& fn) {
+  std::string cursor = lo.ToString();
+  for (;;) {
+    std::string payload;
+    PutFixed16(&payload, options_.db_id);
+    PutLengthPrefixed(&payload, name);
+    PutLengthPrefixed(&payload, cursor);
+    PutLengthPrefixed(&payload, hi);
+    PutFixed32(&payload, kIndexScanMaxEntries);
+    Message reply;
+    BESS_RETURN_IF_ERROR(Call(primary_, kMsgIndexScan, payload, &reply));
+    Decoder dec(reply.payload);
+    const uint32_t n = dec.GetFixed32();
+    std::string last_key;
+    for (uint32_t i = 0; i < n; ++i) {
+      Slice k = dec.GetLengthPrefixed();
+      Slice v = dec.GetLengthPrefixed();
+      if (!dec.ok()) return Status::Protocol("bad IndexScan reply");
+      last_key.assign(k.data(), k.size());
+      BESS_RETURN_IF_ERROR(fn(k, v));
+    }
+    if (dec.remaining() < 1) return Status::Protocol("bad IndexScan reply");
+    const bool truncated = dec.GetBytes(1).data()[0] != 0;
+    if (!truncated) return Status::OK();
+    // Resume just past the last delivered key ('\0' is the smallest
+    // one-byte extension in bytewise order).
+    cursor = last_key + std::string(1, '\0');
+  }
+}
+
 }  // namespace bess

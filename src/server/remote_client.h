@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -153,6 +154,23 @@ class RemoteClient : public AccessObserver {
   /// Asks the server to sweep every page of the client's database, verifying
   /// checksums and repairing/quarantining mismatches (kMsgScrub).
   Result<ScrubReport> Scrub();
+
+  // ---- secondary indexes (server-side micro-commits; DESIGN.md §14) ---------
+
+  Status IndexCreate(const std::string& name);
+  Status IndexDrop(const std::string& name);
+  Status IndexPut(const std::string& name, Slice key, Slice value);
+  /// Removes `key`; *existed (optional) reports whether it was present.
+  Status IndexDelete(const std::string& name, Slice key,
+                     bool* existed = nullptr);
+  /// Point lookup: true + *value when present.
+  Result<bool> IndexGet(const std::string& name, Slice key,
+                        std::string* value);
+  /// Ordered scan of [lo, hi] inclusive (empty = open end). Wide ranges are
+  /// fetched in server-bounded batches (kIndexScanMaxEntries per RPC) and
+  /// stitched back together transparently.
+  Status IndexScan(const std::string& name, Slice lo, Slice hi,
+                   const std::function<Status(Slice key, Slice value)>& fn);
 
   // ---- objects (client-side creation in the cache, write-back at commit) ----
 

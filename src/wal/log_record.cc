@@ -21,6 +21,24 @@ void LogRecord::EncodeTo(std::string* out) const {
       PutFixed64(out, page.Pack());
       PutLengthPrefixed(out, after);
       break;
+    case LogRecordType::kIndexPut:
+    case LogRecordType::kIndexDelete:
+      PutFixed64(out, page.Pack());
+      PutFixed32(out, index_area);
+      PutLengthPrefixed(out, ikey);
+      PutLengthPrefixed(out, ival);
+      PutLengthPrefixed(out, iold);
+      out->push_back(iold_present ? 1 : 0);
+      PutLengthPrefixed(out, after);
+      break;
+    case LogRecordType::kIndexSmo:
+      PutFixed32(out, index_area);
+      PutFixed32(out, static_cast<uint32_t>(smo_pages.size()));
+      for (const SmoPage& p : smo_pages) {
+        PutFixed64(out, p.page.Pack());
+        PutLengthPrefixed(out, p.image);
+      }
+      break;
     case LogRecordType::kCheckpoint:
       PutFixed32(out, static_cast<uint32_t>(active_txns.size()));
       for (const ActiveTxn& t : active_txns) {
@@ -68,6 +86,32 @@ Result<LogRecord> LogRecord::DecodeFrom(Slice payload) {
       rec.page = PageAddr::Unpack(dec.GetFixed64());
       rec.after = dec.GetLengthPrefixed().ToString();
       break;
+    case LogRecordType::kIndexPut:
+    case LogRecordType::kIndexDelete: {
+      rec.page = PageAddr::Unpack(dec.GetFixed64());
+      rec.index_area = static_cast<uint16_t>(dec.GetFixed32());
+      rec.ikey = dec.GetLengthPrefixed().ToString();
+      rec.ival = dec.GetLengthPrefixed().ToString();
+      rec.iold = dec.GetLengthPrefixed().ToString();
+      Slice flag = dec.GetBytes(1);
+      rec.iold_present = dec.ok() && flag[0] != 0;
+      rec.after = dec.GetLengthPrefixed().ToString();
+      break;
+    }
+    case LogRecordType::kIndexSmo: {
+      rec.index_area = static_cast<uint16_t>(dec.GetFixed32());
+      uint32_t np = dec.GetFixed32();
+      if (!dec.ok() || np > 64) {
+        return Status::Corruption("bad index SMO record");
+      }
+      for (uint32_t i = 0; i < np; ++i) {
+        SmoPage p;
+        p.page = PageAddr::Unpack(dec.GetFixed64());
+        p.image = dec.GetLengthPrefixed().ToString();
+        rec.smo_pages.push_back(std::move(p));
+      }
+      break;
+    }
     case LogRecordType::kCheckpoint: {
       uint32_t nt = dec.GetFixed32();
       if (!dec.ok() || nt > 1u << 20) {

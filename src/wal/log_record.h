@@ -36,6 +36,19 @@ enum class LogRecordType : uint8_t {
   kFullPageImage,  ///< full page image for media repair (DESIGN.md §7);
                    ///< redo applies it like kPageWrite, undo never sees it
                    ///< (prev_lsn is always kNullLsn)
+
+  // B+-tree index records (DESIGN.md §14). Physiological: redo is a blind
+  // after-image apply of the touched leaf (the record carries the full
+  // post-op leaf image), undo is *logical* — re-descend the live tree and
+  // delete/re-insert the key, because a split may have moved it to a
+  // different page since.
+  kIndexPut,     ///< ikey/ival inserted (iold = replaced value, if any);
+                 ///< page + after = the leaf's post-op image
+  kIndexDelete,  ///< ikey removed (iold = the value it had);
+                 ///< page + after = the leaf's post-op image
+  kIndexSmo,     ///< structure modification (split / root grow): redo-only
+                 ///< nested top action carrying full images of every page
+                 ///< it touched; undo skips it (splits are never reversed)
 };
 
 struct LogRecord {
@@ -64,6 +77,22 @@ struct LogRecord {
   /// the active transactions' first LSNs, and the snapshot-start LSN. No
   /// page image needing redo can live below it.
   Lsn redo_floor = kNullLsn;
+
+  // kIndexPut / kIndexDelete: the logical payload for undo. `page`/`after`
+  // above double as the physical redo image of the touched leaf.
+  uint16_t index_area = 0;  ///< storage area holding the index
+  std::string ikey;
+  std::string ival;          ///< kIndexPut: value inserted
+  std::string iold;          ///< replaced (put) or removed (delete) value
+  bool iold_present = false; ///< distinguishes "replaced empty" from "fresh"
+
+  // kIndexSmo: full images of every page the SMO touched (parent, left,
+  // right, meta), applied atomically by redo.
+  struct SmoPage {
+    PageAddr page;
+    std::string image;
+  };
+  std::vector<SmoPage> smo_pages;
 
   void EncodeTo(std::string* out) const;
   static Result<LogRecord> DecodeFrom(Slice payload);

@@ -87,7 +87,14 @@ Status RecoveryManager::Analysis(Lsn checkpoint_lsn) {
         break;
       case LogRecordType::kPageWrite:
       case LogRecordType::kClr:
+      case LogRecordType::kIndexPut:
+      case LogRecordType::kIndexDelete:
         txns_[rec.txn].last_lsn = lsn;
+        break;
+      case LogRecordType::kIndexSmo:
+        // Transaction-less nested top action (txn = kNoTxn): structurally
+        // valid whether or not any enclosing transaction commits, so it
+        // never joins an undo chain — redo-only.
         break;
       case LogRecordType::kCheckpoint:
         break;
@@ -161,10 +168,18 @@ Status RecoveryManager::Redo() {
     return log_->Scan(redo_start_, [&](Lsn lsn, const LogRecord& rec) {
       if (rec.type == LogRecordType::kPageWrite ||
           rec.type == LogRecordType::kClr ||
-          rec.type == LogRecordType::kFullPageImage) {
+          rec.type == LogRecordType::kFullPageImage ||
+          rec.type == LogRecordType::kIndexPut ||
+          rec.type == LogRecordType::kIndexDelete) {
         if (!rec.after.empty()) {
           BESS_RETURN_IF_ERROR(
               sink_->WritePage(rec.page, rec.after.data(), lsn));
+          stats_.redo_pages++;
+          BESS_COUNT("wal.recovery.redo.pages");
+        }
+      } else if (rec.type == LogRecordType::kIndexSmo) {
+        for (const LogRecord::SmoPage& p : rec.smo_pages) {
+          BESS_RETURN_IF_ERROR(sink_->WritePage(p.page, p.image.data(), lsn));
           stats_.redo_pages++;
           BESS_COUNT("wal.recovery.redo.pages");
         }
@@ -182,25 +197,33 @@ Status RecoveryManager::Redo() {
     });
     pool.push_back(std::move(w));
   }
-  Status scan_st = log_->Scan(redo_start_, [&](Lsn lsn, const LogRecord& rec) {
-    if (rec.type != LogRecordType::kPageWrite &&
-        rec.type != LogRecordType::kClr &&
-        rec.type != LogRecordType::kFullPageImage) {
-      return Status::OK();
-    }
-    if (rec.after.empty()) return Status::OK();
-    if (failed.load(std::memory_order_relaxed)) {
-      return Status::Aborted("redo worker failed");  // stop scanning early
-    }
-    RedoWorker& w =
-        *pool[std::hash<uint64_t>{}(rec.page.Pack()) % pool.size()];
+  auto push = [&](Lsn lsn, PageAddr page, const std::string& after) {
+    RedoWorker& w = *pool[std::hash<uint64_t>{}(page.Pack()) % pool.size()];
     std::unique_lock<std::mutex> lk(w.mu);
     w.cv_push.wait(lk, [&] {
       return w.queue.size() < RedoWorker::kQueueCap ||
              failed.load(std::memory_order_relaxed);
     });
-    w.queue.push_back({lsn, rec.page, rec.after});
+    w.queue.push_back({lsn, page, after});
     w.cv_pop.notify_one();
+  };
+  Status scan_st = log_->Scan(redo_start_, [&](Lsn lsn, const LogRecord& rec) {
+    const bool single = rec.type == LogRecordType::kPageWrite ||
+                        rec.type == LogRecordType::kClr ||
+                        rec.type == LogRecordType::kFullPageImage ||
+                        rec.type == LogRecordType::kIndexPut ||
+                        rec.type == LogRecordType::kIndexDelete;
+    if (!single && rec.type != LogRecordType::kIndexSmo) return Status::OK();
+    if (failed.load(std::memory_order_relaxed)) {
+      return Status::Aborted("redo worker failed");  // stop scanning early
+    }
+    if (single) {
+      if (!rec.after.empty()) push(lsn, rec.page, rec.after);
+    } else {
+      for (const LogRecord::SmoPage& p : rec.smo_pages) {
+        push(lsn, p.page, p.image);
+      }
+    }
     return Status::OK();
   });
   Status worker_st;
@@ -237,6 +260,28 @@ Status RecoveryManager::Undo() {
       BESS_ASSIGN_OR_RETURN(LogRecord rec, log_->ReadRecord(cur));
       if (rec.type == LogRecordType::kClr) {
         cur = rec.undo_next;
+        continue;
+      }
+      if (rec.type == LogRecordType::kIndexSmo) {
+        // Splits are redo-only nested top actions: structurally valid
+        // whether or not the enclosing transaction commits. Never reversed.
+        cur = rec.prev_lsn;
+        continue;
+      }
+      if (rec.type == LogRecordType::kIndexPut ||
+          rec.type == LogRecordType::kIndexDelete) {
+        stats_.undo_records++;
+        BESS_COUNT("wal.recovery.undo.records");
+        if (opts_.index_undo) {
+          Lsn new_tail = state.last_lsn;
+          BESS_RETURN_IF_ERROR(
+              opts_.index_undo(rec, state.last_lsn, &new_tail));
+          if (new_tail != state.last_lsn) {
+            state.last_lsn = new_tail;
+            stats_.clrs_written++;
+          }
+        }
+        cur = rec.prev_lsn;
         continue;
       }
       if (rec.type == LogRecordType::kPageWrite) {
@@ -284,19 +329,33 @@ Status RepairPageFromLog(LogManager* log, uint16_t db, uint16_t area,
   // Pass 2: the *last* byte-exact candidate wins (highest LSN = the image
   // the trailer was stamped from, or an identical rewrite of it).
   bool found = false;
+  auto try_image = [&](const std::string& bytes) {
+    if (bytes.size() != kPageSize) return;
+    if (crc32c::Mask(PageCrc(area, page, bytes.data())) !=
+        expected_masked_crc) {
+      return;
+    }
+    *image = bytes;
+    found = true;
+  };
   BESS_RETURN_IF_ERROR(log->Scan(kNullLsn, [&](Lsn, const LogRecord& rec) {
+    if (rec.type == LogRecordType::kIndexSmo) {
+      // Index pages are steal/no-force: any logged image can be the one the
+      // trailer was stamped from, committed or not — the CRC match is the
+      // byte-exactness proof.
+      for (const LogRecord::SmoPage& p : rec.smo_pages) {
+        if (p.page == target) try_image(p.image);
+      }
+      return Status::OK();
+    }
     const bool candidate =
         rec.type == LogRecordType::kFullPageImage ||
         rec.type == LogRecordType::kClr ||
+        rec.type == LogRecordType::kIndexPut ||
+        rec.type == LogRecordType::kIndexDelete ||
         (rec.type == LogRecordType::kPageWrite && committed.count(rec.txn));
     if (!candidate || !(rec.page == target)) return Status::OK();
-    if (rec.after.size() != kPageSize) return Status::OK();
-    if (crc32c::Mask(PageCrc(area, page, rec.after.data())) !=
-        expected_masked_crc) {
-      return Status::OK();
-    }
-    *image = rec.after;
-    found = true;
+    try_image(rec.after);
     return Status::OK();
   }));
   if (!found) {

@@ -16,6 +16,7 @@
 #define BESS_WAL_RECOVERY_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "wal/log_manager.h"
@@ -37,6 +38,16 @@ class PageSink {
 struct RecoveryOptions {
   /// Redo worker threads; <= 1 applies images inline on the scanning thread.
   int redo_workers = 0;
+
+  /// Logical undo hook for index records (DESIGN.md §14). Called during the
+  /// undo pass for each loser kIndexPut/kIndexDelete: the callback must
+  /// reverse the logical operation against the *recovered* tree (re-descend;
+  /// a split may have moved the key) and append a CLR whose prev_lsn is
+  /// `chain_tail` and whose undo_next is the record's prev_lsn, returning
+  /// the CLR's LSN in *new_tail. When null, index records are skipped (the
+  /// caller has no live trees — tests exercising only object pages).
+  std::function<Status(const LogRecord& rec, Lsn chain_tail, Lsn* new_tail)>
+      index_undo;
 };
 
 struct RecoveryStats {

@@ -1,0 +1,392 @@
+// Secondary-index crash-recovery torture (DESIGN.md §14).
+//
+// Each iteration forks a child that runs a randomized index workload —
+// autocommitted puts/deletes plus multi-key transactions, some deliberately
+// aborted — with a seeded SIGKILL crashpoint armed on one of the SMO
+// protocol steps (index.smo.log / index.smo.apply / index.smo.applied) or a
+// raw file I/O point. The child reports every operation over a pipe before
+// executing it and acknowledges each commit after the engine does. The
+// parent then reopens the database (ARIES restart: blind redo of SMO and
+// leaf images, logical undo of loser chains) and asserts:
+//
+//   1. Durability: every acknowledged group is fully present.
+//   2. Atomicity: the one possibly-in-flight group is all-or-nothing — a
+//      crash never exposes half a transaction's index writes.
+//   3. Exactness: a full scan returns exactly the shadow map — no phantom
+//      keys, no resurrected deletes, values byte-identical.
+//   4. Structure: a cold standalone walk of the index area (node magic, key
+//      order within and across leaves, separators, the leaf chain) passes —
+//      a crash mid-split never leaves a torn tree behind.
+//
+// One base seed (env BESS_TORTURE_SEED) drives everything; iterations:
+// env BESS_INDEX_TORTURE_ITERS (default 60, floor 50 — the acceptance bar).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bess/bess.h"
+#include "index/index.h"
+#include "object/database.h"
+#include "os/fault_injection.h"
+#include "storage/storage_area.h"
+#include "util/random.h"
+
+namespace bess {
+namespace {
+
+constexpr int kKeySpace = 4096;
+constexpr int kMaxGroupsPerChild = 120;
+constexpr int kTxnGroupOps = 3;
+
+std::string IKey(uint64_t k) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%05llu", static_cast<unsigned long long>(k));
+  return buf;
+}
+
+// Values are derived from the global sequence number alone, so the parent
+// reconstructs the expected bytes from the pipe records. ~100 bytes keeps
+// leaves filling fast enough that splits (and the SMO crashpoints) fire
+// every few dozen operations.
+std::string IValue(uint64_t seq) {
+  std::string v = "s" + std::to_string(seq) + "|";
+  v.append(96, static_cast<char>('a' + seq % 26));
+  return v;
+}
+
+// One pipe record per event, fixed width so reads never tear.
+struct WireRecord {
+  uint64_t tag;    // 0 = op attempt, 1 = group committed, 2 = group aborted
+  uint64_t op;     // attempts: 0 = put, 1 = delete
+  uint64_t key;    // attempts: key number
+  uint64_t group;  // group id (one per autocommit op / transaction)
+  uint64_t seq;    // attempts: value sequence for puts
+};
+
+[[noreturn]] void RunIndexCrashChild(const std::string& dir, uint64_t seed,
+                                     int report_fd, bool recovery_only) {
+  Random rng(seed);
+  static const char* kWorkPoints[] = {"index.smo.log", "index.smo.apply",
+                                      "index.smo.applied", "file.writeat",
+                                      "file.sync", "file.append"};
+  static const char* kRecoveryPoints[] = {"file.readat", "file.writeat",
+                                          "file.sync", "file.append"};
+  if (recovery_only) {
+    // Kill restart recovery itself: it must be idempotently restartable.
+    fault::FaultRegistry::Instance().Arm(
+        kRecoveryPoints[rng.Uniform(4)],
+        fault::FaultSpec::CrashAtNth(static_cast<int>(rng.Range(1, 25))));
+  } else {
+    const int idx = static_cast<int>(rng.Uniform(6));
+    // The SMO points fire once per split, not once per I/O: low nth.
+    const int nth = static_cast<int>(
+        idx < 3 ? rng.Range(1, 4) : rng.Range(4, 80));
+    fault::FaultRegistry::Instance().Arm(kWorkPoints[idx],
+                                         fault::FaultSpec::CrashAtNth(nth));
+  }
+
+  Database::Options o;
+  o.dir = dir;
+  o.create = false;
+  auto dbr = Database::Open(o);
+  if (!dbr.ok()) ::_exit(3);
+  if (recovery_only) ::_exit(0);  // the crashpoint never fired
+  auto db = std::move(*dbr);
+  auto ixr = db->OpenIndex("torture");
+  if (!ixr.ok()) ::_exit(3);
+  Index ix = *ixr;
+
+  auto report = [&](const WireRecord& rec) {
+    if (::write(report_fd, &rec, sizeof(rec)) != sizeof(rec)) ::_exit(3);
+  };
+
+  uint64_t seq = seed << 20;  // distinct value streams across iterations
+  for (uint64_t group = 1; group <= kMaxGroupsPerChild; ++group) {
+    const uint32_t mode = rng.Uniform(10);
+    if (mode < 7) {
+      // Autocommitted single operation: put-heavy, some deletes.
+      const uint64_t key = rng.Uniform(kKeySpace);
+      const bool is_put = rng.Uniform(5) != 0;
+      const uint64_t s = ++seq;
+      report({0, is_put ? 0u : 1u, key, group, s});
+      Status st = is_put ? ix.Put(nullptr, IKey(key), IValue(s))
+                         : ix.Delete(nullptr, IKey(key));
+      if (!st.ok()) ::_exit(3);
+      report({1, 0, 0, group, 0});
+    } else {
+      // A multi-key transaction over distinct keys; one in five aborts on
+      // purpose (undo must reverse every operation of the chain).
+      uint64_t keys[kTxnGroupOps];
+      for (int i = 0; i < kTxnGroupOps; ++i) {
+        for (;;) {
+          keys[i] = rng.Uniform(kKeySpace);
+          bool dup = false;
+          for (int j = 0; j < i; ++j) dup |= keys[j] == keys[i];
+          if (!dup) break;
+        }
+      }
+      const bool abort = rng.Uniform(5) == 0;
+      TxnGuard txn(db.get());
+      if (!txn.active()) ::_exit(3);
+      for (int i = 0; i < kTxnGroupOps; ++i) {
+        const uint64_t s = ++seq;
+        report({0, 0, keys[i], group, s});
+        if (!ix.Put(txn.handle(), IKey(keys[i]), IValue(s)).ok()) ::_exit(3);
+      }
+      if (abort) {
+        if (!txn.Abort().ok()) ::_exit(3);
+        report({2, 0, 0, group, 0});
+      } else {
+        if (!txn.Commit().ok()) ::_exit(3);
+        report({1, 0, 0, group, 0});
+      }
+    }
+  }
+  ::_exit(0);  // the crashpoint never fired: clean exit, still verified
+}
+
+struct PendingOp {
+  bool is_put = false;
+  uint64_t key = 0;
+  uint64_t seq = 0;
+};
+
+class IndexTortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bess_index_torture_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void SeedDatabase() {
+    Database::Options o;
+    o.dir = dir_.string();
+    o.create = true;
+    auto dbr = Database::Open(o);
+    ASSERT_TRUE(dbr.ok()) << dbr.status().ToString();
+    auto ix = (*dbr)->CreateIndex("torture");
+    ASSERT_TRUE(ix.ok()) << ix.status().ToString();
+  }
+
+  // Forks a crash child; folds its pipe stream into the committed shadow
+  // map and the (at most one) group still in flight when it died.
+  bool RunChild(uint64_t seed, bool recovery_only,
+                std::vector<PendingOp>* pending) {
+    int pipefd[2];
+    EXPECT_EQ(::pipe(pipefd), 0);
+    const pid_t pid = ::fork();
+    EXPECT_GE(pid, 0);
+    if (pid == 0) {
+      ::close(pipefd[0]);
+      RunIndexCrashChild(dir_.string(), seed, pipefd[1], recovery_only);
+    }
+    ::close(pipefd[1]);
+    WireRecord rec;
+    std::vector<PendingOp> open_group;
+    for (;;) {
+      const ssize_t n = ::read(pipefd[0], &rec, sizeof(rec));
+      if (n != sizeof(rec)) break;  // EOF: the child died (or finished)
+      if (rec.tag == 0) {
+        open_group.push_back({rec.op == 0, rec.key, rec.seq});
+      } else if (rec.tag == 1) {
+        for (const PendingOp& op : open_group) ApplyToShadow(op);
+        open_group.clear();
+      } else {
+        open_group.clear();  // aborted: the engine owes us the old state
+      }
+    }
+    ::close(pipefd[0]);
+    *pending = std::move(open_group);
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    EXPECT_TRUE(killed || clean)
+        << "child failed unexpectedly, status=" << status << " seed=" << seed;
+    if (clean) {
+      // A clean exit acked or aborted every group; nothing is in flight.
+      EXPECT_TRUE(pending->empty());
+    }
+    return killed || clean;
+  }
+
+  void ApplyToShadow(const PendingOp& op) {
+    if (op.is_put) {
+      shadow_[op.key] = IValue(op.seq);
+    } else {
+      shadow_.erase(op.key);
+    }
+  }
+
+  // Whether the recovered index matches shadow_ + `ops` applied on top.
+  static bool MatchesState(
+      const Index& ix, const std::map<uint64_t, std::string>& state,
+      uint64_t probe_key) {
+    std::string v;
+    auto found = ix.Get(IKey(probe_key), &v);
+    EXPECT_TRUE(found.ok()) << found.status().ToString();
+    if (!found.ok()) return false;
+    auto it = state.find(probe_key);
+    if (it == state.end()) return !*found;
+    return *found && v == it->second;
+  }
+
+  // Reopens the database (running restart recovery), resolves the in-flight
+  // group to committed-or-not, and asserts the recovered index equals the
+  // shadow exactly. Then closes it and structurally validates the tree cold.
+  void VerifyConsistent(const std::vector<PendingOp>& pending, uint64_t seed,
+                        int iter) {
+    Database::Options o;
+    o.dir = dir_.string();
+    o.create = false;
+    auto dbr = Database::Open(o);
+    ASSERT_TRUE(dbr.ok()) << "recovery failed: " << dbr.status().ToString()
+                          << " iter=" << iter << " seed=" << seed;
+    auto db = std::move(*dbr);
+    auto ixr = db->OpenIndex("torture");
+    ASSERT_TRUE(ixr.ok()) << ixr.status().ToString() << " seed=" << seed;
+    Index ix = *ixr;
+
+    if (!pending.empty()) {
+      // Decide whether the in-flight group committed, using an op whose
+      // applied effect is distinguishable from the pre-group state. Puts
+      // always are (sequence numbers never repeat); a delete only if the
+      // key was present.
+      std::map<uint64_t, std::string> applied = shadow_;
+      for (const PendingOp& op : pending) {
+        if (op.is_put) {
+          applied[op.key] = IValue(op.seq);
+        } else {
+          applied.erase(op.key);
+        }
+      }
+      const PendingOp* probe = nullptr;
+      for (const PendingOp& op : pending) {
+        const bool before = shadow_.count(op.key) != 0;
+        if (op.is_put || before) {
+          probe = &op;
+          break;
+        }
+      }
+      bool committed = false;
+      if (probe != nullptr) {
+        const bool as_applied = MatchesState(ix, applied, probe->key);
+        const bool as_before = MatchesState(ix, shadow_, probe->key);
+        ASSERT_TRUE(as_applied || as_before)
+            << "in-flight group left key " << IKey(probe->key)
+            << " in a state matching neither outcome, iter=" << iter
+            << " seed=" << seed;
+        // A put's value names its unique seq: the outcomes never alias.
+        committed = as_applied;
+      }
+      if (committed) shadow_ = std::move(applied);
+      // Atomicity: every key of the group must agree with the decision.
+      for (const PendingOp& op : pending) {
+        EXPECT_TRUE(MatchesState(ix, shadow_, op.key))
+            << "torn group at key " << IKey(op.key) << " (group "
+            << (committed ? "committed" : "rolled back") << "), iter=" << iter
+            << " seed=" << seed;
+      }
+    }
+
+    // Exactness: the full scan is byte-identical to the shadow — durability
+    // (nothing acked is missing), no phantoms, no resurrected deletes.
+    std::map<uint64_t, std::string> recovered;
+    Status scan = ix.Scan("", "", [&](Slice k, Slice v) {
+      uint64_t key = 0;
+      if (k.size() != 6 || k[0] != 'k') {
+        return Status::Corruption("foreign key in index: " + k.ToString());
+      }
+      key = std::strtoull(k.ToString().c_str() + 1, nullptr, 10);
+      recovered[key] = v.ToString();
+      return Status::OK();
+    });
+    ASSERT_TRUE(scan.ok()) << scan.ToString() << " seed=" << seed;
+    EXPECT_EQ(recovered, shadow_)
+        << "recovered index diverged from shadow (recovered "
+        << recovered.size() << " vs shadow " << shadow_.size()
+        << " entries), iter=" << iter << " seed=" << seed;
+
+    db.reset();
+
+    // Cold structural validation of the index area: node magic, key order,
+    // separators, leaf chain. Probe the area files directly — the index
+    // area is the one whose page 0 carries the index meta magic.
+    bool validated = false;
+    for (uint16_t area_id = 1;; ++area_id) {
+      const std::string path =
+          dir_.string() + "/area_" + std::to_string(area_id) + ".bess";
+      if (!std::filesystem::exists(path)) break;
+      auto area = StorageArea::Open(path);
+      ASSERT_TRUE(area.ok()) << area.status().ToString();
+      BTreeIndex::Options cold;
+      cold.enable_bgwriter = false;
+      cold.use_async = false;
+      auto idx = BTreeIndex::Open(area->get(), cold);
+      if (!idx.ok()) continue;  // not an index area
+      uint64_t entries = 0;
+      Status vs = (*idx)->Validate(&entries);
+      EXPECT_TRUE(vs.ok()) << "recovered tree failed validation: "
+                           << vs.ToString() << " iter=" << iter
+                           << " seed=" << seed;
+      EXPECT_EQ(entries, shadow_.size()) << "iter=" << iter << " seed=" << seed;
+      validated = true;
+    }
+    EXPECT_TRUE(validated) << "index area not found for cold validation";
+  }
+
+  std::filesystem::path dir_;
+  std::map<uint64_t, std::string> shadow_;  // committed state, parent-side
+};
+
+TEST_F(IndexTortureTest, SmoCrashpointsRecoverToShadow) {
+  uint64_t base_seed = 0x1DE7057ull;
+  if (const char* env = std::getenv("BESS_TORTURE_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
+  int iters = 60;
+  if (const char* env = std::getenv("BESS_INDEX_TORTURE_ITERS")) {
+    iters = std::max(50, std::atoi(env));
+  }
+  SCOPED_TRACE("base seed " + std::to_string(base_seed) +
+               " (set BESS_TORTURE_SEED to reproduce)");
+  SeedDatabase();
+
+  Random seeder(base_seed);
+  for (int iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = seeder.Next();
+    std::vector<PendingOp> pending;
+    ASSERT_TRUE(RunChild(seed, /*recovery_only=*/false, &pending))
+        << "iter=" << iter << " seed=" << seed;
+
+    // Every third iteration, also SIGKILL a process mid-recovery: redo of
+    // SMO images and logical undo must both be restartable.
+    if (iter % 3 == 2) {
+      const uint64_t rseed = seeder.Next();
+      std::vector<PendingOp> ignored;
+      ASSERT_TRUE(RunChild(rseed, /*recovery_only=*/true, &ignored))
+          << "iter=" << iter << " recovery seed=" << rseed;
+    }
+
+    VerifyConsistent(pending, seed, iter);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping after first failing iteration " << iter
+             << ", seed=" << seed << " (base " << base_seed << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bess

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <map>
 #include <thread>
 
 #include "bess/bess_internal.h"
@@ -781,6 +782,69 @@ TEST_F(ServerTest, ScrubOverRpc) {
   EXPECT_EQ(report->verify_failures, 0u);
   EXPECT_EQ(report->repaired, 0u);
   EXPECT_EQ(report->quarantined, 0u);
+}
+
+TEST_F(ServerTest, IndexRoundTripOverRpc) {
+  StartServer();
+  RemoteClient* c = Connect();
+  ASSERT_TRUE(c->IndexCreate("remote").ok());
+  // Duplicate creation surfaces the server-side catalog error.
+  EXPECT_FALSE(c->IndexCreate("remote").ok());
+
+  // Enough entries to split leaves and exercise the scan's batch stitching
+  // (> kIndexScanMaxEntries would need 5k+ RPC puts; splits suffice here).
+  std::map<std::string, std::string> shadow;
+  char kb[16], vb[16];
+  for (int k = 0; k < 500; ++k) {
+    snprintf(kb, sizeof kb, "key%04d", k);
+    snprintf(vb, sizeof vb, "val%04d", k);
+    ASSERT_TRUE(c->IndexPut("remote", kb, vb).ok());
+    shadow[kb] = vb;
+  }
+  for (int k = 0; k < 500; k += 3) {
+    snprintf(kb, sizeof kb, "key%04d", k);
+    bool existed = false;
+    ASSERT_TRUE(c->IndexDelete("remote", kb, &existed).ok());
+    EXPECT_TRUE(existed);
+    shadow.erase(kb);
+  }
+
+  std::string v;
+  auto found = c->IndexGet("remote", "key0001", &v);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(*found);
+  EXPECT_EQ(v, "val0001");
+  found = c->IndexGet("remote", "key0000", &v);
+  ASSERT_TRUE(found.ok());
+  EXPECT_FALSE(*found) << "deleted key visible over RPC";
+
+  // A second connection sees the same tree (shared server-side runtime).
+  RemoteClient* c2 = Connect();
+  std::map<std::string, std::string> got;
+  ASSERT_TRUE(c2->IndexScan("remote", "", "",
+                            [&](Slice k, Slice val) {
+                              got[k.ToString()] = val.ToString();
+                              return Status::OK();
+                            })
+                  .ok());
+  EXPECT_EQ(got, shadow);
+
+  // Bounded scan honors the [lo, hi] window.
+  got.clear();
+  ASSERT_TRUE(c2->IndexScan("remote", "key0100", "key0110",
+                            [&](Slice k, Slice val) {
+                              got[k.ToString()] = val.ToString();
+                              return Status::OK();
+                            })
+                  .ok());
+  for (const auto& [k, val] : got) {
+    EXPECT_GE(k, std::string("key0100"));
+    EXPECT_LE(k, std::string("key0110"));
+  }
+  EXPECT_EQ(got.size(), 8u);  // 11 keys in window minus 102/105/108 deleted
+
+  ASSERT_TRUE(c->IndexDrop("remote").ok());
+  EXPECT_FALSE(c2->IndexGet("remote", "key0001", &v).ok());
 }
 
 }  // namespace
